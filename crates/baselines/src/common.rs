@@ -1,0 +1,171 @@
+//! Shared host-side swarm state and charging helpers for the baselines.
+
+use fastpso::PsoConfig;
+use fastpso_prng::Xoshiro256pp;
+use perf_model::{
+    cpu_time, interpreter_time, Counters, CpuProfile, CpuWork, InterpreterProfile, Phase, Timeline,
+};
+
+/// Plain host-side swarm used by the Python-library models (they keep
+/// everything in numpy arrays on the host).
+pub struct HostSwarm {
+    pub n: usize,
+    pub d: usize,
+    pub pos: Vec<f32>,
+    pub vel: Vec<f32>,
+    pub errors: Vec<f32>,
+    pub pbest_err: Vec<f32>,
+    pub pbest_pos: Vec<f32>,
+    pub gbest_err: f32,
+    pub gbest_pos: Vec<f32>,
+}
+
+impl HostSwarm {
+    /// Initialize with a sequential generator (the Python libraries use
+    /// numpy's sequential RNG, not counter-based streams).
+    pub fn init(cfg: &PsoConfig, domain: (f32, f32), rng: &mut Xoshiro256pp) -> Self {
+        let (n, d) = (cfg.n_particles, cfg.dim);
+        let (lo, hi) = domain;
+        let vscale = cfg.init_velocity_scale * (hi - lo);
+        let pos = (0..n * d).map(|_| rng.next_range(lo, hi)).collect();
+        let vel = (0..n * d).map(|_| rng.next_range(-vscale, vscale)).collect();
+        HostSwarm {
+            n,
+            d,
+            pos,
+            vel,
+            errors: vec![f32::INFINITY; n],
+            pbest_err: vec![f32::INFINITY; n],
+            pbest_pos: vec![0.0; n * d],
+            gbest_err: f32::INFINITY,
+            gbest_pos: vec![0.0; d],
+        }
+    }
+
+    /// Scalar pbest/gbest update; returns the number of improved particles.
+    pub fn update_bests(&mut self) -> u64 {
+        let d = self.d;
+        let mut improved = 0;
+        for i in 0..self.n {
+            if self.errors[i] < self.pbest_err[i] {
+                self.pbest_err[i] = self.errors[i];
+                self.pbest_pos[i * d..(i + 1) * d].copy_from_slice(&self.pos[i * d..(i + 1) * d]);
+                improved += 1;
+            }
+        }
+        let (mut mi, mut mv) = (0, self.pbest_err[0]);
+        for (i, &v) in self.pbest_err.iter().enumerate().skip(1) {
+            if v < mv {
+                mi = i;
+                mv = v;
+            }
+        }
+        if mv < self.gbest_err {
+            self.gbest_err = mv;
+            self.gbest_pos
+                .copy_from_slice(&self.pbest_pos[mi * d..(mi + 1) * d]);
+        }
+        improved
+    }
+}
+
+/// Description of one interpreter-side phase: vectorized library calls,
+/// temporary-array elements, pure-Python scalar elements, plus the numeric
+/// work the calls dispatch to compiled code.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PyWork {
+    /// Vectorized library calls (numpy ufunc dispatches).
+    pub ops: u64,
+    /// Elements written to temporary arrays.
+    pub temp_elems: u64,
+    /// Elements processed by pure-Python scalar code.
+    pub python_elems: u64,
+    /// FP operations executed by the compiled kernels underneath.
+    pub flops: u64,
+    /// Bytes streamed by the compiled kernels underneath.
+    pub bytes: u64,
+}
+
+/// Charges interpreter-hosted work (numpy-style) to a timeline.
+pub struct PyCharger {
+    cpu: CpuProfile,
+    interp: InterpreterProfile,
+}
+
+impl PyCharger {
+    /// The paper testbed's CPython + numpy stack.
+    pub fn paper() -> Self {
+        PyCharger {
+            cpu: CpuProfile::xeon_e5_2640_v4_dual(),
+            interp: InterpreterProfile::cpython_numpy(),
+        }
+    }
+
+    /// Charge one phase of interpreter work.
+    pub fn charge(&self, tl: &mut Timeline, phase: Phase, w: PyWork) {
+        let numeric = cpu_time(
+            &self.cpu,
+            &CpuWork {
+                threads: 1, // numpy kernels here are single-threaded ufuncs
+                flops: w.flops,
+                // Temporaries are also written+read through memory.
+                bytes: w.bytes + 8 * w.temp_elems,
+                allocs: w.ops, // one array allocation per vectorized op
+            },
+        );
+        let interp = interpreter_time(&self.interp, w.ops, w.python_elems, w.temp_elems);
+        let mut c = Counters::new();
+        c.flops = w.flops;
+        c.host_bytes = w.bytes;
+        c.interp_ops = w.ops;
+        c.interp_temp_elems = w.temp_elems;
+        c.interp_python_elems = w.python_elems;
+        c.host_allocs = w.ops;
+        tl.charge(phase, numeric + interp, c);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> PsoConfig {
+        PsoConfig::builder(10, 4).max_iter(3).seed(2).build().unwrap()
+    }
+
+    #[test]
+    fn host_swarm_initializes_in_domain() {
+        let mut rng = Xoshiro256pp::new(1);
+        let s = HostSwarm::init(&cfg(), (-2.0, 2.0), &mut rng);
+        assert_eq!(s.pos.len(), 40);
+        assert!(s.pos.iter().all(|&x| (-2.0..2.0).contains(&x)));
+    }
+
+    #[test]
+    fn update_bests_tracks_minimum() {
+        let mut rng = Xoshiro256pp::new(1);
+        let mut s = HostSwarm::init(&cfg(), (-2.0, 2.0), &mut rng);
+        s.errors = (0..10).map(|i| (10 - i) as f32).collect();
+        let improved = s.update_bests();
+        assert_eq!(improved, 10);
+        assert_eq!(s.gbest_err, 1.0);
+        assert_eq!(
+            s.gbest_pos,
+            &s.pbest_pos[9 * s.d..10 * s.d],
+            "gbest position must come from the best particle"
+        );
+        // No change: nothing improves.
+        assert_eq!(s.update_bests(), 0);
+    }
+
+    #[test]
+    fn py_charger_scales_with_work() {
+        let ch = PyCharger::paper();
+        let mut a = Timeline::new();
+        let mut b = Timeline::new();
+        ch.charge(&mut a, Phase::SwarmUpdate, PyWork { ops: 10, temp_elems: 1000, ..Default::default() });
+        ch.charge(&mut b, Phase::SwarmUpdate, PyWork { ops: 20, temp_elems: 2000, ..Default::default() });
+        assert!(b.total_seconds() > a.total_seconds());
+        assert_eq!(a.total_counters().interp_ops, 10);
+    }
+}

@@ -1,0 +1,43 @@
+//! Reference PSO implementations the paper compares FastPSO against
+//! (Table 1 / Table 2 / Figure 4):
+//!
+//! * [`PySwarmsLike`] — re-implementation of pyswarms' `GlobalBestPSO`
+//!   update loop: numpy-style vectorized operations with one temporary
+//!   array per operator, no velocity clamping by default, run under the
+//!   CPython+numpy interpreter profile;
+//! * [`ScikitOptLike`] — re-implementation of scikit-opt's `PSO`: the same
+//!   vectorized update plus pure-Python per-particle bookkeeping loops;
+//! * [`GpuPsoBaseline`] — Hussain et al. (2016): CUDA PSO with **one
+//!   thread per particle** owning the particle's whole life-cycle — the
+//!   design whose occupancy ceiling motivates FastPSO;
+//! * [`HGpuPsoBaseline`] — Wachowiak et al. (2017): heterogeneous PSO —
+//!   evaluation on the GPU, swarm update on the multicore CPU, with
+//!   host↔device transfers every iteration.
+//!
+//! Every baseline *executes* its algorithm for real (Table 2's solution
+//! quality is measured, not assumed) and charges modeled time per
+//! DESIGN.md §2. All four implement [`fastpso::PsoBackend`], so the
+//! benchmark harness treats them uniformly.
+
+//! # Example
+//!
+//! ```
+//! use fastpso::{PsoBackend, PsoConfig};
+//! use fastpso_baselines::GpuPsoBaseline;
+//! use fastpso_functions::builtins::Sphere;
+//!
+//! let cfg = PsoConfig::builder(64, 8).max_iter(50).seed(1).build().unwrap();
+//! let r = GpuPsoBaseline::new().run(&cfg, &Sphere).unwrap();
+//! assert!(r.best_value.is_finite());
+//! ```
+
+mod common;
+pub mod gpu_pso;
+pub mod hgpu_pso;
+pub mod pyswarms;
+pub mod scikit;
+
+pub use gpu_pso::GpuPsoBaseline;
+pub use hgpu_pso::HGpuPsoBaseline;
+pub use pyswarms::PySwarmsLike;
+pub use scikit::ScikitOptLike;

@@ -1,0 +1,204 @@
+//! pyswarms-like baseline (Miranda, JOSS 2018 — the paper's reference
+//! [19]; ~1700 GitHub stars at the time of the paper).
+//!
+//! pyswarms' `GlobalBestPSO` performs the update with chained numpy
+//! expressions. Two properties matter for reproduction:
+//!
+//! * **cost** — every operator in the chain materializes a temporary
+//!   `n × d` array and crosses the interpreter once; the objective is also
+//!   evaluated through vectorized numpy. That operation mix (charged under
+//!   the interpreter profile) is what puts pyswarms two orders of magnitude
+//!   behind FastPSO in Table 1.
+//! * **quality** — pyswarms applies **no velocity clamping** unless the
+//!   user passes explicit bounds, so with the paper's `ω = 0.9`,
+//!   `c1 = c2 = 2` the swarm's velocities grow and the search stalls at
+//!   whatever it found early — visible as the large errors in Table 2.
+
+use crate::common::{HostSwarm, PyCharger, PyWork};
+use fastpso::math::{position_update_elem, velocity_update_elem};
+use fastpso::{PsoBackend, PsoConfig, PsoError, RunResult};
+use fastpso_functions::Objective;
+use fastpso_prng::Xoshiro256pp;
+use perf_model::{Phase, Timeline};
+
+/// The pyswarms `GlobalBestPSO` model.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PySwarmsLike;
+
+/// Vectorized ops in one velocity+position update chain: `r1`, `r2`
+/// draws, two subtractions, four scalings, two additions, the position
+/// add, plus pyswarms' per-iteration bound/handler passes — each
+/// materializing a temporary.
+const UPDATE_VEC_OPS: u64 = 16;
+/// Temporary arrays of `n × d` elements materialized per update.
+const UPDATE_TEMPS: u64 = 16;
+
+impl PsoBackend for PySwarmsLike {
+    fn name(&self) -> &'static str {
+        "pyswarms"
+    }
+
+    fn run(&self, cfg: &PsoConfig, obj: &dyn Objective) -> Result<RunResult, PsoError> {
+        let charger = PyCharger::paper();
+        let mut tl = Timeline::new();
+        let (n, d) = (cfg.n_particles, cfg.dim);
+        let nd = (n * d) as u64;
+        let domain = obj.domain();
+        let mut rng = Xoshiro256pp::new(cfg.seed);
+
+        let mut s = HostSwarm::init(cfg, domain, &mut rng);
+        charger.charge(
+            &mut tl,
+            Phase::Init,
+            PyWork {
+                ops: 6,
+                temp_elems: 2 * nd,
+                flops: 4 * nd,
+                bytes: 8 * nd,
+                ..Default::default()
+            },
+        );
+
+        let mut history = cfg.record_history.then(|| Vec::with_capacity(cfg.max_iter));
+
+        for _t in 0..cfg.max_iter {
+            // Evaluation through vectorized numpy (e.g.
+            // `pyswarms.utils.functions.single_obj.sphere`).
+            for (e, row) in s.errors.iter_mut().zip(s.pos.chunks_exact(d)) {
+                *e = obj.eval(row);
+            }
+            charger.charge(
+                &mut tl,
+                Phase::Eval,
+                PyWork {
+                    ops: 4,
+                    temp_elems: 4 * nd,
+                    flops: nd * obj.flops_per_dim(),
+                    bytes: 4 * nd,
+                    ..Default::default()
+                },
+            );
+
+            // pbest/gbest with numpy masks (`np.where`, `np.argmin`).
+            let improved = s.update_bests();
+            charger.charge(
+                &mut tl,
+                Phase::PBest,
+                PyWork {
+                    ops: 5,
+                    temp_elems: 2 * n as u64 + improved * d as u64,
+                    flops: 2 * n as u64,
+                    bytes: 8 * n as u64 + improved * 8 * d as u64,
+                    ..Default::default()
+                },
+            );
+            charger.charge(
+                &mut tl,
+                Phase::GBest,
+                PyWork {
+                    ops: 2,
+                    flops: n as u64,
+                    bytes: 4 * n as u64,
+                    ..Default::default()
+                },
+            );
+
+            // Swarm update: the numpy expression chain. NOTE: no velocity
+            // clamping — pyswarms' default.
+            for i in 0..n {
+                for c in 0..d {
+                    let idx = i * d + c;
+                    let l = rng.next_f32();
+                    let g = rng.next_f32();
+                    let v2 = velocity_update_elem(
+                        s.vel[idx],
+                        s.pos[idx],
+                        l,
+                        g,
+                        s.pbest_pos[idx],
+                        s.gbest_pos[c],
+                        cfg.omega,
+                        cfg.c1,
+                        cfg.c2,
+                        None,
+                    );
+                    s.vel[idx] = v2;
+                    s.pos[idx] = position_update_elem(s.pos[idx], v2);
+                }
+            }
+            charger.charge(
+                &mut tl,
+                Phase::SwarmUpdate,
+                PyWork {
+                    ops: UPDATE_VEC_OPS,
+                    temp_elems: UPDATE_TEMPS * nd,
+                    flops: 10 * nd,
+                    bytes: 24 * nd,
+                    ..Default::default()
+                },
+            );
+
+            if let Some(h) = history.as_mut() {
+                h.push(s.gbest_err);
+            }
+        }
+
+        Ok(RunResult {
+            best_value: s.gbest_err as f64,
+            best_position: s.gbest_pos,
+            iterations: cfg.max_iter,
+            evaluations: (n * cfg.max_iter) as u64,
+            timeline: tl,
+            history,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastpso::SeqBackend;
+    use fastpso_functions::builtins::Sphere;
+
+    fn cfg(iters: usize) -> PsoConfig {
+        PsoConfig::builder(64, 16).max_iter(iters).seed(3).build().unwrap()
+    }
+
+    #[test]
+    fn runs_and_reports() {
+        let r = PySwarmsLike.run(&cfg(50), &Sphere).unwrap();
+        assert!(r.best_value.is_finite());
+        assert_eq!(r.iterations, 50);
+    }
+
+    #[test]
+    fn unclamped_velocity_converges_worse_than_fastpso() {
+        // Table 2's qualitative claim: the Python libraries' defaults leave
+        // much larger errors than the clamped implementations.
+        let c = cfg(200);
+        let py = PySwarmsLike.run(&c, &Sphere).unwrap();
+        let fast = SeqBackend.run(&c, &Sphere).unwrap();
+        assert!(
+            py.best_value > fast.best_value,
+            "pyswarms {} should trail fastpso {}",
+            py.best_value,
+            fast.best_value
+        );
+    }
+
+    #[test]
+    fn modeled_time_is_orders_of_magnitude_above_interpreted_overheads() {
+        let r = PySwarmsLike.run(&cfg(20), &Sphere).unwrap();
+        let c = r.timeline.total_counters();
+        assert!(c.interp_ops > 0);
+        assert!(c.interp_temp_elems > 0);
+        assert!(r.elapsed_seconds() > 0.0);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = PySwarmsLike.run(&cfg(30), &Sphere).unwrap();
+        let b = PySwarmsLike.run(&cfg(30), &Sphere).unwrap();
+        assert_eq!(a.best_value, b.best_value);
+    }
+}

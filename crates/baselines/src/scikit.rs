@@ -1,0 +1,181 @@
+//! scikit-opt-like baseline (the paper's reference [23]; the `sko.PSO`
+//! class, ~700 GitHub stars at the time of the paper).
+//!
+//! scikit-opt's PSO mixes vectorized numpy updates with *pure-Python*
+//! per-particle bookkeeping (`update_pbest` iterates rows, the objective
+//! is called per particle through a Python function unless the user
+//! vectorizes it). The per-particle Python work is the main cost
+//! difference from pyswarms and why the two libraries flip rank between
+//! problems in Table 1.
+
+use crate::common::{HostSwarm, PyCharger, PyWork};
+use fastpso::math::{position_update_elem, velocity_update_elem};
+use fastpso::{PsoBackend, PsoConfig, PsoError, RunResult};
+use fastpso_functions::Objective;
+use fastpso_prng::Xoshiro256pp;
+use perf_model::{Phase, Timeline};
+
+/// The scikit-opt `PSO` model.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScikitOptLike;
+
+impl PsoBackend for ScikitOptLike {
+    fn name(&self) -> &'static str {
+        "scikit-opt"
+    }
+
+    fn run(&self, cfg: &PsoConfig, obj: &dyn Objective) -> Result<RunResult, PsoError> {
+        let charger = PyCharger::paper();
+        let mut tl = Timeline::new();
+        let (n, d) = (cfg.n_particles, cfg.dim);
+        let nd = (n * d) as u64;
+        let domain = obj.domain();
+        // Decorrelate from the pyswarms model even under equal seeds.
+        let mut rng = Xoshiro256pp::new(cfg.seed ^ 0x5c1_c0de);
+
+        let mut s = HostSwarm::init(cfg, domain, &mut rng);
+        charger.charge(
+            &mut tl,
+            Phase::Init,
+            PyWork {
+                ops: 6,
+                temp_elems: 2 * nd,
+                flops: 4 * nd,
+                bytes: 8 * nd,
+                ..Default::default()
+            },
+        );
+
+        let mut history = cfg.record_history.then(|| Vec::with_capacity(cfg.max_iter));
+
+        for _t in 0..cfg.max_iter {
+            // Objective called per particle through Python (`self.func`):
+            // n interpreter crossings plus per-dim Python argument prep.
+            for (e, row) in s.errors.iter_mut().zip(s.pos.chunks_exact(d)) {
+                *e = obj.eval(row);
+            }
+            charger.charge(
+                &mut tl,
+                Phase::Eval,
+                PyWork {
+                    ops: n as u64,
+                    python_elems: n as u64 * 4,
+                    flops: nd * obj.flops_per_dim(),
+                    bytes: 4 * nd,
+                    ..Default::default()
+                },
+            );
+
+            // Pure-Python pbest loop (scikit-opt's `update_pbest` iterates
+            // particles and compares in Python).
+            let improved = s.update_bests();
+            charger.charge(
+                &mut tl,
+                Phase::PBest,
+                PyWork {
+                    ops: 2,
+                    python_elems: n as u64 * 3,
+                    flops: 2 * n as u64,
+                    bytes: 8 * n as u64 + improved * 8 * d as u64,
+                    ..Default::default()
+                },
+            );
+            charger.charge(
+                &mut tl,
+                Phase::GBest,
+                PyWork {
+                    ops: 2,
+                    flops: n as u64,
+                    bytes: 4 * n as u64,
+                    ..Default::default()
+                },
+            );
+
+            // Vectorized update chain (same numpy shape as pyswarms); no
+            // velocity clamp by default.
+            for i in 0..n {
+                for c in 0..d {
+                    let idx = i * d + c;
+                    let l = rng.next_f32();
+                    let g = rng.next_f32();
+                    let v2 = velocity_update_elem(
+                        s.vel[idx],
+                        s.pos[idx],
+                        l,
+                        g,
+                        s.pbest_pos[idx],
+                        s.gbest_pos[c],
+                        cfg.omega,
+                        cfg.c1,
+                        cfg.c2,
+                        None,
+                    );
+                    s.vel[idx] = v2;
+                    s.pos[idx] = position_update_elem(s.pos[idx], v2);
+                }
+            }
+            charger.charge(
+                &mut tl,
+                Phase::SwarmUpdate,
+                PyWork {
+                    ops: 12,
+                    temp_elems: 10 * nd,
+                    flops: 10 * nd,
+                    bytes: 24 * nd,
+                    ..Default::default()
+                },
+            );
+
+            if let Some(h) = history.as_mut() {
+                h.push(s.gbest_err);
+            }
+        }
+
+        Ok(RunResult {
+            best_value: s.gbest_err as f64,
+            best_position: s.gbest_pos,
+            iterations: cfg.max_iter,
+            evaluations: (n * cfg.max_iter) as u64,
+            timeline: tl,
+            history,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pyswarms::PySwarmsLike;
+    use fastpso_functions::builtins::Sphere;
+
+    fn cfg(iters: usize) -> PsoConfig {
+        PsoConfig::builder(64, 16).max_iter(iters).seed(4).build().unwrap()
+    }
+
+    #[test]
+    fn runs_and_reports() {
+        let r = ScikitOptLike.run(&cfg(50), &Sphere).unwrap();
+        assert!(r.best_value.is_finite());
+        assert_eq!(r.evaluations, 64 * 50);
+    }
+
+    #[test]
+    fn differs_from_pyswarms_model() {
+        let c = cfg(40);
+        let a = ScikitOptLike.run(&c, &Sphere).unwrap();
+        let b = PySwarmsLike.run(&c, &Sphere).unwrap();
+        assert_ne!(a.best_value, b.best_value, "decorrelated RNG streams");
+        // Python per-element work appears only in the scikit model's eval.
+        assert!(a.timeline.total_counters().interp_python_elems > 0);
+    }
+
+    #[test]
+    fn per_particle_python_eval_is_costlier_per_iteration() {
+        // With an expensive per-particle Python call pattern, the modeled
+        // eval phase must exceed pyswarms' vectorized eval.
+        let c = cfg(20);
+        let sk = ScikitOptLike.run(&c, &Sphere).unwrap();
+        let py = PySwarmsLike.run(&c, &Sphere).unwrap();
+        assert!(sk.phase_seconds(Phase::Eval) > py.phase_seconds(Phase::Eval));
+    }
+}

@@ -1,0 +1,28 @@
+//! Criterion benches: one group per paper figure (4, 5 and 6), regenerated
+//! at smoke scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fastpso_bench::experiments as ex;
+use fastpso_bench::Scale;
+use std::hint::black_box;
+
+fn bench_figures(c: &mut Criterion) {
+    let scale = Scale::smoke();
+
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+
+    g.bench_function("fig4_scalability_sweeps", |b| {
+        b.iter(|| black_box(ex::fig4::points(black_box(&scale))))
+    });
+    g.bench_function("fig5_step_breakdown", |b| {
+        b.iter(|| black_box(ex::fig5::rows(black_box(&scale))))
+    });
+    g.bench_function("fig6_update_techniques", |b| {
+        b.iter(|| black_box(ex::fig6::rows(black_box(&scale))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

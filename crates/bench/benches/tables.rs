@@ -1,0 +1,36 @@
+//! Criterion benches: one group per paper table. Each bench regenerates
+//! its artifact at smoke scale — wall-clock here measures the harness and
+//! simulator, while the artifact's *reported* numbers are the modeled
+//! times printed by the `table*` binaries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fastpso_bench::experiments as ex;
+use fastpso_bench::Scale;
+use std::hint::black_box;
+
+fn bench_tables(c: &mut Criterion) {
+    let scale = Scale::smoke();
+
+    let mut g = c.benchmark_group("tables");
+    g.sample_size(10);
+
+    g.bench_function("table1_overall_comparison", |b| {
+        b.iter(|| black_box(ex::table1::rows(black_box(&scale))))
+    });
+    g.bench_function("table2_errors_to_optimum", |b| {
+        b.iter(|| black_box(ex::table2::rows(black_box(&scale))))
+    });
+    g.bench_function("table3_flops_and_bandwidth", |b| {
+        b.iter(|| black_box(ex::table3::rows(black_box(&scale))))
+    });
+    g.bench_function("table4_memory_caching", |b| {
+        b.iter(|| black_box(ex::table4::rows(black_box(&scale))))
+    });
+    g.bench_function("table5_threadconf_case_study", |b| {
+        b.iter(|| black_box(ex::table5::rows(black_box(&scale))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

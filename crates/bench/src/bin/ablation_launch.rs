@@ -1,0 +1,66 @@
+//! Ablation: GPU resource-aware thread creation (FastPSO's technique i)
+//! vs naive one-thread-per-element launches.
+//!
+//! The roofline model prices resident threads, not launched ones, so this
+//! ablation adds the one hardware cost the paper's technique addresses
+//! explicitly: block dispatch. Every launched block passes through the
+//! GigaThread engine (~20 ns apiece); a naive launch of `n·d` threads at
+//! 256/block creates `n·d/256` blocks, while the resource-aware launch
+//! caps the grid near the device's residency and grid-strides.
+//!
+//! Usage: `cargo run --release -p fastpso-bench --bin ablation_launch`
+
+use fastpso_bench::report::Table;
+use gpu_sim::{Device, KernelCost, KernelDesc, LaunchConfig, MemoryPattern, Phase};
+use perf_model::gpu_kernel_time;
+
+/// Block dispatch cost on Volta-class parts (GigaThread engine).
+const BLOCK_DISPATCH_S: f64 = 20e-9;
+
+fn main() {
+    let dev = Device::v100();
+    let gpu = dev.profile();
+    let mut t = Table::new(
+        "Ablation: resource-aware grid-stride launch vs one-thread-per-element (swarm-update kernel)",
+        &["n x d", "aware (us)", "naive (us)", "naive blocks", "aware saves"],
+    );
+
+    for exp in [20u32, 23, 26, 28, 30] {
+        let elems = 1u64 << exp;
+        let cost = KernelCost::elementwise(10, 20, 4);
+
+        let aware_cfg = LaunchConfig::resource_aware(&gpu, elems);
+        let aware_desc = KernelDesc {
+            name: "aware",
+            phase: Phase::SwarmUpdate,
+            cost,
+            elems,
+            threads: elems,
+            config: Some(aware_cfg),
+            pattern: MemoryPattern::Coalesced,
+        };
+        let aware_blocks = aware_cfg.threads().div_ceil(256);
+        let aware = gpu_kernel_time(&gpu, &aware_desc.work()) + aware_blocks as f64 * BLOCK_DISPATCH_S;
+
+        let naive_cfg = LaunchConfig::one_per_element(elems, 256);
+        let naive_desc = KernelDesc {
+            config: Some(naive_cfg),
+            ..aware_desc.clone()
+        };
+        let naive_blocks = elems.div_ceil(256);
+        let naive = gpu_kernel_time(&gpu, &naive_desc.work()) + naive_blocks as f64 * BLOCK_DISPATCH_S;
+
+        t.row(vec![
+            format!("2^{exp}"),
+            format!("{:.1}", aware * 1e6),
+            format!("{:.1}", naive * 1e6),
+            naive_blocks.to_string(),
+            format!("{:.1}%", (naive - aware) / naive * 100.0),
+        ]);
+    }
+    t.emit("ablation_launch");
+    println!("Below the residency cap the two launches are identical; past it the");
+    println!("naive grid pays linearly growing dispatch while the grid-stride loop's");
+    println!("cost stays flat — and a 2^30-element naive grid of 4M blocks is the");
+    println!("\"thread explosion\" the paper's technique (i) exists to prevent.");
+}

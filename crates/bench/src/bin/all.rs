@@ -1,0 +1,19 @@
+//! Regenerate every table and figure of the paper in one pass.
+//! Usage: `cargo run --release -p fastpso-bench --bin all [--paper-scale|--smoke]`
+
+use fastpso_bench::experiments as ex;
+use fastpso_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    eprintln!("scale: n={}, d={}, measured iters {}..{}, reported at {} iterations\n",
+        scale.n_particles, scale.dim, scale.iters_lo, scale.iters_hi, scale.target_iters);
+    ex::table1::run(&scale).emit("table1");
+    ex::table2::run(&scale).emit("table2");
+    ex::table3::run(&scale).emit("table3");
+    ex::table4::run(&scale).emit("table4");
+    ex::table5::run(&scale).emit("table5");
+    ex::fig4::run(&scale).emit("fig4");
+    ex::fig5::run(&scale).emit("fig5");
+    ex::fig6::run(&scale).emit("fig6");
+}

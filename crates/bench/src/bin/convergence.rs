@@ -1,0 +1,55 @@
+//! Convergence curves: per-iteration `gbest` for every implementation on
+//! one problem, written as a single wide CSV. Not a paper artifact, but
+//! the natural companion to Table 2 — it shows *when* each implementation
+//! reaches its final quality (the clamped, inertia-decaying swarms keep
+//! descending; the Python-default swarms flatline early).
+//!
+//! Usage: `cargo run --release -p fastpso-bench --bin convergence
+//!         [--paper-scale|--smoke]` — writes `results/convergence.csv`.
+
+use fastpso_bench::{paper_backends, Scale};
+use fastpso_functions::builtins::Sphere;
+use fastpso::PsoConfig;
+
+fn main() {
+    let scale = Scale::from_args();
+    let iters = scale.quality_iters;
+    let cfg = PsoConfig::builder(scale.quality_particles, scale.dim)
+        .max_iter(iters)
+        .seed(42)
+        .record_history(true)
+        .build()
+        .expect("valid config");
+
+    let backends = paper_backends();
+    let mut curves: Vec<(String, Vec<f32>)> = Vec::new();
+    for b in &backends {
+        let r = b.run(&cfg, &Sphere).expect("run");
+        let h = r.history.expect("history requested");
+        eprintln!(
+            "{:<12} start {:>12.2}  final {:>12.4}",
+            b.name(),
+            h.first().copied().unwrap_or(f32::NAN),
+            h.last().copied().unwrap_or(f32::NAN)
+        );
+        curves.push((b.name().to_string(), h));
+    }
+
+    let mut csv = String::from("iteration");
+    for (name, _) in &curves {
+        csv.push(',');
+        csv.push_str(name);
+    }
+    csv.push('\n');
+    for t in 0..iters {
+        csv.push_str(&t.to_string());
+        for (_, h) in &curves {
+            csv.push(',');
+            csv.push_str(&h.get(t).copied().unwrap_or(f32::NAN).to_string());
+        }
+        csv.push('\n');
+    }
+    std::fs::create_dir_all("results").ok();
+    std::fs::write("results/convergence.csv", csv).expect("write csv");
+    eprintln!("\n(curves written to results/convergence.csv)");
+}

@@ -1,0 +1,7 @@
+//! Regenerate the paper's fig4 (see the experiment module for details).
+//! Usage: `cargo run --release -p fastpso-bench --bin fig4 [--paper-scale|--smoke]`
+
+fn main() {
+    let scale = fastpso_bench::Scale::from_args();
+    fastpso_bench::experiments::fig4::run(&scale).emit("fig4");
+}

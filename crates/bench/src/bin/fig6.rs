@@ -1,0 +1,7 @@
+//! Regenerate the paper's fig6 (see the experiment module for details).
+//! Usage: `cargo run --release -p fastpso-bench --bin fig6 [--paper-scale|--smoke]`
+
+fn main() {
+    let scale = fastpso_bench::Scale::from_args();
+    fastpso_bench::experiments::fig6::run(&scale).emit("fig6");
+}

@@ -1,0 +1,7 @@
+//! Regenerate the paper's table1 (see the experiment module for details).
+//! Usage: `cargo run --release -p fastpso-bench --bin table1 [--paper-scale|--smoke]`
+
+fn main() {
+    let scale = fastpso_bench::Scale::from_args();
+    fastpso_bench::experiments::table1::run(&scale).emit("table1");
+}

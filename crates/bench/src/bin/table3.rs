@@ -1,0 +1,7 @@
+//! Regenerate the paper's table3 (see the experiment module for details).
+//! Usage: `cargo run --release -p fastpso-bench --bin table3 [--paper-scale|--smoke]`
+
+fn main() {
+    let scale = fastpso_bench::Scale::from_args();
+    fastpso_bench::experiments::table3::run(&scale).emit("table3");
+}

@@ -1,0 +1,157 @@
+//! Figure 4 — scalability: elapsed time of all seven implementations
+//! while varying the number of particles (2000-5000 at d = 50) and the
+//! number of dimensions (50-200 at n = 2000), on all four problems.
+//!
+//! Shape to reproduce: every CPU implementation grows roughly linearly in
+//! both axes; FastPSO stays nearly flat (its kernels are far from
+//! saturating the device at these sizes).
+
+use crate::report::{fmt_secs, Table};
+use crate::runner::{paper_backends, run_extrapolated, threadconf_objective};
+use crate::scale::Scale;
+use fastpso::PsoConfig;
+use fastpso_functions::builtins::{Easom, Griewank, Sphere};
+use fastpso_functions::Objective;
+
+/// Which sweep a series belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Axis {
+    /// Vary n at fixed d = 50 (sub-figures a, c, e, g).
+    Particles,
+    /// Vary d at fixed n = 2000 (sub-figures b, d, f, h).
+    Dimensions,
+}
+
+/// One measured point.
+#[derive(Debug, Clone)]
+pub struct Point {
+    pub problem: String,
+    pub axis: Axis,
+    pub x: usize,
+    pub implementation: String,
+    pub seconds: f64,
+}
+
+/// Run both sweeps over all problems and implementations.
+pub fn points(scale: &Scale) -> Vec<Point> {
+    let threadconf = threadconf_objective(scale);
+    let problems: Vec<&dyn Objective> = vec![&Sphere, &Griewank, &Easom, &threadconf];
+    let backends = paper_backends();
+    let mut out = Vec::new();
+
+    for obj in &problems {
+        for (axis, xs) in [
+            (Axis::Particles, &scale.particles_sweep),
+            (Axis::Dimensions, &scale.dims_sweep),
+        ] {
+            for &x in xs {
+                let (n, d) = match axis {
+                    Axis::Particles => (x, 50),
+                    Axis::Dimensions => (2000.min(scale.n_particles), x),
+                };
+                let base = PsoConfig::builder(n, d).max_iter(1).seed(42).build().unwrap();
+                for b in &backends {
+                    let r = run_extrapolated(
+                        b.as_ref(),
+                        &base,
+                        *obj,
+                        scale.iters_lo,
+                        scale.iters_hi,
+                        scale.target_iters,
+                    );
+                    out.push(Point {
+                        problem: obj.name().to_string(),
+                        axis,
+                        x,
+                        implementation: b.name().to_string(),
+                        seconds: r.seconds,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Render as one long table (problem × axis × x × per-impl columns).
+pub fn run(scale: &Scale) -> Table {
+    let data = points(scale);
+    let names: Vec<String> = paper_backends().iter().map(|b| b.name().to_string()).collect();
+    let mut header: Vec<&str> = vec!["problem", "axis", "x"];
+    for n in &names {
+        header.push(n);
+    }
+    let mut t = Table::new(
+        "Figure 4: elapsed time vs #particles (d=50) and vs #dimensions (n=2000), modeled seconds",
+        &header,
+    );
+    // Group points by (problem, axis, x).
+    let mut keys: Vec<(String, Axis, usize)> = Vec::new();
+    for p in &data {
+        let k = (p.problem.clone(), p.axis, p.x);
+        if !keys.contains(&k) {
+            keys.push(k);
+        }
+    }
+    for (problem, axis, x) in keys {
+        let mut cells = vec![
+            problem.clone(),
+            match axis {
+                Axis::Particles => "#particles".to_string(),
+                Axis::Dimensions => "#dims".to_string(),
+            },
+            x.to_string(),
+        ];
+        for name in &names {
+            let p = data
+                .iter()
+                .find(|p| {
+                    p.problem == problem && p.axis == axis && p.x == x && &p.implementation == name
+                })
+                .expect("complete grid");
+            cells.push(fmt_secs(p.seconds));
+        }
+        t.row(cells);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fastpso_is_flat_while_cpu_grows() {
+        let mut scale = Scale::smoke();
+        scale.particles_sweep = vec![256, 1024];
+        scale.dims_sweep = vec![16, 64];
+        let data = points(&scale);
+
+        let series = |imp: &str, axis: Axis| -> Vec<f64> {
+            let mut pts: Vec<(usize, f64)> = data
+                .iter()
+                .filter(|p| {
+                    p.implementation == imp && p.axis == axis && p.problem == "Sphere"
+                })
+                .map(|p| (p.x, p.seconds))
+                .collect();
+            pts.sort_by_key(|&(x, _)| x);
+            pts.into_iter().map(|(_, s)| s).collect()
+        };
+
+        for axis in [Axis::Particles, Axis::Dimensions] {
+            let seq = series("fastpso-seq", axis);
+            let fast = series("fastpso", axis);
+            let seq_growth = seq.last().unwrap() / seq.first().unwrap();
+            let fast_growth = fast.last().unwrap() / fast.first().unwrap();
+            assert!(
+                seq_growth > 2.0,
+                "{axis:?}: sequential should grow ~linearly, got {seq_growth}"
+            );
+            assert!(
+                fast_growth < seq_growth,
+                "{axis:?}: fastpso growth {fast_growth} must be flatter than seq {seq_growth}"
+            );
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Figure 5 — per-step breakdown of FastPSO's three variants (sequential,
+//! OpenMP-analog, GPU) into the paper's five steps: init, eval, pbest,
+//! gbest, swarm update.
+//!
+//! Shape to reproduce: the swarm update dominates the CPU variants (>80%),
+//! and the GPU variant compresses it to well under 0.1 s per 2000
+//! iterations' worth.
+
+use crate::report::{fmt_secs, Table};
+use crate::runner::{backend_by_name, run_extrapolated, threadconf_objective};
+use crate::scale::Scale;
+use fastpso::PsoConfig;
+use fastpso_functions::builtins::{Easom, Griewank, Sphere};
+use fastpso_functions::Objective;
+use perf_model::Phase;
+
+/// Breakdown of one implementation on one problem.
+#[derive(Debug, Clone)]
+pub struct Row {
+    pub problem: String,
+    pub implementation: String,
+    /// Seconds per phase in [`Phase::ALL`] order.
+    pub phases: Vec<(Phase, f64)>,
+}
+
+impl Row {
+    /// Seconds of one phase.
+    pub fn seconds(&self, phase: Phase) -> f64 {
+        self.phases
+            .iter()
+            .find(|(p, _)| *p == phase)
+            .map(|(_, s)| *s)
+            .unwrap_or(0.0)
+    }
+
+    /// Fraction of total time spent in the swarm update.
+    pub fn swarm_fraction(&self) -> f64 {
+        let total: f64 = self.phases.iter().map(|(_, s)| s).sum();
+        if total > 0.0 {
+            self.seconds(Phase::SwarmUpdate) / total
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The three implementations the figure plots.
+pub const IMPLS: [&str; 3] = ["fastpso-seq", "fastpso-omp", "fastpso"];
+
+/// Run the experiment over the four problems.
+pub fn rows(scale: &Scale) -> Vec<Row> {
+    let threadconf = threadconf_objective(scale);
+    let problems: Vec<(&dyn Objective, usize)> = vec![
+        (&Sphere, scale.dim),
+        (&Griewank, scale.dim),
+        (&Easom, scale.dim),
+        (&threadconf, 50),
+    ];
+    let mut out = Vec::new();
+    for (obj, dim) in problems {
+        let base = PsoConfig::builder(scale.n_particles, dim)
+            .max_iter(1)
+            .seed(42)
+            .build()
+            .unwrap();
+        for name in IMPLS {
+            let backend = backend_by_name(name).expect("known impl");
+            let r = run_extrapolated(
+                backend.as_ref(),
+                &base,
+                obj,
+                scale.iters_lo,
+                scale.iters_hi,
+                scale.target_iters,
+            );
+            out.push(Row {
+                problem: obj.name().to_string(),
+                implementation: name.to_string(),
+                phases: r.phase_seconds,
+            });
+        }
+    }
+    out
+}
+
+/// Render as one table (the paper shows four bar charts).
+pub fn run(scale: &Scale) -> Table {
+    let data = rows(scale);
+    let mut t = Table::new(
+        "Figure 5: per-step breakdown (modeled seconds per 2000 iterations)",
+        &["problem", "impl", "init", "eval", "pbest", "gbest", "swarm", "other"],
+    );
+    for row in &data {
+        t.row(vec![
+            row.problem.clone(),
+            row.implementation.clone(),
+            fmt_secs(row.seconds(Phase::Init)),
+            fmt_secs(row.seconds(Phase::Eval)),
+            fmt_secs(row.seconds(Phase::PBest)),
+            fmt_secs(row.seconds(Phase::GBest)),
+            fmt_secs(row.seconds(Phase::SwarmUpdate)),
+            fmt_secs(row.seconds(Phase::Other)),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn swarm_update_dominates_cpu_and_shrinks_on_gpu() {
+        // Needs a workload big enough that launch overhead does not mask
+        // the GPU advantage.
+        let mut scale = Scale::smoke();
+        scale.n_particles = 2000;
+        scale.dim = 64;
+        let data = rows(&scale);
+        for problem in ["Sphere", "Griewank"] {
+            let get = |imp: &str| {
+                data.iter()
+                    .find(|r| r.problem == problem && r.implementation == imp)
+                    .unwrap()
+            };
+            let seq = get("fastpso-seq");
+            let gpu = get("fastpso");
+            assert!(
+                seq.swarm_fraction() > 0.5,
+                "{problem}: seq swarm fraction {}",
+                seq.swarm_fraction()
+            );
+            assert!(
+                gpu.seconds(Phase::SwarmUpdate) < seq.seconds(Phase::SwarmUpdate) / 5.0,
+                "{problem}: GPU swarm update must be >5x faster"
+            );
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Figure 6 — comparison of swarm-update techniques: CPU for-loop, OpenMP,
+//! and the three GPU strategies (global memory, shared memory, tensor
+//! cores), measured on the swarm-update phase alone.
+//!
+//! Shape to reproduce: the for-loop takes >10 s per 2000 iterations, the
+//! GPU strategies all land under ~0.3 s, and the three GPU variants are
+//! close to one another (the paper finds their improvements "similar").
+
+use crate::report::{fmt_secs, Table};
+use crate::runner::{backend_by_name, run_extrapolated, threadconf_objective};
+use crate::scale::Scale;
+use fastpso::PsoConfig;
+use fastpso_functions::builtins::{Easom, Griewank, Sphere};
+use fastpso_functions::Objective;
+use perf_model::Phase;
+
+/// The five techniques in the figure's legend order, mapped to backends.
+pub const TECHNIQUES: [(&str, &str); 5] = [
+    ("for-loop", "fastpso-seq"),
+    ("OpenMP", "fastpso-omp"),
+    ("global-mem", "fastpso"),
+    ("shared-mem", "fastpso-smem"),
+    ("tensorcore", "fastpso-tensor"),
+];
+
+/// One problem's swarm-update time per technique.
+#[derive(Debug, Clone)]
+pub struct Row {
+    pub problem: String,
+    /// `(technique, swarm-update seconds)` in legend order.
+    pub times: Vec<(String, f64)>,
+}
+
+impl Row {
+    /// Seconds of one technique.
+    pub fn seconds(&self, technique: &str) -> f64 {
+        self.times
+            .iter()
+            .find(|(t, _)| t == technique)
+            .map(|(_, s)| *s)
+            .expect("technique present")
+    }
+}
+
+/// Run the experiment.
+pub fn rows(scale: &Scale) -> Vec<Row> {
+    let threadconf = threadconf_objective(scale);
+    let problems: Vec<(&dyn Objective, usize)> = vec![
+        (&Sphere, scale.dim),
+        (&Griewank, scale.dim),
+        (&Easom, scale.dim),
+        (&threadconf, 50),
+    ];
+    problems
+        .into_iter()
+        .map(|(obj, dim)| {
+            let base = PsoConfig::builder(scale.n_particles, dim)
+                .max_iter(1)
+                .seed(42)
+                .build()
+                .unwrap();
+            let times = TECHNIQUES
+                .iter()
+                .map(|(label, backend_name)| {
+                    let backend = backend_by_name(backend_name).expect("known");
+                    let r = run_extrapolated(
+                        backend.as_ref(),
+                        &base,
+                        obj,
+                        scale.iters_lo,
+                        scale.iters_hi,
+                        scale.target_iters,
+                    );
+                    let swarm = r
+                        .phase_seconds
+                        .iter()
+                        .find(|(p, _)| *p == Phase::SwarmUpdate)
+                        .map(|(_, s)| *s)
+                        .unwrap_or(0.0);
+                    (label.to_string(), swarm)
+                })
+                .collect();
+            Row {
+                problem: obj.name().to_string(),
+                times,
+            }
+        })
+        .collect()
+}
+
+/// Render as the paper's Figure 6.
+pub fn run(scale: &Scale) -> Table {
+    let data = rows(scale);
+    let mut t = Table::new(
+        "Figure 6: swarm-update techniques (modeled seconds of the swarm-update step)",
+        &["problem", "for-loop", "OpenMP", "global-mem", "shared-mem", "tensorcore"],
+    );
+    for row in &data {
+        let mut cells = vec![row.problem.clone()];
+        for (_, s) in &row.times {
+            cells.push(fmt_secs(*s));
+        }
+        t.row(cells);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpu_techniques_crush_the_cpu_loop_and_stay_close_together() {
+        let mut scale = Scale::smoke();
+        scale.n_particles = 2000;
+        scale.dim = 64;
+        let data = rows(&scale);
+        for row in &data {
+            let cpu = row.seconds("for-loop");
+            for tech in ["global-mem", "shared-mem", "tensorcore"] {
+                let g = row.seconds(tech);
+                assert!(
+                    g < cpu / 5.0,
+                    "{}/{tech}: {g} should be far below the loop's {cpu}",
+                    row.problem
+                );
+            }
+            let gm = row.seconds("global-mem");
+            let sm = row.seconds("shared-mem");
+            let tc = row.seconds("tensorcore");
+            let max = gm.max(sm).max(tc);
+            let min = gm.min(sm).min(tc);
+            assert!(
+                max / min < 4.0,
+                "{}: GPU variants should be similar ({gm}, {sm}, {tc})",
+                row.problem
+            );
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Table 4 — efficiency of FastPSO's memory caching: per-iteration device
+//! allocations served from the caching pool versus driver reallocation.
+//!
+//! Shape to reproduce: caching improves end-to-end time by a few percent
+//! (the paper reports 3.7-5%; its table prints the two time columns in
+//! swapped order — we follow the text's claim, caching faster).
+
+use crate::report::{fmt_secs, Table};
+use crate::runner::run_extrapolated;
+use crate::scale::Scale;
+use fastpso::{GpuBackend, PsoConfig};
+use fastpso_functions::builtins::{Easom, Griewank, Sphere};
+use fastpso_functions::Objective;
+use gpu_sim::AllocMode;
+
+/// One problem's caching-vs-reallocation comparison.
+#[derive(Debug, Clone)]
+pub struct Row {
+    pub problem: String,
+    pub caching_seconds: f64,
+    pub realloc_seconds: f64,
+}
+
+impl Row {
+    /// Relative improvement of caching over reallocation.
+    pub fn speedup_percent(&self) -> f64 {
+        (self.realloc_seconds - self.caching_seconds) / self.caching_seconds * 100.0
+    }
+}
+
+/// Run the experiment.
+pub fn rows(scale: &Scale) -> Vec<Row> {
+    let problems: Vec<&dyn Objective> = vec![&Sphere, &Griewank, &Easom];
+    problems
+        .into_iter()
+        .map(|obj| {
+            let base = PsoConfig::builder(scale.n_particles, scale.dim)
+                .max_iter(1)
+                .seed(42)
+                .build()
+                .unwrap();
+            let time_with = |mode: AllocMode| {
+                let backend = GpuBackend::new().alloc_mode(mode);
+                run_extrapolated(
+                    &backend,
+                    &base,
+                    obj,
+                    scale.iters_lo,
+                    scale.iters_hi,
+                    scale.target_iters,
+                )
+                .seconds
+            };
+            Row {
+                problem: obj.name().to_string(),
+                caching_seconds: time_with(AllocMode::Caching),
+                realloc_seconds: time_with(AllocMode::Realloc),
+            }
+        })
+        .collect()
+}
+
+/// Render as the paper's Table 4.
+pub fn run(scale: &Scale) -> Table {
+    let data = rows(scale);
+    let mut t = Table::new(
+        "Table 4: FastPSO with memory caching vs reallocation (modeled seconds)",
+        &["problem", "w/ caching", "w/ reallocation", "speedup"],
+    );
+    for row in &data {
+        t.row(vec![
+            row.problem.clone(),
+            fmt_secs(row.caching_seconds),
+            fmt_secs(row.realloc_seconds),
+            format!("{:.2}%", row.speedup_percent()),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caching_wins_by_single_digit_percent() {
+        let mut scale = Scale::smoke();
+        scale.n_particles = 4000;
+        scale.dim = 128;
+        scale.iters_lo = 6;
+        scale.iters_hi = 12;
+        let data = rows(&scale);
+        assert_eq!(data.len(), 3);
+        for row in &data {
+            let pct = row.speedup_percent();
+            assert!(pct > 0.0, "{}: caching must win ({pct}%)", row.problem);
+            assert!(pct < 40.0, "{}: implausibly large gain ({pct}%)", row.problem);
+        }
+    }
+}

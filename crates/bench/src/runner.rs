@@ -1,0 +1,167 @@
+//! Backend registry and the affine-extrapolation runner.
+
+use fastpso::{GpuBackend, ParBackend, PsoBackend, PsoConfig, SeqBackend, UpdateStrategy};
+use fastpso_baselines::{GpuPsoBaseline, HGpuPsoBaseline, PySwarmsLike, ScikitOptLike};
+use fastpso_functions::Objective;
+use perf_model::{GpuProfile, Phase};
+use tgbm::{Dataset, Gbm, TgbmConfig, ThreadConfObjective};
+
+/// The seven implementations of the paper's Table 1, in column order.
+pub fn paper_backends() -> Vec<Box<dyn PsoBackend>> {
+    vec![
+        Box::new(PySwarmsLike),
+        Box::new(ScikitOptLike),
+        Box::new(GpuPsoBaseline::new()),
+        Box::new(HGpuPsoBaseline::new()),
+        Box::new(SeqBackend),
+        Box::new(ParBackend),
+        Box::new(GpuBackend::new()),
+    ]
+}
+
+/// Look up one backend by its Table-1 name (plus the FastPSO strategy
+/// variants used by Figure 6).
+pub fn backend_by_name(name: &str) -> Option<Box<dyn PsoBackend>> {
+    Some(match name {
+        "pyswarms" => Box::new(PySwarmsLike) as Box<dyn PsoBackend>,
+        "scikit-opt" => Box::new(ScikitOptLike),
+        "gpu-pso" => Box::new(GpuPsoBaseline::new()),
+        "hgpu-pso" => Box::new(HGpuPsoBaseline::new()),
+        "fastpso-seq" => Box::new(SeqBackend),
+        "fastpso-omp" => Box::new(ParBackend),
+        "fastpso" => Box::new(GpuBackend::new()),
+        "fastpso-smem" => Box::new(GpuBackend::new().strategy(UpdateStrategy::SharedMem)),
+        "fastpso-tensor" => Box::new(GpuBackend::new().strategy(UpdateStrategy::TensorCore)),
+        _ => return None,
+    })
+}
+
+/// Result of an extrapolated measurement.
+#[derive(Debug, Clone)]
+pub struct ExtrapolatedRun {
+    /// Modeled seconds at the target iteration count.
+    pub seconds: f64,
+    /// Per-phase modeled seconds at the target iteration count (the
+    /// paper's Figure-5 axes).
+    pub phase_seconds: Vec<(Phase, f64)>,
+    /// Best objective value at the *hi* measured run (solution quality is
+    /// reported at the measured scale, not extrapolated).
+    pub best_value: f64,
+    /// Iterations actually executed for the hi run.
+    pub measured_iters: usize,
+}
+
+/// Run `backend` at two iteration counts and extrapolate the affine
+/// time model to `target_iters`. When `iters_hi == target_iters` (the
+/// `--paper-scale` preset) the hi run *is* the report and no
+/// extrapolation error exists at all.
+pub fn run_extrapolated(
+    backend: &dyn PsoBackend,
+    base: &PsoConfig,
+    obj: &dyn Objective,
+    iters_lo: usize,
+    iters_hi: usize,
+    target_iters: usize,
+) -> ExtrapolatedRun {
+    assert!(iters_lo < iters_hi);
+    let mut cfg_lo = base.clone();
+    cfg_lo.max_iter = iters_lo;
+    let mut cfg_hi = base.clone();
+    cfg_hi.max_iter = iters_hi;
+
+    let lo = backend.run(&cfg_lo, obj).expect("lo run");
+    let hi = backend.run(&cfg_hi, obj).expect("hi run");
+
+    let span = (iters_hi - iters_lo) as f64;
+    let extrapolate = |a: f64, b: f64| {
+        let slope = (b - a) / span;
+        let intercept = a - slope * iters_lo as f64;
+        (intercept + slope * target_iters as f64).max(0.0)
+    };
+
+    let seconds = extrapolate(
+        lo.timeline.total_seconds(),
+        hi.timeline.total_seconds(),
+    );
+    let phase_seconds = Phase::ALL
+        .iter()
+        .map(|&p| {
+            (
+                p,
+                extrapolate(lo.timeline.seconds(p), hi.timeline.seconds(p)),
+            )
+        })
+        .collect();
+
+    ExtrapolatedRun {
+        seconds,
+        phase_seconds,
+        best_value: hi.best_value,
+        measured_iters: iters_hi,
+    }
+}
+
+/// Build the ThreadConf objective: train the tgbm case-study model on a
+/// covtype-like dataset and wrap its kernel workload profile.
+///
+/// The PSO-table experiments only need the profile's *shape*, so the
+/// training run is capped at 4 trees / depth 4 regardless of the scale's
+/// full case-study setting (Table 5 trains at full scale separately).
+pub fn threadconf_objective(scale: &crate::scale::Scale) -> ThreadConfObjective {
+    let data = Dataset::covtype_like();
+    let cfg = TgbmConfig::new(scale.tgbm_trees.min(4), scale.tgbm_depth.min(4));
+    let model = Gbm::train(&cfg, &data).expect("tgbm training");
+    ThreadConfObjective::new(model.profile, cfg, GpuProfile::tesla_v100())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastpso_functions::builtins::Sphere;
+
+    #[test]
+    fn registry_covers_the_table_one_columns() {
+        let names: Vec<&str> = paper_backends().iter().map(|b| b.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "pyswarms",
+                "scikit-opt",
+                "gpu-pso",
+                "hgpu-pso",
+                "fastpso-seq",
+                "fastpso-omp",
+                "fastpso"
+            ]
+        );
+        for n in names {
+            assert!(backend_by_name(n).is_some(), "{n} must resolve");
+        }
+        assert!(backend_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn extrapolation_is_exact_for_affine_accounting() {
+        // fastpso-seq's modeled time is exactly affine in iterations, so
+        // extrapolating from (4, 8) must match a direct 16-iteration run.
+        let base = PsoConfig::builder(64, 8).max_iter(1).seed(7).build().unwrap();
+        let ex = run_extrapolated(&SeqBackend, &base, &Sphere, 4, 8, 16);
+        let mut direct_cfg = base.clone();
+        direct_cfg.max_iter = 16;
+        let direct = SeqBackend.run(&direct_cfg, &Sphere).unwrap();
+        let d = direct.timeline.total_seconds();
+        assert!(
+            (ex.seconds - d).abs() / d < 0.02,
+            "extrapolated {} vs direct {d}",
+            ex.seconds
+        );
+    }
+
+    #[test]
+    fn threadconf_objective_builds() {
+        let obj = threadconf_objective(&crate::scale::Scale::smoke());
+        use fastpso_functions::Objective;
+        assert!(obj.eval(&[0.5; 50]) > 0.0);
+        assert_eq!(obj.name(), "ThreadConf");
+    }
+}

@@ -1,0 +1,49 @@
+//! The backend contract shared by every PSO implementation in this
+//! workspace — the paper's own variants (`fastpso-seq`, `fastpso-omp`,
+//! `fastpso`) and the comparison baselines in `fastpso-baselines`.
+
+use crate::config::PsoConfig;
+use crate::error::PsoError;
+use crate::result::RunResult;
+use fastpso_functions::Objective;
+
+/// A complete PSO implementation.
+pub trait PsoBackend {
+    /// Implementation name as reported in tables ("fastpso", "gpu-pso", ...).
+    fn name(&self) -> &'static str;
+
+    /// Run the optimization to completion.
+    fn run(&self, cfg: &PsoConfig, obj: &dyn Objective) -> Result<RunResult, PsoError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perf_model::Timeline;
+
+    struct Fake;
+    impl PsoBackend for Fake {
+        fn name(&self) -> &'static str {
+            "fake"
+        }
+        fn run(&self, cfg: &PsoConfig, _obj: &dyn Objective) -> Result<RunResult, PsoError> {
+            Ok(RunResult {
+                best_value: 0.0,
+                best_position: vec![0.0; cfg.dim],
+                iterations: cfg.max_iter,
+                evaluations: (cfg.n_particles * cfg.max_iter) as u64,
+                timeline: Timeline::new(),
+                history: None,
+            })
+        }
+    }
+
+    #[test]
+    fn trait_objects_work() {
+        let b: Box<dyn PsoBackend> = Box::new(Fake);
+        assert_eq!(b.name(), "fake");
+        let cfg = PsoConfig::builder(4, 2).max_iter(1).build().unwrap();
+        let r = b.run(&cfg, &fastpso_functions::builtins::Sphere).unwrap();
+        assert_eq!(r.evaluations, 4);
+    }
+}

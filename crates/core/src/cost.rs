@@ -1,0 +1,105 @@
+//! CPU-side cost charging for the `fastpso-seq` / `fastpso-omp` backends.
+//!
+//! The CPU backends execute their numeric work for real, but (per DESIGN.md
+//! §2) report *modeled* time for the paper's testbed instead of host
+//! wall-clock: this host has a single core, so wall-clock could not exhibit
+//! any of the paper's CPU-vs-GPU or seq-vs-OpenMP ratios.
+
+use perf_model::{cpu_time, Counters, CpuProfile, CpuWork, Phase, Timeline};
+
+/// Modeled FP cost of drawing one Philox word (10 rounds of two 32-bit
+/// multiplies plus mixing, amortized over the four output lanes).
+pub const RNG_FLOPS_PER_DRAW: u64 = 15;
+
+/// Charges CPU work to a timeline under a fixed thread count.
+#[derive(Debug, Clone)]
+pub struct CpuCharger {
+    profile: CpuProfile,
+    threads: u32,
+}
+
+impl CpuCharger {
+    /// Single-threaded execution on the paper's testbed CPU.
+    pub fn serial() -> Self {
+        CpuCharger {
+            profile: CpuProfile::xeon_e5_2640_v4_dual(),
+            threads: 1,
+        }
+    }
+
+    /// All-cores execution on the paper's testbed CPU (the OpenMP analog).
+    pub fn parallel() -> Self {
+        let profile = CpuProfile::xeon_e5_2640_v4_dual();
+        let threads = profile.cores;
+        CpuCharger { profile, threads }
+    }
+
+    /// A charger over an explicit profile/thread count.
+    pub fn new(profile: CpuProfile, threads: u32) -> Self {
+        CpuCharger { profile, threads }
+    }
+
+    /// Threads this charger models.
+    pub fn threads(&self) -> u32 {
+        self.threads
+    }
+
+    /// Charge one phase's work: `flops` FP ops, `bytes` of memory traffic,
+    /// `allocs` heap allocation pairs.
+    pub fn charge(&self, tl: &mut Timeline, phase: Phase, flops: u64, bytes: u64, allocs: u64) {
+        let work = CpuWork {
+            threads: self.threads,
+            flops,
+            bytes,
+            allocs,
+        };
+        let t = cpu_time(&self.profile, &work);
+        let mut c = Counters::new();
+        c.flops = flops;
+        c.host_bytes = bytes;
+        c.host_allocs = allocs;
+        if self.threads > 1 {
+            c.parallel_regions = 1;
+        }
+        tl.charge(phase, t, c);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_charger_is_faster_than_serial_for_equal_work() {
+        let mut a = Timeline::new();
+        let mut b = Timeline::new();
+        CpuCharger::serial().charge(&mut a, Phase::SwarmUpdate, 1 << 30, 1 << 28, 0);
+        CpuCharger::parallel().charge(&mut b, Phase::SwarmUpdate, 1 << 30, 1 << 28, 0);
+        assert!(b.total_seconds() < a.total_seconds());
+    }
+
+    #[test]
+    fn omp_speedup_matches_paper_band() {
+        // The paper's Table 1 shows fastpso-omp at 1.3-1.7x over fastpso-seq.
+        let mut a = Timeline::new();
+        let mut b = Timeline::new();
+        CpuCharger::serial().charge(&mut a, Phase::SwarmUpdate, 1 << 34, 0, 0);
+        CpuCharger::parallel().charge(&mut b, Phase::SwarmUpdate, 1 << 34, 0, 0);
+        let speedup = a.total_seconds() / b.total_seconds();
+        assert!(
+            (1.2..2.2).contains(&speedup),
+            "modeled OpenMP speedup {speedup} outside the paper's observed band"
+        );
+    }
+
+    #[test]
+    fn counters_are_recorded() {
+        let mut tl = Timeline::new();
+        CpuCharger::parallel().charge(&mut tl, Phase::Eval, 10, 20, 3);
+        let c = tl.total_counters();
+        assert_eq!(c.flops, 10);
+        assert_eq!(c.host_bytes, 20);
+        assert_eq!(c.host_allocs, 3);
+        assert_eq!(c.parallel_regions, 1);
+    }
+}

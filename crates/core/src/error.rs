@@ -1,0 +1,52 @@
+//! Error type for PSO runs.
+
+use gpu_sim::GpuError;
+use std::fmt;
+
+/// Errors raised while configuring or running a PSO optimization.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PsoError {
+    /// Invalid configuration (zero particles, zero dimensions, bad
+    /// coefficients, ...).
+    InvalidConfig(String),
+    /// A device operation failed.
+    Gpu(GpuError),
+}
+
+impl fmt::Display for PsoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PsoError::InvalidConfig(msg) => write!(f, "invalid PSO configuration: {msg}"),
+            PsoError::Gpu(e) => write!(f, "GPU error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PsoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PsoError::Gpu(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GpuError> for PsoError {
+    fn from(e: GpuError) -> Self {
+        PsoError::Gpu(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        let e = PsoError::InvalidConfig("n must be > 0".into());
+        assert!(e.to_string().contains("n must be > 0"));
+        let g: PsoError = GpuError::Empty("x").into();
+        assert!(matches!(g, PsoError::Gpu(_)));
+        assert!(g.to_string().contains("GPU error"));
+    }
+}

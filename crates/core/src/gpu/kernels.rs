@@ -1,0 +1,616 @@
+//! The GPU kernels of FastPSO, expressed against the simulator.
+//!
+//! Every kernel operates on a [`Shard`] — a contiguous block of particle
+//! rows resident on one device. The single-GPU backend uses one shard
+//! covering the whole swarm; the multi-GPU strategies split rows across
+//! shards. Random weights are addressed by *global* element index, so a
+//! sharded run draws exactly the numbers a single-device run draws.
+
+use crate::config::{AttractorSemantics, PsoConfig};
+use crate::cost::RNG_FLOPS_PER_DRAW;
+use crate::error::PsoError;
+use crate::math::{position_update_elem, velocity_update_elem};
+use crate::swarm::domains;
+use crate::topology::ring_neighborhood_best;
+use fastpso_functions::Objective;
+use fastpso_prng::Philox;
+use gpu_sim::reduce::MinResult;
+use gpu_sim::tiled::TILE_SIZE;
+use gpu_sim::{Device, DeviceBuffer, KernelCost, KernelDesc, LaunchConfig, MemoryPattern, Phase};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Flop estimate of one velocity-update element (Equation 1 + clamp).
+pub const VELOCITY_FLOPS_PER_ELEM: u64 = 10;
+/// Flop estimate of one position-update element (Equation 2).
+pub const POSITION_FLOPS_PER_ELEM: u64 = 2;
+
+/// How the swarm-update kernels touch memory (Figure 6's technique axis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum UpdateStrategy {
+    /// Plain element-wise kernels on global memory.
+    #[default]
+    GlobalMem,
+    /// Stage operand tiles through shared memory (paper §3.5).
+    SharedMem,
+    /// Warp-level tensor-core fragments with f16 operands (paper §3.5).
+    /// Numerics differ from the other strategies by documented f16 rounding.
+    TensorCore,
+}
+
+/// A contiguous block of particle rows resident on one device.
+pub struct Shard {
+    /// First (global) particle row this shard owns.
+    pub row0: usize,
+    /// Number of rows.
+    pub rows: usize,
+    /// Dimensionality.
+    pub d: usize,
+    /// Positions (`rows × d`).
+    pub pos: DeviceBuffer<f32>,
+    /// Velocities (`rows × d`).
+    pub vel: DeviceBuffer<f32>,
+    /// Cognitive weight matrix `L` (`rows × d`).
+    pub l: DeviceBuffer<f32>,
+    /// Social weight matrix `G` (`rows × d`).
+    pub g: DeviceBuffer<f32>,
+    /// Current errors (`rows`).
+    pub errors: DeviceBuffer<f32>,
+    /// Per-particle best errors (`rows`).
+    pub pbest_err: DeviceBuffer<f32>,
+    /// Per-particle best positions (`rows × d`).
+    pub pbest_pos: DeviceBuffer<f32>,
+    /// Swarm-best position this shard tracks (`d`).
+    pub gbest_pos: DeviceBuffer<f32>,
+    /// Swarm-best error this shard tracks (device-resident scalar).
+    pub gbest_err: f32,
+}
+
+impl Shard {
+    /// Allocate a shard on `dev` for rows `[row0, row0 + rows)`.
+    pub fn alloc(dev: &Device, row0: usize, rows: usize, d: usize) -> Result<Shard, PsoError> {
+        Ok(Shard {
+            row0,
+            rows,
+            d,
+            pos: dev.alloc(rows * d)?,
+            vel: dev.alloc(rows * d)?,
+            l: dev.alloc(rows * d)?,
+            g: dev.alloc(rows * d)?,
+            errors: dev.alloc(rows)?,
+            pbest_err: dev.alloc(rows)?,
+            pbest_pos: dev.alloc(rows * d)?,
+            gbest_pos: dev.alloc(d)?,
+            gbest_err: f32::INFINITY,
+        })
+    }
+
+    /// Number of matrix elements in this shard.
+    pub fn elems(&self) -> usize {
+        self.rows * self.d
+    }
+
+    /// Global flat element index of shard-local element `i`.
+    #[inline]
+    pub fn global_elem(&self, i: usize) -> u64 {
+        (self.row0 * self.d + i) as u64
+    }
+}
+
+fn desc_for(
+    dev: &Device,
+    name: &'static str,
+    phase: Phase,
+    cost: KernelCost,
+    elems: u64,
+) -> KernelDesc {
+    KernelDesc {
+        name,
+        phase,
+        cost,
+        elems,
+        threads: elems,
+        config: Some(LaunchConfig::resource_aware(&dev.profile(), elems)),
+        pattern: MemoryPattern::Coalesced,
+    }
+}
+
+/// Step (i): initialize positions, velocities and best-state on the device
+/// with parallel counter-based RNG (paper §3.1).
+pub fn init_shard(
+    dev: &Device,
+    shard: &mut Shard,
+    cfg: &PsoConfig,
+    domain: (f32, f32),
+) -> Result<(), PsoError> {
+    let rng = Philox::new(cfg.seed);
+    let (lo, hi) = domain;
+    let vscale = cfg.init_velocity_scale * (hi - lo);
+    let elems = shard.elems() as u64;
+    let rng_cost = KernelCost::elementwise(RNG_FLOPS_PER_DRAW, 0, 4);
+
+    let row0 = shard.row0;
+    let d = shard.d;
+    let desc = desc_for(dev, "init_positions", Phase::Init, rng_cost, elems);
+    dev.launch_map(&desc, shard.pos.as_mut_slice(), |i| {
+        rng.uniform_range_at((row0 * d + i) as u64, domains::INIT_POS, lo, hi)
+    })?;
+
+    let desc = desc_for(dev, "init_velocities", Phase::Init, rng_cost, elems);
+    dev.launch_map(&desc, shard.vel.as_mut_slice(), |i| {
+        rng.uniform_range_at((row0 * d + i) as u64, domains::INIT_VEL, -vscale, vscale)
+    })?;
+
+    let desc = desc_for(
+        dev,
+        "init_best_state",
+        Phase::Init,
+        KernelCost::elementwise(0, 0, 4),
+        shard.rows as u64,
+    );
+    dev.launch_map(&desc, shard.pbest_err.as_mut_slice(), |_| f32::INFINITY)?;
+    shard.gbest_err = f32::INFINITY;
+    Ok(())
+}
+
+/// Generate this iteration's `L` and `G` weight matrices on the device.
+/// Charged to the Init phase, matching the paper's breakdown (§3.1 treats
+/// per-iteration weight generation as part of swarm initialization).
+pub fn gen_weights(dev: &Device, shard: &mut Shard, cfg: &PsoConfig, t: usize) -> Result<(), PsoError> {
+    let rng = Philox::new(cfg.seed);
+    let elems = shard.elems() as u64;
+    let cost = KernelCost::elementwise(RNG_FLOPS_PER_DRAW, 0, 4);
+    let (row0, d) = (shard.row0, shard.d);
+    let (ld, gd) = (domains::l_matrix(t), domains::g_matrix(t));
+
+    // The weight matrices are requested fresh every iteration — the exact
+    // scenario of the paper's Table 4. Under the caching allocator these
+    // requests are pool hits; in `Realloc` mode each pays a driver
+    // round-trip. (The previous iteration's buffers return to the pool
+    // when the assignments below drop them.)
+    let mut l = dev.alloc::<f32>(shard.rows * d)?;
+    let mut g = dev.alloc::<f32>(shard.rows * d)?;
+
+    let desc = desc_for(dev, "gen_l_weights", Phase::Init, cost, elems);
+    dev.launch_map(&desc, l.as_mut_slice(), |i| {
+        rng.uniform_at((row0 * d + i) as u64, ld)
+    })?;
+    let desc = desc_for(dev, "gen_g_weights", Phase::Init, cost, elems);
+    dev.launch_map(&desc, g.as_mut_slice(), |i| {
+        rng.uniform_at((row0 * d + i) as u64, gd)
+    })?;
+    shard.l = l;
+    shard.g = g;
+    Ok(())
+}
+
+/// Step (ii): evaluate every particle (one thread per particle, as in
+/// §3.2; the thread count is still resource-aware).
+pub fn eval_shard(dev: &Device, shard: &mut Shard, obj: &dyn Objective) -> Result<(), PsoError> {
+    let d = shard.d;
+    let cost = KernelCost::elementwise(d as u64 * obj.flops_per_dim(), d as u64 * 4, 4);
+    let desc = desc_for(dev, "evaluate_swarm", Phase::Eval, cost, shard.rows as u64);
+    let pos = shard.pos.as_slice();
+    dev.launch_map(&desc, shard.errors.as_mut_slice(), |i| {
+        obj.eval(&pos[i * d..(i + 1) * d])
+    })?;
+    Ok(())
+}
+
+/// Step (iii.a): per-particle best update. Returns how many particles
+/// improved (drives the copy-traffic charge).
+pub fn pbest_update(dev: &Device, shard: &mut Shard) -> Result<u64, PsoError> {
+    let d = shard.d;
+    let desc = desc_for(
+        dev,
+        "pbest_update",
+        Phase::PBest,
+        KernelCost::elementwise(1, 8, 4),
+        shard.rows as u64,
+    );
+    let improved = AtomicU64::new(0);
+    let errors = shard.errors.as_slice();
+    let pos = shard.pos.as_slice();
+    dev.launch_chunks2(
+        &desc,
+        shard.pbest_err.as_mut_slice(),
+        1,
+        shard.pbest_pos.as_mut_slice(),
+        d,
+        |i, pb, pb_row| {
+            if errors[i] < pb[0] {
+                pb[0] = errors[i];
+                pb_row.copy_from_slice(&pos[i * d..(i + 1) * d]);
+                improved.fetch_add(1, Ordering::Relaxed);
+            }
+        },
+    )?;
+    let improved = improved.load(Ordering::Relaxed);
+    if improved > 0 {
+        // Position-row copy traffic for the particles that improved.
+        let copy = desc_for(
+            dev,
+            "pbest_copy_traffic",
+            Phase::PBest,
+            KernelCost::elementwise(0, 4, 4),
+            improved * d as u64,
+        );
+        dev.charge_kernel(&copy);
+    }
+    Ok(improved)
+}
+
+/// Step (iii.b): find the shard's best particle (parallel reduction).
+/// Returned index is *global*.
+pub fn local_argmin(dev: &Device, shard: &Shard) -> Result<MinResult, PsoError> {
+    let mut r = dev.reduce_min_index(Phase::GBest, shard.pbest_err.as_slice())?;
+    r.index += shard.row0;
+    Ok(r)
+}
+
+/// Adopt a new swarm best from this shard's own `pbest_pos` (no
+/// host↔device traffic; a device-to-device row copy).
+pub fn adopt_gbest_local(
+    dev: &Device,
+    shard: &mut Shard,
+    global_index: usize,
+    err: f32,
+) -> Result<(), PsoError> {
+    let local = global_index - shard.row0;
+    let d = shard.d;
+    let desc = desc_for(
+        dev,
+        "gbest_copy",
+        Phase::GBest,
+        KernelCost::elementwise(0, 4, 4),
+        d as u64,
+    );
+    let src = shard.pbest_pos.as_slice()[local * d..(local + 1) * d].to_vec();
+    dev.launch_map(&desc, shard.gbest_pos.as_mut_slice(), |i| src[i])?;
+    shard.gbest_err = err;
+    Ok(())
+}
+
+/// Adopt a new swarm best from host memory (multi-GPU broadcast path; the
+/// transfer is charged to the GBest phase).
+pub fn adopt_gbest_from_host(
+    dev: &Device,
+    shard: &mut Shard,
+    pos_row: &[f32],
+    err: f32,
+) -> Result<(), PsoError> {
+    let _ = dev; // transfer is charged through the buffer's device handle
+    shard.gbest_pos.upload_in(Phase::GBest, pos_row)?;
+    shard.gbest_err = err;
+    Ok(())
+}
+
+/// Ring-topology support kernel: compute each particle's neighborhood-best
+/// index over its `±k` ring window (one thread per particle, 2k+1 reads).
+pub fn ring_lbest(dev: &Device, shard: &Shard, k: usize) -> Result<Vec<usize>, PsoError> {
+    let n = shard.rows;
+    // The effective window is clamped to the ring circumference.
+    let window = (2 * k.min(n / 2) + 1) as u64;
+    let desc = desc_for(
+        dev,
+        "ring_lbest",
+        Phase::GBest,
+        KernelCost::elementwise(window, window * 4, 8),
+        n as u64,
+    );
+    let mut out = vec![0usize; n];
+    dev.charge_kernel(&desc);
+    ring_neighborhood_best(shard.pbest_err.as_slice(), k, &mut out);
+    Ok(out)
+}
+
+/// Step (iv): the swarm update — velocity (Equation 1 + bound) then
+/// position (Equation 2) as element-wise matrix kernels, under the
+/// selected memory strategy.
+pub fn swarm_update(
+    dev: &Device,
+    shard: &mut Shard,
+    cfg: &PsoConfig,
+    t: usize,
+    bound: Option<f32>,
+    strategy: UpdateStrategy,
+    lbest: Option<&[usize]>,
+) -> Result<(), PsoError> {
+    let d = shard.d;
+    let elems = shard.elems() as u64;
+    let (omega, c1, c2) = (cfg.omega_at(t), cfg.c1, cfg.c2);
+    let semantics = cfg.semantics;
+    let gbest_err = shard.gbest_err;
+
+    match strategy {
+        UpdateStrategy::GlobalMem => {
+            // Velocity: reads V (in place), P, L, G, pbest attractor; writes V.
+            let cost = KernelCost::elementwise(VELOCITY_FLOPS_PER_ELEM, 20, 4);
+            let desc = desc_for(dev, "velocity_update", Phase::SwarmUpdate, cost, elems);
+            let pos = shard.pos.as_slice();
+            let l = shard.l.as_slice();
+            let g = shard.g.as_slice();
+            let pbest_pos = shard.pbest_pos.as_slice();
+            let pbest_err = shard.pbest_err.as_slice();
+            let gbest_pos = shard.gbest_pos.as_slice();
+            dev.launch_update(&desc, shard.vel.as_mut_slice(), |i, v| {
+                let (row, col) = (i / d, i % d);
+                let (pb, gb) = match semantics {
+                    AttractorSemantics::PositionVectors => {
+                        let social = match lbest {
+                            Some(lb) => pbest_pos[lb[row] * d + col],
+                            None => gbest_pos[col],
+                        };
+                        (pbest_pos[i], social)
+                    }
+                    AttractorSemantics::ScalarBroadcast => (pbest_err[row], gbest_err),
+                };
+                velocity_update_elem(v, pos[i], l[i], g[i], pb, gb, omega, c1, c2, bound)
+            })?;
+
+            // Position: reads P (in place) and V; writes P.
+            let cost = KernelCost::elementwise(POSITION_FLOPS_PER_ELEM, 8, 4);
+            let desc = desc_for(dev, "position_update", Phase::SwarmUpdate, cost, elems);
+            let vel = shard.vel.as_slice();
+            dev.launch_update(&desc, shard.pos.as_mut_slice(), |i, p| {
+                position_update_elem(p, vel[i])
+            })?;
+        }
+        UpdateStrategy::SharedMem => {
+            let tile = TILE_SIZE * TILE_SIZE;
+            {
+                let pos = shard.pos.as_slice();
+                let pbest_err = shard.pbest_err.as_slice();
+                let gbest_pos = shard.gbest_pos.as_slice();
+                let l = shard.l.as_slice();
+                let g = shard.g.as_slice();
+                let pbest_pos = shard.pbest_pos.as_slice();
+                dev.launch_tiled(
+                    "velocity_update_smem",
+                    Phase::SwarmUpdate,
+                    VELOCITY_FLOPS_PER_ELEM,
+                    tile,
+                    &[pos, l, g, pbest_pos],
+                    shard.vel.as_mut_slice(),
+                    |i, local, ctx| {
+                        let (row, col) = (i / d, i % d);
+                        let (pb, gb) = match semantics {
+                            AttractorSemantics::PositionVectors => {
+                                let social = match lbest {
+                                    Some(lb) => pbest_pos[lb[row] * d + col],
+                                    None => gbest_pos[col],
+                                };
+                                (ctx.inputs[3][local], social)
+                            }
+                            AttractorSemantics::ScalarBroadcast => (pbest_err[row], gbest_err),
+                        };
+                        velocity_update_elem(
+                            ctx.out_old[local],
+                            ctx.inputs[0][local],
+                            ctx.inputs[1][local],
+                            ctx.inputs[2][local],
+                            pb,
+                            gb,
+                            omega,
+                            c1,
+                            c2,
+                            bound,
+                        )
+                    },
+                )?;
+            }
+            let vel = shard.vel.as_slice();
+            dev.launch_tiled(
+                "position_update_smem",
+                Phase::SwarmUpdate,
+                POSITION_FLOPS_PER_ELEM,
+                tile,
+                &[vel],
+                shard.pos.as_mut_slice(),
+                |_i, local, ctx| position_update_elem(ctx.out_old[local], ctx.inputs[0][local]),
+            )?;
+        }
+        UpdateStrategy::TensorCore => {
+            {
+                let pos = shard.pos.as_slice();
+                let pbest_err = shard.pbest_err.as_slice();
+                let gbest_pos = shard.gbest_pos.as_slice();
+                let l = shard.l.as_slice();
+                let g = shard.g.as_slice();
+                let pbest_pos = shard.pbest_pos.as_slice();
+                dev.launch_tensor_elementwise(
+                    "velocity_update_wmma",
+                    Phase::SwarmUpdate,
+                    VELOCITY_FLOPS_PER_ELEM,
+                    &[pos, l, g, pbest_pos],
+                    shard.vel.as_mut_slice(),
+                    |i, ins, v_old| {
+                        let (row, col) = (i / d, i % d);
+                        let (pb, gb) = match semantics {
+                            AttractorSemantics::PositionVectors => {
+                                let social = match lbest {
+                                    Some(lb) => pbest_pos[lb[row] * d + col],
+                                    None => gbest_pos[col],
+                                };
+                                (ins[3], social)
+                            }
+                            AttractorSemantics::ScalarBroadcast => (pbest_err[row], gbest_err),
+                        };
+                        velocity_update_elem(v_old, ins[0], ins[1], ins[2], pb, gb, omega, c1, c2, bound)
+                    },
+                )?;
+            }
+            let vel = shard.vel.as_slice();
+            dev.launch_tensor_elementwise(
+                "position_update_wmma",
+                Phase::SwarmUpdate,
+                POSITION_FLOPS_PER_ELEM,
+                &[vel],
+                shard.pos.as_mut_slice(),
+                |_i, ins, p_old| position_update_elem(p_old, ins[0]),
+            )?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastpso_functions::builtins::Sphere;
+
+    fn cfg() -> PsoConfig {
+        PsoConfig::builder(16, 8).max_iter(4).seed(11).build().unwrap()
+    }
+
+    fn setup(dev: &Device, cfg: &PsoConfig) -> Shard {
+        let mut shard = Shard::alloc(dev, 0, cfg.n_particles, cfg.dim).unwrap();
+        init_shard(dev, &mut shard, cfg, Sphere.domain()).unwrap();
+        shard
+    }
+
+    #[test]
+    fn init_matches_host_swarm() {
+        let dev = Device::v100();
+        let cfg = cfg();
+        let shard = setup(&dev, &cfg);
+        let host = crate::swarm::Swarm::init(&cfg, Sphere.domain());
+        assert_eq!(shard.pos.as_slice(), host.pos.as_slice());
+        assert_eq!(shard.vel.as_slice(), host.vel.as_slice());
+        assert!(shard.pbest_err.as_slice().iter().all(|&x| x == f32::INFINITY));
+    }
+
+    #[test]
+    fn sharded_init_matches_global_rows() {
+        let dev = Device::v100();
+        let cfg = cfg();
+        // A shard starting at row 5 must hold rows 5.. of the global swarm.
+        let mut shard = Shard::alloc(&dev, 5, 4, cfg.dim).unwrap();
+        init_shard(&dev, &mut shard, &cfg, Sphere.domain()).unwrap();
+        let host = crate::swarm::Swarm::init(&cfg, Sphere.domain());
+        assert_eq!(
+            shard.pos.as_slice(),
+            &host.pos[5 * cfg.dim..9 * cfg.dim],
+        );
+    }
+
+    #[test]
+    fn eval_writes_objective_values() {
+        let dev = Device::v100();
+        let cfg = cfg();
+        let mut shard = setup(&dev, &cfg);
+        eval_shard(&dev, &mut shard, &Sphere).unwrap();
+        let expect = Sphere.eval(&shard.pos.as_slice()[0..cfg.dim]);
+        assert_eq!(shard.errors.as_slice()[0], expect);
+    }
+
+    #[test]
+    fn pbest_update_counts_improvements() {
+        let dev = Device::v100();
+        let cfg = cfg();
+        let mut shard = setup(&dev, &cfg);
+        eval_shard(&dev, &mut shard, &Sphere).unwrap();
+        // First update: everything improves from infinity.
+        let improved = pbest_update(&dev, &mut shard).unwrap();
+        assert_eq!(improved, cfg.n_particles as u64);
+        // Second update with unchanged errors: nothing improves.
+        let improved = pbest_update(&dev, &mut shard).unwrap();
+        assert_eq!(improved, 0);
+        assert_eq!(shard.pbest_pos.as_slice(), shard.pos.as_slice());
+    }
+
+    #[test]
+    fn argmin_and_adopt_track_the_best_particle() {
+        let dev = Device::v100();
+        let cfg = cfg();
+        let mut shard = setup(&dev, &cfg);
+        eval_shard(&dev, &mut shard, &Sphere).unwrap();
+        pbest_update(&dev, &mut shard).unwrap();
+        let r = local_argmin(&dev, &shard).unwrap();
+        let expect = shard
+            .errors
+            .as_slice()
+            .iter()
+            .cloned()
+            .fold(f32::INFINITY, f32::min);
+        assert_eq!(r.value, expect);
+        adopt_gbest_local(&dev, &mut shard, r.index, r.value).unwrap();
+        assert_eq!(shard.gbest_err, expect);
+        let d = cfg.dim;
+        assert_eq!(
+            shard.gbest_pos.as_slice(),
+            &shard.pbest_pos.as_slice()[r.index * d..(r.index + 1) * d]
+        );
+    }
+
+    #[test]
+    fn global_and_shared_strategies_agree_bitwise() {
+        let cfg = cfg();
+        let run = |strategy| {
+            let dev = Device::v100();
+            let mut shard = setup(&dev, &cfg);
+            eval_shard(&dev, &mut shard, &Sphere).unwrap();
+            pbest_update(&dev, &mut shard).unwrap();
+            let r = local_argmin(&dev, &shard).unwrap();
+            adopt_gbest_local(&dev, &mut shard, r.index, r.value).unwrap();
+            gen_weights(&dev, &mut shard, &cfg, 0).unwrap();
+            swarm_update(&dev, &mut shard, &cfg, 0, Some(2.0), strategy, None).unwrap();
+            (shard.vel.as_slice().to_vec(), shard.pos.as_slice().to_vec())
+        };
+        let (v1, p1) = run(UpdateStrategy::GlobalMem);
+        let (v2, p2) = run(UpdateStrategy::SharedMem);
+        assert_eq!(v1, v2);
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn tensor_strategy_is_close_but_f16_rounded() {
+        let cfg = cfg();
+        let run = |strategy| {
+            let dev = Device::v100();
+            let mut shard = setup(&dev, &cfg);
+            eval_shard(&dev, &mut shard, &Sphere).unwrap();
+            pbest_update(&dev, &mut shard).unwrap();
+            let r = local_argmin(&dev, &shard).unwrap();
+            adopt_gbest_local(&dev, &mut shard, r.index, r.value).unwrap();
+            gen_weights(&dev, &mut shard, &cfg, 0).unwrap();
+            swarm_update(&dev, &mut shard, &cfg, 0, Some(2.0), strategy, None).unwrap();
+            shard.vel.as_slice().to_vec()
+        };
+        let exact = run(UpdateStrategy::GlobalMem);
+        let tensor = run(UpdateStrategy::TensorCore);
+        assert_ne!(exact, tensor, "f16 rounding must be visible");
+        for (a, b) in exact.iter().zip(&tensor) {
+            assert!((a - b).abs() < 0.05 + 0.01 * a.abs(), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn velocity_bound_is_enforced_on_device() {
+        let cfg = PsoConfig::builder(8, 4)
+            .max_iter(2)
+            .velocity_bound(0.01)
+            .seed(1)
+            .build()
+            .unwrap();
+        let dev = Device::v100();
+        let mut shard = setup(&dev, &cfg);
+        eval_shard(&dev, &mut shard, &Sphere).unwrap();
+        pbest_update(&dev, &mut shard).unwrap();
+        let r = local_argmin(&dev, &shard).unwrap();
+        adopt_gbest_local(&dev, &mut shard, r.index, r.value).unwrap();
+        gen_weights(&dev, &mut shard, &cfg, 0).unwrap();
+        swarm_update(&dev, &mut shard, &cfg, 0, Some(0.01), UpdateStrategy::GlobalMem, None).unwrap();
+        assert!(shard.vel.as_slice().iter().all(|v| v.abs() <= 0.01));
+    }
+
+    #[test]
+    fn weights_match_philox_streams() {
+        let dev = Device::v100();
+        let cfg = cfg();
+        let mut shard = setup(&dev, &cfg);
+        gen_weights(&dev, &mut shard, &cfg, 3).unwrap();
+        let rng = Philox::new(cfg.seed);
+        assert_eq!(shard.l.as_slice()[7], rng.uniform_at(7, domains::l_matrix(3)));
+        assert_eq!(shard.g.as_slice()[0], rng.uniform_at(0, domains::g_matrix(3)));
+    }
+}

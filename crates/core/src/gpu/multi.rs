@@ -1,0 +1,353 @@
+//! Multi-GPU FastPSO (paper §3.5, "Supporting multiple GPUs").
+//!
+//! Two strategies, as sketched in the paper:
+//!
+//! * **Particle splitting** — the swarm is split into per-device sub-swarms,
+//!   each maintaining its *own* local-global best; bests are exchanged
+//!   (asynchronously in the paper; here every `sync_every` iterations).
+//!   Trajectories differ from the single-GPU run because attraction is
+//!   local between exchanges.
+//! * **Tile matrix** — the element-wise update is sharded across devices,
+//!   but a single global best is reduced every iteration, so the
+//!   trajectory is **bit-identical** to the single-GPU run (the tests rely
+//!   on this).
+//!
+//! Modeled wall-clock for a group is the per-device maximum — devices run
+//! concurrently — plus the charged exchange traffic.
+
+use crate::backend::PsoBackend;
+use crate::config::{BoundSchedule, PsoConfig};
+use crate::error::PsoError;
+use crate::result::RunResult;
+use crate::swarm::Swarm;
+use fastpso_functions::Objective;
+use gpu_sim::{DeviceGroup, Phase, Timeline};
+
+use super::kernels::{
+    adopt_gbest_from_host, adopt_gbest_local, eval_shard, gen_weights, init_shard, local_argmin,
+    pbest_update, swarm_update, Shard, UpdateStrategy,
+};
+
+/// Multi-GPU work decomposition (paper §3.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MultiGpuStrategy {
+    /// Independent sub-swarms with periodic best exchange.
+    ParticleSplit {
+        /// Exchange the global best every this many iterations.
+        sync_every: usize,
+    },
+    /// Sharded element-wise update with a global reduction per iteration.
+    TileMatrix,
+}
+
+/// FastPSO across a device group.
+pub struct MultiGpuBackend {
+    group: DeviceGroup,
+    strategy: MultiGpuStrategy,
+    update: UpdateStrategy,
+}
+
+impl MultiGpuBackend {
+    /// FastPSO on `n_devices` V100s with the given decomposition.
+    pub fn new(n_devices: usize, strategy: MultiGpuStrategy) -> Self {
+        Self::with_group(DeviceGroup::v100s(n_devices.max(1)), strategy)
+    }
+
+    /// FastPSO on an explicit device group.
+    pub fn with_group(group: DeviceGroup, strategy: MultiGpuStrategy) -> Self {
+        MultiGpuBackend {
+            group,
+            strategy,
+            update: UpdateStrategy::GlobalMem,
+        }
+    }
+
+    /// Select the per-device swarm-update memory strategy.
+    pub fn update_strategy(mut self, s: UpdateStrategy) -> Self {
+        self.update = s;
+        self
+    }
+
+    /// The backing device group.
+    pub fn group(&self) -> &DeviceGroup {
+        &self.group
+    }
+
+    /// Split `n` rows into per-device `(row0, rows)` shards, spreading the
+    /// remainder over the leading devices.
+    fn partition(&self, n: usize) -> Vec<(usize, usize)> {
+        let k = self.group.len();
+        let base = n / k;
+        let extra = n % k;
+        let mut out = Vec::with_capacity(k);
+        let mut row0 = 0;
+        for i in 0..k {
+            let rows = base + usize::from(i < extra);
+            out.push((row0, rows));
+            row0 += rows;
+        }
+        out
+    }
+}
+
+impl PsoBackend for MultiGpuBackend {
+    fn name(&self) -> &'static str {
+        match self.strategy {
+            MultiGpuStrategy::ParticleSplit { .. } => "fastpso-multi-split",
+            MultiGpuStrategy::TileMatrix => "fastpso-multi-tile",
+        }
+    }
+
+    fn run(&self, cfg: &PsoConfig, obj: &dyn Objective) -> Result<RunResult, PsoError> {
+        if self.group.is_empty() {
+            return Err(PsoError::InvalidConfig("empty device group".into()));
+        }
+        if cfg.topology != crate::topology::Topology::Global {
+            return Err(PsoError::InvalidConfig(
+                "multi-GPU backends support the global topology only (ring windows \
+                 would span device boundaries)"
+                    .into(),
+            ));
+        }
+        if cfg.n_particles < self.group.len() {
+            return Err(PsoError::InvalidConfig(format!(
+                "{} particles cannot be split over {} devices",
+                cfg.n_particles,
+                self.group.len()
+            )));
+        }
+        self.group.reset_timelines();
+        let domain = obj.domain();
+        let mut sched = BoundSchedule::new(cfg, domain);
+        let d = cfg.dim;
+
+        // Allocate and initialize one shard per device.
+        let mut shards: Vec<Shard> = Vec::with_capacity(self.group.len());
+        for (i, (row0, rows)) in self.partition(cfg.n_particles).into_iter().enumerate() {
+            let dev = self.group.device(i)?;
+            let mut shard = Shard::alloc(dev, row0, rows, d)?;
+            init_shard(dev, &mut shard, cfg, domain)?;
+            shards.push(shard);
+        }
+
+        let mut history = if cfg.record_history {
+            Some(Vec::with_capacity(cfg.max_iter))
+        } else {
+            None
+        };
+        // Host-side copy of the global best for broadcast.
+        let mut global_best_err = f32::INFINITY;
+        let mut global_best_pos = vec![0.0f32; d];
+        let mut stagnant = 0usize;
+        let mut iterations_run = 0usize;
+
+        for t in 0..cfg.max_iter {
+            iterations_run = t + 1;
+            let gbest_before = global_best_err;
+            // Per-device: eval, pbest, local argmin.
+            let mut locals = Vec::with_capacity(shards.len());
+            for (i, shard) in shards.iter_mut().enumerate() {
+                let dev = self.group.device(i)?;
+                eval_shard(dev, shard, obj)?;
+                pbest_update(dev, shard)?;
+                locals.push(local_argmin(dev, shard)?);
+            }
+
+            let sync_now = match self.strategy {
+                MultiGpuStrategy::TileMatrix => true,
+                MultiGpuStrategy::ParticleSplit { sync_every } => {
+                    sync_every != 0 && (t + 1) % sync_every == 0
+                }
+            };
+
+            if sync_now {
+                // Global reduction: every device publishes its local best
+                // (value + position row), the winner is broadcast.
+                self.group.exchange(Phase::GBest, (d as u64 + 1) * 4);
+                let (mut win_dev, mut win) = (0usize, locals[0]);
+                for (i, r) in locals.iter().enumerate().skip(1) {
+                    if r.value < win.value || (r.value == win.value && r.index < win.index) {
+                        win_dev = i;
+                        win = *r;
+                    }
+                }
+                if win.value < global_best_err {
+                    global_best_err = win.value;
+                    let shard = &shards[win_dev];
+                    let local = win.index - shard.row0;
+                    global_best_pos
+                        .copy_from_slice(&shard.pbest_pos.as_slice()[local * d..(local + 1) * d]);
+                }
+                for (i, shard) in shards.iter_mut().enumerate() {
+                    if global_best_err < shard.gbest_err {
+                        let dev = self.group.device(i)?;
+                        if i == win_dev && win.value == global_best_err {
+                            adopt_gbest_local(dev, shard, win.index, global_best_err)?;
+                        } else {
+                            adopt_gbest_from_host(dev, shard, &global_best_pos, global_best_err)?;
+                        }
+                    }
+                }
+            } else {
+                // Particle split between syncs: adopt only the local best.
+                for (i, (shard, r)) in shards.iter_mut().zip(&locals).enumerate() {
+                    if r.value < shard.gbest_err {
+                        let dev = self.group.device(i)?;
+                        adopt_gbest_local(dev, shard, r.index, r.value)?;
+                    }
+                }
+                // Track the global best for reporting even without sync.
+                for (shard, r) in shards.iter().zip(&locals) {
+                    if r.value < global_best_err {
+                        global_best_err = r.value;
+                        let local = r.index - shard.row0;
+                        global_best_pos.copy_from_slice(
+                            &shard.pbest_pos.as_slice()[local * d..(local + 1) * d],
+                        );
+                    }
+                }
+            }
+
+            // Advance the shared adaptive bound, then update per device.
+            sched.note_iteration(global_best_err < gbest_before);
+            for (i, shard) in shards.iter_mut().enumerate() {
+                let dev = self.group.device(i)?;
+                gen_weights(dev, shard, cfg, t)?;
+                swarm_update(dev, shard, cfg, t, sched.current(), self.update, None)?;
+                dev.synchronize(Phase::SwarmUpdate);
+            }
+
+            if let Some(h) = history.as_mut() {
+                h.push(global_best_err);
+            }
+
+            // Early termination, mirroring the single-device backends.
+            if global_best_err < gbest_before {
+                stagnant = 0;
+            } else {
+                stagnant += 1;
+            }
+            if let Some(target) = cfg.target_value {
+                if (global_best_err as f64) <= target {
+                    break;
+                }
+            }
+            if let Some(p) = cfg.patience {
+                if stagnant >= p {
+                    break;
+                }
+            }
+        }
+
+        // Report with the group's concurrent-elapsed semantics: a timeline
+        // whose per-phase values are scaled so the total equals the
+        // max-over-devices wall clock.
+        let merged = self.group.merged_timeline();
+        let wall = self.group.elapsed_seconds();
+        let mut tl = Timeline::new();
+        let total = merged.total_seconds();
+        if total > 0.0 {
+            let scale = wall / total;
+            for (phase, secs) in merged.breakdown() {
+                tl.charge(phase, secs * scale, merged.phase_counters(phase));
+            }
+        }
+
+        Ok(RunResult {
+            best_value: global_best_err as f64,
+            best_position: global_best_pos,
+            iterations: iterations_run,
+            evaluations: (cfg.n_particles * iterations_run) as u64,
+            timeline: tl,
+            history,
+        })
+    }
+}
+
+/// Convenience check used by tests: run the sequential reference and
+/// return its best value for comparison.
+#[doc(hidden)]
+pub fn host_reference(cfg: &PsoConfig, obj: &dyn Objective) -> f64 {
+    let _ = Swarm::init(cfg, obj.domain());
+    crate::seq::SeqBackend
+        .run(cfg, obj)
+        .map(|r| r.best_value)
+        .unwrap_or(f64::INFINITY)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gpu::GpuBackend;
+    use fastpso_functions::builtins::{Rastrigin, Sphere};
+
+    fn cfg(n: usize, d: usize, iters: usize) -> PsoConfig {
+        PsoConfig::builder(n, d).max_iter(iters).seed(33).build().unwrap()
+    }
+
+    #[test]
+    fn tile_matrix_matches_single_gpu_bitwise() {
+        let c = cfg(48, 6, 50);
+        let single = GpuBackend::new().run(&c, &Sphere).unwrap();
+        for devices in [2, 3, 5] {
+            let multi = MultiGpuBackend::new(devices, MultiGpuStrategy::TileMatrix)
+                .run(&c, &Sphere)
+                .unwrap();
+            assert_eq!(single.best_value, multi.best_value, "devices={devices}");
+            assert_eq!(single.best_position, multi.best_position);
+        }
+    }
+
+    #[test]
+    fn particle_split_still_converges() {
+        let c = cfg(64, 6, 120);
+        let r = MultiGpuBackend::new(4, MultiGpuStrategy::ParticleSplit { sync_every: 10 })
+            .run(&c, &Sphere)
+            .unwrap();
+        assert!(r.best_value < 1.0, "best = {}", r.best_value);
+    }
+
+    #[test]
+    fn particle_split_differs_from_tile_matrix() {
+        let c = cfg(64, 6, 60);
+        let a = MultiGpuBackend::new(4, MultiGpuStrategy::ParticleSplit { sync_every: 25 })
+            .run(&c, &Rastrigin)
+            .unwrap();
+        let b = MultiGpuBackend::new(4, MultiGpuStrategy::TileMatrix)
+            .run(&c, &Rastrigin)
+            .unwrap();
+        assert_ne!(a.best_position, b.best_position);
+    }
+
+    #[test]
+    fn more_devices_reduce_modeled_time_on_large_swarms() {
+        let c = cfg(4096, 64, 10);
+        let t1 = MultiGpuBackend::new(1, MultiGpuStrategy::TileMatrix)
+            .run(&c, &Sphere)
+            .unwrap()
+            .elapsed_seconds();
+        let t4 = MultiGpuBackend::new(4, MultiGpuStrategy::TileMatrix)
+            .run(&c, &Sphere)
+            .unwrap()
+            .elapsed_seconds();
+        assert!(t4 < t1, "t4={t4} not faster than t1={t1}");
+    }
+
+    #[test]
+    fn rejects_more_devices_than_particles() {
+        let c = cfg(2, 4, 5);
+        let err = MultiGpuBackend::new(4, MultiGpuStrategy::TileMatrix)
+            .run(&c, &Sphere)
+            .unwrap_err();
+        assert!(matches!(err, PsoError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn uneven_partition_covers_all_rows() {
+        let b = MultiGpuBackend::new(3, MultiGpuStrategy::TileMatrix);
+        let parts = b.partition(10);
+        assert_eq!(parts, vec![(0, 4), (4, 3), (7, 3)]);
+        let total: usize = parts.iter().map(|(_, r)| r).sum();
+        assert_eq!(total, 10);
+    }
+}

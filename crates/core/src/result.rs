@@ -1,0 +1,94 @@
+//! Run results and reporting helpers.
+
+use perf_model::{Phase, Timeline};
+
+/// The outcome of one PSO run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Best objective value found (`gbest`).
+    pub best_value: f64,
+    /// Position achieving the best value.
+    pub best_position: Vec<f32>,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Objective evaluations performed (`n × iterations`).
+    pub evaluations: u64,
+    /// Modeled time and counters, attributed to the paper's five phases.
+    pub timeline: Timeline,
+    /// Per-iteration `gbest` history (present when
+    /// [`crate::PsoConfig::record_history`] was set).
+    pub history: Option<Vec<f32>>,
+}
+
+impl RunResult {
+    /// Total modeled seconds of the run.
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.timeline.total_seconds()
+    }
+
+    /// Modeled seconds attributed to one phase (Figure 5's bars).
+    pub fn phase_seconds(&self, phase: Phase) -> f64 {
+        self.timeline.seconds(phase)
+    }
+
+    /// Error of the best value against a known optimum (Table 2's metric).
+    pub fn error_to(&self, optimum: f64) -> f64 {
+        (self.best_value - optimum).abs()
+    }
+
+    /// Whether the `gbest` history is monotonically non-increasing — a PSO
+    /// invariant used by tests.
+    pub fn history_is_monotone(&self) -> Option<bool> {
+        self.history
+            .as_ref()
+            .map(|h| h.windows(2).all(|w| w[1] <= w[0]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perf_model::Counters;
+
+    fn mk(history: Option<Vec<f32>>) -> RunResult {
+        let mut tl = Timeline::new();
+        tl.charge(Phase::SwarmUpdate, 2.0, Counters::new());
+        tl.charge(Phase::Eval, 1.0, Counters::new());
+        RunResult {
+            best_value: 3.0,
+            best_position: vec![0.0; 4],
+            iterations: 10,
+            evaluations: 100,
+            timeline: tl,
+            history,
+        }
+    }
+
+    #[test]
+    fn elapsed_and_phase_accessors() {
+        let r = mk(None);
+        assert!((r.elapsed_seconds() - 3.0).abs() < 1e-12);
+        assert!((r.phase_seconds(Phase::Eval) - 1.0).abs() < 1e-12);
+        assert_eq!(r.phase_seconds(Phase::Init), 0.0);
+    }
+
+    #[test]
+    fn error_to_is_absolute() {
+        let r = mk(None);
+        assert_eq!(r.error_to(0.0), 3.0);
+        assert_eq!(r.error_to(5.0), 2.0);
+    }
+
+    #[test]
+    fn monotonicity_check() {
+        assert_eq!(mk(None).history_is_monotone(), None);
+        assert_eq!(
+            mk(Some(vec![5.0, 4.0, 4.0, 1.0])).history_is_monotone(),
+            Some(true)
+        );
+        assert_eq!(
+            mk(Some(vec![5.0, 6.0])).history_is_monotone(),
+            Some(false)
+        );
+    }
+}

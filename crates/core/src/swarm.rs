@@ -1,0 +1,241 @@
+//! Host-side swarm state: the `n × d` matrices the paper's §3.4 models the
+//! update over, plus per-particle and global bests.
+//!
+//! All matrices are row-major `n × d` flat vectors (particle-major), the
+//! layout that makes FastPSO's element-wise kernels coalesced.
+
+use crate::config::PsoConfig;
+use fastpso_prng::Philox;
+
+/// Philox stream domains used by every deterministic backend. Keeping the
+/// scheme in one place is what makes seq/par/GPU trajectories bit-identical.
+pub mod domains {
+    /// Initial positions.
+    pub const INIT_POS: u64 = 0;
+    /// Initial velocities.
+    pub const INIT_VEL: u64 = 1;
+    /// `L` (cognitive) weight matrix of iteration `t`.
+    pub fn l_matrix(t: usize) -> u64 {
+        2 + 2 * t as u64
+    }
+    /// `G` (social) weight matrix of iteration `t`.
+    pub fn g_matrix(t: usize) -> u64 {
+        3 + 2 * t as u64
+    }
+}
+
+/// Complete swarm state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Swarm {
+    /// Particle count `n`.
+    pub n: usize,
+    /// Dimensionality `d`.
+    pub d: usize,
+    /// Positions `P`, row-major `n × d`.
+    pub pos: Vec<f32>,
+    /// Velocities `V`, row-major `n × d`.
+    pub vel: Vec<f32>,
+    /// Current per-particle errors (`perror` in Algorithm 1).
+    pub errors: Vec<f32>,
+    /// Best error seen by each particle (`pbest`).
+    pub pbest_err: Vec<f32>,
+    /// Position at which each particle saw its best error.
+    pub pbest_pos: Vec<f32>,
+    /// Best error seen by the swarm (`gbest`).
+    pub gbest_err: f32,
+    /// Position of the swarm best.
+    pub gbest_pos: Vec<f32>,
+}
+
+impl Swarm {
+    /// Deterministically initialize a swarm from the config's seed: the
+    /// paper's step (i). Positions are uniform over the domain; velocities
+    /// are uniform over `± init_velocity_scale · (hi − lo)`.
+    pub fn init(cfg: &PsoConfig, domain: (f32, f32)) -> Self {
+        let (n, d) = (cfg.n_particles, cfg.dim);
+        let rng = Philox::new(cfg.seed);
+        let (lo, hi) = domain;
+        let vscale = cfg.init_velocity_scale * (hi - lo);
+        let mut pos = vec![0.0f32; n * d];
+        let mut vel = vec![0.0f32; n * d];
+        rng.fill_uniform(&mut pos, domains::INIT_POS, 0, lo, hi);
+        rng.fill_uniform(&mut vel, domains::INIT_VEL, 0, -vscale, vscale);
+        Swarm {
+            n,
+            d,
+            pos,
+            vel,
+            errors: vec![f32::INFINITY; n],
+            pbest_err: vec![f32::INFINITY; n],
+            pbest_pos: vec![0.0; n * d],
+            gbest_err: f32::INFINITY,
+            gbest_pos: vec![0.0; d],
+        }
+    }
+
+    /// Position row of particle `i`.
+    pub fn position(&self, i: usize) -> &[f32] {
+        &self.pos[i * self.d..(i + 1) * self.d]
+    }
+
+    /// Velocity row of particle `i`.
+    pub fn velocity(&self, i: usize) -> &[f32] {
+        &self.vel[i * self.d..(i + 1) * self.d]
+    }
+
+    /// `pbest` position row of particle `i`.
+    pub fn pbest_position(&self, i: usize) -> &[f32] {
+        &self.pbest_pos[i * self.d..(i + 1) * self.d]
+    }
+
+    /// Swarm diversity: mean Euclidean distance of particles from the
+    /// swarm centroid. A collapsing swarm drives this toward zero; the
+    /// inertia-decay schedule is expected to shrink it monotonically on
+    /// average over a run.
+    pub fn diversity(&self) -> f32 {
+        let (n, d) = (self.n, self.d);
+        let mut centroid = vec![0.0f64; d];
+        for row in self.pos.chunks_exact(d) {
+            for (c, &v) in centroid.iter_mut().zip(row) {
+                *c += v as f64;
+            }
+        }
+        for c in centroid.iter_mut() {
+            *c /= n as f64;
+        }
+        let mut total = 0.0f64;
+        for row in self.pos.chunks_exact(d) {
+            let dist2: f64 = row
+                .iter()
+                .zip(&centroid)
+                .map(|(&v, &c)| {
+                    let e = v as f64 - c;
+                    e * e
+                })
+                .sum();
+            total += dist2.sqrt();
+        }
+        (total / n as f64) as f32
+    }
+
+    /// Check the cross-field invariants the property tests rely on:
+    /// `gbest == min(pbest)`, every `pbest ≤` its particle's current error,
+    /// and shapes are consistent. Returns a description of the first
+    /// violation, if any.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let nd = self.n * self.d;
+        if self.pos.len() != nd || self.vel.len() != nd || self.pbest_pos.len() != nd {
+            return Err("matrix shape mismatch".into());
+        }
+        if self.errors.len() != self.n || self.pbest_err.len() != self.n {
+            return Err("per-particle vector shape mismatch".into());
+        }
+        if self.gbest_pos.len() != self.d {
+            return Err("gbest_pos shape mismatch".into());
+        }
+        let min_pbest = self
+            .pbest_err
+            .iter()
+            .copied()
+            .fold(f32::INFINITY, f32::min);
+        if self.gbest_err.is_finite() && (self.gbest_err - min_pbest).abs() > 0.0 {
+            return Err(format!(
+                "gbest {} != min(pbest) {min_pbest}",
+                self.gbest_err
+            ));
+        }
+        for (i, (&pb, &e)) in self.pbest_err.iter().zip(&self.errors).enumerate() {
+            if e.is_finite() && pb > e {
+                return Err(format!("pbest[{i}] = {pb} > error[{i}] = {e}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PsoConfig;
+
+    fn small_cfg() -> PsoConfig {
+        PsoConfig::builder(8, 4).max_iter(5).seed(3).build().unwrap()
+    }
+
+    #[test]
+    fn init_respects_domain_and_velocity_scale() {
+        let cfg = small_cfg();
+        let s = Swarm::init(&cfg, (-5.0, 5.0));
+        assert!(s.pos.iter().all(|&x| (-5.0..5.0).contains(&x)));
+        let vmax = cfg.init_velocity_scale * 10.0;
+        assert!(s.vel.iter().all(|&v| (-vmax..vmax).contains(&v)));
+        assert!(s.pbest_err.iter().all(|&e| e == f32::INFINITY));
+        assert_eq!(s.gbest_err, f32::INFINITY);
+    }
+
+    #[test]
+    fn init_is_deterministic_in_seed() {
+        let cfg = small_cfg();
+        let a = Swarm::init(&cfg, (-1.0, 1.0));
+        let b = Swarm::init(&cfg, (-1.0, 1.0));
+        assert_eq!(a, b);
+        let cfg2 = PsoConfig::builder(8, 4).max_iter(5).seed(4).build().unwrap();
+        let c = Swarm::init(&cfg2, (-1.0, 1.0));
+        assert_ne!(a.pos, c.pos);
+    }
+
+    #[test]
+    fn row_accessors_slice_correctly() {
+        let cfg = small_cfg();
+        let s = Swarm::init(&cfg, (0.0, 1.0));
+        assert_eq!(s.position(2), &s.pos[8..12]);
+        assert_eq!(s.velocity(7), &s.vel[28..32]);
+        assert_eq!(s.pbest_position(0), &s.pbest_pos[0..4]);
+    }
+
+    #[test]
+    fn invariants_hold_after_init_and_detect_violations() {
+        let cfg = small_cfg();
+        let mut s = Swarm::init(&cfg, (0.0, 1.0));
+        assert!(s.check_invariants().is_ok());
+        s.gbest_err = 1.0; // finite but pbest are infinite
+        assert!(s.check_invariants().is_err());
+        let mut s = Swarm::init(&cfg, (0.0, 1.0));
+        s.pos.pop();
+        assert!(s.check_invariants().is_err());
+    }
+
+    #[test]
+    fn diversity_is_zero_for_a_collapsed_swarm_and_positive_otherwise() {
+        let cfg = small_cfg();
+        let mut s = Swarm::init(&cfg, (-1.0, 1.0));
+        assert!(s.diversity() > 0.0);
+        let row = s.pos[..s.d].to_vec();
+        for i in 0..s.n {
+            s.pos[i * s.d..(i + 1) * s.d].copy_from_slice(&row);
+        }
+        assert!(s.diversity() < 1e-6);
+    }
+
+    #[test]
+    fn diversity_scales_with_spread() {
+        let cfg = small_cfg();
+        let tight = Swarm::init(&cfg, (-0.1, 0.1)).diversity();
+        let wide = Swarm::init(&cfg, (-10.0, 10.0)).diversity();
+        assert!(wide > tight * 10.0, "wide {wide} vs tight {tight}");
+    }
+
+    #[test]
+    fn rng_domains_are_distinct() {
+        assert_ne!(domains::l_matrix(0), domains::g_matrix(0));
+        assert_ne!(domains::l_matrix(1), domains::g_matrix(0));
+        assert_ne!(domains::INIT_POS, domains::INIT_VEL);
+        let mut all: Vec<u64> = (0..100)
+            .flat_map(|t| [domains::l_matrix(t), domains::g_matrix(t)])
+            .collect();
+        all.push(domains::INIT_POS);
+        all.push(domains::INIT_VEL);
+        let set: std::collections::HashSet<_> = all.iter().collect();
+        assert_eq!(set.len(), all.len());
+    }
+}

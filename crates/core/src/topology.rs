@@ -1,0 +1,139 @@
+//! Swarm communication topologies.
+//!
+//! The paper's FastPSO uses the *global-best* (star) topology: every
+//! particle is attracted toward the single swarm best. A production PSO
+//! library also offers *local-best* topologies, which trade convergence
+//! speed for resistance to premature convergence — the paper's §6 names
+//! richer swarm structures as future work, and the multi-GPU
+//! particle-split strategy is itself a coarse local-best scheme. The ring
+//! topology here is the classic `lbest` variant: particle `i`'s social
+//! attractor is the best `pbest` within `k` neighbours on each side of a
+//! circular arrangement.
+//!
+//! Neighborhood bests are computed with the same deterministic tie rule as
+//! the global reduction (lowest index wins), so runs remain bit-identical
+//! across backends.
+
+/// Swarm communication structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Topology {
+    /// Star / global best (the paper's FastPSO).
+    #[default]
+    Global,
+    /// Ring with `k` neighbours on each side (`lbest`); `k = 0` degrades
+    /// to pure cognition (each particle follows only its own best).
+    Ring {
+        /// Neighbours on each side.
+        k: usize,
+    },
+}
+
+impl Topology {
+    /// Number of particles each particle communicates with (including
+    /// itself) in a swarm of `n`.
+    pub fn neighborhood_size(&self, n: usize) -> usize {
+        match self {
+            Topology::Global => n,
+            Topology::Ring { k } => (2 * k + 1).min(n),
+        }
+    }
+}
+
+/// Compute each particle's neighborhood-best index under a ring topology.
+///
+/// `out[i]` is the index of the best `pbest` among
+/// `{i-k, ..., i, ..., i+k}` (circular). Ties resolve to the smallest
+/// index in *absolute* terms, matching a deterministic scan.
+pub fn ring_neighborhood_best(pbest_err: &[f32], k: usize, out: &mut [usize]) {
+    let n = pbest_err.len();
+    assert_eq!(out.len(), n, "output length");
+    if n == 0 {
+        return;
+    }
+    let k = k.min(n / 2);
+    for (i, slot) in out.iter_mut().enumerate() {
+        let mut best_idx = i;
+        let mut best_val = pbest_err[i];
+        for off in 1..=k {
+            for j in [(i + n - off) % n, (i + off) % n] {
+                let v = pbest_err[j];
+                if v < best_val || (v == best_val && j < best_idx) {
+                    best_idx = j;
+                    best_val = v;
+                }
+            }
+        }
+        *slot = best_idx;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn neighborhood_sizes() {
+        assert_eq!(Topology::Global.neighborhood_size(10), 10);
+        assert_eq!(Topology::Ring { k: 2 }.neighborhood_size(10), 5);
+        assert_eq!(Topology::Ring { k: 8 }.neighborhood_size(10), 10);
+    }
+
+    #[test]
+    fn ring_best_matches_brute_force() {
+        let err = vec![5.0, 1.0, 4.0, 0.5, 9.0, 2.0];
+        let n = err.len();
+        for k in 0..=3 {
+            let mut out = vec![0; n];
+            ring_neighborhood_best(&err, k, &mut out);
+            for i in 0..n {
+                // Brute force over the circular window.
+                let mut cands: Vec<usize> = (0..n)
+                    .filter(|&j| {
+                        let fwd = (j + n - i) % n;
+                        let bwd = (i + n - j) % n;
+                        fwd.min(bwd) <= k.min(n / 2)
+                    })
+                    .collect();
+                cands.sort();
+                let best = cands
+                    .iter()
+                    .copied()
+                    .min_by(|&a, &b| {
+                        err[a]
+                            .partial_cmp(&err[b])
+                            .unwrap()
+                            .then(a.cmp(&b))
+                    })
+                    .unwrap();
+                assert_eq!(out[i], best, "k={k}, i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn k_zero_is_pure_cognition() {
+        let err = vec![3.0, 1.0, 2.0];
+        let mut out = vec![0; 3];
+        ring_neighborhood_best(&err, 0, &mut out);
+        assert_eq!(out, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn full_ring_equals_global_argmin() {
+        let err = vec![3.0, 1.0, 2.0, 1.0, 8.0];
+        let mut out = vec![0; 5];
+        ring_neighborhood_best(&err, 2, &mut out);
+        // k = n/2 covers the whole ring; the duplicate minimum at index 1
+        // and 3 resolves to 1 everywhere.
+        assert!(out.iter().all(|&b| b == 1), "{out:?}");
+    }
+
+    #[test]
+    fn empty_and_single_particle() {
+        let mut out = vec![];
+        ring_neighborhood_best(&[], 3, &mut out);
+        let mut out = vec![0];
+        ring_neighborhood_best(&[7.0], 3, &mut out);
+        assert_eq!(out, vec![0]);
+    }
+}

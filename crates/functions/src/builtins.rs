@@ -1,0 +1,498 @@
+//! Built-in benchmark functions (Molga & Smutnicki, "Test functions for
+//! optimization needs", 2005 — the paper's reference [20]).
+//!
+//! The first three are the ones the paper evaluates directly:
+//!
+//! * **Sphere** — `f(x) = Σ xᵢ²`, domain (−5.12, 5.12), min 0 at 0;
+//! * **Griewank** — `f(x) = Σ xᵢ²/4000 − Π cos(xᵢ/√i) + 1`, domain
+//!   (−600, 600), min 0 at 0;
+//! * **Easom** (generalized) — `f(x) = −(−1)^d (Π cos²xᵢ)·exp[−Σ(xᵢ−π)²]`,
+//!   domain (−2π, 2π), min −1 at x = π for even `d`.
+//!
+//! The remaining seven give the library the breadth of a real PSO toolkit
+//! and exercise different landscapes (multi-modal, ill-conditioned,
+//! plateaued) in tests and examples.
+
+use crate::objective::Objective;
+use std::f32::consts::PI;
+
+/// `Σ xᵢ²` — convex bowl; the easiest sanity workload.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Sphere;
+
+impl Objective for Sphere {
+    fn name(&self) -> &str {
+        "Sphere"
+    }
+    fn eval(&self, x: &[f32]) -> f32 {
+        x.iter().map(|v| v * v).sum()
+    }
+    fn domain(&self) -> (f32, f32) {
+        (-5.12, 5.12)
+    }
+    fn optimum(&self, _d: usize) -> Option<f64> {
+        Some(0.0)
+    }
+    fn flops_per_dim(&self) -> u64 {
+        2
+    }
+}
+
+/// `1 + Σ xᵢ²/4000 − Π cos(xᵢ/√i)` — many shallow local minima.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Griewank;
+
+impl Objective for Griewank {
+    fn name(&self) -> &str {
+        "Griewank"
+    }
+    fn eval(&self, x: &[f32]) -> f32 {
+        let mut sum = 0.0f32;
+        let mut prod = 1.0f32;
+        for (i, &v) in x.iter().enumerate() {
+            sum += v * v;
+            prod *= (v / ((i + 1) as f32).sqrt()).cos();
+        }
+        sum / 4000.0 - prod + 1.0
+    }
+    fn domain(&self) -> (f32, f32) {
+        (-600.0, 600.0)
+    }
+    fn optimum(&self, _d: usize) -> Option<f64> {
+        Some(0.0)
+    }
+    fn flops_per_dim(&self) -> u64 {
+        12
+    }
+}
+
+/// Generalized Easom — a needle-in-a-haystack: almost flat everywhere with
+/// a sharp minimum at `x = (π, ..., π)`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Easom;
+
+impl Objective for Easom {
+    fn name(&self) -> &str {
+        "Easom"
+    }
+    fn eval(&self, x: &[f32]) -> f32 {
+        let d = x.len();
+        let mut prod = 1.0f32;
+        let mut sum = 0.0f32;
+        for &v in x {
+            let c = v.cos();
+            prod *= c * c;
+            let dv = v - PI;
+            sum += dv * dv;
+        }
+        let sign = if d.is_multiple_of(2) { -1.0 } else { 1.0 };
+        sign * prod * (-sum).exp()
+    }
+    fn domain(&self) -> (f32, f32) {
+        (-2.0 * PI, 2.0 * PI)
+    }
+    fn optimum(&self, d: usize) -> Option<f64> {
+        // At x = π·e the value is −(−1)^d: −1 for even d. For odd d the
+        // function is non-negative and its infimum 0 is attained wherever
+        // any cos(xᵢ) = 0.
+        Some(if d.is_multiple_of(2) { -1.0 } else { 0.0 })
+    }
+    fn flops_per_dim(&self) -> u64 {
+        16
+    }
+}
+
+/// `10d + Σ (xᵢ² − 10 cos 2πxᵢ)` — highly multi-modal with regular wells.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Rastrigin;
+
+impl Objective for Rastrigin {
+    fn name(&self) -> &str {
+        "Rastrigin"
+    }
+    fn eval(&self, x: &[f32]) -> f32 {
+        10.0 * x.len() as f32
+            + x.iter()
+                .map(|&v| v * v - 10.0 * (2.0 * PI * v).cos())
+                .sum::<f32>()
+    }
+    fn domain(&self) -> (f32, f32) {
+        (-5.12, 5.12)
+    }
+    fn optimum(&self, _d: usize) -> Option<f64> {
+        Some(0.0)
+    }
+    fn flops_per_dim(&self) -> u64 {
+        10
+    }
+}
+
+/// `Σ 100(xᵢ₊₁ − xᵢ²)² + (1 − xᵢ)²` — the banana valley.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Rosenbrock;
+
+impl Objective for Rosenbrock {
+    fn name(&self) -> &str {
+        "Rosenbrock"
+    }
+    fn eval(&self, x: &[f32]) -> f32 {
+        x.windows(2)
+            .map(|w| {
+                let t = w[1] - w[0] * w[0];
+                let u = 1.0 - w[0];
+                100.0 * t * t + u * u
+            })
+            .sum()
+    }
+    fn domain(&self) -> (f32, f32) {
+        (-2.048, 2.048)
+    }
+    fn optimum(&self, _d: usize) -> Option<f64> {
+        Some(0.0)
+    }
+    fn flops_per_dim(&self) -> u64 {
+        6
+    }
+}
+
+/// Ackley — nearly flat outer region, deep well at the origin.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Ackley;
+
+impl Objective for Ackley {
+    fn name(&self) -> &str {
+        "Ackley"
+    }
+    fn eval(&self, x: &[f32]) -> f32 {
+        let d = x.len() as f32;
+        let s1: f32 = x.iter().map(|v| v * v).sum::<f32>() / d;
+        let s2: f32 = x.iter().map(|v| (2.0 * PI * v).cos()).sum::<f32>() / d;
+        -20.0 * (-0.2 * s1.sqrt()).exp() - s2.exp() + 20.0 + std::f32::consts::E
+    }
+    fn domain(&self) -> (f32, f32) {
+        (-32.768, 32.768)
+    }
+    fn optimum(&self, _d: usize) -> Option<f64> {
+        Some(0.0)
+    }
+    fn flops_per_dim(&self) -> u64 {
+        14
+    }
+}
+
+/// Schwefel — the global minimum sits near the domain boundary, punishing
+/// premature convergence toward the center.
+///
+/// Outside its ±500 box the raw formula decreases without bound, which an
+/// unclamped optimizer will happily exploit; the standard remedy (used
+/// here) evaluates the formula on the clamped point and adds a quadratic
+/// boundary penalty for the excursion.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Schwefel;
+
+impl Objective for Schwefel {
+    fn name(&self) -> &str {
+        "Schwefel"
+    }
+    fn eval(&self, x: &[f32]) -> f32 {
+        let mut sum = 0.0f32;
+        let mut penalty = 0.0f32;
+        for &v in x {
+            let c = v.clamp(-500.0, 500.0);
+            sum += c * c.abs().sqrt().sin();
+            let over = (v.abs() - 500.0).max(0.0);
+            penalty += 0.02 * over * over;
+        }
+        418.9829 * x.len() as f32 - sum + penalty
+    }
+    fn domain(&self) -> (f32, f32) {
+        (-500.0, 500.0)
+    }
+    fn optimum(&self, _d: usize) -> Option<f64> {
+        Some(0.0)
+    }
+    fn flops_per_dim(&self) -> u64 {
+        10
+    }
+}
+
+/// Levy — plateaus and a parabolic envelope; min 0 at `x = 1`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Levy;
+
+impl Objective for Levy {
+    fn name(&self) -> &str {
+        "Levy"
+    }
+    fn eval(&self, x: &[f32]) -> f32 {
+        let w = |v: f32| 1.0 + (v - 1.0) / 4.0;
+        let d = x.len();
+        let w0 = w(x[0]);
+        let mut f = (PI * w0).sin().powi(2);
+        for &v in &x[..d - 1] {
+            let wi = w(v);
+            f += (wi - 1.0).powi(2) * (1.0 + 10.0 * (PI * wi + 1.0).sin().powi(2));
+        }
+        let wd = w(x[d - 1]);
+        f += (wd - 1.0).powi(2) * (1.0 + (2.0 * PI * wd).sin().powi(2));
+        f
+    }
+    fn domain(&self) -> (f32, f32) {
+        (-10.0, 10.0)
+    }
+    fn optimum(&self, _d: usize) -> Option<f64> {
+        Some(0.0)
+    }
+    fn flops_per_dim(&self) -> u64 {
+        18
+    }
+}
+
+/// Zakharov — unimodal with a growing quartic ridge.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Zakharov;
+
+impl Objective for Zakharov {
+    fn name(&self) -> &str {
+        "Zakharov"
+    }
+    fn eval(&self, x: &[f32]) -> f32 {
+        let s1: f32 = x.iter().map(|v| v * v).sum();
+        let s2: f32 = x
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| 0.5 * (i + 1) as f32 * v)
+            .sum();
+        s1 + s2 * s2 + s2 * s2 * s2 * s2
+    }
+    fn domain(&self) -> (f32, f32) {
+        (-5.0, 10.0)
+    }
+    fn optimum(&self, _d: usize) -> Option<f64> {
+        Some(0.0)
+    }
+    fn flops_per_dim(&self) -> u64 {
+        5
+    }
+}
+
+/// Styblinski–Tang — min `−39.166·d` near `x = −2.9035`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StyblinskiTang;
+
+impl Objective for StyblinskiTang {
+    fn name(&self) -> &str {
+        "StyblinskiTang"
+    }
+    fn eval(&self, x: &[f32]) -> f32 {
+        0.5 * x
+            .iter()
+            .map(|&v| v * v * v * v - 16.0 * v * v + 5.0 * v)
+            .sum::<f32>()
+    }
+    fn domain(&self) -> (f32, f32) {
+        (-5.0, 5.0)
+    }
+    fn optimum(&self, d: usize) -> Option<f64> {
+        Some(-39.166_165 * d as f64)
+    }
+    fn flops_per_dim(&self) -> u64 {
+        6
+    }
+}
+
+/// Registry of every built-in objective, for CLI lookup and sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Builtin {
+    Sphere,
+    Griewank,
+    Easom,
+    Rastrigin,
+    Rosenbrock,
+    Ackley,
+    Schwefel,
+    Levy,
+    Zakharov,
+    StyblinskiTang,
+}
+
+impl Builtin {
+    /// All built-ins.
+    pub const ALL: [Builtin; 10] = [
+        Builtin::Sphere,
+        Builtin::Griewank,
+        Builtin::Easom,
+        Builtin::Rastrigin,
+        Builtin::Rosenbrock,
+        Builtin::Ackley,
+        Builtin::Schwefel,
+        Builtin::Levy,
+        Builtin::Zakharov,
+        Builtin::StyblinskiTang,
+    ];
+
+    /// The three built-ins the paper's evaluation uses.
+    pub const PAPER: [Builtin; 3] = [Builtin::Sphere, Builtin::Griewank, Builtin::Easom];
+
+    /// Look up a built-in by (case-insensitive) name.
+    pub fn by_name(name: &str) -> Option<Builtin> {
+        Self::ALL
+            .iter()
+            .copied()
+            .find(|b| b.objective().name().eq_ignore_ascii_case(name))
+    }
+
+    /// The objective implementation.
+    pub fn objective(&self) -> &'static dyn Objective {
+        match self {
+            Builtin::Sphere => &Sphere,
+            Builtin::Griewank => &Griewank,
+            Builtin::Easom => &Easom,
+            Builtin::Rastrigin => &Rastrigin,
+            Builtin::Rosenbrock => &Rosenbrock,
+            Builtin::Ackley => &Ackley,
+            Builtin::Schwefel => &Schwefel,
+            Builtin::Levy => &Levy,
+            Builtin::Zakharov => &Zakharov,
+            Builtin::StyblinskiTang => &StyblinskiTang,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_near(a: f32, b: f32, eps: f32, what: &str) {
+        assert!((a - b).abs() <= eps, "{what}: {a} vs {b}");
+    }
+
+    #[test]
+    fn sphere_values() {
+        assert_eq!(Sphere.eval(&[0.0; 8]), 0.0);
+        assert_eq!(Sphere.eval(&[3.0, 4.0]), 25.0);
+        assert_eq!(Sphere.optimum(100), Some(0.0));
+    }
+
+    #[test]
+    fn griewank_is_zero_at_origin_and_positive_elsewhere() {
+        assert_near(Griewank.eval(&[0.0; 10]), 0.0, 1e-6, "origin");
+        assert!(Griewank.eval(&[100.0, -250.0, 9.0]) > 1.0);
+    }
+
+    #[test]
+    fn griewank_uses_sqrt_index_scaling() {
+        // f([x, 0]) = x²/4000 − cos(x) + 1 exactly (second factor cos(0)=1).
+        let x = 2.0f32;
+        let expect = x * x / 4000.0 - x.cos() + 1.0;
+        assert_near(Griewank.eval(&[x, 0.0]), expect, 1e-6, "2d slice");
+    }
+
+    #[test]
+    fn easom_minimum_at_pi_for_even_d() {
+        let d = 4;
+        let x = vec![PI; d];
+        assert_near(Easom.eval(&x), -1.0, 1e-5, "min");
+        assert_eq!(Easom.optimum(d), Some(-1.0));
+        assert_eq!(Easom.optimum(3), Some(0.0));
+        // Far away the function is ~0.
+        assert_near(Easom.eval(&[0.0; 4]), 0.0, 1e-6, "far");
+    }
+
+    #[test]
+    fn easom_classic_2d_value() {
+        // Classic Easom: f(π, π) = −1, f(0, 0) = −cos²·exp(−2π²) ≈ −3e−9.
+        assert_near(Easom.eval(&[PI, PI]), -1.0, 1e-6, "classic min");
+    }
+
+    #[test]
+    fn rastrigin_zero_at_origin_with_local_minima_at_integers() {
+        assert_near(Rastrigin.eval(&[0.0; 5]), 0.0, 1e-5, "origin");
+        let local = Rastrigin.eval(&[1.0, 0.0, 0.0, 0.0, 0.0]);
+        assert_near(local, 1.0, 1e-4, "integer well depth");
+    }
+
+    #[test]
+    fn rosenbrock_zero_on_unit_diagonal() {
+        assert_eq!(Rosenbrock.eval(&[1.0; 6]), 0.0);
+        assert_eq!(Rosenbrock.eval(&[0.0; 2]), 1.0);
+    }
+
+    #[test]
+    fn ackley_zero_at_origin() {
+        assert_near(Ackley.eval(&[0.0; 10]), 0.0, 1e-5, "origin");
+        assert!(Ackley.eval(&[10.0; 10]) > 15.0);
+    }
+
+    #[test]
+    fn schwefel_near_zero_at_known_minimizer() {
+        let x = vec![420.9687f32; 4];
+        assert_near(Schwefel.eval(&x), 0.0, 1e-2, "minimizer");
+    }
+
+    #[test]
+    fn schwefel_cannot_be_exploited_outside_the_domain() {
+        // The raw formula decreases without bound past the box; the
+        // penalized form must not.
+        let x = vec![5000.0f32; 4];
+        assert!(Schwefel.eval(&x) > 0.0, "boundary penalty missing");
+        let near_opt = Schwefel.eval(&[420.9687f32; 4]);
+        assert!(Schwefel.eval(&x) > near_opt);
+    }
+
+    #[test]
+    fn levy_zero_at_ones() {
+        assert_near(Levy.eval(&[1.0; 7]), 0.0, 1e-6, "ones");
+        assert!(Levy.eval(&[-5.0; 7]) > 1.0);
+    }
+
+    #[test]
+    fn zakharov_zero_at_origin_and_grows_quartically() {
+        assert_eq!(Zakharov.eval(&[0.0; 3]), 0.0);
+        // s1=1, s2=0.5 → 1 + 0.25 + 0.0625
+        assert_near(Zakharov.eval(&[1.0]), 1.3125, 1e-6, "1d");
+    }
+
+    #[test]
+    fn styblinski_tang_minimum_scales_with_d() {
+        let x = vec![-2.903534f32; 3];
+        let v = StyblinskiTang.eval(&x) as f64;
+        let opt = StyblinskiTang.optimum(3).unwrap();
+        assert!((v - opt).abs() < 1e-3, "v={v}, opt={opt}");
+    }
+
+    #[test]
+    fn registry_lookup_and_coverage() {
+        assert_eq!(Builtin::ALL.len(), 10);
+        for b in Builtin::ALL {
+            let o = b.objective();
+            assert!(!o.name().is_empty());
+            let (lo, hi) = o.domain();
+            assert!(lo < hi);
+            assert!(o.flops_per_dim() > 0);
+        }
+        assert_eq!(Builtin::by_name("sphere"), Some(Builtin::Sphere));
+        assert_eq!(Builtin::by_name("GRIEWANK"), Some(Builtin::Griewank));
+        assert_eq!(Builtin::by_name("nope"), None);
+    }
+
+    #[test]
+    fn paper_subset_is_the_first_three() {
+        assert_eq!(Builtin::PAPER, [Builtin::Sphere, Builtin::Griewank, Builtin::Easom]);
+    }
+
+    #[test]
+    fn all_builtins_are_finite_across_their_domain() {
+        use fastpso_prng::Xoshiro256pp;
+        let mut rng = Xoshiro256pp::new(77);
+        for b in Builtin::ALL {
+            let o = b.objective();
+            let (lo, hi) = o.domain();
+            for _ in 0..200 {
+                let x: Vec<f32> = (0..16).map(|_| rng.next_range(lo, hi)).collect();
+                let v = o.eval(&x);
+                assert!(v.is_finite(), "{} produced {v}", o.name());
+            }
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Swarm evaluation functions (paper §3.2).
+//!
+//! FastPSO ships "a series of built-in evaluation functions ... commonly
+//! used in the Swarm Intelligence community, such as Sphere, Griewank and
+//! Easom", plus a schema through which practitioners register *customized*
+//! evaluation functions that the engine parallelizes automatically. This
+//! crate provides both:
+//!
+//! * [`Objective`] — the evaluation-function contract: a scalar `eval`
+//!   over one position vector, the search domain, the known optimum (for
+//!   error reporting à la Table 2) and a per-dimension flop estimate that
+//!   the GPU cost model uses to price evaluation kernels;
+//! * [`builtins`] — ten standard benchmark functions, including the three
+//!   the paper evaluates (the fourth, `ThreadConf`, lives in the `tgbm`
+//!   crate because it wraps the GBDT substrate);
+//! * [`CustomObjective`] — the user-defined-function schema, the analogue
+//!   of the paper's `evaluation_kernel<L>(int dim, L lambda)` CUDA snippet.
+//!
+//! # Example
+//!
+//! ```
+//! use fastpso_functions::{builtins::Sphere, CustomObjective, Objective};
+//!
+//! assert_eq!(Sphere.eval(&[3.0, 4.0]), 25.0);
+//!
+//! // The custom-objective schema: any closure over a position slice.
+//! let weighted = CustomObjective::new("weighted-sphere", (-1.0, 1.0), 3, |x| {
+//!     x.iter().enumerate().map(|(i, v)| (i + 1) as f32 * v * v).sum()
+//! });
+//! assert_eq!(weighted.eval(&[1.0, 1.0]), 3.0);
+//! ```
+
+pub mod builtins;
+pub mod modifiers;
+pub mod objective;
+pub mod schema;
+
+pub use builtins::{
+    Ackley, Builtin, Easom, Griewank, Levy, Rastrigin, Rosenbrock, Schwefel, Sphere,
+    StyblinskiTang, Zakharov,
+};
+pub use modifiers::{Noisy, Shifted};
+pub use objective::Objective;
+pub use schema::CustomObjective;

@@ -1,0 +1,182 @@
+//! Objective modifiers — compositional wrappers over any [`Objective`].
+//!
+//! Benchmark suites (CEC, BBOB) rarely test raw functions: they shift the
+//! optimum away from the origin (so center-biased optimizers can't cheat)
+//! and add evaluation noise (to test robustness). These wrappers provide
+//! both, preserving the wrapped function's cost estimate for the GPU
+//! model.
+
+use crate::objective::Objective;
+use fastpso_prng::Philox;
+
+/// Translate the search landscape: `f'(x) = f(x − offset)`.
+///
+/// The known optimum *value* is unchanged; its location moves to
+/// `x* + offset`. The shift is a single scalar applied to every dimension
+/// (sufficient to break origin bias while keeping the domain box valid).
+pub struct Shifted<O> {
+    inner: O,
+    offset: f32,
+    name: String,
+}
+
+impl<O: Objective> Shifted<O> {
+    /// Shift `inner` by `offset` in every dimension. The offset should
+    /// keep `x* + offset` inside the domain; this is asserted against the
+    /// domain width.
+    pub fn new(inner: O, offset: f32) -> Self {
+        let (lo, hi) = inner.domain();
+        assert!(
+            offset.abs() < (hi - lo) / 2.0,
+            "offset {offset} larger than half the domain of {}",
+            inner.name()
+        );
+        let name = format!("Shifted{}", inner.name());
+        Shifted { inner, offset, name }
+    }
+
+    /// The configured shift.
+    pub fn offset(&self) -> f32 {
+        self.offset
+    }
+}
+
+impl<O: Objective> Objective for Shifted<O> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn eval(&self, x: &[f32]) -> f32 {
+        // Stack buffer for typical dims; heap for very wide problems.
+        let mut buf = [0.0f32; 256];
+        if x.len() <= buf.len() {
+            let b = &mut buf[..x.len()];
+            for (o, &v) in b.iter_mut().zip(x) {
+                *o = v - self.offset;
+            }
+            self.inner.eval(b)
+        } else {
+            let shifted: Vec<f32> = x.iter().map(|v| v - self.offset).collect();
+            self.inner.eval(&shifted)
+        }
+    }
+    fn domain(&self) -> (f32, f32) {
+        self.inner.domain()
+    }
+    fn optimum(&self, d: usize) -> Option<f64> {
+        self.inner.optimum(d)
+    }
+    fn flops_per_dim(&self) -> u64 {
+        self.inner.flops_per_dim() + 1
+    }
+}
+
+/// Add deterministic pseudo-noise: `f'(x) = f(x) · (1 + amp · u(x))` with
+/// `u(x) ∈ [−1, 1)` drawn from a counter-based hash of the position.
+///
+/// Unlike wall-clock noise, the perturbation is a pure function of the
+/// position, so runs stay reproducible and backend-equivalence tests keep
+/// holding — it models a *rough* landscape rather than a stochastic
+/// evaluator.
+pub struct Noisy<O> {
+    inner: O,
+    amplitude: f32,
+    rng: Philox,
+    name: String,
+}
+
+impl<O: Objective> Noisy<O> {
+    /// Wrap `inner` with relative noise of the given amplitude (e.g. 0.05
+    /// for ±5%).
+    pub fn new(inner: O, amplitude: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&amplitude), "amplitude in [0, 1)");
+        let name = format!("Noisy{}", inner.name());
+        Noisy {
+            inner,
+            amplitude,
+            rng: Philox::new(seed),
+            name,
+        }
+    }
+}
+
+impl<O: Objective> Objective for Noisy<O> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn eval(&self, x: &[f32]) -> f32 {
+        let base = self.inner.eval(x);
+        // Hash the position bits into a counter.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &v in x {
+            h = (h ^ v.to_bits() as u64).wrapping_mul(0x1000_0000_01b3);
+        }
+        let u = self.rng.uniform_range_at(h, 0xD05E, -1.0, 1.0);
+        base * (1.0 + self.amplitude * u)
+    }
+    fn domain(&self) -> (f32, f32) {
+        self.inner.domain()
+    }
+    fn optimum(&self, _d: usize) -> Option<f64> {
+        None // the perturbed optimum is not analytically known
+    }
+    fn flops_per_dim(&self) -> u64 {
+        self.inner.flops_per_dim() + 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builtins::Sphere;
+
+    #[test]
+    fn shifted_moves_the_minimizer_not_the_minimum() {
+        let s = Shifted::new(Sphere, 1.5);
+        assert_eq!(s.eval(&[1.5, 1.5]), 0.0);
+        assert!(s.eval(&[0.0, 0.0]) > 0.0);
+        assert_eq!(s.optimum(2), Some(0.0));
+        assert_eq!(s.name(), "ShiftedSphere");
+        assert_eq!(s.offset(), 1.5);
+    }
+
+    #[test]
+    fn shifted_handles_wide_vectors() {
+        let s = Shifted::new(Sphere, 1.0);
+        let x = vec![1.0f32; 512]; // beyond the stack buffer
+        assert_eq!(s.eval(&x), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "offset")]
+    fn oversized_shift_is_rejected() {
+        let _ = Shifted::new(Sphere, 100.0);
+    }
+
+    #[test]
+    fn noisy_is_deterministic_and_bounded() {
+        let n = Noisy::new(Sphere, 0.1, 7);
+        let x = [1.0f32, 2.0];
+        let a = n.eval(&x);
+        assert_eq!(a, n.eval(&x), "pseudo-noise must be reproducible");
+        let base = Sphere.eval(&x);
+        assert!((a - base).abs() <= 0.1 * base + 1e-6);
+        // A nearby point draws different noise.
+        let b = n.eval(&[1.0, 2.0000002]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn noisy_zero_amplitude_is_transparent() {
+        let n = Noisy::new(Sphere, 0.0, 3);
+        assert_eq!(n.eval(&[3.0, 4.0]), 25.0);
+        assert_eq!(n.optimum(4), None);
+    }
+
+    #[test]
+    fn modifiers_compose() {
+        let composed = Noisy::new(Shifted::new(Sphere, 0.5), 0.05, 1);
+        assert_eq!(composed.name(), "NoisyShiftedSphere");
+        let v = composed.eval(&[0.5, 0.5]);
+        assert!(v.abs() < 1e-6, "noise is relative: zero stays zero, got {v}");
+    }
+}

@@ -1,0 +1,116 @@
+//! The evaluation-function contract.
+
+/// A swarm evaluation function (fitness/error function).
+///
+/// Implementations must be pure: `eval` on equal inputs returns equal
+/// outputs, and evaluation of different particles must be safe to run
+/// concurrently (`Send + Sync`).
+pub trait Objective: Send + Sync {
+    /// Short name for reports ("Sphere", "Griewank", ...).
+    fn name(&self) -> &str;
+
+    /// Evaluate one position vector. Lower is better.
+    fn eval(&self, x: &[f32]) -> f32;
+
+    /// Search box `(lo, hi)` applied to every dimension.
+    fn domain(&self) -> (f32, f32);
+
+    /// The known optimal value for a `d`-dimensional instance, used for
+    /// error-to-optimum reporting (paper Table 2). `None` when the optimum
+    /// is unknown (e.g. empirical tuning objectives).
+    fn optimum(&self, d: usize) -> Option<f64>;
+
+    /// Estimated FP operations per dimension of one evaluation, used by the
+    /// GPU simulator to price evaluation kernels. Transcendentals count as
+    /// several flops, approximating their SFU cost.
+    fn flops_per_dim(&self) -> u64;
+
+    /// Evaluate a whole swarm stored row-major (`n × d`), writing one error
+    /// per particle. The default loops over rows; implementations may
+    /// override with something faster.
+    fn eval_batch(&self, xs: &[f32], d: usize, out: &mut [f32]) {
+        assert!(d > 0, "dimension must be positive");
+        assert_eq!(xs.len(), out.len() * d, "xs must be n*d, out must be n");
+        for (row, slot) in xs.chunks_exact(d).zip(out.iter_mut()) {
+            *slot = self.eval(row);
+        }
+    }
+
+    /// Error of a value against the known optimum (absolute distance), if
+    /// the optimum is known.
+    fn error(&self, value: f64, d: usize) -> Option<f64> {
+        self.optimum(d).map(|opt| (value - opt).abs())
+    }
+}
+
+impl<T: Objective + ?Sized> Objective for &T {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+    fn eval(&self, x: &[f32]) -> f32 {
+        (**self).eval(x)
+    }
+    fn domain(&self) -> (f32, f32) {
+        (**self).domain()
+    }
+    fn optimum(&self, d: usize) -> Option<f64> {
+        (**self).optimum(d)
+    }
+    fn flops_per_dim(&self) -> u64 {
+        (**self).flops_per_dim()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Quad;
+    impl Objective for Quad {
+        fn name(&self) -> &str {
+            "quad"
+        }
+        fn eval(&self, x: &[f32]) -> f32 {
+            x.iter().map(|v| v * v).sum()
+        }
+        fn domain(&self) -> (f32, f32) {
+            (-1.0, 1.0)
+        }
+        fn optimum(&self, _d: usize) -> Option<f64> {
+            Some(0.0)
+        }
+        fn flops_per_dim(&self) -> u64 {
+            2
+        }
+    }
+
+    #[test]
+    fn default_batch_matches_scalar() {
+        let xs = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let mut out = vec![0.0; 3];
+        Quad.eval_batch(&xs, 2, &mut out);
+        assert_eq!(out, vec![5.0, 25.0, 61.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "xs must be n*d")]
+    fn batch_shape_mismatch_panics() {
+        let mut out = vec![0.0; 2];
+        Quad.eval_batch(&[1.0; 5], 2, &mut out);
+    }
+
+    #[test]
+    fn error_is_absolute_distance() {
+        assert_eq!(Quad.error(3.5, 10), Some(3.5));
+        assert_eq!(Quad.error(-0.5, 10), Some(0.5));
+    }
+
+    #[test]
+    fn reference_impl_forwards() {
+        let q = Quad;
+        let r: &dyn Objective = &q;
+        assert_eq!((&r).name(), "quad");
+        assert_eq!((&r).eval(&[2.0]), 4.0);
+        assert_eq!((&r).flops_per_dim(), 2);
+    }
+}

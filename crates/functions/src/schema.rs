@@ -1,0 +1,120 @@
+//! The customized-evaluation-function schema (paper §3.2).
+//!
+//! The paper exposes a CUDA kernel template,
+//!
+//! ```cuda
+//! template<typename L>
+//! __global__ void evaluation_kernel(int dim, L lambda) {
+//!     for (i = blockIdx.x * blockDim.x + threadIdx.x;
+//!          i < dim; i += blockDim.x * gridDim.x)
+//!         lambda(i);
+//! }
+//! ```
+//!
+//! through which practitioners hand FastPSO an arbitrary evaluation lambda
+//! that the engine grid-strides over particles. [`CustomObjective`] is the
+//! Rust analogue: wrap any `Fn(&[f32]) -> f32` closure and the PSO engine
+//! parallelizes it across the swarm exactly like a built-in.
+
+use crate::objective::Objective;
+
+/// A user-defined evaluation function.
+pub struct CustomObjective<F> {
+    name: String,
+    domain: (f32, f32),
+    flops_per_dim: u64,
+    optimum: Option<f64>,
+    f: F,
+}
+
+impl<F> CustomObjective<F>
+where
+    F: Fn(&[f32]) -> f32 + Send + Sync,
+{
+    /// Wrap a closure as an objective. `flops_per_dim` is the caller's
+    /// estimate of per-dimension evaluation cost for the GPU cost model;
+    /// when unsure, count arithmetic ops in the closure body (a
+    /// transcendental ≈ 8).
+    pub fn new(name: impl Into<String>, domain: (f32, f32), flops_per_dim: u64, f: F) -> Self {
+        assert!(domain.0 < domain.1, "domain must be a non-empty interval");
+        CustomObjective {
+            name: name.into(),
+            domain,
+            flops_per_dim: flops_per_dim.max(1),
+            optimum: None,
+            f,
+        }
+    }
+
+    /// Declare the known optimal value (enables error reporting).
+    pub fn with_optimum(mut self, optimum: f64) -> Self {
+        self.optimum = Some(optimum);
+        self
+    }
+}
+
+impl<F> Objective for CustomObjective<F>
+where
+    F: Fn(&[f32]) -> f32 + Send + Sync,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn eval(&self, x: &[f32]) -> f32 {
+        (self.f)(x)
+    }
+    fn domain(&self) -> (f32, f32) {
+        self.domain
+    }
+    fn optimum(&self, _d: usize) -> Option<f64> {
+        self.optimum
+    }
+    fn flops_per_dim(&self) -> u64 {
+        self.flops_per_dim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closure_is_called_per_particle() {
+        let obj = CustomObjective::new("absmax", (-1.0, 1.0), 1, |x: &[f32]| {
+            x.iter().fold(0.0f32, |m, v| m.max(v.abs()))
+        });
+        assert_eq!(obj.eval(&[0.5, -0.9, 0.1]), 0.9);
+        assert_eq!(obj.name(), "absmax");
+        assert_eq!(obj.optimum(3), None);
+    }
+
+    #[test]
+    fn optimum_declaration_enables_error() {
+        let obj = CustomObjective::new("shifted", (-1.0, 1.0), 2, |x: &[f32]| {
+            x.iter().map(|v| v * v).sum::<f32>() + 7.0
+        })
+        .with_optimum(7.0);
+        assert_eq!(obj.error(7.5, 4), Some(0.5));
+    }
+
+    #[test]
+    fn batch_evaluation_uses_the_closure() {
+        let obj = CustomObjective::new("sum", (0.0, 1.0), 1, |x: &[f32]| x.iter().sum());
+        let xs = vec![1.0, 2.0, 3.0, 4.0];
+        let mut out = vec![0.0; 2];
+        obj.eval_batch(&xs, 2, &mut out);
+        assert_eq!(out, vec![3.0, 7.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "domain")]
+    fn empty_domain_is_rejected() {
+        let _ = CustomObjective::new("bad", (1.0, 1.0), 1, |_: &[f32]| 0.0);
+    }
+
+    #[test]
+    fn flops_estimate_is_floored_at_one() {
+        let obj = CustomObjective::new("free", (0.0, 1.0), 0, |_: &[f32]| 0.0);
+        assert_eq!(obj.flops_per_dim(), 1);
+    }
+}

@@ -1,0 +1,186 @@
+//! Caching device allocator (paper §3, technique iii; Table 4).
+//!
+//! FastPSO allocates device memory once and redirects later allocation
+//! requests to previously freed blocks instead of paying a driver
+//! round-trip per `cudaMalloc`/`cudaFree`. This module implements a real
+//! recycling pool: freed backing stores are kept in power-of-two size-class
+//! buckets (keyed by element type) and handed back verbatim to the next
+//! fitting request. A cache hit costs a bucket lookup; a miss costs a real
+//! host allocation *and* is charged the modeled `cudaMalloc` price.
+
+use std::any::{Any, TypeId};
+use std::collections::HashMap;
+
+/// Outcome of an allocation request, reported for counter accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocOutcome {
+    /// Backing store was recycled from the pool.
+    CacheHit,
+    /// A fresh allocation was performed (modeled driver round-trip).
+    Miss,
+}
+
+/// Size-class key: element type plus ceil-log2 of the byte size.
+fn class_of(bytes: usize) -> u32 {
+    bytes.next_power_of_two().trailing_zeros()
+}
+
+/// A recycling pool of typed backing stores.
+///
+/// Not thread-safe by itself — the [`crate::Device`] wraps it in a mutex.
+#[derive(Default)]
+pub struct Pool {
+    buckets: HashMap<(TypeId, u32), Vec<Box<dyn Any + Send>>>,
+    /// Total number of backing stores currently parked in the pool.
+    parked: usize,
+}
+
+impl Pool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of freed backing stores currently held for reuse.
+    pub fn parked(&self) -> usize {
+        self.parked
+    }
+
+    /// Acquire a backing store for `len` elements of `T`.
+    ///
+    /// Returns the vector (resized to `len`, contents zeroed/defaulted) and
+    /// whether it was recycled. The vector's *capacity class* is what the
+    /// pool tracks, so a recycled store may have more capacity than `len` —
+    /// exactly like a suballocator handing out a larger block.
+    pub fn acquire<T: Default + Clone + Send + 'static>(
+        &mut self,
+        len: usize,
+    ) -> (Vec<T>, AllocOutcome) {
+        let bytes = len * std::mem::size_of::<T>();
+        let key = (TypeId::of::<T>(), class_of(bytes.max(1)));
+        if let Some(bucket) = self.buckets.get_mut(&key) {
+            if let Some(boxed) = bucket.pop() {
+                self.parked -= 1;
+                let mut v = *boxed
+                    .downcast::<Vec<T>>()
+                    .expect("pool bucket type invariant violated");
+                v.clear();
+                v.resize(len, T::default());
+                return (v, AllocOutcome::CacheHit);
+            }
+        }
+        (vec![T::default(); len], AllocOutcome::Miss)
+    }
+
+    /// Return a backing store to the pool for future reuse.
+    pub fn release<T: Send + 'static>(&mut self, v: Vec<T>) {
+        if v.capacity() == 0 {
+            return; // nothing worth caching
+        }
+        let bytes = v.capacity() * std::mem::size_of::<T>();
+        let key = (TypeId::of::<T>(), class_of(bytes.max(1)));
+        self.buckets.entry(key).or_default().push(Box::new(v));
+        self.parked += 1;
+    }
+
+    /// Drop every cached backing store (device reset).
+    pub fn clear(&mut self) {
+        self.buckets.clear();
+        self.parked = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_acquire_is_a_miss() {
+        let mut p = Pool::new();
+        let (v, outcome) = p.acquire::<f32>(100);
+        assert_eq!(v.len(), 100);
+        assert_eq!(outcome, AllocOutcome::Miss);
+    }
+
+    #[test]
+    fn release_then_acquire_same_class_hits() {
+        let mut p = Pool::new();
+        let (v, _) = p.acquire::<f32>(100);
+        let ptr = v.as_ptr();
+        p.release(v);
+        assert_eq!(p.parked(), 1);
+        let (v2, outcome) = p.acquire::<f32>(100);
+        assert_eq!(outcome, AllocOutcome::CacheHit);
+        assert_eq!(v2.as_ptr(), ptr, "backing store must be recycled verbatim");
+        assert_eq!(p.parked(), 0);
+    }
+
+    #[test]
+    fn recycled_store_is_zeroed() {
+        let mut p = Pool::new();
+        let (mut v, _) = p.acquire::<f32>(8);
+        v.iter_mut().for_each(|x| *x = 7.0);
+        p.release(v);
+        let (v2, outcome) = p.acquire::<f32>(8);
+        assert_eq!(outcome, AllocOutcome::CacheHit);
+        assert!(v2.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn smaller_request_reuses_same_size_class() {
+        let mut p = Pool::new();
+        let (v, _) = p.acquire::<f32>(100); // class of 400 B = 512 B
+        p.release(v);
+        // 112 floats = 448 B → same 512 B class → hit.
+        let (_, outcome) = p.acquire::<f32>(112);
+        assert_eq!(outcome, AllocOutcome::CacheHit);
+    }
+
+    #[test]
+    fn different_size_class_misses() {
+        let mut p = Pool::new();
+        let (v, _) = p.acquire::<f32>(100);
+        p.release(v);
+        let (_, outcome) = p.acquire::<f32>(100_000);
+        assert_eq!(outcome, AllocOutcome::Miss);
+        assert_eq!(p.parked(), 1, "small store still parked");
+    }
+
+    #[test]
+    fn different_type_misses_even_with_same_bytes() {
+        let mut p = Pool::new();
+        let (v, _) = p.acquire::<f32>(64);
+        p.release(v);
+        let (_, outcome) = p.acquire::<u32>(64);
+        assert_eq!(outcome, AllocOutcome::Miss);
+    }
+
+    #[test]
+    fn clear_empties_the_pool() {
+        let mut p = Pool::new();
+        let (v, _) = p.acquire::<f32>(10);
+        p.release(v);
+        p.clear();
+        assert_eq!(p.parked(), 0);
+        let (_, outcome) = p.acquire::<f32>(10);
+        assert_eq!(outcome, AllocOutcome::Miss);
+    }
+
+    #[test]
+    fn zero_len_acquire_works() {
+        let mut p = Pool::new();
+        let (v, outcome) = p.acquire::<f32>(0);
+        assert!(v.is_empty());
+        assert_eq!(outcome, AllocOutcome::Miss);
+        p.release(v); // capacity 0: silently not cached
+        assert_eq!(p.parked(), 0);
+    }
+
+    #[test]
+    fn two_live_buffers_never_share_backing() {
+        let mut p = Pool::new();
+        let (a, _) = p.acquire::<f32>(32);
+        let (b, _) = p.acquire::<f32>(32);
+        assert_ne!(a.as_ptr(), b.as_ptr());
+    }
+}

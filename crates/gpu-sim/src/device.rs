@@ -1,0 +1,361 @@
+//! The simulated device: profile + caching allocator + modeled timeline.
+
+use crate::alloc::{AllocOutcome, Pool};
+use crate::buffer::DeviceBuffer;
+use crate::error::GpuError;
+use crate::launch::{AllocMode, KernelDesc};
+use parking_lot::Mutex;
+use perf_model::{
+    gpu_kernel_time, transfer_time, Counters, GpuProfile, LinkProfile, Phase, Timeline,
+    TransferDirection,
+};
+use std::sync::Arc;
+
+/// Modeled time of one device-wide synchronization (`cudaDeviceSynchronize`).
+const SYNC_OVERHEAD_S: f64 = 3.0e-6;
+
+pub(crate) struct DeviceState {
+    pub timeline: Timeline,
+    pub pool: Pool,
+    pub alloc_mode: AllocMode,
+    pub bytes_in_use: usize,
+    pub peak_bytes: usize,
+}
+
+pub(crate) struct DeviceShared {
+    pub profile: GpuProfile,
+    pub link: LinkProfile,
+    pub index: usize,
+    pub state: Mutex<DeviceState>,
+}
+
+impl DeviceShared {
+    /// Charge modeled seconds + counters to a phase.
+    pub fn charge(&self, phase: Phase, seconds: f64, counters: Counters) {
+        self.state.lock().timeline.charge(phase, seconds, counters);
+    }
+}
+
+/// A handle to one simulated GPU.
+///
+/// Cloning a `Device` yields another handle to the *same* device (same
+/// allocator, same timeline), mirroring how CUDA contexts are shared.
+#[derive(Clone)]
+pub struct Device {
+    pub(crate) shared: Arc<DeviceShared>,
+}
+
+impl Device {
+    /// Create a device with an explicit profile and interconnect.
+    pub fn new(profile: GpuProfile, link: LinkProfile) -> Self {
+        Self::with_index(profile, link, 0)
+    }
+
+    /// Create a device with an explicit multi-GPU index.
+    pub fn with_index(profile: GpuProfile, link: LinkProfile, index: usize) -> Self {
+        Device {
+            shared: Arc::new(DeviceShared {
+                profile,
+                link,
+                index,
+                state: Mutex::new(DeviceState {
+                    timeline: Timeline::new(),
+                    pool: Pool::new(),
+                    alloc_mode: AllocMode::Caching,
+                    bytes_in_use: 0,
+                    peak_bytes: 0,
+                }),
+            }),
+        }
+    }
+
+    /// The paper's GPU: a Tesla V100 behind PCIe 3.0 x16.
+    pub fn v100() -> Self {
+        Self::new(GpuProfile::tesla_v100(), LinkProfile::pcie3_x16())
+    }
+
+    /// Device index within a [`crate::DeviceGroup`] (0 for standalone).
+    pub fn index(&self) -> usize {
+        self.shared.index
+    }
+
+    /// The device's hardware profile.
+    pub fn profile(&self) -> GpuProfile {
+        self.shared.profile.clone()
+    }
+
+    /// Select the allocation strategy (Table 4 ablation).
+    pub fn set_alloc_mode(&self, mode: AllocMode) {
+        let mut st = self.shared.state.lock();
+        st.alloc_mode = mode;
+        if mode == AllocMode::Realloc {
+            st.pool.clear();
+        }
+    }
+
+    /// Current allocation strategy.
+    pub fn alloc_mode(&self) -> AllocMode {
+        self.shared.state.lock().alloc_mode
+    }
+
+    /// Allocate a zero-initialized device buffer of `len` elements.
+    pub fn alloc<T: Default + Clone + Send + Sync + 'static>(
+        &self,
+        len: usize,
+    ) -> Result<DeviceBuffer<T>, GpuError> {
+        let bytes = len * std::mem::size_of::<T>();
+        let mut st = self.shared.state.lock();
+        if st.bytes_in_use + bytes > self.shared.profile.global_mem {
+            return Err(GpuError::OutOfMemory {
+                requested: bytes,
+                in_use: st.bytes_in_use,
+                capacity: self.shared.profile.global_mem,
+            });
+        }
+        let (data, outcome) = match st.alloc_mode {
+            AllocMode::Caching => st.pool.acquire::<T>(len),
+            AllocMode::Realloc => (vec![T::default(); len], AllocOutcome::Miss),
+        };
+        st.bytes_in_use += bytes;
+        st.peak_bytes = st.peak_bytes.max(st.bytes_in_use);
+        let mut c = Counters::new();
+        let seconds = match outcome {
+            AllocOutcome::Miss => {
+                c.device_allocs = 1;
+                self.shared.profile.device_alloc_cost_s
+            }
+            AllocOutcome::CacheHit => {
+                c.device_alloc_cache_hits = 1;
+                // A pool lookup is a couple of host instructions.
+                self.shared.profile.device_alloc_cost_s * 0.02
+            }
+        };
+        st.timeline.charge(Phase::Other, seconds, c);
+        drop(st);
+        Ok(DeviceBuffer::new(data, self.shared.clone()))
+    }
+
+    /// Allocate a buffer and upload `src` into it.
+    pub fn alloc_from_slice<T: Default + Clone + Send + Sync + 'static>(
+        &self,
+        src: &[T],
+    ) -> Result<DeviceBuffer<T>, GpuError> {
+        let mut buf = self.alloc(src.len())?;
+        buf.upload(src)?;
+        Ok(buf)
+    }
+
+    /// Charge one kernel launch described by `desc` to the timeline.
+    ///
+    /// Called internally by the `launch_*` methods; exposed for
+    /// implementations (like the baselines) that model kernels whose bodies
+    /// run through other entry points.
+    pub fn charge_kernel(&self, desc: &KernelDesc) {
+        let work = desc.work();
+        let t = gpu_kernel_time(&self.shared.profile, &work);
+        let mut c = Counters::new();
+        c.flops = work.flops;
+        c.tensor_flops = work.tensor_flops;
+        c.dram_read_bytes = work.dram_read_bytes;
+        c.dram_write_bytes = work.dram_write_bytes;
+        c.shared_bytes = work.shared_bytes;
+        c.kernel_launches = 1;
+        self.shared.charge(desc.phase, t, c);
+    }
+
+    /// Charge a host↔device transfer of `bytes` to the timeline.
+    pub(crate) fn charge_transfer(&self, phase: Phase, dir: TransferDirection, bytes: u64) {
+        let t = transfer_time(&self.shared.link, bytes);
+        let mut c = Counters::new();
+        c.record_transfer(dir, bytes);
+        self.shared.charge(phase, t, c);
+    }
+
+    /// Charge an externally computed cost to the timeline. For callers
+    /// (like `tgbm`) that extend the kernel-time model with effects the
+    /// built-in roofline does not capture (block-count imbalance across
+    /// SMs, launch-geometry tails) — the built-in `launch_*` entry points
+    /// should be preferred everywhere else.
+    pub fn charge_raw(&self, phase: Phase, seconds: f64, counters: Counters) {
+        self.shared.charge(phase, seconds, counters);
+    }
+
+    /// Model a `cudaDeviceSynchronize`, charged to `phase`.
+    pub fn synchronize(&self, phase: Phase) {
+        self.shared.charge(phase, SYNC_OVERHEAD_S, Counters::new());
+    }
+
+    /// Snapshot of the modeled timeline.
+    pub fn timeline(&self) -> Timeline {
+        self.shared.state.lock().timeline.clone()
+    }
+
+    /// Total counters across all phases.
+    pub fn counters(&self) -> Counters {
+        self.shared.state.lock().timeline.total_counters()
+    }
+
+    /// Reset the timeline (counters and modeled time) without touching the
+    /// allocator pool. Used between benchmark repetitions.
+    pub fn reset_timeline(&self) {
+        self.shared.state.lock().timeline = Timeline::new();
+    }
+
+    /// Reset timeline *and* drop all pooled memory (full device reset).
+    pub fn reset(&self) {
+        let mut st = self.shared.state.lock();
+        st.timeline = Timeline::new();
+        st.pool.clear();
+    }
+
+    /// Bytes currently allocated on the device.
+    pub fn bytes_in_use(&self) -> usize {
+        self.shared.state.lock().bytes_in_use
+    }
+
+    /// High-water mark of device memory use.
+    pub fn peak_bytes(&self) -> usize {
+        self.shared.state.lock().peak_bytes
+    }
+
+    /// Derived throughput metrics (the paper's Table 3 quantities).
+    pub fn metrics(&self) -> DeviceMetrics {
+        let tl = self.timeline();
+        DeviceMetrics::from_timeline(&tl)
+    }
+}
+
+/// Derived whole-run metrics, as reported in the paper's Table 3.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceMetrics {
+    /// Total modeled seconds.
+    pub elapsed_s: f64,
+    /// DRAM read throughput in GB/s (`dram_read_throughtput` in the paper).
+    pub dram_read_gbs: f64,
+    /// DRAM write throughput in GB/s.
+    pub dram_write_gbs: f64,
+    /// Sustained GFLOP/s over the run (CUDA + tensor cores).
+    pub gflops: f64,
+    /// Number of kernel launches.
+    pub kernel_launches: u64,
+    /// Device allocations that went to the driver.
+    pub device_allocs: u64,
+    /// Device allocations served by the caching pool.
+    pub cache_hits: u64,
+}
+
+impl DeviceMetrics {
+    /// Compute metrics from a timeline snapshot.
+    pub fn from_timeline(tl: &Timeline) -> Self {
+        let c = tl.total_counters();
+        let t = tl.total_seconds();
+        let inv = if t > 0.0 { 1.0 / t } else { 0.0 };
+        DeviceMetrics {
+            elapsed_s: t,
+            dram_read_gbs: c.dram_read_bytes as f64 * inv / 1e9,
+            dram_write_gbs: c.dram_write_bytes as f64 * inv / 1e9,
+            gflops: (c.flops + c.tensor_flops) as f64 * inv / 1e9,
+            kernel_launches: c.kernel_launches,
+            device_allocs: c.device_allocs,
+            cache_hits: c.device_alloc_cache_hits,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perf_model::Phase;
+
+    #[test]
+    fn alloc_tracks_bytes_and_oom() {
+        let dev = Device::v100();
+        let cap = dev.profile().global_mem;
+        let a = dev.alloc::<f32>(1024).unwrap();
+        assert_eq!(dev.bytes_in_use(), 4096);
+        let err = match dev.alloc::<u8>(cap) {
+            Err(e) => e,
+            Ok(_) => panic!("allocation over capacity must fail"),
+        };
+        assert!(matches!(err, GpuError::OutOfMemory { .. }));
+        drop(a);
+        assert_eq!(dev.bytes_in_use(), 0);
+        assert_eq!(dev.peak_bytes(), 4096);
+    }
+
+    #[test]
+    fn caching_mode_recycles_and_counts_hits() {
+        let dev = Device::v100();
+        let buf = dev.alloc::<f32>(1000).unwrap();
+        drop(buf);
+        let _buf2 = dev.alloc::<f32>(1000).unwrap();
+        let c = dev.counters();
+        assert_eq!(c.device_allocs, 1);
+        assert_eq!(c.device_alloc_cache_hits, 1);
+    }
+
+    #[test]
+    fn realloc_mode_never_hits() {
+        let dev = Device::v100();
+        dev.set_alloc_mode(AllocMode::Realloc);
+        let buf = dev.alloc::<f32>(1000).unwrap();
+        drop(buf);
+        let _buf2 = dev.alloc::<f32>(1000).unwrap();
+        let c = dev.counters();
+        assert_eq!(c.device_allocs, 2);
+        assert_eq!(c.device_alloc_cache_hits, 0);
+    }
+
+    #[test]
+    fn caching_is_modeled_cheaper_than_realloc() {
+        let run = |mode| {
+            let dev = Device::v100();
+            dev.set_alloc_mode(mode);
+            for _ in 0..100 {
+                let b = dev.alloc::<f32>(4096).unwrap();
+                drop(b);
+            }
+            dev.timeline().total_seconds()
+        };
+        assert!(run(AllocMode::Caching) < run(AllocMode::Realloc));
+    }
+
+    #[test]
+    fn clone_shares_state() {
+        let dev = Device::v100();
+        let dev2 = dev.clone();
+        dev.synchronize(Phase::Other);
+        assert!(dev2.timeline().total_seconds() > 0.0);
+    }
+
+    #[test]
+    fn reset_timeline_keeps_pool() {
+        let dev = Device::v100();
+        let b = dev.alloc::<f32>(64).unwrap();
+        drop(b);
+        dev.reset_timeline();
+        assert_eq!(dev.timeline().total_seconds(), 0.0);
+        let _b2 = dev.alloc::<f32>(64).unwrap();
+        assert_eq!(dev.counters().device_alloc_cache_hits, 1, "pool survived");
+    }
+
+    #[test]
+    fn metrics_derive_throughputs() {
+        let mut tl = Timeline::new();
+        let mut c = Counters::new();
+        c.dram_read_bytes = 2_000_000_000;
+        c.flops = 5_000_000_000;
+        tl.charge(Phase::SwarmUpdate, 2.0, c);
+        let m = DeviceMetrics::from_timeline(&tl);
+        assert!((m.dram_read_gbs - 1.0).abs() < 1e-9);
+        assert!((m.gflops - 2.5).abs() < 1e-9);
+        assert!((m.elapsed_s - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn metrics_on_empty_timeline_are_zero() {
+        let m = DeviceMetrics::from_timeline(&Timeline::new());
+        assert_eq!(m.gflops, 0.0);
+        assert_eq!(m.elapsed_s, 0.0);
+    }
+}

@@ -1,0 +1,84 @@
+//! Error type for device operations.
+
+use std::fmt;
+
+/// Errors raised by the simulated device.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GpuError {
+    /// A device allocation would exceed the profile's global memory.
+    OutOfMemory {
+        /// Bytes requested by the failing allocation.
+        requested: usize,
+        /// Bytes currently in use on the device.
+        in_use: usize,
+        /// Device global memory capacity.
+        capacity: usize,
+    },
+    /// A launch or copy was given slices whose lengths disagree.
+    ShapeMismatch {
+        /// What the operation expected.
+        expected: usize,
+        /// What it was given.
+        actual: usize,
+        /// Operation name for diagnostics.
+        what: &'static str,
+    },
+    /// A launch configuration is invalid (zero-sized block/grid, block too
+    /// large for the device, tile exceeding shared memory, ...).
+    InvalidLaunch(String),
+    /// An operation that requires at least one element got none.
+    Empty(&'static str),
+    /// A multi-GPU operation addressed a device index outside the group.
+    NoSuchDevice(usize),
+}
+
+impl fmt::Display for GpuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GpuError::OutOfMemory {
+                requested,
+                in_use,
+                capacity,
+            } => write!(
+                f,
+                "device out of memory: requested {requested} B with {in_use} B in use of {capacity} B"
+            ),
+            GpuError::ShapeMismatch {
+                expected,
+                actual,
+                what,
+            } => write!(f, "shape mismatch in {what}: expected {expected}, got {actual}"),
+            GpuError::InvalidLaunch(msg) => write!(f, "invalid launch: {msg}"),
+            GpuError::Empty(what) => write!(f, "{what}: empty input"),
+            GpuError::NoSuchDevice(i) => write!(f, "no device with index {i} in group"),
+        }
+    }
+}
+
+impl std::error::Error for GpuError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = GpuError::OutOfMemory {
+            requested: 10,
+            in_use: 5,
+            capacity: 12,
+        };
+        let s = e.to_string();
+        assert!(s.contains("10") && s.contains("5") && s.contains("12"));
+
+        let e = GpuError::ShapeMismatch {
+            expected: 4,
+            actual: 3,
+            what: "launch_map",
+        };
+        assert!(e.to_string().contains("launch_map"));
+
+        assert!(GpuError::NoSuchDevice(7).to_string().contains('7'));
+        assert!(GpuError::Empty("reduce").to_string().contains("reduce"));
+    }
+}

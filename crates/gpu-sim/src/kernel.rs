@@ -1,0 +1,265 @@
+//! Element-wise kernel launches.
+//!
+//! These entry points execute real closures over buffer contents —
+//! data-parallel on the host through rayon — and charge the launch's
+//! modeled cost to the device timeline. They are the simulator analogue of
+//! `kernel<<<grid, block>>>(...)` for the kernel shapes PSO needs:
+//!
+//! * [`Device::launch_map`] — `out[i] = f(i)` (pure production),
+//! * [`Device::launch_update`] — `out[i] = f(i, out[i])` (in-place update),
+//! * [`Device::launch_chunks2`] — one thread per *row/particle* updating two
+//!   output arrays chunk-wise (the `pbest` error + position update shape),
+//! * [`Device::launch_visit`] — read-only traversal with per-thread state.
+
+use crate::device::Device;
+use crate::error::GpuError;
+use crate::launch::KernelDesc;
+use rayon::prelude::*;
+
+impl Device {
+    /// `out[i] = f(i)` for every element. `desc.elems` must equal
+    /// `out.len()`.
+    pub fn launch_map<T, F>(&self, desc: &KernelDesc, out: &mut [T], f: F) -> Result<(), GpuError>
+    where
+        T: Send + Sync,
+        F: Fn(usize) -> T + Sync,
+    {
+        self.check_elems(desc, out.len(), "launch_map")?;
+        self.charge_kernel(desc);
+        out.par_iter_mut()
+            .enumerate()
+            .for_each(|(i, slot)| *slot = f(i));
+        Ok(())
+    }
+
+    /// `out[i] = f(i, out[i])` for every element (in-place element-wise
+    /// update — the swarm-update kernel shape).
+    pub fn launch_update<T, F>(
+        &self,
+        desc: &KernelDesc,
+        out: &mut [T],
+        f: F,
+    ) -> Result<(), GpuError>
+    where
+        T: Copy + Send + Sync,
+        F: Fn(usize, T) -> T + Sync,
+    {
+        self.check_elems(desc, out.len(), "launch_update")?;
+        self.charge_kernel(desc);
+        out.par_iter_mut()
+            .enumerate()
+            .for_each(|(i, slot)| *slot = f(i, *slot));
+        Ok(())
+    }
+
+    /// One logical thread per chunk pair: thread `i` gets mutable access to
+    /// `a[i*ca .. (i+1)*ca]` and `b[i*cb .. (i+1)*cb]`.
+    ///
+    /// This is the `pbest` update shape: per particle, compare the new error
+    /// (`a` chunk of 1) and copy the position row (`b` chunk of `d`) when it
+    /// improved. `desc.elems` must equal the number of chunks.
+    pub fn launch_chunks2<A, B, F>(
+        &self,
+        desc: &KernelDesc,
+        a: &mut [A],
+        ca: usize,
+        b: &mut [B],
+        cb: usize,
+        f: F,
+    ) -> Result<(), GpuError>
+    where
+        A: Send + Sync,
+        B: Send + Sync,
+        F: Fn(usize, &mut [A], &mut [B]) + Sync,
+    {
+        if ca == 0 || cb == 0 {
+            return Err(GpuError::InvalidLaunch("zero chunk size".into()));
+        }
+        if !a.len().is_multiple_of(ca) || !b.len().is_multiple_of(cb) || a.len() / ca != b.len() / cb {
+            return Err(GpuError::ShapeMismatch {
+                expected: a.len() / ca.max(1),
+                actual: b.len() / cb.max(1),
+                what: "launch_chunks2",
+            });
+        }
+        self.check_elems(desc, a.len() / ca, "launch_chunks2")?;
+        self.charge_kernel(desc);
+        a.par_chunks_mut(ca)
+            .zip(b.par_chunks_mut(cb))
+            .enumerate()
+            .for_each(|(i, (ac, bc))| f(i, ac, bc));
+        Ok(())
+    }
+
+    /// One logical thread per chunk quadruple — the fused
+    /// particle-per-thread kernel shape used by the gpu-pso baseline, where
+    /// a single thread owns its particle's position row, velocity row,
+    /// best error and best-position row.
+    #[allow(clippy::too_many_arguments)]
+    pub fn launch_chunks4<A, B, C, D, F>(
+        &self,
+        desc: &KernelDesc,
+        a: &mut [A],
+        ca: usize,
+        b: &mut [B],
+        cb: usize,
+        c: &mut [C],
+        cc: usize,
+        d: &mut [D],
+        cd: usize,
+        f: F,
+    ) -> Result<(), GpuError>
+    where
+        A: Send + Sync,
+        B: Send + Sync,
+        C: Send + Sync,
+        D: Send + Sync,
+        F: Fn(usize, &mut [A], &mut [B], &mut [C], &mut [D]) + Sync,
+    {
+        if ca == 0 || cb == 0 || cc == 0 || cd == 0 {
+            return Err(GpuError::InvalidLaunch("zero chunk size".into()));
+        }
+        let chunks = a.len() / ca;
+        for (len, sz, what) in [
+            (a.len(), ca, "launch_chunks4 a"),
+            (b.len(), cb, "launch_chunks4 b"),
+            (c.len(), cc, "launch_chunks4 c"),
+            (d.len(), cd, "launch_chunks4 d"),
+        ] {
+            if !len.is_multiple_of(sz) || len / sz != chunks {
+                return Err(GpuError::ShapeMismatch {
+                    expected: chunks,
+                    actual: len / sz,
+                    what,
+                });
+            }
+        }
+        self.check_elems(desc, chunks, "launch_chunks4")?;
+        self.charge_kernel(desc);
+        a.par_chunks_mut(ca)
+            .zip(b.par_chunks_mut(cb))
+            .zip(c.par_chunks_mut(cc).zip(d.par_chunks_mut(cd)))
+            .enumerate()
+            .for_each(|(i, ((ac, bc), (cc_, dc)))| f(i, ac, bc, cc_, dc));
+        Ok(())
+    }
+
+    /// Read-only traversal: `f(i)` for every logical element, with no
+    /// output. Useful for kernels whose effects are captured through
+    /// atomics or external accumulation (rare; prefer the shaped variants).
+    pub fn launch_visit<F>(&self, desc: &KernelDesc, elems: usize, f: F) -> Result<(), GpuError>
+    where
+        F: Fn(usize) + Send + Sync,
+    {
+        self.check_elems(desc, elems, "launch_visit")?;
+        self.charge_kernel(desc);
+        (0..elems).into_par_iter().for_each(f);
+        Ok(())
+    }
+
+    fn check_elems(
+        &self,
+        desc: &KernelDesc,
+        actual: usize,
+        what: &'static str,
+    ) -> Result<(), GpuError> {
+        if desc.elems != actual as u64 {
+            return Err(GpuError::ShapeMismatch {
+                expected: desc.elems as usize,
+                actual,
+                what,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perf_model::Phase;
+
+    fn desc(elems: u64) -> KernelDesc {
+        KernelDesc::simple("test", Phase::Other, 1, 4, 4, elems)
+    }
+
+    #[test]
+    fn map_fills_by_index() {
+        let dev = Device::v100();
+        let mut out = vec![0u32; 100];
+        dev.launch_map(&desc(100), &mut out, |i| i as u32 * 2).unwrap();
+        assert!(out.iter().enumerate().all(|(i, &v)| v == 2 * i as u32));
+    }
+
+    #[test]
+    fn update_sees_old_value() {
+        let dev = Device::v100();
+        let mut out = vec![10.0f32; 8];
+        dev.launch_update(&desc(8), &mut out, |i, old| old + i as f32)
+            .unwrap();
+        assert_eq!(out[3], 13.0);
+    }
+
+    #[test]
+    fn elems_mismatch_is_rejected() {
+        let dev = Device::v100();
+        let mut out = vec![0.0f32; 7];
+        let err = dev.launch_map(&desc(8), &mut out, |_| 0.0).unwrap_err();
+        assert!(matches!(err, GpuError::ShapeMismatch { .. }));
+    }
+
+    #[test]
+    fn chunks2_updates_both_arrays_per_row() {
+        let dev = Device::v100();
+        let n = 4;
+        let d = 3;
+        let mut err = vec![1.0f32; n];
+        let mut pos = vec![0.0f32; n * d];
+        dev.launch_chunks2(&desc(n as u64), &mut err, 1, &mut pos, d, |i, e, p| {
+            e[0] = i as f32;
+            p.iter_mut().for_each(|x| *x = 10.0 * i as f32);
+        })
+        .unwrap();
+        assert_eq!(err, vec![0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(&pos[6..9], &[20.0, 20.0, 20.0]);
+    }
+
+    #[test]
+    fn chunks2_rejects_mismatched_chunking() {
+        let dev = Device::v100();
+        let mut a = vec![0.0f32; 4];
+        let mut b = vec![0.0f32; 9]; // 4 chunks of 1 vs 3 chunks of 3
+        let err = dev
+            .launch_chunks2(&desc(4), &mut a, 1, &mut b, 3, |_, _, _| {})
+            .unwrap_err();
+        assert!(matches!(err, GpuError::ShapeMismatch { .. }));
+        let err = dev
+            .launch_chunks2(&desc(4), &mut a, 0, &mut b, 3, |_, _, _| {})
+            .unwrap_err();
+        assert!(matches!(err, GpuError::InvalidLaunch(_)));
+    }
+
+    #[test]
+    fn launches_accumulate_counters() {
+        let dev = Device::v100();
+        let mut out = vec![0.0f32; 16];
+        dev.launch_map(&desc(16), &mut out, |_| 1.0).unwrap();
+        dev.launch_update(&desc(16), &mut out, |_, v| v).unwrap();
+        let c = dev.counters();
+        assert_eq!(c.kernel_launches, 2);
+        assert_eq!(c.flops, 32);
+        assert_eq!(c.dram_read_bytes, 2 * 64);
+    }
+
+    #[test]
+    fn visit_observes_every_index() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let dev = Device::v100();
+        let sum = AtomicU64::new(0);
+        dev.launch_visit(&desc(10), 10, |i| {
+            sum.fetch_add(i as u64, Ordering::Relaxed);
+        })
+        .unwrap();
+        assert_eq!(sum.load(Ordering::Relaxed), 45);
+    }
+}

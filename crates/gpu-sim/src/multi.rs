@@ -1,0 +1,146 @@
+//! Multi-GPU support (paper §3.5, "Supporting multiple GPUs").
+//!
+//! The paper sketches two extensions: *particle splitting* (each GPU owns a
+//! sub-swarm and exchanges its local-global best asynchronously) and *tile
+//! matrix* (the element-wise update is sharded across devices). A
+//! [`DeviceGroup`] provides the device collection, per-device timelines and
+//! the modeled peer-exchange cost; the strategies themselves live in the
+//! `fastpso` crate.
+
+use crate::device::Device;
+use crate::error::GpuError;
+use perf_model::{Counters, GpuProfile, LinkProfile, Phase, Timeline};
+
+/// A collection of simulated GPUs attached to one host.
+pub struct DeviceGroup {
+    devices: Vec<Device>,
+    link: LinkProfile,
+}
+
+impl DeviceGroup {
+    /// Create `n` identical devices.
+    pub fn new(n: usize, profile: GpuProfile, link: LinkProfile) -> Self {
+        let devices = (0..n)
+            .map(|i| Device::with_index(profile.clone(), link.clone(), i))
+            .collect();
+        DeviceGroup { devices, link }
+    }
+
+    /// `n` V100s behind PCIe 3.0.
+    pub fn v100s(n: usize) -> Self {
+        Self::new(n, GpuProfile::tesla_v100(), LinkProfile::pcie3_x16())
+    }
+
+    /// Number of devices in the group.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Whether the group is empty.
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// Handle to device `i`.
+    pub fn device(&self, i: usize) -> Result<&Device, GpuError> {
+        self.devices.get(i).ok_or(GpuError::NoSuchDevice(i))
+    }
+
+    /// Iterate over all devices.
+    pub fn iter(&self) -> impl Iterator<Item = &Device> {
+        self.devices.iter()
+    }
+
+    /// Model an all-to-one exchange of `bytes` per device (e.g. each
+    /// sub-swarm publishing its local best to the coordinator GPU), charged
+    /// to every device's timeline.
+    pub fn exchange(&self, phase: Phase, bytes_per_device: u64) {
+        for dev in &self.devices {
+            let t = perf_model::transfer_time(&self.link, bytes_per_device);
+            let mut c = Counters::new();
+            c.record_transfer(perf_model::TransferDirection::D2H, bytes_per_device);
+            dev.shared.charge(phase, t, c);
+        }
+    }
+
+    /// Wall-clock of the group: devices run concurrently, so the group's
+    /// modeled elapsed time is the *maximum* over per-device timelines.
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.devices
+            .iter()
+            .map(|d| d.timeline().total_seconds())
+            .fold(0.0, f64::max)
+    }
+
+    /// Sum of counters over all devices.
+    pub fn merged_counters(&self) -> Counters {
+        self.devices
+            .iter()
+            .fold(Counters::new(), |acc, d| acc + d.counters())
+    }
+
+    /// Merged timeline (per-phase sums — useful for breakdowns, not for
+    /// wall-clock, which is [`Self::elapsed_seconds`]).
+    pub fn merged_timeline(&self) -> Timeline {
+        let mut tl = Timeline::new();
+        for d in &self.devices {
+            tl.merge(&d.timeline());
+        }
+        tl
+    }
+
+    /// Reset every device's timeline.
+    pub fn reset_timelines(&self) {
+        for d in &self.devices {
+            d.reset_timeline();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::launch::KernelDesc;
+
+    #[test]
+    fn group_creates_indexed_devices() {
+        let g = DeviceGroup::v100s(3);
+        assert_eq!(g.len(), 3);
+        assert!(!g.is_empty());
+        assert_eq!(g.device(2).unwrap().index(), 2);
+        assert!(g.device(3).is_err());
+    }
+
+    #[test]
+    fn elapsed_is_max_not_sum() {
+        let g = DeviceGroup::v100s(2);
+        let d0 = g.device(0).unwrap();
+        let d1 = g.device(1).unwrap();
+        d0.charge_kernel(&KernelDesc::simple("a", Phase::Eval, 1, 4, 4, 1 << 20));
+        d1.charge_kernel(&KernelDesc::simple("b", Phase::Eval, 1, 4, 4, 1 << 10));
+        let t0 = d0.timeline().total_seconds();
+        let t1 = d1.timeline().total_seconds();
+        assert!((g.elapsed_seconds() - t0.max(t1)).abs() < 1e-15);
+        assert!(g.merged_timeline().total_seconds() > g.elapsed_seconds());
+    }
+
+    #[test]
+    fn exchange_charges_every_device() {
+        let g = DeviceGroup::v100s(2);
+        g.exchange(Phase::GBest, 1024);
+        for d in g.iter() {
+            let c = d.counters();
+            assert_eq!(c.transfers, 1);
+            assert_eq!(c.d2h_bytes, 1024);
+        }
+    }
+
+    #[test]
+    fn reset_clears_all_timelines() {
+        let g = DeviceGroup::v100s(2);
+        g.exchange(Phase::Other, 8);
+        g.reset_timelines();
+        assert_eq!(g.elapsed_seconds(), 0.0);
+        assert_eq!(g.merged_counters().transfers, 0);
+    }
+}

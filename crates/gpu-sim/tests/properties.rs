@@ -1,0 +1,136 @@
+//! Property-based tests of the simulator's execution semantics and cost
+//! model.
+
+use gpu_sim::{
+    f16_bits_to_f32, f32_to_f16_bits, AllocMode, Device, KernelDesc, MemoryPattern, Phase,
+};
+use perf_model::{gpu_kernel_time, GpuKernelWork, GpuProfile};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// launch_map computes exactly what a host loop computes, for any
+    /// size, and charges exactly one launch.
+    #[test]
+    fn launch_map_equals_host_loop(len in 1usize..5000, scale in -10.0f32..10.0) {
+        let dev = Device::v100();
+        let mut out = vec![0.0f32; len];
+        let desc = KernelDesc::simple("map", Phase::Other, 1, 0, 4, len as u64);
+        dev.launch_map(&desc, &mut out, |i| scale * i as f32).unwrap();
+        for (i, &v) in out.iter().enumerate() {
+            prop_assert_eq!(v, scale * i as f32);
+        }
+        prop_assert_eq!(dev.counters().kernel_launches, 1);
+    }
+
+    /// Tiled execution through shared memory is value-identical to the
+    /// flat element-wise form for arbitrary tile sizes and inputs.
+    #[test]
+    fn tiled_matches_flat_for_arbitrary_tiles(
+        len in 1usize..3000,
+        tile in 1usize..700,
+        seed in any::<u32>(),
+    ) {
+        let dev = Device::v100();
+        let a: Vec<f32> = (0..len).map(|i| ((i as u32 ^ seed) % 1000) as f32 * 0.1).collect();
+        let mut flat = vec![1.0f32; len];
+        let desc = KernelDesc::simple("flat", Phase::Other, 2, 8, 4, len as u64);
+        dev.launch_update(&desc, &mut flat, |i, old| old + 2.0 * a[i]).unwrap();
+
+        let mut tiled = vec![1.0f32; len];
+        dev.launch_tiled("tiled", Phase::Other, 2, tile, &[&a], &mut tiled, |_g, l, ctx| {
+            ctx.out_old[l] + 2.0 * ctx.inputs[0][l]
+        })
+        .unwrap();
+        prop_assert_eq!(flat, tiled);
+    }
+
+    /// Device accounting: bytes_in_use returns to zero after arbitrary
+    /// alloc/drop interleavings, in both allocator modes.
+    #[test]
+    fn memory_accounting_balances(
+        sizes in prop::collection::vec(1usize..10_000, 1..20),
+        caching in any::<bool>(),
+    ) {
+        let dev = Device::v100();
+        dev.set_alloc_mode(if caching { AllocMode::Caching } else { AllocMode::Realloc });
+        let mut live = Vec::new();
+        for (k, &s) in sizes.iter().enumerate() {
+            live.push(dev.alloc::<f32>(s).unwrap());
+            if k % 3 == 2 {
+                live.remove(0);
+            }
+        }
+        let expected: usize = live.iter().map(|b| b.len() * 4).sum();
+        prop_assert_eq!(dev.bytes_in_use(), expected);
+        drop(live);
+        prop_assert_eq!(dev.bytes_in_use(), 0);
+    }
+
+    /// Monotonicity of the kernel-time model: more bytes can never be
+    /// faster, more resident threads can never be slower.
+    #[test]
+    fn kernel_time_is_monotone(
+        threads in 32u64..2_000_000,
+        bytes in 0u64..1_000_000_000,
+        extra in 1u64..1_000_000_000,
+    ) {
+        let gpu = GpuProfile::tesla_v100();
+        let base = GpuKernelWork {
+            threads,
+            launched_threads: threads,
+            flops: 0,
+            tensor_flops: 0,
+            dram_read_bytes: bytes,
+            dram_write_bytes: 0,
+            shared_bytes: 0,
+            pattern: MemoryPattern::Coalesced,
+        };
+        let t0 = gpu_kernel_time(&gpu, &base);
+        let more_bytes = GpuKernelWork { dram_read_bytes: bytes + extra, ..base };
+        prop_assert!(gpu_kernel_time(&gpu, &more_bytes) >= t0);
+        let more_threads = GpuKernelWork { threads: threads * 2, launched_threads: threads * 2, ..base };
+        prop_assert!(gpu_kernel_time(&gpu, &more_threads) <= t0 + 1e-12);
+    }
+
+    /// f16 encode agrees with the reference conversion derived from
+    /// arithmetic (scalbn/round) on every finite input.
+    #[test]
+    fn f16_encode_matches_arithmetic_reference(x in any::<f32>()) {
+        prop_assume!(x.is_finite());
+        let got = f16_bits_to_f32(f32_to_f16_bits(x));
+        // Reference: decide the rounded value from the real-valued grid.
+        let reference = {
+            let a = x.abs() as f64;
+            if a >= 65520.0 {
+                f32::INFINITY.copysign(x)
+            } else if a < 2.0f64.powi(-25) {
+                0.0f32.copysign(x)
+            } else {
+                // Quantize to the f16 grid: spacing 2^(e-10) for normals,
+                // 2^-24 for subnormals.
+                let e = a.log2().floor() as i32;
+                let spacing = 2.0f64.powi((e - 10).max(-24));
+                let q = (a / spacing).round_ties_even() * spacing;
+                (q as f32).copysign(x)
+            }
+        };
+        // Exact agreement covers the saturating/flush cases (±inf, ±0),
+        // where the difference below would be NaN.
+        if got == reference || (got == 0.0 && reference == 0.0) {
+            return Ok(());
+        }
+        // The arithmetic reference can itself land on a grid boundary;
+        // accept equality or a one-ULP(f16) discrepancy at ties.
+        let ulp = {
+            let a = x.abs() as f64;
+            let e = if a > 0.0 { a.log2().floor() as i32 } else { -24 };
+            2.0f64.powi((e - 10).max(-24)) as f32
+        };
+        prop_assert!(
+            (got - reference).abs() <= ulp,
+            "x={x}, got={got}, reference={reference}"
+        );
+    }
+}

@@ -1,0 +1,277 @@
+//! Counter → modeled-seconds conversion.
+//!
+//! The GPU kernel model is a roofline with a latency-hiding occupancy term:
+//!
+//! ```text
+//! t = launch_overhead + max(t_compute, t_dram) + t_shared
+//! t_compute = flops / (peak_flops · hide)
+//! t_dram    = bytes / (bandwidth · mem_efficiency · pattern · hide)
+//! hide      = min(1, resident_warps_per_sm / latency_hiding_warps)
+//! ```
+//!
+//! `hide` is the term that separates FastPSO from particle-per-thread
+//! designs: with `n = 5000` particles a particle-per-thread kernel has fewer
+//! than 2 resident warps per SM on a V100 and runs latency-bound, while the
+//! element-wise formulation launches `n·d` threads and saturates the device.
+
+use crate::counters::MemoryPattern;
+use crate::profile::{CpuProfile, GpuProfile, InterpreterProfile, LinkProfile};
+
+/// Work description of a single GPU kernel launch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuKernelWork {
+    /// Total logical threads doing work (before grid-stride folding).
+    /// Occupancy is computed from the number of threads actually resident,
+    /// which is `min(threads, launched_threads)`.
+    pub threads: u64,
+    /// Threads actually launched (after resource-aware clamping). If zero,
+    /// assumed equal to `threads`.
+    pub launched_threads: u64,
+    /// FP32 operations on CUDA cores.
+    pub flops: u64,
+    /// Mixed-precision operations on tensor cores.
+    pub tensor_flops: u64,
+    /// Useful bytes read from global memory.
+    pub dram_read_bytes: u64,
+    /// Useful bytes written to global memory.
+    pub dram_write_bytes: u64,
+    /// Bytes staged through shared memory.
+    pub shared_bytes: u64,
+    /// Global-memory access pattern.
+    pub pattern: MemoryPattern,
+}
+
+impl GpuKernelWork {
+    /// Convenience constructor for a coalesced element-wise kernel.
+    pub fn elementwise(threads: u64, flops: u64, read: u64, write: u64) -> Self {
+        GpuKernelWork {
+            threads,
+            launched_threads: 0,
+            flops,
+            tensor_flops: 0,
+            dram_read_bytes: read,
+            dram_write_bytes: write,
+            shared_bytes: 0,
+            pattern: MemoryPattern::Coalesced,
+        }
+    }
+}
+
+/// Modeled execution time of one kernel launch, in seconds.
+pub fn gpu_kernel_time(gpu: &GpuProfile, work: &GpuKernelWork) -> f64 {
+    let launched = if work.launched_threads == 0 {
+        work.threads
+    } else {
+        work.launched_threads.min(work.threads)
+    };
+    let resident = (launched as f64).min(gpu.max_resident_threads() as f64);
+    let warps_per_sm = resident / gpu.warp_size as f64 / gpu.sm_count as f64;
+    let hide = (warps_per_sm / gpu.latency_hiding_warps).clamp(1.0 / gpu.max_resident_threads() as f64, 1.0);
+
+    let t_compute = work.flops as f64 / (gpu.peak_flops() * hide);
+    let t_tensor = if gpu.tensor_peak_flops > 0.0 {
+        work.tensor_flops as f64 / (gpu.tensor_peak_flops * hide)
+    } else {
+        // A device without tensor cores executes the same math on CUDA cores.
+        work.tensor_flops as f64 / (gpu.peak_flops() * hide)
+    };
+    let dram_bytes = (work.dram_read_bytes + work.dram_write_bytes) as f64;
+    let t_dram =
+        dram_bytes / (gpu.mem_bandwidth * gpu.mem_efficiency * work.pattern.efficiency() * hide);
+    // Shared memory bandwidth on V100-class parts is ~10x DRAM and accesses
+    // overlap with compute almost perfectly; charge a small serial term.
+    let t_shared = work.shared_bytes as f64 / (gpu.mem_bandwidth * 10.0);
+
+    gpu.kernel_launch_overhead_s + (t_compute + t_tensor).max(t_dram) + t_shared
+}
+
+/// Work description of a CPU phase (one parallel region or serial section).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuWork {
+    /// Number of threads across which the phase is parallelized (1 = serial).
+    pub threads: u32,
+    /// FP operations.
+    pub flops: u64,
+    /// Bytes moved through main memory.
+    pub bytes: u64,
+    /// Heap allocation/free pairs.
+    pub allocs: u64,
+}
+
+/// Modeled execution time of a CPU phase, in seconds.
+pub fn cpu_time(cpu: &CpuProfile, work: &CpuWork) -> f64 {
+    let threads = work.threads.clamp(1, cpu.cores) as f64;
+    // Effective speedup: 1 thread → 1.0; `cores` threads → cores·efficiency,
+    // interpolated linearly in thread count so small thread counts are not
+    // over-penalized.
+    let speedup = if work.threads <= 1 {
+        1.0
+    } else {
+        (1.0 + (threads - 1.0) * cpu.parallel_efficiency * cpu.cores as f64 / (cpu.cores as f64 - 1.0))
+            .max(1.0)
+    };
+    let t_compute = work.flops as f64 / (cpu.core_flops() * speedup);
+    let bw = if work.threads <= 1 {
+        cpu.per_core_mem_bandwidth
+    } else {
+        cpu.total_mem_bandwidth
+            .min(cpu.per_core_mem_bandwidth * threads)
+    };
+    let t_mem = work.bytes as f64 / bw;
+    let t_alloc = work.allocs as f64 * cpu.alloc_cost_s;
+    let t_region = if work.threads > 1 {
+        cpu.parallel_region_overhead_s
+    } else {
+        0.0
+    };
+    t_compute.max(t_mem) + t_alloc + t_region
+}
+
+/// Modeled time of interpreter-side overhead (on top of the numeric work
+/// itself, which is charged through [`cpu_time`]).
+pub fn interpreter_time(
+    interp: &InterpreterProfile,
+    ops: u64,
+    python_elems: u64,
+    temp_elems: u64,
+) -> f64 {
+    ops as f64 * interp.per_op_dispatch_s
+        + python_elems as f64 * interp.per_element_python_s
+        + temp_elems as f64 * interp.temp_per_element_s
+}
+
+/// Modeled time of one host↔device transfer of `bytes` bytes.
+pub fn transfer_time(link: &LinkProfile, bytes: u64) -> f64 {
+    link.latency_s + bytes as f64 / link.bandwidth
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::Testbed;
+
+    fn v100() -> GpuProfile {
+        GpuProfile::tesla_v100()
+    }
+
+    #[test]
+    fn saturating_kernel_hits_memory_roofline() {
+        // 1 GB coalesced stream with millions of threads: time ≈ bytes/BW.
+        let gpu = v100();
+        let w = GpuKernelWork::elementwise(1 << 22, 0, 1 << 30, 0);
+        let t = gpu_kernel_time(&gpu, &w);
+        let ideal = (1u64 << 30) as f64 / (gpu.mem_bandwidth * gpu.mem_efficiency);
+        assert!(t >= ideal);
+        assert!(t < ideal * 1.1, "t={t}, ideal={ideal}");
+    }
+
+    #[test]
+    fn few_threads_run_latency_bound() {
+        // Same total work, 5000 threads vs 1M threads: the former must be
+        // dramatically slower — this is the paper's gpu-pso-vs-fastpso gap.
+        let gpu = v100();
+        let flops = 100_000_000;
+        let bytes = 400_000_000;
+        let few = GpuKernelWork {
+            threads: 5000,
+            ..GpuKernelWork::elementwise(5000, flops, bytes, 0)
+        };
+        let many = GpuKernelWork::elementwise(1_000_000, flops, bytes, 0);
+        let t_few = gpu_kernel_time(&gpu, &few);
+        let t_many = gpu_kernel_time(&gpu, &many);
+        assert!(t_few > t_many * 3.0, "t_few={t_few}, t_many={t_many}");
+    }
+
+    #[test]
+    fn strided_access_is_slower_than_coalesced() {
+        let gpu = v100();
+        let mut w = GpuKernelWork::elementwise(1 << 20, 0, 1 << 28, 0);
+        let coalesced = gpu_kernel_time(&gpu, &w);
+        w.pattern = MemoryPattern::Strided(200);
+        let strided = gpu_kernel_time(&gpu, &w);
+        assert!(strided > coalesced * 4.0);
+    }
+
+    #[test]
+    fn tensor_flops_fall_back_to_cuda_cores_without_tensor_units() {
+        let pascal = GpuProfile::pascal_gtx1080();
+        let volta = v100();
+        let w = GpuKernelWork {
+            tensor_flops: 1 << 32,
+            ..GpuKernelWork::elementwise(1 << 22, 0, 0, 0)
+        };
+        let t_pascal = gpu_kernel_time(&pascal, &w);
+        let t_volta = gpu_kernel_time(&volta, &w);
+        assert!(t_pascal > t_volta, "pascal should be slower on tensor math");
+    }
+
+    #[test]
+    fn launch_overhead_dominates_empty_kernel() {
+        let gpu = v100();
+        let w = GpuKernelWork::elementwise(32, 0, 0, 0);
+        let t = gpu_kernel_time(&gpu, &w);
+        assert!((t - gpu.kernel_launch_overhead_s).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cpu_serial_compute_bound_matches_core_rate() {
+        let cpu = Testbed::paper().cpu;
+        let w = CpuWork {
+            threads: 1,
+            flops: 4_800_000_000, // 1 s at 4.8 GFLOPs
+            bytes: 0,
+            allocs: 0,
+        };
+        let t = cpu_time(&cpu, &w);
+        assert!((t - 1.0).abs() < 1e-9, "t={t}");
+    }
+
+    #[test]
+    fn cpu_parallel_is_faster_than_serial_but_sublinear() {
+        let cpu = Testbed::paper().cpu;
+        let serial = CpuWork {
+            threads: 1,
+            flops: 1 << 33,
+            bytes: 1 << 30,
+            allocs: 0,
+        };
+        let parallel = CpuWork {
+            threads: cpu.cores,
+            ..serial
+        };
+        let ts = cpu_time(&cpu, &serial);
+        let tp = cpu_time(&cpu, &parallel);
+        assert!(tp < ts);
+        assert!(tp > ts / cpu.cores as f64, "must be sublinear");
+    }
+
+    #[test]
+    fn interpreter_overhead_scales_with_ops_and_elements() {
+        let it = InterpreterProfile::cpython_numpy();
+        let t1 = interpreter_time(&it, 10, 0, 0);
+        let t2 = interpreter_time(&it, 20, 0, 0);
+        assert!((t2 - 2.0 * t1).abs() < 1e-12);
+        assert!(interpreter_time(&it, 0, 1000, 0) > 0.0);
+        assert!(interpreter_time(&it, 0, 0, 1000) > 0.0);
+    }
+
+    #[test]
+    fn transfer_time_includes_latency_floor() {
+        let link = LinkProfile::pcie3_x16();
+        assert!(transfer_time(&link, 0) >= link.latency_s);
+        let big = transfer_time(&link, 1 << 30);
+        assert!(big > (1u64 << 30) as f64 / link.bandwidth);
+    }
+
+    #[test]
+    fn alloc_cost_is_charged() {
+        let cpu = Testbed::paper().cpu;
+        let w = CpuWork {
+            threads: 1,
+            flops: 0,
+            bytes: 0,
+            allocs: 1000,
+        };
+        assert!((cpu_time(&cpu, &w) - 1000.0 * cpu.alloc_cost_s).abs() < 1e-12);
+    }
+}

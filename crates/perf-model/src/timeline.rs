@@ -1,0 +1,191 @@
+//! Phase-attributed accounting of modeled time and counters.
+//!
+//! The paper's Figure 5 breaks PSO down into five steps — swarm
+//! initialization, swarm evaluation, `pbest` update, `gbest` update and
+//! swarm update — and attributes elapsed time to each. [`Timeline`] provides
+//! exactly that attribution for modeled time: implementations tag every
+//! charge with a [`Phase`], and the harness reads per-phase totals back.
+
+use crate::counters::Counters;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The PSO algorithm steps used in the paper's breakdown (Figure 5), plus a
+/// catch-all for work outside the loop (transfers, teardown).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Phase {
+    /// Swarm initialization: positions, velocities, RNG state (step i).
+    Init,
+    /// Swarm evaluation: objective function over all particles (step ii).
+    Eval,
+    /// Per-particle best update (step iii, first half).
+    PBest,
+    /// Global best reduction (step iii, second half).
+    GBest,
+    /// Velocity + position update (step iv).
+    SwarmUpdate,
+    /// Anything else: host↔device transfers, memory management, teardown.
+    Other,
+}
+
+impl Phase {
+    /// All phases in the order the paper plots them.
+    pub const ALL: [Phase; 6] = [
+        Phase::Init,
+        Phase::Eval,
+        Phase::PBest,
+        Phase::GBest,
+        Phase::SwarmUpdate,
+        Phase::Other,
+    ];
+
+    /// The tag used in the paper's Figure 5 x-axis.
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::Init => "init",
+            Phase::Eval => "eval",
+            Phase::PBest => "pbest",
+            Phase::GBest => "gbest",
+            Phase::SwarmUpdate => "swarm",
+            Phase::Other => "other",
+        }
+    }
+}
+
+/// Accumulates modeled seconds and counters per [`Phase`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Timeline {
+    seconds: BTreeMap<Phase, f64>,
+    counters: BTreeMap<Phase, Counters>,
+}
+
+impl Timeline {
+    /// An empty timeline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charge `seconds` of modeled time and `counters` of work to `phase`.
+    pub fn charge(&mut self, phase: Phase, seconds: f64, counters: Counters) {
+        debug_assert!(seconds >= 0.0 && seconds.is_finite(), "bad charge: {seconds}");
+        *self.seconds.entry(phase).or_insert(0.0) += seconds;
+        self.counters.entry(phase).or_default().merge(&counters);
+    }
+
+    /// Charge time only (no counter detail).
+    pub fn charge_time(&mut self, phase: Phase, seconds: f64) {
+        self.charge(phase, seconds, Counters::default());
+    }
+
+    /// Modeled seconds attributed to `phase`.
+    pub fn seconds(&self, phase: Phase) -> f64 {
+        self.seconds.get(&phase).copied().unwrap_or(0.0)
+    }
+
+    /// Counters attributed to `phase`.
+    pub fn phase_counters(&self, phase: Phase) -> Counters {
+        self.counters.get(&phase).copied().unwrap_or_default()
+    }
+
+    /// Total modeled seconds across all phases.
+    pub fn total_seconds(&self) -> f64 {
+        self.seconds.values().sum()
+    }
+
+    /// Total counters across all phases.
+    pub fn total_counters(&self) -> Counters {
+        self.counters
+            .values()
+            .fold(Counters::default(), |acc, c| acc + *c)
+    }
+
+    /// Merge another timeline into this one, phase by phase.
+    pub fn merge(&mut self, other: &Timeline) {
+        for (p, s) in &other.seconds {
+            *self.seconds.entry(*p).or_insert(0.0) += s;
+        }
+        for (p, c) in &other.counters {
+            self.counters.entry(*p).or_default().merge(c);
+        }
+    }
+
+    /// Breakdown as `(phase, seconds)` pairs in the paper's plot order,
+    /// including phases with zero charge.
+    pub fn breakdown(&self) -> Vec<(Phase, f64)> {
+        Phase::ALL.iter().map(|&p| (p, self.seconds(p))).collect()
+    }
+
+    /// Fraction of total time spent in `phase` (0 when the timeline is empty).
+    pub fn fraction(&self, phase: Phase) -> f64 {
+        let total = self.total_seconds();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.seconds(phase) / total
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_accumulate_per_phase() {
+        let mut t = Timeline::new();
+        t.charge_time(Phase::SwarmUpdate, 1.0);
+        t.charge_time(Phase::SwarmUpdate, 0.5);
+        t.charge_time(Phase::Eval, 0.25);
+        assert_eq!(t.seconds(Phase::SwarmUpdate), 1.5);
+        assert_eq!(t.seconds(Phase::Eval), 0.25);
+        assert_eq!(t.seconds(Phase::Init), 0.0);
+        assert!((t.total_seconds() - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counters_accumulate_per_phase() {
+        let mut t = Timeline::new();
+        let mut c = Counters::new();
+        c.flops = 10;
+        t.charge(Phase::Eval, 0.1, c);
+        t.charge(Phase::Eval, 0.1, c);
+        assert_eq!(t.phase_counters(Phase::Eval).flops, 20);
+        assert_eq!(t.total_counters().flops, 20);
+    }
+
+    #[test]
+    fn merge_combines_timelines() {
+        let mut a = Timeline::new();
+        a.charge_time(Phase::Init, 1.0);
+        let mut b = Timeline::new();
+        b.charge_time(Phase::Init, 2.0);
+        b.charge_time(Phase::GBest, 3.0);
+        a.merge(&b);
+        assert_eq!(a.seconds(Phase::Init), 3.0);
+        assert_eq!(a.seconds(Phase::GBest), 3.0);
+    }
+
+    #[test]
+    fn breakdown_covers_all_phases_in_order() {
+        let t = Timeline::new();
+        let b = t.breakdown();
+        assert_eq!(b.len(), 6);
+        assert_eq!(b[0].0, Phase::Init);
+        assert_eq!(b[4].0, Phase::SwarmUpdate);
+    }
+
+    #[test]
+    fn fraction_is_zero_on_empty_and_normalized_otherwise() {
+        let mut t = Timeline::new();
+        assert_eq!(t.fraction(Phase::Eval), 0.0);
+        t.charge_time(Phase::Eval, 1.0);
+        t.charge_time(Phase::SwarmUpdate, 3.0);
+        assert!((t.fraction(Phase::SwarmUpdate) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn labels_match_paper_tags() {
+        assert_eq!(Phase::SwarmUpdate.label(), "swarm");
+        assert_eq!(Phase::PBest.label(), "pbest");
+    }
+}

@@ -1,0 +1,135 @@
+//! Xoshiro256++ (Blackman & Vigna, 2019) — a fast sequential generator
+//! used by the host-side baselines (pyswarms-like, scikit-opt-like,
+//! fastpso-seq), which draw their random weights in a loop rather than by
+//! counter. `jump()` advances by 2¹²⁸ steps for cheap parallel substreams.
+
+use crate::splitmix::SplitMix64;
+
+/// Xoshiro256++ generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Xoshiro256pp {
+    s: [u64; 4],
+}
+
+impl Xoshiro256pp {
+    /// Create from a seed (state expanded through SplitMix64, as the
+    /// authors recommend).
+    pub fn new(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        Xoshiro256pp {
+            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
+        }
+    }
+
+    /// Next 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = (self.s[0].wrapping_add(self.s[3]))
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Next `f32` in `[0, 1)`.
+    #[inline]
+    pub fn next_f32(&mut self) -> f32 {
+        ((self.next_u64() >> 40) as f32) * (1.0 / (1u64 << 24) as f32)
+    }
+
+    /// Next `f64` in `[0, 1)`.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Next `f32` in `[lo, hi)`.
+    #[inline]
+    pub fn next_range(&mut self, lo: f32, hi: f32) -> f32 {
+        lo + (hi - lo) * self.next_f32()
+    }
+
+    /// Advance 2¹²⁸ steps: partitions the period into non-overlapping
+    /// substreams for parallel use.
+    pub fn jump(&mut self) {
+        const JUMP: [u64; 4] = [
+            0x180e_c6d3_3cfd_0aba,
+            0xd5a6_1266_f0c9_392c,
+            0xa958_2618_e03f_c9aa,
+            0x39ab_dc45_29b1_661c,
+        ];
+        let mut s = [0u64; 4];
+        for j in JUMP {
+            for b in 0..64 {
+                if (j & (1u64 << b)) != 0 {
+                    s[0] ^= self.s[0];
+                    s[1] ^= self.s[1];
+                    s[2] ^= self.s[2];
+                    s[3] ^= self.s[3];
+                }
+                self.next_u64();
+            }
+        }
+        self.s = s;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outputs_are_deterministic() {
+        let mut a = Xoshiro256pp::new(5);
+        let mut b = Xoshiro256pp::new(5);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn f32_in_unit_interval_with_good_mean() {
+        let mut g = Xoshiro256pp::new(7);
+        let n = 100_000;
+        let mut sum = 0.0f64;
+        for _ in 0..n {
+            let x = g.next_f32();
+            assert!((0.0..1.0).contains(&x));
+            sum += x as f64;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.005, "mean={mean}");
+    }
+
+    #[test]
+    fn range_mapping_is_inclusive_exclusive() {
+        let mut g = Xoshiro256pp::new(1);
+        for _ in 0..10_000 {
+            let x = g.next_range(-5.12, 5.12);
+            assert!((-5.12..5.12).contains(&x));
+        }
+    }
+
+    #[test]
+    fn jump_decorrelates_streams() {
+        let mut a = Xoshiro256pp::new(3);
+        let mut b = a;
+        b.jump();
+        let same = (0..1000).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn jumped_stream_differs_from_seeded_stream() {
+        let mut base = Xoshiro256pp::new(3);
+        base.jump();
+        let mut other = Xoshiro256pp::new(4);
+        assert_ne!(base.next_u64(), other.next_u64());
+    }
+}

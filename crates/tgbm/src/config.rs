@@ -1,0 +1,281 @@
+//! Training configuration and the tunable kernel-launch table.
+
+/// The 25 launch-configurable kernels of the trainer, mirroring the case
+/// study ("we used FastPSO to automatically set the number of threads for
+/// 25 GPU kernel functions of ThunderGBM").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelId {
+    QuantizeFeatures,
+    BinBoundaries,
+    InitPredictions,
+    ComputeGradHess,
+    ZeroHistograms,
+    CountBins,
+    AggregateHistograms,
+    SubtractSiblingHist,
+    FindBestSplit,
+    RegularizeSplits,
+    ArgmaxGain,
+    ApplySplitFilter,
+    PartitionSamples,
+    ExclusiveScan,
+    GatherRows,
+    MissingValueRoute,
+    ColumnSampler,
+    RowSampler,
+    UpdateLeafValues,
+    PruneCheck,
+    UpdatePredictions,
+    ReduceLoss,
+    TransposeFeatures,
+    PredictKernel,
+    ComputeMetrics,
+}
+
+impl KernelId {
+    /// All tunable kernels, in table order.
+    pub const ALL: [KernelId; 25] = [
+        KernelId::QuantizeFeatures,
+        KernelId::BinBoundaries,
+        KernelId::InitPredictions,
+        KernelId::ComputeGradHess,
+        KernelId::ZeroHistograms,
+        KernelId::CountBins,
+        KernelId::AggregateHistograms,
+        KernelId::SubtractSiblingHist,
+        KernelId::FindBestSplit,
+        KernelId::RegularizeSplits,
+        KernelId::ArgmaxGain,
+        KernelId::ApplySplitFilter,
+        KernelId::PartitionSamples,
+        KernelId::ExclusiveScan,
+        KernelId::GatherRows,
+        KernelId::MissingValueRoute,
+        KernelId::ColumnSampler,
+        KernelId::RowSampler,
+        KernelId::UpdateLeafValues,
+        KernelId::PruneCheck,
+        KernelId::UpdatePredictions,
+        KernelId::ReduceLoss,
+        KernelId::TransposeFeatures,
+        KernelId::PredictKernel,
+        KernelId::ComputeMetrics,
+    ];
+
+    /// Index of this kernel in the tuning table.
+    pub fn index(self) -> usize {
+        Self::ALL.iter().position(|&k| k == self).expect("in ALL")
+    }
+
+    /// Kernel name for traces.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelId::QuantizeFeatures => "quantize_features",
+            KernelId::BinBoundaries => "bin_boundaries",
+            KernelId::InitPredictions => "init_predictions",
+            KernelId::ComputeGradHess => "compute_grad_hess",
+            KernelId::ZeroHistograms => "zero_histograms",
+            KernelId::CountBins => "count_bins",
+            KernelId::AggregateHistograms => "aggregate_histograms",
+            KernelId::SubtractSiblingHist => "subtract_sibling_hist",
+            KernelId::FindBestSplit => "find_best_split",
+            KernelId::RegularizeSplits => "regularize_splits",
+            KernelId::ArgmaxGain => "argmax_gain",
+            KernelId::ApplySplitFilter => "apply_split_filter",
+            KernelId::PartitionSamples => "partition_samples",
+            KernelId::ExclusiveScan => "exclusive_scan",
+            KernelId::GatherRows => "gather_rows",
+            KernelId::MissingValueRoute => "missing_value_route",
+            KernelId::ColumnSampler => "column_sampler",
+            KernelId::RowSampler => "row_sampler",
+            KernelId::UpdateLeafValues => "update_leaf_values",
+            KernelId::PruneCheck => "prune_check",
+            KernelId::UpdatePredictions => "update_predictions",
+            KernelId::ReduceLoss => "reduce_loss",
+            KernelId::TransposeFeatures => "transpose_features",
+            KernelId::PredictKernel => "predict_kernel",
+            KernelId::ComputeMetrics => "compute_metrics",
+        }
+    }
+}
+
+/// Number of tuned kernels (25) — the PSO search space is `2 ×` this.
+pub const N_TUNED_KERNELS: usize = KernelId::ALL.len();
+
+/// Launch dimensions of one kernel: CUDA block size and a grid scale
+/// relative to the one-thread-per-element grid.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LaunchDims {
+    /// Threads per block (rounded to a legal value at use).
+    pub block: u32,
+    /// Grid scale: 1.0 launches one thread per element (capped by device
+    /// residency); 0.25 launches a quarter as many (more work per thread);
+    /// values > 1 oversubscribe.
+    pub grid_scale: f32,
+}
+
+impl Default for LaunchDims {
+    /// ThunderGBM-style compile-time default: 256-thread blocks, one
+    /// thread per element.
+    fn default() -> Self {
+        LaunchDims {
+            block: 256,
+            grid_scale: 1.0,
+        }
+    }
+}
+
+impl LaunchDims {
+    /// Clamp to legal CUDA values (warp-multiple block in [32, 1024],
+    /// positive grid scale).
+    pub fn sanitized(self) -> LaunchDims {
+        let block = (self.block.clamp(32, 1024) / 32) * 32;
+        LaunchDims {
+            block: block.max(32),
+            grid_scale: if self.grid_scale.is_finite() {
+                self.grid_scale.clamp(0.05, 8.0)
+            } else {
+                1.0
+            },
+        }
+    }
+
+    /// Decode from a pair of PSO coordinates in the objective's domain
+    /// `(0, 1)`: the first picks the block size on a log₂ grid, the second
+    /// the grid scale on a log grid.
+    pub fn decode(block_coord: f32, grid_coord: f32) -> LaunchDims {
+        let b = block_coord.clamp(0.0, 1.0);
+        let g = grid_coord.clamp(0.0, 1.0);
+        // 32 … 1024 in warp multiples, log-spaced endpoints.
+        let block = (32.0 * (2.0f32).powf(b * 5.0)).round() as u32;
+        // 0.125 … 4.0 log-spaced.
+        let grid_scale = 0.125 * (32.0f32).powf(g);
+        LaunchDims { block, grid_scale }.sanitized()
+    }
+}
+
+/// GBDT training configuration (paper case study: 40 trees, depth 6,
+/// other parameters ThunderGBM defaults).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TgbmConfig {
+    /// Number of boosting rounds.
+    pub n_trees: usize,
+    /// Maximum tree depth.
+    pub depth: usize,
+    /// Shrinkage.
+    pub learning_rate: f32,
+    /// Histogram bins per feature.
+    pub n_bins: usize,
+    /// L2 regularization on leaf values.
+    pub lambda: f32,
+    /// Minimum gain to accept a split.
+    pub min_gain: f32,
+    /// Launch dimensions per kernel, indexed by [`KernelId::index`].
+    pub launch: Vec<LaunchDims>,
+}
+
+impl TgbmConfig {
+    /// Defaults mirroring the case study (pass `40, 6` for the paper's
+    /// exact setting).
+    pub fn new(n_trees: usize, depth: usize) -> Self {
+        TgbmConfig {
+            n_trees,
+            depth,
+            learning_rate: 0.1,
+            n_bins: 32,
+            lambda: 1.0,
+            min_gain: 1e-6,
+            launch: vec![LaunchDims::default(); N_TUNED_KERNELS],
+        }
+    }
+
+    /// The paper's case-study setting: 40 trees of depth 6.
+    pub fn paper_case_study() -> Self {
+        Self::new(40, 6)
+    }
+
+    /// Launch dimensions for `kernel`.
+    pub fn dims(&self, kernel: KernelId) -> LaunchDims {
+        self.launch[kernel.index()].sanitized()
+    }
+
+    /// Replace the whole launch table (length must be
+    /// [`N_TUNED_KERNELS`]).
+    pub fn with_launch_table(mut self, table: Vec<LaunchDims>) -> Self {
+        assert_eq!(table.len(), N_TUNED_KERNELS, "launch table length");
+        self.launch = table;
+        self
+    }
+
+    /// Decode a PSO position vector (50 coordinates in `(0,1)`) into a
+    /// launch table and install it.
+    pub fn with_position(self, x: &[f32]) -> Self {
+        assert_eq!(x.len(), 2 * N_TUNED_KERNELS, "position length");
+        let table = x
+            .chunks_exact(2)
+            .map(|p| LaunchDims::decode(p[0], p[1]))
+            .collect();
+        self.with_launch_table(table)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_table_has_25_unique_entries() {
+        assert_eq!(N_TUNED_KERNELS, 25);
+        let set: std::collections::HashSet<_> = KernelId::ALL.iter().collect();
+        assert_eq!(set.len(), 25);
+        for (i, k) in KernelId::ALL.iter().enumerate() {
+            assert_eq!(k.index(), i);
+            assert!(!k.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn sanitize_rounds_to_warp_multiples() {
+        let d = LaunchDims { block: 100, grid_scale: 1.0 }.sanitized();
+        assert_eq!(d.block, 96);
+        let d = LaunchDims { block: 7, grid_scale: f32::NAN }.sanitized();
+        assert_eq!(d.block, 32);
+        assert_eq!(d.grid_scale, 1.0);
+        let d = LaunchDims { block: 9999, grid_scale: 100.0 }.sanitized();
+        assert_eq!(d.block, 1024);
+        assert_eq!(d.grid_scale, 8.0);
+    }
+
+    #[test]
+    fn decode_spans_the_legal_range() {
+        let lo = LaunchDims::decode(0.0, 0.0);
+        assert_eq!(lo.block, 32);
+        assert!((lo.grid_scale - 0.125).abs() < 1e-3);
+        let hi = LaunchDims::decode(1.0, 1.0);
+        assert_eq!(hi.block, 1024);
+        assert!((hi.grid_scale - 4.0).abs() < 1e-3);
+        let mid = LaunchDims::decode(0.5, 0.5);
+        assert!(mid.block > 32 && mid.block < 1024);
+    }
+
+    #[test]
+    fn with_position_builds_a_full_table() {
+        let x: Vec<f32> = (0..50).map(|i| i as f32 / 50.0).collect();
+        let cfg = TgbmConfig::new(1, 2).with_position(&x);
+        assert_eq!(cfg.launch.len(), 25);
+        assert_ne!(cfg.launch[0], cfg.launch[24]);
+    }
+
+    #[test]
+    #[should_panic(expected = "position length")]
+    fn wrong_position_length_panics() {
+        let _ = TgbmConfig::new(1, 2).with_position(&[0.5; 10]);
+    }
+
+    #[test]
+    fn paper_case_study_settings() {
+        let cfg = TgbmConfig::paper_case_study();
+        assert_eq!(cfg.n_trees, 40);
+        assert_eq!(cfg.depth, 6);
+    }
+}

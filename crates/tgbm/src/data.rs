@@ -1,0 +1,179 @@
+//! Synthetic datasets standing in for the case study's UCI data.
+//!
+//! The paper trains ThunderGBM on covtype (0.58M × 54), susy (5M × 18),
+//! higgs (11M × 28) and e2006 (16K × 150361). Real downloads are not
+//! available here, so each preset generates a regression dataset with the
+//! same *shape character* (cardinality ratio, dimensionality), scaled down
+//! by the documented factor — Table 5 only needs the kernels' workload
+//! response to launch configuration, which depends on shape, not on the
+//! actual feature semantics.
+
+use fastpso_prng::{SplitMix64, Xoshiro256pp};
+
+/// A dense row-major regression dataset.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Dataset name for reports.
+    pub name: String,
+    n_samples: usize,
+    n_features: usize,
+    /// Features, row-major `n_samples × n_features`.
+    features: Vec<f32>,
+    /// Regression targets.
+    labels: Vec<f32>,
+}
+
+impl Dataset {
+    /// Generate a learnable synthetic regression problem: targets are a
+    /// sparse nonlinear function of the features plus noise.
+    pub fn synthetic_regression(n_samples: usize, n_features: usize, seed: u64) -> Dataset {
+        assert!(n_samples > 0 && n_features > 0);
+        let mut rng = Xoshiro256pp::new(seed);
+        let mut features = Vec::with_capacity(n_samples * n_features);
+        for _ in 0..n_samples * n_features {
+            features.push(rng.next_range(-1.0, 1.0));
+        }
+        // A hidden model over a handful of active features, with
+        // thresholds so trees can actually capture it.
+        let mut coef_rng = SplitMix64::new(seed ^ 0xdead);
+        let active = n_features.clamp(1, 8);
+        let coefs: Vec<f32> = (0..active)
+            .map(|_| (coef_rng.next_f64() * 4.0 - 2.0) as f32)
+            .collect();
+        let labels = (0..n_samples)
+            .map(|i| {
+                let row = &features[i * n_features..i * n_features + active];
+                let mut y = 0.0f32;
+                for (c, &x) in coefs.iter().zip(row) {
+                    y += c * x + if x > 0.3 { 0.5 * c } else { 0.0 };
+                }
+                y + rng.next_range(-0.05, 0.05)
+            })
+            .collect();
+        Dataset {
+            name: format!("synthetic-{n_samples}x{n_features}"),
+            n_samples,
+            n_features,
+            features,
+            labels,
+        }
+    }
+
+    fn preset(name: &str, n_samples: usize, n_features: usize, seed: u64) -> Dataset {
+        let mut d = Self::synthetic_regression(n_samples, n_features, seed);
+        d.name = name.to_string();
+        d
+    }
+
+    /// covtype stand-in: 0.58M × 54 in the paper, scaled ÷100.
+    pub fn covtype_like() -> Dataset {
+        Self::preset("covtype", 5_800, 54, 1)
+    }
+
+    /// susy stand-in: 5M × 18 in the paper, scaled ÷100.
+    pub fn susy_like() -> Dataset {
+        Self::preset("susy", 50_000, 18, 2)
+    }
+
+    /// higgs stand-in: 11M × 28 in the paper, scaled ÷100.
+    pub fn higgs_like() -> Dataset {
+        Self::preset("higgs", 110_000, 28, 3)
+    }
+
+    /// e2006 stand-in: 16K × 150361 in the paper; samples kept, features
+    /// scaled ÷100 (the paper's data is sparse text features; the dense
+    /// stand-in keeps the wide-matrix character).
+    pub fn e2006_like() -> Dataset {
+        Self::preset("e2006", 1_600, 1_500, 4)
+    }
+
+    /// The four case-study datasets (Table 5's rows).
+    pub fn paper_suite() -> Vec<Dataset> {
+        vec![
+            Self::covtype_like(),
+            Self::susy_like(),
+            Self::higgs_like(),
+            Self::e2006_like(),
+        ]
+    }
+
+    /// Number of samples.
+    pub fn n_samples(&self) -> usize {
+        self.n_samples
+    }
+
+    /// Number of features.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Row-major feature matrix.
+    pub fn features(&self) -> &[f32] {
+        &self.features
+    }
+
+    /// Feature `f` of sample `i`.
+    #[inline]
+    pub fn feature(&self, i: usize, f: usize) -> f32 {
+        self.features[i * self.n_features + f]
+    }
+
+    /// Regression targets.
+    pub fn labels(&self) -> &[f32] {
+        &self.labels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_are_consistent() {
+        let d = Dataset::synthetic_regression(100, 7, 9);
+        assert_eq!(d.n_samples(), 100);
+        assert_eq!(d.n_features(), 7);
+        assert_eq!(d.features().len(), 700);
+        assert_eq!(d.labels().len(), 100);
+        assert_eq!(d.feature(3, 2), d.features()[3 * 7 + 2]);
+    }
+
+    #[test]
+    fn labels_correlate_with_features() {
+        // The hidden model must be learnable: label variance explained by
+        // the first feature alone should be nonzero.
+        let d = Dataset::synthetic_regression(2000, 5, 11);
+        let mean_y: f32 = d.labels().iter().sum::<f32>() / 2000.0;
+        let mut cov = 0.0f32;
+        let mut var_x = 0.0f32;
+        for i in 0..2000 {
+            let x = d.feature(i, 0);
+            cov += x * (d.labels()[i] - mean_y);
+            var_x += x * x;
+        }
+        let beta = (cov / var_x).abs();
+        assert!(beta > 0.05, "first feature beta = {beta}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = Dataset::synthetic_regression(50, 3, 7);
+        let b = Dataset::synthetic_regression(50, 3, 7);
+        assert_eq!(a.features(), b.features());
+        assert_eq!(a.labels(), b.labels());
+        let c = Dataset::synthetic_regression(50, 3, 8);
+        assert_ne!(a.features(), c.features());
+    }
+
+    #[test]
+    fn paper_suite_matches_documented_shapes() {
+        let suite = Dataset::paper_suite();
+        assert_eq!(suite.len(), 4);
+        assert_eq!(suite[0].name, "covtype");
+        assert_eq!(suite[0].n_features(), 54);
+        assert_eq!(suite[1].n_features(), 18);
+        assert_eq!(suite[2].n_features(), 28);
+        assert_eq!(suite[3].n_samples(), 1600);
+        assert!(suite[3].n_features() > 1000, "e2006 stays wide");
+    }
+}

@@ -1,0 +1,527 @@
+//! Histogram-based GBDT training on the GPU simulator.
+//!
+//! The trainer is a compact but genuine ThunderGBM-style pipeline:
+//! features are quantized once into per-feature bins, each boosting round
+//! computes gradients (squared loss), grows one depth-wise tree by
+//! histogram accumulation + gain maximization, and applies shrinkage.
+//! Every pipeline stage runs as a named, launch-configurable kernel whose
+//! modeled time responds to the configured block size and grid scale —
+//! the response surface the paper's case study optimizes with PSO.
+
+use crate::config::{KernelId, LaunchDims, TgbmConfig};
+use crate::data::Dataset;
+use crate::objective::KernelProfile;
+use crate::tree::{Node, Tree};
+use gpu_sim::{Counters, Device, GpuError, Phase};
+use perf_model::{gpu_kernel_time, GpuKernelWork, GpuProfile, MemoryPattern};
+
+/// Mean squared error of predictions against targets.
+pub fn mse(pred: &[f32], y: &[f32]) -> f64 {
+    assert_eq!(pred.len(), y.len());
+    pred.iter()
+        .zip(y)
+        .map(|(p, t)| {
+            let e = (*p - *t) as f64;
+            e * e
+        })
+        .sum::<f64>()
+        / pred.len().max(1) as f64
+}
+
+/// Modeled execution time of one tgbm kernel under explicit launch
+/// dimensions, extending the base roofline with two geometry effects:
+///
+/// * **SM imbalance** — when the grid has few blocks, the last wave
+///   leaves SMs idle (`ceil(b/SM)/(b/SM)`); large blocks make this worse
+///   on small workloads, which is exactly the effect the paper's tuning
+///   exploits on the smaller datasets;
+/// * **oversubscription tail** — grid scales far above 1 launch threads
+///   with no work, paying scheduling overhead.
+pub fn kernel_time_with_dims(
+    gpu: &GpuProfile,
+    dims: LaunchDims,
+    elems: u64,
+    flops_per_elem: u64,
+    read_per_elem: u64,
+    write_per_elem: u64,
+    pattern: MemoryPattern,
+) -> f64 {
+    let dims = dims.sanitized();
+    let cap = gpu.max_resident_threads() * 2;
+    let natural = elems.min(cap).max(1);
+    let target = ((natural as f64 * dims.grid_scale as f64) as u64).max(1);
+    let blocks = target.div_ceil(dims.block as u64).max(1);
+    let launched = blocks * dims.block as u64;
+
+    let work = GpuKernelWork {
+        threads: elems,
+        launched_threads: launched,
+        flops: flops_per_elem * elems,
+        tensor_flops: 0,
+        dram_read_bytes: read_per_elem * elems,
+        dram_write_bytes: write_per_elem * elems,
+        shared_bytes: 0,
+        pattern,
+    };
+    let base = gpu_kernel_time(gpu, &work);
+
+    // Grid-geometry efficiency. Above one wave of blocks, the partial
+    // last wave leaves SMs idle (ceil/exact ratio). Below one wave, work
+    // concentrates on `blocks` SMs: latency hiding is unaffected (already
+    // priced by the roofline's occupancy term) but per-SM execution
+    // resources bound the sub-wave kernel mildly — fewer, larger blocks
+    // are slower on small workloads, which is the effect the paper's
+    // ThreadConf tuning exploits.
+    let sms = gpu.sm_count as f64;
+    let waves = blocks as f64 / sms;
+    let imbalance = if waves > 1.0 {
+        waves.ceil() / waves
+    } else {
+        1.0 + 0.3 * (1.0 - waves)
+    };
+    // Idle-thread tail: threads launched beyond the work items.
+    let useful = elems.min(launched) as f64;
+    let tail = 1.0 + 0.25 * ((launched as f64 - useful) / launched as f64).max(0.0);
+
+    base * imbalance.clamp(1.0, 8.0) * tail
+}
+
+/// A trained boosted ensemble.
+#[derive(Debug, Clone)]
+pub struct Gbm {
+    /// Trees, in boosting order (leaf values already include shrinkage).
+    pub trees: Vec<Tree>,
+    /// Training MSE after each round.
+    pub loss_curve: Vec<f64>,
+    /// Per-kernel workload profile captured during training (feeds the
+    /// ThreadConf objective).
+    pub profile: KernelProfile,
+}
+
+struct Trainer<'a> {
+    cfg: &'a TgbmConfig,
+    data: &'a Dataset,
+    dev: Device,
+    gpu: GpuProfile,
+    profile: KernelProfile,
+    /// Quantized features (`n × f`), bin ids.
+    bins: Vec<u8>,
+    /// Per-feature bin upper boundaries (`f × (n_bins-1)`).
+    boundaries: Vec<f32>,
+}
+
+impl<'a> Trainer<'a> {
+    /// Charge one kernel under the configured dims and record it in the
+    /// workload profile.
+    fn kernel(
+        &mut self,
+        id: KernelId,
+        elems: u64,
+        flops: u64,
+        read: u64,
+        write: u64,
+        pattern: MemoryPattern,
+    ) {
+        let dims = self.cfg.dims(id);
+        let t = kernel_time_with_dims(&self.gpu, dims, elems, flops, read, write, pattern);
+        let mut c = Counters::new();
+        c.kernel_launches = 1;
+        c.flops = flops * elems;
+        c.dram_read_bytes = read * elems;
+        c.dram_write_bytes = write * elems;
+        self.dev.charge_raw(Phase::Other, t, c);
+        self.profile.record(id, elems, flops, read, write, pattern);
+    }
+
+    fn quantize(&mut self) {
+        let (n, f, b) = (
+            self.data.n_samples(),
+            self.data.n_features(),
+            self.cfg.n_bins,
+        );
+        // Bin boundaries by per-feature quantiles.
+        self.kernel(KernelId::TransposeFeatures, (n * f) as u64, 1, 4, 4, MemoryPattern::Strided(f as u32));
+        let mut boundaries = vec![0.0f32; f * (b - 1)];
+        let mut col = vec![0.0f32; n];
+        for feat in 0..f {
+            for (i, slot) in col.iter_mut().enumerate() {
+                *slot = self.data.feature(i, feat);
+            }
+            col.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            for q in 1..b {
+                let idx = (q * n / b).min(n - 1);
+                boundaries[feat * (b - 1) + q - 1] = col[idx];
+            }
+        }
+        self.kernel(KernelId::BinBoundaries, (f * b) as u64, 8, 4, 4, MemoryPattern::Coalesced);
+
+        // Quantize every value.
+        let mut bins = vec![0u8; n * f];
+        for i in 0..n {
+            for feat in 0..f {
+                let x = self.data.feature(i, feat);
+                let bs = &boundaries[feat * (b - 1)..(feat + 1) * (b - 1)];
+                // First boundary >= x gives the bin.
+                let bin = bs.partition_point(|&t| t < x);
+                bins[i * f + feat] = bin as u8;
+            }
+        }
+        self.kernel(KernelId::QuantizeFeatures, (n * f) as u64, 8, 4, 1, MemoryPattern::Coalesced);
+        self.bins = bins;
+        self.boundaries = boundaries;
+    }
+
+    /// Grow one tree against the residual gradients; returns the tree and
+    /// updates `preds` in place.
+    fn grow_tree(&mut self, preds: &mut [f32]) -> Tree {
+        let (n, f, b) = (
+            self.data.n_samples(),
+            self.data.n_features(),
+            self.cfg.n_bins,
+        );
+        let y = self.data.labels();
+        let lam = self.cfg.lambda;
+
+        // Gradients of squared loss (hessian = 1 → counts).
+        let grad: Vec<f32> = preds.iter().zip(y).map(|(p, t)| p - t).collect();
+        self.kernel(KernelId::ComputeGradHess, n as u64, 4, 8, 8, MemoryPattern::Coalesced);
+
+        // Sampling / routing kernels run for cost fidelity (the compact
+        // trainer uses all rows/columns and has no missing values).
+        self.kernel(KernelId::RowSampler, n as u64, 2, 4, 1, MemoryPattern::Coalesced);
+        self.kernel(KernelId::ColumnSampler, f as u64, 2, 4, 1, MemoryPattern::Coalesced);
+        self.kernel(KernelId::MissingValueRoute, n as u64, 1, 1, 1, MemoryPattern::Coalesced);
+
+        let mut tree = Tree {
+            nodes: vec![Node::Leaf { value: 0.0 }],
+        };
+        // node assignment per sample; usize::MAX = settled in a leaf.
+        let mut node_of: Vec<usize> = vec![0; n];
+        // Frontier of splittable node ids.
+        let mut frontier: Vec<usize> = vec![0];
+
+        for _level in 0..self.cfg.depth {
+            if frontier.is_empty() {
+                break;
+            }
+            let hist_elems = (frontier.len() * f * b) as u64;
+            self.kernel(KernelId::ZeroHistograms, hist_elems, 1, 0, 8, MemoryPattern::Coalesced);
+
+            // Histogram accumulation: (sum_g, count) per (node, feat, bin).
+            let mut hist_g = vec![0.0f64; frontier.len() * f * b];
+            let mut hist_c = vec![0u32; frontier.len() * f * b];
+            let slot_of: std::collections::HashMap<usize, usize> =
+                frontier.iter().enumerate().map(|(s, &id)| (id, s)).collect();
+            for i in 0..n {
+                let Some(&slot) = slot_of.get(&node_of[i]) else {
+                    continue;
+                };
+                let base = slot * f * b;
+                for feat in 0..f {
+                    let bin = self.bins[i * f + feat] as usize;
+                    hist_g[base + feat * b + bin] += grad[i] as f64;
+                    hist_c[base + feat * b + bin] += 1;
+                }
+            }
+            self.kernel(
+                KernelId::CountBins,
+                (n * f) as u64,
+                4,
+                5,
+                8,
+                MemoryPattern::Random, // histogram scatter
+            );
+            self.kernel(KernelId::AggregateHistograms, hist_elems, 2, 8, 8, MemoryPattern::Coalesced);
+            self.kernel(KernelId::SubtractSiblingHist, hist_elems / 2 + 1, 2, 16, 8, MemoryPattern::Coalesced);
+
+            // Split finding per frontier node.
+            self.kernel(KernelId::FindBestSplit, (frontier.len() * f * b) as u64, 6, 12, 0, MemoryPattern::Coalesced);
+            self.kernel(KernelId::RegularizeSplits, (frontier.len() * f) as u64, 4, 4, 4, MemoryPattern::Coalesced);
+            self.kernel(KernelId::ArgmaxGain, frontier.len() as u64 * f as u64, 2, 8, 4, MemoryPattern::Coalesced);
+
+            let mut next_frontier = Vec::new();
+            let mut splits: Vec<(usize, usize, usize, u8)> = Vec::new(); // (node, slot, feat, bin)
+            for (slot, &node_id) in frontier.iter().enumerate() {
+                let base = slot * f * b;
+                // Node totals: every sample lands in exactly one bin of
+                // *each* feature, so summing feature 0's bins alone yields
+                // the node's gradient sum and count (any feature would do).
+                let mut g_tot = 0.0f64;
+                let mut c_tot = 0u64;
+                for bin in 0..b {
+                    g_tot += hist_g[base + bin];
+                    c_tot += hist_c[base + bin] as u64;
+                }
+                let parent_score = g_tot * g_tot / (c_tot as f64 + lam as f64);
+                let mut best: Option<(f64, usize, u8)> = None;
+                for feat in 0..f {
+                    let mut gl = 0.0f64;
+                    let mut cl = 0u64;
+                    for bin in 0..b - 1 {
+                        gl += hist_g[base + feat * b + bin];
+                        cl += hist_c[base + feat * b + bin] as u64;
+                        let gr = g_tot - gl;
+                        let cr = c_tot - cl;
+                        if cl == 0 || cr == 0 {
+                            continue;
+                        }
+                        let gain = gl * gl / (cl as f64 + lam as f64)
+                            + gr * gr / (cr as f64 + lam as f64)
+                            - parent_score;
+                        if gain > self.cfg.min_gain as f64
+                            && best.map(|(bg, _, _)| gain > bg).unwrap_or(true)
+                        {
+                            best = Some((gain, feat, bin as u8));
+                        }
+                    }
+                }
+                if let Some((_, feat, bin)) = best {
+                    splits.push((node_id, slot, feat, bin));
+                } else {
+                    // Becomes a leaf; value set in the leaf pass.
+                    let _ = node_id;
+                }
+            }
+
+            // Apply splits: create children, reassign samples.
+            for &(node_id, _slot, feat, bin) in &splits {
+                let left = tree.nodes.len();
+                let right = left + 1;
+                tree.nodes.push(Node::Leaf { value: 0.0 });
+                tree.nodes.push(Node::Leaf { value: 0.0 });
+                let threshold = self.boundaries[feat * (b - 1) + bin as usize];
+                tree.nodes[node_id] = Node::Split {
+                    feature: feat,
+                    threshold,
+                    bin,
+                    left,
+                    right,
+                };
+                next_frontier.push(left);
+                next_frontier.push(right);
+            }
+            if !splits.is_empty() {
+                let split_of: std::collections::HashMap<usize, (usize, u8, usize)> = splits
+                    .iter()
+                    .map(|&(node_id, _, feat, bin)| {
+                        if let Node::Split { left, .. } = tree.nodes[node_id] {
+                            (node_id, (feat, bin, left))
+                        } else {
+                            unreachable!("just installed a split")
+                        }
+                    })
+                    .collect();
+                for (i, node) in node_of.iter_mut().enumerate() {
+                    if let Some(&(feat, bin, left)) = split_of.get(node) {
+                        let sample_bin = self.bins[i * f + feat];
+                        *node = if sample_bin <= bin { left } else { left + 1 };
+                    }
+                }
+            }
+            self.kernel(KernelId::ApplySplitFilter, n as u64, 3, 6, 4, MemoryPattern::Coalesced);
+            self.kernel(KernelId::ExclusiveScan, n as u64, 2, 4, 4, MemoryPattern::Coalesced);
+            self.kernel(KernelId::PartitionSamples, n as u64, 3, 8, 8, MemoryPattern::Random);
+            self.kernel(KernelId::GatherRows, n as u64, 1, 8, 4, MemoryPattern::Random);
+
+            frontier = next_frontier;
+        }
+
+        // Leaf values: -G/(C+λ), shrunk by the learning rate.
+        let mut leaf_g: std::collections::HashMap<usize, (f64, u64)> = Default::default();
+        for i in 0..n {
+            let e = leaf_g.entry(node_of[i]).or_insert((0.0, 0));
+            e.0 += grad[i] as f64;
+            e.1 += 1;
+        }
+        for (&node_id, &(g, c)) in &leaf_g {
+            if let Node::Leaf { value } = &mut tree.nodes[node_id] {
+                *value = (-(g) / (c as f64 + lam as f64)) as f32 * self.cfg.learning_rate;
+            }
+        }
+        self.kernel(KernelId::UpdateLeafValues, tree.n_leaves() as u64, 4, 8, 4, MemoryPattern::Coalesced);
+        self.kernel(KernelId::PruneCheck, tree.nodes.len() as u64, 2, 4, 1, MemoryPattern::Coalesced);
+
+        // Update predictions through the assignment map.
+        for i in 0..n {
+            if let Node::Leaf { value } = tree.nodes[node_of[i]] {
+                preds[i] += value;
+            }
+        }
+        self.kernel(KernelId::UpdatePredictions, n as u64, 2, 8, 4, MemoryPattern::Coalesced);
+
+        tree
+    }
+}
+
+impl Gbm {
+    /// Train an ensemble on `data` with modeled kernel timing on a V100.
+    pub fn train(cfg: &TgbmConfig, data: &Dataset) -> Result<Gbm, GpuError> {
+        Self::train_on(cfg, data, Device::v100())
+    }
+
+    /// Train with an explicit device (its timeline accumulates the modeled
+    /// kernel times; read it via [`Device::timeline`]).
+    pub fn train_on(cfg: &TgbmConfig, data: &Dataset, dev: Device) -> Result<Gbm, GpuError> {
+        assert!(cfg.n_trees > 0 && cfg.depth > 0, "trivial config");
+        let gpu = dev.profile();
+        let mut tr = Trainer {
+            cfg,
+            data,
+            dev,
+            gpu,
+            profile: KernelProfile::default(),
+            bins: Vec::new(),
+            boundaries: Vec::new(),
+        };
+        tr.quantize();
+        let n = data.n_samples();
+        let mut preds = vec![0.0f32; n];
+        tr.kernel(KernelId::InitPredictions, n as u64, 0, 0, 4, MemoryPattern::Coalesced);
+
+        let mut trees = Vec::with_capacity(cfg.n_trees);
+        let mut loss_curve = Vec::with_capacity(cfg.n_trees);
+        for _round in 0..cfg.n_trees {
+            let tree = tr.grow_tree(&mut preds);
+            trees.push(tree);
+            loss_curve.push(mse(&preds, data.labels()));
+            tr.kernel(KernelId::ReduceLoss, n as u64, 2, 4, 0, MemoryPattern::Coalesced);
+            tr.kernel(KernelId::ComputeMetrics, 64, 2, 4, 4, MemoryPattern::Coalesced);
+        }
+
+        // Final full-ensemble prediction pass (training-metric report).
+        tr.kernel(
+            KernelId::PredictKernel,
+            n as u64,
+            (cfg.n_trees * cfg.depth) as u64 * 4,
+            (cfg.n_trees * cfg.depth) as u64 * 8,
+            4,
+            MemoryPattern::Random, // tree traversal is pointer chasing
+        );
+
+        Ok(Gbm {
+            trees,
+            loss_curve,
+            profile: tr.profile,
+        })
+    }
+
+    /// Predict the full dataset (also a launch-configurable kernel in the
+    /// real system; here host-side, used by tests and examples).
+    pub fn predict(&self, data: &Dataset) -> Vec<f32> {
+        let f = data.n_features();
+        (0..data.n_samples())
+            .map(|i| {
+                let row = &data.features()[i * f..(i + 1) * f];
+                self.trees.iter().map(|t| t.predict_row(row)).sum()
+            })
+            .collect()
+    }
+
+    /// Modeled training time under a hypothetical launch table, evaluated
+    /// against this model's captured workload profile (no retraining).
+    pub fn modeled_time_with(&self, cfg: &TgbmConfig, gpu: &GpuProfile) -> f64 {
+        self.profile.modeled_time(cfg, gpu)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> (TgbmConfig, Dataset) {
+        (TgbmConfig::new(10, 3), Dataset::synthetic_regression(500, 6, 5))
+    }
+
+    #[test]
+    fn training_reduces_loss_monotonically_overall() {
+        let (cfg, data) = small();
+        let model = Gbm::train(&cfg, &data).unwrap();
+        assert_eq!(model.trees.len(), 10);
+        let first = model.loss_curve[0];
+        let last = *model.loss_curve.last().unwrap();
+        assert!(last < first, "loss {first} -> {last} must drop");
+        // Squared-loss boosting with shrinkage: training loss never rises.
+        for w in model.loss_curve.windows(2) {
+            assert!(w[1] <= w[0] * 1.0001, "round regressed: {w:?}");
+        }
+    }
+
+    #[test]
+    fn trees_respect_depth_bound() {
+        let (cfg, data) = small();
+        let model = Gbm::train(&cfg, &data).unwrap();
+        for t in &model.trees {
+            assert!(t.depth() <= cfg.depth);
+            assert!(t.n_leaves() >= 1);
+        }
+    }
+
+    #[test]
+    fn predict_matches_training_predictions() {
+        let (cfg, data) = small();
+        let model = Gbm::train(&cfg, &data).unwrap();
+        let preds = model.predict(&data);
+        let final_mse = mse(&preds, data.labels());
+        let recorded = *model.loss_curve.last().unwrap();
+        assert!(
+            (final_mse - recorded).abs() < 1e-3 * (1.0 + recorded),
+            "{final_mse} vs {recorded}"
+        );
+    }
+
+    #[test]
+    fn profile_captures_all_25_kernels() {
+        let (cfg, data) = small();
+        let model = Gbm::train(&cfg, &data).unwrap();
+        assert_eq!(model.profile.distinct_kernels(), 25);
+    }
+
+    #[test]
+    fn bad_launch_dims_cost_more_modeled_time() {
+        let (cfg, data) = small();
+        let model = Gbm::train(&cfg, &data).unwrap();
+        let gpu = GpuProfile::tesla_v100();
+        let default_t = model.modeled_time_with(&cfg, &gpu);
+        let mut bad = cfg.clone();
+        bad.launch = vec![
+            LaunchDims {
+                block: 1024,
+                grid_scale: 8.0,
+            };
+            crate::config::N_TUNED_KERNELS
+        ];
+        let bad_t = model.modeled_time_with(&bad, &gpu);
+        assert!(bad_t > default_t, "bad {bad_t} must exceed default {default_t}");
+    }
+
+    #[test]
+    fn mse_basics() {
+        assert_eq!(mse(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+        assert_eq!(mse(&[0.0], &[2.0]), 4.0);
+    }
+
+    #[test]
+    fn kernel_time_penalizes_few_large_blocks_on_small_work() {
+        let gpu = GpuProfile::tesla_v100();
+        let small_work = 2000u64;
+        let big = kernel_time_with_dims(
+            &gpu,
+            LaunchDims { block: 1024, grid_scale: 1.0 },
+            small_work,
+            4,
+            8,
+            4,
+            MemoryPattern::Coalesced,
+        );
+        let small = kernel_time_with_dims(
+            &gpu,
+            LaunchDims { block: 64, grid_scale: 1.0 },
+            small_work,
+            4,
+            8,
+            4,
+            MemoryPattern::Coalesced,
+        );
+        assert!(small < big, "64-blocks {small} vs 1024-blocks {big}");
+    }
+}

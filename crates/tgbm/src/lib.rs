@@ -1,0 +1,42 @@
+//! **tgbm** — a ThunderGBM-like gradient boosted decision tree trainer on
+//! the GPU simulator, built for the paper's §4.6 case study: using FastPSO
+//! to tune the thread/block configuration of a real GPU program's kernels.
+//!
+//! ThunderGBM (Wen et al., JMLR 2020) trains GBDTs with a few dozen CUDA
+//! kernels whose launch dimensions are compile-time defaults. The paper
+//! tunes **25 kernels × (block size, grid scale) = 50 dimensions** with
+//! PSO and reports up to 1.25× end-to-end speedup (Table 5). This crate
+//! provides everything that experiment needs:
+//!
+//! * a real histogram-based GBDT (quantization, gradient computation,
+//!   depth-wise tree growth with gain-based splits, shrinkage) whose
+//!   stages run as launch-configurable kernels on [`gpu_sim`];
+//! * synthetic stand-ins for the four UCI datasets (covtype, susy, higgs,
+//!   e2006), scaled down by a documented factor;
+//! * [`ThreadConfObjective`] — the 50-dimensional PSO objective that maps
+//!   a position vector to launch dimensions and scores them against the
+//!   kernel workload profile captured from a training run.
+//!
+//! # Example
+//!
+//! ```
+//! use tgbm::{Dataset, Gbm, TgbmConfig};
+//!
+//! let data = Dataset::synthetic_regression(200, 8, 42);
+//! let cfg = TgbmConfig::new(5, 3); // 5 trees, depth 3
+//! let model = Gbm::train(&cfg, &data).unwrap();
+//! let before = tgbm::mse(&vec![0.0; data.n_samples()], data.labels());
+//! let after = tgbm::mse(&model.predict(&data), data.labels());
+//! assert!(after < before, "boosting must reduce training error");
+//! ```
+
+pub mod config;
+pub mod data;
+pub mod gbm;
+pub mod objective;
+pub mod tree;
+
+pub use config::{KernelId, LaunchDims, TgbmConfig, N_TUNED_KERNELS};
+pub use data::Dataset;
+pub use gbm::{mse, Gbm};
+pub use objective::{KernelProfile, ThreadConfObjective};

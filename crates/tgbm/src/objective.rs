@@ -1,0 +1,241 @@
+//! The ThreadConf objective (the paper's fourth benchmark problem).
+//!
+//! A PSO particle is a 50-dimensional vector: for each of the 25 tuned
+//! kernels, one coordinate selects the block size and one the grid scale
+//! (decoded by [`crate::LaunchDims::decode`]). Fitness is the modeled
+//! total kernel time of a ThunderGBM training run under that launch
+//! table, evaluated against the *workload profile* captured from an
+//! actual training pass — the standard surrogate-based auto-tuning setup
+//! (evaluating 5000 particles × thousands of iterations against real
+//! retraining would take days on any hardware, the paper's included).
+
+use crate::config::{KernelId, LaunchDims, TgbmConfig, N_TUNED_KERNELS};
+use crate::gbm::kernel_time_with_dims;
+use fastpso_functions::Objective;
+use perf_model::{GpuProfile, MemoryPattern};
+
+/// One aggregated launch record: a kernel, its workload shape, and how
+/// many times that exact launch occurred during training.
+#[derive(Debug, Clone, PartialEq)]
+struct ProfileEntry {
+    kernel: KernelId,
+    elems: u64,
+    flops: u64,
+    read: u64,
+    write: u64,
+    pattern: MemoryPattern,
+    count: u64,
+}
+
+/// Workload profile of a training run: every kernel launch, aggregated by
+/// (kernel, shape) so objective evaluation stays cheap.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct KernelProfile {
+    entries: Vec<ProfileEntry>,
+}
+
+impl KernelProfile {
+    /// Record one launch.
+    pub fn record(
+        &mut self,
+        kernel: KernelId,
+        elems: u64,
+        flops: u64,
+        read: u64,
+        write: u64,
+        pattern: MemoryPattern,
+    ) {
+        if let Some(e) = self.entries.iter_mut().find(|e| {
+            e.kernel == kernel
+                && e.elems == elems
+                && e.flops == flops
+                && e.read == read
+                && e.write == write
+                && e.pattern == pattern
+        }) {
+            e.count += 1;
+            return;
+        }
+        self.entries.push(ProfileEntry {
+            kernel,
+            elems,
+            flops,
+            read,
+            write,
+            pattern,
+            count: 1,
+        });
+    }
+
+    /// Number of distinct kernels observed.
+    pub fn distinct_kernels(&self) -> usize {
+        let set: std::collections::HashSet<_> = self.entries.iter().map(|e| e.kernel).collect();
+        set.len()
+    }
+
+    /// Total launches recorded.
+    pub fn total_launches(&self) -> u64 {
+        self.entries.iter().map(|e| e.count).sum()
+    }
+
+    /// Modeled total kernel seconds under `cfg`'s launch table.
+    pub fn modeled_time(&self, cfg: &TgbmConfig, gpu: &GpuProfile) -> f64 {
+        self.entries
+            .iter()
+            .map(|e| {
+                let dims = cfg.dims(e.kernel);
+                e.count as f64
+                    * kernel_time_with_dims(gpu, dims, e.elems, e.flops, e.read, e.write, e.pattern)
+            })
+            .sum()
+    }
+}
+
+/// The 50-dimensional thread-configuration objective.
+pub struct ThreadConfObjective {
+    profile: KernelProfile,
+    gpu: GpuProfile,
+    base_cfg: TgbmConfig,
+    /// Millisecond scaling keeps fitness values in a numerically
+    /// comfortable range for f32 PSO arithmetic.
+    scale: f64,
+}
+
+impl ThreadConfObjective {
+    /// Build from a captured training profile.
+    pub fn new(profile: KernelProfile, base_cfg: TgbmConfig, gpu: GpuProfile) -> Self {
+        assert!(
+            profile.total_launches() > 0,
+            "profile must contain at least one launch"
+        );
+        ThreadConfObjective {
+            profile,
+            gpu,
+            base_cfg,
+            scale: 1e3,
+        }
+    }
+
+    /// Modeled time (seconds) of the default launch table.
+    pub fn default_time(&self) -> f64 {
+        self.profile.modeled_time(&self.base_cfg, &self.gpu)
+    }
+
+    /// Modeled time (seconds) of an arbitrary position.
+    ///
+    /// Positions shorter than 50 coordinates are padded with the
+    /// default-equivalent coordinate; longer positions use the first 50
+    /// (the paper's Figure 4h sweeps PSO dimensionality past the natural
+    /// 50 of this problem — the extra coordinates are inert).
+    pub fn time_of_position(&self, x: &[f32]) -> f64 {
+        let mut coords = [0.6f32; 2 * N_TUNED_KERNELS];
+        for (slot, &v) in coords.iter_mut().zip(x) {
+            *slot = v;
+        }
+        let cfg = self.base_cfg.clone().with_position(&coords);
+        self.profile.modeled_time(&cfg, &self.gpu)
+    }
+
+    /// Decode a position into a launch table (for installing the winner).
+    pub fn decode(&self, x: &[f32]) -> Vec<LaunchDims> {
+        x.chunks_exact(2)
+            .map(|p| LaunchDims::decode(p[0], p[1]))
+            .collect()
+    }
+}
+
+impl Objective for ThreadConfObjective {
+    fn name(&self) -> &str {
+        "ThreadConf"
+    }
+
+    fn eval(&self, x: &[f32]) -> f32 {
+        // Out-of-domain coordinates are clamped by the decoder, matching
+        // how a practical tuner sanitizes candidate configurations.
+        (self.time_of_position(x) * self.scale) as f32
+    }
+
+    fn domain(&self) -> (f32, f32) {
+        (0.0, 1.0)
+    }
+
+    fn optimum(&self, _d: usize) -> Option<f64> {
+        None // empirical objective; optimum unknown
+    }
+
+    fn flops_per_dim(&self) -> u64 {
+        // Each evaluation walks the aggregated profile; amortize per dim.
+        (self.profile.entries.len() as u64 * 20) / (2 * N_TUNED_KERNELS as u64) + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::Dataset;
+    use crate::gbm::Gbm;
+
+    fn objective() -> ThreadConfObjective {
+        let cfg = TgbmConfig::new(3, 3);
+        let data = Dataset::synthetic_regression(400, 6, 9);
+        let model = Gbm::train(&cfg, &data).unwrap();
+        ThreadConfObjective::new(model.profile, cfg, GpuProfile::tesla_v100())
+    }
+
+    #[test]
+    fn default_position_matches_default_time() {
+        let obj = objective();
+        // Decode(…) of the coordinates that produce (256, 1.0):
+        // block: 32·2^(5b) = 256 → b = 0.6; grid: 0.125·32^g = 1 → g = 0.6.
+        let x = vec![0.6f32; 50];
+        let decoded = obj.decode(&x);
+        assert_eq!(decoded[0].block, 256);
+        assert!((decoded[0].grid_scale - 1.0).abs() < 0.05);
+        let t = obj.time_of_position(&x);
+        let d = obj.default_time();
+        assert!((t - d).abs() / d < 0.05, "t={t}, default={d}");
+    }
+
+    #[test]
+    fn eval_is_positive_and_deterministic() {
+        let obj = objective();
+        let x = vec![0.3f32; 50];
+        let a = obj.eval(&x);
+        assert!(a > 0.0);
+        assert_eq!(a, obj.eval(&x));
+    }
+
+    #[test]
+    fn some_position_beats_the_default() {
+        // The tuning premise: the response surface is not flat and the
+        // default is not globally optimal. Scan a few candidates.
+        let obj = objective();
+        let default = obj.default_time();
+        let mut best = f64::INFINITY;
+        for b in [0.0f32, 0.2, 0.4, 0.6, 0.8, 1.0] {
+            for g in [0.2f32, 0.4, 0.6, 0.8] {
+                let mut x = Vec::with_capacity(50);
+                for _ in 0..25 {
+                    x.push(b);
+                    x.push(g);
+                }
+                best = best.min(obj.time_of_position(&x));
+            }
+        }
+        assert!(
+            best < default,
+            "grid scan best {best} should beat default {default}"
+        );
+    }
+
+    #[test]
+    fn profile_aggregation_counts_repeats() {
+        let mut p = KernelProfile::default();
+        p.record(KernelId::CountBins, 100, 1, 4, 4, MemoryPattern::Random);
+        p.record(KernelId::CountBins, 100, 1, 4, 4, MemoryPattern::Random);
+        p.record(KernelId::CountBins, 200, 1, 4, 4, MemoryPattern::Random);
+        assert_eq!(p.total_launches(), 3);
+        assert_eq!(p.entries.len(), 2);
+        assert_eq!(p.distinct_kernels(), 1);
+    }
+}

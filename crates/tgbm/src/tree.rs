@@ -1,0 +1,110 @@
+//! Decision tree representation for the boosted ensemble.
+
+/// One node of a regression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Node {
+    /// Internal split: `x[feature] <= threshold` goes left.
+    Split {
+        feature: usize,
+        /// Real-valued threshold (upper boundary of the split bin).
+        threshold: f32,
+        /// Bin index of the split (for quantized traversal).
+        bin: u8,
+        left: usize,
+        right: usize,
+    },
+    /// Leaf with an output value (already scaled by the learning rate).
+    Leaf { value: f32 },
+}
+
+/// A depth-bounded regression tree.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Tree {
+    /// Nodes; index 0 is the root.
+    pub nodes: Vec<Node>,
+}
+
+impl Tree {
+    /// Predict from raw feature values (row of length `n_features`).
+    pub fn predict_row(&self, row: &[f32]) -> f32 {
+        let mut idx = 0usize;
+        loop {
+            match &self.nodes[idx] {
+                Node::Leaf { value } => return *value,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                    ..
+                } => {
+                    idx = if row[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    /// Number of leaves.
+    pub fn n_leaves(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, Node::Leaf { .. }))
+            .count()
+    }
+
+    /// Maximum depth (root = depth 0).
+    pub fn depth(&self) -> usize {
+        fn walk(nodes: &[Node], idx: usize) -> usize {
+            match &nodes[idx] {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => 1 + walk(nodes, *left).max(walk(nodes, *right)),
+            }
+        }
+        if self.nodes.is_empty() {
+            0
+        } else {
+            walk(&self.nodes, 0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stump() -> Tree {
+        Tree {
+            nodes: vec![
+                Node::Split {
+                    feature: 1,
+                    threshold: 0.5,
+                    bin: 3,
+                    left: 1,
+                    right: 2,
+                },
+                Node::Leaf { value: -1.0 },
+                Node::Leaf { value: 2.0 },
+            ],
+        }
+    }
+
+    #[test]
+    fn predicts_by_threshold() {
+        let t = stump();
+        assert_eq!(t.predict_row(&[9.0, 0.4]), -1.0);
+        assert_eq!(t.predict_row(&[9.0, 0.5]), -1.0, "boundary goes left");
+        assert_eq!(t.predict_row(&[9.0, 0.6]), 2.0);
+    }
+
+    #[test]
+    fn structure_metrics() {
+        let t = stump();
+        assert_eq!(t.n_leaves(), 2);
+        assert_eq!(t.depth(), 1);
+        let leaf_only = Tree {
+            nodes: vec![Node::Leaf { value: 0.0 }],
+        };
+        assert_eq!(leaf_only.depth(), 0);
+        assert_eq!(Tree::default().depth(), 0);
+    }
+}

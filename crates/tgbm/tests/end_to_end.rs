@@ -1,0 +1,104 @@
+//! End-to-end tgbm integration tests: the trainer must genuinely learn on
+//! every case-study dataset, the captured profiles must price launch
+//! tables consistently, and the ThreadConf objective must behave as a
+//! well-posed PSO problem.
+
+use fastpso_functions::Objective;
+use gpu_sim::Device;
+use perf_model::GpuProfile;
+use tgbm::{mse, Dataset, Gbm, LaunchDims, TgbmConfig, ThreadConfObjective, N_TUNED_KERNELS};
+
+#[test]
+fn trainer_learns_every_paper_dataset() {
+    // Scaled-down rounds keep the test quick; the learning signal must
+    // still be unambiguous on every dataset shape.
+    for data in [Dataset::covtype_like(), Dataset::e2006_like()] {
+        let cfg = TgbmConfig::new(5, 4);
+        let model = Gbm::train(&cfg, &data).unwrap();
+        let baseline = mse(&vec![0.0; data.n_samples()], data.labels());
+        let trained = *model.loss_curve.last().unwrap();
+        assert!(
+            trained < baseline * 0.7,
+            "{}: {baseline} -> {trained} is not learning",
+            data.name
+        );
+    }
+}
+
+#[test]
+fn profile_pricing_is_linear_in_repetition() {
+    // Training twice as many trees should roughly double the modeled
+    // kernel time under any launch table (up to the one-time quantize).
+    let data = Dataset::synthetic_regression(600, 8, 3);
+    let gpu = GpuProfile::tesla_v100();
+    let short_cfg = TgbmConfig::new(3, 3);
+    let long_cfg = TgbmConfig::new(6, 3);
+    let short = Gbm::train(&short_cfg, &data).unwrap();
+    let long = Gbm::train(&long_cfg, &data).unwrap();
+    let ts = short.modeled_time_with(&short_cfg, &gpu);
+    let tl = long.modeled_time_with(&long_cfg, &gpu);
+    let ratio = tl / ts;
+    assert!(
+        (1.5..2.5).contains(&ratio),
+        "6-tree/3-tree modeled-time ratio {ratio} not ~2"
+    );
+}
+
+#[test]
+fn threadconf_objective_is_well_posed_for_pso() {
+    let data = Dataset::covtype_like();
+    let cfg = TgbmConfig::new(3, 3);
+    let model = Gbm::train(&cfg, &data).unwrap();
+    let obj = ThreadConfObjective::new(model.profile, cfg, GpuProfile::tesla_v100());
+
+    // Domain and dimensionality contract.
+    assert_eq!(obj.domain(), (0.0, 1.0));
+    assert_eq!(obj.name(), "ThreadConf");
+
+    // Deterministic, positive, finite across the domain.
+    let corners = [vec![0.0f32; 50], vec![1.0f32; 50], vec![0.5f32; 50]];
+    for x in &corners {
+        let v = obj.eval(x);
+        assert!(v.is_finite() && v > 0.0);
+        assert_eq!(v, obj.eval(x));
+    }
+
+    // Out-of-domain coordinates are clamped, not catastrophic.
+    let wild = vec![5.0f32; 50];
+    assert!(obj.eval(&wild).is_finite());
+
+    // Short and long positions are tolerated (Figure 4h's dim sweep).
+    assert!(obj.eval(&[0.5; 10]).is_finite());
+    assert!(obj.eval(&[0.5; 200]).is_finite());
+}
+
+#[test]
+fn tuned_tables_install_and_retrain() {
+    let data = Dataset::synthetic_regression(800, 10, 5);
+    let cfg = TgbmConfig::new(3, 3);
+    let dev = Device::v100();
+    let model = Gbm::train_on(&cfg, &data, dev.clone()).unwrap();
+    let default_time = dev.timeline().total_seconds();
+
+    // Install an arbitrary legal table and retrain: model quality must be
+    // unchanged (launch dims affect time, never results).
+    let table = vec![
+        LaunchDims {
+            block: 64,
+            grid_scale: 0.5,
+        };
+        N_TUNED_KERNELS
+    ];
+    let tuned_cfg = cfg.clone().with_launch_table(table);
+    let dev2 = Device::v100();
+    let retrained = Gbm::train_on(&tuned_cfg, &data, dev2.clone()).unwrap();
+    assert_eq!(
+        model.loss_curve, retrained.loss_curve,
+        "launch geometry must not alter the numerics"
+    );
+    assert_ne!(
+        default_time,
+        dev2.timeline().total_seconds(),
+        "but it must alter the modeled time"
+    );
+}

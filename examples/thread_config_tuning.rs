@@ -1,0 +1,57 @@
+//! The paper's §4.6 case study end-to-end: use FastPSO to tune the
+//! thread/block launch configuration of the 25 kernels of a ThunderGBM-like
+//! GBDT trainer, then retrain with the winning table and report the
+//! speedup (Table 5's pipeline on one dataset).
+//!
+//! Run with: `cargo run --release --example thread_config_tuning`
+
+use fastpso_suite::fastpso::{GpuBackend, PsoBackend, PsoConfig};
+use fastpso_suite::gpu_sim::Device;
+use fastpso_suite::perf_model::GpuProfile;
+use fastpso_suite::tgbm::{Dataset, Gbm, TgbmConfig, ThreadConfObjective};
+
+fn main() {
+    // 1. Train with ThunderGBM-style default launch dims (256-thread
+    //    blocks everywhere) and capture the kernel workload profile.
+    let data = Dataset::e2006_like(); // wide matrix: tuning-sensitive
+    let cfg = TgbmConfig::new(8, 6);
+    let dev = Device::v100();
+    let model = Gbm::train_on(&cfg, &data, dev.clone()).expect("baseline training");
+    let default_time = dev.timeline().total_seconds();
+    println!("dataset               : {} ({} x {})", data.name, data.n_samples(), data.n_features());
+    println!("default launch table  : {default_time:.4} s modeled kernel time");
+    println!("training loss         : {:.4} -> {:.4}", model.loss_curve[0], model.loss_curve.last().unwrap());
+
+    // 2. Wrap the profile as the 50-dimensional ThreadConf objective and
+    //    search it with FastPSO (each coordinate pair = one kernel's
+    //    block size and grid scale).
+    let objective = ThreadConfObjective::new(model.profile, cfg.clone(), GpuProfile::tesla_v100());
+    let pso_cfg = PsoConfig::builder(512, 50)
+        .max_iter(60)
+        .seed(11)
+        .build()
+        .expect("valid config");
+    let result = GpuBackend::new().run(&pso_cfg, &objective).expect("tuning");
+    println!("\nPSO tuning            : {} particles x {} iterations", 512, 60);
+    println!("objective prediction  : {:.4} s", objective.time_of_position(&result.best_position));
+
+    // 3. Install the winner and retrain end-to-end to verify.
+    let tuned_table = objective.decode(&result.best_position);
+    let tuned_cfg = cfg.with_launch_table(tuned_table.clone());
+    let dev = Device::v100();
+    Gbm::train_on(&tuned_cfg, &data, dev.clone()).expect("tuned training");
+    let tuned_time = dev.timeline().total_seconds();
+
+    println!("tuned launch table    : {tuned_time:.4} s modeled kernel time");
+    println!("end-to-end speedup    : {:.2}x", default_time / tuned_time);
+
+    println!("\nper-kernel winners (first 5):");
+    for (k, dims) in fastpso_suite::tgbm::KernelId::ALL.iter().zip(&tuned_table).take(5) {
+        println!("  {:<22} block={:<4} grid_scale={:.2}", k.name(), dims.block, dims.grid_scale);
+    }
+
+    assert!(
+        tuned_time <= default_time * 1.001,
+        "tuning must not regress the training time"
+    );
+}

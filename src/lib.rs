@@ -1,0 +1,14 @@
+//! Umbrella crate for the FastPSO reproduction workspace.
+//!
+//! Re-exports every member crate under one roof so the runnable examples in
+//! `examples/` and the cross-crate integration tests in `tests/` can import
+//! a single package. Library users should depend on the individual crates
+//! (`fastpso`, `gpu-sim`, ...) directly.
+
+pub use fastpso;
+pub use fastpso_baselines as baselines;
+pub use fastpso_functions as functions;
+pub use fastpso_prng as prng;
+pub use gpu_sim;
+pub use perf_model;
+pub use tgbm;

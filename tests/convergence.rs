@@ -1,0 +1,138 @@
+//! Optimization-quality integration tests: every implementation (the
+//! paper's own variants and the four baselines) must genuinely optimize,
+//! histories must be monotone, and the paper's quality ordering — clamped
+//! decaying-inertia implementations beat the Python-library defaults —
+//! must hold.
+
+use fastpso_suite::baselines::{GpuPsoBaseline, HGpuPsoBaseline, PySwarmsLike, ScikitOptLike};
+use fastpso_suite::fastpso::{
+    AttractorSemantics, GpuBackend, ParBackend, PsoBackend, PsoConfig, SeqBackend,
+};
+use fastpso_suite::functions::builtins::{Easom, Griewank, Levy, Rastrigin, Rosenbrock, Sphere};
+use fastpso_suite::functions::Objective;
+
+fn cfg(n: usize, d: usize, iters: usize) -> PsoConfig {
+    PsoConfig::builder(n, d)
+        .max_iter(iters)
+        .seed(77)
+        .record_history(true)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn every_implementation_improves_over_initialization() {
+    let c = cfg(64, 10, 150);
+    let impls: Vec<Box<dyn PsoBackend>> = vec![
+        Box::new(SeqBackend),
+        Box::new(ParBackend),
+        Box::new(GpuBackend::new()),
+        Box::new(GpuPsoBaseline::new()),
+        Box::new(HGpuPsoBaseline::new()),
+        Box::new(PySwarmsLike),
+        Box::new(ScikitOptLike),
+    ];
+    for b in impls {
+        let r = b.run(&c, &Sphere).unwrap();
+        let h = r.history.as_ref().unwrap();
+        assert!(
+            *h.last().unwrap() < h[0],
+            "{} never improved: {} -> {}",
+            b.name(),
+            h[0],
+            h.last().unwrap()
+        );
+        assert_eq!(r.history_is_monotone(), Some(true), "{}", b.name());
+        assert!(r.best_value.is_finite(), "{}", b.name());
+    }
+}
+
+#[test]
+fn fastpso_converges_deep_on_every_smooth_landscape() {
+    let c = cfg(128, 8, 400);
+    for (obj, threshold) in [
+        (&Sphere as &dyn Objective, 0.01),
+        (&Rosenbrock, 10.0),
+        (&Levy, 0.5),
+    ] {
+        let r = GpuBackend::new().run(&c, obj).unwrap();
+        assert!(
+            r.best_value < threshold,
+            "{}: best {} above {threshold}",
+            obj.name(),
+            r.best_value
+        );
+    }
+}
+
+#[test]
+fn multimodal_landscapes_still_improve_substantially() {
+    let c = cfg(128, 8, 400);
+    for obj in [&Rastrigin as &dyn Objective, &Griewank] {
+        let r = GpuBackend::new().run(&c, obj).unwrap();
+        let h = r.history.unwrap();
+        assert!(
+            h[0] / *h.last().unwrap() > 5.0 || *h.last().unwrap() < 1.0,
+            "{}: {} -> {}",
+            obj.name(),
+            h[0],
+            h.last().unwrap()
+        );
+    }
+}
+
+#[test]
+fn clamped_decaying_swarm_beats_python_defaults() {
+    // Table 2's quality shape at an integration-test scale.
+    let c = cfg(96, 24, 500);
+    let fast = GpuBackend::new().run(&c, &Sphere).unwrap().best_value;
+    let py = PySwarmsLike.run(&c, &Sphere).unwrap().best_value;
+    let sk = ScikitOptLike.run(&c, &Sphere).unwrap().best_value;
+    assert!(
+        fast * 5.0 < py && fast * 5.0 < sk,
+        "fastpso {fast} must clearly beat pyswarms {py} / scikit-opt {sk}"
+    );
+}
+
+#[test]
+fn easom_needle_is_found_in_low_dimensions() {
+    // The classic 2-D Easom: minimum −1 at (π, π). A healthy swarm finds
+    // it; this guards the evaluation function and the optimizer together.
+    let c = PsoConfig::builder(256, 2).max_iter(300).seed(5).build().unwrap();
+    let r = GpuBackend::new().run(&c, &Easom).unwrap();
+    assert!(
+        r.best_value < -0.9,
+        "2-D Easom needle not found: best = {}",
+        r.best_value
+    );
+    let x = &r.best_position;
+    assert!((x[0] - std::f32::consts::PI).abs() < 0.2);
+    assert!((x[1] - std::f32::consts::PI).abs() < 0.2);
+}
+
+#[test]
+fn scalar_broadcast_semantics_run_but_explore_differently() {
+    // The paper's Equation (1) literal reading (ablation): it still runs
+    // and produces a different trajectory than standard semantics.
+    let base = cfg(48, 8, 100);
+    let standard = SeqBackend.run(&base, &Sphere).unwrap();
+    let mut literal_cfg = base.clone();
+    literal_cfg.semantics = AttractorSemantics::ScalarBroadcast;
+    let literal = SeqBackend.run(&literal_cfg, &Sphere).unwrap();
+    assert_ne!(standard.best_position, literal.best_position);
+    assert!(literal.best_value.is_finite());
+    assert!(
+        standard.best_value <= literal.best_value,
+        "standard semantics should not lose to the scalar-broadcast reading on Sphere"
+    );
+}
+
+#[test]
+fn unbounded_velocity_hurts_quality() {
+    let bounded = cfg(64, 16, 300);
+    let mut unbounded = bounded.clone();
+    unbounded.velocity_bound = fastpso_suite::fastpso::VelocityBound::Unbounded;
+    let b = SeqBackend.run(&bounded, &Sphere).unwrap().best_value;
+    let u = SeqBackend.run(&unbounded, &Sphere).unwrap().best_value;
+    assert!(b < u, "bounded {b} should beat unbounded {u}");
+}

@@ -1,0 +1,137 @@
+//! Property-based integration tests (proptest) over the core invariants:
+//! backend equivalence under arbitrary configurations, PSO state
+//! invariants, RNG stream properties and f16 rounding laws.
+
+use fastpso_suite::fastpso::{GpuBackend, PsoBackend, PsoConfig, SeqBackend};
+use fastpso_suite::functions::builtins::{Rastrigin, Sphere};
+use fastpso_suite::functions::Objective;
+use fastpso_suite::gpu_sim::{f16_bits_to_f32, f32_to_f16_bits, through_f16, Device, Phase};
+use fastpso_suite::prng::Philox;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Sequential and GPU backends agree bitwise for arbitrary
+    /// (small) configurations, seeds and coefficients.
+    #[test]
+    fn seq_and_gpu_agree_for_arbitrary_configs(
+        n in 2usize..40,
+        d in 1usize..12,
+        iters in 1usize..25,
+        seed in any::<u64>(),
+        omega in 0.1f32..1.2,
+        c in 0.5f32..2.5,
+    ) {
+        let cfg = PsoConfig::builder(n, d)
+            .max_iter(iters)
+            .seed(seed)
+            .omega(omega)
+            .c1(c)
+            .c2(c)
+            .build()
+            .unwrap();
+        let a = SeqBackend.run(&cfg, &Sphere).unwrap();
+        let b = GpuBackend::new().run(&cfg, &Sphere).unwrap();
+        prop_assert_eq!(a.best_value, b.best_value);
+        prop_assert_eq!(a.best_position, b.best_position);
+    }
+
+    /// The gbest history is monotone non-increasing for any run, and the
+    /// final best equals the last history entry.
+    #[test]
+    fn gbest_is_monotone_for_arbitrary_runs(
+        n in 2usize..48,
+        d in 1usize..10,
+        iters in 2usize..40,
+        seed in any::<u64>(),
+    ) {
+        let cfg = PsoConfig::builder(n, d)
+            .max_iter(iters)
+            .seed(seed)
+            .record_history(true)
+            .build()
+            .unwrap();
+        let r = SeqBackend.run(&cfg, &Rastrigin).unwrap();
+        prop_assert_eq!(r.history_is_monotone(), Some(true));
+        let h = r.history.unwrap();
+        prop_assert_eq!(*h.last().unwrap() as f64, r.best_value);
+        // gbest can never beat the mathematical optimum.
+        prop_assert!(r.best_value >= Rastrigin.optimum(d).unwrap() - 1e-3);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Philox streams: same (index, domain) always reproduces; distinct
+    /// domains decorrelate; outputs lie in [0, 1).
+    #[test]
+    fn philox_stream_properties(seed in any::<u64>(), idx in any::<u64>(), domain in any::<u64>()) {
+        let p = Philox::new(seed);
+        let u = p.uniform_at(idx, domain);
+        prop_assert!((0.0..1.0).contains(&u));
+        prop_assert_eq!(u, Philox::new(seed).uniform_at(idx, domain));
+        let other = p.uniform_at(idx, domain.wrapping_add(1));
+        // Equality is possible only by 24-bit collision; tolerate but flag
+        // structural equality of whole blocks.
+        let same_block: Vec<u32> = (0..8).map(|i| p.u32_at(idx.wrapping_add(i), domain)).collect();
+        let next_block: Vec<u32> = (0..8).map(|i| p.u32_at(idx.wrapping_add(i), domain.wrapping_add(1))).collect();
+        prop_assert_ne!(same_block, next_block);
+        let _ = other;
+    }
+
+    /// f16 roundtrip laws: idempotent, monotone, sign-preserving, and
+    /// within half-ULP relative error for normal values.
+    #[test]
+    fn f16_rounding_laws(x in -65000.0f32..65000.0) {
+        let r = through_f16(x);
+        // Idempotence: rounding twice is rounding once.
+        prop_assert_eq!(through_f16(r), r);
+        // Sign preservation.
+        prop_assert_eq!(r.is_sign_negative(), x.is_sign_negative());
+        // Bounded relative error for values in the normal f16 range.
+        if x.abs() > 6.2e-5 {
+            let rel = ((r - x) / x).abs();
+            prop_assert!(rel <= 1.0 / 2048.0 + 1e-7, "x={x}, r={r}, rel={rel}");
+        }
+        // Bits roundtrip exactly.
+        let bits = f32_to_f16_bits(x);
+        prop_assert_eq!(f32_to_f16_bits(f16_bits_to_f32(bits)), bits);
+    }
+
+    /// f16 rounding is monotone: x <= y implies round(x) <= round(y).
+    #[test]
+    fn f16_rounding_is_monotone(a in -70000.0f32..70000.0, b in -70000.0f32..70000.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(through_f16(lo) <= through_f16(hi));
+    }
+
+    /// The device argmin reduction matches a sequential scan for arbitrary
+    /// inputs, including duplicated minima.
+    #[test]
+    fn reduction_matches_sequential_scan(values in prop::collection::vec(-1.0e6f32..1.0e6, 1..300)) {
+        let dev = Device::v100();
+        let r = dev.reduce_min_index(Phase::GBest, &values).unwrap();
+        let (mut bi, mut bv) = (0usize, values[0]);
+        for (i, &v) in values.iter().enumerate().skip(1) {
+            if v < bv {
+                bi = i;
+                bv = v;
+            }
+        }
+        prop_assert_eq!(r.index, bi);
+        prop_assert_eq!(r.value, bv);
+    }
+
+    /// The caching pool never hands two live buffers the same backing.
+    #[test]
+    fn pool_never_aliases_live_buffers(sizes in prop::collection::vec(1usize..2000, 2..12)) {
+        let dev = Device::v100();
+        let buffers: Vec<_> = sizes.iter().map(|&s| dev.alloc::<f32>(s).unwrap()).collect();
+        let mut ptrs: Vec<*const f32> = buffers.iter().map(|b| b.as_slice().as_ptr()).collect();
+        ptrs.sort();
+        ptrs.dedup();
+        prop_assert_eq!(ptrs.len(), buffers.len());
+    }
+}
