@@ -28,7 +28,9 @@ impl HostSwarm {
         let (lo, hi) = domain;
         let vscale = cfg.init_velocity_scale * (hi - lo);
         let pos = (0..n * d).map(|_| rng.next_range(lo, hi)).collect();
-        let vel = (0..n * d).map(|_| rng.next_range(-vscale, vscale)).collect();
+        let vel = (0..n * d)
+            .map(|_| rng.next_range(-vscale, vscale))
+            .collect();
         HostSwarm {
             n,
             d,
@@ -130,7 +132,11 @@ mod tests {
     use super::*;
 
     fn cfg() -> PsoConfig {
-        PsoConfig::builder(10, 4).max_iter(3).seed(2).build().unwrap()
+        PsoConfig::builder(10, 4)
+            .max_iter(3)
+            .seed(2)
+            .build()
+            .unwrap()
     }
 
     #[test]
@@ -163,8 +169,24 @@ mod tests {
         let ch = PyCharger::paper();
         let mut a = Timeline::new();
         let mut b = Timeline::new();
-        ch.charge(&mut a, Phase::SwarmUpdate, PyWork { ops: 10, temp_elems: 1000, ..Default::default() });
-        ch.charge(&mut b, Phase::SwarmUpdate, PyWork { ops: 20, temp_elems: 2000, ..Default::default() });
+        ch.charge(
+            &mut a,
+            Phase::SwarmUpdate,
+            PyWork {
+                ops: 10,
+                temp_elems: 1000,
+                ..Default::default()
+            },
+        );
+        ch.charge(
+            &mut b,
+            Phase::SwarmUpdate,
+            PyWork {
+                ops: 20,
+                temp_elems: 2000,
+                ..Default::default()
+            },
+        );
         assert!(b.total_seconds() > a.total_seconds());
         assert_eq!(a.total_counters().interp_ops, 10);
     }

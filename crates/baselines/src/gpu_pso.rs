@@ -89,13 +89,20 @@ impl PsoBackend for GpuPsoBaseline {
         };
         {
             let vel = vel.as_mut_slice();
-            dev.launch_chunks2(&init_desc, pos.as_mut_slice(), d, vel, d, |i, prow, vrow| {
-                for c in 0..d {
-                    let idx = (i * d + c) as u64;
-                    prow[c] = rng.uniform_range_at(idx, 0, lo, hi);
-                    vrow[c] = rng.uniform_range_at(idx, 1, -vscale, vscale);
-                }
-            })?;
+            dev.launch_chunks2(
+                &init_desc,
+                pos.as_mut_slice(),
+                d,
+                vel,
+                d,
+                |i, prow, vrow| {
+                    for c in 0..d {
+                        let idx = (i * d + c) as u64;
+                        prow[c] = rng.uniform_range_at(idx, 0, lo, hi);
+                        vrow[c] = rng.uniform_range_at(idx, 1, -vscale, vscale);
+                    }
+                },
+            )?;
         }
         dev.launch_map(
             &KernelDesc::simple("gpu_pso_init_best", Phase::Init, 0, 0, 4, n as u64),
@@ -163,8 +170,8 @@ impl PsoBackend for GpuPsoBaseline {
                             let g = rng.uniform_at(idx, gd);
                             let gb = if gb_err.is_finite() { gbp[c] } else { row[c] };
                             let v2 = velocity_update_elem(
-                                vrow[c], row[c], l, g, pb_row[c], gb, omega_t, cfg.c1,
-                                cfg.c2, bound,
+                                vrow[c], row[c], l, g, pb_row[c], gb, omega_t, cfg.c1, cfg.c2,
+                                bound,
                             );
                             vrow[c] = v2;
                             row[c] = position_update_elem(row[c], v2);
@@ -211,12 +218,18 @@ mod tests {
     use fastpso_functions::builtins::Sphere;
 
     fn cfg(n: usize, d: usize, iters: usize) -> PsoConfig {
-        PsoConfig::builder(n, d).max_iter(iters).seed(6).build().unwrap()
+        PsoConfig::builder(n, d)
+            .max_iter(iters)
+            .seed(6)
+            .build()
+            .unwrap()
     }
 
     #[test]
     fn converges_on_sphere() {
-        let r = GpuPsoBaseline::new().run(&cfg(64, 8, 200), &Sphere).unwrap();
+        let r = GpuPsoBaseline::new()
+            .run(&cfg(64, 8, 200), &Sphere)
+            .unwrap();
         assert!(r.best_value < 5.0, "best = {}", r.best_value);
     }
 
@@ -226,8 +239,14 @@ mod tests {
         // scaled-down workload; the ratio comes from occupancy + coalescing,
         // which are scale-dependent, so just assert a clear win here.
         let c = cfg(2000, 50, 10);
-        let slow = GpuPsoBaseline::new().run(&c, &Sphere).unwrap().elapsed_seconds();
-        let fast = GpuBackend::new().run(&c, &Sphere).unwrap().elapsed_seconds();
+        let slow = GpuPsoBaseline::new()
+            .run(&c, &Sphere)
+            .unwrap()
+            .elapsed_seconds();
+        let fast = GpuBackend::new()
+            .run(&c, &Sphere)
+            .unwrap()
+            .elapsed_seconds();
         assert!(
             slow / fast > 2.0,
             "gpu-pso {slow} should clearly trail fastpso {fast}"

@@ -12,12 +12,12 @@
 
 use fastpso::config::BoundSchedule;
 use fastpso::cost::CpuCharger;
-use perf_model::CpuProfile;
 use fastpso::math::{position_update_elem, velocity_update_elem};
 use fastpso::{PsoBackend, PsoConfig, PsoError, RunResult};
 use fastpso_functions::Objective;
 use fastpso_prng::Xoshiro256pp;
 use gpu_sim::{Device, KernelCost, KernelDesc, MemoryPattern, Phase};
+use perf_model::CpuProfile;
 
 use crate::common::HostSwarm;
 
@@ -168,12 +168,18 @@ mod tests {
     use fastpso_functions::builtins::Sphere;
 
     fn cfg(n: usize, d: usize, iters: usize) -> PsoConfig {
-        PsoConfig::builder(n, d).max_iter(iters).seed(8).build().unwrap()
+        PsoConfig::builder(n, d)
+            .max_iter(iters)
+            .seed(8)
+            .build()
+            .unwrap()
     }
 
     #[test]
     fn converges_on_sphere() {
-        let r = HGpuPsoBaseline::new().run(&cfg(64, 8, 200), &Sphere).unwrap();
+        let r = HGpuPsoBaseline::new()
+            .run(&cfg(64, 8, 200), &Sphere)
+            .unwrap();
         assert!(r.best_value < 5.0, "best = {}", r.best_value);
     }
 
@@ -191,8 +197,14 @@ mod tests {
     fn sits_between_cpu_and_fastpso_in_modeled_time() {
         let c = cfg(2000, 50, 10);
         let seq = SeqBackend.run(&c, &Sphere).unwrap().elapsed_seconds();
-        let hetero = HGpuPsoBaseline::new().run(&c, &Sphere).unwrap().elapsed_seconds();
-        let fast = GpuBackend::new().run(&c, &Sphere).unwrap().elapsed_seconds();
+        let hetero = HGpuPsoBaseline::new()
+            .run(&c, &Sphere)
+            .unwrap()
+            .elapsed_seconds();
+        let fast = GpuBackend::new()
+            .run(&c, &Sphere)
+            .unwrap()
+            .elapsed_seconds();
         assert!(hetero < seq, "hetero {hetero} should beat sequential {seq}");
         assert!(hetero > fast, "hetero {hetero} should trail fastpso {fast}");
     }

@@ -161,7 +161,11 @@ mod tests {
     use fastpso_functions::builtins::Sphere;
 
     fn cfg(iters: usize) -> PsoConfig {
-        PsoConfig::builder(64, 16).max_iter(iters).seed(3).build().unwrap()
+        PsoConfig::builder(64, 16)
+            .max_iter(iters)
+            .seed(3)
+            .build()
+            .unwrap()
     }
 
     #[test]

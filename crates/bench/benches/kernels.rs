@@ -40,7 +40,8 @@ fn bench_device_kernels(c: &mut Criterion) {
         let mut out = vec![0.0f32; n];
         let desc = KernelDesc::simple("bench", Phase::Other, 2, 8, 4, n as u64);
         b.iter(|| {
-            dev.launch_update(&desc, &mut out, |i, v| v + a[i] * 0.5).unwrap();
+            dev.launch_update(&desc, &mut out, |i, v| v + a[i] * 0.5)
+                .unwrap();
             black_box(out[0])
         })
     });
@@ -48,9 +49,15 @@ fn bench_device_kernels(c: &mut Criterion) {
     g.bench_function("launch_tiled_64k", |b| {
         let mut out = vec![0.0f32; n];
         b.iter(|| {
-            dev.launch_tiled("bench", Phase::Other, 2, 1024, &[&a], &mut out, |_, l, ctx| {
-                ctx.out_old[l] + ctx.inputs[0][l] * 0.5
-            })
+            dev.launch_tiled(
+                "bench",
+                Phase::Other,
+                2,
+                1024,
+                &[&a],
+                &mut out,
+                |_, l, ctx| ctx.out_old[l] + ctx.inputs[0][l] * 0.5,
+            )
             .unwrap();
             black_box(out[0])
         })
@@ -59,9 +66,14 @@ fn bench_device_kernels(c: &mut Criterion) {
     g.bench_function("tensor_elementwise_64k", |b| {
         let mut out = vec![0.0f32; n];
         b.iter(|| {
-            dev.launch_tensor_elementwise("bench", Phase::Other, 2, &[&a], &mut out, |_, ins, old| {
-                old + ins[0] * 0.5
-            })
+            dev.launch_tensor_elementwise(
+                "bench",
+                Phase::Other,
+                2,
+                &[&a],
+                &mut out,
+                |_, ins, old| old + ins[0] * 0.5,
+            )
             .unwrap();
             black_box(out[0])
         })
@@ -76,7 +88,11 @@ fn bench_device_kernels(c: &mut Criterion) {
 fn bench_end_to_end(c: &mut Criterion) {
     let mut g = c.benchmark_group("pso_iterations");
     g.sample_size(10);
-    let cfg = PsoConfig::builder(512, 32).max_iter(10).seed(5).build().unwrap();
+    let cfg = PsoConfig::builder(512, 32)
+        .max_iter(10)
+        .seed(5)
+        .build()
+        .unwrap();
 
     g.bench_function("seq_512x32x10", |b| {
         b.iter(|| black_box(SeqBackend.run(&cfg, &Sphere).unwrap().best_value))
@@ -98,5 +114,10 @@ fn bench_end_to_end(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_philox, bench_device_kernels, bench_end_to_end);
+criterion_group!(
+    benches,
+    bench_philox,
+    bench_device_kernels,
+    bench_end_to_end
+);
 criterion_main!(benches);

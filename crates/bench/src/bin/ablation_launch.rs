@@ -40,7 +40,8 @@ fn main() {
             pattern: MemoryPattern::Coalesced,
         };
         let aware_blocks = aware_cfg.threads().div_ceil(256);
-        let aware = gpu_kernel_time(&gpu, &aware_desc.work()) + aware_blocks as f64 * BLOCK_DISPATCH_S;
+        let aware =
+            gpu_kernel_time(&gpu, &aware_desc.work()) + aware_blocks as f64 * BLOCK_DISPATCH_S;
 
         let naive_cfg = LaunchConfig::one_per_element(elems, 256);
         let naive_desc = KernelDesc {
@@ -48,7 +49,8 @@ fn main() {
             ..aware_desc.clone()
         };
         let naive_blocks = elems.div_ceil(256);
-        let naive = gpu_kernel_time(&gpu, &naive_desc.work()) + naive_blocks as f64 * BLOCK_DISPATCH_S;
+        let naive =
+            gpu_kernel_time(&gpu, &naive_desc.work()) + naive_blocks as f64 * BLOCK_DISPATCH_S;
 
         t.row(vec![
             format!("2^{exp}"),

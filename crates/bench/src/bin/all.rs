@@ -6,8 +6,10 @@ use fastpso_bench::Scale;
 
 fn main() {
     let scale = Scale::from_args();
-    eprintln!("scale: n={}, d={}, measured iters {}..{}, reported at {} iterations\n",
-        scale.n_particles, scale.dim, scale.iters_lo, scale.iters_hi, scale.target_iters);
+    eprintln!(
+        "scale: n={}, d={}, measured iters {}..{}, reported at {} iterations\n",
+        scale.n_particles, scale.dim, scale.iters_lo, scale.iters_hi, scale.target_iters
+    );
     ex::table1::run(&scale).emit("table1");
     ex::table2::run(&scale).emit("table2");
     ex::table3::run(&scale).emit("table3");

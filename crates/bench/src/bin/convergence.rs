@@ -7,9 +7,9 @@
 //! Usage: `cargo run --release -p fastpso-bench --bin convergence
 //!         [--paper-scale|--smoke]` — writes `results/convergence.csv`.
 
+use fastpso::PsoConfig;
 use fastpso_bench::{paper_backends, Scale};
 use fastpso_functions::builtins::Sphere;
-use fastpso::PsoConfig;
 
 fn main() {
     let scale = Scale::from_args();

@@ -10,9 +10,13 @@
 //!
 //! `--function list` and `--backend list` enumerate the options.
 
-use fastpso::{MultiGpuBackend, MultiGpuStrategy, PsoBackend, PsoConfig, Topology};
+use fastpso::{
+    GpuBackend, MultiGpuBackend, MultiGpuStrategy, PsoBackend, PsoConfig, ResilienceConfig,
+    Topology,
+};
 use fastpso_bench::backend_by_name;
-use fastpso_functions::{Builtin, Objective};
+use fastpso_functions::Builtin;
+use gpu_sim::FaultPlan;
 use perf_model::Phase;
 
 #[derive(Debug)]
@@ -33,6 +37,8 @@ struct Args {
     devices: usize,
     history: Option<String>,
     quiet: bool,
+    resilient: bool,
+    faults: usize,
 }
 
 impl Default for Args {
@@ -54,6 +60,8 @@ impl Default for Args {
             devices: 1,
             history: None,
             quiet: false,
+            resilient: false,
+            faults: 0,
         }
     }
 }
@@ -75,6 +83,8 @@ OPTIONS
     --target <v>             stop when gbest reaches v
     --patience <t>           stop after t non-improving iterations
     --devices <n>            run on n simulated GPUs (tile-matrix, fastpso only)
+    --resilient              enable retry/checkpoint recovery (fastpso only)
+    --faults <n>             inject n seeded transient launch faults (fastpso only)
     --history <file>         write per-iteration gbest CSV
     --quiet                  print only the final value
     --help                   this text
@@ -84,7 +94,7 @@ fn parse_args() -> Result<Args, String> {
     let mut out = Args::default();
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
-    let mut value = |i: &mut usize| -> Result<String, String> {
+    let value = |i: &mut usize| -> Result<String, String> {
         *i += 1;
         argv.get(*i)
             .cloned()
@@ -114,6 +124,8 @@ fn parse_args() -> Result<Args, String> {
                 out.patience = Some(value(&mut i)?.parse().map_err(|e| format!("{e}"))?)
             }
             "--devices" => out.devices = value(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--resilient" => out.resilient = true,
+            "--faults" => out.faults = value(&mut i)?.parse().map_err(|e| format!("{e}"))?,
             "--history" => out.history = Some(value(&mut i)?),
             "--quiet" => out.quiet = true,
             "--help" | "-h" => {
@@ -162,7 +174,10 @@ fn main() {
     }
 
     let Some(builtin) = Builtin::by_name(&args.function) else {
-        eprintln!("error: unknown function {:?} (try --function list)", args.function);
+        eprintln!(
+            "error: unknown function {:?} (try --function list)",
+            args.function
+        );
         std::process::exit(2);
     };
     let obj = builtin.objective();
@@ -192,17 +207,46 @@ fn main() {
         }
     };
 
+    if (args.resilient || args.faults > 0) && args.backend != "fastpso" {
+        eprintln!("error: --resilient/--faults require --backend fastpso");
+        std::process::exit(2);
+    }
+    // Faults land on launch ordinals spread over the whole run (~8
+    // launches per iteration per device).
+    let fault_plan = |n: usize| FaultPlan::seeded(args.seed, n, (args.iters as u64 * 8).max(64));
+
     let backend: Box<dyn PsoBackend> = if args.devices > 1 {
         if args.backend != "fastpso" {
             eprintln!("error: --devices requires --backend fastpso");
             std::process::exit(2);
         }
-        Box::new(MultiGpuBackend::new(args.devices, MultiGpuStrategy::TileMatrix))
+        let mut b = MultiGpuBackend::new(args.devices, MultiGpuStrategy::TileMatrix);
+        if args.resilient {
+            b = b.resilient(ResilienceConfig::default());
+        }
+        if args.faults > 0 {
+            let mut plans = vec![FaultPlan::new(); args.devices];
+            plans[0] = fault_plan(args.faults);
+            b.group().set_fault_plans(plans);
+        }
+        Box::new(b)
+    } else if args.resilient || args.faults > 0 {
+        let mut b = GpuBackend::new();
+        if args.resilient {
+            b = b.resilient(ResilienceConfig::default());
+        }
+        if args.faults > 0 {
+            b.device().set_fault_plan(fault_plan(args.faults));
+        }
+        Box::new(b)
     } else {
         match backend_by_name(&args.backend) {
             Some(b) => b,
             None => {
-                eprintln!("error: unknown backend {:?} (try --backend list)", args.backend);
+                eprintln!(
+                    "error: unknown backend {:?} (try --backend list)",
+                    args.backend
+                );
                 std::process::exit(2);
             }
         }

@@ -49,7 +49,11 @@ pub fn points(scale: &Scale) -> Vec<Point> {
                     Axis::Particles => (x, 50),
                     Axis::Dimensions => (2000.min(scale.n_particles), x),
                 };
-                let base = PsoConfig::builder(n, d).max_iter(1).seed(42).build().unwrap();
+                let base = PsoConfig::builder(n, d)
+                    .max_iter(1)
+                    .seed(42)
+                    .build()
+                    .unwrap();
                 for b in &backends {
                     let r = run_extrapolated(
                         b.as_ref(),
@@ -76,7 +80,10 @@ pub fn points(scale: &Scale) -> Vec<Point> {
 /// Render as one long table (problem × axis × x × per-impl columns).
 pub fn run(scale: &Scale) -> Table {
     let data = points(scale);
-    let names: Vec<String> = paper_backends().iter().map(|b| b.name().to_string()).collect();
+    let names: Vec<String> = paper_backends()
+        .iter()
+        .map(|b| b.name().to_string())
+        .collect();
     let mut header: Vec<&str> = vec!["problem", "axis", "x"];
     for n in &names {
         header.push(n);
@@ -130,9 +137,7 @@ mod tests {
         let series = |imp: &str, axis: Axis| -> Vec<f64> {
             let mut pts: Vec<(usize, f64)> = data
                 .iter()
-                .filter(|p| {
-                    p.implementation == imp && p.axis == axis && p.problem == "Sphere"
-                })
+                .filter(|p| p.implementation == imp && p.axis == axis && p.problem == "Sphere")
                 .map(|p| (p.x, p.seconds))
                 .collect();
             pts.sort_by_key(|&(x, _)| x);

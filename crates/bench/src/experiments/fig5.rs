@@ -88,7 +88,9 @@ pub fn run(scale: &Scale) -> Table {
     let data = rows(scale);
     let mut t = Table::new(
         "Figure 5: per-step breakdown (modeled seconds per 2000 iterations)",
-        &["problem", "impl", "init", "eval", "pbest", "gbest", "swarm", "other"],
+        &[
+            "problem", "impl", "init", "eval", "pbest", "gbest", "swarm", "other",
+        ],
     );
     for row in &data {
         t.row(vec![

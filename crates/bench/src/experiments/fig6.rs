@@ -93,7 +93,14 @@ pub fn run(scale: &Scale) -> Table {
     let data = rows(scale);
     let mut t = Table::new(
         "Figure 6: swarm-update techniques (modeled seconds of the swarm-update step)",
-        &["problem", "for-loop", "OpenMP", "global-mem", "shared-mem", "tensorcore"],
+        &[
+            "problem",
+            "for-loop",
+            "OpenMP",
+            "global-mem",
+            "shared-mem",
+            "tensorcore",
+        ],
     );
     for row in &data {
         let mut cells = vec![row.problem.clone()];

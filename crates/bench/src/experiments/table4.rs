@@ -94,7 +94,11 @@ mod tests {
         for row in &data {
             let pct = row.speedup_percent();
             assert!(pct > 0.0, "{}: caching must win ({pct}%)", row.problem);
-            assert!(pct < 40.0, "{}: implausibly large gain ({pct}%)", row.problem);
+            assert!(
+                pct < 40.0,
+                "{}: implausibly large gain ({pct}%)",
+                row.problem
+            );
         }
     }
 }

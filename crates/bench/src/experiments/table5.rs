@@ -57,7 +57,9 @@ fn tune_one(data: &Dataset, scale: &Scale) -> Row {
         .seed(7)
         .build()
         .unwrap();
-    let result = GpuBackend::new().run(&pso_cfg, &objective).expect("tuning run");
+    let result = GpuBackend::new()
+        .run(&pso_cfg, &objective)
+        .expect("tuning run");
 
     // Keep the better of tuned-vs-default (the paper's tuner would never
     // ship a regression; covtype's defaults are already optimal).

@@ -27,5 +27,7 @@ pub mod experiments {
 }
 
 pub use report::Table;
-pub use runner::{backend_by_name, paper_backends, run_extrapolated, threadconf_objective, ExtrapolatedRun};
+pub use runner::{
+    backend_by_name, paper_backends, run_extrapolated, threadconf_objective, ExtrapolatedRun,
+};
 pub use scale::Scale;

@@ -79,10 +79,7 @@ pub fn run_extrapolated(
         (intercept + slope * target_iters as f64).max(0.0)
     };
 
-    let seconds = extrapolate(
-        lo.timeline.total_seconds(),
-        hi.timeline.total_seconds(),
-    );
+    let seconds = extrapolate(lo.timeline.total_seconds(), hi.timeline.total_seconds());
     let phase_seconds = Phase::ALL
         .iter()
         .map(|&p| {
@@ -144,7 +141,11 @@ mod tests {
     fn extrapolation_is_exact_for_affine_accounting() {
         // fastpso-seq's modeled time is exactly affine in iterations, so
         // extrapolating from (4, 8) must match a direct 16-iteration run.
-        let base = PsoConfig::builder(64, 8).max_iter(1).seed(7).build().unwrap();
+        let base = PsoConfig::builder(64, 8)
+            .max_iter(1)
+            .seed(7)
+            .build()
+            .unwrap();
         let ex = run_extrapolated(&SeqBackend, &base, &Sphere, 4, 8, 16);
         let mut direct_cfg = base.clone();
         direct_cfg.max_iter = 16;

@@ -27,8 +27,7 @@ pub enum AttractorSemantics {
 /// The adaptive variant implements the geometric decay of Kaucic's
 /// "adaptive velocity" scheme, which the paper's reference [14] describes,
 /// as an alternative convergence mechanism.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum VelocityBound {
     /// Kaucic-style adaptive bound: start at `fraction ×` domain width,
     /// multiply by `shrink` every iteration.
@@ -41,7 +40,6 @@ pub enum VelocityBound {
     /// No clamping (how the Python baselines behave by default).
     Unbounded,
 }
-
 
 /// Per-run evolution of the velocity bound. All backends drive one of
 /// these identically, which keeps their trajectories bit-identical.
@@ -128,6 +126,10 @@ pub struct PsoConfig {
     pub patience: Option<usize>,
     /// Record `gbest` after every iteration (costs one f32 per iteration).
     pub record_history: bool,
+    /// Explicit search-domain bounds `[lo, hi)`. `None` (the default)
+    /// means "use the objective's own domain". Validation rejects
+    /// non-finite or inverted bounds.
+    pub domain: Option<(f32, f32)>,
 }
 
 impl PsoConfig {
@@ -153,6 +155,7 @@ impl PsoConfig {
                 target_value: None,
                 patience: None,
                 record_history: false,
+                domain: None,
             },
         }
     }
@@ -182,6 +185,12 @@ impl PsoConfig {
     /// (backends evolve it through a [`BoundSchedule`]).
     pub fn resolved_velocity_bound(&self, domain: (f32, f32)) -> Option<f32> {
         BoundSchedule::new(self, domain).current()
+    }
+
+    /// The search domain a run actually uses: the explicit override if one
+    /// was configured, else the objective's own domain.
+    pub fn resolve_domain(&self, objective_domain: (f32, f32)) -> (f32, f32) {
+        self.domain.unwrap_or(objective_domain)
     }
 
     fn validate(&self) -> Result<(), PsoError> {
@@ -230,6 +239,18 @@ impl PsoConfig {
             return Err(PsoError::InvalidConfig(
                 "init_velocity_scale must be finite and >= 0".into(),
             ));
+        }
+        if let Some((lo, hi)) = self.domain {
+            if !lo.is_finite() || !hi.is_finite() {
+                return Err(PsoError::InvalidConfig(format!(
+                    "domain bounds must be finite, got [{lo}, {hi})"
+                )));
+            }
+            if lo >= hi {
+                return Err(PsoError::InvalidConfig(format!(
+                    "domain bounds are inverted or empty: lo ({lo}) must be < hi ({hi})"
+                )));
+            }
         }
         Ok(())
     }
@@ -332,6 +353,13 @@ impl PsoConfigBuilder {
         self
     }
 
+    /// Override the search domain to `[lo, hi)` instead of the
+    /// objective's own.
+    pub fn domain(mut self, lo: f32, hi: f32) -> Self {
+        self.cfg.domain = Some((lo, hi));
+        self
+    }
+
     /// Validate and produce the configuration.
     pub fn build(self) -> Result<PsoConfig, PsoError> {
         self.cfg.validate()?;
@@ -349,7 +377,11 @@ mod tests {
         assert_eq!(cfg.omega_at(0), 0.9);
         assert!((cfg.omega_at(50) - 0.65).abs() < 1e-3);
         assert!((cfg.omega_at(100) - 0.4).abs() < 1e-6);
-        let c = PsoConfig::builder(4, 2).constant_inertia().max_iter(10).build().unwrap();
+        let c = PsoConfig::builder(4, 2)
+            .constant_inertia()
+            .max_iter(10)
+            .build()
+            .unwrap();
         assert_eq!(c.omega_at(9), 0.9);
         let single = PsoConfig::builder(4, 2).max_iter(1).build().unwrap();
         assert_eq!(single.omega_at(0), 0.9);
@@ -358,7 +390,10 @@ mod tests {
     #[test]
     fn bound_schedule_decays_geometrically() {
         let mut cfg = PsoConfig::builder(4, 2).build().unwrap();
-        cfg.velocity_bound = VelocityBound::Adaptive { fraction: 0.5, shrink: 0.999 };
+        cfg.velocity_bound = VelocityBound::Adaptive {
+            fraction: 0.5,
+            shrink: 0.999,
+        };
         let mut sched = BoundSchedule::new(&cfg, (-1.0, 1.0));
         let b0 = sched.current().unwrap();
         assert_eq!(b0, 1.0);
@@ -370,13 +405,19 @@ mod tests {
 
     #[test]
     fn static_bounds_never_shrink() {
-        let cfg = PsoConfig::builder(4, 2).velocity_bound(2.0).build().unwrap();
+        let cfg = PsoConfig::builder(4, 2)
+            .velocity_bound(2.0)
+            .build()
+            .unwrap();
         let mut sched = BoundSchedule::new(&cfg, (-1.0, 1.0));
         for _ in 0..10 {
             sched.note_iteration(false);
         }
         assert_eq!(sched.current(), Some(2.0));
-        let cfg = PsoConfig::builder(4, 2).unbounded_velocity().build().unwrap();
+        let cfg = PsoConfig::builder(4, 2)
+            .unbounded_velocity()
+            .build()
+            .unwrap();
         let sched = BoundSchedule::new(&cfg, (-1.0, 1.0));
         assert_eq!(sched.current(), None);
     }
@@ -384,7 +425,10 @@ mod tests {
     #[test]
     fn invalid_adaptive_parameters_are_rejected() {
         let mut cfg = PsoConfig::builder(4, 2).build().unwrap();
-        cfg.velocity_bound = VelocityBound::Adaptive { fraction: 0.5, shrink: 1.5 };
+        cfg.velocity_bound = VelocityBound::Adaptive {
+            fraction: 0.5,
+            shrink: 1.5,
+        };
         assert!(PsoConfig::builder(4, 2).build().is_ok());
         let rebuilt = PsoConfigBuilder { cfg };
         assert!(rebuilt.build().is_err());
@@ -434,7 +478,51 @@ mod tests {
     fn bad_coefficients_are_rejected() {
         assert!(PsoConfig::builder(5, 5).omega(f32::NAN).build().is_err());
         assert!(PsoConfig::builder(5, 5).c1(-1.0).build().is_err());
-        assert!(PsoConfig::builder(5, 5).velocity_bound(0.0).build().is_err());
+        assert!(PsoConfig::builder(5, 5)
+            .velocity_bound(0.0)
+            .build()
+            .is_err());
+    }
+
+    fn rejection_message(b: PsoConfigBuilder) -> String {
+        match b.build() {
+            Err(PsoError::InvalidConfig(msg)) => msg,
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejections_carry_specific_messages() {
+        assert!(
+            rejection_message(PsoConfig::builder(5, 5).omega(f32::INFINITY))
+                .contains("omega must be finite and non-negative")
+        );
+        assert!(rejection_message(PsoConfig::builder(5, 5).c2(f32::NAN))
+            .contains("c2 must be finite and non-negative"));
+        assert!(rejection_message(PsoConfig::builder(5, 5).max_iter(0))
+            .contains("max_iter must be > 0"));
+    }
+
+    #[test]
+    fn inverted_or_nonfinite_domains_are_rejected() {
+        assert!(rejection_message(PsoConfig::builder(5, 5).domain(3.0, -3.0)).contains("inverted"));
+        assert!(rejection_message(PsoConfig::builder(5, 5).domain(1.0, 1.0)).contains("inverted"));
+        assert!(
+            rejection_message(PsoConfig::builder(5, 5).domain(f32::NAN, 1.0)).contains("finite")
+        );
+        assert!(
+            rejection_message(PsoConfig::builder(5, 5).domain(0.0, f32::INFINITY))
+                .contains("finite")
+        );
+        assert!(PsoConfig::builder(5, 5).domain(-2.0, 2.0).build().is_ok());
+    }
+
+    #[test]
+    fn domain_override_resolution() {
+        let cfg = PsoConfig::builder(5, 5).build().unwrap();
+        assert_eq!(cfg.resolve_domain((-10.0, 10.0)), (-10.0, 10.0));
+        let cfg = PsoConfig::builder(5, 5).domain(-1.0, 1.0).build().unwrap();
+        assert_eq!(cfg.resolve_domain((-10.0, 10.0)), (-1.0, 1.0));
     }
 
     #[test]
@@ -442,9 +530,15 @@ mod tests {
         let cfg = PsoConfig::builder(5, 5).build().unwrap();
         // Default adaptive bound starts at half the domain width.
         assert_eq!(cfg.resolved_velocity_bound((-4.0, 4.0)), Some(4.0));
-        let cfg = PsoConfig::builder(5, 5).velocity_bound(1.5).build().unwrap();
+        let cfg = PsoConfig::builder(5, 5)
+            .velocity_bound(1.5)
+            .build()
+            .unwrap();
         assert_eq!(cfg.resolved_velocity_bound((-4.0, 4.0)), Some(1.5));
-        let cfg = PsoConfig::builder(5, 5).unbounded_velocity().build().unwrap();
+        let cfg = PsoConfig::builder(5, 5)
+            .unbounded_velocity()
+            .build()
+            .unwrap();
         assert_eq!(cfg.resolved_velocity_bound((-4.0, 4.0)), None);
     }
 }

@@ -79,7 +79,7 @@ pub(crate) fn run_cpu(
     let mut tl = Timeline::new();
     let (n, d) = (cfg.n_particles, cfg.dim);
     let nd = (n * d) as u64;
-    let domain = obj.domain();
+    let domain = cfg.resolve_domain(obj.domain());
     let mut sched = BoundSchedule::new(cfg, domain);
     let rng = Philox::new(cfg.seed);
 
@@ -133,7 +133,12 @@ pub(crate) fn run_cpu(
                 .pbest_err
                 .par_iter_mut()
                 .zip_eq(swarm.pbest_pos.par_chunks_exact_mut(d))
-                .zip_eq(swarm.errors.par_iter().zip_eq(swarm.pos.par_chunks_exact(d)))
+                .zip_eq(
+                    swarm
+                        .errors
+                        .par_iter()
+                        .zip_eq(swarm.pos.par_chunks_exact(d)),
+                )
                 .map(|((pb, pb_row), (&e, p_row))| {
                     if e < *pb {
                         *pb = e;
@@ -194,7 +199,13 @@ pub(crate) fn run_cpu(
             ring_neighborhood_best(&swarm.pbest_err, k, &mut lbest_idx);
             // The effective window is clamped to the ring circumference.
             let window = (2 * k.min(n / 2) + 1) as u64;
-            charger.charge(&mut tl, Phase::GBest, n as u64 * window, n as u64 * window * 4, 0);
+            charger.charge(
+                &mut tl,
+                Phase::GBest,
+                n as u64 * window,
+                n as u64 * window * 4,
+                0,
+            );
         }
 
         // Advance the adaptive bound (Equation 5 with Kaucic's scheme),
@@ -229,11 +240,11 @@ pub(crate) fn run_cpu(
                         }
                     };
                     update_row(
-                        row, vrow, prow, pb_row, pb_err, social_row, gbest_err, cfg, bound, &rng,
-                        t,
+                        row, vrow, prow, pb_row, pb_err, social_row, gbest_err, cfg, bound, &rng, t,
                     );
                 });
         } else {
+            #[allow(clippy::needless_range_loop)]
             for row in 0..n {
                 let (s, e) = (row * d, row * d + d);
                 let social_row = match cfg.topology {

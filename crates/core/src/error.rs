@@ -4,13 +4,36 @@ use gpu_sim::GpuError;
 use std::fmt;
 
 /// Errors raised while configuring or running a PSO optimization.
+///
+/// Marked `#[non_exhaustive]`: downstream matches must keep a wildcard arm
+/// so the resilience layer can grow new failure classes without a breaking
+/// release.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum PsoError {
     /// Invalid configuration (zero particles, zero dimensions, bad
-    /// coefficients, ...).
+    /// coefficients, inverted domain bounds, ...).
     InvalidConfig(String),
     /// A device operation failed.
     Gpu(GpuError),
+}
+
+impl PsoError {
+    /// Whether the underlying failure is transient — retrying the same
+    /// operation can succeed (see [`GpuError::is_transient`]). Config
+    /// errors and permanent device failures are not.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, PsoError::Gpu(g) if g.is_transient())
+    }
+
+    /// The device index a permanent device-loss failure names, if this is
+    /// one ([`GpuError::DeviceLost`]).
+    pub fn lost_device(&self) -> Option<usize> {
+        match self {
+            PsoError::Gpu(GpuError::DeviceLost(i)) => Some(*i),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for PsoError {
@@ -48,5 +71,22 @@ mod tests {
         let g: PsoError = GpuError::Empty("x").into();
         assert!(matches!(g, PsoError::Gpu(_)));
         assert!(g.to_string().contains("GPU error"));
+    }
+
+    #[test]
+    fn transient_and_loss_classification() {
+        let t: PsoError = GpuError::TransientLaunch {
+            device: 0,
+            launch: 3,
+        }
+        .into();
+        assert!(t.is_transient());
+        assert_eq!(t.lost_device(), None);
+        let l: PsoError = GpuError::DeviceLost(2).into();
+        assert!(!l.is_transient());
+        assert_eq!(l.lost_device(), Some(2));
+        let c = PsoError::InvalidConfig("x".into());
+        assert!(!c.is_transient());
+        assert_eq!(c.lost_device(), None);
     }
 }

@@ -35,6 +35,12 @@ pub enum UpdateStrategy {
     /// Warp-level tensor-core fragments with f16 operands (paper §3.5).
     /// Numerics differ from the other strategies by documented f16 rounding.
     TensorCore,
+    /// Naive one-thread-per-particle for-loop (the paper's strawman
+    /// baseline). Bitwise identical to [`UpdateStrategy::GlobalMem`] but
+    /// modeled with `rows` threads striding over `d` columns — the slowest
+    /// rung, kept as the last resort of the resilience layer's graceful
+    /// degradation chain (see `resilience` module).
+    ForLoop,
 }
 
 /// A contiguous block of particle rows resident on one device.
@@ -155,7 +161,12 @@ pub fn init_shard(
 /// Generate this iteration's `L` and `G` weight matrices on the device.
 /// Charged to the Init phase, matching the paper's breakdown (§3.1 treats
 /// per-iteration weight generation as part of swarm initialization).
-pub fn gen_weights(dev: &Device, shard: &mut Shard, cfg: &PsoConfig, t: usize) -> Result<(), PsoError> {
+pub fn gen_weights(
+    dev: &Device,
+    shard: &mut Shard,
+    cfg: &PsoConfig,
+    t: usize,
+) -> Result<(), PsoError> {
     let rng = Philox::new(cfg.seed);
     let elems = shard.elems() as u64;
     let cost = KernelCost::elementwise(RNG_FLOPS_PER_DRAW, 0, 4);
@@ -303,10 +314,27 @@ pub fn ring_lbest(dev: &Device, shard: &Shard, k: usize) -> Result<Vec<usize>, P
     Ok(out)
 }
 
-/// Step (iv): the swarm update — velocity (Equation 1 + bound) then
-/// position (Equation 2) as element-wise matrix kernels, under the
-/// selected memory strategy.
-pub fn swarm_update(
+/// ForLoop models the naive kernel: one thread per particle row looping
+/// over its d columns (strided access), instead of one thread per
+/// element. The arithmetic is the GlobalMem path verbatim, so results
+/// stay bitwise identical — only the modeled cost differs.
+fn naive_desc(shard: &Shard, name: &'static str, cost: KernelCost) -> KernelDesc {
+    KernelDesc {
+        name,
+        phase: Phase::SwarmUpdate,
+        cost,
+        elems: shard.elems() as u64,
+        threads: shard.rows as u64,
+        config: Some(LaunchConfig::one_per_element(shard.rows as u64, 32)),
+        pattern: MemoryPattern::Strided(shard.d as u32),
+    }
+}
+
+/// Velocity half of step (iv): Equation 1 plus the optional velocity bound,
+/// in place on `V`. Exactly **one** kernel launch per call, and the fault
+/// gate fires before any element is written — so the resilience layer can
+/// retry this half in isolation without double-applying the update.
+pub fn velocity_update(
     dev: &Device,
     shard: &mut Shard,
     cfg: &PsoConfig,
@@ -322,10 +350,14 @@ pub fn swarm_update(
     let gbest_err = shard.gbest_err;
 
     match strategy {
-        UpdateStrategy::GlobalMem => {
+        UpdateStrategy::GlobalMem | UpdateStrategy::ForLoop => {
             // Velocity: reads V (in place), P, L, G, pbest attractor; writes V.
             let cost = KernelCost::elementwise(VELOCITY_FLOPS_PER_ELEM, 20, 4);
-            let desc = desc_for(dev, "velocity_update", Phase::SwarmUpdate, cost, elems);
+            let desc = if strategy == UpdateStrategy::ForLoop {
+                naive_desc(shard, "velocity_update_forloop", cost)
+            } else {
+                desc_for(dev, "velocity_update", Phase::SwarmUpdate, cost, elems)
+            };
             let pos = shard.pos.as_slice();
             let l = shard.l.as_slice();
             let g = shard.g.as_slice();
@@ -346,99 +378,120 @@ pub fn swarm_update(
                 };
                 velocity_update_elem(v, pos[i], l[i], g[i], pb, gb, omega, c1, c2, bound)
             })?;
+        }
+        UpdateStrategy::SharedMem => {
+            let tile = TILE_SIZE * TILE_SIZE;
+            let pos = shard.pos.as_slice();
+            let pbest_err = shard.pbest_err.as_slice();
+            let gbest_pos = shard.gbest_pos.as_slice();
+            let l = shard.l.as_slice();
+            let g = shard.g.as_slice();
+            let pbest_pos = shard.pbest_pos.as_slice();
+            dev.launch_tiled(
+                "velocity_update_smem",
+                Phase::SwarmUpdate,
+                VELOCITY_FLOPS_PER_ELEM,
+                tile,
+                &[pos, l, g, pbest_pos],
+                shard.vel.as_mut_slice(),
+                |i, local, ctx| {
+                    let (row, col) = (i / d, i % d);
+                    let (pb, gb) = match semantics {
+                        AttractorSemantics::PositionVectors => {
+                            let social = match lbest {
+                                Some(lb) => pbest_pos[lb[row] * d + col],
+                                None => gbest_pos[col],
+                            };
+                            (ctx.inputs[3][local], social)
+                        }
+                        AttractorSemantics::ScalarBroadcast => (pbest_err[row], gbest_err),
+                    };
+                    velocity_update_elem(
+                        ctx.out_old[local],
+                        ctx.inputs[0][local],
+                        ctx.inputs[1][local],
+                        ctx.inputs[2][local],
+                        pb,
+                        gb,
+                        omega,
+                        c1,
+                        c2,
+                        bound,
+                    )
+                },
+            )?;
+        }
+        UpdateStrategy::TensorCore => {
+            let pos = shard.pos.as_slice();
+            let pbest_err = shard.pbest_err.as_slice();
+            let gbest_pos = shard.gbest_pos.as_slice();
+            let l = shard.l.as_slice();
+            let g = shard.g.as_slice();
+            let pbest_pos = shard.pbest_pos.as_slice();
+            dev.launch_tensor_elementwise(
+                "velocity_update_wmma",
+                Phase::SwarmUpdate,
+                VELOCITY_FLOPS_PER_ELEM,
+                &[pos, l, g, pbest_pos],
+                shard.vel.as_mut_slice(),
+                |i, ins, v_old| {
+                    let (row, col) = (i / d, i % d);
+                    let (pb, gb) = match semantics {
+                        AttractorSemantics::PositionVectors => {
+                            let social = match lbest {
+                                Some(lb) => pbest_pos[lb[row] * d + col],
+                                None => gbest_pos[col],
+                            };
+                            (ins[3], social)
+                        }
+                        AttractorSemantics::ScalarBroadcast => (pbest_err[row], gbest_err),
+                    };
+                    velocity_update_elem(
+                        v_old, ins[0], ins[1], ins[2], pb, gb, omega, c1, c2, bound,
+                    )
+                },
+            )?;
+        }
+    }
+    Ok(())
+}
 
+/// Position half of step (iv): Equation 2 in place on `P`. Like
+/// [`velocity_update`], exactly one launch per call and fault-gated before
+/// mutation, so it is individually retryable.
+pub fn position_update(
+    dev: &Device,
+    shard: &mut Shard,
+    strategy: UpdateStrategy,
+) -> Result<(), PsoError> {
+    let elems = shard.elems() as u64;
+    match strategy {
+        UpdateStrategy::GlobalMem | UpdateStrategy::ForLoop => {
             // Position: reads P (in place) and V; writes P.
             let cost = KernelCost::elementwise(POSITION_FLOPS_PER_ELEM, 8, 4);
-            let desc = desc_for(dev, "position_update", Phase::SwarmUpdate, cost, elems);
+            let desc = if strategy == UpdateStrategy::ForLoop {
+                naive_desc(shard, "position_update_forloop", cost)
+            } else {
+                desc_for(dev, "position_update", Phase::SwarmUpdate, cost, elems)
+            };
             let vel = shard.vel.as_slice();
             dev.launch_update(&desc, shard.pos.as_mut_slice(), |i, p| {
                 position_update_elem(p, vel[i])
             })?;
         }
         UpdateStrategy::SharedMem => {
-            let tile = TILE_SIZE * TILE_SIZE;
-            {
-                let pos = shard.pos.as_slice();
-                let pbest_err = shard.pbest_err.as_slice();
-                let gbest_pos = shard.gbest_pos.as_slice();
-                let l = shard.l.as_slice();
-                let g = shard.g.as_slice();
-                let pbest_pos = shard.pbest_pos.as_slice();
-                dev.launch_tiled(
-                    "velocity_update_smem",
-                    Phase::SwarmUpdate,
-                    VELOCITY_FLOPS_PER_ELEM,
-                    tile,
-                    &[pos, l, g, pbest_pos],
-                    shard.vel.as_mut_slice(),
-                    |i, local, ctx| {
-                        let (row, col) = (i / d, i % d);
-                        let (pb, gb) = match semantics {
-                            AttractorSemantics::PositionVectors => {
-                                let social = match lbest {
-                                    Some(lb) => pbest_pos[lb[row] * d + col],
-                                    None => gbest_pos[col],
-                                };
-                                (ctx.inputs[3][local], social)
-                            }
-                            AttractorSemantics::ScalarBroadcast => (pbest_err[row], gbest_err),
-                        };
-                        velocity_update_elem(
-                            ctx.out_old[local],
-                            ctx.inputs[0][local],
-                            ctx.inputs[1][local],
-                            ctx.inputs[2][local],
-                            pb,
-                            gb,
-                            omega,
-                            c1,
-                            c2,
-                            bound,
-                        )
-                    },
-                )?;
-            }
             let vel = shard.vel.as_slice();
             dev.launch_tiled(
                 "position_update_smem",
                 Phase::SwarmUpdate,
                 POSITION_FLOPS_PER_ELEM,
-                tile,
+                TILE_SIZE * TILE_SIZE,
                 &[vel],
                 shard.pos.as_mut_slice(),
                 |_i, local, ctx| position_update_elem(ctx.out_old[local], ctx.inputs[0][local]),
             )?;
         }
         UpdateStrategy::TensorCore => {
-            {
-                let pos = shard.pos.as_slice();
-                let pbest_err = shard.pbest_err.as_slice();
-                let gbest_pos = shard.gbest_pos.as_slice();
-                let l = shard.l.as_slice();
-                let g = shard.g.as_slice();
-                let pbest_pos = shard.pbest_pos.as_slice();
-                dev.launch_tensor_elementwise(
-                    "velocity_update_wmma",
-                    Phase::SwarmUpdate,
-                    VELOCITY_FLOPS_PER_ELEM,
-                    &[pos, l, g, pbest_pos],
-                    shard.vel.as_mut_slice(),
-                    |i, ins, v_old| {
-                        let (row, col) = (i / d, i % d);
-                        let (pb, gb) = match semantics {
-                            AttractorSemantics::PositionVectors => {
-                                let social = match lbest {
-                                    Some(lb) => pbest_pos[lb[row] * d + col],
-                                    None => gbest_pos[col],
-                                };
-                                (ins[3], social)
-                            }
-                            AttractorSemantics::ScalarBroadcast => (pbest_err[row], gbest_err),
-                        };
-                        velocity_update_elem(v_old, ins[0], ins[1], ins[2], pb, gb, omega, c1, c2, bound)
-                    },
-                )?;
-            }
             let vel = shard.vel.as_slice();
             dev.launch_tensor_elementwise(
                 "position_update_wmma",
@@ -453,13 +506,38 @@ pub fn swarm_update(
     Ok(())
 }
 
+/// Step (iv): the swarm update — velocity (Equation 1 + bound) then
+/// position (Equation 2) as element-wise matrix kernels, under the
+/// selected memory strategy.
+///
+/// NOT safe to retry as a whole: the velocity launch mutates `V` in place,
+/// so re-running after a fault in the position launch double-applies
+/// Equation 1. Resilient callers must retry [`velocity_update`] and
+/// [`position_update`] individually instead.
+pub fn swarm_update(
+    dev: &Device,
+    shard: &mut Shard,
+    cfg: &PsoConfig,
+    t: usize,
+    bound: Option<f32>,
+    strategy: UpdateStrategy,
+    lbest: Option<&[usize]>,
+) -> Result<(), PsoError> {
+    velocity_update(dev, shard, cfg, t, bound, strategy, lbest)?;
+    position_update(dev, shard, strategy)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use fastpso_functions::builtins::Sphere;
 
     fn cfg() -> PsoConfig {
-        PsoConfig::builder(16, 8).max_iter(4).seed(11).build().unwrap()
+        PsoConfig::builder(16, 8)
+            .max_iter(4)
+            .seed(11)
+            .build()
+            .unwrap()
     }
 
     fn setup(dev: &Device, cfg: &PsoConfig) -> Shard {
@@ -476,7 +554,11 @@ mod tests {
         let host = crate::swarm::Swarm::init(&cfg, Sphere.domain());
         assert_eq!(shard.pos.as_slice(), host.pos.as_slice());
         assert_eq!(shard.vel.as_slice(), host.vel.as_slice());
-        assert!(shard.pbest_err.as_slice().iter().all(|&x| x == f32::INFINITY));
+        assert!(shard
+            .pbest_err
+            .as_slice()
+            .iter()
+            .all(|&x| x == f32::INFINITY));
     }
 
     #[test]
@@ -487,10 +569,7 @@ mod tests {
         let mut shard = Shard::alloc(&dev, 5, 4, cfg.dim).unwrap();
         init_shard(&dev, &mut shard, &cfg, Sphere.domain()).unwrap();
         let host = crate::swarm::Swarm::init(&cfg, Sphere.domain());
-        assert_eq!(
-            shard.pos.as_slice(),
-            &host.pos[5 * cfg.dim..9 * cfg.dim],
-        );
+        assert_eq!(shard.pos.as_slice(), &host.pos[5 * cfg.dim..9 * cfg.dim],);
     }
 
     #[test]
@@ -563,6 +642,36 @@ mod tests {
     }
 
     #[test]
+    fn forloop_strategy_matches_global_mem_bitwise_but_slower() {
+        let cfg = cfg();
+        let run = |strategy| {
+            let dev = Device::v100();
+            let mut shard = setup(&dev, &cfg);
+            eval_shard(&dev, &mut shard, &Sphere).unwrap();
+            pbest_update(&dev, &mut shard).unwrap();
+            let r = local_argmin(&dev, &shard).unwrap();
+            adopt_gbest_local(&dev, &mut shard, r.index, r.value).unwrap();
+            gen_weights(&dev, &mut shard, &cfg, 0).unwrap();
+            let before = dev.timeline().total_seconds();
+            swarm_update(&dev, &mut shard, &cfg, 0, Some(2.0), strategy, None).unwrap();
+            let update_time = dev.timeline().total_seconds() - before;
+            (
+                shard.vel.as_slice().to_vec(),
+                shard.pos.as_slice().to_vec(),
+                update_time,
+            )
+        };
+        let (v1, p1, t_global) = run(UpdateStrategy::GlobalMem);
+        let (v2, p2, t_naive) = run(UpdateStrategy::ForLoop);
+        assert_eq!(v1, v2, "the degradation rung must not change numerics");
+        assert_eq!(p1, p2);
+        assert!(
+            t_naive > t_global,
+            "naive for-loop ({t_naive}s) should model slower than global-mem ({t_global}s)"
+        );
+    }
+
+    #[test]
     fn tensor_strategy_is_close_but_f16_rounded() {
         let cfg = cfg();
         let run = |strategy| {
@@ -599,7 +708,16 @@ mod tests {
         let r = local_argmin(&dev, &shard).unwrap();
         adopt_gbest_local(&dev, &mut shard, r.index, r.value).unwrap();
         gen_weights(&dev, &mut shard, &cfg, 0).unwrap();
-        swarm_update(&dev, &mut shard, &cfg, 0, Some(0.01), UpdateStrategy::GlobalMem, None).unwrap();
+        swarm_update(
+            &dev,
+            &mut shard,
+            &cfg,
+            0,
+            Some(0.01),
+            UpdateStrategy::GlobalMem,
+            None,
+        )
+        .unwrap();
         assert!(shard.vel.as_slice().iter().all(|v| v.abs() <= 0.01));
     }
 
@@ -610,7 +728,13 @@ mod tests {
         let mut shard = setup(&dev, &cfg);
         gen_weights(&dev, &mut shard, &cfg, 3).unwrap();
         let rng = Philox::new(cfg.seed);
-        assert_eq!(shard.l.as_slice()[7], rng.uniform_at(7, domains::l_matrix(3)));
-        assert_eq!(shard.g.as_slice()[0], rng.uniform_at(0, domains::g_matrix(3)));
+        assert_eq!(
+            shard.l.as_slice()[7],
+            rng.uniform_at(7, domains::l_matrix(3))
+        );
+        assert_eq!(
+            shard.g.as_slice()[0],
+            rng.uniform_at(0, domains::g_matrix(3))
+        );
     }
 }

@@ -6,13 +6,16 @@ pub mod multi;
 use crate::backend::PsoBackend;
 use crate::config::{BoundSchedule, PsoConfig};
 use crate::error::PsoError;
+use crate::resilience::{
+    quarantine_nonfinite, retry_degradable, retry_op, ResilienceConfig, ShardCheckpoint,
+};
 use crate::result::RunResult;
+use crate::topology::Topology;
 use fastpso_functions::Objective;
 use gpu_sim::{AllocMode, Device, Phase};
-use crate::topology::Topology;
 use kernels::{
     adopt_gbest_local, eval_shard, gen_weights, init_shard, local_argmin, pbest_update,
-    ring_lbest, swarm_update, Shard,
+    position_update, ring_lbest, swarm_update, velocity_update, Shard,
 };
 
 pub use kernels::UpdateStrategy;
@@ -30,6 +33,7 @@ pub use kernels::UpdateStrategy;
 pub struct GpuBackend {
     device: Device,
     strategy: UpdateStrategy,
+    resilience: Option<ResilienceConfig>,
 }
 
 impl Default for GpuBackend {
@@ -49,12 +53,21 @@ impl GpuBackend {
         GpuBackend {
             device,
             strategy: UpdateStrategy::GlobalMem,
+            resilience: None,
         }
     }
 
     /// Select the swarm-update memory strategy (Figure 6's axis).
     pub fn strategy(mut self, s: UpdateStrategy) -> Self {
         self.strategy = s;
+        self
+    }
+
+    /// Enable the resilient execution layer: bounded retry, periodic
+    /// checkpointing with restore-and-replay, NaN/Inf quarantine and the
+    /// strategy degradation chain (see the `resilience` module).
+    pub fn resilient(mut self, r: ResilienceConfig) -> Self {
+        self.resilience = Some(r);
         self
     }
 
@@ -73,6 +86,166 @@ impl GpuBackend {
     pub fn update_strategy(&self) -> UpdateStrategy {
         self.strategy
     }
+
+    /// One PSO iteration under the resilience policy: every device
+    /// operation is individually retried; a permanent swarm-update failure
+    /// walks the strategy degradation chain. Returns whether `gbest`
+    /// improved. On error, the caller restores the last checkpoint, which
+    /// rolls back any partial mutation this function made.
+    #[allow(clippy::too_many_arguments)]
+    fn resilient_iteration(
+        dev: &Device,
+        shard: &mut Shard,
+        cfg: &PsoConfig,
+        obj: &dyn Objective,
+        t: usize,
+        sched: &mut BoundSchedule,
+        strategy: &mut UpdateStrategy,
+        res: &ResilienceConfig,
+        quarantined: &mut u64,
+    ) -> Result<bool, PsoError> {
+        let policy = &res.retry;
+        retry_op(dev, policy, || eval_shard(dev, shard, obj))?;
+        if res.quarantine_nonfinite {
+            *quarantined += quarantine_nonfinite(dev, shard, obj)?;
+        }
+        retry_op(dev, policy, || pbest_update(dev, shard))?;
+        let best = retry_op(dev, policy, || local_argmin(dev, shard))?;
+        let improved = best.value < shard.gbest_err;
+        if improved {
+            retry_op(dev, policy, || {
+                adopt_gbest_local(dev, shard, best.index, best.value)
+            })?;
+        }
+        sched.note_iteration(improved);
+        let lbest = match cfg.topology {
+            Topology::Ring { k } => Some(retry_op(dev, policy, || ring_lbest(dev, shard, k))?),
+            Topology::Global => None,
+        };
+        retry_op(dev, policy, || gen_weights(dev, shard, cfg, t))?;
+        // Each half of the swarm update is a single fault-gated launch, so
+        // it retries (and strategy-degrades) independently — retrying the
+        // pair as one op would double-apply the in-place velocity update.
+        retry_degradable(dev, res, strategy, |st| {
+            velocity_update(dev, shard, cfg, t, sched.current(), st, lbest.as_deref())
+        })?;
+        retry_degradable(dev, res, strategy, |st| position_update(dev, shard, st))?;
+        dev.synchronize(Phase::SwarmUpdate);
+        Ok(improved)
+    }
+
+    /// The resilient run loop: like [`PsoBackend::run`], plus periodic
+    /// checkpoints and restore-and-replay when in-place retries are
+    /// exhausted. With the same seed, the `gbest` trajectory is
+    /// bit-identical to the fault-free run — recovery only costs modeled
+    /// time (visible under [`Phase::Recovery`]), never numerics.
+    fn run_resilient(
+        &self,
+        cfg: &PsoConfig,
+        obj: &dyn Objective,
+        res: &ResilienceConfig,
+    ) -> Result<RunResult, PsoError> {
+        let dev = &self.device;
+        let policy = &res.retry;
+        dev.reset_timeline();
+        let domain = cfg.resolve_domain(obj.domain());
+        let mut sched = BoundSchedule::new(cfg, domain);
+        let mut strategy = self.strategy;
+
+        let mut shard = retry_op(dev, policy, || {
+            Shard::alloc(dev, 0, cfg.n_particles, cfg.dim)
+        })?;
+        retry_op(dev, policy, || init_shard(dev, &mut shard, cfg, domain))?;
+
+        let mut history = if cfg.record_history {
+            Some(Vec::with_capacity(cfg.max_iter))
+        } else {
+            None
+        };
+        let mut stagnant = 0usize;
+        let mut iterations_run = 0usize;
+        let mut quarantined = 0u64;
+        let mut restores = 0u32;
+        let mut t = 0usize;
+
+        // Checkpoint of the state at the start of iteration `cp_t`.
+        let mut cp = ShardCheckpoint::capture(&shard);
+        let mut cp_t = 0usize;
+        let mut cp_sched = sched;
+        let mut cp_stagnant = 0usize;
+
+        while t < cfg.max_iter {
+            match Self::resilient_iteration(
+                dev,
+                &mut shard,
+                cfg,
+                obj,
+                t,
+                &mut sched,
+                &mut strategy,
+                res,
+                &mut quarantined,
+            ) {
+                Ok(improved) => {
+                    iterations_run = t + 1;
+                    if let Some(h) = history.as_mut() {
+                        h.push(shard.gbest_err);
+                    }
+                    if improved {
+                        stagnant = 0;
+                    } else {
+                        stagnant += 1;
+                    }
+                    if let Some(target) = cfg.target_value {
+                        if (shard.gbest_err as f64) <= target {
+                            break;
+                        }
+                    }
+                    if let Some(p) = cfg.patience {
+                        if stagnant >= p {
+                            break;
+                        }
+                    }
+                    t += 1;
+                    if res.checkpoint_every != 0
+                        && t.is_multiple_of(res.checkpoint_every)
+                        && t < cfg.max_iter
+                    {
+                        cp = ShardCheckpoint::capture(&shard);
+                        cp_t = t;
+                        cp_sched = sched;
+                        cp_stagnant = stagnant;
+                    }
+                }
+                Err(e) if e.is_transient() && restores < res.max_restores => {
+                    // In-place retries exhausted: roll the whole optimizer
+                    // back to the last checkpoint and replay. The replayed
+                    // iterations recompute bit-for-bit (counter-based RNG),
+                    // so only modeled time is lost.
+                    restores += 1;
+                    cp.restore_into(dev, &mut shard, policy)?;
+                    sched = cp_sched;
+                    stagnant = cp_stagnant;
+                    t = cp_t;
+                    iterations_run = t;
+                    if let Some(h) = history.as_mut() {
+                        h.truncate(t);
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+
+        let best_position = shard.gbest_pos.download_in(Phase::Other);
+        Ok(RunResult {
+            best_value: shard.gbest_err as f64,
+            best_position,
+            iterations: iterations_run,
+            evaluations: (cfg.n_particles * iterations_run) as u64,
+            timeline: dev.timeline(),
+            history,
+        })
+    }
 }
 
 impl PsoBackend for GpuBackend {
@@ -81,13 +254,17 @@ impl PsoBackend for GpuBackend {
             UpdateStrategy::GlobalMem => "fastpso",
             UpdateStrategy::SharedMem => "fastpso-smem",
             UpdateStrategy::TensorCore => "fastpso-tensor",
+            UpdateStrategy::ForLoop => "fastpso-forloop",
         }
     }
 
     fn run(&self, cfg: &PsoConfig, obj: &dyn Objective) -> Result<RunResult, PsoError> {
+        if let Some(res) = &self.resilience {
+            return self.run_resilient(cfg, obj, res);
+        }
         let dev = &self.device;
         dev.reset_timeline();
-        let domain = obj.domain();
+        let domain = cfg.resolve_domain(obj.domain());
         let mut sched = BoundSchedule::new(cfg, domain);
 
         // Step (i): allocate and initialize on-device.
@@ -175,7 +352,11 @@ mod tests {
     use fastpso_functions::builtins::{Griewank, Sphere};
 
     fn cfg(n: usize, d: usize, iters: usize) -> PsoConfig {
-        PsoConfig::builder(n, d).max_iter(iters).seed(21).build().unwrap()
+        PsoConfig::builder(n, d)
+            .max_iter(iters)
+            .seed(21)
+            .build()
+            .unwrap()
     }
 
     #[test]
@@ -219,7 +400,10 @@ mod tests {
     #[test]
     fn modeled_time_is_far_below_cpu_backends() {
         let c = cfg(2048, 128, 10);
-        let gpu = GpuBackend::new().run(&c, &Sphere).unwrap().elapsed_seconds();
+        let gpu = GpuBackend::new()
+            .run(&c, &Sphere)
+            .unwrap()
+            .elapsed_seconds();
         let seq = SeqBackend.run(&c, &Sphere).unwrap().elapsed_seconds();
         assert!(
             seq / gpu > 5.0,

@@ -18,6 +18,10 @@
 use crate::backend::PsoBackend;
 use crate::config::{BoundSchedule, PsoConfig};
 use crate::error::PsoError;
+use crate::resilience::{
+    quarantine_nonfinite, retry_degradable, retry_op, ResilienceConfig, RetryPolicy,
+    ShardCheckpoint,
+};
 use crate::result::RunResult;
 use crate::swarm::Swarm;
 use fastpso_functions::Objective;
@@ -25,7 +29,7 @@ use gpu_sim::{DeviceGroup, Phase, Timeline};
 
 use super::kernels::{
     adopt_gbest_from_host, adopt_gbest_local, eval_shard, gen_weights, init_shard, local_argmin,
-    pbest_update, swarm_update, Shard, UpdateStrategy,
+    pbest_update, position_update, swarm_update, velocity_update, Shard, UpdateStrategy,
 };
 
 /// Multi-GPU work decomposition (paper §3.5).
@@ -45,6 +49,7 @@ pub struct MultiGpuBackend {
     group: DeviceGroup,
     strategy: MultiGpuStrategy,
     update: UpdateStrategy,
+    resilience: Option<ResilienceConfig>,
 }
 
 impl MultiGpuBackend {
@@ -59,12 +64,22 @@ impl MultiGpuBackend {
             group,
             strategy,
             update: UpdateStrategy::GlobalMem,
+            resilience: None,
         }
     }
 
     /// Select the per-device swarm-update memory strategy.
     pub fn update_strategy(mut self, s: UpdateStrategy) -> Self {
         self.update = s;
+        self
+    }
+
+    /// Enable the resilient execution layer: per-device bounded retry,
+    /// synchronized group checkpoints with restore-and-replay, NaN/Inf
+    /// quarantine, strategy degradation, and — unique to the multi-GPU
+    /// path — re-homing a lost device's sub-swarm onto a survivor.
+    pub fn resilient(mut self, r: ResilienceConfig) -> Self {
+        self.resilience = Some(r);
         self
     }
 
@@ -88,17 +103,8 @@ impl MultiGpuBackend {
         }
         out
     }
-}
 
-impl PsoBackend for MultiGpuBackend {
-    fn name(&self) -> &'static str {
-        match self.strategy {
-            MultiGpuStrategy::ParticleSplit { .. } => "fastpso-multi-split",
-            MultiGpuStrategy::TileMatrix => "fastpso-multi-tile",
-        }
-    }
-
-    fn run(&self, cfg: &PsoConfig, obj: &dyn Objective) -> Result<RunResult, PsoError> {
+    fn validate_run(&self, cfg: &PsoConfig) -> Result<(), PsoError> {
         if self.group.is_empty() {
             return Err(PsoError::InvalidConfig("empty device group".into()));
         }
@@ -116,8 +122,350 @@ impl PsoBackend for MultiGpuBackend {
                 self.group.len()
             )));
         }
+        Ok(())
+    }
+
+    /// Report with the group's concurrent-elapsed semantics: a timeline
+    /// whose per-phase values are scaled so the total equals the
+    /// max-over-devices wall clock.
+    fn scaled_group_timeline(&self) -> Timeline {
+        let merged = self.group.merged_timeline();
+        let wall = self.group.elapsed_seconds();
+        let mut tl = Timeline::new();
+        let total = merged.total_seconds();
+        if total > 0.0 {
+            let scale = wall / total;
+            for (phase, secs) in merged.breakdown() {
+                tl.charge(phase, secs * scale, merged.phase_counters(phase));
+            }
+        }
+        tl
+    }
+
+    /// Re-home every shard whose device has been permanently lost onto the
+    /// least-loaded survivor (ties broken by device index, so the choice is
+    /// deterministic), reallocating its device buffers there. The caller
+    /// restores state from the last checkpoint afterwards.
+    fn rehome_lost_shards(
+        &self,
+        homes: &mut [usize],
+        shards: &mut [Shard],
+        policy: &RetryPolicy,
+    ) -> Result<(), PsoError> {
+        let survivors = self.group.survivors();
+        let mut load = vec![0usize; self.group.len()];
+        for (&h, _) in homes.iter().zip(shards.iter()) {
+            if !self.group.device(h)?.is_lost() {
+                load[h] += 1;
+            }
+        }
+        for s in 0..homes.len() {
+            if self.group.device(homes[s])?.is_lost() {
+                let &new_home = survivors
+                    .iter()
+                    .min_by_key(|&&i| (load[i], i))
+                    .expect("caller guarantees at least one survivor");
+                load[new_home] += 1;
+                let dev = self.group.device(new_home)?;
+                let (row0, rows, d) = (shards[s].row0, shards[s].rows, shards[s].d);
+                shards[s] = retry_op(dev, policy, || Shard::alloc(dev, row0, rows, d))?;
+                homes[s] = new_home;
+            }
+        }
+        Ok(())
+    }
+
+    /// Restore every shard from the group checkpoint (uploads are retried
+    /// and charged to [`Phase::Recovery`]).
+    fn restore_group(
+        &self,
+        cp: &GroupCheckpoint,
+        homes: &[usize],
+        shards: &mut [Shard],
+        policy: &RetryPolicy,
+    ) -> Result<(), PsoError> {
+        for (s, shard) in shards.iter_mut().enumerate() {
+            let dev = self.group.device(homes[s])?;
+            cp.shards[s].restore_into(dev, shard, policy)?;
+        }
+        Ok(())
+    }
+
+    /// One lock-step multi-GPU iteration under the resilience policy.
+    /// Returns whether the global best improved. Mirrors the plain
+    /// [`PsoBackend::run`] loop body operation-for-operation, so a faulted
+    /// run's trajectory stays bit-identical to the fault-free run.
+    #[allow(clippy::too_many_arguments)]
+    fn resilient_iteration(
+        &self,
+        cfg: &PsoConfig,
+        obj: &dyn Objective,
+        res: &ResilienceConfig,
+        shards: &mut [Shard],
+        homes: &[usize],
+        t: usize,
+        sched: &mut BoundSchedule,
+        strategy: &mut UpdateStrategy,
+        global_best_err: &mut f32,
+        global_best_pos: &mut [f32],
+        quarantined: &mut u64,
+    ) -> Result<bool, PsoError> {
+        let policy = &res.retry;
+        let d = cfg.dim;
+        let gbest_before = *global_best_err;
+
+        let mut locals = Vec::with_capacity(shards.len());
+        for (s, shard) in shards.iter_mut().enumerate() {
+            let dev = self.group.device(homes[s])?;
+            retry_op(dev, policy, || eval_shard(dev, shard, obj))?;
+            if res.quarantine_nonfinite {
+                *quarantined += quarantine_nonfinite(dev, shard, obj)?;
+            }
+            retry_op(dev, policy, || pbest_update(dev, shard))?;
+            locals.push(retry_op(dev, policy, || local_argmin(dev, shard))?);
+        }
+
+        let sync_now = match self.strategy {
+            MultiGpuStrategy::TileMatrix => true,
+            MultiGpuStrategy::ParticleSplit { sync_every } => {
+                sync_every != 0 && (t + 1).is_multiple_of(sync_every)
+            }
+        };
+
+        if sync_now {
+            self.group.exchange(Phase::GBest, (d as u64 + 1) * 4);
+            let (mut win_dev, mut win) = (0usize, locals[0]);
+            for (i, r) in locals.iter().enumerate().skip(1) {
+                if r.value < win.value || (r.value == win.value && r.index < win.index) {
+                    win_dev = i;
+                    win = *r;
+                }
+            }
+            if win.value < *global_best_err {
+                *global_best_err = win.value;
+                let shard = &shards[win_dev];
+                let local = win.index - shard.row0;
+                global_best_pos
+                    .copy_from_slice(&shard.pbest_pos.as_slice()[local * d..(local + 1) * d]);
+            }
+            for (s, shard) in shards.iter_mut().enumerate() {
+                if *global_best_err < shard.gbest_err {
+                    let dev = self.group.device(homes[s])?;
+                    if s == win_dev && win.value == *global_best_err {
+                        retry_op(dev, policy, || {
+                            adopt_gbest_local(dev, shard, win.index, win.value)
+                        })?;
+                    } else {
+                        let err = *global_best_err;
+                        retry_op(dev, policy, || {
+                            adopt_gbest_from_host(dev, shard, global_best_pos, err)
+                        })?;
+                    }
+                }
+            }
+        } else {
+            for (s, (shard, r)) in shards.iter_mut().zip(&locals).enumerate() {
+                if r.value < shard.gbest_err {
+                    let dev = self.group.device(homes[s])?;
+                    retry_op(dev, policy, || {
+                        adopt_gbest_local(dev, shard, r.index, r.value)
+                    })?;
+                }
+            }
+            for (shard, r) in shards.iter().zip(&locals) {
+                if r.value < *global_best_err {
+                    *global_best_err = r.value;
+                    let local = r.index - shard.row0;
+                    global_best_pos
+                        .copy_from_slice(&shard.pbest_pos.as_slice()[local * d..(local + 1) * d]);
+                }
+            }
+        }
+
+        sched.note_iteration(*global_best_err < gbest_before);
+        for (s, shard) in shards.iter_mut().enumerate() {
+            let dev = self.group.device(homes[s])?;
+            retry_op(dev, policy, || gen_weights(dev, shard, cfg, t))?;
+            // Retried half-by-half: each half is one fault-gated launch, so
+            // a retry never double-applies the in-place velocity update.
+            retry_degradable(dev, res, strategy, |st| {
+                velocity_update(dev, shard, cfg, t, sched.current(), st, None)
+            })?;
+            retry_degradable(dev, res, strategy, |st| position_update(dev, shard, st))?;
+            dev.synchronize(Phase::SwarmUpdate);
+        }
+        Ok(*global_best_err < gbest_before)
+    }
+
+    /// The resilient multi-GPU run loop: per-operation retry, synchronized
+    /// group checkpoints with restore-and-replay, and — on permanent device
+    /// loss — re-homing the lost device's shard(s) onto survivors before
+    /// replaying from the last checkpoint. Because shards are addressed by
+    /// *global* row ranges and all randomness is counter-based, the `gbest`
+    /// trajectory after any amount of recovery is bit-identical to the
+    /// fault-free run.
+    fn run_resilient(
+        &self,
+        cfg: &PsoConfig,
+        obj: &dyn Objective,
+        res: &ResilienceConfig,
+    ) -> Result<RunResult, PsoError> {
+        let policy = &res.retry;
         self.group.reset_timelines();
-        let domain = obj.domain();
+        let domain = cfg.resolve_domain(obj.domain());
+        let mut sched = BoundSchedule::new(cfg, domain);
+        let d = cfg.dim;
+        let mut strategy = self.update;
+
+        // Initial placement: shard `i` homes on device `i`.
+        let mut homes: Vec<usize> = (0..self.group.len()).collect();
+        let mut shards: Vec<Shard> = Vec::with_capacity(self.group.len());
+        for (i, (row0, rows)) in self.partition(cfg.n_particles).into_iter().enumerate() {
+            let dev = self.group.device(i)?;
+            let mut shard = retry_op(dev, policy, || Shard::alloc(dev, row0, rows, d))?;
+            retry_op(dev, policy, || init_shard(dev, &mut shard, cfg, domain))?;
+            shards.push(shard);
+        }
+
+        let mut history = if cfg.record_history {
+            Some(Vec::with_capacity(cfg.max_iter))
+        } else {
+            None
+        };
+        let mut global_best_err = f32::INFINITY;
+        let mut global_best_pos = vec![0.0f32; d];
+        let mut stagnant = 0usize;
+        let mut iterations_run = 0usize;
+        let mut quarantined = 0u64;
+        let mut restores = 0u32;
+        let mut t = 0usize;
+
+        let mut cp = GroupCheckpoint {
+            shards: shards.iter().map(ShardCheckpoint::capture).collect(),
+            iteration: 0,
+            sched,
+            stagnant: 0,
+            global_best_err,
+            global_best_pos: global_best_pos.clone(),
+        };
+
+        while t < cfg.max_iter {
+            let step = self.resilient_iteration(
+                cfg,
+                obj,
+                res,
+                &mut shards,
+                &homes,
+                t,
+                &mut sched,
+                &mut strategy,
+                &mut global_best_err,
+                &mut global_best_pos,
+                &mut quarantined,
+            );
+            match step {
+                Ok(improved) => {
+                    iterations_run = t + 1;
+                    if let Some(h) = history.as_mut() {
+                        h.push(global_best_err);
+                    }
+                    if improved {
+                        stagnant = 0;
+                    } else {
+                        stagnant += 1;
+                    }
+                    if let Some(target) = cfg.target_value {
+                        if (global_best_err as f64) <= target {
+                            break;
+                        }
+                    }
+                    if let Some(p) = cfg.patience {
+                        if stagnant >= p {
+                            break;
+                        }
+                    }
+                    t += 1;
+                    if res.checkpoint_every != 0
+                        && t.is_multiple_of(res.checkpoint_every)
+                        && t < cfg.max_iter
+                    {
+                        cp = GroupCheckpoint {
+                            shards: shards.iter().map(ShardCheckpoint::capture).collect(),
+                            iteration: t,
+                            sched,
+                            stagnant,
+                            global_best_err,
+                            global_best_pos: global_best_pos.clone(),
+                        };
+                    }
+                }
+                Err(e) => {
+                    let lost = e.lost_device();
+                    let recoverable =
+                        (lost.is_some() || e.is_transient()) && restores < res.max_restores;
+                    if !recoverable {
+                        return Err(e);
+                    }
+                    restores += 1;
+                    if lost.is_some() {
+                        if self.group.survivors().is_empty() {
+                            return Err(e);
+                        }
+                        self.rehome_lost_shards(&mut homes, &mut shards, policy)?;
+                    }
+                    // Roll the whole group back to the last checkpoint and
+                    // replay; the replayed iterations recompute bit-for-bit.
+                    self.restore_group(&cp, &homes, &mut shards, policy)?;
+                    sched = cp.sched;
+                    stagnant = cp.stagnant;
+                    global_best_err = cp.global_best_err;
+                    global_best_pos.copy_from_slice(&cp.global_best_pos);
+                    t = cp.iteration;
+                    iterations_run = t;
+                    if let Some(h) = history.as_mut() {
+                        h.truncate(t);
+                    }
+                }
+            }
+        }
+
+        Ok(RunResult {
+            best_value: global_best_err as f64,
+            best_position: global_best_pos,
+            iterations: iterations_run,
+            evaluations: (cfg.n_particles * iterations_run) as u64,
+            timeline: self.scaled_group_timeline(),
+            history,
+        })
+    }
+}
+
+/// Synchronized snapshot of the whole group's optimizer state at an
+/// iteration boundary.
+struct GroupCheckpoint {
+    shards: Vec<ShardCheckpoint>,
+    iteration: usize,
+    sched: BoundSchedule,
+    stagnant: usize,
+    global_best_err: f32,
+    global_best_pos: Vec<f32>,
+}
+
+impl PsoBackend for MultiGpuBackend {
+    fn name(&self) -> &'static str {
+        match self.strategy {
+            MultiGpuStrategy::ParticleSplit { .. } => "fastpso-multi-split",
+            MultiGpuStrategy::TileMatrix => "fastpso-multi-tile",
+        }
+    }
+
+    fn run(&self, cfg: &PsoConfig, obj: &dyn Objective) -> Result<RunResult, PsoError> {
+        self.validate_run(cfg)?;
+        if let Some(res) = &self.resilience {
+            return self.run_resilient(cfg, obj, res);
+        }
+        self.group.reset_timelines();
+        let domain = cfg.resolve_domain(obj.domain());
         let mut sched = BoundSchedule::new(cfg, domain);
         let d = cfg.dim;
 
@@ -156,7 +504,7 @@ impl PsoBackend for MultiGpuBackend {
             let sync_now = match self.strategy {
                 MultiGpuStrategy::TileMatrix => true,
                 MultiGpuStrategy::ParticleSplit { sync_every } => {
-                    sync_every != 0 && (t + 1) % sync_every == 0
+                    sync_every != 0 && (t + 1).is_multiple_of(sync_every)
                 }
             };
 
@@ -239,19 +587,7 @@ impl PsoBackend for MultiGpuBackend {
             }
         }
 
-        // Report with the group's concurrent-elapsed semantics: a timeline
-        // whose per-phase values are scaled so the total equals the
-        // max-over-devices wall clock.
-        let merged = self.group.merged_timeline();
-        let wall = self.group.elapsed_seconds();
-        let mut tl = Timeline::new();
-        let total = merged.total_seconds();
-        if total > 0.0 {
-            let scale = wall / total;
-            for (phase, secs) in merged.breakdown() {
-                tl.charge(phase, secs * scale, merged.phase_counters(phase));
-            }
-        }
+        let tl = self.scaled_group_timeline();
 
         Ok(RunResult {
             best_value: global_best_err as f64,
@@ -282,7 +618,11 @@ mod tests {
     use fastpso_functions::builtins::{Rastrigin, Sphere};
 
     fn cfg(n: usize, d: usize, iters: usize) -> PsoConfig {
-        PsoConfig::builder(n, d).max_iter(iters).seed(33).build().unwrap()
+        PsoConfig::builder(n, d)
+            .max_iter(iters)
+            .seed(33)
+            .build()
+            .unwrap()
     }
 
     #[test]

@@ -45,6 +45,7 @@ pub mod error;
 pub mod gpu;
 pub mod math;
 pub mod par;
+pub mod resilience;
 pub mod result;
 pub mod seq;
 pub mod stats;
@@ -57,6 +58,7 @@ pub use error::PsoError;
 pub use gpu::multi::{MultiGpuBackend, MultiGpuStrategy};
 pub use gpu::{GpuBackend, UpdateStrategy};
 pub use par::ParBackend;
+pub use resilience::{FallbackBackend, ResilienceConfig, RetryPolicy, ShardCheckpoint};
 pub use result::RunResult;
 pub use seq::SeqBackend;
 pub use stats::{run_many, MultiRunSummary};

@@ -28,7 +28,11 @@ mod tests {
     use fastpso_functions::builtins::{Griewank, Sphere};
 
     fn cfg(n: usize, d: usize, iters: usize) -> PsoConfig {
-        PsoConfig::builder(n, d).max_iter(iters).seed(5).build().unwrap()
+        PsoConfig::builder(n, d)
+            .max_iter(iters)
+            .seed(5)
+            .build()
+            .unwrap()
     }
 
     #[test]

@@ -1,0 +1,522 @@
+//! Resilient execution: retry, checkpoint/restore, quarantine, degradation.
+//!
+//! The simulated GPU can inject deterministic faults (see `gpu_sim::fault`);
+//! this module is the engine-side answer. Four mechanisms compose:
+//!
+//! 1. **Bounded retry** — transient faults ([`GpuError::is_transient`]) are
+//!    retried up to [`RetryPolicy::max_retries`] times with a deterministic
+//!    exponential backoff charged to [`Phase::Recovery`] on the device's
+//!    modeled timeline. Every injected fault fires *before* the operation
+//!    mutates device state, so an in-place retry is always safe.
+//! 2. **Checkpoint / restore** — the backend snapshots the full swarm state
+//!    at iteration boundaries ([`ShardCheckpoint`]). When retries are
+//!    exhausted, it restores the last checkpoint and replays. Because all
+//!    randomness is counter-based on `(seed, iteration)`, the replay
+//!    recomputes *exactly* the lost iterations, so a faulted run's `gbest`
+//!    trajectory is bit-identical to the fault-free run.
+//! 3. **NaN/Inf quarantine** — non-finite objective values (user-defined
+//!    objectives can misbehave) are re-evaluated once and, if still
+//!    non-finite, pinned to `+∞` so they can never poison `pbest`/`gbest`.
+//! 4. **Graceful degradation** — a permanent launch failure in the swarm
+//!    update walks the strategy chain `TensorCore → SharedMem → GlobalMem →
+//!    ForLoop`; a permanently failing device walks the backend chain
+//!    `Gpu → Parallel → Sequential` ([`FallbackBackend`]) or, under
+//!    multi-GPU particle splitting, re-homes the lost device's sub-swarm on
+//!    a survivor (see `gpu::multi`).
+//!
+//! All recovery overhead — backoff, checkpoint and restore transfers, the
+//! degradation switch penalty — is charged to [`Phase::Recovery`], so it
+//! shows up as its own category in the perf-model breakdown.
+
+use crate::backend::PsoBackend;
+use crate::config::PsoConfig;
+use crate::error::PsoError;
+use crate::gpu::kernels::{Shard, UpdateStrategy};
+use crate::result::RunResult;
+use fastpso_functions::Objective;
+use gpu_sim::{Counters, Device, KernelDesc, Phase};
+
+/// Bounded-retry policy for transient device faults.
+///
+/// The backoff is *modeled*, not slept: attempt `k` charges
+/// `backoff_base_s * backoff_factor^k` seconds to [`Phase::Recovery`] on the
+/// device timeline, the way a real driver would stall the stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Retries after the first failure (0 disables in-place retry).
+    pub max_retries: u32,
+    /// Backoff charged before the first retry, in modeled seconds.
+    pub backoff_base_s: f64,
+    /// Multiplicative factor per subsequent retry.
+    pub backoff_factor: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            backoff_base_s: 100e-6, // 100 µs: roughly a driver round-trip
+            backoff_factor: 2.0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff before retry number `attempt` (0-based), in modeled seconds.
+    pub fn backoff_s(&self, attempt: u32) -> f64 {
+        self.backoff_base_s * self.backoff_factor.powi(attempt as i32)
+    }
+}
+
+/// Knobs of the resilient execution layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResilienceConfig {
+    /// In-place retry policy for transient faults.
+    pub retry: RetryPolicy,
+    /// Checkpoint the swarm every this many iterations (≥ 1).
+    pub checkpoint_every: usize,
+    /// Give up after this many restore-and-replay episodes.
+    pub max_restores: u32,
+    /// Quarantine non-finite objective values (re-evaluate once, then pin
+    /// to `+∞`).
+    pub quarantine_nonfinite: bool,
+    /// Walk the update-strategy degradation chain on permanent launch
+    /// failures instead of aborting.
+    pub strategy_fallback: bool,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        ResilienceConfig {
+            retry: RetryPolicy::default(),
+            checkpoint_every: 8,
+            max_restores: 16,
+            quarantine_nonfinite: true,
+            strategy_fallback: true,
+        }
+    }
+}
+
+/// Run `op`, retrying transient failures under `policy` with deterministic
+/// backoff charged to [`Phase::Recovery`] on `dev`'s timeline.
+pub fn retry_op<T>(
+    dev: &Device,
+    policy: &RetryPolicy,
+    mut op: impl FnMut() -> Result<T, PsoError>,
+) -> Result<T, PsoError> {
+    let mut attempt = 0u32;
+    loop {
+        match op() {
+            Ok(v) => return Ok(v),
+            Err(e) if e.is_transient() && attempt < policy.max_retries => {
+                dev.charge_raw(Phase::Recovery, policy.backoff_s(attempt), Counters::new());
+                attempt += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// The next (slower, more conservative) rung below `s`, or `None` if `s` is
+/// already the last resort.
+pub fn fallback_strategy(s: UpdateStrategy) -> Option<UpdateStrategy> {
+    match s {
+        UpdateStrategy::TensorCore => Some(UpdateStrategy::SharedMem),
+        UpdateStrategy::SharedMem => Some(UpdateStrategy::GlobalMem),
+        UpdateStrategy::GlobalMem => Some(UpdateStrategy::ForLoop),
+        UpdateStrategy::ForLoop => None,
+    }
+}
+
+/// Run one strategy-dependent update step under the combined recovery
+/// policy: transient faults retry in place, permanent launch failures walk
+/// the degradation chain ([`fallback_strategy`]) — updating `strategy` for
+/// the rest of the run — before giving up.
+///
+/// `op` must be idempotent per attempt, i.e. a *single* fault-gated launch.
+/// That is why the swarm update is driven here as two halves
+/// (`velocity_update`, then `position_update`) rather than as a whole:
+/// retrying the pair after the position launch faults would re-apply the
+/// in-place velocity update and silently corrupt the trajectory.
+pub(crate) fn retry_degradable(
+    dev: &Device,
+    res: &ResilienceConfig,
+    strategy: &mut UpdateStrategy,
+    mut op: impl FnMut(UpdateStrategy) -> Result<(), PsoError>,
+) -> Result<(), PsoError> {
+    let policy = &res.retry;
+    loop {
+        let st = *strategy;
+        match retry_op(dev, policy, || op(st)) {
+            Ok(()) => return Ok(()),
+            Err(e) if res.strategy_fallback && !e.is_transient() && e.lost_device().is_none() => {
+                match fallback_strategy(st) {
+                    Some(lower) => {
+                        // Switching rungs costs one backoff unit on the
+                        // recovery ledger (pipeline re-setup).
+                        dev.charge_raw(Phase::Recovery, policy.backoff_s(0), Counters::new());
+                        *strategy = lower;
+                    }
+                    None => return Err(e),
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// A host-side snapshot of one [`Shard`]'s full optimizer state.
+///
+/// The per-iteration weight matrices `L`/`G` are deliberately *not*
+/// captured: they are regenerated from the counter-based RNG at the start
+/// of every iteration, so a restore recomputes them bit-for-bit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardCheckpoint {
+    /// First global row of the shard this snapshot came from.
+    pub row0: usize,
+    /// Row count.
+    pub rows: usize,
+    /// Dimensionality.
+    pub d: usize,
+    /// Positions (`rows × d`).
+    pub pos: Vec<f32>,
+    /// Velocities (`rows × d`).
+    pub vel: Vec<f32>,
+    /// Current errors (`rows`).
+    pub errors: Vec<f32>,
+    /// Per-particle best errors (`rows`).
+    pub pbest_err: Vec<f32>,
+    /// Per-particle best positions (`rows × d`).
+    pub pbest_pos: Vec<f32>,
+    /// Swarm-best position (`d`).
+    pub gbest_pos: Vec<f32>,
+    /// Swarm-best error.
+    pub gbest_err: f32,
+}
+
+impl ShardCheckpoint {
+    /// Snapshot `shard` to host memory. The device→host transfers are
+    /// charged to [`Phase::Recovery`].
+    pub fn capture(shard: &Shard) -> Self {
+        ShardCheckpoint {
+            row0: shard.row0,
+            rows: shard.rows,
+            d: shard.d,
+            pos: shard.pos.download_in(Phase::Recovery),
+            vel: shard.vel.download_in(Phase::Recovery),
+            errors: shard.errors.download_in(Phase::Recovery),
+            pbest_err: shard.pbest_err.download_in(Phase::Recovery),
+            pbest_pos: shard.pbest_pos.download_in(Phase::Recovery),
+            gbest_pos: shard.gbest_pos.download_in(Phase::Recovery),
+            gbest_err: shard.gbest_err,
+        }
+    }
+
+    /// Write the snapshot back into `shard` (host→device transfers charged
+    /// to [`Phase::Recovery`]). Each upload is individually retried under
+    /// `policy`, since transfer faults can hit the restore path too.
+    pub fn restore_into(
+        &self,
+        dev: &Device,
+        shard: &mut Shard,
+        policy: &RetryPolicy,
+    ) -> Result<(), PsoError> {
+        assert_eq!(
+            (self.row0, self.rows, self.d),
+            (shard.row0, shard.rows, shard.d),
+            "checkpoint / shard geometry mismatch"
+        );
+        retry_op(dev, policy, || {
+            shard
+                .pos
+                .upload_in(Phase::Recovery, &self.pos)
+                .map_err(PsoError::from)
+        })?;
+        retry_op(dev, policy, || {
+            shard
+                .vel
+                .upload_in(Phase::Recovery, &self.vel)
+                .map_err(PsoError::from)
+        })?;
+        retry_op(dev, policy, || {
+            shard
+                .errors
+                .upload_in(Phase::Recovery, &self.errors)
+                .map_err(PsoError::from)
+        })?;
+        retry_op(dev, policy, || {
+            shard
+                .pbest_err
+                .upload_in(Phase::Recovery, &self.pbest_err)
+                .map_err(PsoError::from)
+        })?;
+        retry_op(dev, policy, || {
+            shard
+                .pbest_pos
+                .upload_in(Phase::Recovery, &self.pbest_pos)
+                .map_err(PsoError::from)
+        })?;
+        retry_op(dev, policy, || {
+            shard
+                .gbest_pos
+                .upload_in(Phase::Recovery, &self.gbest_pos)
+                .map_err(PsoError::from)
+        })?;
+        shard.gbest_err = self.gbest_err;
+        Ok(())
+    }
+}
+
+/// Re-evaluate particles whose objective value came back non-finite; pin
+/// any that stay non-finite to `+∞`. Returns how many were quarantined.
+///
+/// The re-evaluation is charged as a sparse kernel over the quarantined
+/// rows to [`Phase::Recovery`].
+pub fn quarantine_nonfinite(
+    dev: &Device,
+    shard: &mut Shard,
+    obj: &dyn Objective,
+) -> Result<u64, PsoError> {
+    let bad: Vec<usize> = shard
+        .errors
+        .as_slice()
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| !e.is_finite())
+        .map(|(i, _)| i)
+        .collect();
+    if bad.is_empty() {
+        return Ok(0);
+    }
+    let d = shard.d;
+    let desc = KernelDesc::simple(
+        "quarantine_reeval",
+        Phase::Recovery,
+        d as u64 * obj.flops_per_dim(),
+        d as u64 * 4,
+        4,
+        bad.len() as u64,
+    );
+    dev.charge_kernel(&desc);
+    // Split borrows: read positions, write errors.
+    let rows: Vec<(usize, f32)> = {
+        let pos = shard.pos.as_slice();
+        bad.iter()
+            .map(|&i| (i, obj.eval(&pos[i * d..(i + 1) * d])))
+            .collect()
+    };
+    let errors = shard.errors.as_mut_slice();
+    for (i, v) in rows {
+        errors[i] = if v.is_finite() { v } else { f32::INFINITY };
+    }
+    Ok(bad.len() as u64)
+}
+
+/// A backend chain with graceful degradation: run on the first backend; if
+/// it fails with a device-side (non-config) error, fall through to the
+/// next. The canonical chain is [`FallbackBackend::gpu_par_seq`] — FastPSO
+/// on the GPU, then the OpenMP-style parallel port, then the sequential
+/// reference, which cannot fail.
+pub struct FallbackBackend {
+    chain: Vec<Box<dyn PsoBackend>>,
+}
+
+impl FallbackBackend {
+    /// A chain over explicit backends, tried in order.
+    pub fn new(chain: Vec<Box<dyn PsoBackend>>) -> Self {
+        assert!(
+            !chain.is_empty(),
+            "fallback chain needs at least one backend"
+        );
+        FallbackBackend { chain }
+    }
+
+    /// The canonical `Gpu → Parallel → Sequential` degradation chain.
+    pub fn gpu_par_seq() -> Self {
+        Self::new(vec![
+            Box::new(crate::gpu::GpuBackend::new()),
+            Box::new(crate::par::ParBackend),
+            Box::new(crate::seq::SeqBackend),
+        ])
+    }
+
+    /// Run the chain and also report which backend produced the result.
+    ///
+    /// Config errors abort immediately — a config a GPU rejects is just as
+    /// invalid on the CPU. Device errors (transient-but-exhausted, lost
+    /// device, OOM, …) fall through to the next backend.
+    pub fn run_with_report(
+        &self,
+        cfg: &PsoConfig,
+        obj: &dyn Objective,
+    ) -> Result<(RunResult, &'static str), PsoError> {
+        let mut last_err = None;
+        for backend in &self.chain {
+            match backend.run(cfg, obj) {
+                Ok(r) => return Ok((r, backend.name())),
+                Err(e @ PsoError::InvalidConfig(_)) => return Err(e),
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.expect("non-empty chain"))
+    }
+}
+
+impl PsoBackend for FallbackBackend {
+    fn name(&self) -> &'static str {
+        "fastpso-fallback"
+    }
+
+    fn run(&self, cfg: &PsoConfig, obj: &dyn Objective) -> Result<RunResult, PsoError> {
+        self.run_with_report(cfg, obj).map(|(r, _)| r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gpu::kernels::init_shard;
+    use fastpso_functions::builtins::Sphere;
+    use fastpso_functions::schema::CustomObjective;
+    use gpu_sim::GpuError;
+
+    #[test]
+    fn backoff_is_deterministic_and_exponential() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.backoff_s(0), 100e-6);
+        assert_eq!(p.backoff_s(1), 200e-6);
+        assert_eq!(p.backoff_s(2), 400e-6);
+        assert_eq!(p.backoff_s(1), p.backoff_s(1));
+    }
+
+    #[test]
+    fn fallback_chain_ends_at_forloop() {
+        let mut s = UpdateStrategy::TensorCore;
+        let mut seen = vec![s];
+        while let Some(next) = fallback_strategy(s) {
+            s = next;
+            seen.push(s);
+        }
+        assert_eq!(
+            seen,
+            vec![
+                UpdateStrategy::TensorCore,
+                UpdateStrategy::SharedMem,
+                UpdateStrategy::GlobalMem,
+                UpdateStrategy::ForLoop,
+            ]
+        );
+    }
+
+    #[test]
+    fn retry_op_charges_recovery_and_succeeds() {
+        let dev = Device::v100();
+        let policy = RetryPolicy::default();
+        let mut failures_left = 2;
+        let out = retry_op(&dev, &policy, || {
+            if failures_left > 0 {
+                failures_left -= 1;
+                Err(PsoError::Gpu(GpuError::TransientLaunch {
+                    device: 0,
+                    launch: 1,
+                }))
+            } else {
+                Ok(42)
+            }
+        })
+        .unwrap();
+        assert_eq!(out, 42);
+        let recovery = dev.timeline().seconds(Phase::Recovery);
+        assert!(
+            (recovery - (100e-6 + 200e-6)).abs() < 1e-12,
+            "two backoffs charged, got {recovery}"
+        );
+    }
+
+    #[test]
+    fn retry_op_gives_up_after_max_retries() {
+        let dev = Device::v100();
+        let policy = RetryPolicy {
+            max_retries: 1,
+            ..RetryPolicy::default()
+        };
+        let err = retry_op(&dev, &policy, || -> Result<(), PsoError> {
+            Err(PsoError::Gpu(GpuError::TransientLaunch {
+                device: 0,
+                launch: 7,
+            }))
+        })
+        .unwrap_err();
+        assert!(err.is_transient());
+    }
+
+    #[test]
+    fn retry_op_does_not_retry_permanent_errors() {
+        let dev = Device::v100();
+        let policy = RetryPolicy::default();
+        let mut calls = 0;
+        let _ = retry_op(&dev, &policy, || -> Result<(), PsoError> {
+            calls += 1;
+            Err(PsoError::Gpu(GpuError::DeviceLost(0)))
+        });
+        assert_eq!(calls, 1);
+        assert_eq!(dev.timeline().seconds(Phase::Recovery), 0.0);
+    }
+
+    #[test]
+    fn checkpoint_roundtrips_shard_state() {
+        let dev = Device::v100();
+        let cfg = PsoConfig::builder(8, 4)
+            .max_iter(4)
+            .seed(3)
+            .build()
+            .unwrap();
+        let mut shard = Shard::alloc(&dev, 0, 8, 4).unwrap();
+        init_shard(&dev, &mut shard, &cfg, Sphere.domain()).unwrap();
+        shard.gbest_err = 1.25;
+        let cp = ShardCheckpoint::capture(&shard);
+        // Trash the live state, then restore.
+        shard.pos.as_mut_slice().fill(f32::NAN);
+        shard.vel.as_mut_slice().fill(-1.0);
+        shard.gbest_err = f32::INFINITY;
+        cp.restore_into(&dev, &mut shard, &RetryPolicy::default())
+            .unwrap();
+        assert_eq!(shard.pos.as_slice(), &cp.pos[..]);
+        assert_eq!(shard.vel.as_slice(), &cp.vel[..]);
+        assert_eq!(shard.gbest_err, 1.25);
+        assert!(
+            dev.timeline().seconds(Phase::Recovery) > 0.0,
+            "checkpoint traffic must be charged to the recovery phase"
+        );
+    }
+
+    #[test]
+    fn quarantine_pins_stubborn_nonfinite_to_infinity() {
+        let dev = Device::v100();
+        let obj = CustomObjective::new("sometimes-nan", (-1.0, 1.0), 2, |x: &[f32]| {
+            if x[0] < 0.0 {
+                f32::NAN
+            } else {
+                x.iter().map(|v| v * v).sum()
+            }
+        });
+        let cfg = PsoConfig::builder(16, 2)
+            .max_iter(4)
+            .seed(9)
+            .build()
+            .unwrap();
+        let mut shard = Shard::alloc(&dev, 0, 16, 2).unwrap();
+        init_shard(&dev, &mut shard, &cfg, (-1.0, 1.0)).unwrap();
+        crate::gpu::kernels::eval_shard(&dev, &mut shard, &obj).unwrap();
+        let had_nan = shard.errors.as_slice().iter().any(|e| e.is_nan());
+        let n = quarantine_nonfinite(&dev, &mut shard, &obj).unwrap();
+        assert_eq!(had_nan, n > 0);
+        assert!(
+            shard.errors.as_slice().iter().all(|e| !e.is_nan()),
+            "no NaN survives quarantine"
+        );
+        // A second pass finds nothing new to do beyond the pinned rows.
+        let again = quarantine_nonfinite(&dev, &mut shard, &obj).unwrap();
+        assert_eq!(again, n, "pinned +inf rows are re-checked, nothing else");
+    }
+}

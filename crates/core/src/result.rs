@@ -86,9 +86,6 @@ mod tests {
             mk(Some(vec![5.0, 4.0, 4.0, 1.0])).history_is_monotone(),
             Some(true)
         );
-        assert_eq!(
-            mk(Some(vec![5.0, 6.0])).history_is_monotone(),
-            Some(false)
-        );
+        assert_eq!(mk(Some(vec![5.0, 6.0])).history_is_monotone(), Some(false));
     }
 }

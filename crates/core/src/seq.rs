@@ -27,7 +27,11 @@ mod tests {
     use perf_model::Phase;
 
     fn cfg(n: usize, d: usize, iters: usize) -> PsoConfig {
-        PsoConfig::builder(n, d).max_iter(iters).seed(1).build().unwrap()
+        PsoConfig::builder(n, d)
+            .max_iter(iters)
+            .seed(1)
+            .build()
+            .unwrap()
     }
 
     #[test]
@@ -71,7 +75,11 @@ mod tests {
     #[test]
     fn different_seeds_give_different_results() {
         let a = SeqBackend.run(&cfg(32, 4, 30), &Sphere).unwrap();
-        let c2 = PsoConfig::builder(32, 4).max_iter(30).seed(2).build().unwrap();
+        let c2 = PsoConfig::builder(32, 4)
+            .max_iter(30)
+            .seed(2)
+            .build()
+            .unwrap();
         let b = SeqBackend.run(&c2, &Sphere).unwrap();
         assert_ne!(a.best_position, b.best_position);
     }
@@ -87,7 +95,13 @@ mod tests {
     #[test]
     fn phases_are_all_charged() {
         let r = SeqBackend.run(&cfg(16, 4, 10), &Sphere).unwrap();
-        for p in [Phase::Init, Phase::Eval, Phase::PBest, Phase::GBest, Phase::SwarmUpdate] {
+        for p in [
+            Phase::Init,
+            Phase::Eval,
+            Phase::PBest,
+            Phase::GBest,
+            Phase::SwarmUpdate,
+        ] {
             assert!(r.phase_seconds(p) > 0.0, "phase {p:?} uncharged");
         }
     }

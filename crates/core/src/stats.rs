@@ -55,7 +55,10 @@ impl MultiRunSummary {
 
     /// Best (minimum) value across runs.
     pub fn min(&self) -> f64 {
-        self.best_values.iter().copied().fold(f64::INFINITY, f64::min)
+        self.best_values
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
     }
 
     /// Worst (maximum) value across runs.

@@ -133,11 +133,7 @@ impl Swarm {
         if self.gbest_pos.len() != self.d {
             return Err("gbest_pos shape mismatch".into());
         }
-        let min_pbest = self
-            .pbest_err
-            .iter()
-            .copied()
-            .fold(f32::INFINITY, f32::min);
+        let min_pbest = self.pbest_err.iter().copied().fold(f32::INFINITY, f32::min);
         if self.gbest_err.is_finite() && (self.gbest_err - min_pbest).abs() > 0.0 {
             return Err(format!(
                 "gbest {} != min(pbest) {min_pbest}",
@@ -159,7 +155,11 @@ mod tests {
     use crate::config::PsoConfig;
 
     fn small_cfg() -> PsoConfig {
-        PsoConfig::builder(8, 4).max_iter(5).seed(3).build().unwrap()
+        PsoConfig::builder(8, 4)
+            .max_iter(5)
+            .seed(3)
+            .build()
+            .unwrap()
     }
 
     #[test]
@@ -179,7 +179,11 @@ mod tests {
         let a = Swarm::init(&cfg, (-1.0, 1.0));
         let b = Swarm::init(&cfg, (-1.0, 1.0));
         assert_eq!(a, b);
-        let cfg2 = PsoConfig::builder(8, 4).max_iter(5).seed(4).build().unwrap();
+        let cfg2 = PsoConfig::builder(8, 4)
+            .max_iter(5)
+            .seed(4)
+            .build()
+            .unwrap();
         let c = Swarm::init(&cfg2, (-1.0, 1.0));
         assert_ne!(a.pos, c.pos);
     }

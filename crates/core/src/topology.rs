@@ -85,6 +85,7 @@ mod tests {
         for k in 0..=3 {
             let mut out = vec![0; n];
             ring_neighborhood_best(&err, k, &mut out);
+            #[allow(clippy::needless_range_loop)]
             for i in 0..n {
                 // Brute force over the circular window.
                 let mut cands: Vec<usize> = (0..n)
@@ -98,12 +99,7 @@ mod tests {
                 let best = cands
                     .iter()
                     .copied()
-                    .min_by(|&a, &b| {
-                        err[a]
-                            .partial_cmp(&err[b])
-                            .unwrap()
-                            .then(a.cmp(&b))
-                    })
+                    .min_by(|&a, &b| err[a].partial_cmp(&err[b]).unwrap().then(a.cmp(&b)))
                     .unwrap();
                 assert_eq!(out[i], best, "k={k}, i={i}");
             }

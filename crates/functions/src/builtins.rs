@@ -478,7 +478,10 @@ mod tests {
 
     #[test]
     fn paper_subset_is_the_first_three() {
-        assert_eq!(Builtin::PAPER, [Builtin::Sphere, Builtin::Griewank, Builtin::Easom]);
+        assert_eq!(
+            Builtin::PAPER,
+            [Builtin::Sphere, Builtin::Griewank, Builtin::Easom]
+        );
     }
 
     #[test]

@@ -32,7 +32,11 @@ impl<O: Objective> Shifted<O> {
             inner.name()
         );
         let name = format!("Shifted{}", inner.name());
-        Shifted { inner, offset, name }
+        Shifted {
+            inner,
+            offset,
+            name,
+        }
     }
 
     /// The configured shift.
@@ -177,6 +181,9 @@ mod tests {
         let composed = Noisy::new(Shifted::new(Sphere, 0.5), 0.05, 1);
         assert_eq!(composed.name(), "NoisyShiftedSphere");
         let v = composed.eval(&[0.5, 0.5]);
-        assert!(v.abs() < 1e-6, "noise is relative: zero stays zero, got {v}");
+        assert!(
+            v.abs() < 1e-6,
+            "noise is relative: zero stays zero, got {v}"
+        );
     }
 }

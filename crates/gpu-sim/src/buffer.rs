@@ -67,6 +67,9 @@ impl<T: Send + Sync + 'static> DeviceBuffer<T> {
                 what: "upload",
             });
         }
+        // Fault-injection gate: a corrupted transfer is detected before any
+        // byte lands, so device contents stay intact and a retry is safe.
+        self.device().begin_transfer()?;
         self.data.clone_from_slice(src);
         let bytes = std::mem::size_of_val(src) as u64;
         crate::Device {

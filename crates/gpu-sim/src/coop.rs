@@ -63,6 +63,7 @@ impl Device {
     /// blocks, each given `shared_elems` floats of shared memory and run
     /// through `body`. Returns one `f32` per block (whatever `body`
     /// returns — typically the block's partial result).
+    #[allow(clippy::too_many_arguments)]
     pub fn launch_cooperative<F>(
         &self,
         name: &'static str,
@@ -76,6 +77,7 @@ impl Device {
     where
         F: Fn(&mut BlockCtx<'_>) -> f32 + Sync,
     {
+        self.begin_launch()?;
         if block_dim == 0 {
             return Err(GpuError::InvalidLaunch("zero block_dim".into()));
         }
@@ -228,7 +230,9 @@ mod tests {
     #[test]
     fn block_reduce_rejects_non_power_of_two_blocks() {
         let dev = Device::v100();
-        let err = dev.launch_block_reduce(Phase::Eval, &[1.0; 8], 96).unwrap_err();
+        let err = dev
+            .launch_block_reduce(Phase::Eval, &[1.0; 8], 96)
+            .unwrap_err();
         assert!(matches!(err, GpuError::InvalidLaunch(_)));
     }
 
@@ -250,7 +254,8 @@ mod tests {
     #[test]
     fn cooperative_launch_charges_shared_traffic() {
         let dev = Device::v100();
-        dev.launch_block_reduce(Phase::Eval, &[1.0; 256], 64).unwrap();
+        dev.launch_block_reduce(Phase::Eval, &[1.0; 256], 64)
+            .unwrap();
         let c = dev.counters();
         assert!(c.shared_bytes > 0);
         assert!(c.kernel_launches >= 2);

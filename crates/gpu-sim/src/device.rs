@@ -3,8 +3,9 @@
 use crate::alloc::{AllocOutcome, Pool};
 use crate::buffer::DeviceBuffer;
 use crate::error::GpuError;
+use crate::fault::{FaultPlan, FaultState, FaultStats};
 use crate::launch::{AllocMode, KernelDesc};
-use parking_lot::Mutex;
+use crate::sync::Mutex;
 use perf_model::{
     gpu_kernel_time, transfer_time, Counters, GpuProfile, LinkProfile, Phase, Timeline,
     TransferDirection,
@@ -20,6 +21,7 @@ pub(crate) struct DeviceState {
     pub alloc_mode: AllocMode,
     pub bytes_in_use: usize,
     pub peak_bytes: usize,
+    pub fault: FaultState,
 }
 
 pub(crate) struct DeviceShared {
@@ -64,6 +66,7 @@ impl Device {
                     alloc_mode: AllocMode::Caching,
                     bytes_in_use: 0,
                     peak_bytes: 0,
+                    fault: FaultState::default(),
                 }),
             }),
         }
@@ -98,6 +101,88 @@ impl Device {
         self.shared.state.lock().alloc_mode
     }
 
+    /// Attach a fault-injection plan. Operation ordinals restart at 1 from
+    /// this call, so a plan's fault positions are relative to attach time.
+    pub fn set_fault_plan(&self, plan: FaultPlan) {
+        let mut st = self.shared.state.lock();
+        st.fault = FaultState {
+            plan: Some(plan),
+            ..FaultState::default()
+        };
+    }
+
+    /// Detach any fault plan (counters keep running, nothing fires).
+    pub fn clear_fault_plan(&self) {
+        self.shared.state.lock().fault.plan = None;
+    }
+
+    /// Operation counts and injected-fault totals since the plan attach.
+    pub fn fault_stats(&self) -> FaultStats {
+        let st = self.shared.state.lock();
+        FaultStats {
+            launches: st.fault.launches,
+            allocs: st.fault.allocs,
+            transfers: st.fault.transfers,
+            injected: st.fault.injected,
+            lost: st.fault.lost,
+        }
+    }
+
+    /// Whether the device has been permanently lost.
+    pub fn is_lost(&self) -> bool {
+        self.shared.state.lock().fault.lost
+    }
+
+    /// Fault-injection gate at the top of every launch entry point: counts
+    /// the launch and fails it if the attached plan says so. Public so
+    /// out-of-crate code that models launches through
+    /// [`Device::charge_kernel`] (the baselines, `tgbm`) can opt into the
+    /// same fault behavior.
+    pub fn begin_launch(&self) -> Result<(), GpuError> {
+        let mut st = self.shared.state.lock();
+        if st.fault.lost {
+            return Err(GpuError::DeviceLost(self.shared.index));
+        }
+        st.fault.launches += 1;
+        let ordinal = st.fault.launches;
+        if let Some(plan) = &st.fault.plan {
+            if plan.loss_at(ordinal) {
+                st.fault.lost = true;
+                st.fault.injected += 1;
+                return Err(GpuError::DeviceLost(self.shared.index));
+            }
+            if plan.launch_fault_at(ordinal) {
+                st.fault.injected += 1;
+                return Err(GpuError::TransientLaunch {
+                    device: self.shared.index,
+                    launch: ordinal,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Fault-injection gate for host→device transfers (uploads). Transfer
+    /// ordinals count uploads only: downloads have no error channel.
+    pub(crate) fn begin_transfer(&self) -> Result<(), GpuError> {
+        let mut st = self.shared.state.lock();
+        if st.fault.lost {
+            return Err(GpuError::DeviceLost(self.shared.index));
+        }
+        st.fault.transfers += 1;
+        let ordinal = st.fault.transfers;
+        if let Some(plan) = &st.fault.plan {
+            if plan.transfer_fault_at(ordinal) {
+                st.fault.injected += 1;
+                return Err(GpuError::CorruptedTransfer {
+                    device: self.shared.index,
+                    transfer: ordinal,
+                });
+            }
+        }
+        Ok(())
+    }
+
     /// Allocate a zero-initialized device buffer of `len` elements.
     pub fn alloc<T: Default + Clone + Send + Sync + 'static>(
         &self,
@@ -105,6 +190,20 @@ impl Device {
     ) -> Result<DeviceBuffer<T>, GpuError> {
         let bytes = len * std::mem::size_of::<T>();
         let mut st = self.shared.state.lock();
+        if st.fault.lost {
+            return Err(GpuError::DeviceLost(self.shared.index));
+        }
+        st.fault.allocs += 1;
+        let alloc_ordinal = st.fault.allocs;
+        if let Some(plan) = &st.fault.plan {
+            if plan.alloc_fault_at(alloc_ordinal) {
+                st.fault.injected += 1;
+                return Err(GpuError::TransientAlloc {
+                    device: self.shared.index,
+                    alloc: alloc_ordinal,
+                });
+            }
+        }
         if st.bytes_in_use + bytes > self.shared.profile.global_mem {
             return Err(GpuError::OutOfMemory {
                 requested: bytes,
@@ -357,5 +456,88 @@ mod tests {
         let m = DeviceMetrics::from_timeline(&Timeline::new());
         assert_eq!(m.gflops, 0.0);
         assert_eq!(m.elapsed_s, 0.0);
+    }
+
+    #[test]
+    fn planned_launch_fault_fires_once_then_clears() {
+        use crate::fault::FaultPlan;
+        let dev = Device::v100();
+        dev.set_fault_plan(FaultPlan::new().with_transient_launch(2));
+        assert!(dev.begin_launch().is_ok(), "launch 1 clean");
+        let err = dev.begin_launch().unwrap_err();
+        assert_eq!(
+            err,
+            GpuError::TransientLaunch {
+                device: 0,
+                launch: 2
+            }
+        );
+        assert!(err.is_transient());
+        assert!(dev.begin_launch().is_ok(), "retry (launch 3) clean");
+        let stats = dev.fault_stats();
+        assert_eq!((stats.launches, stats.injected), (3, 1));
+    }
+
+    #[test]
+    fn planned_alloc_fault_is_transient_not_oom() {
+        use crate::fault::FaultPlan;
+        let dev = Device::v100();
+        dev.set_fault_plan(FaultPlan::new().with_transient_alloc(1));
+        let err = match dev.alloc::<f32>(16) {
+            Err(e) => e,
+            Ok(_) => panic!("planned alloc fault must fire"),
+        };
+        assert_eq!(
+            err,
+            GpuError::TransientAlloc {
+                device: 0,
+                alloc: 1
+            }
+        );
+        assert!(err.is_transient());
+        let buf = dev.alloc::<f32>(16);
+        assert!(buf.is_ok(), "retry allocates");
+        assert_eq!(dev.bytes_in_use(), 64, "failed alloc reserved nothing");
+    }
+
+    #[test]
+    fn corrupted_upload_leaves_device_data_intact() {
+        use crate::fault::FaultPlan;
+        let dev = Device::v100();
+        let mut buf = dev.alloc_from_slice(&[1.0f32, 2.0]).unwrap();
+        dev.set_fault_plan(FaultPlan::new().with_corrupted_transfer(1));
+        let err = buf.upload(&[9.0, 9.0]).unwrap_err();
+        assert!(matches!(
+            err,
+            GpuError::CorruptedTransfer { transfer: 1, .. }
+        ));
+        assert_eq!(buf.as_slice(), &[1.0, 2.0], "no partial write");
+        buf.upload(&[9.0, 9.0]).unwrap();
+        assert_eq!(buf.as_slice(), &[9.0, 9.0], "retry lands");
+    }
+
+    #[test]
+    fn device_loss_is_permanent_across_all_operations() {
+        use crate::fault::FaultPlan;
+        let dev = Device::with_index(GpuProfile::tesla_v100(), LinkProfile::pcie3_x16(), 3);
+        dev.set_fault_plan(FaultPlan::new().with_device_loss_at_launch(1));
+        assert_eq!(dev.begin_launch().unwrap_err(), GpuError::DeviceLost(3));
+        assert!(dev.is_lost());
+        assert_eq!(dev.begin_launch().unwrap_err(), GpuError::DeviceLost(3));
+        let err = match dev.alloc::<f32>(4) {
+            Err(e) => e,
+            Ok(_) => panic!("lost device must not allocate"),
+        };
+        assert_eq!(err, GpuError::DeviceLost(3));
+        assert!(!GpuError::DeviceLost(3).is_transient());
+    }
+
+    #[test]
+    fn clear_fault_plan_stops_injection() {
+        use crate::fault::FaultPlan;
+        let dev = Device::v100();
+        dev.set_fault_plan(FaultPlan::new().with_transient_launch(1));
+        dev.clear_fault_plan();
+        assert!(dev.begin_launch().is_ok());
     }
 }

@@ -3,7 +3,14 @@
 use std::fmt;
 
 /// Errors raised by the simulated device.
+///
+/// Marked `#[non_exhaustive]`: fault-injection grew this taxonomy once
+/// (transient launches, corrupted transfers, device loss) and future
+/// failure modes will grow it again, so downstream matches must keep a
+/// wildcard arm. Use [`GpuError::is_transient`] to decide whether an
+/// operation is worth retrying.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum GpuError {
     /// A device allocation would exceed the profile's global memory.
     OutOfMemory {
@@ -30,6 +37,49 @@ pub enum GpuError {
     Empty(&'static str),
     /// A multi-GPU operation addressed a device index outside the group.
     NoSuchDevice(usize),
+    /// A kernel launch failed transiently (modeled ECC error / driver
+    /// hiccup). The same launch retried is expected to succeed.
+    TransientLaunch {
+        /// Index of the faulting device.
+        device: usize,
+        /// Ordinal of the failed launch on that device (1-based).
+        launch: u64,
+    },
+    /// A device allocation failed transiently (modeled driver glitch, not a
+    /// capacity limit — retrying the allocation is expected to succeed).
+    TransientAlloc {
+        /// Index of the faulting device.
+        device: usize,
+        /// Ordinal of the failed allocation on that device (1-based).
+        alloc: u64,
+    },
+    /// A host↔device transfer was corrupted in flight and detected (modeled
+    /// checksum mismatch). No data was written; the transfer can be retried.
+    CorruptedTransfer {
+        /// Index of the faulting device.
+        device: usize,
+        /// Ordinal of the failed transfer on that device (1-based).
+        transfer: u64,
+    },
+    /// The device fell off the bus. Permanent: every subsequent operation
+    /// on this device fails with the same error.
+    DeviceLost(usize),
+}
+
+impl GpuError {
+    /// Whether retrying the failed operation can succeed.
+    ///
+    /// Transient errors (injected launch/alloc/transfer faults) clear on
+    /// retry; everything else — capacity limits, shape bugs, lost devices —
+    /// is permanent and must be handled by fallback or rebalancing instead.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            GpuError::TransientLaunch { .. }
+                | GpuError::TransientAlloc { .. }
+                | GpuError::CorruptedTransfer { .. }
+        )
+    }
 }
 
 impl fmt::Display for GpuError {
@@ -51,6 +101,19 @@ impl fmt::Display for GpuError {
             GpuError::InvalidLaunch(msg) => write!(f, "invalid launch: {msg}"),
             GpuError::Empty(what) => write!(f, "{what}: empty input"),
             GpuError::NoSuchDevice(i) => write!(f, "no device with index {i} in group"),
+            GpuError::TransientLaunch { device, launch } => {
+                write!(f, "transient launch failure on device {device} (launch #{launch})")
+            }
+            GpuError::TransientAlloc { device, alloc } => {
+                write!(f, "transient allocation failure on device {device} (alloc #{alloc})")
+            }
+            GpuError::CorruptedTransfer { device, transfer } => {
+                write!(
+                    f,
+                    "corrupted transfer detected on device {device} (transfer #{transfer})"
+                )
+            }
+            GpuError::DeviceLost(i) => write!(f, "device {i} lost"),
         }
     }
 }
@@ -80,5 +143,42 @@ mod tests {
 
         assert!(GpuError::NoSuchDevice(7).to_string().contains('7'));
         assert!(GpuError::Empty("reduce").to_string().contains("reduce"));
+    }
+
+    #[test]
+    fn transient_classification() {
+        assert!(GpuError::TransientLaunch {
+            device: 0,
+            launch: 3
+        }
+        .is_transient());
+        assert!(GpuError::TransientAlloc {
+            device: 1,
+            alloc: 2
+        }
+        .is_transient());
+        assert!(GpuError::CorruptedTransfer {
+            device: 0,
+            transfer: 9
+        }
+        .is_transient());
+        assert!(!GpuError::DeviceLost(0).is_transient());
+        assert!(!GpuError::OutOfMemory {
+            requested: 1,
+            in_use: 0,
+            capacity: 1
+        }
+        .is_transient());
+        assert!(!GpuError::InvalidLaunch("x".into()).is_transient());
+    }
+
+    #[test]
+    fn fault_variant_displays_carry_ordinals() {
+        let e = GpuError::TransientLaunch {
+            device: 2,
+            launch: 17,
+        };
+        assert!(e.to_string().contains('2') && e.to_string().contains("17"));
+        assert!(GpuError::DeviceLost(5).to_string().contains('5'));
     }
 }

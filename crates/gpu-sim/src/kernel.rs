@@ -24,6 +24,7 @@ impl Device {
         T: Send + Sync,
         F: Fn(usize) -> T + Sync,
     {
+        self.begin_launch()?;
         self.check_elems(desc, out.len(), "launch_map")?;
         self.charge_kernel(desc);
         out.par_iter_mut()
@@ -44,6 +45,7 @@ impl Device {
         T: Copy + Send + Sync,
         F: Fn(usize, T) -> T + Sync,
     {
+        self.begin_launch()?;
         self.check_elems(desc, out.len(), "launch_update")?;
         self.charge_kernel(desc);
         out.par_iter_mut()
@@ -72,10 +74,14 @@ impl Device {
         B: Send + Sync,
         F: Fn(usize, &mut [A], &mut [B]) + Sync,
     {
+        self.begin_launch()?;
         if ca == 0 || cb == 0 {
             return Err(GpuError::InvalidLaunch("zero chunk size".into()));
         }
-        if !a.len().is_multiple_of(ca) || !b.len().is_multiple_of(cb) || a.len() / ca != b.len() / cb {
+        if !a.len().is_multiple_of(ca)
+            || !b.len().is_multiple_of(cb)
+            || a.len() / ca != b.len() / cb
+        {
             return Err(GpuError::ShapeMismatch {
                 expected: a.len() / ca.max(1),
                 actual: b.len() / cb.max(1),
@@ -116,6 +122,7 @@ impl Device {
         D: Send + Sync,
         F: Fn(usize, &mut [A], &mut [B], &mut [C], &mut [D]) + Sync,
     {
+        self.begin_launch()?;
         if ca == 0 || cb == 0 || cc == 0 || cd == 0 {
             return Err(GpuError::InvalidLaunch("zero chunk size".into()));
         }
@@ -151,6 +158,7 @@ impl Device {
     where
         F: Fn(usize) + Send + Sync,
     {
+        self.begin_launch()?;
         self.check_elems(desc, elems, "launch_visit")?;
         self.charge_kernel(desc);
         (0..elems).into_par_iter().for_each(f);
@@ -187,7 +195,8 @@ mod tests {
     fn map_fills_by_index() {
         let dev = Device::v100();
         let mut out = vec![0u32; 100];
-        dev.launch_map(&desc(100), &mut out, |i| i as u32 * 2).unwrap();
+        dev.launch_map(&desc(100), &mut out, |i| i as u32 * 2)
+            .unwrap();
         assert!(out.iter().enumerate().all(|(i, &v)| v == 2 * i as u32));
     }
 

@@ -286,7 +286,9 @@ mod tests {
     fn resource_aware_clamps_huge_launches() {
         let gpu = GpuProfile::tesla_v100();
         let cfg = LaunchConfig::resource_aware(&gpu, 1_000_000_000);
-        assert!(cfg.threads() <= gpu.max_resident_threads() * OVERSUBSCRIPTION + DEFAULT_BLOCK as u64);
+        assert!(
+            cfg.threads() <= gpu.max_resident_threads() * OVERSUBSCRIPTION + DEFAULT_BLOCK as u64
+        );
         // ... but small launches are not inflated.
         let small = LaunchConfig::resource_aware(&gpu, 1000);
         assert!(small.threads() <= 1024);

@@ -37,10 +37,12 @@ pub mod buffer;
 pub mod coop;
 pub mod device;
 pub mod error;
+pub mod fault;
 pub mod kernel;
 pub mod launch;
 pub mod multi;
 pub mod reduce;
+pub mod sync;
 pub mod tensor;
 pub mod tiled;
 
@@ -48,6 +50,7 @@ pub use buffer::DeviceBuffer;
 pub use coop::BlockCtx;
 pub use device::{Device, DeviceMetrics};
 pub use error::GpuError;
+pub use fault::{FaultPlan, FaultStats};
 pub use launch::{AllocMode, Dim3, KernelCost, KernelDesc, LaunchConfig};
 pub use multi::DeviceGroup;
 pub use perf_model::{Counters, MemoryPattern, Phase, Timeline, TransferDirection};

@@ -51,11 +51,44 @@ impl DeviceGroup {
         self.devices.iter()
     }
 
+    /// Attach one fault plan per device (`plans[i]` goes to device `i`).
+    /// Panics if the lengths disagree.
+    pub fn set_fault_plans(&self, plans: Vec<crate::FaultPlan>) {
+        assert_eq!(plans.len(), self.devices.len(), "one plan per device");
+        for (dev, plan) in self.devices.iter().zip(plans) {
+            dev.set_fault_plan(plan);
+        }
+    }
+
+    /// Indices of devices still alive (not permanently lost).
+    pub fn survivors(&self) -> Vec<usize> {
+        self.devices
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| !d.is_lost())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Indices of devices that have been permanently lost.
+    pub fn lost_devices(&self) -> Vec<usize> {
+        self.devices
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.is_lost())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
     /// Model an all-to-one exchange of `bytes` per device (e.g. each
     /// sub-swarm publishing its local best to the coordinator GPU), charged
-    /// to every device's timeline.
+    /// to every surviving device's timeline. Lost devices no longer
+    /// participate in (or pay for) exchanges.
     pub fn exchange(&self, phase: Phase, bytes_per_device: u64) {
         for dev in &self.devices {
+            if dev.is_lost() {
+                continue;
+            }
             let t = perf_model::transfer_time(&self.link, bytes_per_device);
             let mut c = Counters::new();
             c.record_transfer(perf_model::TransferDirection::D2H, bytes_per_device);

@@ -25,35 +25,32 @@ pub struct MinResult {
 impl Device {
     /// Find the minimum value and its index (`gbest` update).
     pub fn reduce_min_index(&self, phase: Phase, data: &[f32]) -> Result<MinResult, GpuError> {
+        self.begin_launch()?;
         if data.is_empty() {
             return Err(GpuError::Empty("reduce_min_index"));
         }
         self.charge_reduction(phase, data.len(), 8);
-        let (index, value) = data
-            .par_iter()
-            .copied()
-            .enumerate()
-            .reduce(
-                || (usize::MAX, f32::INFINITY),
-                |a, b| {
-                    // NaN never wins, so a swarm with NaN errors keeps its
-                    // previous best; ties keep the earliest index so the
-                    // result matches a deterministic sequential scan.
-                    let a_valid = a.0 != usize::MAX && !a.1.is_nan();
-                    let b_valid = b.0 != usize::MAX && !b.1.is_nan();
-                    match (a_valid, b_valid) {
-                        (true, false) | (false, false) => a,
-                        (false, true) => b,
-                        (true, true) => {
-                            if b.1 < a.1 || (b.1 == a.1 && b.0 < a.0) {
-                                b
-                            } else {
-                                a
-                            }
+        let (index, value) = data.par_iter().copied().enumerate().reduce(
+            || (usize::MAX, f32::INFINITY),
+            |a, b| {
+                // NaN never wins, so a swarm with NaN errors keeps its
+                // previous best; ties keep the earliest index so the
+                // result matches a deterministic sequential scan.
+                let a_valid = a.0 != usize::MAX && !a.1.is_nan();
+                let b_valid = b.0 != usize::MAX && !b.1.is_nan();
+                match (a_valid, b_valid) {
+                    (true, false) | (false, false) => a,
+                    (false, true) => b,
+                    (true, true) => {
+                        if b.1 < a.1 || (b.1 == a.1 && b.0 < a.0) {
+                            b
+                        } else {
+                            a
                         }
                     }
-                },
-            );
+                }
+            },
+        );
         if index == usize::MAX {
             // All-NaN input: fall back to index 0 like a sequential scan
             // that never updates its running best.
@@ -67,6 +64,7 @@ impl Device {
 
     /// Sum of all elements (used by evaluation kernels and `tgbm`).
     pub fn reduce_sum(&self, phase: Phase, data: &[f32]) -> Result<f64, GpuError> {
+        self.begin_launch()?;
         if data.is_empty() {
             return Err(GpuError::Empty("reduce_sum"));
         }

@@ -1,0 +1,25 @@
+//! Minimal mutex wrapper with `parking_lot`-style ergonomics over
+//! `std::sync::Mutex`: `lock()` returns the guard directly and a poisoned
+//! lock is recovered rather than propagated (simulator state stays usable
+//! after a panicking kernel closure, which the fault-injection tests rely
+//! on).
+
+use std::sync::MutexGuard;
+
+/// Non-poisoning mutex.
+#[derive(Debug, Default)]
+pub struct Mutex<T>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// Wrap `value` in a mutex.
+    pub fn new(value: T) -> Self {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    /// Acquire the lock, recovering from poisoning.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}

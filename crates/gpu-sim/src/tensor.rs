@@ -122,7 +122,14 @@ impl Fragment {
     /// dimension, rounding every element through f16
     /// (`wmma::load_matrix_sync` on a `half` operand). Rows/cols outside
     /// the matrix load as zero, which is how ragged edges are padded.
-    pub fn load(src: &[f32], rows: usize, cols: usize, row0: usize, col0: usize, ld: usize) -> Self {
+    pub fn load(
+        src: &[f32],
+        rows: usize,
+        cols: usize,
+        row0: usize,
+        col0: usize,
+        ld: usize,
+    ) -> Self {
         let mut f = Fragment::zeroed();
         for r in 0..FRAGMENT_DIM {
             for c in 0..FRAGMENT_DIM {
@@ -137,7 +144,15 @@ impl Fragment {
 
     /// Store the fragment into a row-major matrix slice
     /// (`wmma::store_matrix_sync`); out-of-range elements are dropped.
-    pub fn store(&self, dst: &mut [f32], rows: usize, cols: usize, row0: usize, col0: usize, ld: usize) {
+    pub fn store(
+        &self,
+        dst: &mut [f32],
+        rows: usize,
+        cols: usize,
+        row0: usize,
+        col0: usize,
+        ld: usize,
+    ) {
         for r in 0..FRAGMENT_DIM {
             for c in 0..FRAGMENT_DIM {
                 let (gr, gc) = (row0 + r, col0 + c);
@@ -208,6 +223,7 @@ impl Device {
     where
         F: Fn(usize, &[f32], f32) -> f32 + Sync,
     {
+        self.begin_launch()?;
         for input in inputs {
             if input.len() != out.len() {
                 return Err(GpuError::ShapeMismatch {
@@ -273,7 +289,11 @@ mod tests {
         assert!(through_f16(f32::NAN).is_nan());
         assert_eq!(through_f16(f32::INFINITY), f32::INFINITY);
         assert_eq!(through_f16(f32::NEG_INFINITY), f32::NEG_INFINITY);
-        assert_eq!(through_f16(1e10), f32::INFINITY, "overflow saturates to inf");
+        assert_eq!(
+            through_f16(1e10),
+            f32::INFINITY,
+            "overflow saturates to inf"
+        );
         assert_eq!(through_f16(1e-30), 0.0, "deep underflow flushes to zero");
         assert_eq!(through_f16(-0.0).to_bits(), (-0.0f32).to_bits());
     }

@@ -51,6 +51,7 @@ impl Device {
     where
         F: Fn(usize, usize, &TileCtx<'_>) -> f32 + Sync,
     {
+        self.begin_launch()?;
         if tile_elems == 0 {
             return Err(GpuError::InvalidLaunch("zero tile size".into()));
         }
@@ -59,7 +60,11 @@ impl Device {
                 return Err(GpuError::ShapeMismatch {
                     expected: out.len(),
                     actual: input.len(),
-                    what: if k == 0 { "launch_tiled input 0" } else { "launch_tiled input" },
+                    what: if k == 0 {
+                        "launch_tiled input 0"
+                    } else {
+                        "launch_tiled input"
+                    },
                 });
             }
         }
@@ -151,10 +156,18 @@ mod tests {
         let dev = Device::v100();
         let n = 100;
         let mut out = vec![0.0f32; n];
-        dev.launch_tiled("idx", Phase::Other, 0, 16, &[], &mut out, |g, local, ctx| {
-            assert_eq!(g, ctx.tile_start + local);
-            g as f32
-        })
+        dev.launch_tiled(
+            "idx",
+            Phase::Other,
+            0,
+            16,
+            &[],
+            &mut out,
+            |g, local, ctx| {
+                assert_eq!(g, ctx.tile_start + local);
+                g as f32
+            },
+        )
         .unwrap();
         assert!(out.iter().enumerate().all(|(i, &v)| v == i as f32));
     }
@@ -186,8 +199,16 @@ mod tests {
         let dev = Device::v100();
         let a = vec![0.0f32; 64];
         let mut out = vec![0.0f32; 64];
-        dev.launch_tiled("t", Phase::SwarmUpdate, 1, 16, &[&a], &mut out, |_, _, _| 0.0)
-            .unwrap();
+        dev.launch_tiled(
+            "t",
+            Phase::SwarmUpdate,
+            1,
+            16,
+            &[&a],
+            &mut out,
+            |_, _, _| 0.0,
+        )
+        .unwrap();
         let c = dev.counters();
         assert!(c.shared_bytes > 0);
         assert_eq!(c.dram_write_bytes, 64 * 4);

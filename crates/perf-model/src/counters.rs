@@ -5,11 +5,10 @@
 //! incremented per element, so instrumentation adds no measurable overhead
 //! and is fully deterministic.
 
-use serde::{Deserialize, Serialize};
 use std::ops::{Add, AddAssign};
 
 /// Direction of a host↔device transfer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TransferDirection {
     /// Host to device.
     H2D,
@@ -25,7 +24,7 @@ pub enum TransferDirection {
 /// addresses (fully coalesced), while particle-per-thread designs make a
 /// warp's threads stride by `d` floats and waste most of each 32-byte DRAM
 /// sector.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum MemoryPattern {
     /// Consecutive threads access consecutive elements.
     Coalesced,
@@ -54,7 +53,7 @@ impl MemoryPattern {
 }
 
 /// Additive totals of all modeled operation classes.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct Counters {
     /// FP32 operations executed on CUDA cores or the CPU.
     pub flops: u64,

@@ -43,6 +43,8 @@ pub mod profile;
 pub mod timeline;
 
 pub use counters::{Counters, MemoryPattern, TransferDirection};
-pub use model::{cpu_time, gpu_kernel_time, interpreter_time, transfer_time, CpuWork, GpuKernelWork};
+pub use model::{
+    cpu_time, gpu_kernel_time, interpreter_time, transfer_time, CpuWork, GpuKernelWork,
+};
 pub use profile::{CpuProfile, GpuProfile, InterpreterProfile, LinkProfile, Testbed};
 pub use timeline::{Phase, Timeline};

@@ -66,7 +66,8 @@ pub fn gpu_kernel_time(gpu: &GpuProfile, work: &GpuKernelWork) -> f64 {
     };
     let resident = (launched as f64).min(gpu.max_resident_threads() as f64);
     let warps_per_sm = resident / gpu.warp_size as f64 / gpu.sm_count as f64;
-    let hide = (warps_per_sm / gpu.latency_hiding_warps).clamp(1.0 / gpu.max_resident_threads() as f64, 1.0);
+    let hide = (warps_per_sm / gpu.latency_hiding_warps)
+        .clamp(1.0 / gpu.max_resident_threads() as f64, 1.0);
 
     let t_compute = work.flops as f64 / (gpu.peak_flops() * hide);
     let t_tensor = if gpu.tensor_peak_flops > 0.0 {
@@ -107,7 +108,8 @@ pub fn cpu_time(cpu: &CpuProfile, work: &CpuWork) -> f64 {
     let speedup = if work.threads <= 1 {
         1.0
     } else {
-        (1.0 + (threads - 1.0) * cpu.parallel_efficiency * cpu.cores as f64 / (cpu.cores as f64 - 1.0))
+        (1.0 + (threads - 1.0) * cpu.parallel_efficiency * cpu.cores as f64
+            / (cpu.cores as f64 - 1.0))
             .max(1.0)
     };
     let t_compute = work.flops as f64 / (cpu.core_flops() * speedup);

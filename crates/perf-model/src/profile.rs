@@ -4,15 +4,13 @@
 //! the arithmetic in [`crate::model`] free of unit conversions. Constructors
 //! take the conventional engineering units (GHz, GB/s, µs) and convert.
 
-use serde::{Deserialize, Serialize};
-
 /// Profile of one CPU socket/package as used by the paper's CPU baselines.
 ///
 /// The paper's testbed has two Xeon E5-2640 v4 processors (10 cores each,
 /// 2.4 GHz base). The CPU implementations in the paper are either
 /// single-threaded (`fastpso-seq`, pyswarms, scikit-opt inner loops) or
 /// OpenMP across the cores of the machine (`fastpso-omp`).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CpuProfile {
     /// Human-readable name, e.g. `"2x Xeon E5-2640 v4"`.
     pub name: String,
@@ -70,7 +68,7 @@ impl CpuProfile {
 /// Profile of a CUDA-capable GPU.
 ///
 /// The constructor presets model the paper's Tesla V100 (SXM2 16 GB).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GpuProfile {
     /// Human-readable name, e.g. `"Tesla V100"`.
     pub name: String,
@@ -179,7 +177,7 @@ impl GpuProfile {
 }
 
 /// Profile of the host↔device interconnect.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LinkProfile {
     /// Name, e.g. `"PCIe 3.0 x16"`.
     pub name: String,
@@ -207,7 +205,7 @@ impl LinkProfile {
 /// code: per-*operation* dispatch (each numpy ufunc call crosses the
 /// interpreter) and per-*element* cost for work executed in pure Python
 /// (scalar loops, lambdas applied per particle).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct InterpreterProfile {
     /// Name, e.g. `"CPython 3.8 + numpy"`.
     pub name: String,
@@ -240,7 +238,7 @@ impl InterpreterProfile {
 
 /// The complete modeled testbed: CPU, GPU, their interconnect, and the
 /// interpreter used by the Python baselines.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Testbed {
     pub cpu: CpuProfile,
     pub gpu: GpuProfile,

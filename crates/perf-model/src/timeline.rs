@@ -7,12 +7,11 @@
 //! charge with a [`Phase`], and the harness reads per-phase totals back.
 
 use crate::counters::Counters;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// The PSO algorithm steps used in the paper's breakdown (Figure 5), plus a
 /// catch-all for work outside the loop (transfers, teardown).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Phase {
     /// Swarm initialization: positions, velocities, RNG state (step i).
     Init,
@@ -24,18 +23,23 @@ pub enum Phase {
     GBest,
     /// Velocity + position update (step iv).
     SwarmUpdate,
+    /// Fault-recovery overhead: retry backoff, checkpoint capture,
+    /// restore replay and rebalancing after a device loss.
+    Recovery,
     /// Anything else: host↔device transfers, memory management, teardown.
     Other,
 }
 
 impl Phase {
-    /// All phases in the order the paper plots them.
-    pub const ALL: [Phase; 6] = [
+    /// All phases in the order the paper plots them, with the recovery
+    /// category appended before the catch-all.
+    pub const ALL: [Phase; 7] = [
         Phase::Init,
         Phase::Eval,
         Phase::PBest,
         Phase::GBest,
         Phase::SwarmUpdate,
+        Phase::Recovery,
         Phase::Other,
     ];
 
@@ -47,13 +51,14 @@ impl Phase {
             Phase::PBest => "pbest",
             Phase::GBest => "gbest",
             Phase::SwarmUpdate => "swarm",
+            Phase::Recovery => "recovery",
             Phase::Other => "other",
         }
     }
 }
 
 /// Accumulates modeled seconds and counters per [`Phase`].
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Timeline {
     seconds: BTreeMap<Phase, f64>,
     counters: BTreeMap<Phase, Counters>,
@@ -67,7 +72,10 @@ impl Timeline {
 
     /// Charge `seconds` of modeled time and `counters` of work to `phase`.
     pub fn charge(&mut self, phase: Phase, seconds: f64, counters: Counters) {
-        debug_assert!(seconds >= 0.0 && seconds.is_finite(), "bad charge: {seconds}");
+        debug_assert!(
+            seconds >= 0.0 && seconds.is_finite(),
+            "bad charge: {seconds}"
+        );
         *self.seconds.entry(phase).or_insert(0.0) += seconds;
         self.counters.entry(phase).or_default().merge(&counters);
     }
@@ -169,9 +177,10 @@ mod tests {
     fn breakdown_covers_all_phases_in_order() {
         let t = Timeline::new();
         let b = t.breakdown();
-        assert_eq!(b.len(), 6);
+        assert_eq!(b.len(), 7);
         assert_eq!(b[0].0, Phase::Init);
         assert_eq!(b[4].0, Phase::SwarmUpdate);
+        assert_eq!(b[5].0, Phase::Recovery);
     }
 
     #[test]

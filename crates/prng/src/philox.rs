@@ -229,7 +229,9 @@ mod tests {
     fn different_seeds_decorrelate() {
         let a = Philox::new(1);
         let b = Philox::new(2);
-        let same = (0..1000).filter(|&i| a.u32_at(i, 0) == b.u32_at(i, 0)).count();
+        let same = (0..1000)
+            .filter(|&i| a.u32_at(i, 0) == b.u32_at(i, 0))
+            .count();
         assert_eq!(same, 0);
     }
 }

@@ -236,12 +236,24 @@ mod tests {
 
     #[test]
     fn sanitize_rounds_to_warp_multiples() {
-        let d = LaunchDims { block: 100, grid_scale: 1.0 }.sanitized();
+        let d = LaunchDims {
+            block: 100,
+            grid_scale: 1.0,
+        }
+        .sanitized();
         assert_eq!(d.block, 96);
-        let d = LaunchDims { block: 7, grid_scale: f32::NAN }.sanitized();
+        let d = LaunchDims {
+            block: 7,
+            grid_scale: f32::NAN,
+        }
+        .sanitized();
         assert_eq!(d.block, 32);
         assert_eq!(d.grid_scale, 1.0);
-        let d = LaunchDims { block: 9999, grid_scale: 100.0 }.sanitized();
+        let d = LaunchDims {
+            block: 9999,
+            grid_scale: 100.0,
+        }
+        .sanitized();
         assert_eq!(d.block, 1024);
         assert_eq!(d.grid_scale, 8.0);
     }

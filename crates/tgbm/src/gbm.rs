@@ -140,7 +140,14 @@ impl<'a> Trainer<'a> {
             self.cfg.n_bins,
         );
         // Bin boundaries by per-feature quantiles.
-        self.kernel(KernelId::TransposeFeatures, (n * f) as u64, 1, 4, 4, MemoryPattern::Strided(f as u32));
+        self.kernel(
+            KernelId::TransposeFeatures,
+            (n * f) as u64,
+            1,
+            4,
+            4,
+            MemoryPattern::Strided(f as u32),
+        );
         let mut boundaries = vec![0.0f32; f * (b - 1)];
         let mut col = vec![0.0f32; n];
         for feat in 0..f {
@@ -153,7 +160,14 @@ impl<'a> Trainer<'a> {
                 boundaries[feat * (b - 1) + q - 1] = col[idx];
             }
         }
-        self.kernel(KernelId::BinBoundaries, (f * b) as u64, 8, 4, 4, MemoryPattern::Coalesced);
+        self.kernel(
+            KernelId::BinBoundaries,
+            (f * b) as u64,
+            8,
+            4,
+            4,
+            MemoryPattern::Coalesced,
+        );
 
         // Quantize every value.
         let mut bins = vec![0u8; n * f];
@@ -166,7 +180,14 @@ impl<'a> Trainer<'a> {
                 bins[i * f + feat] = bin as u8;
             }
         }
-        self.kernel(KernelId::QuantizeFeatures, (n * f) as u64, 8, 4, 1, MemoryPattern::Coalesced);
+        self.kernel(
+            KernelId::QuantizeFeatures,
+            (n * f) as u64,
+            8,
+            4,
+            1,
+            MemoryPattern::Coalesced,
+        );
         self.bins = bins;
         self.boundaries = boundaries;
     }
@@ -184,13 +205,41 @@ impl<'a> Trainer<'a> {
 
         // Gradients of squared loss (hessian = 1 → counts).
         let grad: Vec<f32> = preds.iter().zip(y).map(|(p, t)| p - t).collect();
-        self.kernel(KernelId::ComputeGradHess, n as u64, 4, 8, 8, MemoryPattern::Coalesced);
+        self.kernel(
+            KernelId::ComputeGradHess,
+            n as u64,
+            4,
+            8,
+            8,
+            MemoryPattern::Coalesced,
+        );
 
         // Sampling / routing kernels run for cost fidelity (the compact
         // trainer uses all rows/columns and has no missing values).
-        self.kernel(KernelId::RowSampler, n as u64, 2, 4, 1, MemoryPattern::Coalesced);
-        self.kernel(KernelId::ColumnSampler, f as u64, 2, 4, 1, MemoryPattern::Coalesced);
-        self.kernel(KernelId::MissingValueRoute, n as u64, 1, 1, 1, MemoryPattern::Coalesced);
+        self.kernel(
+            KernelId::RowSampler,
+            n as u64,
+            2,
+            4,
+            1,
+            MemoryPattern::Coalesced,
+        );
+        self.kernel(
+            KernelId::ColumnSampler,
+            f as u64,
+            2,
+            4,
+            1,
+            MemoryPattern::Coalesced,
+        );
+        self.kernel(
+            KernelId::MissingValueRoute,
+            n as u64,
+            1,
+            1,
+            1,
+            MemoryPattern::Coalesced,
+        );
 
         let mut tree = Tree {
             nodes: vec![Node::Leaf { value: 0.0 }],
@@ -205,13 +254,23 @@ impl<'a> Trainer<'a> {
                 break;
             }
             let hist_elems = (frontier.len() * f * b) as u64;
-            self.kernel(KernelId::ZeroHistograms, hist_elems, 1, 0, 8, MemoryPattern::Coalesced);
+            self.kernel(
+                KernelId::ZeroHistograms,
+                hist_elems,
+                1,
+                0,
+                8,
+                MemoryPattern::Coalesced,
+            );
 
             // Histogram accumulation: (sum_g, count) per (node, feat, bin).
             let mut hist_g = vec![0.0f64; frontier.len() * f * b];
             let mut hist_c = vec![0u32; frontier.len() * f * b];
-            let slot_of: std::collections::HashMap<usize, usize> =
-                frontier.iter().enumerate().map(|(s, &id)| (id, s)).collect();
+            let slot_of: std::collections::HashMap<usize, usize> = frontier
+                .iter()
+                .enumerate()
+                .map(|(s, &id)| (id, s))
+                .collect();
             for i in 0..n {
                 let Some(&slot) = slot_of.get(&node_of[i]) else {
                     continue;
@@ -231,13 +290,48 @@ impl<'a> Trainer<'a> {
                 8,
                 MemoryPattern::Random, // histogram scatter
             );
-            self.kernel(KernelId::AggregateHistograms, hist_elems, 2, 8, 8, MemoryPattern::Coalesced);
-            self.kernel(KernelId::SubtractSiblingHist, hist_elems / 2 + 1, 2, 16, 8, MemoryPattern::Coalesced);
+            self.kernel(
+                KernelId::AggregateHistograms,
+                hist_elems,
+                2,
+                8,
+                8,
+                MemoryPattern::Coalesced,
+            );
+            self.kernel(
+                KernelId::SubtractSiblingHist,
+                hist_elems / 2 + 1,
+                2,
+                16,
+                8,
+                MemoryPattern::Coalesced,
+            );
 
             // Split finding per frontier node.
-            self.kernel(KernelId::FindBestSplit, (frontier.len() * f * b) as u64, 6, 12, 0, MemoryPattern::Coalesced);
-            self.kernel(KernelId::RegularizeSplits, (frontier.len() * f) as u64, 4, 4, 4, MemoryPattern::Coalesced);
-            self.kernel(KernelId::ArgmaxGain, frontier.len() as u64 * f as u64, 2, 8, 4, MemoryPattern::Coalesced);
+            self.kernel(
+                KernelId::FindBestSplit,
+                (frontier.len() * f * b) as u64,
+                6,
+                12,
+                0,
+                MemoryPattern::Coalesced,
+            );
+            self.kernel(
+                KernelId::RegularizeSplits,
+                (frontier.len() * f) as u64,
+                4,
+                4,
+                4,
+                MemoryPattern::Coalesced,
+            );
+            self.kernel(
+                KernelId::ArgmaxGain,
+                frontier.len() as u64 * f as u64,
+                2,
+                8,
+                4,
+                MemoryPattern::Coalesced,
+            );
 
             let mut next_frontier = Vec::new();
             let mut splits: Vec<(usize, usize, usize, u8)> = Vec::new(); // (node, slot, feat, bin)
@@ -318,10 +412,38 @@ impl<'a> Trainer<'a> {
                     }
                 }
             }
-            self.kernel(KernelId::ApplySplitFilter, n as u64, 3, 6, 4, MemoryPattern::Coalesced);
-            self.kernel(KernelId::ExclusiveScan, n as u64, 2, 4, 4, MemoryPattern::Coalesced);
-            self.kernel(KernelId::PartitionSamples, n as u64, 3, 8, 8, MemoryPattern::Random);
-            self.kernel(KernelId::GatherRows, n as u64, 1, 8, 4, MemoryPattern::Random);
+            self.kernel(
+                KernelId::ApplySplitFilter,
+                n as u64,
+                3,
+                6,
+                4,
+                MemoryPattern::Coalesced,
+            );
+            self.kernel(
+                KernelId::ExclusiveScan,
+                n as u64,
+                2,
+                4,
+                4,
+                MemoryPattern::Coalesced,
+            );
+            self.kernel(
+                KernelId::PartitionSamples,
+                n as u64,
+                3,
+                8,
+                8,
+                MemoryPattern::Random,
+            );
+            self.kernel(
+                KernelId::GatherRows,
+                n as u64,
+                1,
+                8,
+                4,
+                MemoryPattern::Random,
+            );
 
             frontier = next_frontier;
         }
@@ -338,8 +460,22 @@ impl<'a> Trainer<'a> {
                 *value = (-(g) / (c as f64 + lam as f64)) as f32 * self.cfg.learning_rate;
             }
         }
-        self.kernel(KernelId::UpdateLeafValues, tree.n_leaves() as u64, 4, 8, 4, MemoryPattern::Coalesced);
-        self.kernel(KernelId::PruneCheck, tree.nodes.len() as u64, 2, 4, 1, MemoryPattern::Coalesced);
+        self.kernel(
+            KernelId::UpdateLeafValues,
+            tree.n_leaves() as u64,
+            4,
+            8,
+            4,
+            MemoryPattern::Coalesced,
+        );
+        self.kernel(
+            KernelId::PruneCheck,
+            tree.nodes.len() as u64,
+            2,
+            4,
+            1,
+            MemoryPattern::Coalesced,
+        );
 
         // Update predictions through the assignment map.
         for i in 0..n {
@@ -347,7 +483,14 @@ impl<'a> Trainer<'a> {
                 preds[i] += value;
             }
         }
-        self.kernel(KernelId::UpdatePredictions, n as u64, 2, 8, 4, MemoryPattern::Coalesced);
+        self.kernel(
+            KernelId::UpdatePredictions,
+            n as u64,
+            2,
+            8,
+            4,
+            MemoryPattern::Coalesced,
+        );
 
         tree
     }
@@ -376,7 +519,14 @@ impl Gbm {
         tr.quantize();
         let n = data.n_samples();
         let mut preds = vec![0.0f32; n];
-        tr.kernel(KernelId::InitPredictions, n as u64, 0, 0, 4, MemoryPattern::Coalesced);
+        tr.kernel(
+            KernelId::InitPredictions,
+            n as u64,
+            0,
+            0,
+            4,
+            MemoryPattern::Coalesced,
+        );
 
         let mut trees = Vec::with_capacity(cfg.n_trees);
         let mut loss_curve = Vec::with_capacity(cfg.n_trees);
@@ -384,8 +534,22 @@ impl Gbm {
             let tree = tr.grow_tree(&mut preds);
             trees.push(tree);
             loss_curve.push(mse(&preds, data.labels()));
-            tr.kernel(KernelId::ReduceLoss, n as u64, 2, 4, 0, MemoryPattern::Coalesced);
-            tr.kernel(KernelId::ComputeMetrics, 64, 2, 4, 4, MemoryPattern::Coalesced);
+            tr.kernel(
+                KernelId::ReduceLoss,
+                n as u64,
+                2,
+                4,
+                0,
+                MemoryPattern::Coalesced,
+            );
+            tr.kernel(
+                KernelId::ComputeMetrics,
+                64,
+                2,
+                4,
+                4,
+                MemoryPattern::Coalesced,
+            );
         }
 
         // Final full-ensemble prediction pass (training-metric report).
@@ -429,7 +593,10 @@ mod tests {
     use super::*;
 
     fn small() -> (TgbmConfig, Dataset) {
-        (TgbmConfig::new(10, 3), Dataset::synthetic_regression(500, 6, 5))
+        (
+            TgbmConfig::new(10, 3),
+            Dataset::synthetic_regression(500, 6, 5),
+        )
     }
 
     #[test]
@@ -491,7 +658,10 @@ mod tests {
             crate::config::N_TUNED_KERNELS
         ];
         let bad_t = model.modeled_time_with(&bad, &gpu);
-        assert!(bad_t > default_t, "bad {bad_t} must exceed default {default_t}");
+        assert!(
+            bad_t > default_t,
+            "bad {bad_t} must exceed default {default_t}"
+        );
     }
 
     #[test]
@@ -506,7 +676,10 @@ mod tests {
         let small_work = 2000u64;
         let big = kernel_time_with_dims(
             &gpu,
-            LaunchDims { block: 1024, grid_scale: 1.0 },
+            LaunchDims {
+                block: 1024,
+                grid_scale: 1.0,
+            },
             small_work,
             4,
             8,
@@ -515,7 +688,10 @@ mod tests {
         );
         let small = kernel_time_with_dims(
             &gpu,
-            LaunchDims { block: 64, grid_scale: 1.0 },
+            LaunchDims {
+                block: 64,
+                grid_scale: 1.0,
+            },
             small_work,
             4,
             8,

@@ -38,7 +38,11 @@ impl Tree {
                     right,
                     ..
                 } => {
-                    idx = if row[*feature] <= *threshold { *left } else { *right };
+                    idx = if row[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }

@@ -15,7 +15,10 @@ fn main() {
         .build()
         .expect("valid config");
 
-    println!("{:<16} {:>12} {:>12} {:>10}", "function", "best value", "optimum", "error");
+    println!(
+        "{:<16} {:>12} {:>12} {:>10}",
+        "function", "best value", "optimum", "error"
+    );
     println!("{}", "-".repeat(54));
     for b in Builtin::ALL {
         let obj = b.objective();
@@ -38,7 +41,10 @@ fn main() {
         ("shared-mem", UpdateStrategy::SharedMem),
         ("tensor-core", UpdateStrategy::TensorCore),
     ] {
-        let r = GpuBackend::new().strategy(strategy).run(&cfg, obj).expect("run");
+        let r = GpuBackend::new()
+            .strategy(strategy)
+            .run(&cfg, obj)
+            .expect("run");
         println!(
             "  {:<12} best {:>10.5}  swarm-update {:.5} s",
             label,

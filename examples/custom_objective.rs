@@ -52,14 +52,15 @@ fn main() {
         .build()
         .expect("valid config");
 
-    let result = GpuBackend::new()
-        .run(&cfg, &objective)
-        .expect("tuning run");
+    let result = GpuBackend::new().run(&cfg, &objective).expect("tuning run");
 
     let g = &result.best_position;
     println!("custom objective      : pid-tuning");
     println!("best closed-loop cost : {:.5}", result.best_value);
-    println!("gains                 : kp={:.3}, ki={:.3}, kd={:.3}", g[0], g[1], g[2]);
+    println!(
+        "gains                 : kp={:.3}, ki={:.3}, kd={:.3}",
+        g[0], g[1], g[2]
+    );
     println!("modeled elapsed       : {:.4} s", result.elapsed_seconds());
 
     // Sanity: the tuned gains must beat a naive proportional controller.
@@ -69,5 +70,8 @@ fn main() {
         (result.best_value as f32) < naive,
         "PSO should beat the naive controller"
     );
-    println!("\nPSO beat the naive controller by {:.1}x.", naive / result.best_value as f32);
+    println!(
+        "\nPSO beat the naive controller by {:.1}x.",
+        naive / result.best_value as f32
+    );
 }

@@ -17,7 +17,11 @@ fn main() {
         .expect("valid config");
 
     let single = GpuBackend::new().run(&cfg, &Rastrigin).expect("single GPU");
-    println!("single V100          : best {:.4}, modeled {:.4} s", single.best_value, single.elapsed_seconds());
+    println!(
+        "single V100          : best {:.4}, modeled {:.4} s",
+        single.best_value,
+        single.elapsed_seconds()
+    );
 
     println!("\ntile-matrix decomposition (bit-identical to single GPU):");
     for n_dev in [2usize, 4] {

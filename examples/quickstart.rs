@@ -20,14 +20,22 @@ fn main() {
         .build()
         .expect("valid config");
 
-    println!("Minimizing {} over {:?}^{}", Sphere.name(), Sphere.domain(), cfg.dim);
+    println!(
+        "Minimizing {} over {:?}^{}",
+        Sphere.name(),
+        Sphere.domain(),
+        cfg.dim
+    );
 
     // The paper's contribution: element-wise kernels on the (simulated) GPU.
     let gpu = GpuBackend::new();
     let result = gpu.run(&cfg, &Sphere).expect("GPU run");
     println!("\nfastpso (GPU, element-wise):");
     println!("  best value     : {:.6}", result.best_value);
-    println!("  modeled elapsed: {:.4} s on a Tesla V100", result.elapsed_seconds());
+    println!(
+        "  modeled elapsed: {:.4} s on a Tesla V100",
+        result.elapsed_seconds()
+    );
     println!(
         "  swarm update   : {:.4} s ({:.0}% of total)",
         result.phase_seconds(Phase::SwarmUpdate),
@@ -38,7 +46,10 @@ fn main() {
     let seq = SeqBackend.run(&cfg, &Sphere).expect("CPU run");
     println!("\nfastpso-seq (single CPU core):");
     println!("  best value     : {:.6}", seq.best_value);
-    println!("  modeled elapsed: {:.4} s on a Xeon E5-2640 v4", seq.elapsed_seconds());
+    println!(
+        "  modeled elapsed: {:.4} s on a Xeon E5-2640 v4",
+        seq.elapsed_seconds()
+    );
 
     assert_eq!(
         result.best_value, seq.best_value,

@@ -18,9 +18,18 @@ fn main() {
     let dev = Device::v100();
     let model = Gbm::train_on(&cfg, &data, dev.clone()).expect("baseline training");
     let default_time = dev.timeline().total_seconds();
-    println!("dataset               : {} ({} x {})", data.name, data.n_samples(), data.n_features());
+    println!(
+        "dataset               : {} ({} x {})",
+        data.name,
+        data.n_samples(),
+        data.n_features()
+    );
     println!("default launch table  : {default_time:.4} s modeled kernel time");
-    println!("training loss         : {:.4} -> {:.4}", model.loss_curve[0], model.loss_curve.last().unwrap());
+    println!(
+        "training loss         : {:.4} -> {:.4}",
+        model.loss_curve[0],
+        model.loss_curve.last().unwrap()
+    );
 
     // 2. Wrap the profile as the 50-dimensional ThreadConf objective and
     //    search it with FastPSO (each coordinate pair = one kernel's
@@ -32,8 +41,14 @@ fn main() {
         .build()
         .expect("valid config");
     let result = GpuBackend::new().run(&pso_cfg, &objective).expect("tuning");
-    println!("\nPSO tuning            : {} particles x {} iterations", 512, 60);
-    println!("objective prediction  : {:.4} s", objective.time_of_position(&result.best_position));
+    println!(
+        "\nPSO tuning            : {} particles x {} iterations",
+        512, 60
+    );
+    println!(
+        "objective prediction  : {:.4} s",
+        objective.time_of_position(&result.best_position)
+    );
 
     // 3. Install the winner and retrain end-to-end to verify.
     let tuned_table = objective.decode(&result.best_position);
@@ -46,8 +61,17 @@ fn main() {
     println!("end-to-end speedup    : {:.2}x", default_time / tuned_time);
 
     println!("\nper-kernel winners (first 5):");
-    for (k, dims) in fastpso_suite::tgbm::KernelId::ALL.iter().zip(&tuned_table).take(5) {
-        println!("  {:<22} block={:<4} grid_scale={:.2}", k.name(), dims.block, dims.grid_scale);
+    for (k, dims) in fastpso_suite::tgbm::KernelId::ALL
+        .iter()
+        .zip(&tuned_table)
+        .take(5)
+    {
+        println!(
+            "  {:<22} block={:<4} grid_scale={:.2}",
+            k.name(),
+            dims.block,
+            dims.grid_scale
+        );
     }
 
     assert!(

@@ -31,7 +31,10 @@ fn all_deterministic_backends_agree_bitwise() {
         let backends: Vec<(&str, Box<dyn PsoBackend>)> = vec![
             ("par", Box::new(ParBackend)),
             ("gpu-global", Box::new(GpuBackend::new())),
-            ("gpu-smem", Box::new(GpuBackend::new().strategy(UpdateStrategy::SharedMem))),
+            (
+                "gpu-smem",
+                Box::new(GpuBackend::new().strategy(UpdateStrategy::SharedMem)),
+            ),
             (
                 "multi-tile-3",
                 Box::new(MultiGpuBackend::new(3, MultiGpuStrategy::TileMatrix)),
@@ -65,7 +68,10 @@ fn histories_are_identical_not_just_endpoints() {
         .unwrap();
     let a = SeqBackend.run(&c, &Sphere).unwrap().history.unwrap();
     let b = GpuBackend::new().run(&c, &Sphere).unwrap().history.unwrap();
-    assert_eq!(a, b, "whole gbest trajectory must match iteration by iteration");
+    assert_eq!(
+        a, b,
+        "whole gbest trajectory must match iteration by iteration"
+    );
 }
 
 #[test]

@@ -98,7 +98,11 @@ fn clamped_decaying_swarm_beats_python_defaults() {
 fn easom_needle_is_found_in_low_dimensions() {
     // The classic 2-D Easom: minimum −1 at (π, π). A healthy swarm finds
     // it; this guards the evaluation function and the optimizer together.
-    let c = PsoConfig::builder(256, 2).max_iter(300).seed(5).build().unwrap();
+    let c = PsoConfig::builder(256, 2)
+        .max_iter(300)
+        .seed(5)
+        .build()
+        .unwrap();
     let r = GpuBackend::new().run(&c, &Easom).unwrap();
     assert!(
         r.best_value < -0.9,

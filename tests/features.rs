@@ -31,7 +31,11 @@ fn ring_topology_is_bit_identical_across_backends() {
 
 #[test]
 fn ring_topology_changes_the_trajectory_and_still_converges() {
-    let star = PsoConfig::builder(96, 8).max_iter(250).seed(3).build().unwrap();
+    let star = PsoConfig::builder(96, 8)
+        .max_iter(250)
+        .seed(3)
+        .build()
+        .unwrap();
     let ring = PsoConfig::builder(96, 8)
         .max_iter(250)
         .seed(3)
@@ -48,7 +52,11 @@ fn ring_topology_changes_the_trajectory_and_still_converges() {
 fn full_ring_window_equals_global_topology() {
     // k >= n/2 makes every neighborhood the whole swarm: identical to star.
     let n = 24;
-    let star = PsoConfig::builder(n, 6).max_iter(40).seed(9).build().unwrap();
+    let star = PsoConfig::builder(n, 6)
+        .max_iter(40)
+        .seed(9)
+        .build()
+        .unwrap();
     let ring = PsoConfig::builder(n, 6)
         .max_iter(40)
         .seed(9)
@@ -139,7 +147,10 @@ fn patience_stops_stagnant_runs() {
     let r = SeqBackend.run(&cfg, &Sphere).unwrap();
     assert!(r.iterations <= 10, "ran {} iterations", r.iterations);
     let g = GpuBackend::new().run(&cfg, &Sphere).unwrap();
-    assert_eq!(g.iterations, r.iterations, "backends agree on the stop point");
+    assert_eq!(
+        g.iterations, r.iterations,
+        "backends agree on the stop point"
+    );
 }
 
 #[test]

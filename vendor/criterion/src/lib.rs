@@ -1,0 +1,187 @@
+//! Offline stand-in for the subset of the `criterion` API this workspace
+//! uses. The build environment has no access to crates.io, so the real
+//! criterion cannot be resolved.
+//!
+//! The benches in this workspace exist to *print modeled seconds* from
+//! `perf-model`, not to do rigorous host-time statistics, so this shim
+//! keeps the API surface (`benchmark_group`, `throughput`, `sample_size`,
+//! `bench_function`, `bench_with_input`, `iter`) and reports a simple mean
+//! wall-clock per iteration to stdout.
+
+use std::time::Instant;
+
+/// Throughput annotation attached to a group (printed, not analysed).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier composed of a function name and a parameter.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` identifier, mirroring criterion's display form.
+    pub fn new<P: std::fmt::Display>(name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+}
+
+/// Passed to benchmark closures; runs and times the measured routine.
+pub struct Bencher {
+    iters: u64,
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Time `routine`, keeping its output alive so it isn't optimised away.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One warm-up call, then `iters` timed calls.
+        let _ = std::hint::black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            let _ = std::hint::black_box(routine());
+        }
+        self.mean_ns = start.elapsed().as_nanos() as f64 / self.iters as f64;
+    }
+}
+
+/// A named group of benchmarks sharing sample-size/throughput settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: u64,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed iterations per benchmark (criterion's sample count).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1) as u64;
+        self
+    }
+
+    /// Annotate work-per-iteration for the group.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run a benchmark under `id` within this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            iters: self.samples,
+            mean_ns: 0.0,
+        };
+        f(&mut b);
+        self.report(id, &b);
+        self
+    }
+
+    /// Run a benchmark that closes over `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            iters: self.samples,
+            mean_ns: 0.0,
+        };
+        f(&mut b, input);
+        let id = id.id.clone();
+        self.report(&id, &b);
+        self
+    }
+
+    /// Finish the group (stdout reporting happens per-bench; nothing to do).
+    pub fn finish(&mut self) {}
+
+    fn report(&self, id: &str, b: &Bencher) {
+        let per_iter = b.mean_ns;
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if per_iter > 0.0 => {
+                format!("  {:.1} Melem/s", n as f64 / per_iter * 1e3)
+            }
+            Some(Throughput::Bytes(n)) if per_iter > 0.0 => {
+                format!("  {:.1} MiB/s", n as f64 / per_iter * 1e3 / 1.048_576)
+            }
+            _ => String::new(),
+        };
+        println!(
+            "bench {:<40} {:>12.1} ns/iter ({} samples){}",
+            format!("{}/{}", self.name, id),
+            per_iter,
+            b.iters,
+            rate
+        );
+    }
+}
+
+/// Benchmark harness entry point (criterion's manager type).
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            samples: 10,
+            throughput: None,
+            _parent: self,
+        }
+    }
+
+    /// Group-less benchmark (criterion compatibility).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Bundle benchmark functions under a group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_benches() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(3)
+            .throughput(Throughput::Elements(100))
+            .bench_function("sum", |b| {
+                b.iter(|| (0..100u64).sum::<u64>());
+            });
+        g.bench_with_input(BenchmarkId::new("sq", 7u64), &7u64, |b, &n| {
+            b.iter(|| n * n);
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,208 @@
+//! Offline stand-in for the subset of the `rayon` API this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the real rayon
+//! cannot be resolved. This facade keeps every `par_iter`/`par_chunks_mut`
+//! call site source-compatible while executing the iterator pipelines
+//! **sequentially** on the calling thread.
+//!
+//! Why sequential execution is acceptable here:
+//!
+//! * The workspace never uses rayon for host wall-clock performance —
+//!   every benchmark reports *modeled* seconds from `perf-model`, which are
+//!   pure arithmetic over operation counters and identical regardless of
+//!   host parallelism.
+//! * Sequential execution is trivially deterministic, which strengthens the
+//!   reproduction's bit-identical-trajectory guarantees (real rayon already
+//!   had to be used carefully to keep them).
+//!
+//! Only the combinators the workspace calls are provided: `enumerate`,
+//! `zip`, `zip_eq`, `map`, `copied`, `for_each`, `sum`, `collect` and
+//! rayon-style `reduce(identity, op)`.
+
+/// A "parallel" iterator: a thin wrapper over a standard iterator that
+/// exposes the rayon combinator names used by this workspace.
+pub struct ParIter<I>(I);
+
+impl<I: Iterator> ParIter<I> {
+    /// Pair every item with its index.
+    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
+        ParIter(self.0.enumerate())
+    }
+
+    /// Transform items.
+    pub fn map<B, F: FnMut(I::Item) -> B>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
+        ParIter(self.0.map(f))
+    }
+
+    /// Zip with another parallel iterator (shortest length wins, like
+    /// rayon's `zip` on equal-length inputs).
+    pub fn zip<J: IntoParallelIterator>(self, other: J) -> ParIter<std::iter::Zip<I, J::Iter>> {
+        ParIter(self.0.zip(other.into_par_iter().0))
+    }
+
+    /// Zip with another parallel iterator, asserting equal lengths (the
+    /// contract rayon's `zip_eq` checks).
+    pub fn zip_eq<J: IntoParallelIterator>(self, other: J) -> ParIter<std::iter::Zip<I, J::Iter>>
+    where
+        I: ExactSizeIterator,
+        J::Iter: ExactSizeIterator,
+    {
+        let other = other.into_par_iter().0;
+        assert_eq!(self.0.len(), other.len(), "zip_eq: length mismatch");
+        ParIter(self.0.zip(other))
+    }
+
+    /// Run `f` on every item.
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.0.for_each(f)
+    }
+
+    /// Sum all items.
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.0.sum()
+    }
+
+    /// Rayon-style reduction: fold with `op` starting from `identity()`.
+    /// For the associative operators rayon requires, this sequential fold
+    /// produces the same result as any parallel split.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        OP: Fn(I::Item, I::Item) -> I::Item,
+    {
+        self.0.fold(identity(), op)
+    }
+
+    /// Collect into a container.
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+}
+
+impl<'a, I, T> ParIter<I>
+where
+    T: Copy + 'a,
+    I: Iterator<Item = &'a T>,
+{
+    /// Copy referenced items.
+    pub fn copied(self) -> ParIter<std::iter::Copied<I>> {
+        ParIter(self.0.copied())
+    }
+}
+
+/// Types convertible into a [`ParIter`] (rayon's `IntoParallelIterator`).
+pub trait IntoParallelIterator {
+    /// Underlying iterator type.
+    type Iter: Iterator;
+    /// Convert into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Iter>;
+}
+
+impl<I: Iterator> IntoParallelIterator for ParIter<I> {
+    type Iter = I;
+    fn into_par_iter(self) -> ParIter<I> {
+        self
+    }
+}
+
+impl<T> IntoParallelIterator for std::ops::Range<T>
+where
+    std::ops::Range<T>: Iterator,
+{
+    type Iter = std::ops::Range<T>;
+    fn into_par_iter(self) -> ParIter<Self::Iter> {
+        ParIter(self)
+    }
+}
+
+/// Shared-slice entry points (rayon's `ParallelSlice` +
+/// `IntoParallelRefIterator`).
+pub trait ParallelSlice<T> {
+    /// Iterate over references.
+    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>>;
+    /// Exact-size chunks (remainder dropped, as in `chunks_exact`).
+    fn par_chunks_exact(&self, size: usize) -> ParIter<std::slice::ChunksExact<'_, T>>;
+}
+
+/// Mutable-slice entry points (rayon's `ParallelSliceMut` +
+/// `IntoParallelRefMutIterator`).
+pub trait ParallelSliceMut<T> {
+    /// Iterate over mutable references.
+    fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>>;
+    /// Mutable chunks (last may be short).
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<std::slice::ChunksMut<'_, T>>;
+    /// Exact-size mutable chunks.
+    fn par_chunks_exact_mut(&mut self, size: usize) -> ParIter<std::slice::ChunksExactMut<'_, T>>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>> {
+        ParIter(self.iter())
+    }
+    fn par_chunks_exact(&self, size: usize) -> ParIter<std::slice::ChunksExact<'_, T>> {
+        ParIter(self.chunks_exact(size))
+    }
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>> {
+        ParIter(self.iter_mut())
+    }
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<std::slice::ChunksMut<'_, T>> {
+        ParIter(self.chunks_mut(size))
+    }
+    fn par_chunks_exact_mut(&mut self, size: usize) -> ParIter<std::slice::ChunksExactMut<'_, T>> {
+        ParIter(self.chunks_exact_mut(size))
+    }
+}
+
+/// The rayon prelude: everything call sites need in scope.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParIter, ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn combinators_match_std() {
+        let v = [1u64, 2, 3, 4];
+        let s: u64 = v.par_iter().copied().map(|x| x * 2).sum();
+        assert_eq!(s, 20);
+        let r = v.par_iter().copied().enumerate().reduce(
+            || (usize::MAX, u64::MAX),
+            |a, b| if b.1 < a.1 { b } else { a },
+        );
+        assert_eq!(r, (0, 1));
+    }
+
+    #[test]
+    fn chunked_mutation() {
+        let mut a = vec![0u32; 6];
+        let mut b = vec![0u32; 3];
+        a.par_chunks_mut(2)
+            .zip(b.par_chunks_mut(1))
+            .enumerate()
+            .for_each(|(i, (ac, bc))| {
+                ac.iter_mut().for_each(|x| *x = i as u32);
+                bc[0] = i as u32 * 10;
+            });
+        assert_eq!(a, [0, 0, 1, 1, 2, 2]);
+        assert_eq!(b, [0, 10, 20]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zip_eq")]
+    fn zip_eq_checks_lengths() {
+        let a = [1, 2, 3];
+        let b = [1, 2];
+        a.par_iter().zip_eq(b.par_iter()).for_each(|_| {});
+    }
+
+    #[test]
+    fn range_into_par_iter_collects() {
+        let v: Vec<usize> = (0..5usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(v, [0, 1, 4, 9, 16]);
+    }
+}
