@@ -1,7 +1,48 @@
 //! Regenerate the paper's table3 (see the experiment module for details).
-//! Usage: `cargo run --release -p fastpso-bench --bin table3 [--paper-scale|--smoke]`
+//!
+//! Usage:
+//! `cargo run --release -p fastpso-bench --bin table3 -- [--paper-scale|--smoke]`
+//! `  [--profile] [--trace-out <path>] [--manifest-out <path>]`
+//!
+//! * `--profile` — print an nvprof-style per-kernel summary per implementation
+//! * `--trace-out <path>` — write the fastpso run as chrome://tracing JSON
+//! * `--manifest-out <path>` — write the kernel-launch manifest CSV
+
+use fastpso_bench::experiments::table3;
+use gpu_sim::{chrome_trace_json, gpu_summary};
+use perf_model::GpuProfile;
+
+/// Value of `--flag <value>`, if present.
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = fastpso_bench::Scale::from_args();
-    fastpso_bench::experiments::table3::run(&scale).emit("table3");
+    let rows = table3::rows(&scale);
+    table3::table(&rows).emit("table3");
+
+    if args.iter().any(|a| a == "--profile") {
+        let gpu = GpuProfile::tesla_v100();
+        for row in &rows {
+            println!("\n== {} ==", row.implementation);
+            print!("{}", gpu_summary(&row.log, &gpu));
+        }
+    }
+    if let Some(path) = flag_value(&args, "--trace-out") {
+        let fast = rows
+            .iter()
+            .find(|r| r.implementation == "fastpso")
+            .expect("fastpso row");
+        std::fs::write(&path, chrome_trace_json(&fast.log)).expect("write trace");
+        println!("wrote chrome trace to {path} (load at chrome://tracing)");
+    }
+    if let Some(path) = flag_value(&args, "--manifest-out") {
+        std::fs::write(&path, table3::manifest(&rows)).expect("write manifest");
+        println!("wrote kernel-launch manifest to {path}");
+    }
 }

@@ -1,11 +1,13 @@
 //! Table 3 — FLOPs and memory bandwidth of the three GPU implementations.
 //!
 //! The paper reads `dram_read_throughtput` [sic] and GFLOPs from nvprof;
-//! here they come from the device's counter timeline. The GFLOPs column is
-//! *total* gigaflops executed (the paper reports 5.82/5.81/5.82 — all but
-//! identical, because "all the implementations are based on the original
-//! PSO algorithm"). The shape to reproduce: FastPSO's coalesced
-//! element-wise kernels sustain far higher DRAM read throughput than the
+//! here they come from the device's **profiler records** — one record per
+//! kernel launch/alloc/transfer, the nvprof analogue — rather than from
+//! ad-hoc aggregate counters. The GFLOPs column is *total* gigaflops the
+//! device executed (the paper reports 5.82/5.81/5.82 — all but identical,
+//! because "all the implementations are based on the original PSO
+//! algorithm"). The shape to reproduce: FastPSO's coalesced element-wise
+//! kernels sustain far higher DRAM read throughput than the
 //! particle-per-thread designs, while total arithmetic stays comparable.
 
 use crate::report::Table;
@@ -13,16 +15,19 @@ use crate::scale::Scale;
 use fastpso::{GpuBackend, PsoBackend, PsoConfig};
 use fastpso_baselines::{GpuPsoBaseline, HGpuPsoBaseline};
 use fastpso_functions::builtins::Sphere;
-use gpu_sim::DeviceMetrics;
+use gpu_sim::ProfilerLog;
 
-/// One implementation's derived metrics.
+/// One implementation's derived metrics, plus the profiler log they were
+/// derived from (for `--profile`, `--trace-out` and the launch manifest).
 #[derive(Debug, Clone)]
 pub struct Row {
     pub implementation: String,
     /// Sustained DRAM read throughput on the device, GB/s.
     pub dram_read_gbs: f64,
-    /// Total gigaflops executed by the whole run (host + device).
+    /// Total gigaflops the device executed over the run.
     pub total_gflop: f64,
+    /// The per-launch records the two columns were computed from.
+    pub log: ProfilerLog,
 }
 
 /// Run the experiment (Sphere at the default workload, as in the paper).
@@ -36,39 +41,48 @@ pub fn rows(scale: &Scale) -> Vec<Row> {
     let mut out = Vec::new();
     {
         let b = GpuPsoBaseline::new();
-        let r = b.run(&cfg, &Sphere).expect("gpu-pso");
-        out.push(to_row("gpu-pso", b.device().metrics(), &r));
+        b.run(&cfg, &Sphere).expect("gpu-pso");
+        out.push(to_row("gpu-pso", b.device().profiler()));
     }
     {
         let b = HGpuPsoBaseline::new();
-        let r = b.run(&cfg, &Sphere).expect("hgpu-pso");
-        out.push(to_row("hgpu-pso", b.device().metrics(), &r));
+        b.run(&cfg, &Sphere).expect("hgpu-pso");
+        out.push(to_row("hgpu-pso", b.device().profiler()));
     }
     {
         let b = GpuBackend::new();
-        let r = b.run(&cfg, &Sphere).expect("fastpso");
-        out.push(to_row("fastpso", b.device().metrics(), &r));
+        b.run(&cfg, &Sphere).expect("fastpso");
+        out.push(to_row("fastpso", b.profile()));
     }
     out
 }
 
-fn to_row(name: &str, m: DeviceMetrics, r: &fastpso::RunResult) -> Row {
-    let c = r.timeline.total_counters();
+/// Derive the table's columns from per-launch profiler records: bytes and
+/// flops are summed over kernel records, elapsed time is the end of the
+/// last recorded event.
+fn to_row(name: &str, log: ProfilerLog) -> Row {
+    assert!(
+        log.is_complete(),
+        "{name}: profiler ring buffer overflowed; raise the capacity for this workload"
+    );
+    let c = log.total_counters();
+    let elapsed = log.end_s();
+    let inv = if elapsed > 0.0 { 1.0 / elapsed } else { 0.0 };
     Row {
         implementation: name.to_string(),
-        dram_read_gbs: m.dram_read_gbs,
+        dram_read_gbs: c.dram_read_bytes as f64 * inv / 1e9,
         total_gflop: (c.flops + c.tensor_flops) as f64 / 1e9,
+        log,
     }
 }
 
-/// Render as the paper's Table 3.
-pub fn run(scale: &Scale) -> Table {
-    let data = rows(scale);
+/// Render rows as the paper's Table 3.
+pub fn table(data: &[Row]) -> Table {
     let mut t = Table::new(
-        "Table 3: FLOPs and memory bandwidth (device counters / modeled time)",
+        "Table 3: FLOPs and memory bandwidth (profiler records / modeled time)",
         &["metrics", "dram_read_throughput (GB/s)", "total GFLOP"],
     );
-    for row in &data {
+    for row in data {
         t.row(vec![
             row.implementation.clone(),
             format!("{:.2}", row.dram_read_gbs),
@@ -76,6 +90,25 @@ pub fn run(scale: &Scale) -> Table {
         ]);
     }
     t
+}
+
+/// Run the experiment and render it (the bin's default path).
+pub fn run(scale: &Scale) -> Table {
+    table(&rows(scale))
+}
+
+/// Kernel-launch manifest: one `implementation,kernel,launches` line per
+/// kernel name, sorted — the golden artifact CI diffs to catch silent
+/// changes in launch structure (a renamed kernel, a fused or duplicated
+/// launch) that aggregate timings would absorb.
+pub fn manifest(data: &[Row]) -> String {
+    let mut out = String::from("implementation,kernel,launches\n");
+    for row in data {
+        for (name, count) in row.log.counts_by_name() {
+            out.push_str(&format!("{},{name},{count}\n", row.implementation));
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -105,5 +138,18 @@ mod tests {
         assert!(fast.total_gflop > 0.0 && gpu.total_gflop > 0.0 && hgpu.total_gflop > 0.0);
         assert!(gpu.total_gflop / fast.total_gflop < 10.0);
         assert!(fast.total_gflop / gpu.total_gflop < 10.0);
+    }
+
+    #[test]
+    fn manifest_lists_every_implementation_with_named_kernels() {
+        let data = rows(&Scale::smoke());
+        let m = manifest(&data);
+        assert!(m.starts_with("implementation,kernel,launches\n"));
+        for imp in ["gpu-pso", "hgpu-pso", "fastpso"] {
+            assert!(m.contains(&format!("\n{imp},")), "missing {imp} in:\n{m}");
+        }
+        assert!(m.contains("fastpso,velocity_update,"));
+        // Deterministic: a second run yields the identical manifest.
+        assert_eq!(m, manifest(&rows(&Scale::smoke())));
     }
 }

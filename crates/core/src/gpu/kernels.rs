@@ -351,8 +351,13 @@ pub fn velocity_update(
 
     match strategy {
         UpdateStrategy::GlobalMem | UpdateStrategy::ForLoop => {
-            // Velocity: reads V (in place), P, L, G, pbest attractor; writes V.
-            let cost = KernelCost::elementwise(VELOCITY_FLOPS_PER_ELEM, 20, 4);
+            // Velocity: reads V (in place), P, L, G, pbest attractor — plus
+            // the broadcast social attractor (gbest / lbest row), which the
+            // untiled paths fetch from global memory once per element. The
+            // shared-memory and tensor-core variants stage that broadcast in
+            // on-chip storage, which is exactly the DRAM traffic the paper's
+            // tiling technique saves (Table 3's ordering).
+            let cost = KernelCost::elementwise(VELOCITY_FLOPS_PER_ELEM, 24, 4);
             let desc = if strategy == UpdateStrategy::ForLoop {
                 naive_desc(shard, "velocity_update_forloop", cost)
             } else {

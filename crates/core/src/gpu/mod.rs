@@ -82,6 +82,15 @@ impl GpuBackend {
         &self.device
     }
 
+    /// Profiler snapshot of the most recent run: one record per kernel
+    /// launch, allocation and transfer ([`GpuBackend::run`] resets the
+    /// timeline and profiler together at entry, so the snapshot covers
+    /// exactly the last run). Export with [`gpu_sim::gpu_summary`] or
+    /// [`gpu_sim::chrome_trace_json`].
+    pub fn profile(&self) -> gpu_sim::ProfilerLog {
+        self.device.profiler()
+    }
+
     /// The configured update strategy.
     pub fn update_strategy(&self) -> UpdateStrategy {
         self.strategy

@@ -99,6 +99,11 @@ impl Default for ResilienceConfig {
 
 /// Run `op`, retrying transient failures under `policy` with deterministic
 /// backoff charged to [`Phase::Recovery`] on `dev`'s timeline.
+///
+/// Work the failed attempt had already completed is re-executed by the
+/// retry; those repeats are marked redundant on the device so their charges
+/// land in [`Phase::Recovery`] rather than double-counting into the
+/// operation's natural phase ([`Device::mark_redundant`]).
 pub fn retry_op<T>(
     dev: &Device,
     policy: &RetryPolicy,
@@ -106,15 +111,40 @@ pub fn retry_op<T>(
 ) -> Result<T, PsoError> {
     let mut attempt = 0u32;
     loop {
+        let before = dev.fault_stats();
         match op() {
             Ok(v) => return Ok(v),
             Err(e) if e.is_transient() && attempt < policy.max_retries => {
+                mark_completed_work_redundant(dev, &before, &e);
                 dev.charge_raw(Phase::Recovery, policy.backoff_s(attempt), Counters::new());
                 attempt += 1;
             }
             Err(e) => return Err(e),
         }
     }
+}
+
+/// Mark the operations a failed attempt completed (gate-counter deltas
+/// since `before`, minus the one gate that fired the fault without doing
+/// work) as redundant, so the retry's repeats charge to recovery.
+fn mark_completed_work_redundant(dev: &Device, before: &gpu_sim::FaultStats, err: &PsoError) {
+    let after = dev.fault_stats();
+    let mut launches = after.launches.saturating_sub(before.launches);
+    let mut allocs = after.allocs.saturating_sub(before.allocs);
+    let mut transfers = after.transfers.saturating_sub(before.transfers);
+    if let PsoError::Gpu(g) = err {
+        match g {
+            gpu_sim::GpuError::TransientLaunch { .. } => {
+                launches = launches.saturating_sub(1);
+            }
+            gpu_sim::GpuError::TransientAlloc { .. } => allocs = allocs.saturating_sub(1),
+            gpu_sim::GpuError::CorruptedTransfer { .. } => {
+                transfers = transfers.saturating_sub(1);
+            }
+            _ => {}
+        }
+    }
+    dev.mark_redundant(launches, allocs, transfers);
 }
 
 /// The next (slower, more conservative) rung below `s`, or `None` if `s` is

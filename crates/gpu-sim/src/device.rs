@@ -4,16 +4,36 @@ use crate::alloc::{AllocOutcome, Pool};
 use crate::buffer::DeviceBuffer;
 use crate::error::GpuError;
 use crate::fault::{FaultPlan, FaultState, FaultStats};
-use crate::launch::{AllocMode, KernelDesc};
+use crate::launch::{AllocMode, KernelDesc, LaunchConfig, DEFAULT_BLOCK};
+use crate::profiler::Profiler;
 use crate::sync::Mutex;
 use perf_model::{
-    gpu_kernel_time, transfer_time, Counters, GpuProfile, LinkProfile, Phase, Timeline,
-    TransferDirection,
+    gpu_kernel_time, transfer_time, AllocKind, AllocRecord, Counters, GpuProfile, KernelRecord,
+    LinkProfile, Phase, ProfilerLog, Timeline, TransferDirection, TransferRecord,
 };
 use std::sync::Arc;
 
 /// Modeled time of one device-wide synchronization (`cudaDeviceSynchronize`).
 const SYNC_OVERHEAD_S: f64 = 3.0e-6;
+
+/// Bookkeeping for retried operations (see [`Device::mark_redundant`]).
+///
+/// A resilient caller that re-executes work after a transient fault marks
+/// the *completed* operations of the failed attempt as redundant; the next
+/// that-many gated operations are then charged to [`Phase::Recovery`]
+/// instead of their natural phase, so fault-free and faulted runs agree on
+/// every non-recovery phase and retried work is never double-counted.
+#[derive(Default)]
+pub(crate) struct RedundantWork {
+    pub launches: u64,
+    pub allocs: u64,
+    pub transfers: u64,
+    /// Set by the launch gate; inherited by every kernel charge until the
+    /// next gate (multi-pass entry points charge several kernels per gate).
+    pub launch_in_recovery: bool,
+    /// Set by the upload gate; consumed by the next H2D charge.
+    pub transfer_in_recovery: bool,
+}
 
 pub(crate) struct DeviceState {
     pub timeline: Timeline,
@@ -22,6 +42,8 @@ pub(crate) struct DeviceState {
     pub bytes_in_use: usize,
     pub peak_bytes: usize,
     pub fault: FaultState,
+    pub profiler: Profiler,
+    pub redundant: RedundantWork,
 }
 
 pub(crate) struct DeviceShared {
@@ -67,6 +89,8 @@ impl Device {
                     bytes_in_use: 0,
                     peak_bytes: 0,
                     fault: FaultState::default(),
+                    profiler: Profiler::default(),
+                    redundant: RedundantWork::default(),
                 }),
             }),
         }
@@ -159,6 +183,8 @@ impl Device {
                 });
             }
         }
+        st.redundant.launch_in_recovery = st.redundant.launches > 0;
+        st.redundant.launches = st.redundant.launches.saturating_sub(1);
         Ok(())
     }
 
@@ -180,6 +206,8 @@ impl Device {
                 });
             }
         }
+        st.redundant.transfer_in_recovery = st.redundant.transfers > 0;
+        st.redundant.transfers = st.redundant.transfers.saturating_sub(1);
         Ok(())
     }
 
@@ -218,18 +246,40 @@ impl Device {
         st.bytes_in_use += bytes;
         st.peak_bytes = st.peak_bytes.max(st.bytes_in_use);
         let mut c = Counters::new();
-        let seconds = match outcome {
+        let (seconds, kind) = match outcome {
             AllocOutcome::Miss => {
                 c.device_allocs = 1;
-                self.shared.profile.device_alloc_cost_s
+                (
+                    self.shared.profile.device_alloc_cost_s,
+                    AllocKind::DriverAlloc,
+                )
             }
             AllocOutcome::CacheHit => {
                 c.device_alloc_cache_hits = 1;
                 // A pool lookup is a couple of host instructions.
-                self.shared.profile.device_alloc_cost_s * 0.02
+                (
+                    self.shared.profile.device_alloc_cost_s * 0.02,
+                    AllocKind::CacheHit,
+                )
             }
         };
-        st.timeline.charge(Phase::Other, seconds, c);
+        let phase = if st.redundant.allocs > 0 {
+            st.redundant.allocs -= 1;
+            Phase::Recovery
+        } else {
+            Phase::Other
+        };
+        let record = AllocRecord {
+            device: self.shared.index,
+            phase,
+            start_s: st.timeline.total_seconds(),
+            duration_s: seconds,
+            bytes: bytes as u64,
+            kind,
+            ordinal: alloc_ordinal,
+        };
+        st.profiler.record_alloc(record);
+        st.timeline.charge(phase, seconds, c);
         drop(st);
         Ok(DeviceBuffer::new(data, self.shared.clone()))
     }
@@ -244,7 +294,8 @@ impl Device {
         Ok(buf)
     }
 
-    /// Charge one kernel launch described by `desc` to the timeline.
+    /// Charge one kernel launch described by `desc` to the timeline and
+    /// record it in the profiler.
     ///
     /// Called internally by the `launch_*` methods; exposed for
     /// implementations (like the baselines) that model kernels whose bodies
@@ -259,15 +310,101 @@ impl Device {
         c.dram_write_bytes = work.dram_write_bytes;
         c.shared_bytes = work.shared_bytes;
         c.kernel_launches = 1;
-        self.shared.charge(desc.phase, t, c);
+        // Mirror the model's occupancy logic for the record.
+        let launched = if work.launched_threads == 0 {
+            work.threads
+        } else {
+            work.launched_threads.min(work.threads)
+        };
+        let max_resident = self.shared.profile.max_resident_threads().max(1);
+        let occupancy = launched.min(max_resident) as f64 / max_resident as f64;
+        let bw_fraction = if t > 0.0 {
+            (work.dram_read_bytes + work.dram_write_bytes) as f64
+                / t
+                / self.shared.profile.mem_bandwidth
+        } else {
+            0.0
+        };
+        let config = desc
+            .config
+            .unwrap_or_else(|| LaunchConfig::one_per_element(desc.threads.max(1), DEFAULT_BLOCK));
+        let mut st = self.shared.state.lock();
+        let phase = if st.redundant.launch_in_recovery {
+            Phase::Recovery
+        } else {
+            desc.phase
+        };
+        let record = KernelRecord {
+            name: desc.name,
+            device: self.shared.index,
+            phase,
+            start_s: st.timeline.total_seconds(),
+            duration_s: t,
+            grid: [config.grid.x, config.grid.y, config.grid.z],
+            block: [config.block.x, config.block.y, config.block.z],
+            threads: work.threads,
+            launched_threads: launched,
+            flops: work.flops,
+            tensor_flops: work.tensor_flops,
+            dram_read_bytes: work.dram_read_bytes,
+            dram_write_bytes: work.dram_write_bytes,
+            shared_bytes: work.shared_bytes,
+            occupancy,
+            bw_fraction,
+            ordinal: st.fault.launches,
+        };
+        st.profiler.record_kernel(record);
+        st.timeline.charge(phase, t, c);
     }
 
-    /// Charge a host↔device transfer of `bytes` to the timeline.
+    /// Charge a host↔device transfer of `bytes` to the timeline and record
+    /// it in the profiler.
     pub(crate) fn charge_transfer(&self, phase: Phase, dir: TransferDirection, bytes: u64) {
         let t = transfer_time(&self.shared.link, bytes);
         let mut c = Counters::new();
         c.record_transfer(dir, bytes);
-        self.shared.charge(phase, t, c);
+        let mut st = self.shared.state.lock();
+        let (phase, ordinal) = match dir {
+            // Uploads pass the fault gate; redirect a marked-redundant one.
+            TransferDirection::H2D => {
+                let p = if st.redundant.transfer_in_recovery {
+                    st.redundant.transfer_in_recovery = false;
+                    Phase::Recovery
+                } else {
+                    phase
+                };
+                (p, st.fault.transfers)
+            }
+            // Downloads have no gate and carry no ordinal.
+            TransferDirection::D2H => (phase, 0),
+        };
+        let record = TransferRecord {
+            device: self.shared.index,
+            phase,
+            start_s: st.timeline.total_seconds(),
+            duration_s: t,
+            bytes,
+            dir,
+            ordinal,
+        };
+        st.profiler.record_transfer(record);
+        st.timeline.charge(phase, t, c);
+    }
+
+    /// Declare the next `launches`/`allocs`/`transfers` gated operations
+    /// redundant re-executions of already-counted work: they will be
+    /// charged to [`Phase::Recovery`] instead of their natural phase.
+    ///
+    /// Called by resilient retry loops after a transient fault with the
+    /// number of operations the failed attempt had already completed, so
+    /// aggregate per-phase counters match a fault-free run exactly and the
+    /// repeat cost is attributed to recovery (never double-counted into
+    /// Init/Eval/.../SwarmUpdate).
+    pub fn mark_redundant(&self, launches: u64, allocs: u64, transfers: u64) {
+        let mut st = self.shared.state.lock();
+        st.redundant.launches += launches;
+        st.redundant.allocs += allocs;
+        st.redundant.transfers += transfers;
     }
 
     /// Charge an externally computed cost to the timeline. For callers
@@ -294,16 +431,41 @@ impl Device {
         self.shared.state.lock().timeline.total_counters()
     }
 
-    /// Reset the timeline (counters and modeled time) without touching the
-    /// allocator pool. Used between benchmark repetitions.
-    pub fn reset_timeline(&self) {
-        self.shared.state.lock().timeline = Timeline::new();
+    /// Snapshot of everything the profiler recorded since the last reset.
+    pub fn profiler(&self) -> ProfilerLog {
+        self.shared.state.lock().profiler.snapshot()
     }
 
-    /// Reset timeline *and* drop all pooled memory (full device reset).
+    /// Bound the profiler's ring buffers (records beyond the bound evict
+    /// the oldest entry and are counted, see [`ProfilerLog::is_complete`]).
+    pub fn set_profiler_capacity(&self, kernels: usize, allocs: usize, transfers: usize) {
+        self.shared
+            .state
+            .lock()
+            .profiler
+            .set_capacity(kernels, allocs, transfers);
+    }
+
+    /// Drop all profiler records (capacities persist).
+    pub fn reset_profiler(&self) {
+        self.shared.state.lock().profiler.clear();
+    }
+
+    /// Reset the timeline (counters and modeled time) and the profiler
+    /// records, without touching the allocator pool. Used between benchmark
+    /// repetitions — the two views always cover the same span.
+    pub fn reset_timeline(&self) {
+        let mut st = self.shared.state.lock();
+        st.timeline = Timeline::new();
+        st.profiler.clear();
+    }
+
+    /// Reset timeline, profiler *and* drop all pooled memory (full device
+    /// reset).
     pub fn reset(&self) {
         let mut st = self.shared.state.lock();
         st.timeline = Timeline::new();
+        st.profiler.clear();
         st.pool.clear();
     }
 
@@ -539,5 +701,86 @@ mod tests {
         dev.set_fault_plan(FaultPlan::new().with_transient_launch(1));
         dev.clear_fault_plan();
         assert!(dev.begin_launch().is_ok());
+    }
+
+    #[test]
+    fn charge_kernel_records_name_geometry_and_metrics() {
+        let dev = Device::v100();
+        dev.begin_launch().unwrap();
+        dev.charge_kernel(&KernelDesc::simple("probe", Phase::Eval, 2, 8, 4, 1000));
+        let log = dev.profiler();
+        assert_eq!(log.kernels.len(), 1);
+        let k = &log.kernels[0];
+        assert_eq!(k.name, "probe");
+        assert_eq!(k.phase, Phase::Eval);
+        assert_eq!(k.ordinal, 1);
+        assert_eq!(k.flops, 2000);
+        assert_eq!(k.dram_read_bytes, 8000);
+        // config = None → one thread per element, 256-wide blocks.
+        assert_eq!(k.block, [256, 1, 1]);
+        assert_eq!(k.grid, [4, 1, 1]);
+        assert!(k.occupancy > 0.0 && k.occupancy <= 1.0);
+        assert!(k.bw_fraction >= 0.0 && k.bw_fraction < 1.0);
+        assert!(k.duration_s > 0.0);
+    }
+
+    #[test]
+    fn profiler_counters_match_timeline_counters() {
+        let dev = Device::v100();
+        let b = dev.alloc::<f32>(256).unwrap();
+        drop(b);
+        let mut b2 = dev.alloc::<f32>(256).unwrap();
+        b2.upload(&[0.5f32; 256]).unwrap();
+        dev.begin_launch().unwrap();
+        dev.charge_kernel(&KernelDesc::simple("k", Phase::SwarmUpdate, 1, 4, 4, 256));
+        let _ = b2.download();
+        let from_records = dev.profiler().total_counters();
+        let from_timeline = dev.counters();
+        assert_eq!(from_records, from_timeline);
+    }
+
+    #[test]
+    fn marked_redundant_launch_charges_recovery_not_natural_phase() {
+        let dev = Device::v100();
+        dev.mark_redundant(1, 0, 0);
+        dev.begin_launch().unwrap();
+        dev.charge_kernel(&KernelDesc::simple("redo", Phase::Eval, 1, 4, 4, 64));
+        // The flag covers every charge until the next gate, then clears.
+        dev.begin_launch().unwrap();
+        dev.charge_kernel(&KernelDesc::simple("fresh", Phase::Eval, 1, 4, 4, 64));
+        let tl = dev.timeline();
+        assert_eq!(tl.phase_counters(Phase::Recovery).kernel_launches, 1);
+        assert_eq!(tl.phase_counters(Phase::Eval).kernel_launches, 1);
+        let log = dev.profiler();
+        assert_eq!(log.kernels[0].phase, Phase::Recovery);
+        assert_eq!(log.kernels[1].phase, Phase::Eval);
+    }
+
+    #[test]
+    fn marked_redundant_alloc_and_upload_charge_recovery() {
+        let dev = Device::v100();
+        dev.mark_redundant(0, 1, 1);
+        let mut b = dev.alloc::<f32>(64).unwrap();
+        b.upload(&[1.0f32; 64]).unwrap();
+        let mut b2 = dev.alloc::<f32>(64).unwrap();
+        b2.upload(&[2.0f32; 64]).unwrap();
+        let tl = dev.timeline();
+        let rec = tl.phase_counters(Phase::Recovery);
+        assert_eq!(rec.device_allocs, 1);
+        assert_eq!(rec.transfers, 1);
+        let other = tl.phase_counters(Phase::Other);
+        assert_eq!(other.device_allocs, 1);
+        assert_eq!(other.transfers, 1);
+    }
+
+    #[test]
+    fn reset_timeline_clears_profiler_too() {
+        let dev = Device::v100();
+        dev.begin_launch().unwrap();
+        dev.charge_kernel(&KernelDesc::simple("k", Phase::Eval, 1, 4, 4, 64));
+        assert_eq!(dev.profiler().kernels.len(), 1);
+        dev.reset_timeline();
+        assert!(dev.profiler().is_empty());
+        assert_eq!(dev.timeline().total_seconds(), 0.0);
     }
 }

@@ -41,6 +41,7 @@ pub mod fault;
 pub mod kernel;
 pub mod launch;
 pub mod multi;
+pub mod profiler;
 pub mod reduce;
 pub mod sync;
 pub mod tensor;
@@ -53,5 +54,9 @@ pub use error::GpuError;
 pub use fault::{FaultPlan, FaultStats};
 pub use launch::{AllocMode, Dim3, KernelCost, KernelDesc, LaunchConfig};
 pub use multi::DeviceGroup;
-pub use perf_model::{Counters, MemoryPattern, Phase, Timeline, TransferDirection};
+pub use perf_model::{
+    chrome_trace_event_count, chrome_trace_json, gpu_summary, AllocKind, AllocRecord, Counters,
+    KernelRecord, KernelStats, MemoryPattern, Phase, ProfilerLog, Timeline, TransferDirection,
+    TransferRecord,
+};
 pub use tensor::{f16_bits_to_f32, f32_to_f16_bits, through_f16, Fragment, FRAGMENT_DIM};

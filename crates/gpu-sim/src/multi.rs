@@ -14,7 +14,6 @@ use perf_model::{Counters, GpuProfile, LinkProfile, Phase, Timeline};
 /// A collection of simulated GPUs attached to one host.
 pub struct DeviceGroup {
     devices: Vec<Device>,
-    link: LinkProfile,
 }
 
 impl DeviceGroup {
@@ -23,7 +22,7 @@ impl DeviceGroup {
         let devices = (0..n)
             .map(|i| Device::with_index(profile.clone(), link.clone(), i))
             .collect();
-        DeviceGroup { devices, link }
+        DeviceGroup { devices }
     }
 
     /// `n` V100s behind PCIe 3.0.
@@ -89,10 +88,10 @@ impl DeviceGroup {
             if dev.is_lost() {
                 continue;
             }
-            let t = perf_model::transfer_time(&self.link, bytes_per_device);
-            let mut c = Counters::new();
-            c.record_transfer(perf_model::TransferDirection::D2H, bytes_per_device);
-            dev.shared.charge(phase, t, c);
+            // Routed through the device's transfer charge so the exchange
+            // shows up in its profiler records as well as its timeline
+            // (every device carries a clone of the group link).
+            dev.charge_transfer(phase, perf_model::TransferDirection::D2H, bytes_per_device);
         }
     }
 
@@ -120,6 +119,17 @@ impl DeviceGroup {
             tl.merge(&d.timeline());
         }
         tl
+    }
+
+    /// Profiler records of every device concatenated into one log; each
+    /// record keeps its originating device index (the chrome-trace exporter
+    /// maps it to `pid`).
+    pub fn merged_profiler(&self) -> perf_model::ProfilerLog {
+        let mut log = perf_model::ProfilerLog::new();
+        for d in &self.devices {
+            log.merge(&d.profiler());
+        }
+        log
     }
 
     /// Reset every device's timeline.
@@ -166,6 +176,24 @@ mod tests {
             assert_eq!(c.transfers, 1);
             assert_eq!(c.d2h_bytes, 1024);
         }
+    }
+
+    #[test]
+    fn merged_profiler_keeps_per_device_indices() {
+        let g = DeviceGroup::v100s(2);
+        g.device(0)
+            .unwrap()
+            .charge_kernel(&KernelDesc::simple("a", Phase::Eval, 1, 4, 4, 64));
+        g.device(1)
+            .unwrap()
+            .charge_kernel(&KernelDesc::simple("b", Phase::Eval, 1, 4, 4, 64));
+        g.exchange(Phase::GBest, 128);
+        let log = g.merged_profiler();
+        assert_eq!(log.kernels.len(), 2);
+        assert_eq!(log.transfers.len(), 2);
+        let devices: Vec<usize> = log.kernels.iter().map(|k| k.device).collect();
+        assert_eq!(devices, vec![0, 1]);
+        assert!(log.is_complete());
     }
 
     #[test]

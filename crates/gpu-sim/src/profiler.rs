@@ -1,0 +1,211 @@
+//! Ring-buffered per-device profiler (the nvprof analogue).
+//!
+//! The [`crate::Device`] pushes one record per kernel launch, allocation
+//! and transfer at charge time; the buffers are bounded so a long run
+//! cannot grow memory without limit, and every eviction is counted so
+//! truncation is flagged, never silent ([`ProfilerLog::is_complete`]).
+//! Record types and exporters live in `perf-model` ([`ProfilerLog`],
+//! [`perf_model::gpu_summary`], [`perf_model::chrome_trace_json`]).
+
+use perf_model::{AllocRecord, KernelRecord, ProfilerLog, TransferRecord};
+use std::collections::VecDeque;
+
+/// Default ring capacity for kernel records. Sized for the paper-scale
+/// benchmarks: ~8 launches/iteration × 1000 iterations × a safety margin.
+pub const DEFAULT_KERNEL_CAPACITY: usize = 65_536;
+/// Default ring capacity for allocation records.
+pub const DEFAULT_ALLOC_CAPACITY: usize = 16_384;
+/// Default ring capacity for transfer records.
+pub const DEFAULT_TRANSFER_CAPACITY: usize = 16_384;
+
+/// Bounded event store owned by one device (lives under the device mutex).
+pub(crate) struct Profiler {
+    kernels: VecDeque<KernelRecord>,
+    allocs: VecDeque<AllocRecord>,
+    transfers: VecDeque<TransferRecord>,
+    kernel_capacity: usize,
+    alloc_capacity: usize,
+    transfer_capacity: usize,
+    dropped_kernels: u64,
+    dropped_allocs: u64,
+    dropped_transfers: u64,
+}
+
+impl Default for Profiler {
+    fn default() -> Self {
+        Profiler {
+            kernels: VecDeque::new(),
+            allocs: VecDeque::new(),
+            transfers: VecDeque::new(),
+            kernel_capacity: DEFAULT_KERNEL_CAPACITY,
+            alloc_capacity: DEFAULT_ALLOC_CAPACITY,
+            transfer_capacity: DEFAULT_TRANSFER_CAPACITY,
+            dropped_kernels: 0,
+            dropped_allocs: 0,
+            dropped_transfers: 0,
+        }
+    }
+}
+
+fn push_bounded<T>(buf: &mut VecDeque<T>, capacity: usize, dropped: &mut u64, record: T) {
+    if capacity == 0 {
+        *dropped += 1;
+        return;
+    }
+    while buf.len() >= capacity {
+        buf.pop_front();
+        *dropped += 1;
+    }
+    buf.push_back(record);
+}
+
+impl Profiler {
+    pub fn record_kernel(&mut self, r: KernelRecord) {
+        push_bounded(
+            &mut self.kernels,
+            self.kernel_capacity,
+            &mut self.dropped_kernels,
+            r,
+        );
+    }
+
+    pub fn record_alloc(&mut self, r: AllocRecord) {
+        push_bounded(
+            &mut self.allocs,
+            self.alloc_capacity,
+            &mut self.dropped_allocs,
+            r,
+        );
+    }
+
+    pub fn record_transfer(&mut self, r: TransferRecord) {
+        push_bounded(
+            &mut self.transfers,
+            self.transfer_capacity,
+            &mut self.dropped_transfers,
+            r,
+        );
+    }
+
+    /// Bound the ring buffers. Shrinking evicts oldest records (counted).
+    pub fn set_capacity(&mut self, kernels: usize, allocs: usize, transfers: usize) {
+        self.kernel_capacity = kernels;
+        self.alloc_capacity = allocs;
+        self.transfer_capacity = transfers;
+        while self.kernels.len() > kernels {
+            self.kernels.pop_front();
+            self.dropped_kernels += 1;
+        }
+        while self.allocs.len() > allocs {
+            self.allocs.pop_front();
+            self.dropped_allocs += 1;
+        }
+        while self.transfers.len() > transfers {
+            self.transfers.pop_front();
+            self.dropped_transfers += 1;
+        }
+    }
+
+    /// Drop all records and reset eviction counts (capacities persist).
+    pub fn clear(&mut self) {
+        self.kernels.clear();
+        self.allocs.clear();
+        self.transfers.clear();
+        self.dropped_kernels = 0;
+        self.dropped_allocs = 0;
+        self.dropped_transfers = 0;
+    }
+
+    /// Copy everything out as an owned [`ProfilerLog`].
+    pub fn snapshot(&self) -> ProfilerLog {
+        ProfilerLog {
+            kernels: self.kernels.iter().cloned().collect(),
+            allocs: self.allocs.iter().cloned().collect(),
+            transfers: self.transfers.iter().cloned().collect(),
+            dropped_kernels: self.dropped_kernels,
+            dropped_allocs: self.dropped_allocs,
+            dropped_transfers: self.dropped_transfers,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perf_model::Phase;
+
+    fn kernel(ordinal: u64) -> KernelRecord {
+        KernelRecord {
+            name: "k",
+            device: 0,
+            phase: Phase::Other,
+            start_s: 0.0,
+            duration_s: 1e-6,
+            grid: [1, 1, 1],
+            block: [256, 1, 1],
+            threads: 256,
+            launched_threads: 256,
+            flops: 1,
+            tensor_flops: 0,
+            dram_read_bytes: 4,
+            dram_write_bytes: 4,
+            shared_bytes: 0,
+            occupancy: 1.0,
+            bw_fraction: 0.0,
+            ordinal,
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let mut p = Profiler::default();
+        p.set_capacity(2, 2, 2);
+        for i in 1..=5 {
+            p.record_kernel(kernel(i));
+        }
+        let log = p.snapshot();
+        assert_eq!(log.kernels.len(), 2);
+        assert_eq!(log.dropped_kernels, 3);
+        assert!(!log.is_complete());
+        assert_eq!(log.kernels[0].ordinal, 4, "oldest evicted first");
+        assert_eq!(log.kernels[1].ordinal, 5);
+    }
+
+    #[test]
+    fn shrinking_capacity_evicts_existing_records() {
+        let mut p = Profiler::default();
+        for i in 1..=4 {
+            p.record_kernel(kernel(i));
+        }
+        p.set_capacity(1, 1, 1);
+        let log = p.snapshot();
+        assert_eq!(log.kernels.len(), 1);
+        assert_eq!(log.dropped_kernels, 3);
+    }
+
+    #[test]
+    fn clear_resets_records_and_drop_counts() {
+        let mut p = Profiler::default();
+        p.set_capacity(1, 1, 1);
+        p.record_kernel(kernel(1));
+        p.record_kernel(kernel(2));
+        p.clear();
+        let log = p.snapshot();
+        assert!(log.is_empty());
+        assert!(log.is_complete());
+        // Capacity survives the clear.
+        p.record_kernel(kernel(3));
+        p.record_kernel(kernel(4));
+        assert_eq!(p.snapshot().dropped_kernels, 1);
+    }
+
+    #[test]
+    fn zero_capacity_drops_everything() {
+        let mut p = Profiler::default();
+        p.set_capacity(0, 0, 0);
+        p.record_kernel(kernel(1));
+        let log = p.snapshot();
+        assert!(log.kernels.is_empty());
+        assert_eq!(log.dropped_kernels, 1);
+    }
+}

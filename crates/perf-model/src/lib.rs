@@ -40,11 +40,15 @@
 pub mod counters;
 pub mod model;
 pub mod profile;
+pub mod record;
 pub mod timeline;
+pub mod trace;
 
 pub use counters::{Counters, MemoryPattern, TransferDirection};
 pub use model::{
     cpu_time, gpu_kernel_time, interpreter_time, transfer_time, CpuWork, GpuKernelWork,
 };
 pub use profile::{CpuProfile, GpuProfile, InterpreterProfile, LinkProfile, Testbed};
+pub use record::{AllocKind, AllocRecord, KernelRecord, KernelStats, ProfilerLog, TransferRecord};
 pub use timeline::{Phase, Timeline};
+pub use trace::{chrome_trace_event_count, chrome_trace_json, gpu_summary, parse_json, JsonValue};

@@ -1,0 +1,434 @@
+//! Per-event profiling records (the nvprof analogue).
+//!
+//! Where [`crate::Timeline`] stores additive per-phase totals, the profiler
+//! keeps one record per kernel launch, allocation and transfer — name,
+//! geometry, modeled duration and derived utilization — exactly the
+//! information `nvprof --print-gpu-trace` reports for a real CUDA run. The
+//! records are produced by the `gpu-sim` device at charge time and consumed
+//! by the exporters in [`crate::trace`] and by counter-assertion tests.
+
+use crate::counters::{Counters, TransferDirection};
+use crate::timeline::Phase;
+use std::collections::BTreeMap;
+
+/// How an allocation request was served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocKind {
+    /// A real driver round-trip (`cudaMalloc` analogue).
+    DriverAlloc,
+    /// Served from the caching pool without touching the driver.
+    CacheHit,
+}
+
+/// One kernel launch, as recorded by the device at charge time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelRecord {
+    /// Static kernel name, threaded through every launch site.
+    pub name: &'static str,
+    /// Index of the device the kernel ran on.
+    pub device: usize,
+    /// Phase the launch was charged to (after any recovery redirection).
+    pub phase: Phase,
+    /// Modeled start time: device-timeline seconds elapsed before the launch.
+    pub start_s: f64,
+    /// Modeled duration of the launch.
+    pub duration_s: f64,
+    /// Grid dimensions.
+    pub grid: [u32; 3],
+    /// Block dimensions.
+    pub block: [u32; 3],
+    /// Logical threads doing useful work.
+    pub threads: u64,
+    /// Threads actually launched (after resource-aware clamping).
+    pub launched_threads: u64,
+    /// FP32 operations on CUDA cores.
+    pub flops: u64,
+    /// Mixed-precision operations on tensor cores.
+    pub tensor_flops: u64,
+    /// Useful bytes read from global memory.
+    pub dram_read_bytes: u64,
+    /// Useful bytes written to global memory.
+    pub dram_write_bytes: u64,
+    /// Bytes staged through shared memory.
+    pub shared_bytes: u64,
+    /// Resident threads over device capacity, in (0, 1].
+    pub occupancy: f64,
+    /// Achieved DRAM bandwidth over the profile's peak, in [0, 1).
+    pub bw_fraction: f64,
+    /// Launch-gate ordinal (1-based since device creation or fault-plan
+    /// attach). Multi-pass entry points share one ordinal across passes.
+    pub ordinal: u64,
+}
+
+/// One device allocation request, as recorded at charge time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AllocRecord {
+    /// Index of the device.
+    pub device: usize,
+    /// Phase the allocation was charged to.
+    pub phase: Phase,
+    /// Modeled start time on the device timeline.
+    pub start_s: f64,
+    /// Modeled duration of the allocation.
+    pub duration_s: f64,
+    /// Requested size in bytes.
+    pub bytes: u64,
+    /// Whether the driver or the caching pool served the request.
+    pub kind: AllocKind,
+    /// Alloc-gate ordinal (1-based).
+    pub ordinal: u64,
+}
+
+/// One host↔device transfer, as recorded at charge time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransferRecord {
+    /// Index of the device.
+    pub device: usize,
+    /// Phase the transfer was charged to.
+    pub phase: Phase,
+    /// Modeled start time on the device timeline.
+    pub start_s: f64,
+    /// Modeled duration of the transfer.
+    pub duration_s: f64,
+    /// Payload size in bytes.
+    pub bytes: u64,
+    /// Transfer direction.
+    pub dir: TransferDirection,
+    /// Transfer-gate ordinal (1-based; uploads only — downloads carry 0).
+    pub ordinal: u64,
+}
+
+/// Per-kernel-name aggregate, the unit of `nvprof --print-gpu-summary`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelStats {
+    /// Kernel name.
+    pub name: &'static str,
+    /// Number of launches.
+    pub calls: u64,
+    /// Total modeled seconds across all launches.
+    pub total_s: f64,
+    /// Shortest single launch.
+    pub min_s: f64,
+    /// Longest single launch.
+    pub max_s: f64,
+    /// FP32 operations across all launches.
+    pub flops: u64,
+    /// Tensor-core operations across all launches.
+    pub tensor_flops: u64,
+    /// Global-memory bytes read across all launches.
+    pub dram_read_bytes: u64,
+    /// Global-memory bytes written across all launches.
+    pub dram_write_bytes: u64,
+    /// Shared-memory bytes across all launches.
+    pub shared_bytes: u64,
+}
+
+impl KernelStats {
+    /// Mean duration of one launch.
+    pub fn avg_s(&self) -> f64 {
+        if self.calls == 0 {
+            0.0
+        } else {
+            self.total_s / self.calls as f64
+        }
+    }
+
+    /// Total DRAM bytes (reads + writes).
+    pub fn dram_bytes(&self) -> u64 {
+        self.dram_read_bytes + self.dram_write_bytes
+    }
+}
+
+/// A snapshot of everything the profiler recorded, plus how much it dropped.
+///
+/// The device keeps records in bounded ring buffers; when a buffer
+/// overflows the oldest record is evicted and the corresponding `dropped_*`
+/// count is incremented, so truncation is always visible — check
+/// [`ProfilerLog::is_complete`] before asserting on totals.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ProfilerLog {
+    /// Kernel-launch records in charge order.
+    pub kernels: Vec<KernelRecord>,
+    /// Allocation records in charge order.
+    pub allocs: Vec<AllocRecord>,
+    /// Transfer records in charge order.
+    pub transfers: Vec<TransferRecord>,
+    /// Kernel records evicted by the ring buffer.
+    pub dropped_kernels: u64,
+    /// Allocation records evicted by the ring buffer.
+    pub dropped_allocs: u64,
+    /// Transfer records evicted by the ring buffer.
+    pub dropped_transfers: u64,
+}
+
+impl ProfilerLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True when no record was evicted: totals derived from this log
+    /// account for every operation the device performed.
+    pub fn is_complete(&self) -> bool {
+        self.dropped_kernels == 0 && self.dropped_allocs == 0 && self.dropped_transfers == 0
+    }
+
+    /// Total records evicted across all three ring buffers.
+    pub fn dropped_total(&self) -> u64 {
+        self.dropped_kernels + self.dropped_allocs + self.dropped_transfers
+    }
+
+    /// Total events currently held (kernels + allocs + transfers).
+    pub fn len(&self) -> usize {
+        self.kernels.len() + self.allocs.len() + self.transfers.len()
+    }
+
+    /// Whether the log holds no events at all.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Latest modeled end time across all records (0 for an empty log).
+    pub fn end_s(&self) -> f64 {
+        let k = self.kernels.iter().map(|r| r.start_s + r.duration_s);
+        let a = self.allocs.iter().map(|r| r.start_s + r.duration_s);
+        let t = self.transfers.iter().map(|r| r.start_s + r.duration_s);
+        k.chain(a).chain(t).fold(0.0f64, f64::max)
+    }
+
+    /// Reconstruct device-side [`Counters`] from the records. Matches the
+    /// timeline's totals exactly when the log [`is_complete`] and every
+    /// charge went through a recording entry point.
+    ///
+    /// [`is_complete`]: ProfilerLog::is_complete
+    pub fn total_counters(&self) -> Counters {
+        let mut c = Counters::new();
+        for k in &self.kernels {
+            c.flops += k.flops;
+            c.tensor_flops += k.tensor_flops;
+            c.dram_read_bytes += k.dram_read_bytes;
+            c.dram_write_bytes += k.dram_write_bytes;
+            c.shared_bytes += k.shared_bytes;
+            c.kernel_launches += 1;
+        }
+        for a in &self.allocs {
+            match a.kind {
+                AllocKind::DriverAlloc => c.device_allocs += 1,
+                AllocKind::CacheHit => c.device_alloc_cache_hits += 1,
+            }
+        }
+        for t in &self.transfers {
+            c.record_transfer(t.dir, t.bytes);
+        }
+        c
+    }
+
+    /// Counters reconstructed from records charged to `phase` only.
+    pub fn phase_counters(&self, phase: Phase) -> Counters {
+        self.filtered(|p| p == phase).total_counters()
+    }
+
+    /// A copy of the log keeping only records whose phase satisfies `keep`.
+    /// Dropped-record counts are carried over unchanged (eviction is not
+    /// phase-attributed).
+    pub fn filtered(&self, keep: impl Fn(Phase) -> bool) -> ProfilerLog {
+        ProfilerLog {
+            kernels: self
+                .kernels
+                .iter()
+                .filter(|r| keep(r.phase))
+                .cloned()
+                .collect(),
+            allocs: self
+                .allocs
+                .iter()
+                .filter(|r| keep(r.phase))
+                .cloned()
+                .collect(),
+            transfers: self
+                .transfers
+                .iter()
+                .filter(|r| keep(r.phase))
+                .cloned()
+                .collect(),
+            dropped_kernels: self.dropped_kernels,
+            dropped_allocs: self.dropped_allocs,
+            dropped_transfers: self.dropped_transfers,
+        }
+    }
+
+    /// Number of launches recorded under `name`.
+    pub fn launches_of(&self, name: &str) -> u64 {
+        self.kernels.iter().filter(|k| k.name == name).count() as u64
+    }
+
+    /// Launch counts keyed by kernel name (sorted by name).
+    pub fn counts_by_name(&self) -> BTreeMap<&'static str, u64> {
+        let mut m = BTreeMap::new();
+        for k in &self.kernels {
+            *m.entry(k.name).or_insert(0u64) += 1;
+        }
+        m
+    }
+
+    /// Per-kernel-name aggregates sorted by total time, hottest first.
+    pub fn aggregate(&self) -> Vec<KernelStats> {
+        let mut m: BTreeMap<&'static str, KernelStats> = BTreeMap::new();
+        for k in &self.kernels {
+            let s = m.entry(k.name).or_insert(KernelStats {
+                name: k.name,
+                calls: 0,
+                total_s: 0.0,
+                min_s: f64::INFINITY,
+                max_s: 0.0,
+                flops: 0,
+                tensor_flops: 0,
+                dram_read_bytes: 0,
+                dram_write_bytes: 0,
+                shared_bytes: 0,
+            });
+            s.calls += 1;
+            s.total_s += k.duration_s;
+            s.min_s = s.min_s.min(k.duration_s);
+            s.max_s = s.max_s.max(k.duration_s);
+            s.flops += k.flops;
+            s.tensor_flops += k.tensor_flops;
+            s.dram_read_bytes += k.dram_read_bytes;
+            s.dram_write_bytes += k.dram_write_bytes;
+            s.shared_bytes += k.shared_bytes;
+        }
+        let mut v: Vec<KernelStats> = m.into_values().collect();
+        v.sort_by(|a, b| b.total_s.total_cmp(&a.total_s));
+        v
+    }
+
+    /// Append every record of `other` (used by `DeviceGroup` aggregation;
+    /// records keep their per-device `device` index).
+    pub fn merge(&mut self, other: &ProfilerLog) {
+        self.kernels.extend(other.kernels.iter().cloned());
+        self.allocs.extend(other.allocs.iter().cloned());
+        self.transfers.extend(other.transfers.iter().cloned());
+        self.dropped_kernels += other.dropped_kernels;
+        self.dropped_allocs += other.dropped_allocs;
+        self.dropped_transfers += other.dropped_transfers;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kernel(name: &'static str, start: f64, dur: f64, flops: u64) -> KernelRecord {
+        KernelRecord {
+            name,
+            device: 0,
+            phase: Phase::SwarmUpdate,
+            start_s: start,
+            duration_s: dur,
+            grid: [1, 1, 1],
+            block: [256, 1, 1],
+            threads: 256,
+            launched_threads: 256,
+            flops,
+            tensor_flops: 0,
+            dram_read_bytes: 100,
+            dram_write_bytes: 40,
+            shared_bytes: 0,
+            occupancy: 0.5,
+            bw_fraction: 0.1,
+            ordinal: 1,
+        }
+    }
+
+    #[test]
+    fn total_counters_reconstruct_all_classes() {
+        let mut log = ProfilerLog::new();
+        log.kernels.push(kernel("a", 0.0, 1.0, 10));
+        log.kernels.push(kernel("a", 1.0, 1.0, 10));
+        log.allocs.push(AllocRecord {
+            device: 0,
+            phase: Phase::Other,
+            start_s: 0.0,
+            duration_s: 1e-6,
+            bytes: 64,
+            kind: AllocKind::DriverAlloc,
+            ordinal: 1,
+        });
+        log.allocs.push(AllocRecord {
+            device: 0,
+            phase: Phase::Other,
+            start_s: 0.0,
+            duration_s: 1e-8,
+            bytes: 64,
+            kind: AllocKind::CacheHit,
+            ordinal: 2,
+        });
+        log.transfers.push(TransferRecord {
+            device: 0,
+            phase: Phase::Other,
+            start_s: 2.0,
+            duration_s: 0.5,
+            bytes: 1024,
+            dir: TransferDirection::H2D,
+            ordinal: 1,
+        });
+        let c = log.total_counters();
+        assert_eq!(c.flops, 20);
+        assert_eq!(c.kernel_launches, 2);
+        assert_eq!(c.device_allocs, 1);
+        assert_eq!(c.device_alloc_cache_hits, 1);
+        assert_eq!(c.h2d_bytes, 1024);
+        assert_eq!(c.transfers, 1);
+        assert!((log.end_s() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregate_sorts_hottest_first_and_tracks_extremes() {
+        let mut log = ProfilerLog::new();
+        log.kernels.push(kernel("cold", 0.0, 0.1, 1));
+        log.kernels.push(kernel("hot", 0.1, 1.0, 2));
+        log.kernels.push(kernel("hot", 1.1, 3.0, 2));
+        let agg = log.aggregate();
+        assert_eq!(agg[0].name, "hot");
+        assert_eq!(agg[0].calls, 2);
+        assert!((agg[0].avg_s() - 2.0).abs() < 1e-12);
+        assert!((agg[0].min_s - 1.0).abs() < 1e-12);
+        assert!((agg[0].max_s - 3.0).abs() < 1e-12);
+        assert_eq!(agg[1].name, "cold");
+    }
+
+    #[test]
+    fn completeness_reflects_drop_counts() {
+        let mut log = ProfilerLog::new();
+        assert!(log.is_complete());
+        log.dropped_kernels = 3;
+        assert!(!log.is_complete());
+        assert_eq!(log.dropped_total(), 3);
+    }
+
+    #[test]
+    fn merge_concatenates_and_sums_drops() {
+        let mut a = ProfilerLog::new();
+        a.kernels.push(kernel("x", 0.0, 1.0, 1));
+        let mut b = ProfilerLog::new();
+        b.kernels.push(kernel("y", 0.0, 1.0, 1));
+        b.dropped_allocs = 2;
+        a.merge(&b);
+        assert_eq!(a.kernels.len(), 2);
+        assert_eq!(a.dropped_allocs, 2);
+        assert_eq!(a.counts_by_name().len(), 2);
+        assert_eq!(a.launches_of("x"), 1);
+    }
+
+    #[test]
+    fn phase_filter_keeps_only_matching_records() {
+        let mut log = ProfilerLog::new();
+        let mut k = kernel("r", 0.0, 1.0, 7);
+        k.phase = Phase::Recovery;
+        log.kernels.push(k);
+        log.kernels.push(kernel("s", 1.0, 1.0, 5));
+        assert_eq!(log.phase_counters(Phase::Recovery).flops, 7);
+        assert_eq!(log.phase_counters(Phase::SwarmUpdate).flops, 5);
+        assert_eq!(log.filtered(|p| p != Phase::Recovery).kernels.len(), 1);
+    }
+}

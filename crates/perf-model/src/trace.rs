@@ -1,0 +1,580 @@
+//! Exporters for [`ProfilerLog`]: an nvprof-style summary table and
+//! chrome://tracing JSON.
+//!
+//! The JSON writer is hand-rolled (the workspace vendors no serde), and a
+//! minimal recursive-descent parser ships alongside it so tests can prove
+//! the emitted traces are syntactically valid and round-trip their event
+//! count without an external library.
+
+use crate::counters::TransferDirection;
+use crate::profile::GpuProfile;
+use crate::record::{AllocKind, ProfilerLog};
+
+/// Format a duration the way nvprof does: scaled to ns/us/ms/s.
+pub fn fmt_duration(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3}s")
+    } else if s >= 1e-3 {
+        format!("{:.3}ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3}us", s * 1e6)
+    } else {
+        format!("{:.0}ns", s * 1e9)
+    }
+}
+
+/// An aligned per-kernel summary table, à la `nvprof --print-gpu-summary`:
+/// one row per kernel name sorted by total time, with call counts,
+/// avg/min/max durations and achieved DRAM throughput against `gpu`'s peak.
+pub fn gpu_summary(log: &ProfilerLog, gpu: &GpuProfile) -> String {
+    let agg = log.aggregate();
+    let total: f64 = agg.iter().map(|s| s.total_s).sum();
+    let header = [
+        "Time(%)".to_string(),
+        "Time".to_string(),
+        "Calls".to_string(),
+        "Avg".to_string(),
+        "Min".to_string(),
+        "Max".to_string(),
+        "DRAM GB/s".to_string(),
+        "BW(%)".to_string(),
+        "Name".to_string(),
+    ];
+    let mut rows: Vec<[String; 9]> = vec![header];
+    for s in &agg {
+        let pct = if total > 0.0 {
+            100.0 * s.total_s / total
+        } else {
+            0.0
+        };
+        let gbs = if s.total_s > 0.0 {
+            s.dram_bytes() as f64 / s.total_s / 1e9
+        } else {
+            0.0
+        };
+        let bw_pct = 100.0 * gbs * 1e9 / gpu.mem_bandwidth;
+        rows.push([
+            format!("{pct:.2}"),
+            fmt_duration(s.total_s),
+            s.calls.to_string(),
+            fmt_duration(s.avg_s()),
+            fmt_duration(s.min_s),
+            fmt_duration(s.max_s),
+            format!("{gbs:.2}"),
+            format!("{bw_pct:.1}"),
+            s.name.to_string(),
+        ]);
+    }
+    let mut widths = [0usize; 9];
+    for row in &rows {
+        for (w, cell) in widths.iter_mut().zip(row.iter()) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::from("GPU activities (modeled):\n");
+    for row in &rows {
+        let mut line = String::new();
+        for (i, cell) in row.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            if i == 8 {
+                // Left-align the name column; nvprof does the same.
+                line.push_str(cell);
+            } else {
+                line.push_str(&" ".repeat(widths[i] - cell.len()));
+                line.push_str(cell);
+            }
+        }
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+    if !log.is_complete() {
+        out.push_str(&format!(
+            "warning: ring buffer evicted {} records (kernels {}, allocs {}, transfers {}); totals are partial\n",
+            log.dropped_total(),
+            log.dropped_kernels,
+            log.dropped_allocs,
+            log.dropped_transfers
+        ));
+    }
+    out
+}
+
+/// Escape a string for inclusion inside a JSON string literal.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Format a non-negative f64 with enough precision for trace timestamps.
+fn fmt_num(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.6}")
+    }
+}
+
+/// Serialize `log` as chrome://tracing JSON ("complete" events, `ph: "X"`).
+///
+/// Timestamps and durations are microseconds of modeled time; `pid` is the
+/// device index and `tid` groups events into kernel/alloc/transfer lanes.
+/// Load the output at `chrome://tracing` or <https://ui.perfetto.dev>.
+pub fn chrome_trace_json(log: &ProfilerLog) -> String {
+    let mut events: Vec<String> = Vec::with_capacity(log.len());
+    for k in &log.kernels {
+        events.push(format!(
+            concat!(
+                "{{\"name\":\"{}\",\"cat\":\"kernel\",\"ph\":\"X\",\"ts\":{},\"dur\":{},",
+                "\"pid\":{},\"tid\":0,\"args\":{{\"phase\":\"{}\",\"grid\":[{},{},{}],",
+                "\"block\":[{},{},{}],\"flops\":{},\"tensor_flops\":{},\"dram_read\":{},",
+                "\"dram_write\":{},\"shared\":{},\"occupancy\":{},\"bw_fraction\":{},",
+                "\"ordinal\":{}}}}}"
+            ),
+            escape_json(k.name),
+            fmt_num(k.start_s * 1e6),
+            fmt_num(k.duration_s * 1e6),
+            k.device,
+            k.phase.label(),
+            k.grid[0],
+            k.grid[1],
+            k.grid[2],
+            k.block[0],
+            k.block[1],
+            k.block[2],
+            k.flops,
+            k.tensor_flops,
+            k.dram_read_bytes,
+            k.dram_write_bytes,
+            k.shared_bytes,
+            fmt_num(k.occupancy),
+            fmt_num(k.bw_fraction),
+            k.ordinal,
+        ));
+    }
+    for a in &log.allocs {
+        let kind = match a.kind {
+            AllocKind::DriverAlloc => "driver",
+            AllocKind::CacheHit => "cache_hit",
+        };
+        events.push(format!(
+            concat!(
+                "{{\"name\":\"alloc ({kind})\",\"cat\":\"alloc\",\"ph\":\"X\",\"ts\":{ts},",
+                "\"dur\":{dur},\"pid\":{pid},\"tid\":1,\"args\":{{\"phase\":\"{phase}\",",
+                "\"bytes\":{bytes},\"kind\":\"{kind}\"}}}}"
+            ),
+            kind = kind,
+            ts = fmt_num(a.start_s * 1e6),
+            dur = fmt_num(a.duration_s * 1e6),
+            pid = a.device,
+            phase = a.phase.label(),
+            bytes = a.bytes,
+        ));
+    }
+    for t in &log.transfers {
+        let dir = match t.dir {
+            TransferDirection::H2D => "H2D",
+            TransferDirection::D2H => "D2H",
+        };
+        events.push(format!(
+            concat!(
+                "{{\"name\":\"memcpy {dir}\",\"cat\":\"transfer\",\"ph\":\"X\",\"ts\":{ts},",
+                "\"dur\":{dur},\"pid\":{pid},\"tid\":2,\"args\":{{\"phase\":\"{phase}\",",
+                "\"bytes\":{bytes},\"dir\":\"{dir}\"}}}}"
+            ),
+            dir = dir,
+            ts = fmt_num(t.start_s * 1e6),
+            dur = fmt_num(t.duration_s * 1e6),
+            pid = t.device,
+            phase = t.phase.label(),
+            bytes = t.bytes,
+        ));
+    }
+    format!(
+        "{{\"traceEvents\":[{}],\"displayTimeUnit\":\"ms\",\"otherData\":{{\"complete\":{},\"dropped\":{}}}}}",
+        events.join(","),
+        log.is_complete(),
+        log.dropped_total(),
+    )
+}
+
+/// A parsed JSON value (minimal, for validating emitted traces).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number.
+    Number(f64),
+    /// A string literal (escapes resolved).
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object, as insertion-ordered key/value pairs.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Look up a key in an object value.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, msg: &str) -> String {
+        format!("{msg} at byte {}", self.pos)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.bump() == Some(b) {
+            Ok(())
+        } else {
+            self.pos = self.pos.saturating_sub(1);
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<JsonValue, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(JsonValue::String(self.parse_string()?)),
+            Some(b't') => self.parse_literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.parse_literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.parse_literal("null", JsonValue::Null),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            Some(c) => Err(self.err(&format!("unexpected character '{}'", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn parse_literal(&mut self, lit: &str, v: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected '{lit}'")))
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let val = self.parse_value()?;
+            pairs.push((key, val));
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(JsonValue::Object(pairs)),
+                _ => {
+                    self.pos = self.pos.saturating_sub(1);
+                    return Err(self.err("expected ',' or '}'"));
+                }
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(JsonValue::Array(items)),
+                _ => {
+                    self.pos = self.pos.saturating_sub(1);
+                    return Err(self.err("expected ',' or ']'"));
+                }
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        if self.pos + 4 > self.bytes.len() {
+                            return Err(self.err("truncated \\u escape"));
+                        }
+                        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                            .map_err(|_| self.err("bad \\u escape"))?;
+                        let code =
+                            u32::from_str_radix(hex, 16).map_err(|_| self.err("bad \\u escape"))?;
+                        self.pos += 4;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    _ => return Err(self.err("bad escape sequence")),
+                },
+                Some(b) if b < 0x20 => return Err(self.err("raw control char in string")),
+                Some(b) => {
+                    // Re-assemble multi-byte UTF-8 sequences byte-wise: the
+                    // input came from a &str, so sequences are valid.
+                    let len = match b {
+                        0x00..=0x7f => 1,
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    let start = self.pos - 1;
+                    self.pos = (start + len).min(self.bytes.len());
+                    let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    out.push_str(s);
+                }
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let s = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        s.parse::<f64>()
+            .map(JsonValue::Number)
+            .map_err(|_| self.err("bad number"))
+    }
+}
+
+/// Parse a JSON document, validating full syntax (no trailing garbage).
+pub fn parse_json(s: &str) -> Result<JsonValue, String> {
+    let mut p = Parser::new(s);
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after JSON value"));
+    }
+    Ok(v)
+}
+
+/// Validate a chrome-trace document and return its event count.
+///
+/// Checks that the document parses, is an object with a `traceEvents`
+/// array, and that every event is an object carrying at least `name`,
+/// `ph`, `ts` and `pid` fields of the right types.
+pub fn chrome_trace_event_count(json: &str) -> Result<usize, String> {
+    let doc = parse_json(json)?;
+    let events = match doc.get("traceEvents") {
+        Some(JsonValue::Array(events)) => events,
+        Some(_) => return Err("traceEvents is not an array".into()),
+        None => return Err("missing traceEvents field".into()),
+    };
+    for (i, ev) in events.iter().enumerate() {
+        if !matches!(ev, JsonValue::Object(_)) {
+            return Err(format!("event {i} is not an object"));
+        }
+        match ev.get("name") {
+            Some(JsonValue::String(_)) => {}
+            _ => return Err(format!("event {i} missing string 'name'")),
+        }
+        match ev.get("ph") {
+            Some(JsonValue::String(_)) => {}
+            _ => return Err(format!("event {i} missing string 'ph'")),
+        }
+        match ev.get("ts") {
+            Some(JsonValue::Number(_)) => {}
+            _ => return Err(format!("event {i} missing numeric 'ts'")),
+        }
+        match ev.get("pid") {
+            Some(JsonValue::Number(_)) => {}
+            _ => return Err(format!("event {i} missing numeric 'pid'")),
+        }
+    }
+    Ok(events.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::KernelRecord;
+    use crate::timeline::Phase;
+
+    fn sample_log() -> ProfilerLog {
+        let mut log = ProfilerLog::new();
+        for i in 0..3u64 {
+            log.kernels.push(KernelRecord {
+                name: if i == 0 {
+                    "evaluate_swarm"
+                } else {
+                    "velocity_update"
+                },
+                device: 0,
+                phase: Phase::SwarmUpdate,
+                start_s: i as f64 * 1e-4,
+                duration_s: 5e-5,
+                grid: [40, 1, 1],
+                block: [256, 1, 1],
+                threads: 10_000,
+                launched_threads: 10_240,
+                flops: 100_000,
+                tensor_flops: 0,
+                dram_read_bytes: 240_000,
+                dram_write_bytes: 40_000,
+                shared_bytes: 0,
+                occupancy: 0.0625,
+                bw_fraction: 0.01,
+                ordinal: i + 1,
+            });
+        }
+        log
+    }
+
+    #[test]
+    fn summary_has_header_names_and_call_counts() {
+        let s = gpu_summary(&sample_log(), &GpuProfile::tesla_v100());
+        assert!(s.contains("Time(%)"));
+        assert!(s.contains("velocity_update"));
+        assert!(s.contains("evaluate_swarm"));
+        assert!(!s.contains("warning"), "complete log must not warn");
+    }
+
+    #[test]
+    fn summary_warns_on_truncation() {
+        let mut log = sample_log();
+        log.dropped_kernels = 7;
+        let s = gpu_summary(&log, &GpuProfile::tesla_v100());
+        assert!(s.contains("warning"));
+        assert!(s.contains('7'));
+    }
+
+    #[test]
+    fn chrome_trace_round_trips_event_count() {
+        let log = sample_log();
+        let json = chrome_trace_json(&log);
+        assert_eq!(chrome_trace_event_count(&json).unwrap(), log.len());
+    }
+
+    #[test]
+    fn parser_accepts_standard_json() {
+        let v = parse_json(r#"{"a": [1, -2.5, 3e2], "b": "x\ny", "c": null, "d": true}"#).unwrap();
+        assert_eq!(v.get("c"), Some(&JsonValue::Null));
+        assert_eq!(v.get("b"), Some(&JsonValue::String("x\ny".into())));
+        match v.get("a") {
+            Some(JsonValue::Array(items)) => {
+                assert_eq!(items[1], JsonValue::Number(-2.5));
+                assert_eq!(items[2], JsonValue::Number(300.0));
+            }
+            other => panic!("bad array: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parser_rejects_malformed_json() {
+        assert!(parse_json("{").is_err());
+        assert!(parse_json("[1,]").is_err());
+        assert!(parse_json("{\"a\":1} extra").is_err());
+        assert!(parse_json("\"unterminated").is_err());
+        assert!(chrome_trace_event_count("{\"traceEvents\":1}").is_err());
+        assert!(chrome_trace_event_count("{}").is_err());
+    }
+
+    #[test]
+    fn escaping_survives_round_trip() {
+        let s = escape_json("a\"b\\c\nd");
+        let parsed = parse_json(&format!("\"{s}\"")).unwrap();
+        assert_eq!(parsed, JsonValue::String("a\"b\\c\nd".into()));
+    }
+
+    #[test]
+    fn duration_formatting_picks_sensible_units() {
+        assert_eq!(fmt_duration(2.0), "2.000s");
+        assert_eq!(fmt_duration(2e-3), "2.000ms");
+        assert_eq!(fmt_duration(2e-6), "2.000us");
+        assert_eq!(fmt_duration(2e-9), "2ns");
+    }
+}

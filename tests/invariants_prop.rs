@@ -2,7 +2,8 @@
 //! backend equivalence under arbitrary configurations, PSO state
 //! invariants, RNG stream properties and f16 rounding laws.
 
-use fastpso_suite::fastpso::{GpuBackend, PsoBackend, PsoConfig, SeqBackend};
+use fastpso_suite::fastpso::gpu::kernels::{POSITION_FLOPS_PER_ELEM, VELOCITY_FLOPS_PER_ELEM};
+use fastpso_suite::fastpso::{GpuBackend, PsoBackend, PsoConfig, SeqBackend, UpdateStrategy};
 use fastpso_suite::functions::builtins::{Rastrigin, Sphere};
 use fastpso_suite::functions::Objective;
 use fastpso_suite::gpu_sim::{f16_bits_to_f32, f32_to_f16_bits, through_f16, Device, Phase};
@@ -122,6 +123,64 @@ proptest! {
         }
         prop_assert_eq!(r.index, bi);
         prop_assert_eq!(r.value, bv);
+    }
+
+    /// Profiler-observed swarm-update work scales *linearly* in `n·d`:
+    /// the per-element FLOPs and DRAM bytes of the velocity and position
+    /// kernels are constants, independent of the swarm shape, for every
+    /// update strategy — there is no padding or super-linear term hiding
+    /// in the modeled cost.
+    #[test]
+    fn swarm_update_work_is_linear_in_problem_size(
+        n1 in 2usize..48, d1 in 1usize..12,
+        n2 in 2usize..48, d2 in 1usize..12,
+        strat_idx in 0usize..4,
+        seed in any::<u64>(),
+    ) {
+        let strategy = [
+            UpdateStrategy::GlobalMem,
+            UpdateStrategy::SharedMem,
+            UpdateStrategy::TensorCore,
+            UpdateStrategy::ForLoop,
+        ][strat_idx];
+        // Per-elem (flops+tensor_flops, dram_read, dram_write) of the single
+        // velocity and position launch of a 1-iteration run.
+        let quotients = |n: usize, d: usize| {
+            let cfg = PsoConfig::builder(n, d).max_iter(1).seed(seed).build().unwrap();
+            let b = GpuBackend::new().strategy(strategy);
+            b.run(&cfg, &Sphere).unwrap();
+            let log = b.profile();
+            let elems = (n * d) as u64;
+            let per_elem = |prefix: &str| {
+                let k = log
+                    .kernels
+                    .iter()
+                    .find(|k| k.name.starts_with(prefix))
+                    .unwrap_or_else(|| panic!("no `{prefix}*` record for {strategy:?}"));
+                // Element-wise strategies launch one thread per matrix
+                // element; the ForLoop baseline one per particle row.
+                if strategy == UpdateStrategy::ForLoop {
+                    assert_eq!(k.threads, n as u64, "{}: one thread per particle", k.name);
+                } else {
+                    assert_eq!(k.threads, elems, "{}: one thread per matrix element", k.name);
+                }
+                for v in [k.flops + k.tensor_flops, k.dram_read_bytes, k.dram_write_bytes] {
+                    assert_eq!(v % elems, 0, "{}: cost not a multiple of n·d", k.name);
+                }
+                [
+                    (k.flops + k.tensor_flops) / elems,
+                    k.dram_read_bytes / elems,
+                    k.dram_write_bytes / elems,
+                ]
+            };
+            (per_elem("velocity_update"), per_elem("position_update"))
+        };
+        let (vel1, pos1) = quotients(n1, d1);
+        let (vel2, pos2) = quotients(n2, d2);
+        prop_assert_eq!(vel1, vel2, "velocity per-elem cost must not depend on (n, d)");
+        prop_assert_eq!(pos1, pos2, "position per-elem cost must not depend on (n, d)");
+        prop_assert_eq!(vel1[0], VELOCITY_FLOPS_PER_ELEM);
+        prop_assert_eq!(pos1[0], POSITION_FLOPS_PER_ELEM);
     }
 
     /// The caching pool never hands two live buffers the same backing.

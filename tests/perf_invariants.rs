@@ -1,0 +1,335 @@
+//! Counter-assertion regression tests: every FastPSO optimization claim,
+//! locked in as an exact invariant over the device profiler.
+//!
+//! All quantities are *modeled* — launch counts, driver allocations,
+//! global-memory traffic — so each assertion is deterministic and exact
+//! (no tolerance windows). The suite pins:
+//!
+//! * the caching allocator's zero steady-state driver allocations
+//!   (Table 4) for **all four** swarm-update strategies, and the
+//!   `Realloc` contrast paying a driver round-trip per request;
+//! * the per-iteration kernel-launch schedule, per strategy, by name;
+//! * the traffic ordering `TensorCore ≤ SharedMemTiled < GlobalMem`
+//!   (Figure 6's axes);
+//! * profiler totals equal timeline totals to the last byte;
+//! * bit-identical `gbest` across the bit-exact strategies;
+//! * retried operations after injected faults charging to
+//!   [`Phase::Recovery`] — never double-counting into the natural phase.
+
+use fastpso_suite::fastpso::resilience::{retry_op, ResilienceConfig, RetryPolicy};
+use fastpso_suite::fastpso::{CounterAsserts, GpuBackend, PsoBackend, PsoConfig, UpdateStrategy};
+use fastpso_suite::functions::builtins::Sphere;
+use fastpso_suite::gpu_sim::{AllocMode, Device, FaultPlan, Phase};
+
+const ALL_STRATEGIES: [UpdateStrategy; 4] = [
+    UpdateStrategy::GlobalMem,
+    UpdateStrategy::SharedMem,
+    UpdateStrategy::TensorCore,
+    UpdateStrategy::ForLoop,
+];
+
+fn cfg(iters: usize) -> PsoConfig {
+    // n ≤ 256 keeps the argmin reduction single-pass (`reduce_pass0`
+    // only), so the per-iteration launch schedule below is exact.
+    PsoConfig::builder(64, 8)
+        .max_iter(iters)
+        .seed(42)
+        .build()
+        .unwrap()
+}
+
+fn run_and_capture(strategy: UpdateStrategy, iters: usize) -> CounterAsserts {
+    let b = GpuBackend::new().strategy(strategy);
+    b.run(&cfg(iters), &Sphere).unwrap();
+    CounterAsserts::capture(b.device())
+}
+
+/// Table 4's steady state: once the pool is warm, a whole run performs
+/// **zero** driver allocations — for every swarm-update strategy.
+#[test]
+fn caching_allocator_reaches_zero_steady_state_allocs() {
+    for strategy in ALL_STRATEGIES {
+        let b = GpuBackend::new().strategy(strategy);
+        b.run(&cfg(5), &Sphere).unwrap(); // warm the pool
+        b.run(&cfg(5), &Sphere).unwrap(); // measured run (run() resets the profiler)
+        let ca = CounterAsserts::capture(b.device());
+        ca.assert_no_steady_state_allocs();
+        assert!(
+            ca.counters().device_alloc_cache_hits > 0,
+            "{strategy:?}: the measured run should be served from the pool"
+        );
+    }
+}
+
+/// The `Realloc` contrast: cudaMalloc/cudaFree per weight matrix, every
+/// iteration — the churn the paper's Table 4 eliminates.
+#[test]
+fn realloc_mode_pays_driver_allocations_every_iteration() {
+    let iters = 5;
+    let b = GpuBackend::new().alloc_mode(AllocMode::Realloc);
+    b.run(&cfg(iters), &Sphere).unwrap();
+    b.run(&cfg(iters), &Sphere).unwrap(); // even warm, Realloc never caches
+    let ca = CounterAsserts::capture(b.device());
+    let allocs = ca.driver_allocs();
+    assert!(
+        allocs >= 2 * iters as u64,
+        "Realloc must pay ≥ 2 driver allocations per iteration \
+         (the two weight matrices); saw {allocs} for {iters} iterations"
+    );
+    assert_eq!(
+        ca.counters().device_alloc_cache_hits,
+        0,
+        "Realloc mode must never hit a cache"
+    );
+}
+
+/// The steady-state launch schedule, pinned per kernel *name* and per
+/// strategy: exactly one launch of each pipeline kernel per iteration.
+/// Comparing a 3-iteration against a 6-iteration run isolates the
+/// per-iteration rate from one-time init launches and conditional
+/// kernels (`gbest_copy` fires only on improvement).
+#[test]
+fn launch_schedule_is_pinned_per_strategy() {
+    for (strategy, vel, pos) in [
+        (
+            UpdateStrategy::GlobalMem,
+            "velocity_update",
+            "position_update",
+        ),
+        (
+            UpdateStrategy::SharedMem,
+            "velocity_update_smem",
+            "position_update_smem",
+        ),
+        (
+            UpdateStrategy::TensorCore,
+            "velocity_update_wmma",
+            "position_update_wmma",
+        ),
+        (
+            UpdateStrategy::ForLoop,
+            "velocity_update_forloop",
+            "position_update_forloop",
+        ),
+    ] {
+        let lo = run_and_capture(strategy, 3);
+        let hi = run_and_capture(strategy, 6);
+        CounterAsserts::assert_launches_per_iter(
+            &lo,
+            &hi,
+            3,
+            &[
+                ("evaluate_swarm", 1),
+                ("pbest_update", 1),
+                ("reduce_pass0", 1),
+                ("gen_l_weights", 1),
+                ("gen_g_weights", 1),
+                (vel, 1),
+                (pos, 1),
+            ],
+        );
+    }
+}
+
+/// Figure 6's memory-hierarchy ordering, as exact byte counts: shared-
+/// memory tiling moves strictly less global-DRAM traffic than the plain
+/// global-memory kernels (same bit-identical trajectory, so totals are
+/// directly comparable), and the tensor-core path stages at least as
+/// little as the tiled path in the swarm-update phase.
+#[test]
+fn traffic_ordering_tensor_le_shared_lt_global() {
+    let iters = 6;
+    let global = run_and_capture(UpdateStrategy::GlobalMem, iters);
+    let smem = run_and_capture(UpdateStrategy::SharedMem, iters);
+    let tensor = run_and_capture(UpdateStrategy::TensorCore, iters);
+
+    // SharedMem < GlobalMem, strictly, over the whole run.
+    smem.assert_global_traffic_at_most(global.dram_bytes() - 1);
+
+    // Tiling only touches the swarm update; everything else is identical.
+    let g_swarm = global.dram_bytes_in_phase(Phase::SwarmUpdate);
+    let s_swarm = smem.dram_bytes_in_phase(Phase::SwarmUpdate);
+    let t_swarm = tensor.dram_bytes_in_phase(Phase::SwarmUpdate);
+    assert!(
+        s_swarm < g_swarm,
+        "tiling must cut swarm-update DRAM traffic: {s_swarm} vs {g_swarm}"
+    );
+    assert!(
+        t_swarm <= s_swarm,
+        "tensor-core staging must not exceed the tiled path: {t_swarm} vs {s_swarm}"
+    );
+    // Tiling pays for the DRAM cut with on-chip traffic.
+    assert!(
+        smem.log().phase_counters(Phase::SwarmUpdate).shared_bytes
+            > global.log().phase_counters(Phase::SwarmUpdate).shared_bytes
+    );
+}
+
+/// The profiler's per-record totals reconstruct the timeline's aggregate
+/// counters to the last byte — for every strategy and for a resilient
+/// (checkpointing) run.
+#[test]
+fn profiler_totals_equal_timeline_totals() {
+    for strategy in ALL_STRATEGIES {
+        run_and_capture(strategy, 4).assert_profiler_matches_timeline();
+    }
+    let b = GpuBackend::new().resilient(ResilienceConfig::default());
+    b.run(&cfg(10), &Sphere).unwrap();
+    CounterAsserts::capture(b.device()).assert_profiler_matches_timeline();
+}
+
+/// The bit-exact strategies (everything but the f16-rounding tensor path)
+/// agree on `gbest` through raw bit patterns.
+#[test]
+fn bit_exact_strategies_share_one_gbest() {
+    let c = cfg(8);
+    let global = GpuBackend::new()
+        .strategy(UpdateStrategy::GlobalMem)
+        .run(&c, &Sphere)
+        .unwrap();
+    let smem = GpuBackend::new()
+        .strategy(UpdateStrategy::SharedMem)
+        .run(&c, &Sphere)
+        .unwrap();
+    let forloop = GpuBackend::new()
+        .strategy(UpdateStrategy::ForLoop)
+        .run(&c, &Sphere)
+        .unwrap();
+    CounterAsserts::assert_bit_identical_gbest(&global, &smem);
+    CounterAsserts::assert_bit_identical_gbest(&global, &forloop);
+}
+
+/// Regression for the fault-retry accounting bug: a retried launch used to
+/// double-count the work its failed attempt had already completed into the
+/// natural phase. Now the repeats charge to [`Phase::Recovery`]: every
+/// non-recovery phase of a faulted run matches the fault-free run exactly —
+/// counters *and* modeled seconds — and the recovery ledger shows precisely
+/// the redundant work plus backoff.
+#[test]
+fn retried_launch_charges_recovery_not_natural_phase() {
+    let c = cfg(6);
+
+    // Clean resilient probe run: find the launch ordinal of iteration 1's
+    // `gen_l_weights` (the second record of that name). Its retry replays
+    // the two weight-matrix allocations the failed attempt completed.
+    let probe = GpuBackend::new().resilient(ResilienceConfig::default());
+    let clean_result = probe.run(&c, &Sphere).unwrap();
+    let clean = CounterAsserts::capture(probe.device());
+    let ordinal = clean
+        .log()
+        .kernels
+        .iter()
+        .filter(|k| k.name == "gen_l_weights")
+        .nth(1)
+        .expect("gen_l_weights launches every iteration")
+        .ordinal;
+
+    let faulted_backend = GpuBackend::new().resilient(ResilienceConfig::default());
+    faulted_backend
+        .device()
+        .set_fault_plan(FaultPlan::new().with_transient_launch(ordinal));
+    let faulted_result = faulted_backend.run(&c, &Sphere).unwrap();
+    let faulted = CounterAsserts::capture(faulted_backend.device());
+    assert_eq!(faulted_backend.device().fault_stats().injected, 1);
+
+    CounterAsserts::assert_bit_identical_gbest(&clean_result, &faulted_result);
+    for phase in Phase::ALL {
+        if phase == Phase::Recovery {
+            continue;
+        }
+        assert_eq!(
+            faulted.timeline().phase_counters(phase),
+            clean.timeline().phase_counters(phase),
+            "{phase:?} counters must match the fault-free run exactly"
+        );
+        assert_eq!(
+            faulted.timeline().seconds(phase),
+            clean.timeline().seconds(phase),
+            "{phase:?} modeled seconds must match the fault-free run exactly"
+        );
+    }
+    // Recovery picked up the backoff plus exactly the replayed work: the
+    // two pool-served weight-matrix allocations the failed attempt had
+    // already performed.
+    let mut expected = clean.timeline().phase_counters(Phase::Recovery);
+    expected.device_alloc_cache_hits += 2;
+    assert_eq!(
+        faulted.timeline().phase_counters(Phase::Recovery),
+        expected,
+        "recovery must hold exactly the redundant re-executed work"
+    );
+    assert!(
+        faulted.timeline().seconds(Phase::Recovery) > clean.timeline().seconds(Phase::Recovery)
+    );
+}
+
+/// The allocation-gate variant of the same regression: fault the *last*
+/// weight-matrix allocation of the run. The retry's replayed allocation
+/// charges to recovery; the natural phases stay untouched.
+#[test]
+fn retried_alloc_charges_recovery_not_natural_phase() {
+    let c = cfg(6);
+    let probe = GpuBackend::new().resilient(ResilienceConfig::default());
+    let clean_result = probe.run(&c, &Sphere).unwrap();
+    let clean = CounterAsserts::capture(probe.device());
+    // The final alloc record is the last iteration's `g` matrix; faulting
+    // its gate means the attempt completed one allocation (`l`) first.
+    let ordinal = clean.log().allocs.last().expect("allocs recorded").ordinal;
+
+    let faulted_backend = GpuBackend::new().resilient(ResilienceConfig::default());
+    faulted_backend
+        .device()
+        .set_fault_plan(FaultPlan::new().with_transient_alloc(ordinal));
+    let faulted_result = faulted_backend.run(&c, &Sphere).unwrap();
+    let faulted = CounterAsserts::capture(faulted_backend.device());
+    assert_eq!(faulted_backend.device().fault_stats().injected, 1);
+
+    CounterAsserts::assert_bit_identical_gbest(&clean_result, &faulted_result);
+    for phase in Phase::ALL {
+        if phase == Phase::Recovery {
+            continue;
+        }
+        assert_eq!(
+            faulted.timeline().phase_counters(phase),
+            clean.timeline().phase_counters(phase),
+            "{phase:?} counters must match the fault-free run exactly"
+        );
+    }
+    let mut expected = clean.timeline().phase_counters(Phase::Recovery);
+    expected.device_alloc_cache_hits += 1;
+    assert_eq!(faulted.timeline().phase_counters(Phase::Recovery), expected);
+}
+
+/// The transfer-gate variant, at the device level: an op uploading two
+/// buffers whose second upload is corrupted re-runs both; the natural
+/// phase still sees exactly two uploads, the replayed first upload lands
+/// in recovery.
+#[test]
+fn retried_upload_charges_recovery_not_natural_phase() {
+    let dev = Device::v100();
+    dev.set_fault_plan(FaultPlan::new().with_corrupted_transfer(2));
+    let mut a = dev.alloc::<f32>(256).unwrap();
+    let mut b = dev.alloc::<f32>(256).unwrap();
+    let host = vec![1.0f32; 256];
+    let policy = RetryPolicy::default();
+    retry_op(&dev, &policy, || {
+        a.upload(&host)?;
+        b.upload(&host)?;
+        Ok(())
+    })
+    .unwrap();
+
+    let ca = CounterAsserts::capture(&dev);
+    let bytes = (256 * std::mem::size_of::<f32>()) as u64;
+    let natural = ca.timeline().phase_counters(Phase::Other);
+    let recovery = ca.timeline().phase_counters(Phase::Recovery);
+    assert_eq!(natural.transfers, 2, "the op's own uploads");
+    assert_eq!(natural.h2d_bytes, 2 * bytes);
+    assert_eq!(recovery.transfers, 1, "the replayed first upload");
+    assert_eq!(recovery.h2d_bytes, bytes);
+    assert!(
+        ca.timeline().seconds(Phase::Recovery) > 0.0,
+        "backoff charged"
+    );
+    ca.assert_profiler_matches_timeline();
+}
