@@ -1,0 +1,60 @@
+//! Ablation: stream overlap on vs off for the full FastPSO run loop.
+//!
+//! The execution-plan stream pass (see `fastpso::plan`) schedules each
+//! iteration's weight generation — which depends on nothing inside the
+//! iteration — on a second simulated stream, so its modeled time overlaps
+//! the eval→pbest→reduce chain on the default stream, exactly as a CUDA
+//! engine would hide independent work behind `cudaStream_t`s. This binary
+//! runs the same workload with the pass off and on and reports the hidden
+//! ("overlapped") seconds and end-to-end speedup across problem sizes.
+//! Trajectories are identical either way — the pass only re-times launches,
+//! it never reorders execution.
+//!
+//! Usage: `cargo run --release -p fastpso-bench --bin ablation_overlap`
+
+use fastpso::{GpuBackend, PsoBackend, PsoConfig};
+use fastpso_bench::report::Table;
+use fastpso_functions::builtins::Sphere;
+
+fn main() {
+    let mut t = Table::new(
+        "Ablation: per-iteration stream overlap (gen_weights on stream 1) on vs off",
+        &[
+            "n x d",
+            "serial (ms)",
+            "streams (ms)",
+            "hidden (ms)",
+            "speedup",
+        ],
+    );
+
+    for (n, d) in [(256usize, 16usize), (1024, 32), (4096, 64), (16384, 128)] {
+        let cfg = PsoConfig::builder(n, d)
+            .max_iter(50)
+            .seed(42)
+            .build()
+            .unwrap();
+        let off = GpuBackend::new().run(&cfg, &Sphere).expect("serial run");
+        let on = GpuBackend::new()
+            .streams(true)
+            .run(&cfg, &Sphere)
+            .expect("streamed run");
+        assert_eq!(
+            off.best_value, on.best_value,
+            "stream pass must not change results"
+        );
+        let serial = off.elapsed_seconds();
+        let streamed = on.elapsed_seconds();
+        t.row(vec![
+            format!("{n} x {d}"),
+            format!("{:.3}", serial * 1e3),
+            format!("{:.3}", streamed * 1e3),
+            format!("{:.3}", on.timeline.overlapped_seconds() * 1e3),
+            format!("{:.3}x", serial / streamed),
+        ]);
+    }
+    t.emit("ablation_overlap");
+    println!("Hidden time equals the weight-generation kernels' modeled time: the");
+    println!("RNG work rides behind the evaluate/reduce chain. The win is bounded");
+    println!("by that chain's length, so the speedup settles as sizes grow.");
+}

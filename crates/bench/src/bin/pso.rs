@@ -161,6 +161,7 @@ fn main() {
             "fastpso",
             "fastpso-smem",
             "fastpso-tensor",
+            "fastpso-forloop",
             "fastpso-seq",
             "fastpso-omp",
             "gpu-pso",

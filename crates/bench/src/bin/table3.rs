@@ -2,12 +2,15 @@
 //!
 //! Usage:
 //! `cargo run --release -p fastpso-bench --bin table3 -- [--paper-scale|--smoke]`
-//! `  [--profile] [--trace-out <path>] [--manifest-out <path>]`
+//! `  [--strategy <name>] [--profile] [--trace-out <path>] [--manifest-out <path>]`
 //!
+//! * `--strategy <name>` — FastPSO update strategy (global/smem/tensor/forloop;
+//!   default global, matching the paper's Table 3 run)
 //! * `--profile` — print an nvprof-style per-kernel summary per implementation
 //! * `--trace-out <path>` — write the fastpso run as chrome://tracing JSON
 //! * `--manifest-out <path>` — write the kernel-launch manifest CSV
 
+use fastpso::UpdateStrategy;
 use fastpso_bench::experiments::table3;
 use gpu_sim::{chrome_trace_json, gpu_summary};
 use perf_model::GpuProfile;
@@ -23,7 +26,14 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = fastpso_bench::Scale::from_args();
-    let rows = table3::rows(&scale);
+    let strategy = match flag_value(&args, "--strategy") {
+        Some(s) => s.parse::<UpdateStrategy>().unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }),
+        None => UpdateStrategy::default(),
+    };
+    let rows = table3::rows_with_strategy(&scale, strategy);
     table3::table(&rows).emit("table3");
 
     if args.iter().any(|a| a == "--profile") {
@@ -36,7 +46,7 @@ fn main() {
     if let Some(path) = flag_value(&args, "--trace-out") {
         let fast = rows
             .iter()
-            .find(|r| r.implementation == "fastpso")
+            .find(|r| r.implementation.starts_with("fastpso"))
             .expect("fastpso row");
         std::fs::write(&path, chrome_trace_json(&fast.log)).expect("write trace");
         println!("wrote chrome trace to {path} (load at chrome://tracing)");

@@ -12,7 +12,7 @@
 
 use crate::report::Table;
 use crate::scale::Scale;
-use fastpso::{GpuBackend, PsoBackend, PsoConfig};
+use fastpso::{GpuBackend, PsoBackend, PsoConfig, UpdateStrategy};
 use fastpso_baselines::{GpuPsoBaseline, HGpuPsoBaseline};
 use fastpso_functions::builtins::Sphere;
 use gpu_sim::ProfilerLog;
@@ -30,8 +30,16 @@ pub struct Row {
     pub log: ProfilerLog,
 }
 
-/// Run the experiment (Sphere at the default workload, as in the paper).
+/// Run the experiment (Sphere at the default workload, as in the paper —
+/// FastPSO with its default global-memory update).
 pub fn rows(scale: &Scale) -> Vec<Row> {
+    rows_with_strategy(scale, UpdateStrategy::default())
+}
+
+/// Like [`rows`], with FastPSO running a specific [`UpdateStrategy`] (the
+/// bin's `--strategy` flag; the row is labeled with the backend's name, so
+/// the default strategy keeps the golden manifest's `fastpso` rows).
+pub fn rows_with_strategy(scale: &Scale, strategy: UpdateStrategy) -> Vec<Row> {
     let cfg = PsoConfig::builder(scale.n_particles, scale.dim)
         .max_iter(scale.iters_hi)
         .seed(42)
@@ -50,9 +58,9 @@ pub fn rows(scale: &Scale) -> Vec<Row> {
         out.push(to_row("hgpu-pso", b.device().profiler()));
     }
     {
-        let b = GpuBackend::new();
+        let b = GpuBackend::new().strategy(strategy);
         b.run(&cfg, &Sphere).expect("fastpso");
-        out.push(to_row("fastpso", b.profile()));
+        out.push(to_row(b.name(), b.profile()));
     }
     out
 }

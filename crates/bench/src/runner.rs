@@ -20,7 +20,9 @@ pub fn paper_backends() -> Vec<Box<dyn PsoBackend>> {
 }
 
 /// Look up one backend by its Table-1 name (plus the FastPSO strategy
-/// variants used by Figure 6).
+/// variants used by Figure 6). The `fastpso-<strategy>` names are parsed
+/// through [`UpdateStrategy`]'s `FromStr`, so every strategy — including
+/// aliases like `fastpso-wmma` — resolves without ad-hoc string matching.
 pub fn backend_by_name(name: &str) -> Option<Box<dyn PsoBackend>> {
     Some(match name {
         "pyswarms" => Box::new(PySwarmsLike) as Box<dyn PsoBackend>,
@@ -30,9 +32,10 @@ pub fn backend_by_name(name: &str) -> Option<Box<dyn PsoBackend>> {
         "fastpso-seq" => Box::new(SeqBackend),
         "fastpso-omp" => Box::new(ParBackend),
         "fastpso" => Box::new(GpuBackend::new()),
-        "fastpso-smem" => Box::new(GpuBackend::new().strategy(UpdateStrategy::SharedMem)),
-        "fastpso-tensor" => Box::new(GpuBackend::new().strategy(UpdateStrategy::TensorCore)),
-        _ => return None,
+        _ => {
+            let strategy: UpdateStrategy = name.strip_prefix("fastpso-")?.parse().ok()?;
+            Box::new(GpuBackend::new().strategy(strategy))
+        }
     })
 }
 
@@ -135,6 +138,21 @@ mod tests {
             assert!(backend_by_name(n).is_some(), "{n} must resolve");
         }
         assert!(backend_by_name("nope").is_none());
+        assert!(backend_by_name("fastpso-bogus").is_none());
+    }
+
+    #[test]
+    fn strategy_variants_resolve_through_from_str() {
+        for (name, expect) in [
+            ("fastpso-smem", "fastpso-smem"),
+            ("fastpso-tensor", "fastpso-tensor"),
+            ("fastpso-forloop", "fastpso-forloop"),
+            ("fastpso-wmma", "fastpso-tensor"),
+            ("fastpso-global", "fastpso"),
+        ] {
+            let b = backend_by_name(name).unwrap_or_else(|| panic!("{name} must resolve"));
+            assert_eq!(b.name(), expect, "{name}");
+        }
     }
 
     #[test]

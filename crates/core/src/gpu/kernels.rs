@@ -17,6 +17,8 @@ use fastpso_prng::Philox;
 use gpu_sim::reduce::MinResult;
 use gpu_sim::tiled::TILE_SIZE;
 use gpu_sim::{Device, DeviceBuffer, KernelCost, KernelDesc, LaunchConfig, MemoryPattern, Phase};
+use std::fmt;
+use std::str::FromStr;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Flop estimate of one velocity-update element (Equation 1 + clamp).
@@ -41,6 +43,48 @@ pub enum UpdateStrategy {
     /// rung, kept as the last resort of the resilience layer's graceful
     /// degradation chain (see `resilience` module).
     ForLoop,
+}
+
+impl UpdateStrategy {
+    /// All strategies, in the paper's Figure 6 order.
+    pub const ALL: [UpdateStrategy; 4] = [
+        UpdateStrategy::GlobalMem,
+        UpdateStrategy::SharedMem,
+        UpdateStrategy::TensorCore,
+        UpdateStrategy::ForLoop,
+    ];
+}
+
+/// Canonical short names, matching the `fastpso-<suffix>` backend naming
+/// (the default strategy prints as `global`).
+impl fmt::Display for UpdateStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            UpdateStrategy::GlobalMem => "global",
+            UpdateStrategy::SharedMem => "smem",
+            UpdateStrategy::TensorCore => "tensor",
+            UpdateStrategy::ForLoop => "forloop",
+        })
+    }
+}
+
+/// Parses the canonical short names plus common aliases, case-insensitively:
+/// `global`/`globalmem`, `smem`/`shared`/`sharedmem`, `tensor`/`tensorcore`/
+/// `wmma`, `forloop`/`for-loop`/`naive`.
+impl FromStr for UpdateStrategy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "global" | "globalmem" | "global-mem" => Ok(UpdateStrategy::GlobalMem),
+            "smem" | "shared" | "sharedmem" | "shared-mem" => Ok(UpdateStrategy::SharedMem),
+            "tensor" | "tensorcore" | "tensor-core" | "wmma" => Ok(UpdateStrategy::TensorCore),
+            "forloop" | "for-loop" | "naive" => Ok(UpdateStrategy::ForLoop),
+            other => Err(format!(
+                "unknown update strategy '{other}' (expected one of: global, smem, tensor, forloop)"
+            )),
+        }
+    }
 }
 
 /// A contiguous block of particle rows resident on one device.
@@ -530,6 +574,93 @@ pub fn swarm_update(
 ) -> Result<(), PsoError> {
     velocity_update(dev, shard, cfg, t, bound, strategy, lbest)?;
     position_update(dev, shard, strategy)
+}
+
+/// Step (iv) as **one** fused launch: each logical thread applies Equation 1
+/// and Equation 2 to its element back-to-back, so the intermediate velocity
+/// never makes a round trip through global memory and one kernel-launch
+/// overhead is saved (cuPSO's fusion optimisation, applied here by the
+/// [`crate::plan`] rewrite pass).
+///
+/// Only the untiled strategies fuse ([`UpdateStrategy::GlobalMem`] and
+/// [`UpdateStrategy::ForLoop`]); the tiled variants keep their staging
+/// pipelines and are left unfused by the rewrite pass. The fused cost is the
+/// exact sum of the two split kernels' costs, so every profiler counter
+/// except the launch count is preserved — the DRAM saving is priced
+/// separately by the fusion ablation. Bitwise identical to
+/// [`swarm_update`]: the element math is the same two helpers in the same
+/// order. Unlike [`swarm_update`], the single fault gate fires before any
+/// element is written, so the fused launch IS individually retryable.
+pub fn fused_swarm_update(
+    dev: &Device,
+    shard: &mut Shard,
+    cfg: &PsoConfig,
+    t: usize,
+    bound: Option<f32>,
+    strategy: UpdateStrategy,
+    lbest: Option<&[usize]>,
+) -> Result<(), PsoError> {
+    debug_assert!(
+        matches!(
+            strategy,
+            UpdateStrategy::GlobalMem | UpdateStrategy::ForLoop
+        ),
+        "only the untiled strategies fuse"
+    );
+    let d = shard.d;
+    let elems = shard.elems() as u64;
+    let (omega, c1, c2) = (cfg.omega_at(t), cfg.c1, cfg.c2);
+    let semantics = cfg.semantics;
+    let gbest_err = shard.gbest_err;
+    let cost = KernelCost::elementwise(
+        VELOCITY_FLOPS_PER_ELEM + POSITION_FLOPS_PER_ELEM,
+        24 + 8,
+        4 + 4,
+    );
+    let desc = if strategy == UpdateStrategy::ForLoop {
+        naive_desc(shard, "swarm_update_fused_forloop", cost)
+    } else {
+        desc_for(dev, "swarm_update_fused", Phase::SwarmUpdate, cost, elems)
+    };
+    let Shard {
+        pos,
+        vel,
+        l,
+        g,
+        pbest_pos,
+        pbest_err,
+        gbest_pos,
+        ..
+    } = shard;
+    let l = l.as_slice();
+    let g = g.as_slice();
+    let pbest_pos = pbest_pos.as_slice();
+    let pbest_err = pbest_err.as_slice();
+    let gbest_pos = gbest_pos.as_slice();
+    dev.launch_chunks2(
+        &desc,
+        vel.as_mut_slice(),
+        1,
+        pos.as_mut_slice(),
+        1,
+        |i, v, p| {
+            let (row, col) = (i / d, i % d);
+            let (pb, gb) = match semantics {
+                AttractorSemantics::PositionVectors => {
+                    let social = match lbest {
+                        Some(lb) => pbest_pos[lb[row] * d + col],
+                        None => gbest_pos[col],
+                    };
+                    (pbest_pos[i], social)
+                }
+                AttractorSemantics::ScalarBroadcast => (pbest_err[row], gbest_err),
+            };
+            let nv = velocity_update_elem(v[0], p[0], l[i], g[i], pb, gb, omega, c1, c2, bound);
+            v[0] = nv;
+            p[0] = position_update_elem(p[0], nv);
+        },
+    )?;
+    Ok(())
 }
 
 #[cfg(test)]

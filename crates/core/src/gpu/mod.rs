@@ -4,19 +4,13 @@ pub mod kernels;
 pub mod multi;
 
 use crate::backend::PsoBackend;
-use crate::config::{BoundSchedule, PsoConfig};
+use crate::config::PsoConfig;
 use crate::error::PsoError;
-use crate::resilience::{
-    quarantine_nonfinite, retry_degradable, retry_op, ResilienceConfig, ShardCheckpoint,
-};
+use crate::plan::{BestReduce, ExecTarget, ExecutionPlan, PlanRun};
+use crate::resilience::ResilienceConfig;
 use crate::result::RunResult;
-use crate::topology::Topology;
 use fastpso_functions::Objective;
-use gpu_sim::{AllocMode, Device, Phase};
-use kernels::{
-    adopt_gbest_local, eval_shard, gen_weights, init_shard, local_argmin, pbest_update,
-    position_update, ring_lbest, swarm_update, velocity_update, Shard,
-};
+use gpu_sim::{AllocMode, Device};
 
 pub use kernels::UpdateStrategy;
 
@@ -30,10 +24,18 @@ pub use kernels::UpdateStrategy;
 /// let backend = GpuBackend::new().strategy(UpdateStrategy::SharedMem);
 /// assert_eq!(backend.update_strategy(), UpdateStrategy::SharedMem);
 /// ```
+///
+/// Every run builds an [`ExecutionPlan`] — the declarative per-iteration
+/// kernel graph — and hands it to the plan executor; resilience, kernel
+/// fusion and stream overlap are all plan-level concerns (see the
+/// [`crate::plan`] module).
 pub struct GpuBackend {
     device: Device,
     strategy: UpdateStrategy,
     resilience: Option<ResilienceConfig>,
+    alloc_mode: Option<AllocMode>,
+    fuse: bool,
+    streams: bool,
 }
 
 impl Default for GpuBackend {
@@ -54,6 +56,9 @@ impl GpuBackend {
             device,
             strategy: UpdateStrategy::GlobalMem,
             resilience: None,
+            alloc_mode: None,
+            fuse: false,
+            streams: false,
         }
     }
 
@@ -71,9 +76,28 @@ impl GpuBackend {
         self
     }
 
-    /// Select the device allocation mode (Table 4's ablation).
-    pub fn alloc_mode(self, mode: AllocMode) -> Self {
-        self.device.set_alloc_mode(mode);
+    /// Select the device allocation mode (Table 4's ablation). Applied to
+    /// the device at the start of every run.
+    pub fn alloc_mode(mut self, mode: AllocMode) -> Self {
+        self.alloc_mode = Some(mode);
+        self
+    }
+
+    /// Enable the kernel-fusion rewrite pass: each iteration's velocity and
+    /// position launches collapse into one `swarm_update_fused` launch,
+    /// saving a kernel-launch overhead. Bitwise-identical trajectories; the
+    /// pass is the identity for the tiled strategies.
+    pub fn fused(mut self, on: bool) -> Self {
+        self.fuse = on;
+        self
+    }
+
+    /// Enable simulated stream overlap: the stream-assignment pass schedules
+    /// weight generation on a second stream so its modeled time overlaps the
+    /// eval→reduce chain. Trajectories and per-phase accounting are
+    /// unchanged; only total modeled time shrinks.
+    pub fn streams(mut self, on: bool) -> Self {
+        self.streams = on;
         self
     }
 
@@ -96,164 +120,18 @@ impl GpuBackend {
         self.strategy
     }
 
-    /// One PSO iteration under the resilience policy: every device
-    /// operation is individually retried; a permanent swarm-update failure
-    /// walks the strategy degradation chain. Returns whether `gbest`
-    /// improved. On error, the caller restores the last checkpoint, which
-    /// rolls back any partial mutation this function made.
-    #[allow(clippy::too_many_arguments)]
-    fn resilient_iteration(
-        dev: &Device,
-        shard: &mut Shard,
-        cfg: &PsoConfig,
-        obj: &dyn Objective,
-        t: usize,
-        sched: &mut BoundSchedule,
-        strategy: &mut UpdateStrategy,
-        res: &ResilienceConfig,
-        quarantined: &mut u64,
-    ) -> Result<bool, PsoError> {
-        let policy = &res.retry;
-        retry_op(dev, policy, || eval_shard(dev, shard, obj))?;
-        if res.quarantine_nonfinite {
-            *quarantined += quarantine_nonfinite(dev, shard, obj)?;
+    /// The per-iteration kernel graph this backend executes for `cfg` —
+    /// built the same way [`GpuBackend::run`] builds it, with the configured
+    /// rewrite passes applied.
+    pub fn plan(&self, cfg: &PsoConfig) -> ExecutionPlan {
+        let mut plan = ExecutionPlan::build(cfg, 1, BestReduce::Local);
+        if self.fuse {
+            plan.fuse_swarm_update(self.strategy);
         }
-        retry_op(dev, policy, || pbest_update(dev, shard))?;
-        let best = retry_op(dev, policy, || local_argmin(dev, shard))?;
-        let improved = best.value < shard.gbest_err;
-        if improved {
-            retry_op(dev, policy, || {
-                adopt_gbest_local(dev, shard, best.index, best.value)
-            })?;
+        if self.streams {
+            plan.assign_streams();
         }
-        sched.note_iteration(improved);
-        let lbest = match cfg.topology {
-            Topology::Ring { k } => Some(retry_op(dev, policy, || ring_lbest(dev, shard, k))?),
-            Topology::Global => None,
-        };
-        retry_op(dev, policy, || gen_weights(dev, shard, cfg, t))?;
-        // Each half of the swarm update is a single fault-gated launch, so
-        // it retries (and strategy-degrades) independently — retrying the
-        // pair as one op would double-apply the in-place velocity update.
-        retry_degradable(dev, res, strategy, |st| {
-            velocity_update(dev, shard, cfg, t, sched.current(), st, lbest.as_deref())
-        })?;
-        retry_degradable(dev, res, strategy, |st| position_update(dev, shard, st))?;
-        dev.synchronize(Phase::SwarmUpdate);
-        Ok(improved)
-    }
-
-    /// The resilient run loop: like [`PsoBackend::run`], plus periodic
-    /// checkpoints and restore-and-replay when in-place retries are
-    /// exhausted. With the same seed, the `gbest` trajectory is
-    /// bit-identical to the fault-free run — recovery only costs modeled
-    /// time (visible under [`Phase::Recovery`]), never numerics.
-    fn run_resilient(
-        &self,
-        cfg: &PsoConfig,
-        obj: &dyn Objective,
-        res: &ResilienceConfig,
-    ) -> Result<RunResult, PsoError> {
-        let dev = &self.device;
-        let policy = &res.retry;
-        dev.reset_timeline();
-        let domain = cfg.resolve_domain(obj.domain());
-        let mut sched = BoundSchedule::new(cfg, domain);
-        let mut strategy = self.strategy;
-
-        let mut shard = retry_op(dev, policy, || {
-            Shard::alloc(dev, 0, cfg.n_particles, cfg.dim)
-        })?;
-        retry_op(dev, policy, || init_shard(dev, &mut shard, cfg, domain))?;
-
-        let mut history = if cfg.record_history {
-            Some(Vec::with_capacity(cfg.max_iter))
-        } else {
-            None
-        };
-        let mut stagnant = 0usize;
-        let mut iterations_run = 0usize;
-        let mut quarantined = 0u64;
-        let mut restores = 0u32;
-        let mut t = 0usize;
-
-        // Checkpoint of the state at the start of iteration `cp_t`.
-        let mut cp = ShardCheckpoint::capture(&shard);
-        let mut cp_t = 0usize;
-        let mut cp_sched = sched;
-        let mut cp_stagnant = 0usize;
-
-        while t < cfg.max_iter {
-            match Self::resilient_iteration(
-                dev,
-                &mut shard,
-                cfg,
-                obj,
-                t,
-                &mut sched,
-                &mut strategy,
-                res,
-                &mut quarantined,
-            ) {
-                Ok(improved) => {
-                    iterations_run = t + 1;
-                    if let Some(h) = history.as_mut() {
-                        h.push(shard.gbest_err);
-                    }
-                    if improved {
-                        stagnant = 0;
-                    } else {
-                        stagnant += 1;
-                    }
-                    if let Some(target) = cfg.target_value {
-                        if (shard.gbest_err as f64) <= target {
-                            break;
-                        }
-                    }
-                    if let Some(p) = cfg.patience {
-                        if stagnant >= p {
-                            break;
-                        }
-                    }
-                    t += 1;
-                    if res.checkpoint_every != 0
-                        && t.is_multiple_of(res.checkpoint_every)
-                        && t < cfg.max_iter
-                    {
-                        cp = ShardCheckpoint::capture(&shard);
-                        cp_t = t;
-                        cp_sched = sched;
-                        cp_stagnant = stagnant;
-                    }
-                }
-                Err(e) if e.is_transient() && restores < res.max_restores => {
-                    // In-place retries exhausted: roll the whole optimizer
-                    // back to the last checkpoint and replay. The replayed
-                    // iterations recompute bit-for-bit (counter-based RNG),
-                    // so only modeled time is lost.
-                    restores += 1;
-                    cp.restore_into(dev, &mut shard, policy)?;
-                    sched = cp_sched;
-                    stagnant = cp_stagnant;
-                    t = cp_t;
-                    iterations_run = t;
-                    if let Some(h) = history.as_mut() {
-                        h.truncate(t);
-                    }
-                }
-                Err(e) => return Err(e),
-            }
-        }
-
-        let best_position = shard.gbest_pos.download_in(Phase::Other);
-        Ok(RunResult {
-            best_value: shard.gbest_err as f64,
-            best_position,
-            iterations: iterations_run,
-            evaluations: (cfg.n_particles * iterations_run) as u64,
-            timeline: dev.timeline(),
-            history,
-        })
+        plan
     }
 }
 
@@ -268,89 +146,20 @@ impl PsoBackend for GpuBackend {
     }
 
     fn run(&self, cfg: &PsoConfig, obj: &dyn Objective) -> Result<RunResult, PsoError> {
-        if let Some(res) = &self.resilience {
-            return self.run_resilient(cfg, obj, res);
+        if let Some(mode) = self.alloc_mode {
+            self.device.set_alloc_mode(mode);
         }
-        let dev = &self.device;
-        dev.reset_timeline();
-        let domain = cfg.resolve_domain(obj.domain());
-        let mut sched = BoundSchedule::new(cfg, domain);
-
-        // Step (i): allocate and initialize on-device.
-        let mut shard = Shard::alloc(dev, 0, cfg.n_particles, cfg.dim)?;
-        init_shard(dev, &mut shard, cfg, domain)?;
-
-        let mut history = if cfg.record_history {
-            Some(Vec::with_capacity(cfg.max_iter))
-        } else {
-            None
-        };
-        let mut stagnant = 0usize;
-        let mut iterations_run = 0usize;
-
-        for t in 0..cfg.max_iter {
-            iterations_run = t + 1;
-            // Step (ii): evaluation.
-            eval_shard(dev, &mut shard, obj)?;
-            // Step (iii): pbest / gbest.
-            pbest_update(dev, &mut shard)?;
-            let best = local_argmin(dev, &shard)?;
-            let improved = best.value < shard.gbest_err;
-            if improved {
-                adopt_gbest_local(dev, &mut shard, best.index, best.value)?;
-            }
-            sched.note_iteration(improved);
-            // Ring topology: gather each particle's neighborhood best.
-            let lbest = match cfg.topology {
-                Topology::Ring { k } => Some(ring_lbest(dev, &shard, k)?),
-                Topology::Global => None,
-            };
-            // Per-iteration weight matrices (charged to Init, see §3.1).
-            gen_weights(dev, &mut shard, cfg, t)?;
-            // Step (iv): swarm update.
-            swarm_update(
-                dev,
-                &mut shard,
-                cfg,
-                t,
-                sched.current(),
-                self.strategy,
-                lbest.as_deref(),
-            )?;
-            dev.synchronize(Phase::SwarmUpdate);
-
-            if let Some(h) = history.as_mut() {
-                h.push(shard.gbest_err);
-            }
-
-            // Early termination (library extension; None by default).
-            if improved {
-                stagnant = 0;
-            } else {
-                stagnant += 1;
-            }
-            if let Some(target) = cfg.target_value {
-                if (shard.gbest_err as f64) <= target {
-                    break;
-                }
-            }
-            if let Some(p) = cfg.patience {
-                if stagnant >= p {
-                    break;
-                }
-            }
+        let plan = self.plan(cfg);
+        PlanRun {
+            plan: &plan,
+            cfg,
+            obj,
+            strategy: self.strategy,
+            resilience: self.resilience.as_ref(),
+            partitions: vec![(0, cfg.n_particles)],
+            target: ExecTarget::Single(&self.device),
         }
-
-        // Bring the result back to the host (the only mandatory transfer).
-        let best_position = shard.gbest_pos.download_in(Phase::Other);
-        Ok(RunResult {
-            best_value: shard.gbest_err as f64,
-            best_position,
-            iterations: iterations_run,
-            evaluations: (cfg.n_particles * iterations_run) as u64,
-            timeline: dev.timeline(),
-            history,
-        })
+        .execute()
     }
 }
 
@@ -445,5 +254,39 @@ mod tests {
         let caching = run(AllocMode::Caching);
         let realloc = run(AllocMode::Realloc);
         assert!(caching < realloc, "caching {caching} vs realloc {realloc}");
+    }
+
+    #[test]
+    fn fused_run_matches_split_run_bitwise() {
+        for strategy in [UpdateStrategy::GlobalMem, UpdateStrategy::ForLoop] {
+            let c = cfg(48, 6, 40);
+            let split = GpuBackend::new()
+                .strategy(strategy)
+                .run(&c, &Sphere)
+                .unwrap();
+            let fused = GpuBackend::new()
+                .strategy(strategy)
+                .fused(true)
+                .run(&c, &Sphere)
+                .unwrap();
+            assert_eq!(split.best_value, fused.best_value, "{strategy}");
+            assert_eq!(split.best_position, fused.best_position);
+        }
+    }
+
+    #[test]
+    fn streams_hide_time_without_changing_results() {
+        let c = cfg(256, 32, 30);
+        let off = GpuBackend::new().run(&c, &Sphere).unwrap();
+        let on = GpuBackend::new().streams(true).run(&c, &Sphere).unwrap();
+        assert_eq!(off.best_value, on.best_value);
+        assert_eq!(off.best_position, on.best_position);
+        assert!(on.timeline.overlapped_seconds() > 0.0);
+        assert!(
+            on.elapsed_seconds() < off.elapsed_seconds(),
+            "overlap should shrink modeled time: on {} vs off {}",
+            on.elapsed_seconds(),
+            off.elapsed_seconds()
+        );
     }
 }

@@ -14,23 +14,23 @@
 //!
 //! Modeled wall-clock for a group is the per-device maximum — devices run
 //! concurrently — plus the charged exchange traffic.
+//!
+//! Both strategies lower onto the same [`ExecutionPlan`] the single-GPU
+//! backend uses, with a [`BestReduce::Exchange`] reduction node standing in
+//! for the local adopt; the plan executor (see [`crate::plan`]) owns the
+//! run loop, resilience and stream scheduling.
 
 use crate::backend::PsoBackend;
-use crate::config::{BoundSchedule, PsoConfig};
+use crate::config::PsoConfig;
 use crate::error::PsoError;
-use crate::resilience::{
-    quarantine_nonfinite, retry_degradable, retry_op, ResilienceConfig, RetryPolicy,
-    ShardCheckpoint,
-};
+use crate::plan::{BestReduce, ExecTarget, ExecutionPlan, PlanRun};
+use crate::resilience::ResilienceConfig;
 use crate::result::RunResult;
 use crate::swarm::Swarm;
 use fastpso_functions::Objective;
-use gpu_sim::{DeviceGroup, Phase, Timeline};
+use gpu_sim::{AllocMode, DeviceGroup};
 
-use super::kernels::{
-    adopt_gbest_from_host, adopt_gbest_local, eval_shard, gen_weights, init_shard, local_argmin,
-    pbest_update, position_update, swarm_update, velocity_update, Shard, UpdateStrategy,
-};
+use super::kernels::UpdateStrategy;
 
 /// Multi-GPU work decomposition (paper §3.5).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,6 +50,9 @@ pub struct MultiGpuBackend {
     strategy: MultiGpuStrategy,
     update: UpdateStrategy,
     resilience: Option<ResilienceConfig>,
+    alloc_mode: Option<AllocMode>,
+    fuse: bool,
+    streams: bool,
 }
 
 impl MultiGpuBackend {
@@ -65,6 +68,9 @@ impl MultiGpuBackend {
             strategy,
             update: UpdateStrategy::GlobalMem,
             resilience: None,
+            alloc_mode: None,
+            fuse: false,
+            streams: false,
         }
     }
 
@@ -80,6 +86,27 @@ impl MultiGpuBackend {
     /// path — re-homing a lost device's sub-swarm onto a survivor.
     pub fn resilient(mut self, r: ResilienceConfig) -> Self {
         self.resilience = Some(r);
+        self
+    }
+
+    /// Select the allocation mode for every device in the group (Table 4's
+    /// ablation). Applied at the start of every run.
+    pub fn alloc_mode(mut self, mode: AllocMode) -> Self {
+        self.alloc_mode = Some(mode);
+        self
+    }
+
+    /// Enable the kernel-fusion rewrite pass on every shard's update pair
+    /// (identity for the tiled strategies; see [`ExecutionPlan::fuse_swarm_update`]).
+    pub fn fused(mut self, on: bool) -> Self {
+        self.fuse = on;
+        self
+    }
+
+    /// Enable simulated stream overlap on every device (see
+    /// [`ExecutionPlan::assign_streams`]).
+    pub fn streams(mut self, on: bool) -> Self {
+        self.streams = on;
         self
     }
 
@@ -125,330 +152,25 @@ impl MultiGpuBackend {
         Ok(())
     }
 
-    /// Report with the group's concurrent-elapsed semantics: a timeline
-    /// whose per-phase values are scaled so the total equals the
-    /// max-over-devices wall clock.
-    fn scaled_group_timeline(&self) -> Timeline {
-        let merged = self.group.merged_timeline();
-        let wall = self.group.elapsed_seconds();
-        let mut tl = Timeline::new();
-        let total = merged.total_seconds();
-        if total > 0.0 {
-            let scale = wall / total;
-            for (phase, secs) in merged.breakdown() {
-                tl.charge(phase, secs * scale, merged.phase_counters(phase));
-            }
-        }
-        tl
-    }
-
-    /// Re-home every shard whose device has been permanently lost onto the
-    /// least-loaded survivor (ties broken by device index, so the choice is
-    /// deterministic), reallocating its device buffers there. The caller
-    /// restores state from the last checkpoint afterwards.
-    fn rehome_lost_shards(
-        &self,
-        homes: &mut [usize],
-        shards: &mut [Shard],
-        policy: &RetryPolicy,
-    ) -> Result<(), PsoError> {
-        let survivors = self.group.survivors();
-        let mut load = vec![0usize; self.group.len()];
-        for (&h, _) in homes.iter().zip(shards.iter()) {
-            if !self.group.device(h)?.is_lost() {
-                load[h] += 1;
-            }
-        }
-        for s in 0..homes.len() {
-            if self.group.device(homes[s])?.is_lost() {
-                let &new_home = survivors
-                    .iter()
-                    .min_by_key(|&&i| (load[i], i))
-                    .expect("caller guarantees at least one survivor");
-                load[new_home] += 1;
-                let dev = self.group.device(new_home)?;
-                let (row0, rows, d) = (shards[s].row0, shards[s].rows, shards[s].d);
-                shards[s] = retry_op(dev, policy, || Shard::alloc(dev, row0, rows, d))?;
-                homes[s] = new_home;
-            }
-        }
-        Ok(())
-    }
-
-    /// Restore every shard from the group checkpoint (uploads are retried
-    /// and charged to [`Phase::Recovery`]).
-    fn restore_group(
-        &self,
-        cp: &GroupCheckpoint,
-        homes: &[usize],
-        shards: &mut [Shard],
-        policy: &RetryPolicy,
-    ) -> Result<(), PsoError> {
-        for (s, shard) in shards.iter_mut().enumerate() {
-            let dev = self.group.device(homes[s])?;
-            cp.shards[s].restore_into(dev, shard, policy)?;
-        }
-        Ok(())
-    }
-
-    /// One lock-step multi-GPU iteration under the resilience policy.
-    /// Returns whether the global best improved. Mirrors the plain
-    /// [`PsoBackend::run`] loop body operation-for-operation, so a faulted
-    /// run's trajectory stays bit-identical to the fault-free run.
-    #[allow(clippy::too_many_arguments)]
-    fn resilient_iteration(
-        &self,
-        cfg: &PsoConfig,
-        obj: &dyn Objective,
-        res: &ResilienceConfig,
-        shards: &mut [Shard],
-        homes: &[usize],
-        t: usize,
-        sched: &mut BoundSchedule,
-        strategy: &mut UpdateStrategy,
-        global_best_err: &mut f32,
-        global_best_pos: &mut [f32],
-        quarantined: &mut u64,
-    ) -> Result<bool, PsoError> {
-        let policy = &res.retry;
-        let d = cfg.dim;
-        let gbest_before = *global_best_err;
-
-        let mut locals = Vec::with_capacity(shards.len());
-        for (s, shard) in shards.iter_mut().enumerate() {
-            let dev = self.group.device(homes[s])?;
-            retry_op(dev, policy, || eval_shard(dev, shard, obj))?;
-            if res.quarantine_nonfinite {
-                *quarantined += quarantine_nonfinite(dev, shard, obj)?;
-            }
-            retry_op(dev, policy, || pbest_update(dev, shard))?;
-            locals.push(retry_op(dev, policy, || local_argmin(dev, shard))?);
-        }
-
-        let sync_now = match self.strategy {
-            MultiGpuStrategy::TileMatrix => true,
-            MultiGpuStrategy::ParticleSplit { sync_every } => {
-                sync_every != 0 && (t + 1).is_multiple_of(sync_every)
-            }
+    /// The per-iteration kernel graph this backend executes for `cfg`: one
+    /// shard per device with an exchange reduction (every iteration for
+    /// tile-matrix, every `sync_every` for particle-split), plus the
+    /// configured rewrite passes.
+    pub fn plan(&self, cfg: &PsoConfig) -> ExecutionPlan {
+        let sync_every = match self.strategy {
+            MultiGpuStrategy::TileMatrix => 1,
+            MultiGpuStrategy::ParticleSplit { sync_every } => sync_every,
         };
-
-        if sync_now {
-            self.group.exchange(Phase::GBest, (d as u64 + 1) * 4);
-            let (mut win_dev, mut win) = (0usize, locals[0]);
-            for (i, r) in locals.iter().enumerate().skip(1) {
-                if r.value < win.value || (r.value == win.value && r.index < win.index) {
-                    win_dev = i;
-                    win = *r;
-                }
-            }
-            if win.value < *global_best_err {
-                *global_best_err = win.value;
-                let shard = &shards[win_dev];
-                let local = win.index - shard.row0;
-                global_best_pos
-                    .copy_from_slice(&shard.pbest_pos.as_slice()[local * d..(local + 1) * d]);
-            }
-            for (s, shard) in shards.iter_mut().enumerate() {
-                if *global_best_err < shard.gbest_err {
-                    let dev = self.group.device(homes[s])?;
-                    if s == win_dev && win.value == *global_best_err {
-                        retry_op(dev, policy, || {
-                            adopt_gbest_local(dev, shard, win.index, win.value)
-                        })?;
-                    } else {
-                        let err = *global_best_err;
-                        retry_op(dev, policy, || {
-                            adopt_gbest_from_host(dev, shard, global_best_pos, err)
-                        })?;
-                    }
-                }
-            }
-        } else {
-            for (s, (shard, r)) in shards.iter_mut().zip(&locals).enumerate() {
-                if r.value < shard.gbest_err {
-                    let dev = self.group.device(homes[s])?;
-                    retry_op(dev, policy, || {
-                        adopt_gbest_local(dev, shard, r.index, r.value)
-                    })?;
-                }
-            }
-            for (shard, r) in shards.iter().zip(&locals) {
-                if r.value < *global_best_err {
-                    *global_best_err = r.value;
-                    let local = r.index - shard.row0;
-                    global_best_pos
-                        .copy_from_slice(&shard.pbest_pos.as_slice()[local * d..(local + 1) * d]);
-                }
-            }
+        let mut plan =
+            ExecutionPlan::build(cfg, self.group.len(), BestReduce::Exchange { sync_every });
+        if self.fuse {
+            plan.fuse_swarm_update(self.update);
         }
-
-        sched.note_iteration(*global_best_err < gbest_before);
-        for (s, shard) in shards.iter_mut().enumerate() {
-            let dev = self.group.device(homes[s])?;
-            retry_op(dev, policy, || gen_weights(dev, shard, cfg, t))?;
-            // Retried half-by-half: each half is one fault-gated launch, so
-            // a retry never double-applies the in-place velocity update.
-            retry_degradable(dev, res, strategy, |st| {
-                velocity_update(dev, shard, cfg, t, sched.current(), st, None)
-            })?;
-            retry_degradable(dev, res, strategy, |st| position_update(dev, shard, st))?;
-            dev.synchronize(Phase::SwarmUpdate);
+        if self.streams {
+            plan.assign_streams();
         }
-        Ok(*global_best_err < gbest_before)
+        plan
     }
-
-    /// The resilient multi-GPU run loop: per-operation retry, synchronized
-    /// group checkpoints with restore-and-replay, and — on permanent device
-    /// loss — re-homing the lost device's shard(s) onto survivors before
-    /// replaying from the last checkpoint. Because shards are addressed by
-    /// *global* row ranges and all randomness is counter-based, the `gbest`
-    /// trajectory after any amount of recovery is bit-identical to the
-    /// fault-free run.
-    fn run_resilient(
-        &self,
-        cfg: &PsoConfig,
-        obj: &dyn Objective,
-        res: &ResilienceConfig,
-    ) -> Result<RunResult, PsoError> {
-        let policy = &res.retry;
-        self.group.reset_timelines();
-        let domain = cfg.resolve_domain(obj.domain());
-        let mut sched = BoundSchedule::new(cfg, domain);
-        let d = cfg.dim;
-        let mut strategy = self.update;
-
-        // Initial placement: shard `i` homes on device `i`.
-        let mut homes: Vec<usize> = (0..self.group.len()).collect();
-        let mut shards: Vec<Shard> = Vec::with_capacity(self.group.len());
-        for (i, (row0, rows)) in self.partition(cfg.n_particles).into_iter().enumerate() {
-            let dev = self.group.device(i)?;
-            let mut shard = retry_op(dev, policy, || Shard::alloc(dev, row0, rows, d))?;
-            retry_op(dev, policy, || init_shard(dev, &mut shard, cfg, domain))?;
-            shards.push(shard);
-        }
-
-        let mut history = if cfg.record_history {
-            Some(Vec::with_capacity(cfg.max_iter))
-        } else {
-            None
-        };
-        let mut global_best_err = f32::INFINITY;
-        let mut global_best_pos = vec![0.0f32; d];
-        let mut stagnant = 0usize;
-        let mut iterations_run = 0usize;
-        let mut quarantined = 0u64;
-        let mut restores = 0u32;
-        let mut t = 0usize;
-
-        let mut cp = GroupCheckpoint {
-            shards: shards.iter().map(ShardCheckpoint::capture).collect(),
-            iteration: 0,
-            sched,
-            stagnant: 0,
-            global_best_err,
-            global_best_pos: global_best_pos.clone(),
-        };
-
-        while t < cfg.max_iter {
-            let step = self.resilient_iteration(
-                cfg,
-                obj,
-                res,
-                &mut shards,
-                &homes,
-                t,
-                &mut sched,
-                &mut strategy,
-                &mut global_best_err,
-                &mut global_best_pos,
-                &mut quarantined,
-            );
-            match step {
-                Ok(improved) => {
-                    iterations_run = t + 1;
-                    if let Some(h) = history.as_mut() {
-                        h.push(global_best_err);
-                    }
-                    if improved {
-                        stagnant = 0;
-                    } else {
-                        stagnant += 1;
-                    }
-                    if let Some(target) = cfg.target_value {
-                        if (global_best_err as f64) <= target {
-                            break;
-                        }
-                    }
-                    if let Some(p) = cfg.patience {
-                        if stagnant >= p {
-                            break;
-                        }
-                    }
-                    t += 1;
-                    if res.checkpoint_every != 0
-                        && t.is_multiple_of(res.checkpoint_every)
-                        && t < cfg.max_iter
-                    {
-                        cp = GroupCheckpoint {
-                            shards: shards.iter().map(ShardCheckpoint::capture).collect(),
-                            iteration: t,
-                            sched,
-                            stagnant,
-                            global_best_err,
-                            global_best_pos: global_best_pos.clone(),
-                        };
-                    }
-                }
-                Err(e) => {
-                    let lost = e.lost_device();
-                    let recoverable =
-                        (lost.is_some() || e.is_transient()) && restores < res.max_restores;
-                    if !recoverable {
-                        return Err(e);
-                    }
-                    restores += 1;
-                    if lost.is_some() {
-                        if self.group.survivors().is_empty() {
-                            return Err(e);
-                        }
-                        self.rehome_lost_shards(&mut homes, &mut shards, policy)?;
-                    }
-                    // Roll the whole group back to the last checkpoint and
-                    // replay; the replayed iterations recompute bit-for-bit.
-                    self.restore_group(&cp, &homes, &mut shards, policy)?;
-                    sched = cp.sched;
-                    stagnant = cp.stagnant;
-                    global_best_err = cp.global_best_err;
-                    global_best_pos.copy_from_slice(&cp.global_best_pos);
-                    t = cp.iteration;
-                    iterations_run = t;
-                    if let Some(h) = history.as_mut() {
-                        h.truncate(t);
-                    }
-                }
-            }
-        }
-
-        Ok(RunResult {
-            best_value: global_best_err as f64,
-            best_position: global_best_pos,
-            iterations: iterations_run,
-            evaluations: (cfg.n_particles * iterations_run) as u64,
-            timeline: self.scaled_group_timeline(),
-            history,
-        })
-    }
-}
-
-/// Synchronized snapshot of the whole group's optimizer state at an
-/// iteration boundary.
-struct GroupCheckpoint {
-    shards: Vec<ShardCheckpoint>,
-    iteration: usize,
-    sched: BoundSchedule,
-    stagnant: usize,
-    global_best_err: f32,
-    global_best_pos: Vec<f32>,
 }
 
 impl PsoBackend for MultiGpuBackend {
@@ -461,142 +183,22 @@ impl PsoBackend for MultiGpuBackend {
 
     fn run(&self, cfg: &PsoConfig, obj: &dyn Objective) -> Result<RunResult, PsoError> {
         self.validate_run(cfg)?;
-        if let Some(res) = &self.resilience {
-            return self.run_resilient(cfg, obj, res);
-        }
-        self.group.reset_timelines();
-        let domain = cfg.resolve_domain(obj.domain());
-        let mut sched = BoundSchedule::new(cfg, domain);
-        let d = cfg.dim;
-
-        // Allocate and initialize one shard per device.
-        let mut shards: Vec<Shard> = Vec::with_capacity(self.group.len());
-        for (i, (row0, rows)) in self.partition(cfg.n_particles).into_iter().enumerate() {
-            let dev = self.group.device(i)?;
-            let mut shard = Shard::alloc(dev, row0, rows, d)?;
-            init_shard(dev, &mut shard, cfg, domain)?;
-            shards.push(shard);
-        }
-
-        let mut history = if cfg.record_history {
-            Some(Vec::with_capacity(cfg.max_iter))
-        } else {
-            None
-        };
-        // Host-side copy of the global best for broadcast.
-        let mut global_best_err = f32::INFINITY;
-        let mut global_best_pos = vec![0.0f32; d];
-        let mut stagnant = 0usize;
-        let mut iterations_run = 0usize;
-
-        for t in 0..cfg.max_iter {
-            iterations_run = t + 1;
-            let gbest_before = global_best_err;
-            // Per-device: eval, pbest, local argmin.
-            let mut locals = Vec::with_capacity(shards.len());
-            for (i, shard) in shards.iter_mut().enumerate() {
-                let dev = self.group.device(i)?;
-                eval_shard(dev, shard, obj)?;
-                pbest_update(dev, shard)?;
-                locals.push(local_argmin(dev, shard)?);
-            }
-
-            let sync_now = match self.strategy {
-                MultiGpuStrategy::TileMatrix => true,
-                MultiGpuStrategy::ParticleSplit { sync_every } => {
-                    sync_every != 0 && (t + 1).is_multiple_of(sync_every)
-                }
-            };
-
-            if sync_now {
-                // Global reduction: every device publishes its local best
-                // (value + position row), the winner is broadcast.
-                self.group.exchange(Phase::GBest, (d as u64 + 1) * 4);
-                let (mut win_dev, mut win) = (0usize, locals[0]);
-                for (i, r) in locals.iter().enumerate().skip(1) {
-                    if r.value < win.value || (r.value == win.value && r.index < win.index) {
-                        win_dev = i;
-                        win = *r;
-                    }
-                }
-                if win.value < global_best_err {
-                    global_best_err = win.value;
-                    let shard = &shards[win_dev];
-                    let local = win.index - shard.row0;
-                    global_best_pos
-                        .copy_from_slice(&shard.pbest_pos.as_slice()[local * d..(local + 1) * d]);
-                }
-                for (i, shard) in shards.iter_mut().enumerate() {
-                    if global_best_err < shard.gbest_err {
-                        let dev = self.group.device(i)?;
-                        if i == win_dev && win.value == global_best_err {
-                            adopt_gbest_local(dev, shard, win.index, global_best_err)?;
-                        } else {
-                            adopt_gbest_from_host(dev, shard, &global_best_pos, global_best_err)?;
-                        }
-                    }
-                }
-            } else {
-                // Particle split between syncs: adopt only the local best.
-                for (i, (shard, r)) in shards.iter_mut().zip(&locals).enumerate() {
-                    if r.value < shard.gbest_err {
-                        let dev = self.group.device(i)?;
-                        adopt_gbest_local(dev, shard, r.index, r.value)?;
-                    }
-                }
-                // Track the global best for reporting even without sync.
-                for (shard, r) in shards.iter().zip(&locals) {
-                    if r.value < global_best_err {
-                        global_best_err = r.value;
-                        let local = r.index - shard.row0;
-                        global_best_pos.copy_from_slice(
-                            &shard.pbest_pos.as_slice()[local * d..(local + 1) * d],
-                        );
-                    }
-                }
-            }
-
-            // Advance the shared adaptive bound, then update per device.
-            sched.note_iteration(global_best_err < gbest_before);
-            for (i, shard) in shards.iter_mut().enumerate() {
-                let dev = self.group.device(i)?;
-                gen_weights(dev, shard, cfg, t)?;
-                swarm_update(dev, shard, cfg, t, sched.current(), self.update, None)?;
-                dev.synchronize(Phase::SwarmUpdate);
-            }
-
-            if let Some(h) = history.as_mut() {
-                h.push(global_best_err);
-            }
-
-            // Early termination, mirroring the single-device backends.
-            if global_best_err < gbest_before {
-                stagnant = 0;
-            } else {
-                stagnant += 1;
-            }
-            if let Some(target) = cfg.target_value {
-                if (global_best_err as f64) <= target {
-                    break;
-                }
-            }
-            if let Some(p) = cfg.patience {
-                if stagnant >= p {
-                    break;
-                }
+        if let Some(mode) = self.alloc_mode {
+            for dev in self.group.iter() {
+                dev.set_alloc_mode(mode);
             }
         }
-
-        let tl = self.scaled_group_timeline();
-
-        Ok(RunResult {
-            best_value: global_best_err as f64,
-            best_position: global_best_pos,
-            iterations: iterations_run,
-            evaluations: (cfg.n_particles * iterations_run) as u64,
-            timeline: tl,
-            history,
-        })
+        let plan = self.plan(cfg);
+        PlanRun {
+            plan: &plan,
+            cfg,
+            obj,
+            strategy: self.update,
+            resilience: self.resilience.as_ref(),
+            partitions: self.partition(cfg.n_particles),
+            target: ExecTarget::Group(&self.group),
+        }
+        .execute()
     }
 }
 
@@ -689,5 +291,34 @@ mod tests {
         assert_eq!(parts, vec![(0, 4), (4, 3), (7, 3)]);
         let total: usize = parts.iter().map(|(_, r)| r).sum();
         assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn fused_multi_matches_split_multi_bitwise() {
+        let c = cfg(48, 6, 40);
+        let plain = MultiGpuBackend::new(3, MultiGpuStrategy::TileMatrix)
+            .run(&c, &Sphere)
+            .unwrap();
+        let fused = MultiGpuBackend::new(3, MultiGpuStrategy::TileMatrix)
+            .fused(true)
+            .run(&c, &Sphere)
+            .unwrap();
+        assert_eq!(plain.best_value, fused.best_value);
+        assert_eq!(plain.best_position, fused.best_position);
+    }
+
+    #[test]
+    fn streamed_multi_hides_time_without_changing_results() {
+        let c = cfg(512, 32, 20);
+        let off = MultiGpuBackend::new(2, MultiGpuStrategy::TileMatrix)
+            .run(&c, &Sphere)
+            .unwrap();
+        let on = MultiGpuBackend::new(2, MultiGpuStrategy::TileMatrix)
+            .streams(true)
+            .run(&c, &Sphere)
+            .unwrap();
+        assert_eq!(off.best_value, on.best_value);
+        assert_eq!(off.best_position, on.best_position);
+        assert!(on.elapsed_seconds() < off.elapsed_seconds());
     }
 }

@@ -45,6 +45,7 @@ pub mod error;
 pub mod gpu;
 pub mod math;
 pub mod par;
+pub mod plan;
 pub mod profiling;
 pub mod resilience;
 pub mod result;
@@ -59,6 +60,7 @@ pub use error::PsoError;
 pub use gpu::multi::{MultiGpuBackend, MultiGpuStrategy};
 pub use gpu::{GpuBackend, UpdateStrategy};
 pub use par::ParBackend;
+pub use plan::{BestReduce, ExecutionPlan, PlanNode, PlanOp};
 pub use profiling::CounterAsserts;
 pub use resilience::{FallbackBackend, ResilienceConfig, RetryPolicy, ShardCheckpoint};
 pub use result::RunResult;

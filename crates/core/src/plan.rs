@@ -1,0 +1,1015 @@
+//! Execution plans: a declarative per-iteration kernel graph and the single
+//! executor that replaced the four hand-rolled GPU run loops.
+//!
+//! One FastPSO iteration is always the same dataflow — evaluate, update
+//! per-particle bests, reduce the swarm best, regenerate weights, apply the
+//! swarm update (paper §3.1's four steps) — but the seed grew four separate
+//! loop bodies encoding it: plain and resilient, single- and multi-GPU.
+//! This module factors the dataflow out as data. [`ExecutionPlan::build`]
+//! turns a [`PsoConfig`] plus a shard count into a list of [`PlanNode`]s
+//! (kernel invocations with phase, shard and dependency edges), optimisation
+//! passes rewrite the graph ([`ExecutionPlan::fuse_swarm_update`],
+//! [`ExecutionPlan::assign_streams`]), and [`PlanRun`] walks the node list
+//! once per iteration with resilience (retry, checkpoint/replay, strategy
+//! degradation, shard re-homing) attached as hooks around node dispatch
+//! rather than baked into the loop.
+//!
+//! Two invariants keep the refactor honest, and the `plan` integration test
+//! plus `tests/perf_invariants.rs` pin both:
+//!
+//! * **Node order is execution order.** Nodes are constructed in exactly the
+//!   sequence the legacy loops issued their kernels, and the executor never
+//!   reorders. Dependency edges exist for the rewrite passes (fusion
+//!   locality, stream scheduling), not for a scheduler — so launch schedules
+//!   and `gbest` trajectories are byte- and bit-identical to the seed.
+//! * **Passes are opt-in.** A freshly built plan executes the legacy
+//!   schedule; fusion and streams only change anything when a backend
+//!   explicitly enables them.
+//!
+//! With [`ExecutionPlan::assign_streams`], nodes with no dependency path
+//! between them are pushed onto different simulated stream lanes (see
+//! `gpu_sim::stream`): weight generation — which depends on nothing inside
+//! the iteration — runs on lane 1 and overlaps the eval→reduce chain, with
+//! a recorded [`Event`] ordering it before the velocity update that consumes
+//! the weights. The `ablation_overlap` bench bin measures the hidden time.
+
+use crate::config::{BoundSchedule, PsoConfig};
+use crate::error::PsoError;
+use crate::gpu::kernels::{
+    adopt_gbest_from_host, adopt_gbest_local, eval_shard, fused_swarm_update, gen_weights,
+    init_shard, local_argmin, pbest_update, position_update, ring_lbest, velocity_update, Shard,
+    UpdateStrategy,
+};
+use crate::resilience::{
+    quarantine_nonfinite, retry_degradable, retry_op, ResilienceConfig, RetryPolicy,
+    ShardCheckpoint,
+};
+use crate::result::RunResult;
+use crate::topology::Topology;
+use fastpso_functions::Objective;
+use gpu_sim::reduce::MinResult;
+use gpu_sim::{Device, DeviceGroup, Event, Phase, Timeline};
+
+/// One kernel-level operation of a FastPSO iteration (paper §3.1's steps,
+/// at launch granularity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanOp {
+    /// Step (ii): evaluate the objective over a shard's rows.
+    Eval,
+    /// Step (iii), per-particle half: update pbest errors/positions.
+    PBest,
+    /// Step (iii), reduction half: argmin over a shard's pbest errors.
+    Argmin,
+    /// Step (iii), adoption half: combine per-shard argmins into the swarm
+    /// best and adopt it on every shard that improves. Local reduction for
+    /// one shard, an exchange + broadcast for a device group.
+    ReduceAdopt,
+    /// Ring-topology neighbourhood bests (single-shard plans only; the
+    /// multi-GPU backends reject ring configs).
+    RingLbest {
+        /// Neighbourhood half-width.
+        k: usize,
+    },
+    /// Per-iteration `L`/`G` weight matrices. Depends on nothing inside the
+    /// iteration — the stream pass exploits exactly this.
+    GenWeights,
+    /// Step (iv), first half: Equation 1 in place on `V`.
+    Velocity,
+    /// Step (iv), second half: Equation 2 in place on `P`.
+    Position,
+    /// Steps (iv) fused into one launch (the fusion pass rewrites
+    /// `Velocity` + `Position` pairs into this).
+    FusedSwarmUpdate,
+    /// End-of-iteration device synchronisation; with streams enabled this
+    /// is also the join point where lanes merge back into the timeline.
+    DeviceSync,
+}
+
+/// One node of the per-iteration kernel graph: an operation, the shard it
+/// acts on, and its edges.
+#[derive(Debug, Clone)]
+pub struct PlanNode {
+    /// What to launch.
+    pub op: PlanOp,
+    /// Which shard (device-resident row block) the op acts on. For
+    /// [`PlanOp::ReduceAdopt`] — which touches every shard — this is 0.
+    pub shard: usize,
+    /// Timeline phase the op's launches are charged to (informational; the
+    /// kernels themselves carry their phase).
+    pub phase: Phase,
+    /// Indices of nodes this one consumes data from. Used by the rewrite
+    /// passes; the executor runs nodes in list order regardless.
+    pub deps: Vec<usize>,
+    /// Simulated stream lane the op is issued on (0 = default stream;
+    /// meaningful only when the plan has streams enabled).
+    pub stream: u32,
+    /// Nodes whose recorded [`Event`] this op waits on before issuing
+    /// (cross-lane ordering; populated by the stream pass).
+    pub wait: Vec<usize>,
+}
+
+/// How step (iii) combines per-shard bests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BestReduce {
+    /// Single shard: adopt the local argmin directly.
+    Local,
+    /// Device group: exchange local bests and broadcast the winner every
+    /// `sync_every` iterations (1 = every iteration, the tile-matrix
+    /// decomposition; 0 = never sync, track the global best host-side only).
+    Exchange {
+        /// Iterations between best exchanges.
+        sync_every: usize,
+    },
+}
+
+/// The per-iteration kernel graph, built once per run from the config.
+#[derive(Debug, Clone)]
+pub struct ExecutionPlan {
+    /// Nodes in execution order.
+    pub nodes: Vec<PlanNode>,
+    /// Number of shards the plan spans.
+    pub n_shards: usize,
+    /// Best-reduction mode.
+    pub reduce: BestReduce,
+    /// Whether the stream pass ran (nodes carry lane assignments and the
+    /// executor opens stream windows).
+    pub streams_enabled: bool,
+}
+
+fn push(
+    nodes: &mut Vec<PlanNode>,
+    op: PlanOp,
+    shard: usize,
+    phase: Phase,
+    deps: Vec<usize>,
+) -> usize {
+    nodes.push(PlanNode {
+        op,
+        shard,
+        phase,
+        deps,
+        stream: 0,
+        wait: Vec::new(),
+    });
+    nodes.len() - 1
+}
+
+impl ExecutionPlan {
+    /// Build the iteration graph for `n_shards` shards. Node construction
+    /// order is the legacy loops' execution order: per-shard
+    /// eval→pbest→argmin, one reduce/adopt, the optional ring gather, then
+    /// per-shard gen-weights→velocity→position→sync.
+    pub fn build(cfg: &PsoConfig, n_shards: usize, reduce: BestReduce) -> ExecutionPlan {
+        assert!(n_shards > 0, "a plan needs at least one shard");
+        let mut nodes = Vec::with_capacity(4 + 7 * n_shards);
+        let mut argmins = Vec::with_capacity(n_shards);
+        for s in 0..n_shards {
+            let e = push(&mut nodes, PlanOp::Eval, s, Phase::Eval, vec![]);
+            let p = push(&mut nodes, PlanOp::PBest, s, Phase::PBest, vec![e]);
+            argmins.push(push(&mut nodes, PlanOp::Argmin, s, Phase::GBest, vec![p]));
+        }
+        let reduce_idx = push(&mut nodes, PlanOp::ReduceAdopt, 0, Phase::GBest, argmins);
+        let mut barrier = reduce_idx;
+        if n_shards == 1 {
+            if let Topology::Ring { k } = cfg.topology {
+                barrier = push(
+                    &mut nodes,
+                    PlanOp::RingLbest { k },
+                    0,
+                    Phase::GBest,
+                    vec![reduce_idx],
+                );
+            }
+        }
+        for s in 0..n_shards {
+            // GenWeights has no in-iteration deps: its RNG is counter-based
+            // on (seed, t, element), independent of every other step.
+            let g = push(&mut nodes, PlanOp::GenWeights, s, Phase::Init, vec![]);
+            let v = push(
+                &mut nodes,
+                PlanOp::Velocity,
+                s,
+                Phase::SwarmUpdate,
+                vec![barrier, g],
+            );
+            let p = push(&mut nodes, PlanOp::Position, s, Phase::SwarmUpdate, vec![v]);
+            push(
+                &mut nodes,
+                PlanOp::DeviceSync,
+                s,
+                Phase::SwarmUpdate,
+                vec![p],
+            );
+        }
+        ExecutionPlan {
+            nodes,
+            n_shards,
+            reduce,
+            streams_enabled: false,
+        }
+    }
+
+    /// Rewrite pass: fuse each shard's `Velocity` + `Position` pair into a
+    /// single [`PlanOp::FusedSwarmUpdate`] launch, re-pointing edges of
+    /// removed nodes at the fused node. Only the untiled strategies fuse —
+    /// for [`UpdateStrategy::SharedMem`] / [`UpdateStrategy::TensorCore`]
+    /// this is the identity (returns `false`), since fusing would change
+    /// their staging pipelines and shared-memory traffic.
+    pub fn fuse_swarm_update(&mut self, strategy: UpdateStrategy) -> bool {
+        if !matches!(
+            strategy,
+            UpdateStrategy::GlobalMem | UpdateStrategy::ForLoop
+        ) {
+            return false;
+        }
+        let n = self.nodes.len();
+        // Each Position node collapses into the Velocity node it reads.
+        let mut redirect: Vec<usize> = (0..n).collect();
+        let mut removed = vec![false; n];
+        for i in 0..n {
+            if self.nodes[i].op == PlanOp::Position {
+                let v = self.nodes[i].deps[0];
+                debug_assert_eq!(self.nodes[v].op, PlanOp::Velocity);
+                removed[i] = true;
+                redirect[i] = v;
+            }
+        }
+        for node in &mut self.nodes {
+            if node.op == PlanOp::Velocity {
+                node.op = PlanOp::FusedSwarmUpdate;
+            }
+        }
+        let mut new_idx = vec![usize::MAX; n];
+        let mut kept = Vec::with_capacity(n);
+        for i in 0..n {
+            if !removed[i] {
+                new_idx[i] = kept.len();
+                kept.push(self.nodes[i].clone());
+            }
+        }
+        for node in &mut kept {
+            for dep in node.deps.iter_mut() {
+                *dep = new_idx[redirect[*dep]];
+            }
+            node.deps.sort_unstable();
+            node.deps.dedup();
+            for w in node.wait.iter_mut() {
+                *w = new_idx[redirect[*w]];
+            }
+        }
+        self.nodes = kept;
+        true
+    }
+
+    /// Rewrite pass: schedule dependency-independent nodes onto separate
+    /// simulated stream lanes. Weight generation (no in-iteration deps)
+    /// moves to lane 1 so its modeled time overlaps the eval→reduce chain
+    /// on lane 0; each shard's velocity (or fused) update gains a `wait`
+    /// edge on its shard's weights, mirroring `cudaStreamWaitEvent`.
+    pub fn assign_streams(&mut self) {
+        self.streams_enabled = true;
+        let n = self.nodes.len();
+        for i in 0..n {
+            if self.nodes[i].op == PlanOp::GenWeights {
+                self.nodes[i].stream = 1;
+            }
+        }
+        for i in 0..n {
+            if matches!(
+                self.nodes[i].op,
+                PlanOp::Velocity | PlanOp::FusedSwarmUpdate
+            ) {
+                let s = self.nodes[i].shard;
+                if let Some(g) = (0..n)
+                    .find(|&j| self.nodes[j].op == PlanOp::GenWeights && self.nodes[j].shard == s)
+                {
+                    if !self.nodes[i].wait.contains(&g) {
+                        self.nodes[i].wait.push(g);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Whether the fusion pass rewrote this plan (any fused node present).
+    pub fn is_fused(&self) -> bool {
+        self.nodes.iter().any(|n| n.op == PlanOp::FusedSwarmUpdate)
+    }
+
+    /// Which nodes some later node waits on (their events must be
+    /// recorded when streams are enabled).
+    fn event_sources(&self) -> Vec<bool> {
+        let mut out = vec![false; self.nodes.len()];
+        for node in &self.nodes {
+            for &w in &node.wait {
+                out[w] = true;
+            }
+        }
+        out
+    }
+}
+
+/// What the executor runs against: one device or a group.
+#[derive(Clone, Copy)]
+pub(crate) enum ExecTarget<'a> {
+    Single(&'a Device),
+    Group(&'a DeviceGroup),
+}
+
+/// A bound plan execution: the plan plus everything one run needs. Both GPU
+/// backends build one of these in `run` and call [`PlanRun::execute`].
+pub(crate) struct PlanRun<'a> {
+    pub plan: &'a ExecutionPlan,
+    pub cfg: &'a PsoConfig,
+    pub obj: &'a dyn Objective,
+    pub strategy: UpdateStrategy,
+    pub resilience: Option<&'a ResilienceConfig>,
+    pub partitions: Vec<(usize, usize)>,
+    pub target: ExecTarget<'a>,
+}
+
+/// Mutable optimizer state threaded through iterations.
+struct OptState {
+    shards: Vec<Shard>,
+    /// Device index each shard currently homes on (re-homing mutates this).
+    homes: Vec<usize>,
+    sched: BoundSchedule,
+    /// Current update strategy (the degradation chain mutates this).
+    strategy: UpdateStrategy,
+    /// Host-side copy of the swarm best (Exchange reduce only).
+    global_best_err: f32,
+    global_best_pos: Vec<f32>,
+    quarantined: u64,
+}
+
+/// Synchronized snapshot of the whole optimizer state at an iteration
+/// boundary, for restore-and-replay.
+struct PlanCheckpoint {
+    shards: Vec<ShardCheckpoint>,
+    iteration: usize,
+    sched: BoundSchedule,
+    stagnant: usize,
+    global_best_err: f32,
+    global_best_pos: Vec<f32>,
+}
+
+impl PlanCheckpoint {
+    fn capture(st: &OptState, iteration: usize, stagnant: usize) -> PlanCheckpoint {
+        PlanCheckpoint {
+            shards: st.shards.iter().map(ShardCheckpoint::capture).collect(),
+            iteration,
+            sched: st.sched,
+            stagnant,
+            global_best_err: st.global_best_err,
+            global_best_pos: st.global_best_pos.clone(),
+        }
+    }
+
+    /// Restore every shard (uploads retried, charged to
+    /// [`Phase::Recovery`]) and the host-side state.
+    fn restore(
+        &self,
+        run: &PlanRun<'_>,
+        st: &mut OptState,
+        policy: &RetryPolicy,
+    ) -> Result<(), PsoError> {
+        for s in 0..st.shards.len() {
+            let dev = run.device(st.homes[s])?;
+            self.shards[s].restore_into(dev, &mut st.shards[s], policy)?;
+        }
+        st.sched = self.sched;
+        st.global_best_err = self.global_best_err;
+        st.global_best_pos.copy_from_slice(&self.global_best_pos);
+        Ok(())
+    }
+}
+
+impl<'a> PlanRun<'a> {
+    fn device(&self, home: usize) -> Result<&'a Device, PsoError> {
+        match self.target {
+            ExecTarget::Single(dev) => Ok(dev),
+            ExecTarget::Group(g) => Ok(g.device(home)?),
+        }
+    }
+
+    fn group(&self) -> &'a DeviceGroup {
+        match self.target {
+            ExecTarget::Group(g) => g,
+            ExecTarget::Single(_) => {
+                unreachable!("Exchange reduce is only built for device groups")
+            }
+        }
+    }
+
+    /// Stream hook at node entry: bind the node's lane and wait on its
+    /// cross-lane events. No-op unless the plan has streams enabled.
+    fn enter(&self, dev: &Device, node: &PlanNode, events: &[Option<Event>]) {
+        if !self.plan.streams_enabled {
+            return;
+        }
+        dev.bind_stream(node.stream);
+        for &w in &node.wait {
+            if let Some(ev) = &events[w] {
+                dev.wait_event(ev);
+            }
+        }
+    }
+
+    /// Stream hook at node exit: record an event if a later node waits on
+    /// this one.
+    fn record(&self, dev: &Device, idx: usize, needs: &[bool], events: &mut [Option<Event>]) {
+        if self.plan.streams_enabled && needs[idx] {
+            events[idx] = Some(dev.record_event());
+        }
+    }
+
+    /// Walk the plan's nodes once, in order. Resilience (when configured)
+    /// wraps each node: plain ops get bounded in-place retry, the swarm
+    /// update additionally walks the strategy degradation chain. Returns
+    /// whether the swarm best improved this iteration.
+    fn run_iteration(&self, st: &mut OptState, t: usize) -> Result<bool, PsoError> {
+        let plan = self.plan;
+        let cfg = self.cfg;
+        let d = cfg.dim;
+        let needs_event = plan.event_sources();
+        let mut events: Vec<Option<Event>> = vec![None; plan.nodes.len()];
+        let OptState {
+            shards,
+            homes,
+            sched,
+            strategy,
+            global_best_err,
+            global_best_pos,
+            quarantined,
+        } = st;
+        let gbest_before = match plan.reduce {
+            BestReduce::Local => shards[0].gbest_err,
+            BestReduce::Exchange { .. } => *global_best_err,
+        };
+        let mut locals: Vec<Option<MinResult>> = vec![None; plan.n_shards];
+        let mut lbest: Option<Vec<usize>> = None;
+        let mut improved = false;
+
+        for (idx, node) in plan.nodes.iter().enumerate() {
+            let s = node.shard;
+            match node.op {
+                PlanOp::Eval => {
+                    let dev = self.device(homes[s])?;
+                    self.enter(dev, node, &events);
+                    let shard = &mut shards[s];
+                    match self.resilience {
+                        Some(res) => {
+                            retry_op(dev, &res.retry, || eval_shard(dev, shard, self.obj))?;
+                            if res.quarantine_nonfinite {
+                                *quarantined += quarantine_nonfinite(dev, shard, self.obj)?;
+                            }
+                        }
+                        None => eval_shard(dev, shard, self.obj)?,
+                    }
+                }
+                PlanOp::PBest => {
+                    let dev = self.device(homes[s])?;
+                    self.enter(dev, node, &events);
+                    let shard = &mut shards[s];
+                    match self.resilience {
+                        Some(res) => {
+                            retry_op(dev, &res.retry, || pbest_update(dev, shard))?;
+                        }
+                        None => {
+                            pbest_update(dev, shard)?;
+                        }
+                    }
+                }
+                PlanOp::Argmin => {
+                    let dev = self.device(homes[s])?;
+                    self.enter(dev, node, &events);
+                    let shard = &shards[s];
+                    locals[s] = Some(match self.resilience {
+                        Some(res) => retry_op(dev, &res.retry, || local_argmin(dev, shard))?,
+                        None => local_argmin(dev, shard)?,
+                    });
+                }
+                PlanOp::ReduceAdopt => {
+                    match plan.reduce {
+                        BestReduce::Local => {
+                            let dev = self.device(homes[0])?;
+                            self.enter(dev, node, &events);
+                            let shard = &mut shards[0];
+                            let best = locals[0].expect("argmin node precedes reduce");
+                            improved = best.value < shard.gbest_err;
+                            if improved {
+                                match self.resilience {
+                                    Some(res) => retry_op(dev, &res.retry, || {
+                                        adopt_gbest_local(dev, shard, best.index, best.value)
+                                    })?,
+                                    None => adopt_gbest_local(dev, shard, best.index, best.value)?,
+                                }
+                            }
+                        }
+                        BestReduce::Exchange { sync_every } => {
+                            let group = self.group();
+                            let sync_now = sync_every != 0 && (t + 1).is_multiple_of(sync_every);
+                            if sync_now {
+                                // Every device publishes its local best
+                                // (value + position row); the winner is
+                                // broadcast and adopted where it improves.
+                                group.exchange(Phase::GBest, (d as u64 + 1) * 4);
+                                let (mut win_dev, mut win) =
+                                    (0usize, locals[0].expect("argmin precedes reduce"));
+                                for (i, r) in locals.iter().enumerate().skip(1) {
+                                    let r = r.expect("argmin precedes reduce");
+                                    if r.value < win.value
+                                        || (r.value == win.value && r.index < win.index)
+                                    {
+                                        win_dev = i;
+                                        win = r;
+                                    }
+                                }
+                                if win.value < *global_best_err {
+                                    *global_best_err = win.value;
+                                    let shard = &shards[win_dev];
+                                    let local = win.index - shard.row0;
+                                    global_best_pos.copy_from_slice(
+                                        &shard.pbest_pos.as_slice()[local * d..(local + 1) * d],
+                                    );
+                                }
+                                for (i, shard) in shards.iter_mut().enumerate() {
+                                    if *global_best_err < shard.gbest_err {
+                                        let dev = self.device(homes[i])?;
+                                        if i == win_dev && win.value == *global_best_err {
+                                            match self.resilience {
+                                                Some(res) => retry_op(dev, &res.retry, || {
+                                                    adopt_gbest_local(
+                                                        dev, shard, win.index, win.value,
+                                                    )
+                                                })?,
+                                                None => adopt_gbest_local(
+                                                    dev, shard, win.index, win.value,
+                                                )?,
+                                            }
+                                        } else {
+                                            let err = *global_best_err;
+                                            match self.resilience {
+                                                Some(res) => retry_op(dev, &res.retry, || {
+                                                    adopt_gbest_from_host(
+                                                        dev,
+                                                        shard,
+                                                        global_best_pos,
+                                                        err,
+                                                    )
+                                                })?,
+                                                None => adopt_gbest_from_host(
+                                                    dev,
+                                                    shard,
+                                                    global_best_pos,
+                                                    err,
+                                                )?,
+                                            }
+                                        }
+                                    }
+                                }
+                            } else {
+                                // Between syncs: adopt only the local best,
+                                // track the global best host-side.
+                                for (i, (shard, r)) in
+                                    shards.iter_mut().zip(locals.iter()).enumerate()
+                                {
+                                    let r = r.expect("argmin precedes reduce");
+                                    if r.value < shard.gbest_err {
+                                        let dev = self.device(homes[i])?;
+                                        match self.resilience {
+                                            Some(res) => retry_op(dev, &res.retry, || {
+                                                adopt_gbest_local(dev, shard, r.index, r.value)
+                                            })?,
+                                            None => {
+                                                adopt_gbest_local(dev, shard, r.index, r.value)?
+                                            }
+                                        }
+                                    }
+                                }
+                                for (shard, r) in shards.iter().zip(locals.iter()) {
+                                    let r = r.expect("argmin precedes reduce");
+                                    if r.value < *global_best_err {
+                                        *global_best_err = r.value;
+                                        let local = r.index - shard.row0;
+                                        global_best_pos.copy_from_slice(
+                                            &shard.pbest_pos.as_slice()[local * d..(local + 1) * d],
+                                        );
+                                    }
+                                }
+                            }
+                            improved = *global_best_err < gbest_before;
+                        }
+                    }
+                    sched.note_iteration(improved);
+                }
+                PlanOp::RingLbest { k } => {
+                    let dev = self.device(homes[s])?;
+                    self.enter(dev, node, &events);
+                    let shard = &shards[s];
+                    lbest = Some(match self.resilience {
+                        Some(res) => retry_op(dev, &res.retry, || ring_lbest(dev, shard, k))?,
+                        None => ring_lbest(dev, shard, k)?,
+                    });
+                }
+                PlanOp::GenWeights => {
+                    let dev = self.device(homes[s])?;
+                    self.enter(dev, node, &events);
+                    let shard = &mut shards[s];
+                    match self.resilience {
+                        Some(res) => retry_op(dev, &res.retry, || gen_weights(dev, shard, cfg, t))?,
+                        None => gen_weights(dev, shard, cfg, t)?,
+                    }
+                    self.record(dev, idx, &needs_event, &mut events);
+                }
+                PlanOp::Velocity => {
+                    let dev = self.device(homes[s])?;
+                    self.enter(dev, node, &events);
+                    let shard = &mut shards[s];
+                    let lb = lbest.as_deref();
+                    match self.resilience {
+                        // Each half of the swarm update is a single
+                        // fault-gated launch, so it retries (and strategy-
+                        // degrades) independently — retrying the pair as one
+                        // op would double-apply the in-place velocity update.
+                        Some(res) => retry_degradable(dev, res, strategy, |stg| {
+                            velocity_update(dev, shard, cfg, t, sched.current(), stg, lb)
+                        })?,
+                        None => {
+                            velocity_update(dev, shard, cfg, t, sched.current(), *strategy, lb)?
+                        }
+                    }
+                }
+                PlanOp::Position => {
+                    let dev = self.device(homes[s])?;
+                    self.enter(dev, node, &events);
+                    let shard = &mut shards[s];
+                    match self.resilience {
+                        Some(res) => retry_degradable(dev, res, strategy, |stg| {
+                            position_update(dev, shard, stg)
+                        })?,
+                        None => position_update(dev, shard, *strategy)?,
+                    }
+                }
+                PlanOp::FusedSwarmUpdate => {
+                    let dev = self.device(homes[s])?;
+                    self.enter(dev, node, &events);
+                    let shard = &mut shards[s];
+                    let lb = lbest.as_deref();
+                    match self.resilience {
+                        // Unlike the split pair, the fused launch's single
+                        // fault gate fires before any element is written, so
+                        // the whole step retries safely as one op.
+                        Some(res) => retry_degradable(dev, res, strategy, |stg| {
+                            fused_swarm_update(dev, shard, cfg, t, sched.current(), stg, lb)
+                        })?,
+                        None => {
+                            fused_swarm_update(dev, shard, cfg, t, sched.current(), *strategy, lb)?
+                        }
+                    }
+                }
+                PlanOp::DeviceSync => {
+                    let dev = self.device(homes[s])?;
+                    dev.synchronize(Phase::SwarmUpdate);
+                    if plan.streams_enabled {
+                        dev.join_streams();
+                    }
+                }
+            }
+        }
+        Ok(improved)
+    }
+
+    fn current_best(&self, st: &OptState) -> f32 {
+        match self.plan.reduce {
+            BestReduce::Local => st.shards[0].gbest_err,
+            BestReduce::Exchange { .. } => st.global_best_err,
+        }
+    }
+
+    /// Run the plan to completion: allocate + initialise shards, iterate,
+    /// and assemble the [`RunResult`]. With resilience configured, restores
+    /// from the latest checkpoint and replays on unrecovered transient
+    /// failures, re-homing shards off permanently lost devices first.
+    pub fn execute(self) -> Result<RunResult, PsoError> {
+        let cfg = self.cfg;
+        match self.target {
+            ExecTarget::Single(dev) => dev.reset_timeline(),
+            ExecTarget::Group(g) => g.reset_timelines(),
+        }
+        let domain = cfg.resolve_domain(self.obj.domain());
+        let d = cfg.dim;
+        let mut st = OptState {
+            shards: Vec::with_capacity(self.plan.n_shards),
+            homes: (0..self.plan.n_shards).collect(),
+            sched: BoundSchedule::new(cfg, domain),
+            strategy: self.strategy,
+            global_best_err: f32::INFINITY,
+            global_best_pos: vec![0.0f32; d],
+            quarantined: 0,
+        };
+        for (i, &(row0, rows)) in self.partitions.iter().enumerate() {
+            let dev = self.device(st.homes[i])?;
+            let mut shard = match self.resilience {
+                Some(res) => retry_op(dev, &res.retry, || Shard::alloc(dev, row0, rows, d))?,
+                None => Shard::alloc(dev, row0, rows, d)?,
+            };
+            match self.resilience {
+                Some(res) => {
+                    retry_op(dev, &res.retry, || init_shard(dev, &mut shard, cfg, domain))?
+                }
+                None => init_shard(dev, &mut shard, cfg, domain)?,
+            }
+            st.shards.push(shard);
+        }
+
+        let mut history = if cfg.record_history {
+            Some(Vec::with_capacity(cfg.max_iter))
+        } else {
+            None
+        };
+        let mut stagnant = 0usize;
+        let mut iterations_run = 0usize;
+        let mut restores = 0u32;
+        let mut t = 0usize;
+        // Checkpoint of the state at the start of iteration `cp.iteration`.
+        let mut cp = self.resilience.map(|_| PlanCheckpoint::capture(&st, 0, 0));
+
+        while t < cfg.max_iter {
+            match self.run_iteration(&mut st, t) {
+                Ok(improved) => {
+                    iterations_run = t + 1;
+                    if let Some(h) = history.as_mut() {
+                        h.push(self.current_best(&st));
+                    }
+                    if improved {
+                        stagnant = 0;
+                    } else {
+                        stagnant += 1;
+                    }
+                    if let Some(target) = cfg.target_value {
+                        if (self.current_best(&st) as f64) <= target {
+                            break;
+                        }
+                    }
+                    if let Some(p) = cfg.patience {
+                        if stagnant >= p {
+                            break;
+                        }
+                    }
+                    t += 1;
+                    if let Some(res) = self.resilience {
+                        if res.checkpoint_every != 0
+                            && t.is_multiple_of(res.checkpoint_every)
+                            && t < cfg.max_iter
+                        {
+                            cp = Some(PlanCheckpoint::capture(&st, t, stagnant));
+                        }
+                    }
+                }
+                Err(e) => {
+                    let Some(res) = self.resilience else {
+                        return Err(e);
+                    };
+                    let lost = e.lost_device();
+                    let recoverable = match self.target {
+                        ExecTarget::Single(_) => e.is_transient(),
+                        ExecTarget::Group(_) => lost.is_some() || e.is_transient(),
+                    } && restores < res.max_restores;
+                    if !recoverable {
+                        return Err(e);
+                    }
+                    restores += 1;
+                    if let ExecTarget::Group(g) = self.target {
+                        if lost.is_some() {
+                            if g.survivors().is_empty() {
+                                return Err(e);
+                            }
+                            rehome_lost_shards(g, &mut st.homes, &mut st.shards, &res.retry)?;
+                        }
+                    }
+                    // In-place retries exhausted: roll the optimizer back to
+                    // the last checkpoint and replay. Replayed iterations
+                    // recompute bit-for-bit (counter-based RNG), so only
+                    // modeled time is lost.
+                    let snap = cp.as_ref().expect("resilient runs always checkpoint");
+                    snap.restore(&self, &mut st, &res.retry)?;
+                    stagnant = snap.stagnant;
+                    t = snap.iteration;
+                    iterations_run = t;
+                    if let Some(h) = history.as_mut() {
+                        h.truncate(t);
+                    }
+                }
+            }
+        }
+
+        match self.target {
+            ExecTarget::Single(dev) => {
+                // Bring the result back to the host (the only mandatory
+                // transfer).
+                let shard = &st.shards[0];
+                let best_position = shard.gbest_pos.download_in(Phase::Other);
+                Ok(RunResult {
+                    best_value: shard.gbest_err as f64,
+                    best_position,
+                    iterations: iterations_run,
+                    evaluations: (cfg.n_particles * iterations_run) as u64,
+                    timeline: dev.timeline(),
+                    history,
+                })
+            }
+            ExecTarget::Group(g) => Ok(RunResult {
+                best_value: st.global_best_err as f64,
+                best_position: st.global_best_pos,
+                iterations: iterations_run,
+                evaluations: (cfg.n_particles * iterations_run) as u64,
+                timeline: scaled_group_timeline(g),
+                history,
+            }),
+        }
+    }
+}
+
+/// Report with the group's concurrent-elapsed semantics: a timeline whose
+/// per-phase values are scaled so the total equals the max-over-devices
+/// wall clock. Overlap credit is scaled alongside the phases, so the scaled
+/// total still equals the wall clock when streams hid time.
+fn scaled_group_timeline(group: &DeviceGroup) -> Timeline {
+    let merged = group.merged_timeline();
+    let wall = group.elapsed_seconds();
+    let mut tl = Timeline::new();
+    let total = merged.total_seconds();
+    if total > 0.0 {
+        let scale = wall / total;
+        for (phase, secs) in merged.breakdown() {
+            tl.charge(phase, secs * scale, merged.phase_counters(phase));
+        }
+        tl.credit_overlap(merged.overlapped_seconds() * scale);
+    }
+    tl
+}
+
+/// Re-home every shard whose device has been permanently lost onto the
+/// least-loaded survivor (ties broken by device index, so the choice is
+/// deterministic), reallocating its device buffers there. The caller
+/// restores state from the last checkpoint afterwards.
+fn rehome_lost_shards(
+    group: &DeviceGroup,
+    homes: &mut [usize],
+    shards: &mut [Shard],
+    policy: &RetryPolicy,
+) -> Result<(), PsoError> {
+    let survivors = group.survivors();
+    let mut load = vec![0usize; group.len()];
+    for (&h, _) in homes.iter().zip(shards.iter()) {
+        if !group.device(h)?.is_lost() {
+            load[h] += 1;
+        }
+    }
+    for s in 0..homes.len() {
+        if group.device(homes[s])?.is_lost() {
+            let &new_home = survivors
+                .iter()
+                .min_by_key(|&&i| (load[i], i))
+                .expect("caller guarantees at least one survivor");
+            load[new_home] += 1;
+            let dev = group.device(new_home)?;
+            let (row0, rows, d) = (shards[s].row0, shards[s].rows, shards[s].d);
+            shards[s] = retry_op(dev, policy, || Shard::alloc(dev, row0, rows, d))?;
+            homes[s] = new_home;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> PsoConfig {
+        PsoConfig::builder(32, 8).max_iter(5).build().unwrap()
+    }
+
+    fn ops(plan: &ExecutionPlan) -> Vec<(PlanOp, usize)> {
+        plan.nodes.iter().map(|n| (n.op, n.shard)).collect()
+    }
+
+    #[test]
+    fn single_shard_plan_matches_legacy_order() {
+        let plan = ExecutionPlan::build(&cfg(), 1, BestReduce::Local);
+        assert_eq!(
+            ops(&plan),
+            vec![
+                (PlanOp::Eval, 0),
+                (PlanOp::PBest, 0),
+                (PlanOp::Argmin, 0),
+                (PlanOp::ReduceAdopt, 0),
+                (PlanOp::GenWeights, 0),
+                (PlanOp::Velocity, 0),
+                (PlanOp::Position, 0),
+                (PlanOp::DeviceSync, 0),
+            ]
+        );
+        assert!(!plan.streams_enabled);
+    }
+
+    #[test]
+    fn ring_topology_inserts_lbest_gather_after_reduce() {
+        let c = PsoConfig::builder(32, 8)
+            .topology(Topology::Ring { k: 2 })
+            .build()
+            .unwrap();
+        let plan = ExecutionPlan::build(&c, 1, BestReduce::Local);
+        assert_eq!(plan.nodes[4].op, PlanOp::RingLbest { k: 2 });
+        // The velocity update depends on the gather, not the raw reduce.
+        let vel = plan
+            .nodes
+            .iter()
+            .position(|n| n.op == PlanOp::Velocity)
+            .unwrap();
+        assert!(plan.nodes[vel].deps.contains(&4));
+    }
+
+    #[test]
+    fn multi_shard_plan_interleaves_per_shard_phases() {
+        let plan = ExecutionPlan::build(&cfg(), 2, BestReduce::Exchange { sync_every: 1 });
+        assert_eq!(
+            ops(&plan),
+            vec![
+                (PlanOp::Eval, 0),
+                (PlanOp::PBest, 0),
+                (PlanOp::Argmin, 0),
+                (PlanOp::Eval, 1),
+                (PlanOp::PBest, 1),
+                (PlanOp::Argmin, 1),
+                (PlanOp::ReduceAdopt, 0),
+                (PlanOp::GenWeights, 0),
+                (PlanOp::Velocity, 0),
+                (PlanOp::Position, 0),
+                (PlanOp::DeviceSync, 0),
+                (PlanOp::GenWeights, 1),
+                (PlanOp::Velocity, 1),
+                (PlanOp::Position, 1),
+                (PlanOp::DeviceSync, 1),
+            ]
+        );
+        // The reduce depends on every shard's argmin.
+        assert_eq!(plan.nodes[6].deps, vec![2, 5]);
+    }
+
+    #[test]
+    fn fusion_rewrites_the_update_pair_and_remaps_edges() {
+        let mut plan = ExecutionPlan::build(&cfg(), 2, BestReduce::Exchange { sync_every: 1 });
+        let before = plan.nodes.len();
+        assert!(plan.fuse_swarm_update(UpdateStrategy::GlobalMem));
+        assert!(plan.is_fused());
+        // One Position node removed per shard.
+        assert_eq!(plan.nodes.len(), before - 2);
+        assert!(plan.nodes.iter().all(|n| n.op != PlanOp::Position));
+        assert!(plan.nodes.iter().all(|n| n.op != PlanOp::Velocity));
+        // DeviceSync now depends on the fused node in its shard.
+        for node in plan.nodes.iter().filter(|n| n.op == PlanOp::DeviceSync) {
+            let dep = node.deps[0];
+            assert_eq!(plan.nodes[dep].op, PlanOp::FusedSwarmUpdate);
+            assert_eq!(plan.nodes[dep].shard, node.shard);
+        }
+    }
+
+    #[test]
+    fn fusion_is_identity_for_tiled_strategies() {
+        for strategy in [UpdateStrategy::SharedMem, UpdateStrategy::TensorCore] {
+            let mut plan = ExecutionPlan::build(&cfg(), 1, BestReduce::Local);
+            let before = ops(&plan);
+            assert!(!plan.fuse_swarm_update(strategy));
+            assert_eq!(ops(&plan), before);
+            assert!(!plan.is_fused());
+        }
+    }
+
+    #[test]
+    fn stream_pass_hoists_weights_and_adds_wait_edges() {
+        let mut plan = ExecutionPlan::build(&cfg(), 1, BestReduce::Local);
+        plan.fuse_swarm_update(UpdateStrategy::GlobalMem);
+        plan.assign_streams();
+        assert!(plan.streams_enabled);
+        let gen = plan
+            .nodes
+            .iter()
+            .position(|n| n.op == PlanOp::GenWeights)
+            .unwrap();
+        assert_eq!(plan.nodes[gen].stream, 1);
+        let fused = plan
+            .nodes
+            .iter()
+            .position(|n| n.op == PlanOp::FusedSwarmUpdate)
+            .unwrap();
+        assert_eq!(plan.nodes[fused].wait, vec![gen]);
+        // Everything else stays on the default stream.
+        for (i, node) in plan.nodes.iter().enumerate() {
+            if i != gen {
+                assert_eq!(node.stream, 0, "{:?}", node.op);
+            }
+        }
+    }
+}

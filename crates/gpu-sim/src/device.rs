@@ -6,6 +6,7 @@ use crate::error::GpuError;
 use crate::fault::{FaultPlan, FaultState, FaultStats};
 use crate::launch::{AllocMode, KernelDesc, LaunchConfig, DEFAULT_BLOCK};
 use crate::profiler::Profiler;
+use crate::stream::{Event, StreamWindow};
 use crate::sync::Mutex;
 use perf_model::{
     gpu_kernel_time, transfer_time, AllocKind, AllocRecord, Counters, GpuProfile, KernelRecord,
@@ -44,6 +45,27 @@ pub(crate) struct DeviceState {
     pub fault: FaultState,
     pub profiler: Profiler,
     pub redundant: RedundantWork,
+    pub stream: StreamWindow,
+}
+
+impl DeviceState {
+    /// Modeled start time and stream lane for a charge of `dur` seconds.
+    /// With a stream window open the op queues on the bound lane, starting
+    /// at the lane's frontier (so intervals on different lanes overlap);
+    /// otherwise it starts at the serial timeline front on lane 0.
+    fn queue_charge(&mut self, dur: f64) -> (f64, u32) {
+        if self.stream.open {
+            let lane = self.stream.current;
+            let frontier = self.stream.frontier.entry(lane).or_insert(0.0);
+            let start = self.stream.base_s + *frontier;
+            *frontier += dur;
+            self.stream.serial_s += dur;
+            self.timeline.charge_lane(lane, dur);
+            (start, lane)
+        } else {
+            (self.timeline.total_seconds(), 0)
+        }
+    }
 }
 
 pub(crate) struct DeviceShared {
@@ -91,6 +113,7 @@ impl Device {
                     fault: FaultState::default(),
                     profiler: Profiler::default(),
                     redundant: RedundantWork::default(),
+                    stream: StreamWindow::default(),
                 }),
             }),
         }
@@ -334,11 +357,12 @@ impl Device {
         } else {
             desc.phase
         };
+        let (start_s, stream) = st.queue_charge(t);
         let record = KernelRecord {
             name: desc.name,
             device: self.shared.index,
             phase,
-            start_s: st.timeline.total_seconds(),
+            start_s,
             duration_s: t,
             grid: [config.grid.x, config.grid.y, config.grid.z],
             block: [config.block.x, config.block.y, config.block.z],
@@ -352,6 +376,7 @@ impl Device {
             occupancy,
             bw_fraction,
             ordinal: st.fault.launches,
+            stream,
         };
         st.profiler.record_kernel(record);
         st.timeline.charge(phase, t, c);
@@ -378,14 +403,16 @@ impl Device {
             // Downloads have no gate and carry no ordinal.
             TransferDirection::D2H => (phase, 0),
         };
+        let (start_s, stream) = st.queue_charge(t);
         let record = TransferRecord {
             device: self.shared.index,
             phase,
-            start_s: st.timeline.total_seconds(),
+            start_s,
             duration_s: t,
             bytes,
             dir,
             ordinal,
+            stream,
         };
         st.profiler.record_transfer(record);
         st.timeline.charge(phase, t, c);
@@ -419,6 +446,63 @@ impl Device {
     /// Model a `cudaDeviceSynchronize`, charged to `phase`.
     pub fn synchronize(&self, phase: Phase) {
         self.shared.charge(phase, SYNC_OVERHEAD_S, Counters::new());
+    }
+
+    /// Queue subsequent charges on stream lane `id`, opening a stream
+    /// window (based at the current timeline front) if none is open. See
+    /// [`crate::stream`] for the overlap model.
+    pub fn bind_stream(&self, id: u32) {
+        let mut st = self.shared.state.lock();
+        if !st.stream.open {
+            st.stream = StreamWindow {
+                open: true,
+                base_s: st.timeline.total_seconds(),
+                ..StreamWindow::default()
+            };
+        }
+        st.stream.current = id;
+    }
+
+    /// Record an [`Event`] at the currently bound lane's frontier (the
+    /// analogue of `cudaEventRecord`). With no window open the event sits
+    /// at offset zero and waiting on it is a no-op.
+    pub fn record_event(&self) -> Event {
+        let st = self.shared.state.lock();
+        let lane = st.stream.current;
+        Event {
+            stream: lane,
+            offset_s: st.stream.frontier.get(&lane).copied().unwrap_or(0.0),
+        }
+    }
+
+    /// Stall the currently bound lane until `ev`'s recorded position (the
+    /// analogue of `cudaStreamWaitEvent`). No-op outside a stream window.
+    pub fn wait_event(&self, ev: &Event) {
+        let mut st = self.shared.state.lock();
+        if !st.stream.open {
+            return;
+        }
+        let lane = st.stream.current;
+        let frontier = st.stream.frontier.entry(lane).or_insert(0.0);
+        if ev.offset_s > *frontier {
+            *frontier = ev.offset_s;
+        }
+    }
+
+    /// Close the stream window: compute the lane time hidden by concurrent
+    /// execution (queued serial seconds minus the longest lane frontier),
+    /// credit it to the timeline as overlap and return it. The analogue of
+    /// the device-wide sync point where all streams converge. No-op (0.0)
+    /// when no window is open.
+    pub fn join_streams(&self) -> f64 {
+        let mut st = self.shared.state.lock();
+        if !st.stream.open {
+            return 0.0;
+        }
+        let credit = st.stream.overlap_s();
+        st.timeline.credit_overlap(credit);
+        st.stream = StreamWindow::default();
+        credit
     }
 
     /// Snapshot of the modeled timeline.
@@ -458,6 +542,7 @@ impl Device {
         let mut st = self.shared.state.lock();
         st.timeline = Timeline::new();
         st.profiler.clear();
+        st.stream = StreamWindow::default();
     }
 
     /// Reset timeline, profiler *and* drop all pooled memory (full device
@@ -467,6 +552,7 @@ impl Device {
         st.timeline = Timeline::new();
         st.profiler.clear();
         st.pool.clear();
+        st.stream = StreamWindow::default();
     }
 
     /// Bytes currently allocated on the device.

@@ -43,6 +43,7 @@ pub mod launch;
 pub mod multi;
 pub mod profiler;
 pub mod reduce;
+pub mod stream;
 pub mod sync;
 pub mod tensor;
 pub mod tiled;
@@ -59,4 +60,5 @@ pub use perf_model::{
     KernelRecord, KernelStats, MemoryPattern, Phase, ProfilerLog, Timeline, TransferDirection,
     TransferRecord,
 };
+pub use stream::{Event, Stream};
 pub use tensor::{f16_bits_to_f32, f32_to_f16_bits, through_f16, Fragment, FRAGMENT_DIM};

@@ -153,6 +153,7 @@ mod tests {
             occupancy: 1.0,
             bw_fraction: 0.0,
             ordinal,
+            stream: 0,
         }
     }
 

@@ -58,6 +58,10 @@ pub struct KernelRecord {
     /// Launch-gate ordinal (1-based since device creation or fault-plan
     /// attach). Multi-pass entry points share one ordinal across passes.
     pub ordinal: u64,
+    /// Stream lane the launch was queued on (0 = default stream; ops on
+    /// different streams may have overlapping `[start_s, start_s +
+    /// duration_s)` intervals).
+    pub stream: u32,
 }
 
 /// One device allocation request, as recorded at charge time.
@@ -96,6 +100,8 @@ pub struct TransferRecord {
     pub dir: TransferDirection,
     /// Transfer-gate ordinal (1-based; uploads only — downloads carry 0).
     pub ordinal: u64,
+    /// Stream lane the transfer was queued on (0 = default stream).
+    pub stream: u32,
 }
 
 /// Per-kernel-name aggregate, the unit of `nvprof --print-gpu-summary`.
@@ -337,6 +343,7 @@ mod tests {
             occupancy: 0.5,
             bw_fraction: 0.1,
             ordinal: 1,
+            stream: 0,
         }
     }
 
@@ -371,6 +378,7 @@ mod tests {
             bytes: 1024,
             dir: TransferDirection::H2D,
             ordinal: 1,
+            stream: 0,
         });
         let c = log.total_counters();
         assert_eq!(c.flops, 20);

@@ -58,10 +58,22 @@ impl Phase {
 }
 
 /// Accumulates modeled seconds and counters per [`Phase`].
+///
+/// Per-phase charges are *serial* accounting: every operation is charged in
+/// full to its phase, so breakdowns and counter invariants hold regardless of
+/// how operations were scheduled. Concurrency (simulated streams) is layered
+/// on top as an *overlap credit*: time that two or more stream lanes spent
+/// executing simultaneously is recorded via [`Timeline::credit_overlap`] and
+/// subtracted from [`Timeline::total_seconds`], while per-phase seconds and
+/// counters stay untouched. Per-stream busy time is tracked in `lanes`.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Timeline {
     seconds: BTreeMap<Phase, f64>,
     counters: BTreeMap<Phase, Counters>,
+    /// Seconds hidden by stream overlap; subtracted from the wall-clock total.
+    overlapped_s: f64,
+    /// Busy seconds per stream lane (stream id → seconds queued on it).
+    lanes: BTreeMap<u32, f64>,
 }
 
 impl Timeline {
@@ -95,9 +107,46 @@ impl Timeline {
         self.counters.get(&phase).copied().unwrap_or_default()
     }
 
-    /// Total modeled seconds across all phases.
+    /// Total modeled seconds across all phases, net of stream-overlap
+    /// credit. With no streams in play this is exactly the per-phase sum.
     pub fn total_seconds(&self) -> f64 {
-        self.seconds.values().sum()
+        let raw: f64 = self.seconds.values().sum();
+        raw - self.overlapped_s
+    }
+
+    /// Record `seconds` of busy time on stream lane `stream`.
+    pub fn charge_lane(&mut self, stream: u32, seconds: f64) {
+        debug_assert!(
+            seconds >= 0.0 && seconds.is_finite(),
+            "bad lane charge: {seconds}"
+        );
+        *self.lanes.entry(stream).or_insert(0.0) += seconds;
+    }
+
+    /// Busy seconds queued on stream lane `stream`.
+    pub fn lane_seconds(&self, stream: u32) -> f64 {
+        self.lanes.get(&stream).copied().unwrap_or(0.0)
+    }
+
+    /// All stream lanes as `(stream, busy seconds)` pairs.
+    pub fn lanes(&self) -> Vec<(u32, f64)> {
+        self.lanes.iter().map(|(&s, &t)| (s, t)).collect()
+    }
+
+    /// Credit `seconds` of time hidden by concurrent stream execution. The
+    /// per-phase breakdown keeps its serial accounting; only the wall-clock
+    /// total shrinks.
+    pub fn credit_overlap(&mut self, seconds: f64) {
+        debug_assert!(
+            seconds >= 0.0 && seconds.is_finite(),
+            "bad overlap credit: {seconds}"
+        );
+        self.overlapped_s += seconds;
+    }
+
+    /// Seconds hidden by stream overlap so far.
+    pub fn overlapped_seconds(&self) -> f64 {
+        self.overlapped_s
     }
 
     /// Total counters across all phases.
@@ -107,13 +156,18 @@ impl Timeline {
             .fold(Counters::default(), |acc, c| acc + *c)
     }
 
-    /// Merge another timeline into this one, phase by phase.
+    /// Merge another timeline into this one, phase by phase. Overlap credit
+    /// and lane busy time accumulate as well.
     pub fn merge(&mut self, other: &Timeline) {
         for (p, s) in &other.seconds {
             *self.seconds.entry(*p).or_insert(0.0) += s;
         }
         for (p, c) in &other.counters {
             self.counters.entry(*p).or_default().merge(c);
+        }
+        self.overlapped_s += other.overlapped_s;
+        for (s, t) in &other.lanes {
+            *self.lanes.entry(*s).or_insert(0.0) += t;
         }
     }
 
@@ -190,6 +244,38 @@ mod tests {
         t.charge_time(Phase::Eval, 1.0);
         t.charge_time(Phase::SwarmUpdate, 3.0);
         assert!((t.fraction(Phase::SwarmUpdate) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_credit_shrinks_total_but_not_phases() {
+        let mut t = Timeline::new();
+        t.charge_time(Phase::Eval, 2.0);
+        t.charge_time(Phase::Init, 1.0);
+        t.charge_lane(0, 2.0);
+        t.charge_lane(1, 1.0);
+        t.credit_overlap(1.0);
+        assert_eq!(t.seconds(Phase::Eval), 2.0);
+        assert_eq!(t.seconds(Phase::Init), 1.0);
+        assert!((t.total_seconds() - 2.0).abs() < 1e-12);
+        assert_eq!(t.overlapped_seconds(), 1.0);
+        assert_eq!(t.lane_seconds(1), 1.0);
+        assert_eq!(t.lanes(), vec![(0, 2.0), (1, 1.0)]);
+    }
+
+    #[test]
+    fn merge_accumulates_overlap_and_lanes() {
+        let mut a = Timeline::new();
+        a.charge_time(Phase::Eval, 4.0);
+        a.credit_overlap(0.5);
+        a.charge_lane(1, 0.5);
+        let mut b = Timeline::new();
+        b.charge_time(Phase::Eval, 4.0);
+        b.credit_overlap(0.25);
+        b.charge_lane(1, 0.25);
+        a.merge(&b);
+        assert!((a.total_seconds() - 7.25).abs() < 1e-12);
+        assert_eq!(a.overlapped_seconds(), 0.75);
+        assert_eq!(a.lane_seconds(1), 0.75);
     }
 
     #[test]

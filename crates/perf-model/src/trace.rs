@@ -130,7 +130,9 @@ fn fmt_num(v: f64) -> String {
 /// Serialize `log` as chrome://tracing JSON ("complete" events, `ph: "X"`).
 ///
 /// Timestamps and durations are microseconds of modeled time; `pid` is the
-/// device index and `tid` groups events into kernel/alloc/transfer lanes.
+/// device index. Kernels render on `tid` = their stream lane (0 for the
+/// default stream), allocations on `tid` 100 and transfers on `tid` 101, so
+/// stream-overlapped launches show up as concurrent rows per device.
 /// Load the output at `chrome://tracing` or <https://ui.perfetto.dev>.
 pub fn chrome_trace_json(log: &ProfilerLog) -> String {
     let mut events: Vec<String> = Vec::with_capacity(log.len());
@@ -138,15 +140,16 @@ pub fn chrome_trace_json(log: &ProfilerLog) -> String {
         events.push(format!(
             concat!(
                 "{{\"name\":\"{}\",\"cat\":\"kernel\",\"ph\":\"X\",\"ts\":{},\"dur\":{},",
-                "\"pid\":{},\"tid\":0,\"args\":{{\"phase\":\"{}\",\"grid\":[{},{},{}],",
+                "\"pid\":{},\"tid\":{},\"args\":{{\"phase\":\"{}\",\"grid\":[{},{},{}],",
                 "\"block\":[{},{},{}],\"flops\":{},\"tensor_flops\":{},\"dram_read\":{},",
                 "\"dram_write\":{},\"shared\":{},\"occupancy\":{},\"bw_fraction\":{},",
-                "\"ordinal\":{}}}}}"
+                "\"ordinal\":{},\"stream\":{}}}}}"
             ),
             escape_json(k.name),
             fmt_num(k.start_s * 1e6),
             fmt_num(k.duration_s * 1e6),
             k.device,
+            k.stream,
             k.phase.label(),
             k.grid[0],
             k.grid[1],
@@ -162,6 +165,7 @@ pub fn chrome_trace_json(log: &ProfilerLog) -> String {
             fmt_num(k.occupancy),
             fmt_num(k.bw_fraction),
             k.ordinal,
+            k.stream,
         ));
     }
     for a in &log.allocs {
@@ -172,7 +176,7 @@ pub fn chrome_trace_json(log: &ProfilerLog) -> String {
         events.push(format!(
             concat!(
                 "{{\"name\":\"alloc ({kind})\",\"cat\":\"alloc\",\"ph\":\"X\",\"ts\":{ts},",
-                "\"dur\":{dur},\"pid\":{pid},\"tid\":1,\"args\":{{\"phase\":\"{phase}\",",
+                "\"dur\":{dur},\"pid\":{pid},\"tid\":100,\"args\":{{\"phase\":\"{phase}\",",
                 "\"bytes\":{bytes},\"kind\":\"{kind}\"}}}}"
             ),
             kind = kind,
@@ -191,8 +195,8 @@ pub fn chrome_trace_json(log: &ProfilerLog) -> String {
         events.push(format!(
             concat!(
                 "{{\"name\":\"memcpy {dir}\",\"cat\":\"transfer\",\"ph\":\"X\",\"ts\":{ts},",
-                "\"dur\":{dur},\"pid\":{pid},\"tid\":2,\"args\":{{\"phase\":\"{phase}\",",
-                "\"bytes\":{bytes},\"dir\":\"{dir}\"}}}}"
+                "\"dur\":{dur},\"pid\":{pid},\"tid\":101,\"args\":{{\"phase\":\"{phase}\",",
+                "\"bytes\":{bytes},\"dir\":\"{dir}\",\"stream\":{stream}}}}}"
             ),
             dir = dir,
             ts = fmt_num(t.start_s * 1e6),
@@ -200,6 +204,7 @@ pub fn chrome_trace_json(log: &ProfilerLog) -> String {
             pid = t.device,
             phase = t.phase.label(),
             bytes = t.bytes,
+            stream = t.stream,
         ));
     }
     format!(
@@ -509,6 +514,7 @@ mod tests {
                 occupancy: 0.0625,
                 bw_fraction: 0.01,
                 ordinal: i + 1,
+                stream: 0,
             });
         }
         log
