@@ -1,5 +1,5 @@
 //! pyswarms-like baseline (Miranda, JOSS 2018 — the paper's reference
-//! [19]; ~1700 GitHub stars at the time of the paper).
+//! \[19\]; ~1700 GitHub stars at the time of the paper).
 //!
 //! pyswarms' `GlobalBestPSO` performs the update with chained numpy
 //! expressions. Two properties matter for reproduction:

@@ -1,4 +1,4 @@
-//! scikit-opt-like baseline (the paper's reference [23]; the `sko.PSO`
+//! scikit-opt-like baseline (the paper's reference \[23\]; the `sko.PSO`
 //! class, ~700 GitHub stars at the time of the paper).
 //!
 //! scikit-opt's PSO mixes vectorized numpy updates with *pure-Python*

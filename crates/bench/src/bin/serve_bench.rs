@@ -1,0 +1,155 @@
+//! Multi-tenant serving benchmark: many small jobs time-sliced over a
+//! shared device group versus the same jobs run back-to-back on one
+//! dedicated device.
+//!
+//! Replays a fixed trace of 32 small optimization jobs from three tenants
+//! (mixed priorities, a handful of deadlines) through `fastpso::serve` on
+//! a 4-device V100 group, packing several co-resident jobs per device.
+//! The baseline runs the identical job list sequentially through the
+//! dedicated `GpuBackend`. Because the serving layer packs independent
+//! jobs onto idle devices, modeled makespan drops roughly in proportion
+//! to the group size; the binary asserts at least a 2x throughput gain
+//! and prints per-tenant p50/p95 latency and shed counts from the
+//! service's own accounting.
+//!
+//! Usage: `cargo run --release -p fastpso-bench --bin serve_bench`
+
+use fastpso::serve::{OptimizeRequest, Priority, ServeConfig, Service};
+use fastpso::{GpuBackend, PsoBackend, PsoConfig};
+use fastpso_bench::report::{fmt_secs, fmt_speedup, Table};
+use fastpso_functions::builtins::{Griewank, Rastrigin, Sphere};
+use fastpso_functions::Objective;
+use gpu_sim::DeviceGroup;
+use std::sync::Arc;
+
+const N_JOBS: u64 = 32;
+const DEVICES: usize = 4;
+
+fn job_cfg(i: u64) -> PsoConfig {
+    // Small, heterogeneous jobs: 32–96 particles, 4–16 dims.
+    let n = 32 + 32 * (i as usize % 3);
+    let d = 4 * (1 + (i as usize % 4));
+    PsoConfig::builder(n, d)
+        .max_iter(60 + 10 * (i as usize % 4))
+        .seed(1000 + i)
+        .build()
+        .unwrap()
+}
+
+fn job_objective(i: u64) -> Arc<dyn Objective> {
+    match i % 3 {
+        0 => Arc::new(Sphere),
+        1 => Arc::new(Rastrigin),
+        _ => Arc::new(Griewank),
+    }
+}
+
+fn job_tenant(i: u64) -> &'static str {
+    ["acme", "globex", "initech"][i as usize % 3]
+}
+
+fn job_priority(i: u64) -> Priority {
+    match i % 4 {
+        0 => Priority::Low,
+        3 => Priority::High,
+        _ => Priority::Normal,
+    }
+}
+
+fn main() {
+    // Baseline: every job back-to-back on one dedicated device.
+    let mut sequential_s = 0.0;
+    for i in 0..N_JOBS {
+        let res = GpuBackend::new()
+            .run(&job_cfg(i), job_objective(i).as_ref())
+            .expect("baseline run");
+        sequential_s += res.elapsed_seconds();
+    }
+
+    // Served: the same trace through the multi-tenant scheduler.
+    let mut svc = Service::new(
+        DeviceGroup::v100s(DEVICES),
+        ServeConfig {
+            slots_per_device: 4,
+            slice_iters: 10,
+            ..ServeConfig::default()
+        },
+    );
+    for i in 0..N_JOBS {
+        let mut req = OptimizeRequest::new(job_tenant(i), job_objective(i), job_cfg(i))
+            .priority(job_priority(i));
+        if i % 8 == 5 {
+            // A few generous deadlines; none should trip under packing.
+            req = req.deadline_s(10.0);
+        }
+        svc.submit(req).expect("trace fits the admission queue");
+    }
+    svc.run_until_idle();
+    let served_s = svc.now();
+    let speedup = sequential_s / served_s;
+
+    let mut t = Table::new(
+        format!(
+            "Serving {N_JOBS} small jobs on a {DEVICES}-device group vs sequential dedicated runs"
+        ),
+        &["mode", "makespan (s)", "jobs/s", "speedup"],
+    );
+    t.row(vec![
+        "sequential (1 device)".into(),
+        fmt_secs(sequential_s),
+        format!("{:.1}", N_JOBS as f64 / sequential_s),
+        "1.00x".into(),
+    ]);
+    t.row(vec![
+        format!("served ({DEVICES} devices, packed)"),
+        fmt_secs(served_s),
+        format!("{:.1}", N_JOBS as f64 / served_s),
+        fmt_speedup(speedup),
+    ]);
+    t.emit("serve_bench");
+
+    let mut tenants = Table::new(
+        "Per-tenant rollup (completed-job latency percentiles, nearest-rank)",
+        &[
+            "tenant",
+            "completed",
+            "shed",
+            "failed",
+            "p50 latency (s)",
+            "p95 latency (s)",
+            "device-seconds",
+        ],
+    );
+    let mut shed_total = 0;
+    for s in svc.tenant_rollups() {
+        shed_total += s.shed;
+        tenants.row(vec![
+            s.tenant.clone(),
+            s.completed.to_string(),
+            s.shed.to_string(),
+            s.failed.to_string(),
+            fmt_secs(s.p50_latency_s),
+            fmt_secs(s.p95_latency_s),
+            fmt_secs(s.device_seconds),
+        ]);
+    }
+    tenants.emit("serve_bench_tenants");
+
+    let (in_use, peak) = svc.occupancy();
+    println!(
+        "queue drained, {in_use} leases held (peak {peak}), {shed_total} jobs shed, \
+         modeled speedup {}",
+        fmt_speedup(speedup)
+    );
+    assert_eq!(in_use, 0, "all leases returned at idle");
+    assert_eq!(shed_total, 0, "no job should miss its (generous) deadline");
+    assert!(
+        speedup >= 2.0,
+        "expected >= 2x modeled throughput from packing {N_JOBS} jobs \
+         over {DEVICES} devices, got {speedup:.2}x"
+    );
+    println!("Packing independent small jobs onto idle devices converts the group's");
+    println!("spare capacity into throughput; the gain is bounded by the group size");
+    println!("and the per-iteration exchange-free schedule keeps jobs bit-identical");
+    println!("to their dedicated runs.");
+}

@@ -1,6 +1,6 @@
 //! Table 3 — FLOPs and memory bandwidth of the three GPU implementations.
 //!
-//! The paper reads `dram_read_throughtput` [sic] and GFLOPs from nvprof;
+//! The paper reads `dram_read_throughtput` \[sic\] and GFLOPs from nvprof;
 //! here they come from the device's **profiler records** — one record per
 //! kernel launch/alloc/transfer, the nvprof analogue — rather than from
 //! ad-hoc aggregate counters. The GFLOPs column is *total* gigaflops the

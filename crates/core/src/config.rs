@@ -25,13 +25,18 @@ pub enum AttractorSemantics {
 /// The default is a fixed bound at half the domain width (convergence is
 /// provided by the linearly decaying inertia, see [`PsoConfig::omega`]).
 /// The adaptive variant implements the geometric decay of Kaucic's
-/// "adaptive velocity" scheme, which the paper's reference [14] describes,
+/// "adaptive velocity" scheme, which the paper's reference \[14\] describes,
 /// as an alternative convergence mechanism.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum VelocityBound {
     /// Kaucic-style adaptive bound: start at `fraction ×` domain width,
     /// multiply by `shrink` every iteration.
-    Adaptive { fraction: f32, shrink: f32 },
+    Adaptive {
+        /// Initial bound as a fraction of the domain width.
+        fraction: f32,
+        /// Per-iteration multiplicative decay of the bound.
+        shrink: f32,
+    },
     /// Clamp to ± half the objective's domain width, fixed.
     #[default]
     HalfRange,

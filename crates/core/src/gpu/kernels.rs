@@ -68,9 +68,28 @@ impl fmt::Display for UpdateStrategy {
     }
 }
 
-/// Parses the canonical short names plus common aliases, case-insensitively:
-/// `global`/`globalmem`, `smem`/`shared`/`sharedmem`, `tensor`/`tensorcore`/
-/// `wmma`, `forloop`/`for-loop`/`naive`.
+/// Parses the canonical short names plus common aliases, case-insensitively.
+///
+/// Accepted spellings per variant (canonical name first — the one
+/// [`Display`](fmt::Display) prints, so `Display` → `FromStr` always
+/// round-trips):
+///
+/// | Variant | Accepted (case-insensitive) |
+/// |---|---|
+/// | [`UpdateStrategy::GlobalMem`] | `global`, `globalmem`, `global-mem` |
+/// | [`UpdateStrategy::SharedMem`] | `smem`, `shared`, `sharedmem`, `shared-mem` |
+/// | [`UpdateStrategy::TensorCore`] | `tensor`, `tensorcore`, `tensor-core`, `wmma` |
+/// | [`UpdateStrategy::ForLoop`] | `forloop`, `for-loop`, `naive` |
+///
+/// ```
+/// use fastpso::UpdateStrategy;
+/// assert_eq!("WMMA".parse::<UpdateStrategy>().unwrap(), UpdateStrategy::TensorCore);
+/// assert_eq!(
+///     UpdateStrategy::SharedMem.to_string().parse::<UpdateStrategy>().unwrap(),
+///     UpdateStrategy::SharedMem,
+/// );
+/// assert!("cuda".parse::<UpdateStrategy>().is_err());
+/// ```
 impl FromStr for UpdateStrategy {
     type Err = String;
 

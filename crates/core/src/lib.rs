@@ -37,6 +37,8 @@
 //! assert!(result.best_value < 5.0);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod backend;
 pub mod config;
 pub mod cost;
@@ -50,6 +52,7 @@ pub mod profiling;
 pub mod resilience;
 pub mod result;
 pub mod seq;
+pub mod serve;
 pub mod stats;
 pub mod swarm;
 pub mod topology;

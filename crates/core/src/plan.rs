@@ -9,10 +9,14 @@
 //! turns a [`PsoConfig`] plus a shard count into a list of [`PlanNode`]s
 //! (kernel invocations with phase, shard and dependency edges), optimisation
 //! passes rewrite the graph ([`ExecutionPlan::fuse_swarm_update`],
-//! [`ExecutionPlan::assign_streams`]), and [`PlanRun`] walks the node list
-//! once per iteration with resilience (retry, checkpoint/replay, strategy
-//! degradation, shard re-homing) attached as hooks around node dispatch
-//! rather than baked into the loop.
+//! [`ExecutionPlan::assign_streams`]), and the crate-private `PlanRun`
+//! executor walks the node list once per iteration with resilience (retry,
+//! checkpoint/replay, strategy degradation, shard re-homing) attached as
+//! hooks around node dispatch rather than baked into the loop. Execution is
+//! *resumable*: the executor's per-iteration state lives in an owned
+//! `ExecState` that can be stepped a slice at a time, suspended to host
+//! memory and resumed later — the mechanism [`crate::serve`] uses to
+//! time-slice and preempt jobs without perturbing their trajectories.
 //!
 //! Two invariants keep the refactor honest, and the `plan` integration test
 //! plus `tests/perf_invariants.rs` pin both:
@@ -32,6 +36,24 @@
 //! the iteration — runs on lane 1 and overlaps the eval→reduce chain, with
 //! a recorded [`Event`] ordering it before the velocity update that consumes
 //! the weights. The `ablation_overlap` bench bin measures the hidden time.
+//!
+//! # Example
+//!
+//! Build a plan, inspect its node list, and check that the fusion pass
+//! collapses the velocity/position launch pair into one node:
+//!
+//! ```
+//! use fastpso::{BestReduce, ExecutionPlan, PlanOp, PsoConfig, UpdateStrategy};
+//!
+//! let cfg = PsoConfig::builder(64, 8).max_iter(100).build().unwrap();
+//! let mut plan = ExecutionPlan::build(&cfg, 1, BestReduce::Local);
+//! let launches_before = plan.nodes.len();
+//! assert!(plan.nodes.iter().any(|n| n.op == PlanOp::Velocity));
+//!
+//! plan.fuse_swarm_update(UpdateStrategy::GlobalMem);
+//! assert!(plan.nodes.iter().any(|n| n.op == PlanOp::FusedSwarmUpdate));
+//! assert_eq!(plan.nodes.len(), launches_before - 1);
+//! ```
 
 use crate::config::{BoundSchedule, PsoConfig};
 use crate::error::PsoError;
@@ -329,7 +351,7 @@ pub(crate) struct PlanRun<'a> {
 }
 
 /// Mutable optimizer state threaded through iterations.
-struct OptState {
+pub(crate) struct OptState {
     shards: Vec<Shard>,
     /// Device index each shard currently homes on (re-homing mutates this).
     homes: Vec<usize>,
@@ -687,16 +709,12 @@ impl<'a> PlanRun<'a> {
         }
     }
 
-    /// Run the plan to completion: allocate + initialise shards, iterate,
-    /// and assemble the [`RunResult`]. With resilience configured, restores
-    /// from the latest checkpoint and replays on unrecovered transient
-    /// failures, re-homing shards off permanently lost devices first.
-    pub fn execute(self) -> Result<RunResult, PsoError> {
+    /// Allocate and initialise the shards, producing the owned, resumable
+    /// execution state. Does **not** reset device timelines — callers that
+    /// want a fresh accounting span (the backends) reset before calling;
+    /// the serving layer deliberately shares one span across many jobs.
+    pub(crate) fn init_state(&self) -> Result<ExecState, PsoError> {
         let cfg = self.cfg;
-        match self.target {
-            ExecTarget::Single(dev) => dev.reset_timeline(),
-            ExecTarget::Group(g) => g.reset_timelines(),
-        }
         let domain = cfg.resolve_domain(self.obj.domain());
         let d = cfg.dim;
         let mut st = OptState {
@@ -722,112 +740,282 @@ impl<'a> PlanRun<'a> {
             }
             st.shards.push(shard);
         }
-
-        let mut history = if cfg.record_history {
-            Some(Vec::with_capacity(cfg.max_iter))
-        } else {
-            None
-        };
-        let mut stagnant = 0usize;
-        let mut iterations_run = 0usize;
-        let mut restores = 0u32;
-        let mut t = 0usize;
         // Checkpoint of the state at the start of iteration `cp.iteration`.
-        let mut cp = self.resilience.map(|_| PlanCheckpoint::capture(&st, 0, 0));
+        let cp = self.resilience.map(|_| PlanCheckpoint::capture(&st, 0, 0));
+        Ok(ExecState {
+            st,
+            history: if cfg.record_history {
+                Some(Vec::with_capacity(cfg.max_iter))
+            } else {
+                None
+            },
+            stagnant: 0,
+            iterations_run: 0,
+            restores: 0,
+            t: 0,
+            cp,
+            done: false,
+        })
+    }
 
-        while t < cfg.max_iter {
-            match self.run_iteration(&mut st, t) {
-                Ok(improved) => {
-                    iterations_run = t + 1;
-                    if let Some(h) = history.as_mut() {
-                        h.push(self.current_best(&st));
-                    }
-                    if improved {
-                        stagnant = 0;
-                    } else {
-                        stagnant += 1;
-                    }
-                    if let Some(target) = cfg.target_value {
-                        if (self.current_best(&st) as f64) <= target {
-                            break;
-                        }
-                    }
-                    if let Some(p) = cfg.patience {
-                        if stagnant >= p {
-                            break;
-                        }
-                    }
-                    t += 1;
-                    if let Some(res) = self.resilience {
-                        if res.checkpoint_every != 0
-                            && t.is_multiple_of(res.checkpoint_every)
-                            && t < cfg.max_iter
-                        {
-                            cp = Some(PlanCheckpoint::capture(&st, t, stagnant));
-                        }
+    /// Advance the execution by one iteration (or one recovery episode).
+    /// Returns `true` once the run has reached a stopping condition —
+    /// `max_iter` exhausted, the target value hit, or patience expired.
+    /// With resilience configured, a recoverably failed iteration restores
+    /// the last checkpoint and returns `Ok(false)`, so callers simply keep
+    /// stepping.
+    pub(crate) fn step_state(&self, ex: &mut ExecState) -> Result<bool, PsoError> {
+        let cfg = self.cfg;
+        if ex.done || ex.t >= cfg.max_iter {
+            ex.done = true;
+            return Ok(true);
+        }
+        match self.run_iteration(&mut ex.st, ex.t) {
+            Ok(improved) => {
+                ex.iterations_run = ex.t + 1;
+                if let Some(h) = ex.history.as_mut() {
+                    h.push(self.current_best(&ex.st));
+                }
+                if improved {
+                    ex.stagnant = 0;
+                } else {
+                    ex.stagnant += 1;
+                }
+                if let Some(target) = cfg.target_value {
+                    if (self.current_best(&ex.st) as f64) <= target {
+                        ex.done = true;
+                        return Ok(true);
                     }
                 }
-                Err(e) => {
-                    let Some(res) = self.resilience else {
-                        return Err(e);
-                    };
-                    let lost = e.lost_device();
-                    let recoverable = match self.target {
-                        ExecTarget::Single(_) => e.is_transient(),
-                        ExecTarget::Group(_) => lost.is_some() || e.is_transient(),
-                    } && restores < res.max_restores;
-                    if !recoverable {
-                        return Err(e);
-                    }
-                    restores += 1;
-                    if let ExecTarget::Group(g) = self.target {
-                        if lost.is_some() {
-                            if g.survivors().is_empty() {
-                                return Err(e);
-                            }
-                            rehome_lost_shards(g, &mut st.homes, &mut st.shards, &res.retry)?;
-                        }
-                    }
-                    // In-place retries exhausted: roll the optimizer back to
-                    // the last checkpoint and replay. Replayed iterations
-                    // recompute bit-for-bit (counter-based RNG), so only
-                    // modeled time is lost.
-                    let snap = cp.as_ref().expect("resilient runs always checkpoint");
-                    snap.restore(&self, &mut st, &res.retry)?;
-                    stagnant = snap.stagnant;
-                    t = snap.iteration;
-                    iterations_run = t;
-                    if let Some(h) = history.as_mut() {
-                        h.truncate(t);
+                if let Some(p) = cfg.patience {
+                    if ex.stagnant >= p {
+                        ex.done = true;
+                        return Ok(true);
                     }
                 }
+                ex.t += 1;
+                if let Some(res) = self.resilience {
+                    if res.checkpoint_every != 0
+                        && ex.t.is_multiple_of(res.checkpoint_every)
+                        && ex.t < cfg.max_iter
+                    {
+                        ex.cp = Some(PlanCheckpoint::capture(&ex.st, ex.t, ex.stagnant));
+                    }
+                }
+                if ex.t >= cfg.max_iter {
+                    ex.done = true;
+                }
+                Ok(ex.done)
+            }
+            Err(e) => {
+                let Some(res) = self.resilience else {
+                    return Err(e);
+                };
+                let lost = e.lost_device();
+                let recoverable = match self.target {
+                    ExecTarget::Single(_) => e.is_transient(),
+                    ExecTarget::Group(_) => lost.is_some() || e.is_transient(),
+                } && ex.restores < res.max_restores;
+                if !recoverable {
+                    return Err(e);
+                }
+                ex.restores += 1;
+                if let ExecTarget::Group(g) = self.target {
+                    if lost.is_some() {
+                        if g.survivors().is_empty() {
+                            return Err(e);
+                        }
+                        rehome_lost_shards(g, &mut ex.st.homes, &mut ex.st.shards, &res.retry)?;
+                    }
+                }
+                // In-place retries exhausted: roll the optimizer back to
+                // the last checkpoint and replay. Replayed iterations
+                // recompute bit-for-bit (counter-based RNG), so only
+                // modeled time is lost.
+                let snap = ex.cp.as_ref().expect("resilient runs always checkpoint");
+                snap.restore(self, &mut ex.st, &res.retry)?;
+                ex.stagnant = snap.stagnant;
+                ex.t = snap.iteration;
+                ex.iterations_run = ex.t;
+                if let Some(h) = ex.history.as_mut() {
+                    h.truncate(ex.t);
+                }
+                Ok(false)
             }
         }
+    }
 
+    /// Assemble the [`RunResult`] from a finished (or abandoned) execution
+    /// state, downloading the winning position — the run's only mandatory
+    /// device→host transfer.
+    pub(crate) fn finish_state(&self, ex: ExecState) -> RunResult {
+        let cfg = self.cfg;
         match self.target {
             ExecTarget::Single(dev) => {
                 // Bring the result back to the host (the only mandatory
                 // transfer).
-                let shard = &st.shards[0];
+                let shard = &ex.st.shards[0];
                 let best_position = shard.gbest_pos.download_in(Phase::Other);
-                Ok(RunResult {
+                RunResult {
                     best_value: shard.gbest_err as f64,
                     best_position,
-                    iterations: iterations_run,
-                    evaluations: (cfg.n_particles * iterations_run) as u64,
+                    iterations: ex.iterations_run,
+                    evaluations: (cfg.n_particles * ex.iterations_run) as u64,
                     timeline: dev.timeline(),
-                    history,
-                })
+                    history: ex.history,
+                }
             }
-            ExecTarget::Group(g) => Ok(RunResult {
-                best_value: st.global_best_err as f64,
-                best_position: st.global_best_pos,
-                iterations: iterations_run,
-                evaluations: (cfg.n_particles * iterations_run) as u64,
+            ExecTarget::Group(g) => RunResult {
+                best_value: ex.st.global_best_err as f64,
+                best_position: ex.st.global_best_pos,
+                iterations: ex.iterations_run,
+                evaluations: (cfg.n_particles * ex.iterations_run) as u64,
                 timeline: scaled_group_timeline(g),
-                history,
-            }),
+                history: ex.history,
+            },
         }
+    }
+
+    /// Evacuate a live execution to host memory: snapshot every shard
+    /// ([`ShardCheckpoint`], device→host transfers charged to
+    /// [`Phase::Recovery`]) and drop the device buffers, freeing all device
+    /// memory. The serving layer uses this for preemption; the suspended job
+    /// can later [`PlanRun::resume`] — possibly on different devices — and
+    /// recompute bit-for-bit from where it left off, because every random
+    /// draw is addressed by `(seed, iteration, element)` rather than by any
+    /// sequential generator state.
+    pub(crate) fn suspend(&self, ex: ExecState) -> SuspendedJob {
+        SuspendedJob {
+            shards: ex.st.shards.iter().map(ShardCheckpoint::capture).collect(),
+            sched: ex.st.sched,
+            strategy: ex.st.strategy,
+            global_best_err: ex.st.global_best_err,
+            global_best_pos: ex.st.global_best_pos,
+            quarantined: ex.st.quarantined,
+            history: ex.history,
+            stagnant: ex.stagnant,
+            iterations_run: ex.iterations_run,
+            restores: ex.restores,
+            t: ex.t,
+            done: ex.done,
+        }
+        // `ex.st.shards` drops here: every device buffer is released.
+    }
+
+    /// Rehydrate a [`SuspendedJob`] onto this run's target: reallocate one
+    /// shard per checkpoint (host→device uploads charged to
+    /// [`Phase::Recovery`]) and restore the optimizer state exactly. The
+    /// target may differ from the one the job was suspended on — the
+    /// checkpoints pin shard geometry, not device identity.
+    pub(crate) fn resume(&self, s: SuspendedJob) -> Result<ExecState, PsoError> {
+        let policy = self.resilience.map(|r| r.retry).unwrap_or_default();
+        let homes: Vec<usize> = (0..s.shards.len()).collect();
+        let mut shards = Vec::with_capacity(s.shards.len());
+        for (i, snap) in s.shards.iter().enumerate() {
+            let dev = self.device(homes[i])?;
+            let mut shard = retry_op(dev, &policy, || {
+                Shard::alloc(dev, snap.row0, snap.rows, snap.d)
+            })?;
+            snap.restore_into(dev, &mut shard, &policy)?;
+            shards.push(shard);
+        }
+        let st = OptState {
+            shards,
+            homes,
+            sched: s.sched,
+            strategy: s.strategy,
+            global_best_err: s.global_best_err,
+            global_best_pos: s.global_best_pos.clone(),
+            quarantined: s.quarantined,
+        };
+        // Re-anchor the replay checkpoint at the suspension point so a
+        // later fault can never roll the job back past its resume.
+        let cp = self.resilience.map(|_| PlanCheckpoint {
+            shards: s.shards,
+            iteration: s.t,
+            sched: s.sched,
+            stagnant: s.stagnant,
+            global_best_err: s.global_best_err,
+            global_best_pos: s.global_best_pos,
+        });
+        Ok(ExecState {
+            st,
+            history: s.history,
+            stagnant: s.stagnant,
+            iterations_run: s.iterations_run,
+            restores: s.restores,
+            t: s.t,
+            cp,
+            done: s.done,
+        })
+    }
+
+    /// Run the plan to completion: allocate + initialise shards, iterate,
+    /// and assemble the [`RunResult`]. With resilience configured, restores
+    /// from the latest checkpoint and replays on unrecovered transient
+    /// failures, re-homing shards off permanently lost devices first.
+    ///
+    /// This is [`PlanRun::init_state`] + [`PlanRun::step_state`] driven in a
+    /// tight loop; the serving layer (`fastpso::serve`) drives the same
+    /// three-phase API one iteration at a time to interleave many jobs.
+    pub fn execute(self) -> Result<RunResult, PsoError> {
+        match self.target {
+            ExecTarget::Single(dev) => dev.reset_timeline(),
+            ExecTarget::Group(g) => g.reset_timelines(),
+        }
+        let mut ex = self.init_state()?;
+        while !self.step_state(&mut ex)? {}
+        Ok(self.finish_state(ex))
+    }
+}
+
+/// The owned, resumable state of one plan execution: shards, bound
+/// schedule, iteration cursor, replay checkpoint and history. It holds no
+/// borrows, so a scheduler can park it in a job table between time slices
+/// and rebuild the (cheap, all-reference) [`PlanRun`] around it on every
+/// slice.
+pub(crate) struct ExecState {
+    st: OptState,
+    history: Option<Vec<f32>>,
+    stagnant: usize,
+    iterations_run: usize,
+    restores: u32,
+    t: usize,
+    /// Checkpoint of the state at the start of iteration `cp.iteration`.
+    cp: Option<PlanCheckpoint>,
+    done: bool,
+}
+
+impl ExecState {
+    /// Iterations completed so far.
+    pub(crate) fn iterations_run(&self) -> usize {
+        self.iterations_run
+    }
+}
+
+/// A preempted job evacuated to host memory: per-shard checkpoints plus
+/// every host-side scalar the executor threads between iterations. Produced
+/// by [`PlanRun::suspend`], consumed by [`PlanRun::resume`].
+pub(crate) struct SuspendedJob {
+    shards: Vec<ShardCheckpoint>,
+    sched: BoundSchedule,
+    strategy: UpdateStrategy,
+    global_best_err: f32,
+    global_best_pos: Vec<f32>,
+    quarantined: u64,
+    history: Option<Vec<f32>>,
+    stagnant: usize,
+    iterations_run: usize,
+    restores: u32,
+    t: usize,
+    done: bool,
+}
+
+impl SuspendedJob {
+    /// Number of shard checkpoints — resuming needs a lease over exactly
+    /// this many devices.
+    pub(crate) fn n_shards(&self) -> usize {
+        self.shards.len()
     }
 }
 

@@ -8,6 +8,23 @@
 //! allocations, global-memory traffic, profiler/timeline agreement and
 //! bit-identical trajectories). All quantities are modeled, so every
 //! assertion is exact — no tolerance windows, no flakiness.
+//!
+//! # Example
+//!
+//! ```
+//! use fastpso::{CounterAsserts, GpuBackend, PsoBackend, PsoConfig};
+//! use fastpso_functions::builtins::Sphere;
+//!
+//! let cfg = PsoConfig::builder(32, 4).max_iter(10).seed(3).build().unwrap();
+//! let backend = GpuBackend::new();
+//! backend.run(&cfg, &Sphere).unwrap(); // warm the allocator pool
+//! backend.run(&cfg, &Sphere).unwrap(); // measured run (run() resets the profiler)
+//!
+//! let caps = CounterAsserts::capture(backend.device());
+//! assert_eq!(caps.launches_of("evaluate_swarm"), 10); // one per iteration
+//! caps.assert_profiler_matches_timeline();
+//! caps.assert_no_steady_state_allocs();
+//! ```
 
 use crate::result::RunResult;
 use gpu_sim::{Counters, Device, Phase, ProfilerLog, Timeline};

@@ -3,7 +3,7 @@
 //! The simulated GPU can inject deterministic faults (see `gpu_sim::fault`);
 //! this module is the engine-side answer. Four mechanisms compose:
 //!
-//! 1. **Bounded retry** — transient faults ([`GpuError::is_transient`]) are
+//! 1. **Bounded retry** — transient faults ([`gpu_sim::GpuError::is_transient`]) are
 //!    retried up to [`RetryPolicy::max_retries`] times with a deterministic
 //!    exponential backoff charged to [`Phase::Recovery`] on the device's
 //!    modeled timeline. Every injected fault fires *before* the operation
@@ -27,6 +27,32 @@
 //! All recovery overhead — backoff, checkpoint and restore transfers, the
 //! degradation switch penalty — is charged to [`Phase::Recovery`], so it
 //! shows up as its own category in the perf-model breakdown.
+//!
+//! # Example
+//!
+//! Injected transient faults are absorbed by retry; the result is
+//! bit-identical to the fault-free run and the overhead is charged to
+//! [`Phase::Recovery`]:
+//!
+//! ```
+//! use fastpso::resilience::ResilienceConfig;
+//! use fastpso::{GpuBackend, PsoBackend, PsoConfig};
+//! use fastpso_functions::builtins::Sphere;
+//! use gpu_sim::{FaultPlan, Phase};
+//!
+//! let cfg = PsoConfig::builder(32, 4).max_iter(20).seed(9).build().unwrap();
+//! let clean = GpuBackend::new().run(&cfg, &Sphere).unwrap();
+//!
+//! let backend = GpuBackend::new().resilient(ResilienceConfig::default());
+//! backend
+//!     .device()
+//!     .set_fault_plan(FaultPlan::new().with_transient_launches([5, 17]));
+//! let faulted = backend.run(&cfg, &Sphere).unwrap();
+//!
+//! assert_eq!(faulted.best_value, clean.best_value);
+//! assert_eq!(faulted.best_position, clean.best_position);
+//! assert!(faulted.phase_seconds(Phase::Recovery) > 0.0);
+//! ```
 
 use crate::backend::PsoBackend;
 use crate::config::PsoConfig;

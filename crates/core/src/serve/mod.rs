@@ -1,0 +1,293 @@
+//! Multi-tenant optimization serving: many concurrent PSO jobs
+//! time-sliced over one shared device group.
+//!
+//! Every other entry point in this crate runs exactly one job to
+//! completion on a dedicated device. This module is the production shape
+//! the ROADMAP aims at: a [`Service`] accepts [`OptimizeRequest`]s from
+//! many tenants, admits them through a **bounded queue with backpressure**
+//! ([`ServeError::QueueFull`] — a rejected request is never silently
+//! dropped), lowers each to an [`crate::plan::ExecutionPlan`], and
+//! interleaves the plans' node-walks across a [`gpu_sim::DeviceGroup`]:
+//!
+//! * **time-slicing** — each scheduler [`Service::tick`] advances every
+//!   running job by [`ServeConfig::slice_iters`] iterations, so many jobs
+//!   make progress concurrently on the modeled clock;
+//! * **packing** — small jobs lease one slot on the least-loaded device
+//!   (several co-resident jobs per device), large jobs (at least
+//!   [`ServeConfig::shard_threshold_particles`] particles) shard across
+//!   every device with an exchange reduction each iteration;
+//! * **preemption** — a queued high-priority job may suspend a running
+//!   lower-priority one: its shards are checkpointed to host memory, the
+//!   device memory is freed, and it later resumes **bit-identically**
+//!   (randomness is counter-based, so trajectories are position-addressed,
+//!   not generator-state-addressed);
+//! * **deadlines & shedding** — jobs that miss their deadline are shed at
+//!   the next tick, lowest priority first under overload; per-job
+//!   [`Service::cancel`] frees the device lease immediately;
+//! * **tenant accounting** — every terminal job emits a
+//!   [`perf_model::JobRecord`]; [`Service::tenant_rollups`] reduces them
+//!   to per-tenant p50/p95 latency, shed counts and device-seconds.
+//!
+//! Scheduling is fully deterministic: job ids break every tie, placement
+//! is least-loaded-by-index, and the modeled clock advances only when
+//! kernels are charged — replaying the same submission trace against the
+//! same seed reproduces bit-identical per-job results *and* an identical
+//! service-wide launch manifest (`tests/serve.rs` pins both).
+//!
+//! # Example
+//!
+//! ```
+//! use fastpso::serve::{OptimizeRequest, Priority, ServeConfig, Service};
+//! use fastpso::PsoConfig;
+//! use fastpso_functions::builtins::Sphere;
+//! use gpu_sim::DeviceGroup;
+//! use std::sync::Arc;
+//!
+//! let mut svc = Service::new(DeviceGroup::v100s(2), ServeConfig::default());
+//! let ids: Vec<_> = (0..3)
+//!     .map(|i| {
+//!         let cfg = PsoConfig::builder(32, 4).max_iter(40).seed(i).build().unwrap();
+//!         let req = OptimizeRequest::new("tenant-a", Arc::new(Sphere), cfg)
+//!             .priority(Priority::Normal);
+//!         svc.submit(req).unwrap()
+//!     })
+//!     .collect();
+//! svc.run_until_idle();
+//! for id in ids {
+//!     assert!(svc.result(id).unwrap().best_value.is_finite());
+//! }
+//! let rollup = svc.tenant_rollups();
+//! assert_eq!(rollup[0].completed, 3);
+//! assert!(rollup[0].p95_latency_s >= rollup[0].p50_latency_s);
+//! ```
+
+mod queue;
+mod request;
+mod scheduler;
+
+pub use request::{JobId, JobStatus, OptimizeRequest, Priority, ServeError};
+pub use scheduler::{ServeConfig, Service};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PsoConfig;
+    use fastpso_functions::builtins::{Rastrigin, Sphere};
+    use gpu_sim::DeviceGroup;
+    use std::sync::Arc;
+
+    fn small(seed: u64) -> PsoConfig {
+        PsoConfig::builder(32, 4)
+            .max_iter(30)
+            .seed(seed)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn single_job_matches_dedicated_backend_bitwise() {
+        use crate::backend::PsoBackend;
+        let cfg = small(7);
+        let dedicated = crate::gpu::GpuBackend::new().run(&cfg, &Sphere).unwrap();
+        let mut svc = Service::new(DeviceGroup::v100s(1), ServeConfig::default());
+        let id = svc
+            .submit(OptimizeRequest::new("t", Arc::new(Sphere), cfg))
+            .unwrap();
+        svc.run_until_idle();
+        let served = svc.result(id).unwrap();
+        assert_eq!(served.best_value, dedicated.best_value);
+        assert_eq!(served.best_position, dedicated.best_position);
+    }
+
+    #[test]
+    fn jobs_pack_across_devices() {
+        let mut svc = Service::new(DeviceGroup::v100s(2), ServeConfig::default());
+        for i in 0..4 {
+            svc.submit(OptimizeRequest::new("t", Arc::new(Sphere), small(i)))
+                .unwrap();
+        }
+        svc.tick();
+        assert_eq!(svc.n_running(), 4, "all four jobs admitted at once");
+        let (in_use, peak) = svc.occupancy();
+        assert_eq!(in_use, 4);
+        assert_eq!(peak, 4);
+        svc.run_until_idle();
+        assert_eq!(svc.occupancy().0, 0, "all leases returned");
+        assert_eq!(svc.tenant_rollups()[0].completed, 4);
+    }
+
+    #[test]
+    fn large_jobs_shard_over_the_group() {
+        let mut svc = Service::new(
+            DeviceGroup::v100s(2),
+            ServeConfig {
+                shard_threshold_particles: 64,
+                ..ServeConfig::default()
+            },
+        );
+        let cfg = PsoConfig::builder(64, 4)
+            .max_iter(20)
+            .seed(3)
+            .build()
+            .unwrap();
+        let id = svc
+            .submit(OptimizeRequest::new("t", Arc::new(Rastrigin), cfg))
+            .unwrap();
+        svc.tick();
+        assert_eq!(
+            svc.occupancy().0,
+            2,
+            "sharded job holds a slot on each device"
+        );
+        svc.run_until_idle();
+        assert!(svc.result(id).unwrap().best_value.is_finite());
+    }
+
+    #[test]
+    fn ring_topology_rejected_only_when_sharding() {
+        let mut svc = Service::new(
+            DeviceGroup::v100s(2),
+            ServeConfig {
+                shard_threshold_particles: 64,
+                ..ServeConfig::default()
+            },
+        );
+        let ring = |n: usize| {
+            PsoConfig::builder(n, 4)
+                .max_iter(10)
+                .topology(crate::topology::Topology::Ring { k: 1 })
+                .build()
+                .unwrap()
+        };
+        // Small ring job packs onto one device: fine.
+        assert!(svc
+            .submit(OptimizeRequest::new("t", Arc::new(Sphere), ring(32)))
+            .is_ok());
+        // Large ring job would shard: rejected at submit.
+        let err = svc
+            .submit(OptimizeRequest::new("t", Arc::new(Sphere), ring(128)))
+            .unwrap_err();
+        assert!(matches!(err, ServeError::InvalidRequest(_)));
+        svc.run_until_idle();
+    }
+
+    #[test]
+    fn preemption_suspends_and_resumes_bit_identically() {
+        use crate::backend::PsoBackend;
+        let cfg = small(11);
+        let baseline = crate::gpu::GpuBackend::new().run(&cfg, &Sphere).unwrap();
+        // One slot total: the high-priority job must preempt the low one.
+        let mut svc = Service::new(
+            DeviceGroup::v100s(1),
+            ServeConfig {
+                slots_per_device: 1,
+                slice_iters: 5,
+                ..ServeConfig::default()
+            },
+        );
+        let low = svc
+            .submit(
+                OptimizeRequest::new("t", Arc::new(Sphere), cfg.clone()).priority(Priority::Low),
+            )
+            .unwrap();
+        svc.tick(); // low admitted and stepped
+        assert_eq!(svc.status(low).unwrap(), JobStatus::Running);
+        let high = svc
+            .submit(
+                OptimizeRequest::new("t", Arc::new(Rastrigin), small(12)).priority(Priority::High),
+            )
+            .unwrap();
+        svc.tick();
+        assert_eq!(svc.status(low).unwrap(), JobStatus::Suspended);
+        assert_eq!(svc.status(high).unwrap(), JobStatus::Running);
+        svc.run_until_idle();
+        let served = svc.result(low).unwrap();
+        assert_eq!(
+            served.best_value, baseline.best_value,
+            "preempt/resume must not perturb the trajectory"
+        );
+        assert_eq!(served.best_position, baseline.best_position);
+    }
+
+    #[test]
+    fn deadline_shedding_drops_lowest_priority_job() {
+        let mut svc = Service::new(
+            DeviceGroup::v100s(1),
+            ServeConfig {
+                slots_per_device: 1,
+                priority_preemption: false,
+                slice_iters: 4,
+                ..ServeConfig::default()
+            },
+        );
+        let runner = svc
+            .submit(OptimizeRequest::new("t", Arc::new(Sphere), small(1)))
+            .unwrap();
+        // Queued behind it with an impossible deadline.
+        let doomed = svc
+            .submit(
+                OptimizeRequest::new("t", Arc::new(Sphere), small(2))
+                    .priority(Priority::Low)
+                    .deadline_s(1e-12),
+            )
+            .unwrap();
+        svc.run_until_idle();
+        assert_eq!(svc.status(runner).unwrap(), JobStatus::Completed);
+        assert_eq!(svc.status(doomed).unwrap(), JobStatus::Shed);
+        let rollup = svc.tenant_rollups();
+        assert_eq!(rollup[0].shed, 1);
+        assert_eq!(rollup[0].completed, 1);
+    }
+
+    #[test]
+    fn overload_shedding_evicts_lowest_priority_when_enabled() {
+        let mut svc = Service::new(
+            DeviceGroup::v100s(1),
+            ServeConfig {
+                queue_capacity: 2,
+                shed_on_overload: true,
+                ..ServeConfig::default()
+            },
+        );
+        let a = svc
+            .submit(OptimizeRequest::new("t", Arc::new(Sphere), small(1)).priority(Priority::Low))
+            .unwrap();
+        let _b = svc
+            .submit(OptimizeRequest::new("t", Arc::new(Sphere), small(2)))
+            .unwrap();
+        // Queue full; a High arrival evicts the Low job.
+        let c = svc
+            .submit(OptimizeRequest::new("t", Arc::new(Sphere), small(3)).priority(Priority::High))
+            .unwrap();
+        assert_eq!(svc.status(a).unwrap(), JobStatus::Shed);
+        assert_eq!(svc.status(c).unwrap(), JobStatus::Queued);
+        // A second Low arrival finds no strictly-lower victim: backpressure.
+        let err = svc
+            .submit(OptimizeRequest::new("t", Arc::new(Sphere), small(4)).priority(Priority::Low))
+            .unwrap_err();
+        assert!(matches!(err, ServeError::QueueFull { .. }));
+        svc.run_until_idle();
+    }
+
+    #[test]
+    fn unknown_job_errors() {
+        let mut svc = Service::new(DeviceGroup::v100s(1), ServeConfig::default());
+        assert!(matches!(
+            svc.status(JobId(99)),
+            Err(ServeError::UnknownJob(_))
+        ));
+        assert!(matches!(
+            svc.cancel(JobId(99)),
+            Err(ServeError::UnknownJob(_))
+        ));
+        let id = svc
+            .submit(OptimizeRequest::new("t", Arc::new(Sphere), small(0)))
+            .unwrap();
+        svc.run_until_idle();
+        assert!(svc.result(id).is_ok());
+        assert!(matches!(
+            svc.result(JobId(99)),
+            Err(ServeError::UnknownJob(_))
+        ));
+    }
+}

@@ -1,0 +1,180 @@
+//! The bounded admission queue.
+//!
+//! Admission is strictly backpressured: a full queue rejects with
+//! [`ServeError::QueueFull`] and drops nothing. When overload shedding is
+//! enabled by the service, the queue can evict its lowest-priority entry
+//! (newest first among equals) to make room for a strictly
+//! higher-priority arrival — the evicted job is returned to the caller so
+//! it can be recorded as shed, never silently lost.
+
+use super::request::{JobId, Priority, ServeError};
+
+/// One queue entry: a job waiting for a device lease. The payload `T` is
+/// the scheduler's pending-job record; the queue orders only on
+/// `(priority, id)`.
+#[derive(Debug)]
+pub(crate) struct QueueEntry<T> {
+    pub id: JobId,
+    pub priority: Priority,
+    pub payload: T,
+}
+
+/// A bounded priority queue with FIFO order within a priority class.
+#[derive(Debug)]
+pub(crate) struct AdmissionQueue<T> {
+    entries: Vec<QueueEntry<T>>,
+    capacity: usize,
+}
+
+impl<T> AdmissionQueue<T> {
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        AdmissionQueue {
+            entries: Vec::new(),
+            capacity,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Enqueue, honouring the bound. On overflow with `shed_on_overload`,
+    /// evicts the lowest-priority entry strictly below `priority` (newest
+    /// first among equals) and returns it as `Ok(Some(evicted))`.
+    pub fn push(
+        &mut self,
+        entry: QueueEntry<T>,
+        shed_on_overload: bool,
+    ) -> Result<Option<QueueEntry<T>>, ServeError> {
+        if self.entries.len() < self.capacity {
+            self.entries.push(entry);
+            return Ok(None);
+        }
+        if shed_on_overload {
+            if let Some(victim) = self.shed_candidate(entry.priority) {
+                let evicted = self.entries.remove(victim);
+                self.entries.push(entry);
+                return Ok(Some(evicted));
+            }
+        }
+        Err(ServeError::QueueFull {
+            capacity: self.capacity,
+        })
+    }
+
+    /// Index of the entry to evict for an arrival at `above`: the lowest
+    /// priority strictly below it, newest (highest id) among equals.
+    fn shed_candidate(&self, above: Priority) -> Option<usize> {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.priority < above)
+            .min_by_key(|(_, e)| (e.priority, std::cmp::Reverse(e.id)))
+            .map(|(i, _)| i)
+    }
+
+    /// Remove and return the next entry to admit: highest priority first,
+    /// oldest (lowest id) within a class.
+    pub fn pop_next(&mut self) -> Option<QueueEntry<T>> {
+        let i = self
+            .entries
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, e)| (std::cmp::Reverse(e.priority), e.id))
+            .map(|(i, _)| i)?;
+        Some(self.entries.remove(i))
+    }
+
+    /// Peek the id/priority of the next entry to admit without removing it.
+    pub fn peek_next(&self) -> Option<(JobId, Priority)> {
+        self.entries
+            .iter()
+            .min_by_key(|e| (std::cmp::Reverse(e.priority), e.id))
+            .map(|e| (e.id, e.priority))
+    }
+
+    /// Re-enqueue ignoring the capacity bound — for preempted jobs, which
+    /// were already admitted once and must never be dropped by the bound.
+    pub fn push_unbounded(&mut self, entry: QueueEntry<T>) {
+        self.entries.push(entry);
+    }
+
+    /// Borrow the entry with `id`, if present.
+    pub fn get(&self, id: JobId) -> Option<&QueueEntry<T>> {
+        self.entries.iter().find(|e| e.id == id)
+    }
+
+    /// Remove the entry with `id`, if present.
+    pub fn remove(&mut self, id: JobId) -> Option<QueueEntry<T>> {
+        let i = self.entries.iter().position(|e| e.id == id)?;
+        Some(self.entries.remove(i))
+    }
+
+    /// Drain every entry matching `pred` (used for deadline sweeps).
+    pub fn drain_matching(
+        &mut self,
+        mut pred: impl FnMut(&QueueEntry<T>) -> bool,
+    ) -> Vec<QueueEntry<T>> {
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < self.entries.len() {
+            if pred(&self.entries[i]) {
+                out.push(self.entries.remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(id: u64, p: Priority) -> QueueEntry<()> {
+        QueueEntry {
+            id: JobId(id),
+            priority: p,
+            payload: (),
+        }
+    }
+
+    #[test]
+    fn pop_is_priority_then_fifo() {
+        let mut q = AdmissionQueue::new(8);
+        q.push(entry(0, Priority::Normal), false).unwrap();
+        q.push(entry(1, Priority::High), false).unwrap();
+        q.push(entry(2, Priority::Normal), false).unwrap();
+        q.push(entry(3, Priority::Low), false).unwrap();
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop_next().map(|e| e.id.0)).collect();
+        assert_eq!(order, vec![1, 0, 2, 3]);
+    }
+
+    #[test]
+    fn full_queue_rejects_without_dropping() {
+        let mut q = AdmissionQueue::new(2);
+        q.push(entry(0, Priority::Normal), false).unwrap();
+        q.push(entry(1, Priority::Normal), false).unwrap();
+        let err = q.push(entry(2, Priority::High), false).unwrap_err();
+        assert_eq!(err, ServeError::QueueFull { capacity: 2 });
+        assert_eq!(q.len(), 2, "nothing dropped");
+    }
+
+    #[test]
+    fn overload_shedding_evicts_lowest_priority_newest() {
+        let mut q = AdmissionQueue::new(3);
+        q.push(entry(0, Priority::Low), false).unwrap();
+        q.push(entry(1, Priority::Low), false).unwrap();
+        q.push(entry(2, Priority::Normal), false).unwrap();
+        let evicted = q.push(entry(3, Priority::High), true).unwrap().unwrap();
+        assert_eq!(evicted.id, JobId(1), "newest of the lowest class");
+        // No strictly-lower victim for a Low arrival: reject instead.
+        assert!(q.push(entry(4, Priority::Low), true).is_err());
+    }
+}

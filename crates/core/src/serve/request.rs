@@ -1,0 +1,202 @@
+//! Request, priority, job-id and error types for the serving layer.
+
+use crate::config::PsoConfig;
+use crate::gpu::UpdateStrategy;
+use crate::resilience::ResilienceConfig;
+use fastpso_functions::Objective;
+use std::fmt;
+use std::sync::Arc;
+
+/// Relative importance of a job. Higher priorities are admitted first and
+/// — when [`crate::serve::ServeConfig::priority_preemption`] is on — may
+/// preempt running lower-priority jobs; under overload and deadline
+/// pressure, the *lowest* priorities are shed first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Priority {
+    /// Shed first, admitted last.
+    Low,
+    /// The default.
+    Normal,
+    /// Admitted first; preempts `Low`/`Normal` when allowed.
+    High,
+}
+
+/// Opaque handle for a submitted job, returned by
+/// [`crate::serve::Service::submit`]. Ids are assigned in submission order
+/// and never reused, so they double as a deterministic tiebreak everywhere
+/// the scheduler orders jobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JobId(pub u64);
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job#{}", self.0)
+    }
+}
+
+/// One optimization job: an objective, a PSO configuration and the
+/// scheduling metadata the service needs to place it.
+///
+/// Construction is builder-style; only the tenant, objective and config are
+/// mandatory:
+///
+/// ```
+/// use fastpso::serve::{OptimizeRequest, Priority};
+/// use fastpso::PsoConfig;
+/// use fastpso_functions::builtins::Sphere;
+/// use std::sync::Arc;
+///
+/// let cfg = PsoConfig::builder(32, 4).max_iter(50).seed(1).build().unwrap();
+/// let req = OptimizeRequest::new("acme", Arc::new(Sphere), cfg)
+///     .priority(Priority::High)
+///     .deadline_s(0.5);
+/// assert_eq!(req.tenant, "acme");
+/// ```
+#[derive(Clone)]
+pub struct OptimizeRequest {
+    /// Tenant the job is accounted to.
+    pub tenant: String,
+    /// The objective to minimise. `Arc` because the scheduler holds jobs
+    /// across ticks while callers may keep their own handle.
+    pub objective: Arc<dyn Objective>,
+    /// Swarm configuration (particles, dimensions, iterations, seed, …).
+    pub cfg: PsoConfig,
+    /// Scheduling priority. Defaults to [`Priority::Normal`].
+    pub priority: Priority,
+    /// Optional completion deadline, in modeled seconds after submission.
+    /// A job that misses its deadline is shed at the next scheduler tick.
+    pub deadline_s: Option<f64>,
+    /// Swarm-update memory strategy. Defaults to
+    /// [`UpdateStrategy::GlobalMem`].
+    pub strategy: UpdateStrategy,
+    /// Apply the kernel-fusion rewrite pass to the job's plan.
+    pub fused: bool,
+    /// Optional resilient-execution configuration (retry, checkpointing,
+    /// degradation) for this job.
+    pub resilience: Option<ResilienceConfig>,
+}
+
+impl OptimizeRequest {
+    /// A request with default scheduling metadata: normal priority, no
+    /// deadline, global-memory updates, no fusion, no resilience.
+    pub fn new(tenant: impl Into<String>, objective: Arc<dyn Objective>, cfg: PsoConfig) -> Self {
+        OptimizeRequest {
+            tenant: tenant.into(),
+            objective,
+            cfg,
+            priority: Priority::Normal,
+            deadline_s: None,
+            strategy: UpdateStrategy::GlobalMem,
+            fused: false,
+            resilience: None,
+        }
+    }
+
+    /// Set the scheduling priority.
+    pub fn priority(mut self, p: Priority) -> Self {
+        self.priority = p;
+        self
+    }
+
+    /// Set a completion deadline in modeled seconds after submission.
+    pub fn deadline_s(mut self, s: f64) -> Self {
+        self.deadline_s = Some(s);
+        self
+    }
+
+    /// Select the swarm-update memory strategy.
+    pub fn strategy(mut self, s: UpdateStrategy) -> Self {
+        self.strategy = s;
+        self
+    }
+
+    /// Enable the kernel-fusion rewrite pass for this job.
+    pub fn fused(mut self, on: bool) -> Self {
+        self.fused = on;
+        self
+    }
+
+    /// Enable resilient execution for this job.
+    pub fn resilient(mut self, r: ResilienceConfig) -> Self {
+        self.resilience = Some(r);
+        self
+    }
+}
+
+impl fmt::Debug for OptimizeRequest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("OptimizeRequest")
+            .field("tenant", &self.tenant)
+            .field("objective", &self.objective.name())
+            .field("n_particles", &self.cfg.n_particles)
+            .field("dim", &self.cfg.dim)
+            .field("priority", &self.priority)
+            .field("deadline_s", &self.deadline_s)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Errors surfaced by the serving layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The admission queue is at capacity (and overload shedding is off or
+    /// found no lower-priority victim). The request was **not** enqueued;
+    /// nothing was dropped — resubmit after draining.
+    QueueFull {
+        /// The configured queue capacity that was hit.
+        capacity: usize,
+    },
+    /// The job id is not known to this service.
+    UnknownJob(JobId),
+    /// The request cannot run on this service's devices (e.g. a ring
+    /// topology on a job large enough to shard, or fewer particles than
+    /// devices).
+    InvalidRequest(String),
+    /// The job ended without a result (shed, cancelled or failed);
+    /// the payload is its terminal status.
+    NoResult(JobStatus),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::QueueFull { capacity } => {
+                write!(f, "admission queue full (capacity {capacity})")
+            }
+            ServeError::UnknownJob(id) => write!(f, "unknown {id}"),
+            ServeError::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
+            ServeError::NoResult(st) => write!(f, "job produced no result (status {st:?})"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Where a job currently is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Admitted, waiting for a device lease.
+    Queued,
+    /// Holding a lease and being stepped.
+    Running,
+    /// Preempted: state evacuated to host memory, waiting to resume.
+    Suspended,
+    /// Finished; the result is available via [`crate::serve::Service::result`].
+    Completed,
+    /// Dropped by the scheduler (deadline missed or overload shedding).
+    Shed,
+    /// Cancelled by the submitter.
+    Cancelled,
+    /// Aborted on an unrecovered execution error.
+    Failed,
+}
+
+impl JobStatus {
+    /// Whether the status is terminal (the job will never run again).
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            JobStatus::Completed | JobStatus::Shed | JobStatus::Cancelled | JobStatus::Failed
+        )
+    }
+}

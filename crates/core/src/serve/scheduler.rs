@@ -1,0 +1,730 @@
+//! The service itself: admission, placement, time-slicing, preemption,
+//! deadline shedding and per-tenant accounting.
+
+use super::queue::{AdmissionQueue, QueueEntry};
+use super::request::{JobId, JobStatus, OptimizeRequest, Priority, ServeError};
+use crate::config::PsoConfig;
+use crate::error::PsoError;
+use crate::plan::{BestReduce, ExecState, ExecTarget, ExecutionPlan, PlanRun, SuspendedJob};
+use crate::result::RunResult;
+use crate::topology::Topology;
+use gpu_sim::lease::{Lease, LeasePool};
+use gpu_sim::DeviceGroup;
+use perf_model::{JobOutcome, JobRecord, TenantSummary};
+use std::collections::BTreeMap;
+
+/// Scheduler knobs. The defaults favour strict backpressure: a full queue
+/// rejects rather than sheds, and only explicit deadlines drop work.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Admission-queue bound; a full queue rejects new submissions with
+    /// [`ServeError::QueueFull`]. Preempted jobs re-enter the queue above
+    /// this bound — backpressure applies to arrivals, never to work the
+    /// service already accepted.
+    pub queue_capacity: usize,
+    /// Co-resident jobs allowed per device (slot count for the lease pool).
+    pub slots_per_device: usize,
+    /// Jobs with at least this many particles are sharded across every
+    /// device of the group instead of packed onto one.
+    pub shard_threshold_particles: usize,
+    /// Iterations a running job advances per scheduler tick (the
+    /// time-slice quantum).
+    pub slice_iters: usize,
+    /// Allow a queued higher-priority job to preempt (suspend) a running
+    /// strictly-lower-priority job when no lease is free.
+    pub priority_preemption: bool,
+    /// On a full queue, evict the lowest-priority queued job (recorded as
+    /// shed) to admit a strictly higher-priority arrival. Off by default —
+    /// the queue then *never* drops accepted work.
+    pub shed_on_overload: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            queue_capacity: 64,
+            slots_per_device: 4,
+            shard_threshold_particles: 8192,
+            slice_iters: 8,
+            priority_preemption: true,
+            shed_on_overload: false,
+        }
+    }
+}
+
+/// Work a queued job represents: a fresh start, or a preempted execution
+/// waiting to resume.
+enum Work {
+    Fresh,
+    Suspended(SuspendedJob),
+}
+
+/// A job waiting in the admission queue.
+struct Pending {
+    req: OptimizeRequest,
+    work: Work,
+    submitted_s: f64,
+    deadline_abs: Option<f64>,
+    queue_depth_at_submit: usize,
+    started_s: Option<f64>,
+    device_seconds: f64,
+    iterations: usize,
+}
+
+/// A job holding a lease and being stepped.
+struct Running {
+    id: JobId,
+    req: OptimizeRequest,
+    plan: ExecutionPlan,
+    partitions: Vec<(usize, usize)>,
+    sharded: bool,
+    view: DeviceGroup,
+    lease: Lease,
+    state: ExecState,
+    submitted_s: f64,
+    started_s: f64,
+    deadline_abs: Option<f64>,
+    queue_depth_at_submit: usize,
+    device_seconds: f64,
+}
+
+/// A finished job: terminal status plus the result when it completed.
+struct Finished {
+    status: JobStatus,
+    result: Option<RunResult>,
+}
+
+/// A multi-tenant optimization job service over a shared [`DeviceGroup`].
+///
+/// See the [module docs](crate::serve) for the full scheduling model and a
+/// worked example.
+pub struct Service {
+    group: DeviceGroup,
+    pool: LeasePool,
+    cfg: ServeConfig,
+    queue: AdmissionQueue<Pending>,
+    running: Vec<Running>,
+    finished: BTreeMap<JobId, Finished>,
+    records: Vec<JobRecord>,
+    next_id: u64,
+}
+
+impl Service {
+    /// A service over `group` with the given scheduler configuration.
+    /// Panics if the group is empty or a knob is zero.
+    pub fn new(group: DeviceGroup, cfg: ServeConfig) -> Self {
+        assert!(!group.is_empty(), "a service needs at least one device");
+        assert!(cfg.slice_iters > 0, "slice_iters must be positive");
+        let pool = LeasePool::new(&group, cfg.slots_per_device);
+        let queue = AdmissionQueue::new(cfg.queue_capacity);
+        Service {
+            group,
+            pool,
+            cfg,
+            queue,
+            running: Vec::new(),
+            finished: BTreeMap::new(),
+            records: Vec::new(),
+            next_id: 0,
+        }
+    }
+
+    /// The service's modeled wall clock: the group's concurrent elapsed
+    /// time (max over per-device timelines). Shared by every job the
+    /// service has run — the serving layer never resets timelines.
+    pub fn now(&self) -> f64 {
+        self.group.elapsed_seconds()
+    }
+
+    /// The shared device group (for metrics/profiler inspection).
+    pub fn group(&self) -> &DeviceGroup {
+        &self.group
+    }
+
+    /// Jobs waiting in the admission queue.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Jobs currently holding a device lease.
+    pub fn n_running(&self) -> usize {
+        self.running.len()
+    }
+
+    /// Device-lease slots currently held and the pool's high-water mark.
+    pub fn occupancy(&self) -> (usize, usize) {
+        (self.pool.in_use(), self.pool.peak_in_use())
+    }
+
+    /// Validate and enqueue a request. Returns the job's id, or
+    /// [`ServeError::QueueFull`] under backpressure (the request is not
+    /// retained), or [`ServeError::InvalidRequest`] if the job could never
+    /// run on this group.
+    pub fn submit(&mut self, req: OptimizeRequest) -> Result<JobId, ServeError> {
+        self.validate(&req)?;
+        let id = JobId(self.next_id);
+        let now = self.now();
+        let priority = req.priority;
+        let pending = Pending {
+            deadline_abs: req.deadline_s.map(|d| now + d),
+            submitted_s: now,
+            queue_depth_at_submit: self.queue.len(),
+            started_s: None,
+            device_seconds: 0.0,
+            iterations: 0,
+            work: Work::Fresh,
+            req,
+        };
+        let entry = QueueEntry {
+            id,
+            priority,
+            payload: pending,
+        };
+        let evicted = self.queue.push(entry, self.cfg.shed_on_overload)?;
+        self.next_id += 1;
+        if let Some(e) = evicted {
+            self.finalize_queued(e, JobOutcome::Shed, now);
+        }
+        Ok(id)
+    }
+
+    /// Cancel a job. Queued jobs leave the queue; running jobs drop their
+    /// device buffers and release their lease immediately. Cancelling a
+    /// job that already reached a terminal state is a no-op.
+    pub fn cancel(&mut self, id: JobId) -> Result<(), ServeError> {
+        let now = self.now();
+        if let Some(entry) = self.queue.remove(id) {
+            self.finalize_queued(entry, JobOutcome::Cancelled, now);
+            return Ok(());
+        }
+        if let Some(i) = self.running.iter().position(|j| j.id == id) {
+            let job = self.running.remove(i);
+            self.finalize_running_dropped(job, JobOutcome::Cancelled, now);
+            return Ok(());
+        }
+        if self.finished.contains_key(&id) {
+            return Ok(());
+        }
+        Err(ServeError::UnknownJob(id))
+    }
+
+    /// Where `id` currently is in its lifecycle.
+    pub fn status(&self, id: JobId) -> Result<JobStatus, ServeError> {
+        if let Some(f) = self.finished.get(&id) {
+            return Ok(f.status);
+        }
+        if self.running.iter().any(|j| j.id == id) {
+            return Ok(JobStatus::Running);
+        }
+        if let Some(e) = self.queue.get(id) {
+            return Ok(match e.payload.work {
+                Work::Fresh => JobStatus::Queued,
+                Work::Suspended(_) => JobStatus::Suspended,
+            });
+        }
+        Err(ServeError::UnknownJob(id))
+    }
+
+    /// The result of a completed job. Jobs that ended any other way (or
+    /// have not finished yet) return [`ServeError::NoResult`] carrying
+    /// their current status.
+    pub fn result(&self, id: JobId) -> Result<&RunResult, ServeError> {
+        match self.finished.get(&id) {
+            Some(Finished {
+                result: Some(r), ..
+            }) => Ok(r),
+            _ => Err(ServeError::NoResult(self.status(id)?)),
+        }
+    }
+
+    /// One [`JobRecord`] per job that reached a terminal state, in
+    /// finalization order.
+    pub fn records(&self) -> &[JobRecord] {
+        &self.records
+    }
+
+    /// Per-tenant latency/outcome rollup of every finished job.
+    pub fn tenant_rollups(&self) -> Vec<TenantSummary> {
+        TenantSummary::rollup(&self.records)
+    }
+
+    /// Concatenated profiler records of every device — the service-wide
+    /// launch manifest. Deterministic for a replayed trace.
+    pub fn merged_profiler(&self) -> perf_model::ProfilerLog {
+        self.group.merged_profiler()
+    }
+
+    /// One scheduler round: shed expired jobs, admit from the queue
+    /// (preempting if allowed and necessary), then advance every running
+    /// job by up to [`ServeConfig::slice_iters`] iterations. Returns the
+    /// number of scheduling events (sheds + admissions + preemptions +
+    /// jobs stepped); `0` means the tick could make no progress.
+    pub fn tick(&mut self) -> usize {
+        let mut events = 0;
+        events += self.shed_expired();
+        events += self.admit();
+        events += self.step_running();
+        events
+    }
+
+    /// Drive [`Service::tick`] until the queue and devices are idle.
+    /// Returns the number of ticks run. Stops early only if a tick makes
+    /// no progress, which cannot happen while any device survives.
+    pub fn run_until_idle(&mut self) -> usize {
+        let mut ticks = 0;
+        while !self.queue.is_empty() || !self.running.is_empty() {
+            let events = self.tick();
+            ticks += 1;
+            if events == 0 {
+                break;
+            }
+        }
+        ticks
+    }
+
+    // ---- internals ------------------------------------------------------
+
+    fn validate(&self, req: &OptimizeRequest) -> Result<(), ServeError> {
+        if req.tenant.is_empty() {
+            return Err(ServeError::InvalidRequest("empty tenant name".into()));
+        }
+        if self.will_shard(&req.cfg) {
+            if req.cfg.topology != Topology::Global {
+                return Err(ServeError::InvalidRequest(
+                    "sharded jobs support the global topology only (ring windows \
+                     would span device boundaries)"
+                        .into(),
+                ));
+            }
+            if req.cfg.n_particles < self.pool.n_devices() {
+                return Err(ServeError::InvalidRequest(format!(
+                    "{} particles cannot be split over {} devices",
+                    req.cfg.n_particles,
+                    self.pool.n_devices()
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    fn will_shard(&self, cfg: &PsoConfig) -> bool {
+        self.pool.n_devices() > 1 && cfg.n_particles >= self.cfg.shard_threshold_particles
+    }
+
+    /// Total modeled seconds charged across all devices — deltas of this
+    /// attribute device time to whichever job the scheduler is advancing.
+    fn charged(&self) -> f64 {
+        self.group.merged_timeline().total_seconds()
+    }
+
+    /// Shed every queued or running job whose deadline has passed.
+    fn shed_expired(&mut self) -> usize {
+        let now = self.now();
+        let mut events = 0;
+        let expired = self
+            .queue
+            .drain_matching(|e| e.payload.deadline_abs.is_some_and(|d| d < now));
+        for e in expired {
+            self.finalize_queued(e, JobOutcome::Shed, now);
+            events += 1;
+        }
+        let mut i = 0;
+        while i < self.running.len() {
+            if self.running[i].deadline_abs.is_some_and(|d| d < now) {
+                let job = self.running.remove(i);
+                self.finalize_running_dropped(job, JobOutcome::Shed, now);
+                events += 1;
+            } else {
+                i += 1;
+            }
+        }
+        events
+    }
+
+    /// Admit queued jobs while leases are available, preempting running
+    /// lower-priority jobs when allowed. Head-of-line order: priority,
+    /// then submission.
+    fn admit(&mut self) -> usize {
+        let mut events = 0;
+        while let Some((id, priority)) = self.queue.peek_next() {
+            let Some(sharded) = self.head_sharded(id) else {
+                break;
+            };
+            let lease = if sharded {
+                self.pool.try_acquire_all()
+            } else {
+                self.pool.try_acquire()
+            };
+            let Some(lease) = lease else {
+                if self.cfg.priority_preemption && self.preempt_for(priority) {
+                    events += 1;
+                    continue; // slots freed — retry the head
+                }
+                break;
+            };
+            let entry = self.queue.pop_next().expect("peeked entry");
+            self.start(entry, lease, sharded);
+            events += 1;
+        }
+        events
+    }
+
+    /// Whether the queue entry `id` needs a whole-group lease.
+    fn head_sharded(&self, id: JobId) -> Option<bool> {
+        let e = self.queue.get(id)?;
+        Some(match &e.payload.work {
+            Work::Fresh => self.will_shard(&e.payload.req.cfg),
+            Work::Suspended(s) => s.n_shards() > 1,
+        })
+    }
+
+    /// Suspend the newest, lowest-priority running job strictly below
+    /// `incoming`. Returns whether a victim was preempted.
+    fn preempt_for(&mut self, incoming: Priority) -> bool {
+        let victim = self
+            .running
+            .iter()
+            .enumerate()
+            .filter(|(_, j)| j.req.priority < incoming)
+            .min_by_key(|(_, j)| (j.req.priority, std::cmp::Reverse(j.id)))
+            .map(|(i, _)| i);
+        let Some(i) = victim else {
+            return false;
+        };
+        let job = self.running.remove(i);
+        let before = self.charged();
+        let (mut entry, lease) = suspend_to_entry(job);
+        entry.payload.device_seconds += self.charged() - before;
+        self.pool.release(lease);
+        // Preempted work was already admitted once; it re-enters above the
+        // queue bound rather than being dropped.
+        self.queue.push_unbounded(entry);
+        true
+    }
+
+    /// Move a queue entry onto its lease; on an unrecoverable start
+    /// failure (device lost mid-admission, or a suspended job whose shard
+    /// geometry no longer fits the group), record the job as failed.
+    fn start(&mut self, entry: QueueEntry<Pending>, lease: Lease, sharded: bool) {
+        let id = entry.id;
+        let mut pend = entry.payload;
+        if let Work::Suspended(s) = &pend.work {
+            if s.n_shards() != lease.devices().len() {
+                self.pool.release(lease);
+                let now = self.now();
+                self.finalize_pending(id, pend, JobOutcome::Failed, now);
+                return;
+            }
+        }
+        let view = self.pool.group_view(&lease);
+        let k = lease.devices().len();
+        let (plan, partitions) = build_plan(&pend.req, k, sharded);
+        let work = std::mem::replace(&mut pend.work, Work::Fresh);
+        let before = self.charged();
+        let state_res = {
+            let target = target_of(&view, sharded);
+            let run = PlanRun {
+                plan: &plan,
+                cfg: &pend.req.cfg,
+                obj: pend.req.objective.as_ref(),
+                strategy: pend.req.strategy,
+                resilience: pend.req.resilience.as_ref(),
+                partitions: partitions.clone(),
+                target,
+            };
+            match work {
+                Work::Fresh => run.init_state(),
+                Work::Suspended(s) => run.resume(s),
+            }
+        };
+        let state = match state_res {
+            Ok(st) => st,
+            Err(_) => {
+                self.pool.release(lease);
+                let now = self.now();
+                self.finalize_pending(id, pend, JobOutcome::Failed, now);
+                return;
+            }
+        };
+        let device_seconds = pend.device_seconds + (self.charged() - before);
+        let started_s = pend.started_s.unwrap_or_else(|| self.now());
+        self.running.push(Running {
+            id,
+            req: pend.req,
+            plan,
+            partitions,
+            sharded,
+            view,
+            lease,
+            state,
+            submitted_s: pend.submitted_s,
+            started_s,
+            deadline_abs: pend.deadline_abs,
+            queue_depth_at_submit: pend.queue_depth_at_submit,
+            device_seconds,
+        });
+        self.running.sort_by_key(|j| j.id);
+    }
+
+    /// Advance every running job by one time slice, in job-id order.
+    fn step_running(&mut self) -> usize {
+        let slice = self.cfg.slice_iters;
+        let mut outcomes: Vec<(usize, Result<bool, PsoError>)> = Vec::new();
+        for (i, job) in self.running.iter_mut().enumerate() {
+            let before = merged_total(&self.group);
+            let res = step_job(job, slice);
+            job.device_seconds += merged_total(&self.group) - before;
+            outcomes.push((i, res));
+        }
+        let stepped = outcomes.len();
+        // Finalize in reverse index order so removals don't shift.
+        for (i, res) in outcomes.into_iter().rev() {
+            match res {
+                Ok(false) => {}
+                Ok(true) => {
+                    let job = self.running.remove(i);
+                    let now = self.now();
+                    self.finalize_completed(job, now);
+                }
+                Err(_) => {
+                    let job = self.running.remove(i);
+                    let now = self.now();
+                    self.finalize_running_dropped(job, JobOutcome::Failed, now);
+                }
+            }
+        }
+        stepped
+    }
+
+    fn finalize_completed(&mut self, job: Running, now: f64) {
+        let Running {
+            id,
+            req,
+            plan,
+            partitions,
+            sharded,
+            view,
+            lease,
+            state,
+            submitted_s,
+            started_s,
+            queue_depth_at_submit,
+            device_seconds,
+            ..
+        } = job;
+        let iterations = state.iterations_run();
+        let result = {
+            let target = target_of(&view, sharded);
+            let run = PlanRun {
+                plan: &plan,
+                cfg: &req.cfg,
+                obj: req.objective.as_ref(),
+                strategy: req.strategy,
+                resilience: req.resilience.as_ref(),
+                partitions,
+                target,
+            };
+            run.finish_state(state)
+        };
+        self.pool.release(lease);
+        self.records.push(JobRecord {
+            tenant: req.tenant,
+            job: id.0,
+            submitted_s,
+            started_s,
+            finished_s: now,
+            outcome: JobOutcome::Completed,
+            iterations,
+            device_seconds,
+            queue_depth_at_submit,
+        });
+        self.finished.insert(
+            id,
+            Finished {
+                status: JobStatus::Completed,
+                result: Some(result),
+            },
+        );
+    }
+
+    /// Finalize a running job that ends without a result (shed, cancelled
+    /// or failed): its device buffers drop here, freeing the lease's
+    /// memory before the lease itself is returned.
+    fn finalize_running_dropped(&mut self, job: Running, outcome: JobOutcome, now: f64) {
+        self.records.push(JobRecord {
+            tenant: job.req.tenant.clone(),
+            job: job.id.0,
+            submitted_s: job.submitted_s,
+            started_s: job.started_s,
+            finished_s: now,
+            outcome,
+            iterations: job.state.iterations_run(),
+            device_seconds: job.device_seconds,
+            queue_depth_at_submit: job.queue_depth_at_submit,
+        });
+        self.finished.insert(
+            job.id,
+            Finished {
+                status: status_of(outcome),
+                result: None,
+            },
+        );
+        let Running { lease, state, .. } = job;
+        drop(state); // device buffers freed
+        self.pool.release(lease);
+    }
+
+    fn finalize_queued(&mut self, entry: QueueEntry<Pending>, outcome: JobOutcome, now: f64) {
+        self.finalize_pending(entry.id, entry.payload, outcome, now);
+    }
+
+    fn finalize_pending(&mut self, id: JobId, pend: Pending, outcome: JobOutcome, now: f64) {
+        self.records.push(JobRecord {
+            tenant: pend.req.tenant,
+            job: id.0,
+            submitted_s: pend.submitted_s,
+            started_s: pend.started_s.unwrap_or(now),
+            finished_s: now,
+            outcome,
+            iterations: pend.iterations,
+            device_seconds: pend.device_seconds,
+            queue_depth_at_submit: pend.queue_depth_at_submit,
+        });
+        self.finished.insert(
+            id,
+            Finished {
+                status: status_of(outcome),
+                result: None,
+            },
+        );
+    }
+}
+
+/// Map a terminal outcome onto the status enum.
+fn status_of(outcome: JobOutcome) -> JobStatus {
+    match outcome {
+        JobOutcome::Completed => JobStatus::Completed,
+        JobOutcome::Shed => JobStatus::Shed,
+        JobOutcome::Cancelled => JobStatus::Cancelled,
+        JobOutcome::Failed => JobStatus::Failed,
+    }
+}
+
+/// The job's plan and row partitions for `k` leased devices.
+fn build_plan(
+    req: &OptimizeRequest,
+    k: usize,
+    sharded: bool,
+) -> (ExecutionPlan, Vec<(usize, usize)>) {
+    let (n_shards, reduce) = if sharded {
+        (k, BestReduce::Exchange { sync_every: 1 })
+    } else {
+        (1, BestReduce::Local)
+    };
+    let mut plan = ExecutionPlan::build(&req.cfg, n_shards, reduce);
+    if req.fused {
+        plan.fuse_swarm_update(req.strategy);
+    }
+    // Streams are deliberately never enabled here: the per-device stream
+    // window is shared state, and packed co-resident jobs would corrupt
+    // each other's overlap accounting.
+    (plan, partition(req.cfg.n_particles, n_shards))
+}
+
+/// Split `n` rows into `k` `(row0, rows)` shards, spreading the remainder
+/// over the leading shards — the same split `MultiGpuBackend` uses.
+fn partition(n: usize, k: usize) -> Vec<(usize, usize)> {
+    let base = n / k;
+    let extra = n % k;
+    let mut out = Vec::with_capacity(k);
+    let mut row0 = 0;
+    for i in 0..k {
+        let rows = base + usize::from(i < extra);
+        out.push((row0, rows));
+        row0 += rows;
+    }
+    out
+}
+
+fn target_of(view: &DeviceGroup, sharded: bool) -> ExecTarget<'_> {
+    if sharded {
+        ExecTarget::Group(view)
+    } else {
+        ExecTarget::Single(view.device(0).expect("leased device"))
+    }
+}
+
+fn merged_total(group: &DeviceGroup) -> f64 {
+    group.merged_timeline().total_seconds()
+}
+
+/// Advance one job by up to `slice` iterations. `Ok(true)` = finished.
+fn step_job(job: &mut Running, slice: usize) -> Result<bool, PsoError> {
+    let target = target_of(&job.view, job.sharded);
+    let run = PlanRun {
+        plan: &job.plan,
+        cfg: &job.req.cfg,
+        obj: job.req.objective.as_ref(),
+        strategy: job.req.strategy,
+        resilience: job.req.resilience.as_ref(),
+        partitions: job.partitions.clone(),
+        target,
+    };
+    for _ in 0..slice {
+        if run.step_state(&mut job.state)? {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+/// Evacuate a running job to host memory and requeue it. Returns the
+/// queue entry (payload carries the [`SuspendedJob`]) and the lease to
+/// release.
+fn suspend_to_entry(job: Running) -> (QueueEntry<Pending>, Lease) {
+    let Running {
+        id,
+        req,
+        plan,
+        partitions,
+        sharded,
+        view,
+        lease,
+        state,
+        submitted_s,
+        started_s,
+        deadline_abs,
+        queue_depth_at_submit,
+        device_seconds,
+    } = job;
+    let iterations = state.iterations_run();
+    let suspended = {
+        let target = target_of(&view, sharded);
+        let run = PlanRun {
+            plan: &plan,
+            cfg: &req.cfg,
+            obj: req.objective.as_ref(),
+            strategy: req.strategy,
+            resilience: req.resilience.as_ref(),
+            partitions,
+            target,
+        };
+        run.suspend(state)
+    };
+    let priority = req.priority;
+    let entry = QueueEntry {
+        id,
+        priority,
+        payload: Pending {
+            req,
+            work: Work::Suspended(suspended),
+            submitted_s,
+            deadline_abs,
+            queue_depth_at_submit,
+            started_s: Some(started_s),
+            device_seconds,
+            iterations,
+        },
+    };
+    (entry, lease)
+}

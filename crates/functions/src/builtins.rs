@@ -1,5 +1,5 @@
 //! Built-in benchmark functions (Molga & Smutnicki, "Test functions for
-//! optimization needs", 2005 — the paper's reference [20]).
+//! optimization needs", 2005 — the paper's reference \[20\]).
 //!
 //! The first three are the ones the paper evaluates directly:
 //!

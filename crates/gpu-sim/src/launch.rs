@@ -24,8 +24,11 @@ pub enum AllocMode {
 /// A 3-component CUDA dimension.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Dim3 {
+    /// Extent along x (the fastest-varying axis).
     pub x: u32,
+    /// Extent along y.
     pub y: u32,
+    /// Extent along z.
     pub z: u32,
 }
 
@@ -55,7 +58,9 @@ impl From<u32> for Dim3 {
 /// Grid and block dimensions of one kernel launch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LaunchConfig {
+    /// Blocks in the grid.
     pub grid: Dim3,
+    /// Threads per block.
     pub block: Dim3,
 }
 

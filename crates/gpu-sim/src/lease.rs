@@ -1,0 +1,252 @@
+//! Device leasing: a slot-based occupancy view over a [`DeviceGroup`].
+//!
+//! The serving layer (`fastpso::serve`) packs many concurrent optimization
+//! jobs onto a shared group of simulated GPUs. A [`LeasePool`] divides each
+//! device into a fixed number of *slots* (co-resident jobs) and hands out
+//! [`Lease`] tickets: small jobs take one slot on the least-loaded device,
+//! sharded jobs take one slot on *every* device. Placement is deterministic
+//! — least-loaded first, ties broken by device index — so a replayed arrival
+//! trace schedules identically every time.
+//!
+//! The pool tracks occupancy only; it never touches device memory. Callers
+//! allocate buffers on the leased device(s) and must release the lease when
+//! the job completes, is cancelled, or is preempted.
+//!
+//! ```
+//! use gpu_sim::{DeviceGroup, lease::LeasePool};
+//!
+//! let group = DeviceGroup::v100s(2);
+//! let mut pool = LeasePool::new(&group, 2); // 2 slots per device
+//! let a = pool.try_acquire().unwrap();      // device 0 (least loaded)
+//! let b = pool.try_acquire().unwrap();      // device 1
+//! assert_ne!(a.devices(), b.devices());
+//! assert_eq!(pool.in_use(), 2);
+//! pool.release(a);
+//! assert_eq!(pool.in_use(), 1);
+//! assert_eq!(pool.peak_in_use(), 2);
+//! ```
+
+use crate::device::Device;
+use crate::multi::DeviceGroup;
+
+/// A ticket for one slot on each of the listed devices. Obtained from
+/// [`LeasePool::try_acquire`] (one device) or [`LeasePool::try_acquire_all`]
+/// (every device, for sharded jobs); give it back with
+/// [`LeasePool::release`].
+#[derive(Debug, PartialEq, Eq)]
+pub struct Lease {
+    devices: Vec<usize>,
+    /// Monotone ticket id, for debugging/accounting.
+    id: u64,
+}
+
+impl Lease {
+    /// Indices (within the pool's group) of the devices this lease holds a
+    /// slot on.
+    pub fn devices(&self) -> &[usize] {
+        &self.devices
+    }
+
+    /// The pool-unique ticket id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+}
+
+/// Slot-based occupancy tracker over a [`DeviceGroup`]. See the
+/// [module docs](self) for the placement policy.
+pub struct LeasePool {
+    devices: Vec<Device>,
+    slots_per_device: usize,
+    used: Vec<usize>,
+    next_id: u64,
+    peak: usize,
+}
+
+impl LeasePool {
+    /// A pool over `group`'s devices with `slots_per_device` co-resident
+    /// jobs allowed per device. Panics if `slots_per_device` is zero.
+    pub fn new(group: &DeviceGroup, slots_per_device: usize) -> Self {
+        assert!(slots_per_device > 0, "a device needs at least one slot");
+        let devices: Vec<Device> = group.iter().cloned().collect();
+        let n = devices.len();
+        LeasePool {
+            devices,
+            slots_per_device,
+            used: vec![0; n],
+            next_id: 0,
+            peak: 0,
+        }
+    }
+
+    /// Number of devices in the pool.
+    pub fn n_devices(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Total slots across all devices.
+    pub fn capacity(&self) -> usize {
+        self.devices.len() * self.slots_per_device
+    }
+
+    /// Slots currently held by outstanding leases.
+    pub fn in_use(&self) -> usize {
+        self.used.iter().sum()
+    }
+
+    /// High-water mark of [`LeasePool::in_use`] since construction.
+    pub fn peak_in_use(&self) -> usize {
+        self.peak
+    }
+
+    /// Slots in use on device `i` (0 if out of range).
+    pub fn device_load(&self, i: usize) -> usize {
+        self.used.get(i).copied().unwrap_or(0)
+    }
+
+    /// Handle to leased device `i`. Panics if out of range — leases only
+    /// carry indices the pool itself issued.
+    pub fn device(&self, i: usize) -> &Device {
+        &self.devices[i]
+    }
+
+    /// Lease one slot on the least-loaded non-lost device (ties broken by
+    /// lowest index). Returns `None` when every surviving device is full.
+    pub fn try_acquire(&mut self) -> Option<Lease> {
+        let (best, _) = self
+            .devices
+            .iter()
+            .enumerate()
+            .filter(|(i, d)| !d.is_lost() && self.used[*i] < self.slots_per_device)
+            .map(|(i, _)| (i, self.used[i]))
+            .min_by_key(|&(i, load)| (load, i))?;
+        self.used[best] += 1;
+        self.note_peak();
+        Some(self.ticket(vec![best]))
+    }
+
+    /// Lease one slot on *every* non-lost device at once (a sharded job
+    /// spans the group). Returns `None` — taking nothing — unless every
+    /// surviving device has a free slot.
+    pub fn try_acquire_all(&mut self) -> Option<Lease> {
+        let alive: Vec<usize> = self
+            .devices
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| !d.is_lost())
+            .map(|(i, _)| i)
+            .collect();
+        if alive.is_empty() || alive.iter().any(|&i| self.used[i] >= self.slots_per_device) {
+            return None;
+        }
+        for &i in &alive {
+            self.used[i] += 1;
+        }
+        self.note_peak();
+        Some(self.ticket(alive))
+    }
+
+    /// Return a lease's slots to the pool.
+    pub fn release(&mut self, lease: Lease) {
+        for i in lease.devices {
+            debug_assert!(self.used[i] > 0, "release without matching acquire");
+            self.used[i] = self.used[i].saturating_sub(1);
+        }
+    }
+
+    /// A `DeviceGroup` view over the leased devices, for driving a sharded
+    /// plan execution. Shares state (timeline, profiler, faults) with the
+    /// parent group.
+    pub fn group_view(&self, lease: &Lease) -> DeviceGroup {
+        DeviceGroup::from_devices(
+            lease
+                .devices
+                .iter()
+                .map(|&i| self.devices[i].clone())
+                .collect(),
+        )
+    }
+
+    fn ticket(&mut self, devices: Vec<usize>) -> Lease {
+        let id = self.next_id;
+        self.next_id += 1;
+        Lease { devices, id }
+    }
+
+    fn note_peak(&mut self) {
+        let now = self.in_use();
+        if now > self.peak {
+            self.peak = now;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_is_least_loaded_deterministic() {
+        let g = DeviceGroup::v100s(3);
+        let mut pool = LeasePool::new(&g, 2);
+        let picks: Vec<usize> = (0..6)
+            .map(|_| pool.try_acquire().unwrap().devices()[0])
+            .collect();
+        // Round-robin by load, ties by index.
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+        assert!(pool.try_acquire().is_none(), "pool is full");
+        assert_eq!(pool.peak_in_use(), 6);
+    }
+
+    #[test]
+    fn release_frees_the_slot() {
+        let g = DeviceGroup::v100s(1);
+        let mut pool = LeasePool::new(&g, 1);
+        let l = pool.try_acquire().unwrap();
+        assert!(pool.try_acquire().is_none());
+        pool.release(l);
+        assert_eq!(pool.in_use(), 0);
+        assert!(pool.try_acquire().is_some());
+    }
+
+    #[test]
+    fn acquire_all_is_all_or_nothing() {
+        let g = DeviceGroup::v100s(2);
+        let mut pool = LeasePool::new(&g, 1);
+        let single = pool.try_acquire().unwrap(); // device 0 occupied
+        assert!(pool.try_acquire_all().is_none());
+        assert_eq!(pool.in_use(), 1, "failed acquire_all must take nothing");
+        pool.release(single);
+        let all = pool.try_acquire_all().unwrap();
+        assert_eq!(all.devices(), &[0, 1]);
+        assert_eq!(pool.in_use(), 2);
+    }
+
+    #[test]
+    fn lost_devices_are_skipped() {
+        let g = DeviceGroup::v100s(2);
+        let d0 = g.device(0).unwrap();
+        d0.set_fault_plan(crate::FaultPlan::new().with_device_loss_at_launch(1));
+        let _ = d0.begin_launch(); // trips the injected permanent loss
+        assert!(d0.is_lost());
+        let mut pool = LeasePool::new(&g, 1);
+        let l = pool.try_acquire().unwrap();
+        assert_eq!(l.devices(), &[1]);
+        let all_pool_view = pool.try_acquire_all();
+        assert!(all_pool_view.is_none(), "device 1 is already full");
+    }
+
+    #[test]
+    fn group_view_shares_device_state() {
+        let g = DeviceGroup::v100s(2);
+        let mut pool = LeasePool::new(&g, 1);
+        let lease = pool.try_acquire().unwrap();
+        let view = pool.group_view(&lease);
+        view.exchange(perf_model::Phase::Other, 64);
+        // The charge shows up on the parent group's device too.
+        assert_eq!(
+            g.device(lease.devices()[0]).unwrap().counters().transfers,
+            1
+        );
+    }
+}

@@ -32,6 +32,8 @@
 //! assert!(dev.timeline().total_seconds() > 0.0);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod alloc;
 pub mod buffer;
 pub mod coop;
@@ -40,6 +42,7 @@ pub mod error;
 pub mod fault;
 pub mod kernel;
 pub mod launch;
+pub mod lease;
 pub mod multi;
 pub mod profiler;
 pub mod reduce;

@@ -30,6 +30,15 @@ impl DeviceGroup {
         Self::new(n, GpuProfile::tesla_v100(), LinkProfile::pcie3_x16())
     }
 
+    /// Wrap existing device handles as a group. [`Device`] is a cheap
+    /// shared-state handle ([`Clone`] shares the underlying device), so a
+    /// scheduler can lease a subset of a larger group's devices and hand a
+    /// sharded job its own `DeviceGroup` view over them — timelines,
+    /// profilers and fault state stay shared with the parent group.
+    pub fn from_devices(devices: Vec<Device>) -> Self {
+        DeviceGroup { devices }
+    }
+
     /// Number of devices in the group.
     pub fn len(&self) -> usize {
         self.devices.len()

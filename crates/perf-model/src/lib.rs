@@ -41,6 +41,7 @@ pub mod counters;
 pub mod model;
 pub mod profile;
 pub mod record;
+pub mod tenant;
 pub mod timeline;
 pub mod trace;
 
@@ -50,5 +51,6 @@ pub use model::{
 };
 pub use profile::{CpuProfile, GpuProfile, InterpreterProfile, LinkProfile, Testbed};
 pub use record::{AllocKind, AllocRecord, KernelRecord, KernelStats, ProfilerLog, TransferRecord};
+pub use tenant::{JobOutcome, JobRecord, TenantSummary};
 pub use timeline::{Phase, Timeline};
 pub use trace::{chrome_trace_event_count, chrome_trace_json, gpu_summary, parse_json, JsonValue};

@@ -194,3 +194,58 @@ proptest! {
         prop_assert_eq!(ptrs.len(), buffers.len());
     }
 }
+
+proptest! {
+    /// `Display` → `FromStr` round-trips every `UpdateStrategy` variant,
+    /// and every documented alias parses to its variant under arbitrary
+    /// casing. The accepted alias table lives in the `FromStr` rustdoc.
+    #[test]
+    fn update_strategy_display_fromstr_round_trips(
+        idx in 0usize..4,
+        alias_idx in 0usize..4,
+        caps in prop::collection::vec(any::<bool>(), 12..13),
+    ) {
+        let strategy = UpdateStrategy::ALL[idx];
+        let printed = strategy.to_string();
+        prop_assert_eq!(printed.parse::<UpdateStrategy>().unwrap(), strategy);
+
+        let aliases: &[&str] = match strategy {
+            UpdateStrategy::GlobalMem => &["global", "globalmem", "global-mem"],
+            UpdateStrategy::SharedMem => &["smem", "shared", "sharedmem", "shared-mem"],
+            UpdateStrategy::TensorCore => &["tensor", "tensorcore", "tensor-core", "wmma"],
+            UpdateStrategy::ForLoop => &["forloop", "for-loop", "naive"],
+        };
+        let alias = aliases[alias_idx % aliases.len()];
+        // Parsing is case-insensitive: flip an arbitrary subset to uppercase.
+        let mangled: String = alias
+            .chars()
+            .zip(caps.iter().cycle())
+            .map(|(ch, &up)| if up { ch.to_ascii_uppercase() } else { ch })
+            .collect();
+        prop_assert_eq!(mangled.parse::<UpdateStrategy>().unwrap(), strategy);
+    }
+
+    /// Strings outside the alias table never parse.
+    #[test]
+    fn update_strategy_rejects_unknown_names(
+        chars in prop::collection::vec(0u8..38, 1..16),
+    ) {
+        let s: String = chars
+            .iter()
+            .map(|&c| match c {
+                0..=25 => (b'a' + c) as char,
+                26..=35 => (b'0' + c - 26) as char,
+                36 => '_',
+                _ => '-',
+            })
+            .collect();
+        let known = [
+            "global", "globalmem", "global-mem",
+            "smem", "shared", "sharedmem", "shared-mem",
+            "tensor", "tensorcore", "tensor-core", "wmma",
+            "forloop", "for-loop", "naive",
+        ];
+        prop_assume!(!known.contains(&s.as_str()));
+        prop_assert!(s.parse::<UpdateStrategy>().is_err());
+    }
+}

@@ -1,0 +1,227 @@
+//! Integration tests for the multi-tenant serving layer (`fastpso::serve`):
+//! replayed-trace determinism, strict admission backpressure, and
+//! lease/memory hygiene on cancellation.
+
+use fastpso::serve::{
+    JobId, JobStatus, OptimizeRequest, Priority, ServeConfig, ServeError, Service,
+};
+use fastpso::{CounterAsserts, PsoConfig, RunResult};
+use fastpso_functions::builtins::{Griewank, Rastrigin, Sphere};
+use fastpso_functions::Objective;
+use gpu_sim::DeviceGroup;
+use std::sync::Arc;
+
+fn cfg(n: usize, d: usize, iters: usize, seed: u64) -> PsoConfig {
+    PsoConfig::builder(n, d)
+        .max_iter(iters)
+        .seed(seed)
+        .build()
+        .unwrap()
+}
+
+/// Replay a fixed multi-tenant arrival trace: 8 jobs over 3 tenants with
+/// mixed priorities and objectives, with scheduler ticks interleaved
+/// between arrival bursts. Returns every job's result plus the
+/// service-wide launch manifest.
+fn replay_trace() -> (Vec<RunResult>, Vec<String>) {
+    let mut svc = Service::new(
+        DeviceGroup::v100s(2),
+        ServeConfig {
+            slots_per_device: 2,
+            slice_iters: 6,
+            ..ServeConfig::default()
+        },
+    );
+    let objs: [Arc<dyn Objective>; 3] = [Arc::new(Sphere), Arc::new(Rastrigin), Arc::new(Griewank)];
+    let mut ids: Vec<JobId> = Vec::new();
+    for burst in 0..2 {
+        for i in 0..4u64 {
+            let job = burst * 4 + i;
+            let req = OptimizeRequest::new(
+                ["acme", "globex", "initech"][job as usize % 3],
+                Arc::clone(&objs[job as usize % 3]),
+                cfg(24 + 8 * (job as usize % 2), 4, 25, 100 + job),
+            )
+            .priority([Priority::Low, Priority::Normal, Priority::High][job as usize % 3]);
+            ids.push(svc.submit(req).unwrap());
+        }
+        // Let the first burst make partial progress before the second lands.
+        svc.tick();
+        svc.tick();
+    }
+    svc.run_until_idle();
+    let results = ids
+        .iter()
+        .map(|&id| svc.result(id).unwrap().clone())
+        .collect();
+    let manifest = svc
+        .merged_profiler()
+        .kernels
+        .iter()
+        .map(|k| {
+            format!(
+                "{} dev{} grid{:?} block{:?} threads{}",
+                k.name, k.device, k.grid, k.block, k.threads
+            )
+        })
+        .collect();
+    (results, manifest)
+}
+
+#[test]
+fn replayed_trace_is_bit_identical_with_identical_manifest() {
+    let (results_a, manifest_a) = replay_trace();
+    let (results_b, manifest_b) = replay_trace();
+    assert_eq!(results_a.len(), 8);
+    for (a, b) in results_a.iter().zip(&results_b) {
+        CounterAsserts::assert_bit_identical_gbest(a, b);
+        assert_eq!(a.iterations, b.iterations);
+    }
+    assert_eq!(
+        manifest_a.len(),
+        manifest_b.len(),
+        "launch counts differ between replays"
+    );
+    assert_eq!(manifest_a, manifest_b, "launch manifest drifted");
+    assert!(!manifest_a.is_empty());
+}
+
+#[test]
+fn interleaving_does_not_perturb_single_job_trajectories() {
+    use fastpso::{GpuBackend, PsoBackend};
+    // Every job served under contention must match the same job run alone
+    // on a dedicated device, bit for bit.
+    let configs: Vec<PsoConfig> = (0..4).map(|i| cfg(32, 6, 30, 500 + i)).collect();
+    let alone: Vec<RunResult> = configs
+        .iter()
+        .map(|c| GpuBackend::new().run(c, &Sphere).unwrap())
+        .collect();
+    let mut svc = Service::new(
+        DeviceGroup::v100s(2),
+        ServeConfig {
+            slots_per_device: 2,
+            slice_iters: 4,
+            ..ServeConfig::default()
+        },
+    );
+    let ids: Vec<JobId> = configs
+        .iter()
+        .map(|c| {
+            svc.submit(OptimizeRequest::new("t", Arc::new(Sphere), c.clone()))
+                .unwrap()
+        })
+        .collect();
+    svc.run_until_idle();
+    for (id, expect) in ids.iter().zip(&alone) {
+        let got = svc.result(*id).unwrap();
+        CounterAsserts::assert_bit_identical_gbest(got, expect);
+    }
+}
+
+#[test]
+fn backpressure_rejects_without_dropping() {
+    let mut svc = Service::new(
+        DeviceGroup::v100s(1),
+        ServeConfig {
+            queue_capacity: 3,
+            slots_per_device: 1,
+            ..ServeConfig::default()
+        },
+    );
+    let mut admitted = Vec::new();
+    let mut rejected = 0;
+    for i in 0..6u64 {
+        match svc.submit(OptimizeRequest::new(
+            "t",
+            Arc::new(Sphere),
+            cfg(16, 4, 15, i),
+        )) {
+            Ok(id) => admitted.push(id),
+            Err(ServeError::QueueFull { capacity }) => {
+                assert_eq!(capacity, 3);
+                rejected += 1;
+            }
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+    assert_eq!(
+        admitted.len(),
+        3,
+        "bounded queue admits exactly its capacity"
+    );
+    assert_eq!(rejected, 3);
+    svc.run_until_idle();
+    // Every admitted job completes — backpressure must never shed.
+    for id in &admitted {
+        assert_eq!(svc.status(*id).unwrap(), JobStatus::Completed);
+        assert!(svc.result(*id).is_ok());
+    }
+    let rollup = svc.tenant_rollups();
+    assert_eq!(rollup[0].completed, 3);
+    assert_eq!(rollup[0].shed, 0, "nothing dropped");
+    // Draining frees the queue: new submissions are accepted again.
+    assert!(svc
+        .submit(OptimizeRequest::new(
+            "t",
+            Arc::new(Sphere),
+            cfg(16, 4, 5, 9)
+        ))
+        .is_ok());
+    svc.run_until_idle();
+}
+
+#[test]
+fn cancellation_mid_run_frees_device_lease_and_memory() {
+    let group = DeviceGroup::v100s(2);
+    let baseline: Vec<usize> = group.iter().map(|d| d.bytes_in_use()).collect();
+    assert!(baseline.iter().all(|&b| b == 0));
+    let mut svc = Service::new(
+        group,
+        ServeConfig {
+            slots_per_device: 1,
+            slice_iters: 3,
+            ..ServeConfig::default()
+        },
+    );
+    let long = svc
+        .submit(OptimizeRequest::new(
+            "t",
+            Arc::new(Rastrigin),
+            cfg(64, 8, 10_000, 1),
+        ))
+        .unwrap();
+    let short = svc
+        .submit(OptimizeRequest::new(
+            "t",
+            Arc::new(Sphere),
+            cfg(16, 4, 20, 2),
+        ))
+        .unwrap();
+    svc.tick(); // both admitted, mid-run
+    assert_eq!(svc.status(long).unwrap(), JobStatus::Running);
+    assert!(svc.group().iter().any(|d| d.bytes_in_use() > 0));
+    let (in_use, _) = svc.occupancy();
+    assert_eq!(in_use, 2);
+
+    svc.cancel(long).unwrap();
+    assert_eq!(svc.status(long).unwrap(), JobStatus::Cancelled);
+    assert_eq!(svc.occupancy().0, 1, "cancelled job's lease returned");
+    svc.run_until_idle();
+    assert_eq!(svc.status(short).unwrap(), JobStatus::Completed);
+    // Zero leaked allocations: every byte the jobs allocated was freed.
+    for d in svc.group().iter() {
+        assert_eq!(d.bytes_in_use(), 0, "device {} leaked memory", d.index());
+    }
+    assert_eq!(svc.occupancy().0, 0);
+    // The profiler saw every charge the timeline saw — cancellation did
+    // not tear a device mid-record.
+    for d in svc.group().iter() {
+        CounterAsserts::capture(d).assert_profiler_matches_timeline();
+    }
+    // Cancelling a finished job is an idempotent no-op; unknown ids error.
+    svc.cancel(long).unwrap();
+    assert!(matches!(
+        svc.cancel(JobId(999)),
+        Err(ServeError::UnknownJob(_))
+    ));
+}
