@@ -1,0 +1,370 @@
+//! Chaos benchmark for the serving layer's fleet fault tolerance: replay a
+//! 32-job multi-tenant trace on a 4-device group while killing a device
+//! mid-run, and verify the service's three resilience guarantees end to
+//! end:
+//!
+//! 1. **re-homing** — every job stranded on the lost device completes on a
+//!    healthy one with a result bit-identical to the fault-free replay
+//!    (randomness is counter-addressed, so recomputation cannot drift);
+//! 2. **quarantine** — once the loss is observed, no admission ever leases
+//!    the dead device again (checked against the serve journal);
+//! 3. **crash-safety** — a mid-run `Service::snapshot` restores on a fresh
+//!    group to the same queue depth, running set and job records, and
+//!    re-serializes byte-for-byte.
+//!
+//! Usage: `cargo run --release -p fastpso-bench --bin chaos_bench -- [flags]`
+//!
+//! Flags:
+//!   --jobs N          trace length (default 32)
+//!   --devices N       group size (default 4)
+//!   --loss-device N   which device dies (default: last)
+//!   --loss-ordinal N  the device's fatal launch ordinal (default 25)
+//!   --sweep           sweep a fixed ordinal ladder instead of one ordinal
+//!   --seed S          base RNG seed for the job configs (default 1000)
+
+use fastpso::serve::{OptimizeRequest, Priority, ServeConfig, ServeEvent, Service};
+use fastpso::{PsoConfig, RunResult};
+use fastpso_bench::report::{fmt_secs, Table};
+use fastpso_functions::builtins::{Griewank, Rastrigin, Sphere};
+use fastpso_functions::Objective;
+use gpu_sim::{DeviceGroup, FaultPlan, HealthState};
+use std::sync::Arc;
+
+struct Args {
+    jobs: u64,
+    devices: usize,
+    loss_device: usize,
+    loss_ordinal: u64,
+    sweep: bool,
+    seed: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut args = Args {
+        jobs: 32,
+        devices: 4,
+        loss_device: usize::MAX, // resolved to devices-1 below
+        loss_ordinal: 25,
+        sweep: false,
+        seed: 1000,
+    };
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} expects a value"))
+                .cloned()
+        };
+        match flag.as_str() {
+            "--jobs" => args.jobs = val("--jobs")?.parse().map_err(|e| format!("--jobs: {e}"))?,
+            "--devices" => {
+                args.devices = val("--devices")?
+                    .parse()
+                    .map_err(|e| format!("--devices: {e}"))?
+            }
+            "--loss-device" => {
+                args.loss_device = val("--loss-device")?
+                    .parse()
+                    .map_err(|e| format!("--loss-device: {e}"))?
+            }
+            "--loss-ordinal" => {
+                args.loss_ordinal = val("--loss-ordinal")?
+                    .parse()
+                    .map_err(|e| format!("--loss-ordinal: {e}"))?
+            }
+            "--sweep" => args.sweep = true,
+            "--seed" => args.seed = val("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if args.devices < 2 {
+        return Err("--devices must be at least 2 (one must survive the loss)".into());
+    }
+    if args.loss_device == usize::MAX {
+        args.loss_device = args.devices - 1;
+    }
+    if args.loss_device >= args.devices {
+        return Err("--loss-device out of range".into());
+    }
+    Ok(args)
+}
+
+fn job_cfg(i: u64, seed: u64) -> PsoConfig {
+    // Heterogeneous: 32/64/96 particles, 4-16 dims, 60-90 iterations. The
+    // 96-particle jobs cross the shard threshold and span every device.
+    let n = 32 + 32 * (i as usize % 3);
+    let d = 4 * (1 + (i as usize % 4));
+    PsoConfig::builder(n, d)
+        .max_iter(60 + 10 * (i as usize % 4))
+        .seed(seed + i)
+        .build()
+        .expect("valid job config")
+}
+
+fn job_objective(i: u64) -> Arc<dyn Objective> {
+    match i % 3 {
+        0 => Arc::new(Sphere),
+        1 => Arc::new(Rastrigin),
+        _ => Arc::new(Griewank),
+    }
+}
+
+fn job_request(i: u64, seed: u64) -> OptimizeRequest {
+    OptimizeRequest::new(
+        ["acme", "globex", "initech"][i as usize % 3],
+        job_objective(i),
+        job_cfg(i, seed),
+    )
+    .priority(match i % 4 {
+        0 => Priority::Low,
+        3 => Priority::High,
+        _ => Priority::Normal,
+    })
+}
+
+fn make_group(devices: usize, loss: Option<(usize, u64)>) -> DeviceGroup {
+    let group = DeviceGroup::v100s(devices);
+    if let Some((dev, ord)) = loss {
+        let mut plans: Vec<FaultPlan> = (0..devices).map(|_| FaultPlan::new()).collect();
+        plans[dev] = FaultPlan::new().with_device_loss_at_launch(ord);
+        group.set_fault_plans(plans);
+    }
+    group
+}
+
+fn serve_cfg() -> ServeConfig {
+    ServeConfig {
+        slots_per_device: 4,
+        slice_iters: 10,
+        shard_threshold_particles: 96,
+        ..ServeConfig::default()
+    }
+}
+
+struct Outcome {
+    results: Vec<RunResult>,
+    makespan_s: f64,
+    rehomes: u64,
+    recovery_s: f64,
+    events: Vec<ServeEvent>,
+    loss_fired: bool,
+    loss_health: HealthState,
+    /// Per-tenant (name, completed, re-homes, recovery seconds).
+    tenants: Vec<(String, usize, u64, f64)>,
+}
+
+/// Replay the whole trace. With a loss planned, also exercises mid-run
+/// snapshot/restore: after a few ticks the service is serialized and
+/// rebuilt on a fresh group, and queue depth / running set / records must
+/// match byte-for-byte before the original run continues.
+fn run_trace(args: &Args, loss: Option<(usize, u64)>) -> Outcome {
+    let mut svc = Service::new(make_group(args.devices, loss), serve_cfg());
+    let mut requests = Vec::new();
+    let mut ids = Vec::new();
+    for i in 0..args.jobs {
+        let req = job_request(i, args.seed);
+        requests.push(req.clone());
+        ids.push(svc.submit(req).expect("trace fits the admission queue"));
+    }
+    for _ in 0..6 {
+        svc.tick();
+    }
+    let snap = svc.snapshot();
+    let restored = Service::restore(make_group(args.devices, loss), serve_cfg(), &snap, requests)
+        .expect("mid-run snapshot must restore");
+    assert_eq!(
+        restored.queue_depth(),
+        svc.queue_depth(),
+        "restored queue depth"
+    );
+    assert_eq!(
+        restored.running_ids(),
+        svc.running_ids(),
+        "restored running set"
+    );
+    assert_eq!(restored.records(), svc.records(), "restored job records");
+    assert_eq!(restored.snapshot(), snap, "snapshot re-serialization");
+    drop(restored);
+
+    svc.run_until_idle();
+    let results = ids
+        .iter()
+        .map(|&id| {
+            svc.result(id)
+                .expect("every job completes despite the loss")
+                .clone()
+        })
+        .collect();
+    let (in_use, _) = svc.occupancy();
+    assert_eq!(in_use, 0, "all leases returned at idle");
+    let loss_dev = loss.map(|(d, _)| d).unwrap_or(0);
+    Outcome {
+        results,
+        makespan_s: svc.now(),
+        rehomes: svc.records().iter().map(|r| r.rehomes).sum(),
+        recovery_s: svc.records().iter().map(|r| r.recovery_secs).sum(),
+        events: svc.journal().events().to_vec(),
+        loss_fired: svc
+            .group()
+            .device(loss_dev)
+            .map(|d| d.is_lost())
+            .unwrap_or(false),
+        loss_health: svc.health().state(loss_dev),
+        tenants: svc
+            .tenant_rollups()
+            .iter()
+            .map(|s| (s.tenant.clone(), s.completed, s.rehomes, s.recovery_secs))
+            .collect(),
+    }
+}
+
+/// Check the faulted outcome against the fault-free baseline; returns the
+/// number of jobs whose results were compared bit-for-bit.
+fn verify(clean: &Outcome, faulted: &Outcome, loss_device: usize, label: &str) -> usize {
+    assert_eq!(clean.results.len(), faulted.results.len());
+    for (i, (c, f)) in clean.results.iter().zip(&faulted.results).enumerate() {
+        assert_eq!(
+            c.best_value.to_bits(),
+            f.best_value.to_bits(),
+            "{label}: job {i} best_value drifted under device loss"
+        );
+        let cb: Vec<u32> = c.best_position.iter().map(|v| v.to_bits()).collect();
+        let fb: Vec<u32> = f.best_position.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(cb, fb, "{label}: job {i} best_position drifted");
+        assert_eq!(
+            c.iterations, f.iterations,
+            "{label}: job {i} iterations drifted"
+        );
+    }
+    if faulted.loss_fired {
+        assert!(
+            faulted.rehomes >= 1,
+            "{label}: loss fired but nothing re-homed"
+        );
+        assert_eq!(
+            faulted.loss_health,
+            HealthState::Quarantined,
+            "{label}: lost device must be quarantined"
+        );
+        let first_rehome = faulted
+            .events
+            .iter()
+            .position(|e| matches!(e, ServeEvent::Rehome { .. }))
+            .expect("re-homing must be journaled");
+        for e in &faulted.events[first_rehome..] {
+            if let ServeEvent::Admit { job, devices } = e {
+                assert!(
+                    !devices.contains(&(loss_device as u32)),
+                    "{label}: job#{job} was leased the quarantined device"
+                );
+            }
+        }
+    }
+    clean.results.len()
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("chaos_bench: {e}");
+            std::process::exit(2);
+        }
+    };
+    let clean = run_trace(&args, None);
+    assert_eq!(clean.rehomes, 0, "fault-free run must not re-home");
+
+    if args.sweep {
+        let ordinals = [1u64, 5, 10, 25, 50, 100, 200, 400];
+        let mut t = Table::new(
+            format!(
+                "Device-loss sweep: {} jobs on {} devices, device {} dies at each launch ordinal",
+                args.jobs, args.devices, args.loss_device
+            ),
+            &[
+                "loss ordinal",
+                "fired",
+                "re-homes",
+                "recovery (s)",
+                "makespan (s)",
+                "bit-identical",
+            ],
+        );
+        for &ord in &ordinals {
+            let faulted = run_trace(&args, Some((args.loss_device, ord)));
+            let n = verify(
+                &clean,
+                &faulted,
+                args.loss_device,
+                &format!("ordinal {ord}"),
+            );
+            t.row(vec![
+                ord.to_string(),
+                if faulted.loss_fired { "yes" } else { "no" }.into(),
+                faulted.rehomes.to_string(),
+                fmt_secs(faulted.recovery_s),
+                fmt_secs(faulted.makespan_s),
+                format!("{n}/{n} jobs"),
+            ]);
+        }
+        t.emit("chaos_sweep");
+        println!(
+            "fault-free makespan {}; every swept scenario re-converged bit-identically",
+            fmt_secs(clean.makespan_s)
+        );
+    } else {
+        let faulted = run_trace(&args, Some((args.loss_device, args.loss_ordinal)));
+        let n = verify(&clean, &faulted, args.loss_device, "single");
+        let mut t = Table::new(
+            format!(
+                "Losing device {} at launch {} during a {}-job replay on {} devices",
+                args.loss_device, args.loss_ordinal, args.jobs, args.devices
+            ),
+            &[
+                "scenario",
+                "makespan (s)",
+                "re-homes",
+                "recovery (s)",
+                "verified",
+            ],
+        );
+        t.row(vec![
+            "fault-free".into(),
+            fmt_secs(clean.makespan_s),
+            "0".into(),
+            fmt_secs(clean.recovery_s),
+            "-".into(),
+        ]);
+        t.row(vec![
+            "device lost".into(),
+            fmt_secs(faulted.makespan_s),
+            faulted.rehomes.to_string(),
+            fmt_secs(faulted.recovery_s),
+            format!("{n}/{n} bit-identical"),
+        ]);
+        t.emit("chaos_bench");
+        let mut per_tenant = Table::new(
+            "Per-tenant fault absorption (faulted run)",
+            &["tenant", "completed", "re-homes", "recovery (s)"],
+        );
+        for (tenant, completed, rehomes, recovery_s) in &faulted.tenants {
+            per_tenant.row(vec![
+                tenant.clone(),
+                completed.to_string(),
+                rehomes.to_string(),
+                fmt_secs(*recovery_s),
+            ]);
+        }
+        per_tenant.emit("chaos_bench_tenants");
+        println!(
+            "loss fired: {}; lost-device health: {:?}; re-homed jobs completed \
+             bit-identically and the dead device was never leased again",
+            faulted.loss_fired, faulted.loss_health
+        );
+    }
+    println!("Re-homing resumes from the latest slice-boundary checkpoint, and the");
+    println!("counter-addressed RNG makes the recomputation land on the same");
+    println!("trajectory — so a mid-run device loss costs only modeled recovery");
+    println!("time, never numerics.");
+}

@@ -885,31 +885,50 @@ impl<'a> PlanRun<'a> {
     /// draw is addressed by `(seed, iteration, element)` rather than by any
     /// sequential generator state.
     pub(crate) fn suspend(&self, ex: ExecState) -> SuspendedJob {
+        self.snapshot_state(&ex)
+        // `ex.st.shards` drops here: every device buffer is released.
+    }
+
+    /// Capture a [`SuspendedJob`] snapshot of a live execution *without*
+    /// consuming it: the device buffers stay resident and the job keeps
+    /// running. Device→host transfers are charged to [`Phase::Recovery`],
+    /// exactly like [`PlanRun::suspend`]. The serving layer captures one of
+    /// these at slice boundaries so a device lost mid-slice can re-home the
+    /// job from its latest iteration-boundary state and recompute
+    /// bit-for-bit.
+    pub(crate) fn snapshot_state(&self, ex: &ExecState) -> SuspendedJob {
         SuspendedJob {
             shards: ex.st.shards.iter().map(ShardCheckpoint::capture).collect(),
             sched: ex.st.sched,
             strategy: ex.st.strategy,
             global_best_err: ex.st.global_best_err,
-            global_best_pos: ex.st.global_best_pos,
+            global_best_pos: ex.st.global_best_pos.clone(),
             quarantined: ex.st.quarantined,
-            history: ex.history,
+            history: ex.history.clone(),
             stagnant: ex.stagnant,
             iterations_run: ex.iterations_run,
             restores: ex.restores,
             t: ex.t,
             done: ex.done,
         }
-        // `ex.st.shards` drops here: every device buffer is released.
     }
 
     /// Rehydrate a [`SuspendedJob`] onto this run's target: reallocate one
     /// shard per checkpoint (host→device uploads charged to
     /// [`Phase::Recovery`]) and restore the optimizer state exactly. The
     /// target may differ from the one the job was suspended on — the
-    /// checkpoints pin shard geometry, not device identity.
+    /// checkpoints pin shard geometry, not device identity — and may even
+    /// span *fewer* devices than there are shards (a fleet that lost a
+    /// device re-homes a group job onto the survivors): shards are then
+    /// assigned round-robin, several per device. The trajectory is
+    /// unaffected either way — the reduction is over shards, not devices.
     pub(crate) fn resume(&self, s: SuspendedJob) -> Result<ExecState, PsoError> {
         let policy = self.resilience.map(|r| r.retry).unwrap_or_default();
-        let homes: Vec<usize> = (0..s.shards.len()).collect();
+        let n_dev = match self.target {
+            ExecTarget::Single(_) => 1,
+            ExecTarget::Group(g) => g.len().max(1),
+        };
+        let homes: Vec<usize> = (0..s.shards.len()).map(|i| i % n_dev).collect();
         let mut shards = Vec::with_capacity(s.shards.len());
         for (i, snap) in s.shards.iter().enumerate() {
             let dev = self.device(homes[i])?;
@@ -993,9 +1012,12 @@ impl ExecState {
     }
 }
 
-/// A preempted job evacuated to host memory: per-shard checkpoints plus
-/// every host-side scalar the executor threads between iterations. Produced
-/// by [`PlanRun::suspend`], consumed by [`PlanRun::resume`].
+/// A preempted (or snapshotted) job evacuated to host memory: per-shard
+/// checkpoints plus every host-side scalar the executor threads between
+/// iterations. Produced by [`PlanRun::suspend`] /
+/// [`PlanRun::snapshot_state`], consumed by [`PlanRun::resume`]. `Clone` so
+/// the serving layer can both keep a re-homing snapshot and resume from it.
+#[derive(Clone)]
 pub(crate) struct SuspendedJob {
     shards: Vec<ShardCheckpoint>,
     sched: BoundSchedule,
@@ -1012,10 +1034,21 @@ pub(crate) struct SuspendedJob {
 }
 
 impl SuspendedJob {
-    /// Number of shard checkpoints — resuming needs a lease over exactly
-    /// this many devices.
+    /// Number of shard checkpoints. Resuming accepts any non-empty device
+    /// target: shards map onto devices round-robin.
     pub(crate) fn n_shards(&self) -> usize {
         self.shards.len()
+    }
+
+    /// The `(row0, rows)` partition each checkpoint pins — resuming must
+    /// rebuild the plan over exactly this geometry.
+    pub(crate) fn partitions(&self) -> Vec<(usize, usize)> {
+        self.shards.iter().map(|s| (s.row0, s.rows)).collect()
+    }
+
+    /// Iterations completed at the time of the snapshot.
+    pub(crate) fn iterations_run(&self) -> usize {
+        self.iterations_run
     }
 }
 

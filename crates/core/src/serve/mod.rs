@@ -34,6 +34,30 @@
 //! same seed reproduces bit-identical per-job results *and* an identical
 //! service-wide launch manifest (`tests/serve.rs` pins both).
 //!
+//! # Fleet fault tolerance
+//!
+//! The service survives device loss without losing accepted work:
+//!
+//! * **health tracking** — every tick feeds fault observations into a
+//!   [`gpu_sim::FleetHealth`] circuit breaker ([`Service::health`]); the
+//!   lease pool skips `Quarantined` devices and de-prioritises `Degraded`
+//!   ones, re-admitting a quarantined device only after its modeled-time
+//!   cool-down. A lost device is quarantined forever.
+//! * **re-homing** — running jobs checkpoint to host memory at slice
+//!   boundaries (every [`ServeConfig::checkpoint_slices`] slices). When a
+//!   leased device dies, the scheduler revokes the lease, re-queues the
+//!   job from its latest checkpoint with priority and deadline preserved,
+//!   and the next admission resumes it on healthy devices —
+//!   bit-identically, because randomness is counter-addressed. Re-homing
+//!   work is charged to the `Recovery` phase and surfaces per job as
+//!   [`perf_model::JobRecord::rehomes`]/`recovery_secs`.
+//! * **crash-safe journal** — every serve event (submissions, ticks,
+//!   admissions, preemptions, re-homings, terminals) appends to a
+//!   [`ServeJournal`]; [`Service::snapshot`] serializes it as a
+//!   checksummed byte image and [`Service::restore`] rebuilds an
+//!   equivalent service by replaying the journal's input events,
+//!   verifying byte-for-byte that the replay reproduces the snapshot.
+//!
 //! # Example
 //!
 //! ```
@@ -61,10 +85,12 @@
 //! assert!(rollup[0].p95_latency_s >= rollup[0].p50_latency_s);
 //! ```
 
+mod journal;
 mod queue;
 mod request;
 mod scheduler;
 
+pub use journal::{ServeEvent, ServeJournal};
 pub use request::{JobId, JobStatus, OptimizeRequest, Priority, ServeError};
 pub use scheduler::{ServeConfig, Service};
 

@@ -137,35 +137,68 @@ impl fmt::Debug for OptimizeRequest {
 }
 
 /// Errors surfaced by the serving layer.
+///
+/// Variants split into **transient** conditions — the same call can
+/// succeed if simply retried later ([`ServeError::QueueFull`] clears as
+/// the queue drains) — and **permanent** ones, which no retry fixes. The
+/// split mirrors `gpu_sim`'s `GpuError::is_transient` contract and is
+/// queryable with [`ServeError::is_retryable`], so a caller of
+/// [`Service::submit`](crate::serve::Service::submit) can decide between
+/// backoff-and-resubmit and dropping the request on the floor. The enum is
+/// `#[non_exhaustive]` for the same reason `GpuError` is: new failure
+/// classes (like the restore errors added with the serve journal) must not
+/// break downstream matches.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum ServeError {
     /// The admission queue is at capacity (and overload shedding is off or
     /// found no lower-priority victim). The request was **not** enqueued;
-    /// nothing was dropped — resubmit after draining.
+    /// nothing was dropped — resubmit after draining. **Transient.**
     QueueFull {
         /// The configured queue capacity that was hit.
         capacity: usize,
     },
-    /// The job id is not known to this service.
+    /// The job id is not known to this service. **Permanent.**
     UnknownJob(JobId),
     /// The request cannot run on this service's devices (e.g. a ring
     /// topology on a job large enough to shard, or fewer particles than
-    /// devices).
+    /// devices). **Permanent** — resubmitting the same request can never
+    /// succeed.
     InvalidRequest(String),
     /// The job ended without a result (shed, cancelled or failed);
-    /// the payload is its terminal status.
+    /// the payload is its terminal status. **Permanent.**
     NoResult(JobStatus),
+    /// A serve-journal snapshot failed its structural or checksum
+    /// validation and cannot be restored from. **Permanent.**
+    JournalCorrupt(String),
+    /// Replaying a valid snapshot did not reproduce the journaled state —
+    /// the caller's device group, configuration or request list differs
+    /// from the original service's. **Permanent.**
+    RestoreMismatch(String),
+}
+
+impl ServeError {
+    /// Whether retrying the same call later can succeed: `true` only for
+    /// backpressure ([`ServeError::QueueFull`]). Every other variant is a
+    /// permanent property of the request, the job or the snapshot.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, ServeError::QueueFull { .. })
+    }
 }
 
 impl fmt::Display for ServeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ServeError::QueueFull { capacity } => {
-                write!(f, "admission queue full (capacity {capacity})")
+                write!(f, "admission queue full (capacity {capacity}); retryable")
             }
             ServeError::UnknownJob(id) => write!(f, "unknown {id}"),
             ServeError::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
             ServeError::NoResult(st) => write!(f, "job produced no result (status {st:?})"),
+            ServeError::JournalCorrupt(msg) => write!(f, "serve journal corrupt: {msg}"),
+            ServeError::RestoreMismatch(msg) => {
+                write!(f, "snapshot replay diverged: {msg}")
+            }
         }
     }
 }

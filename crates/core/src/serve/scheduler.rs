@@ -1,6 +1,7 @@
 //! The service itself: admission, placement, time-slicing, preemption,
-//! deadline shedding and per-tenant accounting.
+//! deadline shedding, device-loss re-homing and per-tenant accounting.
 
+use super::journal::{ServeEvent, ServeJournal};
 use super::queue::{AdmissionQueue, QueueEntry};
 use super::request::{JobId, JobStatus, OptimizeRequest, Priority, ServeError};
 use crate::config::PsoConfig;
@@ -9,7 +10,7 @@ use crate::plan::{BestReduce, ExecState, ExecTarget, ExecutionPlan, PlanRun, Sus
 use crate::result::RunResult;
 use crate::topology::Topology;
 use gpu_sim::lease::{Lease, LeasePool};
-use gpu_sim::DeviceGroup;
+use gpu_sim::{DeviceGroup, FleetHealth, HealthPolicy, Phase};
 use perf_model::{JobOutcome, JobRecord, TenantSummary};
 use std::collections::BTreeMap;
 
@@ -37,6 +38,16 @@ pub struct ServeConfig {
     /// shed) to admit a strictly higher-priority arrival. Off by default —
     /// the queue then *never* drops accepted work.
     pub shed_on_overload: bool,
+    /// Capture a host-side re-homing checkpoint of every running job each
+    /// time it completes this many slices (1 = every slice). A device lost
+    /// mid-slice rolls the job back to its latest capture; `0` disables
+    /// periodic captures, so loss restarts jobs from iteration zero
+    /// (still bit-identical, just more recompute). Capture transfers are
+    /// charged to [`Phase::Recovery`].
+    pub checkpoint_slices: usize,
+    /// Circuit-breaker thresholds for the fleet-health tracker that lease
+    /// placement consults (see [`FleetHealth`]).
+    pub health: HealthPolicy,
 }
 
 impl Default for ServeConfig {
@@ -48,12 +59,14 @@ impl Default for ServeConfig {
             slice_iters: 8,
             priority_preemption: true,
             shed_on_overload: false,
+            checkpoint_slices: 1,
+            health: HealthPolicy::default(),
         }
     }
 }
 
-/// Work a queued job represents: a fresh start, or a preempted execution
-/// waiting to resume.
+/// Work a queued job represents: a fresh start, or a suspended execution
+/// (preempted or re-homed) waiting to resume.
 enum Work {
     Fresh,
     Suspended(SuspendedJob),
@@ -69,6 +82,8 @@ struct Pending {
     started_s: Option<f64>,
     device_seconds: f64,
     iterations: usize,
+    rehomes: u64,
+    recovery_s: f64,
 }
 
 /// A job holding a lease and being stepped.
@@ -81,11 +96,18 @@ struct Running {
     view: DeviceGroup,
     lease: Lease,
     state: ExecState,
+    /// Latest host-side checkpoint, captured at a slice boundary. Device
+    /// loss rolls the job back to this; `None` (no boundary reached yet)
+    /// restarts it fresh — both replay bit-identically.
+    snapshot: Option<SuspendedJob>,
+    slices_since_snapshot: usize,
     submitted_s: f64,
     started_s: f64,
     deadline_abs: Option<f64>,
     queue_depth_at_submit: usize,
     device_seconds: f64,
+    rehomes: u64,
+    recovery_s: f64,
 }
 
 /// A finished job: terminal status plus the result when it completed.
@@ -102,6 +124,8 @@ pub struct Service {
     group: DeviceGroup,
     pool: LeasePool,
     cfg: ServeConfig,
+    health: FleetHealth,
+    journal: ServeJournal,
     queue: AdmissionQueue<Pending>,
     running: Vec<Running>,
     finished: BTreeMap<JobId, Finished>,
@@ -115,12 +139,16 @@ impl Service {
     pub fn new(group: DeviceGroup, cfg: ServeConfig) -> Self {
         assert!(!group.is_empty(), "a service needs at least one device");
         assert!(cfg.slice_iters > 0, "slice_iters must be positive");
-        let pool = LeasePool::new(&group, cfg.slots_per_device);
+        let health = FleetHealth::new(group.len(), cfg.health);
+        let mut pool = LeasePool::new(&group, cfg.slots_per_device);
+        pool.set_health(health.clone());
         let queue = AdmissionQueue::new(cfg.queue_capacity);
         Service {
             group,
             pool,
             cfg,
+            health,
+            journal: ServeJournal::new(),
             queue,
             running: Vec::new(),
             finished: BTreeMap::new(),
@@ -141,6 +169,19 @@ impl Service {
         &self.group
     }
 
+    /// The fleet-health tracker that lease placement consults. The handle
+    /// is shared with the pool, so states read here are the ones admission
+    /// saw.
+    pub fn health(&self) -> &FleetHealth {
+        &self.health
+    }
+
+    /// The append-only journal of every serve event so far (inputs and
+    /// outcomes, in order). Serialize it with [`Service::snapshot`].
+    pub fn journal(&self) -> &ServeJournal {
+        &self.journal
+    }
+
     /// Jobs waiting in the admission queue.
     pub fn queue_depth(&self) -> usize {
         self.queue.len()
@@ -151,9 +192,88 @@ impl Service {
         self.running.len()
     }
 
+    /// Ids of the jobs currently holding a lease, in ascending id order.
+    pub fn running_ids(&self) -> Vec<JobId> {
+        self.running.iter().map(|j| j.id).collect()
+    }
+
     /// Device-lease slots currently held and the pool's high-water mark.
     pub fn occupancy(&self) -> (usize, usize) {
         (self.pool.in_use(), self.pool.peak_in_use())
+    }
+
+    /// Serialize the serve journal as a crash-safe snapshot: a
+    /// checksummed byte image that [`Service::restore`] can rebuild the
+    /// service from. Taking a snapshot is read-only and can happen at any
+    /// point between ticks.
+    pub fn snapshot(&self) -> Vec<u8> {
+        self.journal.to_bytes()
+    }
+
+    /// Rebuild a service from a [`Service::snapshot`] image by replaying
+    /// its input events (submissions, cancellations, ticks) against a
+    /// fresh service. Because the scheduler is deterministic, the replay
+    /// regenerates every outcome event; the rebuilt journal is compared
+    /// byte-for-byte against `snapshot` and any divergence is rejected
+    /// with [`ServeError::RestoreMismatch`].
+    ///
+    /// The journal stores scheduling metadata but not objective closures,
+    /// so the caller supplies `requests` — the accepted requests in
+    /// original submission order (the client's durable request store) —
+    /// and a fresh `group` configured identically to the original's
+    /// (same devices, same fault plans, zeroed timelines).
+    pub fn restore(
+        group: DeviceGroup,
+        cfg: ServeConfig,
+        snapshot: &[u8],
+        requests: Vec<OptimizeRequest>,
+    ) -> Result<Service, ServeError> {
+        let journal = ServeJournal::from_bytes(snapshot).map_err(ServeError::JournalCorrupt)?;
+        let mut svc = Service::new(group, cfg);
+        let mut reqs = requests.into_iter();
+        for ev in journal.events().to_vec() {
+            match ev {
+                ServeEvent::Submit { job, .. } => {
+                    let req = reqs.next().ok_or_else(|| {
+                        ServeError::RestoreMismatch(format!(
+                            "journal submits job#{job} but the request list is exhausted"
+                        ))
+                    })?;
+                    let id = svc.submit(req).map_err(|e| {
+                        ServeError::RestoreMismatch(format!(
+                            "replaying the submission of job#{job} failed: {e}"
+                        ))
+                    })?;
+                    if id.0 != job {
+                        return Err(ServeError::RestoreMismatch(format!(
+                            "replayed submission produced {id}, journal says job#{job}"
+                        )));
+                    }
+                }
+                ServeEvent::Cancel { job } => {
+                    // Journaled cancels always address live jobs: cancelling
+                    // an already-terminal job is a no-op that logs nothing.
+                    svc.cancel(JobId(job)).map_err(|e| {
+                        ServeError::RestoreMismatch(format!(
+                            "replaying the cancellation of job#{job} failed: {e}"
+                        ))
+                    })?;
+                }
+                ServeEvent::Tick => {
+                    svc.tick();
+                }
+                _ => {} // outcome events regenerate during replayed ticks
+            }
+        }
+        if svc.snapshot() != snapshot {
+            return Err(ServeError::RestoreMismatch(
+                "replayed journal bytes differ from the snapshot — the device \
+                 group, configuration or request list does not match the \
+                 original service's"
+                    .into(),
+            ));
+        }
+        Ok(svc)
     }
 
     /// Validate and enqueue a request. Returns the job's id, or
@@ -165,6 +285,8 @@ impl Service {
         let id = JobId(self.next_id);
         let now = self.now();
         let priority = req.priority;
+        let tenant = req.tenant.clone();
+        let deadline_s = req.deadline_s;
         let pending = Pending {
             deadline_abs: req.deadline_s.map(|d| now + d),
             submitted_s: now,
@@ -172,6 +294,8 @@ impl Service {
             started_s: None,
             device_seconds: 0.0,
             iterations: 0,
+            rehomes: 0,
+            recovery_s: 0.0,
             work: Work::Fresh,
             req,
         };
@@ -182,6 +306,12 @@ impl Service {
         };
         let evicted = self.queue.push(entry, self.cfg.shed_on_overload)?;
         self.next_id += 1;
+        self.journal.append(ServeEvent::Submit {
+            job: id.0,
+            tenant,
+            priority,
+            deadline_s,
+        });
         if let Some(e) = evicted {
             self.finalize_queued(e, JobOutcome::Shed, now);
         }
@@ -254,14 +384,19 @@ impl Service {
         self.group.merged_profiler()
     }
 
-    /// One scheduler round: shed expired jobs, admit from the queue
+    /// One scheduler round: refresh fleet health, shed expired jobs,
+    /// re-home jobs stranded on lost devices, admit from the queue
     /// (preempting if allowed and necessary), then advance every running
     /// job by up to [`ServeConfig::slice_iters`] iterations. Returns the
-    /// number of scheduling events (sheds + admissions + preemptions +
-    /// jobs stepped); `0` means the tick could make no progress.
+    /// number of scheduling events (sheds + re-homings + admissions +
+    /// preemptions + jobs stepped); `0` means the tick could make no
+    /// progress.
     pub fn tick(&mut self) -> usize {
+        self.health.observe(&self.group);
+        self.journal.append(ServeEvent::Tick);
         let mut events = 0;
         events += self.shed_expired();
+        events += self.rehome_lost();
         events += self.admit();
         events += self.step_running();
         events
@@ -317,6 +452,11 @@ impl Service {
         self.group.merged_timeline().total_seconds()
     }
 
+    /// Whether device `d` of the shared group has been permanently lost.
+    fn device_lost(&self, d: usize) -> bool {
+        self.group.device(d).ok().is_some_and(|dv| dv.is_lost())
+    }
+
     /// Shed every queued or running job whose deadline has passed.
     fn shed_expired(&mut self) -> usize {
         let now = self.now();
@@ -339,6 +479,89 @@ impl Service {
             }
         }
         events
+    }
+
+    /// Re-home every running job whose lease spans a lost device: revoke
+    /// the lease and re-queue the job from its latest checkpoint so the
+    /// next admission places it on healthy devices only.
+    fn rehome_lost(&mut self) -> usize {
+        let mut events = 0;
+        let mut i = 0;
+        while i < self.running.len() {
+            let stranded = self.running[i]
+                .lease
+                .devices()
+                .iter()
+                .any(|&d| self.device_lost(d));
+            if stranded {
+                let job = self.running.remove(i);
+                self.rehome(job);
+                events += 1;
+            } else {
+                i += 1;
+            }
+        }
+        events
+    }
+
+    /// Revoke a stranded job's lease and re-queue it as suspended work
+    /// (from its latest checkpoint — or fresh, if none was captured yet).
+    /// Priority and deadline are preserved: a re-homed job re-enters
+    /// admission at its original rank and is still shed if its deadline
+    /// passes before it finishes.
+    fn rehome(&mut self, job: Running) {
+        let from = job
+            .lease
+            .devices()
+            .iter()
+            .copied()
+            .find(|&d| self.device_lost(d))
+            .unwrap_or_else(|| job.lease.devices()[0]);
+        let Running {
+            id,
+            req,
+            lease,
+            state,
+            snapshot,
+            submitted_s,
+            started_s,
+            deadline_abs,
+            queue_depth_at_submit,
+            device_seconds,
+            rehomes,
+            recovery_s,
+            ..
+        } = job;
+        drop(state); // buffers freed — the lost device's are gone anyway
+        self.pool.release(lease);
+        let (work, iterations) = match snapshot {
+            Some(s) => {
+                let it = s.iterations_run();
+                (Work::Suspended(s), it)
+            }
+            None => (Work::Fresh, 0),
+        };
+        self.journal.append(ServeEvent::Rehome {
+            job: id.0,
+            from_device: from as u32,
+        });
+        let priority = req.priority;
+        self.queue.push_unbounded(QueueEntry {
+            id,
+            priority,
+            payload: Pending {
+                req,
+                work,
+                submitted_s,
+                deadline_abs,
+                queue_depth_at_submit,
+                started_s: Some(started_s),
+                device_seconds,
+                iterations,
+                rehomes: rehomes + 1,
+                recovery_s,
+            },
+        });
     }
 
     /// Admit queued jobs while leases are available, preempting running
@@ -393,36 +616,49 @@ impl Service {
         };
         let job = self.running.remove(i);
         let before = self.charged();
+        let rec_before = merged_recovery(&self.group);
         let (mut entry, lease) = suspend_to_entry(job);
         entry.payload.device_seconds += self.charged() - before;
+        entry.payload.recovery_s += merged_recovery(&self.group) - rec_before;
         self.pool.release(lease);
+        self.journal.append(ServeEvent::Preempt { job: entry.id.0 });
         // Preempted work was already admitted once; it re-enters above the
         // queue bound rather than being dropped.
         self.queue.push_unbounded(entry);
         true
     }
 
-    /// Move a queue entry onto its lease; on an unrecoverable start
-    /// failure (device lost mid-admission, or a suspended job whose shard
-    /// geometry no longer fits the group), record the job as failed.
+    /// Move a queue entry onto its lease. A device lost mid-admission
+    /// re-queues the job (another re-homing) so the next tick places it on
+    /// the devices that survive; any other start failure records the job
+    /// as failed.
+    ///
+    /// Suspended jobs keep their original shard geometry: a `k`-shard
+    /// checkpoint resumes over however many devices the new lease spans
+    /// (shards assigned round-robin), so losing a device never strands a
+    /// sharded job — the reduction is over shards, not devices.
     fn start(&mut self, entry: QueueEntry<Pending>, lease: Lease, sharded: bool) {
         let id = entry.id;
         let mut pend = entry.payload;
-        if let Work::Suspended(s) = &pend.work {
-            if s.n_shards() != lease.devices().len() {
-                self.pool.release(lease);
-                let now = self.now();
-                self.finalize_pending(id, pend, JobOutcome::Failed, now);
-                return;
+        self.journal.append(ServeEvent::Admit {
+            job: id.0,
+            devices: lease.devices().iter().map(|&d| d as u32).collect(),
+        });
+        let (n_shards, partitions, resume_snapshot) = match &pend.work {
+            Work::Suspended(s) => (s.n_shards(), s.partitions(), Some(s.clone())),
+            Work::Fresh => {
+                let k = if sharded { lease.devices().len() } else { 1 };
+                (k, partition(pend.req.cfg.n_particles, k), None)
             }
-        }
+        };
+        let use_group = n_shards > 1;
         let view = self.pool.group_view(&lease);
-        let k = lease.devices().len();
-        let (plan, partitions) = build_plan(&pend.req, k, sharded);
+        let plan = build_plan(&pend.req, n_shards);
         let work = std::mem::replace(&mut pend.work, Work::Fresh);
         let before = self.charged();
+        let rec_before = merged_recovery(&self.group);
         let state_res = {
-            let target = target_of(&view, sharded);
+            let target = target_of(&view, use_group);
             let run = PlanRun {
                 plan: &plan,
                 cfg: &pend.req.cfg,
@@ -440,28 +676,58 @@ impl Service {
         let state = match state_res {
             Ok(st) => st,
             Err(_) => {
+                let lease_devices: Vec<usize> = lease.devices().to_vec();
                 self.pool.release(lease);
-                let now = self.now();
-                self.finalize_pending(id, pend, JobOutcome::Failed, now);
+                pend.device_seconds += self.charged() - before;
+                pend.recovery_s += merged_recovery(&self.group) - rec_before;
+                let lost = lease_devices.iter().find(|&&d| self.device_lost(d));
+                if let Some(&from) = lost {
+                    // Admission raced a device death: put the job back with
+                    // its checkpoint and let the next tick place it on the
+                    // devices that survive.
+                    pend.work = match resume_snapshot {
+                        Some(s) => Work::Suspended(s),
+                        None => Work::Fresh,
+                    };
+                    pend.rehomes += 1;
+                    self.journal.append(ServeEvent::Rehome {
+                        job: id.0,
+                        from_device: from as u32,
+                    });
+                    let priority = pend.req.priority;
+                    self.queue.push_unbounded(QueueEntry {
+                        id,
+                        priority,
+                        payload: pend,
+                    });
+                } else {
+                    let now = self.now();
+                    self.finalize_pending(id, pend, JobOutcome::Failed, now);
+                }
                 return;
             }
         };
         let device_seconds = pend.device_seconds + (self.charged() - before);
+        let recovery_s = pend.recovery_s + (merged_recovery(&self.group) - rec_before);
         let started_s = pend.started_s.unwrap_or_else(|| self.now());
         self.running.push(Running {
             id,
             req: pend.req,
             plan,
             partitions,
-            sharded,
+            sharded: use_group,
             view,
             lease,
             state,
+            snapshot: resume_snapshot,
+            slices_since_snapshot: 0,
             submitted_s: pend.submitted_s,
             started_s,
             deadline_abs: pend.deadline_abs,
             queue_depth_at_submit: pend.queue_depth_at_submit,
             device_seconds,
+            rehomes: pend.rehomes,
+            recovery_s,
         });
         self.running.sort_by_key(|j| j.id);
     }
@@ -472,8 +738,18 @@ impl Service {
         let mut outcomes: Vec<(usize, Result<bool, PsoError>)> = Vec::new();
         for (i, job) in self.running.iter_mut().enumerate() {
             let before = merged_total(&self.group);
+            let rec_before = merged_recovery(&self.group);
             let res = step_job(job, slice);
+            if matches!(res, Ok(false)) && self.cfg.checkpoint_slices > 0 {
+                job.slices_since_snapshot += 1;
+                if job.slices_since_snapshot >= self.cfg.checkpoint_slices {
+                    let snap = snapshot_job(job);
+                    job.snapshot = Some(snap);
+                    job.slices_since_snapshot = 0;
+                }
+            }
             job.device_seconds += merged_total(&self.group) - before;
+            job.recovery_s += merged_recovery(&self.group) - rec_before;
             outcomes.push((i, res));
         }
         let stepped = outcomes.len();
@@ -488,8 +764,15 @@ impl Service {
                 }
                 Err(_) => {
                     let job = self.running.remove(i);
-                    let now = self.now();
-                    self.finalize_running_dropped(job, JobOutcome::Failed, now);
+                    let stranded = job.lease.devices().iter().any(|&d| self.device_lost(d));
+                    if stranded {
+                        // The slice died with the device, not the job:
+                        // roll back to the checkpoint and re-home.
+                        self.rehome(job);
+                    } else {
+                        let now = self.now();
+                        self.finalize_running_dropped(job, JobOutcome::Failed, now);
+                    }
                 }
             }
         }
@@ -510,6 +793,8 @@ impl Service {
             started_s,
             queue_depth_at_submit,
             device_seconds,
+            rehomes,
+            recovery_s,
             ..
         } = job;
         let iterations = state.iterations_run();
@@ -527,6 +812,7 @@ impl Service {
             run.finish_state(state)
         };
         self.pool.release(lease);
+        self.journal.append(ServeEvent::Complete { job: id.0 });
         self.records.push(JobRecord {
             tenant: req.tenant,
             job: id.0,
@@ -537,6 +823,8 @@ impl Service {
             iterations,
             device_seconds,
             queue_depth_at_submit,
+            rehomes,
+            recovery_secs: recovery_s,
         });
         self.finished.insert(
             id,
@@ -551,6 +839,7 @@ impl Service {
     /// or failed): its device buffers drop here, freeing the lease's
     /// memory before the lease itself is returned.
     fn finalize_running_dropped(&mut self, job: Running, outcome: JobOutcome, now: f64) {
+        self.journal.append(outcome_event(job.id, outcome));
         self.records.push(JobRecord {
             tenant: job.req.tenant.clone(),
             job: job.id.0,
@@ -561,6 +850,8 @@ impl Service {
             iterations: job.state.iterations_run(),
             device_seconds: job.device_seconds,
             queue_depth_at_submit: job.queue_depth_at_submit,
+            rehomes: job.rehomes,
+            recovery_secs: job.recovery_s,
         });
         self.finished.insert(
             job.id,
@@ -579,6 +870,7 @@ impl Service {
     }
 
     fn finalize_pending(&mut self, id: JobId, pend: Pending, outcome: JobOutcome, now: f64) {
+        self.journal.append(outcome_event(id, outcome));
         self.records.push(JobRecord {
             tenant: pend.req.tenant,
             job: id.0,
@@ -589,6 +881,8 @@ impl Service {
             iterations: pend.iterations,
             device_seconds: pend.device_seconds,
             queue_depth_at_submit: pend.queue_depth_at_submit,
+            rehomes: pend.rehomes,
+            recovery_secs: pend.recovery_s,
         });
         self.finished.insert(
             id,
@@ -610,16 +904,22 @@ fn status_of(outcome: JobOutcome) -> JobStatus {
     }
 }
 
-/// The job's plan and row partitions for `k` leased devices.
-fn build_plan(
-    req: &OptimizeRequest,
-    k: usize,
-    sharded: bool,
-) -> (ExecutionPlan, Vec<(usize, usize)>) {
-    let (n_shards, reduce) = if sharded {
-        (k, BestReduce::Exchange { sync_every: 1 })
+/// Map a terminal outcome onto its journal event.
+fn outcome_event(id: JobId, outcome: JobOutcome) -> ServeEvent {
+    match outcome {
+        JobOutcome::Completed => ServeEvent::Complete { job: id.0 },
+        JobOutcome::Shed => ServeEvent::Shed { job: id.0 },
+        JobOutcome::Cancelled => ServeEvent::Cancel { job: id.0 },
+        JobOutcome::Failed => ServeEvent::Fail { job: id.0 },
+    }
+}
+
+/// The job's execution plan for `n_shards` shards.
+fn build_plan(req: &OptimizeRequest, n_shards: usize) -> ExecutionPlan {
+    let reduce = if n_shards > 1 {
+        BestReduce::Exchange { sync_every: 1 }
     } else {
-        (1, BestReduce::Local)
+        BestReduce::Local
     };
     let mut plan = ExecutionPlan::build(&req.cfg, n_shards, reduce);
     if req.fused {
@@ -628,7 +928,7 @@ fn build_plan(
     // Streams are deliberately never enabled here: the per-device stream
     // window is shared state, and packed co-resident jobs would corrupt
     // each other's overlap accounting.
-    (plan, partition(req.cfg.n_particles, n_shards))
+    plan
 }
 
 /// Split `n` rows into `k` `(row0, rows)` shards, spreading the remainder
@@ -658,6 +958,10 @@ fn merged_total(group: &DeviceGroup) -> f64 {
     group.merged_timeline().total_seconds()
 }
 
+fn merged_recovery(group: &DeviceGroup) -> f64 {
+    group.merged_timeline().seconds(Phase::Recovery)
+}
+
 /// Advance one job by up to `slice` iterations. `Ok(true)` = finished.
 fn step_job(job: &mut Running, slice: usize) -> Result<bool, PsoError> {
     let target = target_of(&job.view, job.sharded);
@@ -678,6 +982,23 @@ fn step_job(job: &mut Running, slice: usize) -> Result<bool, PsoError> {
     Ok(false)
 }
 
+/// Capture a host-side checkpoint of `job` at its current slice boundary
+/// without disturbing its device state. Transfers are charged to
+/// [`Phase::Recovery`].
+fn snapshot_job(job: &Running) -> SuspendedJob {
+    let target = target_of(&job.view, job.sharded);
+    let run = PlanRun {
+        plan: &job.plan,
+        cfg: &job.req.cfg,
+        obj: job.req.objective.as_ref(),
+        strategy: job.req.strategy,
+        resilience: job.req.resilience.as_ref(),
+        partitions: job.partitions.clone(),
+        target,
+    };
+    run.snapshot_state(&job.state)
+}
+
 /// Evacuate a running job to host memory and requeue it. Returns the
 /// queue entry (payload carries the [`SuspendedJob`]) and the lease to
 /// release.
@@ -696,6 +1017,9 @@ fn suspend_to_entry(job: Running) -> (QueueEntry<Pending>, Lease) {
         deadline_abs,
         queue_depth_at_submit,
         device_seconds,
+        rehomes,
+        recovery_s,
+        ..
     } = job;
     let iterations = state.iterations_run();
     let suspended = {
@@ -724,6 +1048,8 @@ fn suspend_to_entry(job: Running) -> (QueueEntry<Pending>, Lease) {
             started_s: Some(started_s),
             device_seconds,
             iterations,
+            rehomes,
+            recovery_s,
         },
     };
     (entry, lease)

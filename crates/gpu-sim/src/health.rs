@@ -1,0 +1,366 @@
+//! Fleet-level device health tracking: rolling fault counts, a
+//! circuit-breaker quarantine and modeled-time cool-down re-admission.
+//!
+//! A [`FleetHealth`] tracker watches every device of a fleet and classifies
+//! each one as [`Healthy`](HealthState::Healthy),
+//! [`Degraded`](HealthState::Degraded) or
+//! [`Quarantined`](HealthState::Quarantined) from its recent fault history.
+//! The tracker is driven entirely by *modeled* time and by the devices' own
+//! deterministic fault counters ([`FaultStats`](crate::FaultStats)), so a
+//! replayed trace classifies identically every time:
+//!
+//! * each call to [`FleetHealth::observe`] polls every device's injected-
+//!   fault counter and records one fault event per newly injected fault,
+//!   stamped with the group's current modeled clock;
+//! * a device whose fault count inside the rolling
+//!   [`HealthPolicy::window_s`] reaches [`HealthPolicy::degraded_after`] is
+//!   **Degraded** — placement de-prefers it but may still use it;
+//! * reaching [`HealthPolicy::quarantine_after`] trips the circuit breaker:
+//!   the device is **Quarantined** (no new placements) until
+//!   [`HealthPolicy::cooldown_s`] modeled seconds pass, after which its
+//!   fault window is cleared and it is re-admitted;
+//! * a permanently lost device is quarantined forever.
+//!
+//! [`LeasePool`](crate::lease::LeasePool) consults a tracker (when one is
+//! attached with [`LeasePool::set_health`](crate::lease::LeasePool::set_health))
+//! so lease placement avoids sick devices, and
+//! [`DeviceGroup::eligible_devices`](crate::DeviceGroup::eligible_devices)
+//! exposes the same filter for callers placing work by hand.
+//!
+//! ```
+//! use gpu_sim::{DeviceGroup, FaultPlan, FleetHealth, HealthPolicy, HealthState};
+//!
+//! let group = DeviceGroup::v100s(2);
+//! let health = FleetHealth::new(group.len(), HealthPolicy::default());
+//! health.observe(&group);
+//! assert_eq!(health.state(0), HealthState::Healthy);
+//!
+//! // Lose device 0: the next observation quarantines it permanently.
+//! group.device(0).unwrap().set_fault_plan(FaultPlan::new().with_device_loss_at_launch(1));
+//! let _ = group.device(0).unwrap().begin_launch();
+//! health.observe(&group);
+//! assert_eq!(health.state(0), HealthState::Quarantined);
+//! assert_eq!(health.state(1), HealthState::Healthy);
+//! ```
+
+use crate::multi::DeviceGroup;
+use crate::sync::Mutex;
+use std::sync::Arc;
+
+/// A device's current standing with the fleet-health circuit breaker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthState {
+    /// No recent faults: preferred for placement.
+    Healthy,
+    /// Faulting but below the breaker threshold: placeable, but only after
+    /// every healthy device is considered.
+    Degraded,
+    /// Breaker tripped (or device permanently lost): receives no new
+    /// placements until the cool-down re-admits it.
+    Quarantined,
+}
+
+/// Thresholds for the fleet-health circuit breaker. All times are modeled
+/// seconds — host wall-clock never enters the classification.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HealthPolicy {
+    /// Rolling window over which fault events are counted.
+    pub window_s: f64,
+    /// Faults inside the window that mark a device [`HealthState::Degraded`].
+    pub degraded_after: u64,
+    /// Faults inside the window that trip the breaker
+    /// ([`HealthState::Quarantined`]).
+    pub quarantine_after: u64,
+    /// Modeled seconds a tripped device stays quarantined before its fault
+    /// window is cleared and it is re-admitted.
+    pub cooldown_s: f64,
+}
+
+impl Default for HealthPolicy {
+    /// Conservative defaults sized for modeled time (kernels cost
+    /// micro-to-milliseconds): degrade on the 2nd fault inside a 10 ms
+    /// window, quarantine on the 5th, re-admit after 5 ms of cool-down.
+    fn default() -> Self {
+        HealthPolicy {
+            window_s: 10e-3,
+            degraded_after: 2,
+            quarantine_after: 5,
+            cooldown_s: 5e-3,
+        }
+    }
+}
+
+/// Per-device bookkeeping behind the shared tracker.
+#[derive(Debug, Default, Clone)]
+struct DeviceHealth {
+    /// Modeled timestamps of recent fault events (pruned to the window).
+    events: Vec<f64>,
+    /// Injected-fault counter value at the last observation, for deltas.
+    seen_injected: u64,
+    /// Permanently lost (never re-admitted).
+    lost: bool,
+    /// Modeled time the current quarantine lifts, when tripped.
+    quarantined_until: Option<f64>,
+    /// Times the breaker has tripped over the device's lifetime.
+    trips: u64,
+}
+
+struct FleetState {
+    devices: Vec<DeviceHealth>,
+    policy: HealthPolicy,
+    /// Modeled clock at the latest observation.
+    now: f64,
+}
+
+/// Shared fleet-health tracker. Cloning yields another handle to the same
+/// state, so a scheduler and its lease pool observe one truth.
+#[derive(Clone)]
+pub struct FleetHealth {
+    shared: Arc<Mutex<FleetState>>,
+}
+
+impl FleetHealth {
+    /// A tracker for `n_devices` devices, all initially healthy.
+    pub fn new(n_devices: usize, policy: HealthPolicy) -> Self {
+        FleetHealth {
+            shared: Arc::new(Mutex::new(FleetState {
+                devices: vec![DeviceHealth::default(); n_devices],
+                policy,
+                now: 0.0,
+            })),
+        }
+    }
+
+    /// The policy this tracker classifies with.
+    pub fn policy(&self) -> HealthPolicy {
+        self.shared.lock().policy
+    }
+
+    /// Poll every device of `group`: advance the modeled clock to the
+    /// group's elapsed time, record one fault event per fault injected
+    /// since the last observation, mark lost devices, and lift expired
+    /// quarantines. Deterministic for a replayed trace.
+    pub fn observe(&self, group: &DeviceGroup) {
+        let mut st = self.shared.lock();
+        let now = group.elapsed_seconds().max(st.now);
+        st.now = now;
+        st.refresh_all(); // lift expired quarantines before new events land
+        for (i, dev) in group.iter().enumerate() {
+            if i >= st.devices.len() {
+                break;
+            }
+            let stats = dev.fault_stats();
+            let fresh = stats.injected.saturating_sub(st.devices[i].seen_injected);
+            let dh = &mut st.devices[i];
+            dh.seen_injected = stats.injected;
+            dh.lost |= stats.lost;
+            for _ in 0..fresh {
+                dh.events.push(now);
+            }
+        }
+        st.refresh_all();
+    }
+
+    /// Record one fault event against device `i` at modeled time `now_s`,
+    /// bypassing the device counters. For callers (and tests) that learn of
+    /// faults out of band.
+    pub fn record_fault(&self, i: usize, now_s: f64) {
+        let mut st = self.shared.lock();
+        st.now = st.now.max(now_s);
+        st.refresh_all(); // lift expired quarantines before the event lands
+        if let Some(dh) = st.devices.get_mut(i) {
+            dh.events.push(now_s);
+        }
+        st.refresh_all();
+    }
+
+    /// Device `i`'s state as of the latest observation. Out-of-range
+    /// indices report [`HealthState::Quarantined`] — an unknown device is
+    /// never placeable.
+    pub fn state(&self, i: usize) -> HealthState {
+        let st = self.shared.lock();
+        match st.devices.get(i) {
+            Some(dh) => st.classify(dh),
+            None => HealthState::Quarantined,
+        }
+    }
+
+    /// Whether placement may use device `i` (not quarantined).
+    pub fn allows(&self, i: usize) -> bool {
+        self.state(i) != HealthState::Quarantined
+    }
+
+    /// Fault events currently inside device `i`'s rolling window.
+    pub fn fault_count(&self, i: usize) -> usize {
+        let st = self.shared.lock();
+        st.devices.get(i).map_or(0, |d| d.events.len())
+    }
+
+    /// Times device `i`'s circuit breaker has tripped.
+    pub fn trips(&self, i: usize) -> u64 {
+        let st = self.shared.lock();
+        st.devices.get(i).map_or(0, |d| d.trips)
+    }
+
+    /// Modeled clock at the latest observation.
+    pub fn now(&self) -> f64 {
+        self.shared.lock().now
+    }
+}
+
+impl std::fmt::Debug for FleetHealth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.shared.lock();
+        let states: Vec<HealthState> = st.devices.iter().map(|d| st.classify(d)).collect();
+        f.debug_struct("FleetHealth")
+            .field("now", &st.now)
+            .field("states", &states)
+            .finish()
+    }
+}
+
+impl FleetState {
+    /// Prune windows, trip breakers and lift expired quarantines for every
+    /// device, against the current clock.
+    fn refresh_all(&mut self) {
+        let (now, policy) = (self.now, self.policy);
+        for dh in &mut self.devices {
+            if dh.lost {
+                continue;
+            }
+            if let Some(until) = dh.quarantined_until {
+                if now >= until {
+                    // Cool-down served: clear the window so the device
+                    // re-enters with a clean slate.
+                    dh.quarantined_until = None;
+                    dh.events.clear();
+                } else {
+                    continue;
+                }
+            }
+            dh.events.retain(|&t| now - t <= policy.window_s);
+            if (dh.events.len() as u64) >= policy.quarantine_after {
+                dh.quarantined_until = Some(now + policy.cooldown_s);
+                dh.trips += 1;
+            }
+        }
+    }
+
+    fn classify(&self, dh: &DeviceHealth) -> HealthState {
+        if dh.lost || dh.quarantined_until.is_some() {
+            return HealthState::Quarantined;
+        }
+        if (dh.events.len() as u64) >= self.policy.degraded_after {
+            HealthState::Degraded
+        } else {
+            HealthState::Healthy
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FaultPlan;
+
+    fn policy() -> HealthPolicy {
+        HealthPolicy {
+            window_s: 1.0,
+            degraded_after: 2,
+            quarantine_after: 3,
+            cooldown_s: 0.5,
+        }
+    }
+
+    #[test]
+    fn fault_bursts_walk_the_state_ladder() {
+        let h = FleetHealth::new(1, policy());
+        assert_eq!(h.state(0), HealthState::Healthy);
+        h.record_fault(0, 0.1);
+        assert_eq!(h.state(0), HealthState::Healthy);
+        h.record_fault(0, 0.2);
+        assert_eq!(h.state(0), HealthState::Degraded);
+        h.record_fault(0, 0.3);
+        assert_eq!(h.state(0), HealthState::Quarantined);
+        assert_eq!(h.trips(0), 1);
+    }
+
+    #[test]
+    fn cooldown_readmits_with_a_clean_window() {
+        let h = FleetHealth::new(1, policy());
+        for t in [0.1, 0.2, 0.3] {
+            h.record_fault(0, t);
+        }
+        assert_eq!(h.state(0), HealthState::Quarantined);
+        // Still inside the cool-down (0.3 + 0.5 = 0.8).
+        h.record_fault(0, 0.7); // events during quarantine don't extend it
+        assert_eq!(h.state(0), HealthState::Quarantined);
+        // Past the cool-down: the window clears and the device re-enters.
+        let g = DeviceGroup::v100s(1);
+        h.observe(&g); // group clock is 0 — clock never goes backwards
+        h.record_fault(0, 0.9);
+        assert_eq!(h.state(0), HealthState::Healthy);
+        assert_eq!(h.fault_count(0), 1);
+    }
+
+    #[test]
+    fn old_faults_age_out_of_the_window() {
+        let h = FleetHealth::new(1, policy());
+        h.record_fault(0, 0.0);
+        h.record_fault(0, 0.1);
+        assert_eq!(h.state(0), HealthState::Degraded);
+        // Advance the clock far past the window via a manual event.
+        h.record_fault(0, 5.0);
+        assert_eq!(h.fault_count(0), 1, "stale events pruned");
+        assert_eq!(h.state(0), HealthState::Healthy);
+    }
+
+    #[test]
+    fn observe_counts_injected_faults_and_loss() {
+        let g = DeviceGroup::v100s(2);
+        let h = FleetHealth::new(2, policy());
+        let d0 = g.device(0).unwrap();
+        d0.set_fault_plan(
+            FaultPlan::new()
+                .with_transient_launch(1)
+                .with_transient_launch(2),
+        );
+        let _ = d0.begin_launch();
+        let _ = d0.begin_launch();
+        h.observe(&g);
+        assert_eq!(h.fault_count(0), 2);
+        assert_eq!(h.state(0), HealthState::Degraded);
+        assert_eq!(h.state(1), HealthState::Healthy);
+        // Re-observing without new faults records nothing new.
+        h.observe(&g);
+        assert_eq!(h.fault_count(0), 2);
+
+        let d1 = g.device(1).unwrap();
+        d1.set_fault_plan(FaultPlan::new().with_device_loss_at_launch(1));
+        let _ = d1.begin_launch();
+        h.observe(&g);
+        assert_eq!(h.state(1), HealthState::Quarantined);
+        assert!(!h.allows(1));
+        // Loss is permanent: no cool-down ever lifts it.
+        h.record_fault(0, 1e9);
+        assert_eq!(h.state(1), HealthState::Quarantined);
+    }
+
+    #[test]
+    fn unknown_devices_are_never_placeable() {
+        let h = FleetHealth::new(1, policy());
+        assert_eq!(h.state(7), HealthState::Quarantined);
+        assert!(!h.allows(7));
+    }
+
+    #[test]
+    fn shared_handles_see_one_truth() {
+        let a = FleetHealth::new(1, policy());
+        let b = a.clone();
+        for t in [0.1, 0.2, 0.3] {
+            a.record_fault(0, t);
+        }
+        assert_eq!(b.state(0), HealthState::Quarantined);
+        assert_eq!(b.trips(0), 1);
+    }
+}

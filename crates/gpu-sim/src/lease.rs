@@ -6,7 +6,9 @@
 //! [`Lease`] tickets: small jobs take one slot on the least-loaded device,
 //! sharded jobs take one slot on *every* device. Placement is deterministic
 //! — least-loaded first, ties broken by device index — so a replayed arrival
-//! trace schedules identically every time.
+//! trace schedules identically every time. With a [`FleetHealth`] tracker
+//! attached ([`LeasePool::set_health`]), placement additionally skips
+//! quarantined devices and prefers healthy ones over degraded ones.
 //!
 //! The pool tracks occupancy only; it never touches device memory. Callers
 //! allocate buffers on the leased device(s) and must release the lease when
@@ -27,7 +29,9 @@
 //! ```
 
 use crate::device::Device;
+use crate::health::{FleetHealth, HealthState};
 use crate::multi::DeviceGroup;
+use std::collections::BTreeSet;
 
 /// A ticket for one slot on each of the listed devices. Obtained from
 /// [`LeasePool::try_acquire`] (one device) or [`LeasePool::try_acquire_all`]
@@ -61,6 +65,12 @@ pub struct LeasePool {
     used: Vec<usize>,
     next_id: u64,
     peak: usize,
+    /// Ticket ids issued but not yet released — [`LeasePool::release`]
+    /// asserts membership, so a slot can never be double-released even if a
+    /// revocation path and a cancellation path race over the same job.
+    outstanding: BTreeSet<u64>,
+    /// Optional fleet-health tracker consulted at placement time.
+    health: Option<FleetHealth>,
 }
 
 impl LeasePool {
@@ -76,6 +86,34 @@ impl LeasePool {
             used: vec![0; n],
             next_id: 0,
             peak: 0,
+            outstanding: BTreeSet::new(),
+            health: None,
+        }
+    }
+
+    /// Attach a [`FleetHealth`] tracker: placement then skips quarantined
+    /// devices entirely and prefers healthy devices over degraded ones
+    /// (before the least-loaded/lowest-index tiebreak).
+    pub fn set_health(&mut self, health: FleetHealth) {
+        self.health = Some(health);
+    }
+
+    /// The attached fleet-health tracker, if any.
+    pub fn health(&self) -> Option<&FleetHealth> {
+        self.health.as_ref()
+    }
+
+    /// Whether placement may use device `i`: it survives and is not
+    /// quarantined by the attached health tracker (if any).
+    fn eligible(&self, i: usize) -> bool {
+        !self.devices[i].is_lost() && self.health.as_ref().is_none_or(|h| h.allows(i))
+    }
+
+    /// Placement preference rank: healthy devices before degraded ones.
+    fn rank(&self, i: usize) -> u8 {
+        match self.health.as_ref().map(|h| h.state(i)) {
+            Some(HealthState::Degraded) => 1,
+            _ => 0,
         }
     }
 
@@ -110,31 +148,25 @@ impl LeasePool {
         &self.devices[i]
     }
 
-    /// Lease one slot on the least-loaded non-lost device (ties broken by
-    /// lowest index). Returns `None` when every surviving device is full.
+    /// Lease one slot on the least-loaded eligible device — not lost, not
+    /// quarantined, healthy preferred over degraded, ties broken by load
+    /// then lowest index. Returns `None` when every eligible device is
+    /// full (or none is eligible).
     pub fn try_acquire(&mut self) -> Option<Lease> {
-        let (best, _) = self
-            .devices
-            .iter()
-            .enumerate()
-            .filter(|(i, d)| !d.is_lost() && self.used[*i] < self.slots_per_device)
-            .map(|(i, _)| (i, self.used[i]))
-            .min_by_key(|&(i, load)| (load, i))?;
+        let best = (0..self.devices.len())
+            .filter(|&i| self.eligible(i) && self.used[i] < self.slots_per_device)
+            .min_by_key(|&i| (self.rank(i), self.used[i], i))?;
         self.used[best] += 1;
         self.note_peak();
         Some(self.ticket(vec![best]))
     }
 
-    /// Lease one slot on *every* non-lost device at once (a sharded job
-    /// spans the group). Returns `None` — taking nothing — unless every
-    /// surviving device has a free slot.
+    /// Lease one slot on *every* eligible device at once (a sharded job
+    /// spans the healthy part of the group). Returns `None` — taking
+    /// nothing — unless every eligible device has a free slot.
     pub fn try_acquire_all(&mut self) -> Option<Lease> {
-        let alive: Vec<usize> = self
-            .devices
-            .iter()
-            .enumerate()
-            .filter(|(_, d)| !d.is_lost())
-            .map(|(i, _)| i)
+        let alive: Vec<usize> = (0..self.devices.len())
+            .filter(|&i| self.eligible(i))
             .collect();
         if alive.is_empty() || alive.iter().any(|&i| self.used[i] >= self.slots_per_device) {
             return None;
@@ -147,7 +179,16 @@ impl LeasePool {
     }
 
     /// Return a lease's slots to the pool.
+    ///
+    /// Panics if the ticket was not issued by this pool or was already
+    /// released — the guard that makes a revocation/cancellation race over
+    /// the same job a loud bug instead of silent occupancy corruption.
     pub fn release(&mut self, lease: Lease) {
+        assert!(
+            self.outstanding.remove(&lease.id),
+            "lease #{} released twice or never issued by this pool",
+            lease.id
+        );
         for i in lease.devices {
             debug_assert!(self.used[i] > 0, "release without matching acquire");
             self.used[i] = self.used[i].saturating_sub(1);
@@ -170,6 +211,7 @@ impl LeasePool {
     fn ticket(&mut self, devices: Vec<usize>) -> Lease {
         let id = self.next_id;
         self.next_id += 1;
+        self.outstanding.insert(id);
         Lease { devices, id }
     }
 
@@ -234,6 +276,53 @@ mod tests {
         assert_eq!(l.devices(), &[1]);
         let all_pool_view = pool.try_acquire_all();
         assert!(all_pool_view.is_none(), "device 1 is already full");
+    }
+
+    #[test]
+    #[should_panic(expected = "never issued")]
+    fn foreign_tickets_are_rejected() {
+        let g = DeviceGroup::v100s(1);
+        let mut a = LeasePool::new(&g, 1);
+        let mut b = LeasePool::new(&g, 1);
+        let l = a.try_acquire().unwrap();
+        // A ticket from another pool: the guard must fire rather than
+        // silently corrupting `b`'s occupancy.
+        b.release(l);
+    }
+
+    #[test]
+    fn quarantined_devices_receive_no_leases() {
+        use crate::health::{FleetHealth, HealthPolicy};
+        let g = DeviceGroup::v100s(2);
+        let health = FleetHealth::new(
+            2,
+            HealthPolicy {
+                window_s: 1.0,
+                degraded_after: 1,
+                quarantine_after: 2,
+                cooldown_s: 0.5,
+            },
+        );
+        let mut pool = LeasePool::new(&g, 2);
+        pool.set_health(health.clone());
+        // Two faults on device 0 trip its breaker.
+        health.record_fault(0, 0.1);
+        health.record_fault(0, 0.2);
+        let a = pool.try_acquire().unwrap();
+        let b = pool.try_acquire().unwrap();
+        assert_eq!(a.devices(), &[1], "quarantined device skipped");
+        assert_eq!(b.devices(), &[1]);
+        assert!(pool.try_acquire().is_none(), "only device 1 is placeable");
+        // A group lease spans the eligible devices only.
+        pool.release(a);
+        pool.release(b);
+        let all = pool.try_acquire_all().unwrap();
+        assert_eq!(all.devices(), &[1]);
+        pool.release(all);
+        // Past the cool-down the device re-admits and is preferred again.
+        health.record_fault(1, 1.0); // device 1 degraded; clock at 1.0
+        let c = pool.try_acquire().unwrap();
+        assert_eq!(c.devices(), &[0], "re-admitted healthy device preferred");
     }
 
     #[test]

@@ -40,6 +40,7 @@ pub mod coop;
 pub mod device;
 pub mod error;
 pub mod fault;
+pub mod health;
 pub mod kernel;
 pub mod launch;
 pub mod lease;
@@ -56,6 +57,7 @@ pub use coop::BlockCtx;
 pub use device::{Device, DeviceMetrics};
 pub use error::GpuError;
 pub use fault::{FaultPlan, FaultStats};
+pub use health::{FleetHealth, HealthPolicy, HealthState};
 pub use launch::{AllocMode, Dim3, KernelCost, KernelDesc, LaunchConfig};
 pub use multi::DeviceGroup;
 pub use perf_model::{

@@ -78,6 +78,18 @@ impl DeviceGroup {
             .collect()
     }
 
+    /// Indices of devices a placement layer may use under `health`:
+    /// surviving **and** not quarantined by the tracker's circuit breaker.
+    /// The health-aware counterpart of [`DeviceGroup::survivors`].
+    pub fn eligible_devices(&self, health: &crate::FleetHealth) -> Vec<usize> {
+        self.devices
+            .iter()
+            .enumerate()
+            .filter(|(i, d)| !d.is_lost() && health.allows(*i))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
     /// Indices of devices that have been permanently lost.
     pub fn lost_devices(&self) -> Vec<usize> {
         self.devices

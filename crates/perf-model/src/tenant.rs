@@ -15,16 +15,20 @@
 //! let records = vec![
 //!     JobRecord { tenant: "acme".into(), job: 0, submitted_s: 0.0, started_s: 0.0,
 //!                 finished_s: 2.0, outcome: JobOutcome::Completed, iterations: 100,
-//!                 device_seconds: 2.0, queue_depth_at_submit: 0 },
+//!                 device_seconds: 2.0, queue_depth_at_submit: 0,
+//!                 rehomes: 0, recovery_secs: 0.0 },
 //!     JobRecord { tenant: "acme".into(), job: 1, submitted_s: 0.0, started_s: 2.0,
 //!                 finished_s: 6.0, outcome: JobOutcome::Completed, iterations: 100,
-//!                 device_seconds: 4.0, queue_depth_at_submit: 1 },
+//!                 device_seconds: 4.0, queue_depth_at_submit: 1,
+//!                 rehomes: 1, recovery_secs: 0.5 },
 //! ];
 //! let rollup = TenantSummary::rollup(&records);
 //! assert_eq!(rollup.len(), 1);
 //! assert_eq!(rollup[0].completed, 2);
 //! assert_eq!(rollup[0].p50_latency_s, 2.0);
 //! assert_eq!(rollup[0].p95_latency_s, 6.0);
+//! assert_eq!(rollup[0].rehomes, 1);
+//! assert_eq!(rollup[0].recovery_secs, 0.5);
 //! ```
 
 /// How a submitted job left the system.
@@ -63,6 +67,12 @@ pub struct JobRecord {
     pub device_seconds: f64,
     /// Jobs already waiting when this one was admitted.
     pub queue_depth_at_submit: usize,
+    /// Times the job was re-homed off a lost device onto a healthy one.
+    pub rehomes: u64,
+    /// Modeled seconds of recovery work (checkpoint captures, re-homing
+    /// restores, fault retries) charged while this job was advancing. A
+    /// subset of `device_seconds`.
+    pub recovery_secs: f64,
 }
 
 impl JobRecord {
@@ -94,6 +104,10 @@ pub struct TenantSummary {
     pub mean_queue_depth: f64,
     /// Total modeled device-seconds consumed by this tenant.
     pub device_seconds: f64,
+    /// Total device-loss re-homings absorbed by this tenant's jobs.
+    pub rehomes: u64,
+    /// Total modeled recovery seconds charged to this tenant's jobs.
+    pub recovery_secs: f64,
 }
 
 impl TenantSummary {
@@ -128,6 +142,8 @@ impl TenantSummary {
                         .sum::<f64>()
                         / rows.len() as f64,
                     device_seconds: rows.iter().map(|r| r.device_seconds).sum(),
+                    rehomes: rows.iter().map(|r| r.rehomes).sum(),
+                    recovery_secs: rows.iter().map(|r| r.recovery_secs).sum(),
                 }
             })
             .collect()
@@ -160,6 +176,8 @@ mod tests {
             iterations: 10,
             device_seconds: fin - sub,
             queue_depth_at_submit: 0,
+            rehomes: 0,
+            recovery_secs: 0.0,
         }
     }
 

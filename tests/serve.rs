@@ -1,14 +1,16 @@
 //! Integration tests for the multi-tenant serving layer (`fastpso::serve`):
-//! replayed-trace determinism, strict admission backpressure, and
-//! lease/memory hygiene on cancellation.
+//! replayed-trace determinism, strict admission backpressure, lease/memory
+//! hygiene on cancellation, device-loss re-homing (an exhaustive
+//! per-ordinal fault sweep) and crash-safe journal snapshot/restore.
 
+use fastpso::resilience::ResilienceConfig;
 use fastpso::serve::{
-    JobId, JobStatus, OptimizeRequest, Priority, ServeConfig, ServeError, Service,
+    JobId, JobStatus, OptimizeRequest, Priority, ServeConfig, ServeError, ServeEvent, Service,
 };
 use fastpso::{CounterAsserts, PsoConfig, RunResult};
 use fastpso_functions::builtins::{Griewank, Rastrigin, Sphere};
 use fastpso_functions::Objective;
-use gpu_sim::DeviceGroup;
+use gpu_sim::{DeviceGroup, FaultPlan, HealthState};
 use std::sync::Arc;
 
 fn cfg(n: usize, d: usize, iters: usize, seed: u64) -> PsoConfig {
@@ -224,4 +226,319 @@ fn cancellation_mid_run_frees_device_lease_and_memory() {
         svc.cancel(JobId(999)),
         Err(ServeError::UnknownJob(_))
     ));
+}
+
+// ---- fleet fault tolerance ------------------------------------------------
+
+/// Everything one chaos replay observes.
+struct Chaos {
+    results: Vec<RunResult>,
+    manifest: Vec<String>,
+    snapshot: Vec<u8>,
+    events: Vec<ServeEvent>,
+    /// Whether the planned device loss actually fired during the run.
+    lost: bool,
+    dev1_health: HealthState,
+    total_rehomes: u64,
+}
+
+/// Replay a fixed 6-job trace (5 packed + 1 sharded, 3 tenants, mixed
+/// priorities) over 2 devices, optionally losing device 1 permanently at
+/// its `loss_ordinal`-th kernel launch.
+fn chaos_trace(loss_ordinal: Option<u64>) -> Chaos {
+    let group = DeviceGroup::v100s(2);
+    if let Some(ord) = loss_ordinal {
+        group.set_fault_plans(vec![
+            FaultPlan::new(),
+            FaultPlan::new().with_device_loss_at_launch(ord),
+        ]);
+    }
+    let mut svc = Service::new(
+        group,
+        ServeConfig {
+            slots_per_device: 2,
+            slice_iters: 4,
+            shard_threshold_particles: 64,
+            ..ServeConfig::default()
+        },
+    );
+    let objs: [Arc<dyn Objective>; 3] = [Arc::new(Sphere), Arc::new(Rastrigin), Arc::new(Griewank)];
+    let mut ids: Vec<JobId> = Vec::new();
+    for i in 0..5u64 {
+        let req = OptimizeRequest::new(
+            ["acme", "globex"][i as usize % 2],
+            Arc::clone(&objs[i as usize % 3]),
+            cfg(24 + 8 * (i as usize % 2), 4, 25, 900 + i),
+        )
+        .priority([Priority::Normal, Priority::High, Priority::Low][i as usize % 3]);
+        ids.push(svc.submit(req).unwrap());
+    }
+    // One job large enough to shard over both devices.
+    ids.push(
+        svc.submit(OptimizeRequest::new(
+            "initech",
+            Arc::new(Sphere),
+            cfg(64, 4, 25, 950),
+        ))
+        .unwrap(),
+    );
+    svc.run_until_idle();
+    let results = ids
+        .iter()
+        .map(|&id| svc.result(id).unwrap().clone())
+        .collect();
+    let manifest = svc
+        .merged_profiler()
+        .kernels
+        .iter()
+        .map(|k| {
+            format!(
+                "{} dev{} grid{:?} block{:?} threads{}",
+                k.name, k.device, k.grid, k.block, k.threads
+            )
+        })
+        .collect();
+    Chaos {
+        results,
+        manifest,
+        snapshot: svc.snapshot(),
+        events: svc.journal().events().to_vec(),
+        lost: svc.group().device(1).unwrap().is_lost(),
+        dev1_health: svc.health().state(1),
+        total_rehomes: svc.records().iter().map(|r| r.rehomes).sum(),
+    }
+}
+
+/// Exhaustive per-ordinal device-loss sweep: whatever launch the device
+/// dies at, every affected job completes via re-homing with a result
+/// bit-identical to the fault-free run, the lost device is quarantined and
+/// never leased again, and each faulted scenario replays deterministically
+/// (identical launch manifest and journal bytes).
+#[test]
+fn device_loss_sweep_rehomes_every_job_bit_identically() {
+    let clean = chaos_trace(None);
+    assert_eq!(clean.results.len(), 6);
+    assert!(!clean.lost);
+    assert_eq!(clean.total_rehomes, 0);
+    for ord in [1, 7, 40, 90, 220] {
+        let a = chaos_trace(Some(ord));
+        let b = chaos_trace(Some(ord));
+        assert_eq!(a.manifest, b.manifest, "ordinal {ord}: manifest drifted");
+        assert_eq!(a.snapshot, b.snapshot, "ordinal {ord}: journal drifted");
+        for (i, (fa, fc)) in a.results.iter().zip(&clean.results).enumerate() {
+            CounterAsserts::assert_bit_identical_gbest(fa, fc);
+            assert_eq!(
+                fa.iterations, fc.iterations,
+                "ordinal {ord}, job {i}: iteration count diverged under loss"
+            );
+        }
+        if a.lost {
+            assert!(
+                a.total_rehomes >= 1,
+                "ordinal {ord}: loss fired but nothing re-homed"
+            );
+            assert_eq!(
+                a.dev1_health,
+                HealthState::Quarantined,
+                "ordinal {ord}: lost device must stay quarantined"
+            );
+            let first_rehome = a
+                .events
+                .iter()
+                .position(|e| matches!(e, ServeEvent::Rehome { .. }))
+                .expect("re-homing must be journaled");
+            for e in &a.events[first_rehome..] {
+                if let ServeEvent::Admit { job, devices } = e {
+                    assert!(
+                        !devices.contains(&1),
+                        "ordinal {ord}: job#{job} leased the lost device"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Crash-safe journal: snapshotting a mid-flight service and replaying the
+/// snapshot against a fresh group reproduces queue depth, the running set
+/// and the job records — and re-serializes byte-for-byte. Corrupt bytes
+/// and a wrong request list are rejected, not silently mis-restored.
+#[test]
+fn journal_snapshot_restore_is_byte_exact() {
+    let serve_cfg = ServeConfig {
+        slots_per_device: 1,
+        slice_iters: 3,
+        ..ServeConfig::default()
+    };
+    let requests: Vec<OptimizeRequest> = (0..6u64)
+        .map(|i| {
+            OptimizeRequest::new(
+                ["acme", "globex", "initech"][i as usize % 3],
+                Arc::new(Sphere) as Arc<dyn Objective>,
+                cfg(16 + 8 * (i as usize % 2), 4, 40, 700 + i),
+            )
+            .priority([Priority::Low, Priority::Normal, Priority::High][i as usize % 3])
+        })
+        .collect();
+    let mut svc = Service::new(DeviceGroup::v100s(2), serve_cfg.clone());
+    let ids: Vec<JobId> = requests
+        .iter()
+        .map(|r| svc.submit(r.clone()).unwrap())
+        .collect();
+    svc.tick();
+    svc.tick();
+    svc.cancel(ids[3]).unwrap(); // cancel becomes a journaled input event
+    svc.tick();
+    // Snapshot mid-flight: jobs queued, running and finished all at once.
+    assert!(svc.queue_depth() > 0 && svc.n_running() > 0);
+    let snap = svc.snapshot();
+
+    let restored = Service::restore(
+        DeviceGroup::v100s(2),
+        serve_cfg.clone(),
+        &snap,
+        requests.clone(),
+    )
+    .unwrap();
+    assert_eq!(restored.queue_depth(), svc.queue_depth());
+    assert_eq!(restored.running_ids(), svc.running_ids());
+    assert_eq!(restored.records(), svc.records());
+    assert_eq!(
+        restored.now(),
+        svc.now(),
+        "modeled clock must replay exactly"
+    );
+    assert_eq!(
+        restored.snapshot(),
+        snap,
+        "re-serialization must be byte-exact"
+    );
+
+    // A flipped byte is detected, not replayed.
+    let mut torn = snap.clone();
+    let mid = torn.len() / 2;
+    torn[mid] ^= 0x40;
+    assert!(matches!(
+        Service::restore(
+            DeviceGroup::v100s(2),
+            serve_cfg.clone(),
+            &torn,
+            requests.clone()
+        ),
+        Err(ServeError::JournalCorrupt(_))
+    ));
+    // A wrong request list diverges and is rejected.
+    assert!(matches!(
+        Service::restore(DeviceGroup::v100s(2), serve_cfg.clone(), &snap, Vec::new()),
+        Err(ServeError::RestoreMismatch(_))
+    ));
+
+    // Both services drive to idle along the same trajectory.
+    let mut svc = svc;
+    let mut restored = restored;
+    svc.run_until_idle();
+    restored.run_until_idle();
+    for &id in &ids {
+        if id == ids[3] {
+            continue; // cancelled
+        }
+        let a = svc.result(id).unwrap();
+        let b = restored.result(id).unwrap();
+        CounterAsserts::assert_bit_identical_gbest(a, b);
+    }
+    assert_eq!(svc.snapshot(), restored.snapshot());
+}
+
+/// Regression for the lease-accounting race: a job cancelled while its
+/// device is lost must release its lease exactly once, in both orderings
+/// (cancel after the re-homing sweep ran, and cancel while the job still
+/// holds a lease spanning the dead device).
+#[test]
+fn cancellation_during_device_loss_releases_each_lease_exactly_once() {
+    // Ordering A: the loss is noticed first (the slice errors and the job
+    // is re-homed to the queue), then the submitter cancels.
+    let group = DeviceGroup::v100s(2);
+    group.set_fault_plans(vec![
+        FaultPlan::new(),
+        FaultPlan::new().with_device_loss_at_launch(9),
+    ]);
+    let mut svc = Service::new(
+        group,
+        ServeConfig {
+            slots_per_device: 1,
+            slice_iters: 3,
+            ..ServeConfig::default()
+        },
+    );
+    let a = svc
+        .submit(OptimizeRequest::new(
+            "t",
+            Arc::new(Sphere),
+            cfg(24, 4, 500, 1),
+        ))
+        .unwrap();
+    let b = svc
+        .submit(OptimizeRequest::new(
+            "t",
+            Arc::new(Rastrigin),
+            cfg(24, 4, 500, 2),
+        ))
+        .unwrap();
+    let mut guard = 0;
+    while !svc.group().device(1).unwrap().is_lost() {
+        svc.tick();
+        guard += 1;
+        assert!(guard < 50, "loss never fired");
+    }
+    svc.tick(); // re-homing sweep requeues the stranded job
+    assert_eq!(svc.occupancy().0, 1, "only the healthy device's lease held");
+    svc.cancel(b).unwrap();
+    svc.cancel(a).unwrap();
+    assert_eq!(svc.occupancy().0, 0, "every lease released exactly once");
+    assert_eq!(svc.status(a).unwrap(), JobStatus::Cancelled);
+    assert_eq!(svc.status(b).unwrap(), JobStatus::Cancelled);
+    svc.run_until_idle();
+    assert_eq!(svc.group().device(0).unwrap().bytes_in_use(), 0);
+
+    // Ordering B: cancel lands while the job still holds a lease spanning
+    // the dead device (a resilient sharded job survives the loss inside
+    // its slice, so the serve layer hasn't swept it yet).
+    let group = DeviceGroup::v100s(2);
+    group.set_fault_plans(vec![
+        FaultPlan::new(),
+        FaultPlan::new().with_device_loss_at_launch(30),
+    ]);
+    let mut svc = Service::new(
+        group,
+        ServeConfig {
+            slots_per_device: 1,
+            slice_iters: 4,
+            shard_threshold_particles: 64,
+            ..ServeConfig::default()
+        },
+    );
+    let j = svc
+        .submit(
+            OptimizeRequest::new("t", Arc::new(Sphere), cfg(64, 4, 500, 3))
+                .resilient(ResilienceConfig::default()),
+        )
+        .unwrap();
+    let mut guard = 0;
+    while !svc.group().device(1).unwrap().is_lost() {
+        svc.tick();
+        guard += 1;
+        assert!(guard < 50, "loss never fired");
+    }
+    // The resilient job absorbed the loss mid-slice and is still running
+    // on a lease that includes the dead device.
+    assert_eq!(svc.status(j).unwrap(), JobStatus::Running);
+    svc.cancel(j).unwrap();
+    assert_eq!(
+        svc.occupancy().0,
+        0,
+        "lease spanning the dead device released once"
+    );
+    assert_eq!(svc.status(j).unwrap(), JobStatus::Cancelled);
+    svc.run_until_idle();
+    assert_eq!(svc.group().device(0).unwrap().bytes_in_use(), 0);
 }
