@@ -162,6 +162,7 @@ fn main() {
             "fastpso-smem",
             "fastpso-tensor",
             "fastpso-forloop",
+            "fastpso-lowcomp",
             "fastpso-seq",
             "fastpso-omp",
             "gpu-pso",

@@ -12,9 +12,22 @@
 //! and prints per-tenant p50/p95 latency and shed counts from the
 //! service's own accounting.
 //!
-//! Usage: `cargo run --release -p fastpso-bench --bin serve_bench`
+//! With `--overload`, runs the predictive-admission comparison instead: an
+//! overload trace (a burst of deadline jobs worth several times the
+//! device-seconds available before the deadline) is replayed twice on the
+//! same seed — once through the blind scheduler, which admits everything
+//! and sheds at the deadline, and once with
+//! `ServeConfig::predictive_admission` on, where the calibrated cost
+//! predictor converts those mid-flight sheds into up-front
+//! `ServeError::Infeasible` rejections and reserves capacity so every
+//! accepted deadline is met. The binary asserts the predictive run sheds
+//! nothing, rejects the overflow up front, and at least doubles goodput
+//! (deadline-met device-seconds); results land in
+//! `results/serve_overload.csv`.
+//!
+//! Usage: `cargo run --release -p fastpso-bench --bin serve_bench [--overload]`
 
-use fastpso::serve::{OptimizeRequest, Priority, ServeConfig, Service};
+use fastpso::serve::{JobStatus, OptimizeRequest, Priority, ServeConfig, ServeError, Service};
 use fastpso::{GpuBackend, PsoBackend, PsoConfig};
 use fastpso_bench::report::{fmt_secs, fmt_speedup, Table};
 use fastpso_functions::builtins::{Griewank, Rastrigin, Sphere};
@@ -56,7 +69,184 @@ fn job_priority(i: u64) -> Priority {
     }
 }
 
+// ---- overload scenario ---------------------------------------------------
+
+/// Devices in the overload group (smaller than the packing demo's so the
+/// burst genuinely exceeds capacity).
+const OVERLOAD_DEVICES: usize = 2;
+/// Deadline-free jobs that calibrate the predictor before the burst.
+const WARMUP_JOBS: u64 = 8;
+/// Deadline jobs in the overload burst.
+const BURST_JOBS: u64 = 24;
+/// Completion deadline of every burst job, in modeled seconds after its
+/// submission. The burst is worth several times `OVERLOAD_DEVICES *
+/// OVERLOAD_DEADLINE_S` device-seconds, so most of it cannot finish in time.
+const OVERLOAD_DEADLINE_S: f64 = 0.05;
+
+fn overload_cfg(i: u64) -> PsoConfig {
+    PsoConfig::builder(64, 8)
+        .max_iter(80)
+        .seed(2000 + i)
+        .build()
+        .unwrap()
+}
+
+struct OverloadOutcome {
+    accepted: u64,
+    rejected: u64,
+    downgraded: u64,
+    shed: u64,
+    completed: u64,
+    goodput_s: f64,
+}
+
+/// Replay the warmup + burst trace through one service. The trace and every
+/// scheduler decision are deterministic, so the two calls differ only in
+/// the admission policy.
+fn run_overload_trace(predictive: bool) -> OverloadOutcome {
+    let mut svc = Service::new(
+        DeviceGroup::v100s(OVERLOAD_DEVICES),
+        ServeConfig {
+            slots_per_device: 4,
+            slice_iters: 10,
+            predictive_admission: predictive,
+            admission_headroom: 1.2,
+            ..ServeConfig::default()
+        },
+    );
+    // Warmup: deadline-free completions feed the calibration loop (the
+    // blind service runs them too, so both traces start identically).
+    for i in 0..WARMUP_JOBS {
+        svc.submit(OptimizeRequest::new(
+            "warmup",
+            job_objective(i),
+            overload_cfg(i),
+        ))
+        .expect("warmup jobs are always admissible");
+    }
+    svc.run_until_idle();
+    let warm_goodput = svc.goodput_s();
+    // Burst: every job carries the same tight deadline; the group can only
+    // finish a fraction of them in time.
+    let mut accepted = 0u64;
+    let mut rejected = 0u64;
+    let mut burst_ids = Vec::new();
+    for i in WARMUP_JOBS..WARMUP_JOBS + BURST_JOBS {
+        let req = OptimizeRequest::new(job_tenant(i), job_objective(i), overload_cfg(i))
+            .deadline_s(OVERLOAD_DEADLINE_S);
+        match svc.submit(req) {
+            Ok(id) => {
+                accepted += 1;
+                burst_ids.push(id);
+            }
+            Err(ServeError::Infeasible { .. }) => rejected += 1,
+            Err(e) => panic!("unexpected submit error: {e}"),
+        }
+    }
+    svc.run_until_idle();
+    let mut shed = 0u64;
+    let mut completed = 0u64;
+    for id in burst_ids {
+        match svc.status(id).expect("burst job reached a terminal state") {
+            JobStatus::Completed => completed += 1,
+            JobStatus::Shed => shed += 1,
+            other => panic!("burst {id} ended {other:?}"),
+        }
+    }
+    OverloadOutcome {
+        accepted,
+        rejected,
+        downgraded: svc.admission_downgrades(),
+        shed,
+        completed,
+        goodput_s: svc.goodput_s() - warm_goodput,
+    }
+}
+
+fn run_overload() {
+    let blind = run_overload_trace(false);
+    let predictive = run_overload_trace(true);
+
+    let mut t = Table::new(
+        format!(
+            "Overload burst: {BURST_JOBS} jobs, {OVERLOAD_DEADLINE_S}s deadline, \
+             {OVERLOAD_DEVICES} devices — blind vs predictive admission"
+        ),
+        &[
+            "mode",
+            "accepted",
+            "rejected",
+            "downgraded",
+            "shed",
+            "completed",
+            "goodput (s)",
+        ],
+    );
+    for (name, o) in [("blind", &blind), ("predictive", &predictive)] {
+        t.row(vec![
+            name.into(),
+            o.accepted.to_string(),
+            o.rejected.to_string(),
+            o.downgraded.to_string(),
+            o.shed.to_string(),
+            o.completed.to_string(),
+            fmt_secs(o.goodput_s),
+        ]);
+    }
+    t.emit("serve_overload");
+
+    assert_eq!(
+        blind.accepted, BURST_JOBS,
+        "the blind scheduler admits the whole burst"
+    );
+    assert!(
+        blind.shed > 0,
+        "the burst must overload the blind scheduler (got {} sheds)",
+        blind.shed
+    );
+    assert_eq!(
+        predictive.shed, 0,
+        "predictive admission must shed nothing mid-flight"
+    );
+    assert!(
+        predictive.rejected > 0,
+        "the overflow must surface as up-front rejections"
+    );
+    assert_eq!(
+        predictive.accepted + predictive.rejected,
+        BURST_JOBS,
+        "every burst job is either admitted or rejected"
+    );
+    let ratio = if blind.goodput_s > 0.0 {
+        predictive.goodput_s / blind.goodput_s
+    } else {
+        f64::INFINITY
+    };
+    assert!(
+        predictive.goodput_s > 0.0 && ratio >= 2.0,
+        "expected >= 2x goodput from predictive admission, got {:.4}s vs {:.4}s",
+        predictive.goodput_s,
+        blind.goodput_s
+    );
+    println!(
+        "predictive admission turned {} mid-flight sheds into {} up-front rejections",
+        blind.shed, predictive.rejected
+    );
+    println!(
+        "and raised deadline-met goodput {}: every accepted deadline was met.",
+        if ratio.is_finite() {
+            format!("{ratio:.1}x")
+        } else {
+            "from zero".into()
+        }
+    );
+}
+
 fn main() {
+    if std::env::args().any(|a| a == "--overload") {
+        run_overload();
+        return;
+    }
     // Baseline: every job back-to-back on one dedicated device.
     let mut sequential_s = 0.0;
     for i in 0..N_JOBS {

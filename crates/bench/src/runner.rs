@@ -147,6 +147,7 @@ mod tests {
             ("fastpso-smem", "fastpso-smem"),
             ("fastpso-tensor", "fastpso-tensor"),
             ("fastpso-forloop", "fastpso-forloop"),
+            ("fastpso-lowcomp", "fastpso-lowcomp"),
             ("fastpso-wmma", "fastpso-tensor"),
             ("fastpso-global", "fastpso"),
         ] {

@@ -25,6 +25,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 pub const VELOCITY_FLOPS_PER_ELEM: u64 = 10;
 /// Flop estimate of one position-update element (Equation 2).
 pub const POSITION_FLOPS_PER_ELEM: u64 = 2;
+/// Flop estimate of one low-complexity velocity-update element: the scalar
+/// per-particle weights fold the `c1·l` / `c2·g` products into per-row
+/// constants, saving two multiplies per element versus Equation 1.
+pub const LOWC_VELOCITY_FLOPS_PER_ELEM: u64 = 8;
 
 /// How the swarm-update kernels touch memory (Figure 6's technique axis).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -43,15 +47,27 @@ pub enum UpdateStrategy {
     /// rung, kept as the last resort of the resilience layer's graceful
     /// degradation chain (see `resilience` module).
     ForLoop,
+    /// Reduced-work update after Sohail et al.'s low-complexity PSO: one
+    /// random cognitive/social weight per *particle* instead of one per
+    /// element, so the per-iteration RNG work drops from `2·n·d` draws to
+    /// `2·n` and the velocity kernel reads two scalars per row instead of
+    /// two matrices. The trajectory **differs** from the full-complexity
+    /// strategies by construction (documented, like
+    /// [`UpdateStrategy::TensorCore`]'s f16 rounding) — this rung exists
+    /// for time-critical serving, where the admission controller downgrades
+    /// deadline-pressed jobs onto it rather than shedding them.
+    LowComplexity,
 }
 
 impl UpdateStrategy {
-    /// All strategies, in the paper's Figure 6 order.
-    pub const ALL: [UpdateStrategy; 4] = [
+    /// All strategies, in the paper's Figure 6 order (the reduced-work
+    /// serving rung last).
+    pub const ALL: [UpdateStrategy; 5] = [
         UpdateStrategy::GlobalMem,
         UpdateStrategy::SharedMem,
         UpdateStrategy::TensorCore,
         UpdateStrategy::ForLoop,
+        UpdateStrategy::LowComplexity,
     ];
 }
 
@@ -64,6 +80,7 @@ impl fmt::Display for UpdateStrategy {
             UpdateStrategy::SharedMem => "smem",
             UpdateStrategy::TensorCore => "tensor",
             UpdateStrategy::ForLoop => "forloop",
+            UpdateStrategy::LowComplexity => "lowcomp",
         })
     }
 }
@@ -80,6 +97,7 @@ impl fmt::Display for UpdateStrategy {
 /// | [`UpdateStrategy::SharedMem`] | `smem`, `shared`, `sharedmem`, `shared-mem` |
 /// | [`UpdateStrategy::TensorCore`] | `tensor`, `tensorcore`, `tensor-core`, `wmma` |
 /// | [`UpdateStrategy::ForLoop`] | `forloop`, `for-loop`, `naive` |
+/// | [`UpdateStrategy::LowComplexity`] | `lowcomp`, `lowcomplexity`, `low-complexity` |
 ///
 /// ```
 /// use fastpso::UpdateStrategy;
@@ -99,8 +117,10 @@ impl FromStr for UpdateStrategy {
             "smem" | "shared" | "sharedmem" | "shared-mem" => Ok(UpdateStrategy::SharedMem),
             "tensor" | "tensorcore" | "tensor-core" | "wmma" => Ok(UpdateStrategy::TensorCore),
             "forloop" | "for-loop" | "naive" => Ok(UpdateStrategy::ForLoop),
+            "lowcomp" | "lowcomplexity" | "low-complexity" => Ok(UpdateStrategy::LowComplexity),
             other => Err(format!(
-                "unknown update strategy '{other}' (expected one of: global, smem, tensor, forloop)"
+                "unknown update strategy '{other}' (expected one of: global, smem, tensor, \
+                 forloop, lowcomp)"
             )),
         }
     }
@@ -224,18 +244,44 @@ pub fn init_shard(
 /// Generate this iteration's `L` and `G` weight matrices on the device.
 /// Charged to the Init phase, matching the paper's breakdown (§3.1 treats
 /// per-iteration weight generation as part of swarm initialization).
+///
+/// Under [`UpdateStrategy::LowComplexity`] the matrices collapse to one
+/// scalar per particle row (Sohail et al.): `rows` draws per matrix instead
+/// of `rows·d`, addressed by *global* row index so sharded runs draw exactly
+/// what a single-device run draws. Every other strategy generates the full
+/// `rows × d` matrices.
 pub fn gen_weights(
     dev: &Device,
     shard: &mut Shard,
     cfg: &PsoConfig,
     t: usize,
+    strategy: UpdateStrategy,
 ) -> Result<(), PsoError> {
     let rng = Philox::new(cfg.seed);
-    let elems = shard.elems() as u64;
     let cost = KernelCost::elementwise(RNG_FLOPS_PER_DRAW, 0, 4);
     let (row0, d) = (shard.row0, shard.d);
     let (ld, gd) = (domains::l_matrix(t), domains::g_matrix(t));
 
+    if strategy == UpdateStrategy::LowComplexity {
+        // One weight per particle: d-fold fewer RNG draws per iteration —
+        // the dominant saving of the low-complexity rung.
+        let elems = shard.rows as u64;
+        let mut l = dev.alloc::<f32>(shard.rows)?;
+        let mut g = dev.alloc::<f32>(shard.rows)?;
+        let desc = desc_for(dev, "gen_l_weights_lowcomp", Phase::Init, cost, elems);
+        dev.launch_map(&desc, l.as_mut_slice(), |r| {
+            rng.uniform_at((row0 + r) as u64, ld)
+        })?;
+        let desc = desc_for(dev, "gen_g_weights_lowcomp", Phase::Init, cost, elems);
+        dev.launch_map(&desc, g.as_mut_slice(), |r| {
+            rng.uniform_at((row0 + r) as u64, gd)
+        })?;
+        shard.l = l;
+        shard.g = g;
+        return Ok(());
+    }
+
+    let elems = shard.elems() as u64;
     // The weight matrices are requested fresh every iteration — the exact
     // scenario of the paper's Table 4. Under the caching allocator these
     // requests are pool hits; in `Realloc` mode each pays a driver
@@ -489,6 +535,40 @@ pub fn velocity_update(
                 },
             )?;
         }
+        UpdateStrategy::LowComplexity => {
+            // Per-row scalar weights: `L`/`G` contribute two cached scalar
+            // reads per row instead of two matrix elements per element, so
+            // the useful DRAM traffic drops from 24 to 16 B/elem and two
+            // multiplies fold away (Sohail et al.'s low-complexity update).
+            let cost = KernelCost::elementwise(LOWC_VELOCITY_FLOPS_PER_ELEM, 16, 4);
+            let desc = desc_for(
+                dev,
+                "velocity_update_lowcomp",
+                Phase::SwarmUpdate,
+                cost,
+                elems,
+            );
+            let pos = shard.pos.as_slice();
+            let l = shard.l.as_slice();
+            let g = shard.g.as_slice();
+            let pbest_pos = shard.pbest_pos.as_slice();
+            let pbest_err = shard.pbest_err.as_slice();
+            let gbest_pos = shard.gbest_pos.as_slice();
+            dev.launch_update(&desc, shard.vel.as_mut_slice(), |i, v| {
+                let (row, col) = (i / d, i % d);
+                let (pb, gb) = match semantics {
+                    AttractorSemantics::PositionVectors => {
+                        let social = match lbest {
+                            Some(lb) => pbest_pos[lb[row] * d + col],
+                            None => gbest_pos[col],
+                        };
+                        (pbest_pos[i], social)
+                    }
+                    AttractorSemantics::ScalarBroadcast => (pbest_err[row], gbest_err),
+                };
+                velocity_update_elem(v, pos[i], l[row], g[row], pb, gb, omega, c1, c2, bound)
+            })?;
+        }
         UpdateStrategy::TensorCore => {
             let pos = shard.pos.as_slice();
             let pbest_err = shard.pbest_err.as_slice();
@@ -534,7 +614,9 @@ pub fn position_update(
 ) -> Result<(), PsoError> {
     let elems = shard.elems() as u64;
     match strategy {
-        UpdateStrategy::GlobalMem | UpdateStrategy::ForLoop => {
+        // The low-complexity scheme only touches the velocity half; its
+        // position update is Equation 2 verbatim on global memory.
+        UpdateStrategy::GlobalMem | UpdateStrategy::ForLoop | UpdateStrategy::LowComplexity => {
             // Position: reads P (in place) and V; writes P.
             let cost = KernelCost::elementwise(POSITION_FLOPS_PER_ELEM, 8, 4);
             let desc = if strategy == UpdateStrategy::ForLoop {
@@ -786,7 +868,7 @@ mod tests {
             pbest_update(&dev, &mut shard).unwrap();
             let r = local_argmin(&dev, &shard).unwrap();
             adopt_gbest_local(&dev, &mut shard, r.index, r.value).unwrap();
-            gen_weights(&dev, &mut shard, &cfg, 0).unwrap();
+            gen_weights(&dev, &mut shard, &cfg, 0, strategy).unwrap();
             swarm_update(&dev, &mut shard, &cfg, 0, Some(2.0), strategy, None).unwrap();
             (shard.vel.as_slice().to_vec(), shard.pos.as_slice().to_vec())
         };
@@ -806,7 +888,7 @@ mod tests {
             pbest_update(&dev, &mut shard).unwrap();
             let r = local_argmin(&dev, &shard).unwrap();
             adopt_gbest_local(&dev, &mut shard, r.index, r.value).unwrap();
-            gen_weights(&dev, &mut shard, &cfg, 0).unwrap();
+            gen_weights(&dev, &mut shard, &cfg, 0, strategy).unwrap();
             let before = dev.timeline().total_seconds();
             swarm_update(&dev, &mut shard, &cfg, 0, Some(2.0), strategy, None).unwrap();
             let update_time = dev.timeline().total_seconds() - before;
@@ -836,7 +918,7 @@ mod tests {
             pbest_update(&dev, &mut shard).unwrap();
             let r = local_argmin(&dev, &shard).unwrap();
             adopt_gbest_local(&dev, &mut shard, r.index, r.value).unwrap();
-            gen_weights(&dev, &mut shard, &cfg, 0).unwrap();
+            gen_weights(&dev, &mut shard, &cfg, 0, strategy).unwrap();
             swarm_update(&dev, &mut shard, &cfg, 0, Some(2.0), strategy, None).unwrap();
             shard.vel.as_slice().to_vec()
         };
@@ -862,7 +944,7 @@ mod tests {
         pbest_update(&dev, &mut shard).unwrap();
         let r = local_argmin(&dev, &shard).unwrap();
         adopt_gbest_local(&dev, &mut shard, r.index, r.value).unwrap();
-        gen_weights(&dev, &mut shard, &cfg, 0).unwrap();
+        gen_weights(&dev, &mut shard, &cfg, 0, UpdateStrategy::GlobalMem).unwrap();
         swarm_update(
             &dev,
             &mut shard,
@@ -877,11 +959,62 @@ mod tests {
     }
 
     #[test]
+    fn lowcomp_strategy_draws_per_row_and_models_cheaper() {
+        let cfg = cfg();
+        let run = |strategy| {
+            let dev = Device::v100();
+            let mut shard = setup(&dev, &cfg);
+            eval_shard(&dev, &mut shard, &Sphere).unwrap();
+            pbest_update(&dev, &mut shard).unwrap();
+            let r = local_argmin(&dev, &shard).unwrap();
+            adopt_gbest_local(&dev, &mut shard, r.index, r.value).unwrap();
+            gen_weights(&dev, &mut shard, &cfg, 2, strategy).unwrap();
+            let weights = shard.l.as_slice().to_vec();
+            let before = dev.timeline().total_seconds();
+            swarm_update(&dev, &mut shard, &cfg, 2, Some(2.0), strategy, None).unwrap();
+            let update_time = dev.timeline().total_seconds() - before;
+            (weights, shard.vel.as_slice().to_vec(), update_time)
+        };
+        let (w_full, v_full, t_full) = run(UpdateStrategy::GlobalMem);
+        let (w_low, v_low, t_low) = run(UpdateStrategy::LowComplexity);
+        // One draw per particle instead of per element, from the same
+        // Philox stream addressed by row.
+        assert_eq!(w_low.len(), cfg.n_particles);
+        assert_eq!(w_full.len(), cfg.n_particles * cfg.dim);
+        let rng = Philox::new(cfg.seed);
+        for (row, &w) in w_low.iter().enumerate() {
+            assert_eq!(w, rng.uniform_at(row as u64, domains::l_matrix(2)));
+        }
+        // Numerics deliberately differ (documented, like TensorCore's f16),
+        // and the reduced-work update models cheaper.
+        assert_ne!(v_full, v_low, "scalar weights must change the trajectory");
+        assert!(
+            t_low < t_full,
+            "low-complexity update ({t_low}s) should model cheaper than global-mem ({t_full}s)"
+        );
+    }
+
+    #[test]
+    fn lowcomp_strategy_still_converges() {
+        use crate::backend::PsoBackend;
+        let cfg = PsoConfig::builder(64, 8)
+            .max_iter(200)
+            .seed(21)
+            .build()
+            .unwrap();
+        let r = crate::gpu::GpuBackend::new()
+            .strategy(UpdateStrategy::LowComplexity)
+            .run(&cfg, &Sphere)
+            .unwrap();
+        assert!(r.best_value < 10.0, "best = {}", r.best_value);
+    }
+
+    #[test]
     fn weights_match_philox_streams() {
         let dev = Device::v100();
         let cfg = cfg();
         let mut shard = setup(&dev, &cfg);
-        gen_weights(&dev, &mut shard, &cfg, 3).unwrap();
+        gen_weights(&dev, &mut shard, &cfg, 3, UpdateStrategy::GlobalMem).unwrap();
         let rng = Philox::new(cfg.seed);
         assert_eq!(
             shard.l.as_slice()[7],

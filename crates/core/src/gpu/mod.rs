@@ -142,6 +142,7 @@ impl PsoBackend for GpuBackend {
             UpdateStrategy::SharedMem => "fastpso-smem",
             UpdateStrategy::TensorCore => "fastpso-tensor",
             UpdateStrategy::ForLoop => "fastpso-forloop",
+            UpdateStrategy::LowComplexity => "fastpso-lowcomp",
         }
     }
 

@@ -331,6 +331,35 @@ impl ExecutionPlan {
     }
 }
 
+/// The next *cheaper* (fewer modeled device-seconds) strategy rung below
+/// `s`, or `None` when `s` is already the cheapest.
+///
+/// This is the admission controller's downgrade ladder — the knob
+/// `fastpso::serve` turns when a job's requested strategy cannot meet its
+/// deadline. It is deliberately distinct from the resilience layer's
+/// [`crate::resilience::fallback_strategy`] chain, which walks toward the
+/// most *conservative* rung after faults:
+///
+/// * `ForLoop → GlobalMem → SharedMem → LowComplexity` — each step strictly
+///   reduces modeled cost (fewer latency-bound threads, then staged
+///   broadcast traffic, then `d`-fold fewer RNG draws).
+/// * [`UpdateStrategy::TensorCore`] is never *entered* by a downgrade: its
+///   f16 rounding is an opt-in numeric contract. A job that requested it
+///   steps straight to the reduced-work rung.
+/// * [`UpdateStrategy::LowComplexity`] is the last rung: it changes the
+///   trajectory (documented reduced-work numerics), which is exactly the
+///   trade a deadline-pressed job accepts instead of being shed.
+pub fn cheaper_strategy(s: UpdateStrategy) -> Option<UpdateStrategy> {
+    match s {
+        UpdateStrategy::ForLoop => Some(UpdateStrategy::GlobalMem),
+        UpdateStrategy::GlobalMem => Some(UpdateStrategy::SharedMem),
+        UpdateStrategy::SharedMem | UpdateStrategy::TensorCore => {
+            Some(UpdateStrategy::LowComplexity)
+        }
+        UpdateStrategy::LowComplexity => None,
+    }
+}
+
 /// What the executor runs against: one device or a group.
 #[derive(Clone, Copy)]
 pub(crate) enum ExecTarget<'a> {
@@ -638,9 +667,17 @@ impl<'a> PlanRun<'a> {
                     let dev = self.device(homes[s])?;
                     self.enter(dev, node, &events);
                     let shard = &mut shards[s];
+                    // The weight *shape* follows the current strategy: the
+                    // low-complexity rung draws one scalar per row. The
+                    // degradation chain never crosses into or out of that
+                    // rung (see `resilience::fallback_strategy`), so the
+                    // shape can never disagree with the consuming update.
+                    let stg = *strategy;
                     match self.resilience {
-                        Some(res) => retry_op(dev, &res.retry, || gen_weights(dev, shard, cfg, t))?,
-                        None => gen_weights(dev, shard, cfg, t)?,
+                        Some(res) => {
+                            retry_op(dev, &res.retry, || gen_weights(dev, shard, cfg, t, stg))?
+                        }
+                        None => gen_weights(dev, shard, cfg, t, stg)?,
                     }
                     self.record(dev, idx, &needs_event, &mut events);
                 }

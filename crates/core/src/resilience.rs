@@ -181,6 +181,10 @@ pub fn fallback_strategy(s: UpdateStrategy) -> Option<UpdateStrategy> {
         UpdateStrategy::SharedMem => Some(UpdateStrategy::GlobalMem),
         UpdateStrategy::GlobalMem => Some(UpdateStrategy::ForLoop),
         UpdateStrategy::ForLoop => None,
+        // The reduced-work rung never degrades: switching numerics mid-run
+        // would silently change a trajectory the caller opted into. Faults
+        // that exhaust its retries fail the run instead.
+        UpdateStrategy::LowComplexity => None,
     }
 }
 

@@ -24,6 +24,18 @@
 //! * **deadlines & shedding** — jobs that miss their deadline are shed at
 //!   the next tick, lowest priority first under overload; per-job
 //!   [`Service::cancel`] frees the device lease immediately;
+//! * **predictive admission** — with
+//!   [`ServeConfig::predictive_admission`] on, a calibrated
+//!   [`perf_model::CostPredictor`] prices every deadline job at submit
+//!   time; a job that cannot finish in the device-seconds left before its
+//!   deadline is first downgraded along the
+//!   [`crate::plan::cheaper_strategy`] ladder and, if no rung fits,
+//!   rejected up front with [`ServeError::Infeasible`] — the caller learns
+//!   immediately instead of watching the job shed later, and accepted
+//!   deadlines stay feasible because every accepted job reserves its
+//!   predicted cost ([`Service::admission_plan`] exposes the dry-run
+//!   decision; every completion feeds the predictor one calibration
+//!   observation);
 //! * **tenant accounting** — every terminal job emits a
 //!   [`perf_model::JobRecord`]; [`Service::tenant_rollups`] reduces them
 //!   to per-tenant p50/p95 latency, shed counts and device-seconds.
@@ -293,6 +305,91 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, ServeError::QueueFull { .. }));
         svc.run_until_idle();
+    }
+
+    #[test]
+    fn predictive_admission_rejects_infeasible_deadlines_up_front() {
+        let mut svc = Service::new(
+            DeviceGroup::v100s(1),
+            ServeConfig {
+                predictive_admission: true,
+                ..ServeConfig::default()
+            },
+        );
+        // A deadline far tighter than any strategy's predicted cost: the
+        // downgrade ladder bottoms out and the submit itself fails.
+        let err = svc
+            .submit(OptimizeRequest::new("t", Arc::new(Sphere), small(1)).deadline_s(1e-12))
+            .unwrap_err();
+        match err {
+            ServeError::Infeasible {
+                predicted_s,
+                budget_s,
+            } => {
+                assert!(predicted_s > budget_s);
+                assert!(!err.is_retryable());
+            }
+            other => panic!("expected Infeasible, got {other:?}"),
+        }
+        assert_eq!(svc.rejected_infeasible(), 1);
+        assert_eq!(
+            svc.journal().events().len(),
+            0,
+            "rejected submissions are never journaled"
+        );
+        // A generous deadline admits without downgrading and completes.
+        let id = svc
+            .submit(OptimizeRequest::new("t", Arc::new(Sphere), small(2)).deadline_s(1e3))
+            .unwrap();
+        svc.run_until_idle();
+        assert_eq!(svc.status(id).unwrap(), JobStatus::Completed);
+        assert_eq!(svc.admission_downgrades(), 0);
+        assert!(svc.goodput_s() > 0.0, "met deadline counts as goodput");
+        assert_eq!(
+            svc.predictor().observations("global"),
+            1,
+            "completion fed the calibration loop"
+        );
+    }
+
+    #[test]
+    fn predictive_admission_downgrades_to_a_strategy_that_fits() {
+        use crate::gpu::UpdateStrategy;
+        let mut svc = Service::new(
+            DeviceGroup::v100s(1),
+            ServeConfig {
+                predictive_admission: true,
+                ..ServeConfig::default()
+            },
+        );
+        // The job must be big enough that the latency-bound for-loop rung
+        // actually prices above the element-wise ones (tiny jobs are all
+        // launch overhead and no rung is cheaper).
+        let big = PsoConfig::builder(4096, 64)
+            .max_iter(20)
+            .seed(3)
+            .build()
+            .unwrap();
+        let mk = || OptimizeRequest::new("t", Arc::new(Sphere), big.clone());
+        // Calibrate the for-loop rung with one deadline-free completion,
+        // then pick a deadline just under its calibrated prediction: the
+        // ladder must move, and the cheaper rung genuinely finishes in time.
+        svc.submit(mk().strategy(UpdateStrategy::ForLoop)).unwrap();
+        svc.run_until_idle();
+        assert_eq!(svc.predictor().observations("forloop"), 1);
+        let (_, expensive) = svc
+            .admission_plan(&mk().strategy(UpdateStrategy::ForLoop).deadline_s(1e3))
+            .unwrap();
+        let req = mk()
+            .strategy(UpdateStrategy::ForLoop)
+            .deadline_s(expensive * 0.95);
+        let (chosen, predicted) = svc.admission_plan(&req).unwrap();
+        assert_ne!(chosen, UpdateStrategy::ForLoop, "ladder must downgrade");
+        assert!(predicted < expensive);
+        let id = svc.submit(req).unwrap();
+        assert_eq!(svc.admission_downgrades(), 1);
+        svc.run_until_idle();
+        assert_eq!(svc.status(id).unwrap(), JobStatus::Completed);
     }
 
     #[test]

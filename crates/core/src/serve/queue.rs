@@ -109,6 +109,12 @@ impl<T> AdmissionQueue<T> {
         self.entries.iter().find(|e| e.id == id)
     }
 
+    /// Iterate every queued entry in storage order (used by the admission
+    /// controller's backlog sweep; ordering does not matter to callers).
+    pub fn iter(&self) -> impl Iterator<Item = &QueueEntry<T>> {
+        self.entries.iter()
+    }
+
     /// Remove the entry with `id`, if present.
     pub fn remove(&mut self, id: JobId) -> Option<QueueEntry<T>> {
         let i = self.entries.iter().position(|e| e.id == id)?;

@@ -165,6 +165,20 @@ pub enum ServeError {
     /// devices). **Permanent** — resubmitting the same request can never
     /// succeed.
     InvalidRequest(String),
+    /// Predictive admission rejected the job up front: even after walking
+    /// the strategy downgrade ladder to its cheapest rung, the job's
+    /// predicted device-seconds exceed the capacity left before its
+    /// deadline. Nothing was enqueued or journaled. **Permanent** for this
+    /// request against the current backlog — unlike a deadline *shed*, the
+    /// caller finds out at submit time, before any device time is spent.
+    Infeasible {
+        /// Predicted device-seconds of the cheapest strategy tried,
+        /// including the configured admission headroom.
+        predicted_s: f64,
+        /// Device-seconds actually available before the deadline, after
+        /// subtracting the reserved backlog of already-accepted jobs.
+        budget_s: f64,
+    },
     /// The job ended without a result (shed, cancelled or failed);
     /// the payload is its terminal status. **Permanent.**
     NoResult(JobStatus),
@@ -192,6 +206,14 @@ impl fmt::Display for ServeError {
             ServeError::QueueFull { capacity } => {
                 write!(f, "admission queue full (capacity {capacity}); retryable")
             }
+            ServeError::Infeasible {
+                predicted_s,
+                budget_s,
+            } => write!(
+                f,
+                "infeasible: predicted {predicted_s:.6} device-seconds, but only \
+                 {budget_s:.6} remain before the deadline"
+            ),
             ServeError::UnknownJob(id) => write!(f, "unknown {id}"),
             ServeError::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
             ServeError::NoResult(st) => write!(f, "job produced no result (status {st:?})"),

@@ -6,12 +6,15 @@ use super::queue::{AdmissionQueue, QueueEntry};
 use super::request::{JobId, JobStatus, OptimizeRequest, Priority, ServeError};
 use crate::config::PsoConfig;
 use crate::error::PsoError;
-use crate::plan::{BestReduce, ExecState, ExecTarget, ExecutionPlan, PlanRun, SuspendedJob};
+use crate::gpu::UpdateStrategy;
+use crate::plan::{
+    cheaper_strategy, BestReduce, ExecState, ExecTarget, ExecutionPlan, PlanRun, SuspendedJob,
+};
 use crate::result::RunResult;
 use crate::topology::Topology;
 use gpu_sim::lease::{Lease, LeasePool};
 use gpu_sim::{DeviceGroup, FleetHealth, HealthPolicy, Phase};
-use perf_model::{JobOutcome, JobRecord, TenantSummary};
+use perf_model::{CostPredictor, JobOutcome, JobRecord, JobShape, TenantSummary};
 use std::collections::BTreeMap;
 
 /// Scheduler knobs. The defaults favour strict backpressure: a full queue
@@ -48,6 +51,18 @@ pub struct ServeConfig {
     /// Circuit-breaker thresholds for the fleet-health tracker that lease
     /// placement consults (see [`FleetHealth`]).
     pub health: HealthPolicy,
+    /// Reject deadline jobs at submit time when the cost predictor says
+    /// they cannot finish in the device-seconds left before their deadline
+    /// ([`ServeError::Infeasible`]), after first trying to downgrade the
+    /// request to a cheaper update strategy that still fits
+    /// ([`crate::plan::cheaper_strategy`]). Off by default: the blind
+    /// scheduler accepts everything and sheds at the deadline instead.
+    pub predictive_admission: bool,
+    /// Multiplier applied to predictions when checking feasibility and
+    /// reserving capacity (`1.0` = trust the calibrated predictor exactly;
+    /// larger values admit more conservatively). Only read when
+    /// [`ServeConfig::predictive_admission`] is on.
+    pub admission_headroom: f64,
 }
 
 impl Default for ServeConfig {
@@ -61,6 +76,8 @@ impl Default for ServeConfig {
             shed_on_overload: false,
             checkpoint_slices: 1,
             health: HealthPolicy::default(),
+            predictive_admission: false,
+            admission_headroom: 1.0,
         }
     }
 }
@@ -84,6 +101,10 @@ struct Pending {
     iterations: usize,
     rehomes: u64,
     recovery_s: f64,
+    /// Device-seconds the predictor quoted at admission (0 when predictive
+    /// admission is off). The reservation a queued job holds against the
+    /// admission budget is `predicted_s·headroom − device_seconds`.
+    predicted_s: f64,
 }
 
 /// A job holding a lease and being stepped.
@@ -108,6 +129,7 @@ struct Running {
     device_seconds: f64,
     rehomes: u64,
     recovery_s: f64,
+    predicted_s: f64,
 }
 
 /// A finished job: terminal status plus the result when it completed.
@@ -131,6 +153,10 @@ pub struct Service {
     finished: BTreeMap<JobId, Finished>,
     records: Vec<JobRecord>,
     next_id: u64,
+    predictor: CostPredictor,
+    goodput_s: f64,
+    rejected_infeasible: u64,
+    admission_downgrades: u64,
 }
 
 impl Service {
@@ -139,10 +165,15 @@ impl Service {
     pub fn new(group: DeviceGroup, cfg: ServeConfig) -> Self {
         assert!(!group.is_empty(), "a service needs at least one device");
         assert!(cfg.slice_iters > 0, "slice_iters must be positive");
+        assert!(
+            cfg.admission_headroom.is_finite() && cfg.admission_headroom > 0.0,
+            "admission_headroom must be positive and finite"
+        );
         let health = FleetHealth::new(group.len(), cfg.health);
         let mut pool = LeasePool::new(&group, cfg.slots_per_device);
         pool.set_health(health.clone());
         let queue = AdmissionQueue::new(cfg.queue_capacity);
+        let predictor = CostPredictor::new(group.device(0).expect("non-empty group").profile());
         Service {
             group,
             pool,
@@ -154,6 +185,10 @@ impl Service {
             finished: BTreeMap::new(),
             records: Vec::new(),
             next_id: 0,
+            predictor,
+            goodput_s: 0.0,
+            rejected_infeasible: 0,
+            admission_downgrades: 0,
         }
     }
 
@@ -279,9 +314,26 @@ impl Service {
     /// Validate and enqueue a request. Returns the job's id, or
     /// [`ServeError::QueueFull`] under backpressure (the request is not
     /// retained), or [`ServeError::InvalidRequest`] if the job could never
-    /// run on this group.
+    /// run on this group, or — with [`ServeConfig::predictive_admission`]
+    /// on — [`ServeError::Infeasible`] if the cost predictor says the job
+    /// cannot finish before its deadline even after downgrading to the
+    /// cheapest update strategy. An admitted deadline job may run with a
+    /// cheaper strategy than requested (see [`Service::admission_plan`]);
+    /// rejected submissions are never journaled and consume no job id.
     pub fn submit(&mut self, req: OptimizeRequest) -> Result<JobId, ServeError> {
         self.validate(&req)?;
+        let (strategy, predicted_s) = match self.admission_plan(&req) {
+            Ok(plan) => plan,
+            Err(e) => {
+                self.rejected_infeasible += 1;
+                return Err(e);
+            }
+        };
+        let mut req = req;
+        if strategy != req.strategy {
+            self.admission_downgrades += 1;
+            req.strategy = strategy;
+        }
         let id = JobId(self.next_id);
         let now = self.now();
         let priority = req.priority;
@@ -296,6 +348,7 @@ impl Service {
             iterations: 0,
             rehomes: 0,
             recovery_s: 0.0,
+            predicted_s,
             work: Work::Fresh,
             req,
         };
@@ -384,6 +437,76 @@ impl Service {
         self.group.merged_profiler()
     }
 
+    /// The admission decision [`Service::submit`] would make for `req`
+    /// right now, without mutating anything: the update strategy the job
+    /// would run with (possibly downgraded along
+    /// [`crate::plan::cheaper_strategy`]) and its predicted device-seconds
+    /// at that strategy, or [`ServeError::Infeasible`] if no rung fits.
+    ///
+    /// With [`ServeConfig::predictive_admission`] off, or for a request
+    /// without a deadline, this never rejects or downgrades — it returns
+    /// the requested strategy and its prediction.
+    pub fn admission_plan(
+        &self,
+        req: &OptimizeRequest,
+    ) -> Result<(UpdateStrategy, f64), ServeError> {
+        if !self.cfg.predictive_admission {
+            return Ok((req.strategy, 0.0));
+        }
+        let predicted = self.predict_request(req, req.strategy);
+        let Some(deadline) = req.deadline_s else {
+            // No deadline: always admissible, but the job still reserves
+            // its predicted cost so deadline jobs behind it see the load.
+            return Ok((req.strategy, predicted));
+        };
+        let h = self.cfg.admission_headroom;
+        let budget = self.healthy_devices() as f64 * deadline;
+        let available = (budget - self.reserved_backlog_s()).max(0.0);
+        let mut strategy = req.strategy;
+        let mut predicted = predicted;
+        loop {
+            if predicted * h <= available {
+                return Ok((strategy, predicted));
+            }
+            match cheaper_strategy(strategy) {
+                Some(next) => {
+                    strategy = next;
+                    predicted = self.predict_request(req, strategy);
+                }
+                None => {
+                    return Err(ServeError::Infeasible {
+                        predicted_s: predicted * h,
+                        budget_s: available,
+                    })
+                }
+            }
+        }
+    }
+
+    /// Total device-seconds of completed jobs that met their deadline (a
+    /// job without a deadline always counts) — the overload benchmark's
+    /// goodput metric. Shed, failed and cancelled work contributes nothing.
+    pub fn goodput_s(&self) -> f64 {
+        self.goodput_s
+    }
+
+    /// Submissions rejected up front with [`ServeError::Infeasible`].
+    pub fn rejected_infeasible(&self) -> u64 {
+        self.rejected_infeasible
+    }
+
+    /// Admitted deadline jobs that were downgraded to a cheaper update
+    /// strategy to fit their deadline.
+    pub fn admission_downgrades(&self) -> u64 {
+        self.admission_downgrades
+    }
+
+    /// The cost predictor, calibrated so far from this service's completed
+    /// jobs (one observation per completion).
+    pub fn predictor(&self) -> &CostPredictor {
+        &self.predictor
+    }
+
     /// One scheduler round: refresh fleet health, shed expired jobs,
     /// re-home jobs stranded on lost devices, admit from the queue
     /// (preempting if allowed and necessary), then advance every running
@@ -444,6 +567,55 @@ impl Service {
 
     fn will_shard(&self, cfg: &PsoConfig) -> bool {
         self.pool.n_devices() > 1 && cfg.n_particles >= self.cfg.shard_threshold_particles
+    }
+
+    /// The predictor's view of `req` run with `strategy`: full iteration
+    /// budget, sharded the way admission would shard it.
+    fn shape_of(&self, req: &OptimizeRequest, strategy: UpdateStrategy) -> JobShape {
+        let shards = if self.will_shard(&req.cfg) {
+            self.pool.n_devices()
+        } else {
+            1
+        };
+        JobShape {
+            particles: req.cfg.n_particles as u64,
+            dim: req.cfg.dim as u64,
+            iterations: req.cfg.max_iter as u64,
+            shards: shards as u64,
+            flops_per_dim: req.objective.flops_per_dim(),
+            strategy: strategy.to_string(),
+        }
+    }
+
+    fn predict_request(&self, req: &OptimizeRequest, strategy: UpdateStrategy) -> f64 {
+        self.predictor.predict_s(&self.shape_of(req, strategy))
+    }
+
+    /// Devices the budget can draw on: every device of the group that has
+    /// not been permanently lost.
+    fn healthy_devices(&self) -> usize {
+        (0..self.group.len())
+            .filter(|&d| !self.device_lost(d))
+            .count()
+    }
+
+    /// Device-seconds already promised to accepted-but-unfinished jobs:
+    /// each queued or running job reserves its remaining predicted cost
+    /// (`predicted·headroom − consumed`, floored at zero).
+    fn reserved_backlog_s(&self) -> f64 {
+        let h = self.cfg.admission_headroom;
+        let remaining = |predicted: f64, consumed: f64| (predicted * h - consumed).max(0.0);
+        let queued: f64 = self
+            .queue
+            .iter()
+            .map(|e| remaining(e.payload.predicted_s, e.payload.device_seconds))
+            .sum();
+        let running: f64 = self
+            .running
+            .iter()
+            .map(|j| remaining(j.predicted_s, j.device_seconds))
+            .sum();
+        queued + running
     }
 
     /// Total modeled seconds charged across all devices — deltas of this
@@ -530,6 +702,7 @@ impl Service {
             device_seconds,
             rehomes,
             recovery_s,
+            predicted_s,
             ..
         } = job;
         drop(state); // buffers freed — the lost device's are gone anyway
@@ -560,6 +733,7 @@ impl Service {
                 iterations,
                 rehomes: rehomes + 1,
                 recovery_s,
+                predicted_s,
             },
         });
     }
@@ -728,6 +902,7 @@ impl Service {
             device_seconds,
             rehomes: pend.rehomes,
             recovery_s,
+            predicted_s: pend.predicted_s,
         });
         self.running.sort_by_key(|j| j.id);
     }
@@ -791,6 +966,7 @@ impl Service {
             state,
             submitted_s,
             started_s,
+            deadline_abs,
             queue_depth_at_submit,
             device_seconds,
             rehomes,
@@ -798,6 +974,17 @@ impl Service {
             ..
         } = job;
         let iterations = state.iterations_run();
+        // Close the calibration loop: every completion is one observation
+        // of (shape → device-seconds) at the iterations actually run.
+        if iterations > 0 && device_seconds > 0.0 {
+            let mut shape = self.shape_of(&req, req.strategy);
+            shape.iterations = iterations as u64;
+            shape.shards = partitions.len() as u64;
+            self.predictor.observe(&shape, device_seconds);
+        }
+        if deadline_abs.is_none_or(|d| now <= d) {
+            self.goodput_s += device_seconds;
+        }
         let result = {
             let target = target_of(&view, sharded);
             let run = PlanRun {
@@ -1019,6 +1206,7 @@ fn suspend_to_entry(job: Running) -> (QueueEntry<Pending>, Lease) {
         device_seconds,
         rehomes,
         recovery_s,
+        predicted_s,
         ..
     } = job;
     let iterations = state.iterations_run();
@@ -1050,6 +1238,7 @@ fn suspend_to_entry(job: Running) -> (QueueEntry<Pending>, Lease) {
             iterations,
             rehomes,
             recovery_s,
+            predicted_s,
         },
     };
     (entry, lease)

@@ -1,0 +1,383 @@
+//! Submit-time job cost prediction with observed-record calibration.
+//!
+//! The serving layer admits jobs *before* running them, so deadline-aware
+//! admission needs an estimate of each job's device-seconds from nothing
+//! but its configuration: swarm size `n·d`, iteration count, shard count,
+//! objective cost and update strategy. [`CostPredictor`] produces that
+//! estimate in two layers:
+//!
+//! 1. **Analytic base** ([`CostPredictor::base_s`]) — the per-iteration
+//!    kernel schedule of one FastPSO iteration (eval → pbest → reduce →
+//!    gen-weights → velocity → position), priced launch-by-launch through
+//!    the same roofline model ([`crate::gpu_kernel_time`]) the simulator
+//!    charges with. The base is pure arithmetic over the [`GpuProfile`],
+//!    so it is exactly reproducible and already strategy-aware: the
+//!    for-loop rung prices latency-bound, the tiled rungs price their
+//!    staged traffic, the low-complexity rung prices `d`-fold fewer RNG
+//!    draws.
+//! 2. **Calibration** ([`CostPredictor::observe`]) — the base deliberately
+//!    omits scheduler-dependent costs (checkpoint captures, slice
+//!    re-dispatch, reduction adoption traffic), so observed
+//!    [`JobRecord`](crate::JobRecord)s close the loop: each completed job
+//!    contributes the ratio `observed / base` and the predictor applies the
+//!    per-strategy mean ratio as a multiplicative coefficient. With zero
+//!    observations the coefficient is 1.0 and the prediction is the raw
+//!    base.
+//!
+//! Strategies are keyed by their canonical short name (the `Display` form
+//! of `fastpso`'s `UpdateStrategy`: `global`, `smem`, `tensor`, `forloop`,
+//! `lowcomp`) so this crate stays independent of the core crate.
+//!
+//! ```
+//! use perf_model::{CostPredictor, JobShape};
+//!
+//! let mut p = CostPredictor::v100();
+//! let shape = JobShape::new(1000, 50, 300, "global");
+//! let base = p.predict_s(&shape);
+//! assert!(base > 0.0);
+//! // One observation calibrates the strategy's coefficient exactly.
+//! p.observe(&shape, base * 1.5);
+//! assert!((p.predict_s(&shape) - base * 1.5).abs() < 1e-12);
+//! ```
+
+use crate::model::{gpu_kernel_time, GpuKernelWork};
+use crate::profile::GpuProfile;
+use std::collections::BTreeMap;
+
+/// Modeled FP cost of one counter-based RNG draw (Philox), matching the
+/// constant the kernels charge with.
+const RNG_FLOPS_PER_DRAW: u64 = 15;
+/// Flops per velocity-update element (Equation 1 + clamp).
+const VELOCITY_FLOPS_PER_ELEM: u64 = 10;
+/// Flops per position-update element (Equation 2).
+const POSITION_FLOPS_PER_ELEM: u64 = 2;
+/// Flops per low-complexity velocity-update element.
+const LOWC_VELOCITY_FLOPS_PER_ELEM: u64 = 8;
+
+/// The admission-relevant shape of one optimization job: everything the
+/// predictor reads at submit time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobShape {
+    /// Swarm size `n`.
+    pub particles: u64,
+    /// Dimensionality `d`.
+    pub dim: u64,
+    /// Iterations the job will run (its `max_iter` budget at submit time,
+    /// or the iterations actually run when calibrating from a record).
+    pub iterations: u64,
+    /// Devices the job's shards span (1 = packed onto one device).
+    pub shards: u64,
+    /// Objective FP cost per dimension per evaluation.
+    pub flops_per_dim: u64,
+    /// Canonical update-strategy name (`global`, `smem`, `tensor`,
+    /// `forloop`, `lowcomp`).
+    pub strategy: String,
+}
+
+impl JobShape {
+    /// A single-shard shape with a sphere-like (1 flop/dim) objective.
+    pub fn new(particles: u64, dim: u64, iterations: u64, strategy: &str) -> JobShape {
+        JobShape {
+            particles,
+            dim,
+            iterations,
+            shards: 1,
+            flops_per_dim: 1,
+            strategy: strategy.to_string(),
+        }
+    }
+
+    /// Set the shard count.
+    pub fn shards(mut self, k: u64) -> JobShape {
+        self.shards = k.max(1);
+        self
+    }
+
+    /// Set the objective's per-dimension FP cost.
+    pub fn flops_per_dim(mut self, f: u64) -> JobShape {
+        self.flops_per_dim = f;
+        self
+    }
+}
+
+/// Per-strategy calibration state: the running sum of observed/base ratios.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+struct Calibration {
+    sum_ratio: f64,
+    count: u64,
+}
+
+impl Calibration {
+    fn coefficient(&self) -> f64 {
+        if self.count == 0 {
+            1.0
+        } else {
+            self.sum_ratio / self.count as f64
+        }
+    }
+}
+
+/// Predicts a job's device-seconds from its [`JobShape`], refining itself
+/// from observed records. See the [module docs](self) for the model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostPredictor {
+    gpu: GpuProfile,
+    calib: BTreeMap<String, Calibration>,
+}
+
+impl CostPredictor {
+    /// A predictor over an explicit device profile.
+    pub fn new(gpu: GpuProfile) -> CostPredictor {
+        CostPredictor {
+            gpu,
+            calib: BTreeMap::new(),
+        }
+    }
+
+    /// A predictor for the paper's Tesla V100 profile — the device
+    /// `gpu_sim` models, so this is the right profile for `fastpso::serve`.
+    pub fn v100() -> CostPredictor {
+        CostPredictor::new(GpuProfile::tesla_v100())
+    }
+
+    /// The analytic per-job base estimate in device-seconds: the modeled
+    /// time of one iteration's kernel schedule times the iteration count,
+    /// summed over shards. Deterministic arithmetic; no calibration applied.
+    pub fn base_s(&self, shape: &JobShape) -> f64 {
+        let k = shape.shards.max(1);
+        let d = shape.dim.max(1);
+        let mut total = 0.0;
+        // Row-partition like the scheduler: leading shards take the extra.
+        let base_rows = shape.particles / k;
+        let extra = shape.particles % k;
+        for i in 0..k {
+            let rows = base_rows + u64::from(i < extra);
+            if rows == 0 {
+                continue;
+            }
+            total += self.iteration_s(rows, d, shape.flops_per_dim, &shape.strategy);
+        }
+        total * shape.iterations as f64
+    }
+
+    /// Modeled seconds of one iteration over one `rows × d` shard.
+    fn iteration_s(&self, rows: u64, d: u64, flops_per_dim: u64, strategy: &str) -> f64 {
+        let gpu = &self.gpu;
+        let elems = rows * d;
+        let mut t = 0.0;
+        // Step (ii): evaluate — one thread per particle.
+        t += gpu_kernel_time(
+            gpu,
+            &GpuKernelWork {
+                threads: rows,
+                ..GpuKernelWork::elementwise(rows, d * flops_per_dim * rows, d * 4 * rows, 4 * rows)
+            },
+        );
+        // Step (iii): pbest compare + argmin reduction (launch-dominated at
+        // serving sizes; adoption traffic is absorbed by calibration).
+        t += gpu_kernel_time(
+            gpu,
+            &GpuKernelWork {
+                threads: rows,
+                ..GpuKernelWork::elementwise(rows, rows, 12 * rows, 4 * rows)
+            },
+        );
+        t += gpu_kernel_time(
+            gpu,
+            &GpuKernelWork {
+                threads: rows,
+                ..GpuKernelWork::elementwise(rows, rows, 4 * rows, 4)
+            },
+        );
+        // Per-iteration weight generation: two launches, `rows·d` draws
+        // each — except the low-complexity rung, which draws per row.
+        let draws = if strategy == "lowcomp" { rows } else { elems };
+        for _ in 0..2 {
+            t += gpu_kernel_time(
+                gpu,
+                &GpuKernelWork::elementwise(draws, RNG_FLOPS_PER_DRAW * draws, 0, 4 * draws),
+            );
+        }
+        // Step (iv): velocity + position, strategy-dependent.
+        t += match strategy {
+            "forloop" => gpu_kernel_time(
+                gpu,
+                &GpuKernelWork {
+                    threads: rows,
+                    ..GpuKernelWork::elementwise(
+                        rows,
+                        VELOCITY_FLOPS_PER_ELEM * elems,
+                        24 * elems,
+                        4 * elems,
+                    )
+                },
+            ),
+            "smem" => {
+                let mut w = GpuKernelWork::elementwise(
+                    elems,
+                    VELOCITY_FLOPS_PER_ELEM * elems,
+                    16 * elems,
+                    4 * elems,
+                );
+                w.shared_bytes = 8 * elems;
+                gpu_kernel_time(gpu, &w)
+            }
+            "tensor" => {
+                let mut w = GpuKernelWork::elementwise(elems, 0, 12 * elems, 4 * elems);
+                w.tensor_flops = VELOCITY_FLOPS_PER_ELEM * elems;
+                gpu_kernel_time(gpu, &w)
+            }
+            "lowcomp" => gpu_kernel_time(
+                gpu,
+                &GpuKernelWork::elementwise(
+                    elems,
+                    LOWC_VELOCITY_FLOPS_PER_ELEM * elems,
+                    16 * elems,
+                    4 * elems,
+                ),
+            ),
+            // "global" and anything unknown price as the plain
+            // element-wise path.
+            _ => gpu_kernel_time(
+                gpu,
+                &GpuKernelWork::elementwise(
+                    elems,
+                    VELOCITY_FLOPS_PER_ELEM * elems,
+                    24 * elems,
+                    4 * elems,
+                ),
+            ),
+        };
+        let pos_threads = if strategy == "forloop" { rows } else { elems };
+        t += gpu_kernel_time(
+            gpu,
+            &GpuKernelWork {
+                threads: pos_threads,
+                ..GpuKernelWork::elementwise(
+                    pos_threads,
+                    POSITION_FLOPS_PER_ELEM * elems,
+                    8 * elems,
+                    4 * elems,
+                )
+            },
+        );
+        t
+    }
+
+    /// The calibrated multiplier currently applied to `strategy`'s base
+    /// estimates (1.0 with no observations).
+    pub fn coefficient(&self, strategy: &str) -> f64 {
+        self.calib
+            .get(strategy)
+            .map(Calibration::coefficient)
+            .unwrap_or(1.0)
+    }
+
+    /// Observations accumulated for `strategy`.
+    pub fn observations(&self, strategy: &str) -> u64 {
+        self.calib.get(strategy).map(|c| c.count).unwrap_or(0)
+    }
+
+    /// The calibrated estimate: analytic base times the strategy's mean
+    /// observed/base ratio.
+    pub fn predict_s(&self, shape: &JobShape) -> f64 {
+        self.base_s(shape) * self.coefficient(&shape.strategy)
+    }
+
+    /// Feed one observed completion back into the calibration: `observed_s`
+    /// device-seconds for a job of `shape`. Non-finite or non-positive
+    /// observations (a job that ran zero iterations) are ignored.
+    pub fn observe(&mut self, shape: &JobShape, observed_s: f64) {
+        let base = self.base_s(shape);
+        if !(observed_s.is_finite() && observed_s > 0.0 && base > 0.0) {
+            return;
+        }
+        let c = self.calib.entry(shape.strategy.clone()).or_default();
+        c.sum_ratio += observed_s / base;
+        c.count += 1;
+    }
+
+    /// Relative prediction error against an observation:
+    /// `|predicted - observed| / observed`.
+    pub fn relative_error(&self, shape: &JobShape, observed_s: f64) -> f64 {
+        (self.predict_s(shape) - observed_s).abs() / observed_s.abs().max(f64::MIN_POSITIVE)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_scales_with_work() {
+        let p = CostPredictor::v100();
+        let small = p.base_s(&JobShape::new(1000, 50, 100, "global"));
+        let more_iters = p.base_s(&JobShape::new(1000, 50, 200, "global"));
+        let bigger = p.base_s(&JobShape::new(4000, 50, 100, "global"));
+        assert!((more_iters / small - 2.0).abs() < 1e-9, "linear in iters");
+        assert!(bigger > small, "more particles cost more");
+    }
+
+    #[test]
+    fn strategy_ordering_matches_the_modeled_kernels() {
+        let p = CostPredictor::v100();
+        let s = |name: &str| p.base_s(&JobShape::new(5000, 100, 100, name));
+        assert!(
+            s("forloop") > s("global"),
+            "latency-bound for-loop must price slowest"
+        );
+        assert!(
+            s("lowcomp") < s("global"),
+            "reduced-work rung must price cheapest: {} vs {}",
+            s("lowcomp"),
+            s("global")
+        );
+        assert!(s("smem") < s("global"), "tiling saves broadcast traffic");
+    }
+
+    #[test]
+    fn sharding_splits_rows() {
+        let p = CostPredictor::v100();
+        let one = p.base_s(&JobShape::new(10000, 50, 100, "global"));
+        let four = p.base_s(&JobShape::new(10000, 50, 100, "global").shards(4));
+        // Four shards pay 4x the launch overhead but each covers a quarter
+        // of the rows; the total stays within a small factor of the
+        // single-shard schedule.
+        assert!(four > one * 0.5 && four < one * 4.0);
+    }
+
+    #[test]
+    fn calibration_is_the_mean_ratio_per_strategy() {
+        let mut p = CostPredictor::v100();
+        let a = JobShape::new(1000, 50, 100, "global");
+        let b = JobShape::new(2000, 20, 300, "global");
+        let base_a = p.base_s(&a);
+        let base_b = p.base_s(&b);
+        p.observe(&a, base_a * 2.0);
+        p.observe(&b, base_b * 4.0);
+        assert_eq!(p.observations("global"), 2);
+        assert!((p.coefficient("global") - 3.0).abs() < 1e-12);
+        // Other strategies stay uncalibrated.
+        assert_eq!(p.coefficient("lowcomp"), 1.0);
+        assert_eq!(p.observations("lowcomp"), 0);
+    }
+
+    #[test]
+    fn degenerate_observations_are_ignored() {
+        let mut p = CostPredictor::v100();
+        let shape = JobShape::new(100, 10, 10, "global");
+        p.observe(&shape, 0.0);
+        p.observe(&shape, f64::NAN);
+        p.observe(&shape, -1.0);
+        assert_eq!(p.observations("global"), 0);
+        assert_eq!(p.coefficient("global"), 1.0);
+    }
+
+    #[test]
+    fn relative_error_is_zero_after_single_shape_calibration() {
+        let mut p = CostPredictor::v100();
+        let shape = JobShape::new(500, 30, 200, "smem");
+        p.observe(&shape, 0.123);
+        assert!(p.relative_error(&shape, 0.123) < 1e-12);
+    }
+}

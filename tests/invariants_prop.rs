@@ -201,7 +201,7 @@ proptest! {
     /// casing. The accepted alias table lives in the `FromStr` rustdoc.
     #[test]
     fn update_strategy_display_fromstr_round_trips(
-        idx in 0usize..4,
+        idx in 0usize..5,
         alias_idx in 0usize..4,
         caps in prop::collection::vec(any::<bool>(), 12..13),
     ) {
@@ -214,6 +214,7 @@ proptest! {
             UpdateStrategy::SharedMem => &["smem", "shared", "sharedmem", "shared-mem"],
             UpdateStrategy::TensorCore => &["tensor", "tensorcore", "tensor-core", "wmma"],
             UpdateStrategy::ForLoop => &["forloop", "for-loop", "naive"],
+            UpdateStrategy::LowComplexity => &["lowcomp", "lowcomplexity", "low-complexity"],
         };
         let alias = aliases[alias_idx % aliases.len()];
         // Parsing is case-insensitive: flip an arbitrary subset to uppercase.
@@ -244,6 +245,7 @@ proptest! {
             "smem", "shared", "sharedmem", "shared-mem",
             "tensor", "tensorcore", "tensor-core", "wmma",
             "forloop", "for-loop", "naive",
+            "lowcomp", "lowcomplexity", "low-complexity",
         ];
         prop_assume!(!known.contains(&s.as_str()));
         prop_assert!(s.parse::<UpdateStrategy>().is_err());

@@ -1,16 +1,23 @@
 //! Integration tests for the multi-tenant serving layer (`fastpso::serve`):
 //! replayed-trace determinism, strict admission backpressure, lease/memory
 //! hygiene on cancellation, device-loss re-homing (an exhaustive
-//! per-ordinal fault sweep) and crash-safe journal snapshot/restore.
+//! per-ordinal fault sweep), crash-safe journal snapshot/restore, and the
+//! predictive admission controller — a proptest over random
+//! submit/cancel/tick interleavings, a calibration regression against the
+//! pinned per-strategy tolerance table
+//! (`results/predictor_tolerance.golden.txt`, regenerate with
+//! `UPDATE_GOLDEN=1 cargo test --test serve`), and an overload goodput
+//! regression pinning predictive vs blind reject/shed/complete counts.
 
 use fastpso::resilience::ResilienceConfig;
 use fastpso::serve::{
     JobId, JobStatus, OptimizeRequest, Priority, ServeConfig, ServeError, ServeEvent, Service,
 };
-use fastpso::{CounterAsserts, PsoConfig, RunResult};
+use fastpso::{CounterAsserts, PsoConfig, RunResult, UpdateStrategy};
 use fastpso_functions::builtins::{Griewank, Rastrigin, Sphere};
 use fastpso_functions::Objective;
 use gpu_sim::{DeviceGroup, FaultPlan, HealthState};
+use proptest::prelude::*;
 use std::sync::Arc;
 
 fn cfg(n: usize, d: usize, iters: usize, seed: u64) -> PsoConfig {
@@ -541,4 +548,297 @@ fn cancellation_during_device_loss_releases_each_lease_exactly_once() {
     assert_eq!(svc.status(j).unwrap(), JobStatus::Cancelled);
     svc.run_until_idle();
     assert_eq!(svc.group().device(0).unwrap().bytes_in_use(), 0);
+}
+
+// ---- predictive admission ------------------------------------------------
+
+/// Path of the pinned per-strategy calibration tolerance table.
+const TOLERANCE_GOLDEN: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/results/predictor_tolerance.golden.txt"
+);
+
+/// The calibration regression's 32-job trace: heterogeneous shapes cycling
+/// through every update strategy.
+fn calib_job(i: u64) -> (PsoConfig, UpdateStrategy, Arc<dyn Objective>) {
+    let cfg = cfg(
+        32 + 32 * (i as usize % 3),
+        4 * (1 + (i as usize % 4)),
+        40 + 10 * (i as usize % 3),
+        3000 + i,
+    );
+    let strategy = UpdateStrategy::ALL[i as usize % UpdateStrategy::ALL.len()];
+    let obj: Arc<dyn Objective> = match i % 3 {
+        0 => Arc::new(Sphere),
+        1 => Arc::new(Rastrigin),
+        _ => Arc::new(Griewank),
+    };
+    (cfg, strategy, obj)
+}
+
+/// After replaying a 32-job trace, the calibrated predictor agrees with
+/// every observed job's device-seconds to within the per-strategy
+/// tolerance pinned in `results/predictor_tolerance.golden.txt`. The
+/// golden is the tolerance table itself: regenerating it
+/// (`UPDATE_GOLDEN=1`) re-derives each strategy's bound from the observed
+/// worst case, so any model drift shows up as a reviewable diff.
+#[test]
+fn calibrated_predictor_matches_observed_costs_within_pinned_tolerances() {
+    let mut svc = Service::new(
+        DeviceGroup::v100s(2),
+        ServeConfig {
+            slots_per_device: 2,
+            slice_iters: 10,
+            ..ServeConfig::default()
+        },
+    );
+    let mut jobs = Vec::new();
+    for i in 0..32u64 {
+        let (cfg, strategy, obj) = calib_job(i);
+        let id = svc
+            .submit(OptimizeRequest::new("calib", obj.clone(), cfg.clone()).strategy(strategy))
+            .unwrap();
+        jobs.push((id, cfg, strategy, obj));
+    }
+    svc.run_until_idle();
+
+    // Worst relative error per strategy, final calibrated predictor vs
+    // each job's observed device-seconds.
+    let mut max_err: std::collections::BTreeMap<String, f64> = Default::default();
+    for (id, cfg, strategy, obj) in &jobs {
+        let rec = svc
+            .records()
+            .iter()
+            .find(|r| r.job == id.0)
+            .expect("every job has a record");
+        assert_eq!(rec.outcome, perf_model::JobOutcome::Completed);
+        let shape = perf_model::JobShape {
+            particles: cfg.n_particles as u64,
+            dim: cfg.dim as u64,
+            iterations: rec.iterations as u64,
+            shards: 1,
+            flops_per_dim: obj.flops_per_dim(),
+            strategy: strategy.to_string(),
+        };
+        let err = svc.predictor().relative_error(&shape, rec.device_seconds);
+        let slot = max_err.entry(strategy.to_string()).or_insert(0.0);
+        *slot = slot.max(err);
+    }
+    for strategy in UpdateStrategy::ALL {
+        assert!(
+            svc.predictor().observations(&strategy.to_string()) > 0,
+            "{strategy} never calibrated"
+        );
+    }
+
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        let mut out = String::from("# strategy,tolerance (max observed relative error * 1.25)\n");
+        for (strategy, err) in &max_err {
+            out.push_str(&format!("{strategy},{:.4}\n", (err * 1.25).max(0.02)));
+        }
+        std::fs::write(TOLERANCE_GOLDEN, out).expect("write tolerance golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(TOLERANCE_GOLDEN).expect(
+        "tolerance golden missing; regenerate with UPDATE_GOLDEN=1 cargo test --test serve",
+    );
+    let mut pinned: std::collections::BTreeMap<&str, f64> = Default::default();
+    for line in golden
+        .lines()
+        .filter(|l| !l.starts_with('#') && !l.is_empty())
+    {
+        let (strategy, tol) = line.split_once(',').expect("strategy,tolerance");
+        pinned.insert(strategy, tol.parse().expect("tolerance is a float"));
+    }
+    for (strategy, err) in &max_err {
+        let tol = pinned
+            .get(strategy.as_str())
+            .unwrap_or_else(|| panic!("{strategy} missing from the tolerance golden"));
+        assert!(
+            err <= tol,
+            "{strategy}: calibrated prediction error {err:.4} exceeds the pinned \
+             tolerance {tol:.4} (if the cost model changed intentionally: \
+             UPDATE_GOLDEN=1 cargo test --test serve)"
+        );
+    }
+}
+
+/// The overload scenario of `serve_bench --overload`, shrunk and pinned:
+/// on the same deterministic trace, blind admission sheds mid-flight while
+/// predictive admission converts every shed into an up-front rejection and
+/// at least doubles deadline-met goodput.
+#[test]
+fn predictive_admission_beats_blind_shedding_on_the_pinned_overload_trace() {
+    let overload_run = |predictive: bool| {
+        let mut svc = Service::new(
+            DeviceGroup::v100s(2),
+            ServeConfig {
+                slots_per_device: 4,
+                slice_iters: 10,
+                predictive_admission: predictive,
+                admission_headroom: 1.2,
+                ..ServeConfig::default()
+            },
+        );
+        // Calibration warmup, then a burst of identical tight deadlines.
+        for i in 0..4u64 {
+            svc.submit(OptimizeRequest::new(
+                "warmup",
+                Arc::new(Sphere),
+                cfg(64, 8, 80, 4000 + i),
+            ))
+            .unwrap();
+        }
+        svc.run_until_idle();
+        let warm_goodput = svc.goodput_s();
+        let mut ids = Vec::new();
+        let mut rejected = 0u64;
+        for i in 0..12u64 {
+            let req = OptimizeRequest::new("burst", Arc::new(Sphere), cfg(64, 8, 80, 4100 + i))
+                .deadline_s(0.05);
+            match svc.submit(req) {
+                Ok(id) => ids.push(id),
+                Err(ServeError::Infeasible { .. }) => rejected += 1,
+                Err(e) => panic!("unexpected submit error: {e}"),
+            }
+        }
+        svc.run_until_idle();
+        let shed = ids
+            .iter()
+            .filter(|&&id| svc.status(id).unwrap() == JobStatus::Shed)
+            .count() as u64;
+        let completed = ids
+            .iter()
+            .filter(|&&id| svc.status(id).unwrap() == JobStatus::Completed)
+            .count() as u64;
+        (rejected, shed, completed, svc.goodput_s() - warm_goodput)
+    };
+
+    let (blind_rej, blind_shed, blind_done, blind_goodput) = overload_run(false);
+    let (pred_rej, pred_shed, pred_done, pred_goodput) = overload_run(true);
+
+    // Pinned counts: the trace is deterministic, so any admission or
+    // scheduling change that shifts these is a reviewable regression.
+    assert_eq!(
+        (blind_rej, blind_shed, blind_done),
+        (0, 12, 0),
+        "blind scheduler outcome drifted"
+    );
+    assert_eq!(
+        (pred_rej, pred_shed, pred_done),
+        (7, 0, 5),
+        "predictive scheduler outcome drifted"
+    );
+    assert!(
+        pred_goodput > 0.0 && (blind_goodput == 0.0 || pred_goodput / blind_goodput >= 2.0),
+        "expected >= 2x goodput: predictive {pred_goodput:.4}s vs blind {blind_goodput:.4}s"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Random submit/cancel/tick interleavings never violate the admission
+    /// invariants: a job accepted under predictive admission was feasible
+    /// at admit time (`admission_plan` agrees with `submit`), infeasible
+    /// rejections are loud (an error, never a silent drop or a journal
+    /// entry), and after draining, queue occupancy, leases and device
+    /// bytes all return to zero with exactly one record per accepted job.
+    #[test]
+    fn admission_invariants_hold_under_random_interleavings(
+        ops in prop::collection::vec(0u8..8, 1..28),
+        args in prop::collection::vec(0u8..255, 28..29),
+        predictive in any::<bool>(),
+    ) {
+        let mut svc = Service::new(
+            DeviceGroup::v100s(2),
+            ServeConfig {
+                slots_per_device: 2,
+                slice_iters: 5,
+                queue_capacity: 8,
+                predictive_admission: predictive,
+                admission_headroom: 1.1,
+                ..ServeConfig::default()
+            },
+        );
+        let mut submitted: Vec<JobId> = Vec::new();
+        for (step, &op) in ops.iter().enumerate() {
+            let arg = args[step % args.len()];
+            match op {
+                0..=3 => {
+                    let mut req = OptimizeRequest::new(
+                        "t",
+                        Arc::new(Sphere),
+                        cfg(
+                            16 + 8 * (arg as usize % 3),
+                            4,
+                            10 + 10 * (arg as usize % 3),
+                            7000 + arg as u64,
+                        ),
+                    )
+                    .strategy(UpdateStrategy::ALL[arg as usize % UpdateStrategy::ALL.len()]);
+                    req = match arg % 4 {
+                        0 => req,                     // no deadline
+                        1 => req.deadline_s(1e3),     // generous
+                        2 => req.deadline_s(1e-9),    // impossible
+                        _ => req.deadline_s(0.02),    // tight
+                    };
+                    let plan = svc.admission_plan(&req);
+                    let journal_before = svc.journal().events().len();
+                    match svc.submit(req) {
+                        Ok(id) => {
+                            prop_assert!(
+                                plan.is_ok(),
+                                "accepted job was predicted infeasible at admit"
+                            );
+                            submitted.push(id);
+                        }
+                        Err(ServeError::Infeasible { predicted_s, budget_s }) => {
+                            prop_assert!(predictive, "blind admission never rejects Infeasible");
+                            prop_assert!(plan.is_err(), "dry-run disagrees with submit");
+                            prop_assert!(predicted_s > budget_s);
+                            prop_assert_eq!(
+                                svc.journal().events().len(),
+                                journal_before,
+                                "rejected submissions must never be journaled"
+                            );
+                        }
+                        Err(ServeError::QueueFull { .. }) => {
+                            prop_assert_eq!(svc.journal().events().len(), journal_before);
+                        }
+                        Err(e) => prop_assert!(false, "unexpected submit error: {e}"),
+                    }
+                }
+                4 | 5 => {
+                    svc.tick();
+                }
+                _ => {
+                    if !submitted.is_empty() {
+                        // Cancelling any known id is always legal (a no-op
+                        // once the job is terminal).
+                        let id = submitted[arg as usize % submitted.len()];
+                        svc.cancel(id).unwrap();
+                    }
+                }
+            }
+        }
+        svc.run_until_idle();
+        prop_assert_eq!(svc.queue_depth(), 0, "queue drained");
+        prop_assert_eq!(svc.occupancy().0, 0, "all leases returned");
+        for d in 0..2 {
+            prop_assert_eq!(
+                svc.group().device(d).unwrap().bytes_in_use(),
+                0,
+                "device buffers freed"
+            );
+        }
+        for &id in &submitted {
+            prop_assert!(svc.status(id).unwrap().is_terminal());
+        }
+        prop_assert_eq!(
+            svc.records().len(),
+            submitted.len(),
+            "exactly one record per accepted job — rejects never reach the records"
+        );
+    }
 }
