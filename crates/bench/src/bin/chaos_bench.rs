@@ -20,9 +20,10 @@
 //!   --loss-device N   which device dies (default: last)
 //!   --loss-ordinal N  the device's fatal launch ordinal (default 25)
 //!   --sweep           sweep a fixed ordinal ladder instead of one ordinal
+//!   --batched         enable cross-job micro-batching for the whole trace
 //!   --seed S          base RNG seed for the job configs (default 1000)
 
-use fastpso::serve::{OptimizeRequest, Priority, ServeConfig, ServeEvent, Service};
+use fastpso::serve::{BatchPolicy, OptimizeRequest, Priority, ServeConfig, ServeEvent, Service};
 use fastpso::{PsoConfig, RunResult};
 use fastpso_bench::report::{fmt_secs, Table};
 use fastpso_functions::builtins::{Griewank, Rastrigin, Sphere};
@@ -36,6 +37,7 @@ struct Args {
     loss_device: usize,
     loss_ordinal: u64,
     sweep: bool,
+    batched: bool,
     seed: u64,
 }
 
@@ -47,6 +49,7 @@ fn parse_args() -> Result<Args, String> {
         loss_device: usize::MAX, // resolved to devices-1 below
         loss_ordinal: 25,
         sweep: false,
+        batched: false,
         seed: 1000,
     };
     let mut it = argv.iter();
@@ -74,6 +77,7 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--loss-ordinal: {e}"))?
             }
             "--sweep" => args.sweep = true,
+            "--batched" => args.batched = true,
             "--seed" => args.seed = val("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
             other => return Err(format!("unknown flag {other}")),
         }
@@ -133,11 +137,12 @@ fn make_group(devices: usize, loss: Option<(usize, u64)>) -> DeviceGroup {
     group
 }
 
-fn serve_cfg() -> ServeConfig {
+fn serve_cfg(batched: bool) -> ServeConfig {
     ServeConfig {
         slots_per_device: 4,
         slice_iters: 10,
         shard_threshold_particles: 96,
+        batching: batched.then(BatchPolicy::default),
         ..ServeConfig::default()
     }
 }
@@ -159,7 +164,7 @@ struct Outcome {
 /// rebuilt on a fresh group, and queue depth / running set / records must
 /// match byte-for-byte before the original run continues.
 fn run_trace(args: &Args, loss: Option<(usize, u64)>) -> Outcome {
-    let mut svc = Service::new(make_group(args.devices, loss), serve_cfg());
+    let mut svc = Service::new(make_group(args.devices, loss), serve_cfg(args.batched));
     let mut requests = Vec::new();
     let mut ids = Vec::new();
     for i in 0..args.jobs {
@@ -171,8 +176,13 @@ fn run_trace(args: &Args, loss: Option<(usize, u64)>) -> Outcome {
         svc.tick();
     }
     let snap = svc.snapshot();
-    let restored = Service::restore(make_group(args.devices, loss), serve_cfg(), &snap, requests)
-        .expect("mid-run snapshot must restore");
+    let restored = Service::restore(
+        make_group(args.devices, loss),
+        serve_cfg(args.batched),
+        &snap,
+        requests,
+    )
+    .expect("mid-run snapshot must restore");
     assert_eq!(
         restored.queue_depth(),
         svc.queue_depth(),
@@ -279,8 +289,11 @@ fn main() {
         let ordinals = [1u64, 5, 10, 25, 50, 100, 200, 400];
         let mut t = Table::new(
             format!(
-                "Device-loss sweep: {} jobs on {} devices, device {} dies at each launch ordinal",
-                args.jobs, args.devices, args.loss_device
+                "Device-loss sweep{}: {} jobs on {} devices, device {} dies at each launch ordinal",
+                if args.batched { " (micro-batched)" } else { "" },
+                args.jobs,
+                args.devices,
+                args.loss_device
             ),
             &[
                 "loss ordinal",
@@ -318,8 +331,12 @@ fn main() {
         let n = verify(&clean, &faulted, args.loss_device, "single");
         let mut t = Table::new(
             format!(
-                "Losing device {} at launch {} during a {}-job replay on {} devices",
-                args.loss_device, args.loss_ordinal, args.jobs, args.devices
+                "Losing device {} at launch {} during a {}-job{} replay on {} devices",
+                args.loss_device,
+                args.loss_ordinal,
+                args.jobs,
+                if args.batched { " micro-batched" } else { "" },
+                args.devices
             ),
             &[
                 "scenario",

@@ -25,9 +25,23 @@
 //! (deadline-met device-seconds); results land in
 //! `results/serve_overload.csv`.
 //!
-//! Usage: `cargo run --release -p fastpso-bench --bin serve_bench [--overload]`
+//! With `--small-jobs`, runs the cross-job micro-batching comparison: a
+//! trace of 64 tiny jobs (at most 64 particles each) on a 2-device group,
+//! replayed once with batching off and once with `ServeConfig::batching`
+//! set. Tiny jobs are launch-bound, so fusing compatible jobs into one
+//! persistent region per batch-slice (one host launch instead of one per
+//! kernel per job) multiplies modeled throughput; the binary asserts at
+//! least a 5x gain, verifies per-job results are bit-identical between the
+//! modes, pins them against `results/serve_batch_fingerprints.golden.txt`
+//! (regenerate with `UPDATE_GOLDEN=1`), and writes
+//! `results/serve_batch.csv`.
+//!
+//! Usage: `cargo run --release -p fastpso-bench --bin serve_bench
+//! [--overload | --small-jobs]`
 
-use fastpso::serve::{JobStatus, OptimizeRequest, Priority, ServeConfig, ServeError, Service};
+use fastpso::serve::{
+    BatchPolicy, JobStatus, OptimizeRequest, Priority, ServeConfig, ServeError, Service,
+};
 use fastpso::{GpuBackend, PsoBackend, PsoConfig};
 use fastpso_bench::report::{fmt_secs, fmt_speedup, Table};
 use fastpso_functions::builtins::{Griewank, Rastrigin, Sphere};
@@ -242,9 +256,168 @@ fn run_overload() {
     );
 }
 
+// ---- small-jobs micro-batching scenario ----------------------------------
+
+/// Jobs in the small-jobs trace.
+const SMALL_JOBS: u64 = 64;
+/// Devices serving the small-jobs trace.
+const SMALL_DEVICES: usize = 2;
+/// Fingerprint golden pinning per-job results across both modes.
+const BATCH_GOLDEN: &str = "results/serve_batch_fingerprints.golden.txt";
+
+fn small_cfg(i: u64) -> PsoConfig {
+    // Tiny launch-bound swarms: 16–64 particles, 5–8 dims (one dim-class,
+    // so batches of eight actually form).
+    let n = 16 + 16 * (i as usize % 4);
+    let d = 5 + (i as usize % 4);
+    PsoConfig::builder(n, d)
+        .max_iter(40 + 10 * (i as usize % 3))
+        .seed(3000 + i)
+        .build()
+        .unwrap()
+}
+
+struct SmallOutcome {
+    fingerprints: Vec<String>,
+    makespan_s: f64,
+    launches: u64,
+    peak_leases: usize,
+}
+
+/// FNV-1a over the result's exact bit patterns: any single-bit divergence
+/// between the modes changes the fingerprint.
+fn fingerprint(job: u64, value: f64, position: &[f32]) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bits: u64| {
+        for b in bits.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    eat(value.to_bits());
+    for &p in position {
+        eat(u64::from(p.to_bits()));
+    }
+    format!("job={job},value={:016x},fnv={h:016x}", value.to_bits())
+}
+
+/// Replay the small-jobs trace once. Both calls submit the identical
+/// trace before the first tick; only the batching policy differs.
+fn run_small_trace(batching: Option<BatchPolicy>) -> SmallOutcome {
+    let mut svc = Service::new(
+        DeviceGroup::v100s(SMALL_DEVICES),
+        ServeConfig {
+            slots_per_device: 4,
+            slice_iters: 10,
+            batching,
+            ..ServeConfig::default()
+        },
+    );
+    let ids: Vec<_> = (0..SMALL_JOBS)
+        .map(|i| {
+            svc.submit(OptimizeRequest::new(
+                job_tenant(i),
+                job_objective(i),
+                small_cfg(i),
+            ))
+            .expect("the small-jobs trace fits the admission queue")
+        })
+        .collect();
+    svc.run_until_idle();
+    let fingerprints = ids
+        .iter()
+        .map(|&id| {
+            let r = svc.result(id).expect("every small job completes");
+            fingerprint(id.0, r.best_value, &r.best_position)
+        })
+        .collect();
+    SmallOutcome {
+        fingerprints,
+        makespan_s: svc.now(),
+        launches: svc.merged_profiler().total_counters().kernel_launches,
+        peak_leases: svc.occupancy().1,
+    }
+}
+
+fn run_small_jobs() {
+    let unbatched = run_small_trace(None);
+    let batched = run_small_trace(Some(BatchPolicy::default()));
+
+    assert_eq!(
+        unbatched.fingerprints, batched.fingerprints,
+        "batching must keep every job's result bit-identical"
+    );
+    let golden: String = batched
+        .fingerprints
+        .iter()
+        .map(|f| format!("{f}\n"))
+        .collect();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(BATCH_GOLDEN, &golden).expect("write fingerprint golden");
+        println!("wrote {} ({} jobs)", BATCH_GOLDEN, SMALL_JOBS);
+    } else {
+        let pinned = std::fs::read_to_string(BATCH_GOLDEN)
+            .expect("fingerprint golden missing — regenerate with UPDATE_GOLDEN=1");
+        assert_eq!(
+            pinned, golden,
+            "per-job results drifted from {BATCH_GOLDEN}; \
+             regenerate with UPDATE_GOLDEN=1 if the change is intended"
+        );
+    }
+
+    let throughput = |o: &SmallOutcome| SMALL_JOBS as f64 / o.makespan_s;
+    let gain = throughput(&batched) / throughput(&unbatched);
+    let mut t = Table::new(
+        format!(
+            "Micro-batching {SMALL_JOBS} tiny jobs on a {SMALL_DEVICES}-device group \
+             (batch policy: {})",
+            BatchPolicy::default()
+        ),
+        &[
+            "mode",
+            "makespan (s)",
+            "jobs/s",
+            "launches",
+            "peak leases",
+            "speedup",
+        ],
+    );
+    for (name, o) in [("unbatched", &unbatched), ("batched", &batched)] {
+        t.row(vec![
+            name.into(),
+            fmt_secs(o.makespan_s),
+            format!("{:.1}", throughput(o)),
+            o.launches.to_string(),
+            o.peak_leases.to_string(),
+            fmt_speedup(unbatched.makespan_s / o.makespan_s),
+        ]);
+    }
+    t.emit("serve_batch");
+
+    assert!(
+        batched.launches * 10 < unbatched.launches,
+        "batch-slices must collapse launches: {} vs {}",
+        batched.launches,
+        unbatched.launches
+    );
+    assert!(
+        gain >= 5.0,
+        "expected >= 5x modeled throughput from micro-batching, got {gain:.2}x"
+    );
+    println!(
+        "micro-batching lifted modeled throughput {gain:.1}x \
+         ({} launches -> {}) with bit-identical per-job results",
+        unbatched.launches, batched.launches
+    );
+}
+
 fn main() {
     if std::env::args().any(|a| a == "--overload") {
         run_overload();
+        return;
+    }
+    if std::env::args().any(|a| a == "--small-jobs") {
+        run_small_jobs();
         return;
     }
     // Baseline: every job back-to-back on one dedicated device.

@@ -31,7 +31,7 @@ pub const POSITION_FLOPS_PER_ELEM: u64 = 2;
 pub const LOWC_VELOCITY_FLOPS_PER_ELEM: u64 = 8;
 
 /// How the swarm-update kernels touch memory (Figure 6's technique axis).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum UpdateStrategy {
     /// Plain element-wise kernels on global memory.
     #[default]

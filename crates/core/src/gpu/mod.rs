@@ -36,6 +36,7 @@ pub struct GpuBackend {
     alloc_mode: Option<AllocMode>,
     fuse: bool,
     streams: bool,
+    persistent: bool,
 }
 
 impl Default for GpuBackend {
@@ -59,6 +60,7 @@ impl GpuBackend {
             alloc_mode: None,
             fuse: false,
             streams: false,
+            persistent: false,
         }
     }
 
@@ -101,6 +103,19 @@ impl GpuBackend {
         self
     }
 
+    /// Enable persistent-kernel execution: the per-iteration launch graph is
+    /// lowered into one device-resident kernel whose body loops over
+    /// iterations, replacing per-pass launch overheads with grid-wide sync
+    /// points. Trajectories are bitwise-identical; only launch accounting and
+    /// modeled time change. Silently falls back to per-launch execution when
+    /// the swarm does not fit co-resident on the device
+    /// (`n_particles × dim > max_resident_threads`) or when stream overlap is
+    /// enabled (overlap is a host-side launch model).
+    pub fn persistent(mut self, on: bool) -> Self {
+        self.persistent = on;
+        self
+    }
+
     /// The backing device (for timeline/metrics inspection).
     pub fn device(&self) -> &Device {
         &self.device
@@ -131,7 +146,16 @@ impl GpuBackend {
         if self.streams {
             plan.assign_streams();
         }
+        if self.persistent && self.swarm_fits(cfg) {
+            plan.lower_persistent();
+        }
         plan
+    }
+
+    /// Whether the whole swarm can be co-resident on the device — the
+    /// occupancy requirement for a persistent grid (see `DESIGN.md` §12).
+    fn swarm_fits(&self, cfg: &PsoConfig) -> bool {
+        (cfg.n_particles * cfg.dim) as u64 <= self.device.profile().max_resident_threads()
     }
 }
 
@@ -273,6 +297,67 @@ mod tests {
             assert_eq!(split.best_value, fused.best_value, "{strategy}");
             assert_eq!(split.best_position, fused.best_position);
         }
+    }
+
+    #[test]
+    fn persistent_run_is_bit_identical_with_one_launch_per_run() {
+        let c = cfg(48, 6, 40);
+        let split_backend = GpuBackend::new();
+        let split = split_backend.run(&c, &Sphere).unwrap();
+        let split_counters = split_backend.profile().total_counters();
+
+        let persist_backend = GpuBackend::new().persistent(true);
+        assert!(persist_backend.plan(&c).persistent);
+        let persist = persist_backend.run(&c, &Sphere).unwrap();
+        let pc = persist_backend.profile().total_counters();
+
+        assert_eq!(split.best_value, persist.best_value);
+        assert_eq!(split.best_position, persist.best_position);
+
+        // A solo run is one slice: exactly one host-side launch beyond the
+        // three Init-phase prologue launches (positions, velocities, best
+        // state — they precede the iteration loop in both modes), and every
+        // counter other than launch count byte-exact vs per-launch mode.
+        let init = persist_backend
+            .profile()
+            .phase_counters(gpu_sim::Phase::Init)
+            .kernel_launches;
+        assert_eq!(init, 3);
+        assert_eq!(pc.kernel_launches - init, 1);
+        let mut expect = split_counters;
+        expect.kernel_launches = pc.kernel_launches;
+        assert_eq!(pc, expect);
+
+        assert!(
+            persist.elapsed_seconds() < split.elapsed_seconds(),
+            "persistent {} vs per-launch {}",
+            persist.elapsed_seconds(),
+            split.elapsed_seconds()
+        );
+    }
+
+    #[test]
+    fn persistent_falls_back_when_ineligible() {
+        // 2048 × 128 threads exceed the V100's resident capacity.
+        let big = cfg(2048, 128, 5);
+        assert!(!GpuBackend::new().persistent(true).plan(&big).persistent);
+        // Stream overlap is a host-side launch model; persistent loses.
+        let small = cfg(48, 6, 5);
+        assert!(
+            !GpuBackend::new()
+                .persistent(true)
+                .streams(true)
+                .plan(&small)
+                .persistent
+        );
+        // Fusion composes with persistent lowering.
+        assert!(
+            GpuBackend::new()
+                .persistent(true)
+                .fused(true)
+                .plan(&small)
+                .persistent
+        );
     }
 
     #[test]

@@ -105,6 +105,62 @@ pub enum PlanOp {
     /// End-of-iteration device synchronisation; with streams enabled this
     /// is also the join point where lanes merge back into the timeline.
     DeviceSync,
+    /// A device-resident iteration loop: the single node a
+    /// [`ExecutionPlan::lower_persistent`] rewrite leaves at top level.
+    /// The collapsed per-iteration graph moves to [`ExecutionPlan::body`]
+    /// and runs inside one persistent-kernel region per dispatch slice —
+    /// one host launch, grid-wide syncs between ops, no per-kernel launch
+    /// overhead.
+    PersistentKernel,
+}
+
+impl std::fmt::Display for PlanOp {
+    /// Canonical identifier of the op, `FromStr`-round-trippable
+    /// (`ring_lbest` carries its half-width as `ring_lbest:k`).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanOp::Eval => write!(f, "eval"),
+            PlanOp::PBest => write!(f, "pbest"),
+            PlanOp::Argmin => write!(f, "argmin"),
+            PlanOp::ReduceAdopt => write!(f, "reduce_adopt"),
+            PlanOp::RingLbest { k } => write!(f, "ring_lbest:{k}"),
+            PlanOp::GenWeights => write!(f, "gen_weights"),
+            PlanOp::Velocity => write!(f, "velocity"),
+            PlanOp::Position => write!(f, "position"),
+            PlanOp::FusedSwarmUpdate => write!(f, "fused_swarm_update"),
+            PlanOp::DeviceSync => write!(f, "device_sync"),
+            PlanOp::PersistentKernel => write!(f, "persistent_kernel"),
+        }
+    }
+}
+
+impl std::str::FromStr for PlanOp {
+    type Err = String;
+
+    /// Parse a canonical op identifier (case-insensitive). `ring_lbest`
+    /// requires its `:k` suffix; every other op is a bare word.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let lower = s.trim().to_ascii_lowercase();
+        if let Some(k) = lower.strip_prefix("ring_lbest:") {
+            let k: usize = k
+                .parse()
+                .map_err(|_| format!("bad ring_lbest half-width in {s:?}"))?;
+            return Ok(PlanOp::RingLbest { k });
+        }
+        match lower.as_str() {
+            "eval" => Ok(PlanOp::Eval),
+            "pbest" => Ok(PlanOp::PBest),
+            "argmin" => Ok(PlanOp::Argmin),
+            "reduce_adopt" => Ok(PlanOp::ReduceAdopt),
+            "gen_weights" => Ok(PlanOp::GenWeights),
+            "velocity" => Ok(PlanOp::Velocity),
+            "position" => Ok(PlanOp::Position),
+            "fused_swarm_update" => Ok(PlanOp::FusedSwarmUpdate),
+            "device_sync" => Ok(PlanOp::DeviceSync),
+            "persistent_kernel" => Ok(PlanOp::PersistentKernel),
+            _ => Err(format!("unknown plan op {s:?}")),
+        }
+    }
 }
 
 /// One node of the per-iteration kernel graph: an operation, the shard it
@@ -156,6 +212,13 @@ pub struct ExecutionPlan {
     /// Whether the stream pass ran (nodes carry lane assignments and the
     /// executor opens stream windows).
     pub streams_enabled: bool,
+    /// Whether [`ExecutionPlan::lower_persistent`] collapsed the plan into
+    /// a single device-resident [`PlanOp::PersistentKernel`] node.
+    pub persistent: bool,
+    /// The collapsed per-iteration graph of a persistent plan (empty
+    /// otherwise): what the executor walks inside the region, in the same
+    /// order the unlowered plan executed.
+    pub body: Vec<PlanNode>,
 }
 
 fn push(
@@ -228,6 +291,8 @@ impl ExecutionPlan {
             n_shards,
             reduce,
             streams_enabled: false,
+            persistent: false,
+            body: Vec::new(),
         }
     }
 
@@ -313,16 +378,64 @@ impl ExecutionPlan {
         }
     }
 
+    /// Rewrite pass: collapse the whole per-iteration graph into a single
+    /// device-resident [`PlanOp::PersistentKernel`] node carrying the
+    /// iteration loop. The original nodes move to [`ExecutionPlan::body`]
+    /// in unchanged order; the executor then runs each dispatch slice
+    /// inside one persistent region (`gpu_sim::Device::begin_persistent`),
+    /// so a slice costs one host launch plus the per-iteration
+    /// compute/memory, with grid-wide syncs instead of host round-trips.
+    ///
+    /// Only single-shard, stream-free plans lower (returns `false`
+    /// otherwise): a grid-wide barrier cannot span devices, and the stream
+    /// pass's overlap model already re-times launches host-side. Kernel
+    /// fusion composes fine — run [`ExecutionPlan::fuse_swarm_update`]
+    /// first. Idempotent: lowering an already-persistent plan returns
+    /// `true` without rewriting.
+    pub fn lower_persistent(&mut self) -> bool {
+        if self.persistent {
+            return true;
+        }
+        if self.n_shards != 1 || self.streams_enabled {
+            return false;
+        }
+        self.body = std::mem::take(&mut self.nodes);
+        self.nodes = vec![PlanNode {
+            op: PlanOp::PersistentKernel,
+            shard: 0,
+            phase: Phase::SwarmUpdate,
+            deps: Vec::new(),
+            stream: 0,
+            wait: Vec::new(),
+        }];
+        self.persistent = true;
+        true
+    }
+
+    /// The nodes the executor walks once per iteration: the collapsed
+    /// [`ExecutionPlan::body`] for a persistent plan, the top-level list
+    /// otherwise.
+    pub fn iteration_nodes(&self) -> &[PlanNode] {
+        if self.persistent {
+            &self.body
+        } else {
+            &self.nodes
+        }
+    }
+
     /// Whether the fusion pass rewrote this plan (any fused node present).
     pub fn is_fused(&self) -> bool {
-        self.nodes.iter().any(|n| n.op == PlanOp::FusedSwarmUpdate)
+        self.iteration_nodes()
+            .iter()
+            .any(|n| n.op == PlanOp::FusedSwarmUpdate)
     }
 
     /// Which nodes some later node waits on (their events must be
     /// recorded when streams are enabled).
     fn event_sources(&self) -> Vec<bool> {
-        let mut out = vec![false; self.nodes.len()];
-        for node in &self.nodes {
+        let nodes = self.iteration_nodes();
+        let mut out = vec![false; nodes.len()];
+        for node in nodes {
             for &w in &node.wait {
                 out[w] = true;
             }
@@ -483,7 +596,8 @@ impl<'a> PlanRun<'a> {
         let cfg = self.cfg;
         let d = cfg.dim;
         let needs_event = plan.event_sources();
-        let mut events: Vec<Option<Event>> = vec![None; plan.nodes.len()];
+        let nodes = plan.iteration_nodes();
+        let mut events: Vec<Option<Event>> = vec![None; nodes.len()];
         let OptState {
             shards,
             homes,
@@ -501,7 +615,7 @@ impl<'a> PlanRun<'a> {
         let mut lbest: Option<Vec<usize>> = None;
         let mut improved = false;
 
-        for (idx, node) in plan.nodes.iter().enumerate() {
+        for (idx, node) in nodes.iter().enumerate() {
             let s = node.shard;
             match node.op {
                 PlanOp::Eval => {
@@ -734,6 +848,9 @@ impl<'a> PlanRun<'a> {
                         dev.join_streams();
                     }
                 }
+                PlanOp::PersistentKernel => {
+                    unreachable!("the persistent wrapper never appears in the iteration body")
+                }
             }
         }
         Ok(improved)
@@ -882,6 +999,55 @@ impl<'a> PlanRun<'a> {
         }
     }
 
+    /// Resident thread count of a persistent region over this run's swarm:
+    /// the widest per-iteration kernel is one thread per element.
+    fn region_threads(&self) -> u64 {
+        (self.cfg.n_particles * self.cfg.dim) as u64
+    }
+
+    /// Step up to `iters` iterations as one dispatch slice. For a
+    /// persistent plan the whole slice runs inside one device-resident
+    /// region: a single host launch, inner kernels charged without launch
+    /// overhead, grid-wide syncs between iterations — the region is opened
+    /// and closed here, on every path, so a failed slice never leaks it.
+    /// For a per-launch plan this is just [`PlanRun::step_state`] in a
+    /// loop. Returns `true` once the run has reached a stopping condition.
+    pub(crate) fn step_slice(&self, ex: &mut ExecState, iters: usize) -> Result<bool, PsoError> {
+        if !self.plan.persistent {
+            for _ in 0..iters {
+                if self.step_state(ex)? {
+                    return Ok(true);
+                }
+            }
+            return Ok(false);
+        }
+        if ex.done {
+            return Ok(true);
+        }
+        let dev = self.device(ex.st.homes[0])?;
+        if let Err(e) =
+            dev.begin_persistent("persistent_pso", Phase::SwarmUpdate, self.region_threads())
+        {
+            return Err(e.into());
+        }
+        let mut out = Ok(false);
+        for _ in 0..iters {
+            match self.step_state(ex) {
+                Ok(true) => {
+                    out = Ok(true);
+                    break;
+                }
+                Ok(false) => {}
+                Err(e) => {
+                    out = Err(e);
+                    break;
+                }
+            }
+        }
+        dev.end_persistent();
+        out
+    }
+
     /// Assemble the [`RunResult`] from a finished (or abandoned) execution
     /// state, downloading the winning position — the run's only mandatory
     /// device→host transfer.
@@ -1020,7 +1186,13 @@ impl<'a> PlanRun<'a> {
             ExecTarget::Group(g) => g.reset_timelines(),
         }
         let mut ex = self.init_state()?;
-        while !self.step_state(&mut ex)? {}
+        if self.plan.persistent {
+            // One region spans the whole run: a solo persistent job costs
+            // a single kernel launch end to end.
+            while !self.step_slice(&mut ex, usize::MAX)? {}
+        } else {
+            while !self.step_state(&mut ex)? {}
+        }
         Ok(self.finish_state(ex))
     }
 }
@@ -1243,6 +1415,71 @@ mod tests {
             assert_eq!(ops(&plan), before);
             assert!(!plan.is_fused());
         }
+    }
+
+    #[test]
+    fn lower_persistent_collapses_single_shard_plans_only() {
+        let mut plan = ExecutionPlan::build(&cfg(), 1, BestReduce::Local);
+        let body_before = ops(&plan);
+        assert!(plan.lower_persistent());
+        assert!(plan.persistent);
+        assert_eq!(plan.nodes.len(), 1);
+        assert_eq!(plan.nodes[0].op, PlanOp::PersistentKernel);
+        // The body keeps the legacy execution order exactly.
+        assert_eq!(
+            plan.body
+                .iter()
+                .map(|n| (n.op, n.shard))
+                .collect::<Vec<_>>(),
+            body_before
+        );
+        assert_eq!(plan.iteration_nodes().len(), body_before.len());
+        // Idempotent.
+        assert!(plan.lower_persistent());
+        assert_eq!(plan.nodes.len(), 1);
+
+        // Multi-shard plans refuse: a grid barrier cannot span devices.
+        let mut multi = ExecutionPlan::build(&cfg(), 2, BestReduce::Exchange { sync_every: 1 });
+        assert!(!multi.lower_persistent());
+        assert!(!multi.persistent);
+
+        // Streamed plans refuse: overlap is a host-side launch model.
+        let mut streamed = ExecutionPlan::build(&cfg(), 1, BestReduce::Local);
+        streamed.assign_streams();
+        assert!(!streamed.lower_persistent());
+    }
+
+    #[test]
+    fn lower_persistent_composes_with_fusion() {
+        let mut plan = ExecutionPlan::build(&cfg(), 1, BestReduce::Local);
+        assert!(plan.fuse_swarm_update(UpdateStrategy::GlobalMem));
+        assert!(plan.lower_persistent());
+        assert!(plan.is_fused(), "fusion state is read through the body");
+        assert!(plan.body.iter().any(|n| n.op == PlanOp::FusedSwarmUpdate));
+    }
+
+    #[test]
+    fn plan_op_display_round_trips() {
+        let ops = [
+            PlanOp::Eval,
+            PlanOp::PBest,
+            PlanOp::Argmin,
+            PlanOp::ReduceAdopt,
+            PlanOp::RingLbest { k: 3 },
+            PlanOp::GenWeights,
+            PlanOp::Velocity,
+            PlanOp::Position,
+            PlanOp::FusedSwarmUpdate,
+            PlanOp::DeviceSync,
+            PlanOp::PersistentKernel,
+        ];
+        for op in ops {
+            let s = op.to_string();
+            assert_eq!(s.parse::<PlanOp>().unwrap(), op, "{s}");
+            assert_eq!(s.to_uppercase().parse::<PlanOp>().unwrap(), op);
+        }
+        assert!("warp_shuffle".parse::<PlanOp>().is_err());
+        assert!("ring_lbest:x".parse::<PlanOp>().is_err());
     }
 
     #[test]

@@ -36,6 +36,16 @@
 //!   predicted cost ([`Service::admission_plan`] exposes the dry-run
 //!   decision; every completion feeds the predictor one calibration
 //!   observation);
+//! * **cross-job micro-batching** — with [`ServeConfig::batching`] set,
+//!   admission gathers compatible small jobs (same [`BatchPolicy`]-bounded
+//!   [`CompatKey`]: update strategy × dimension class) under **one** device
+//!   lease, and every tick advances the batch inside a single persistent
+//!   device region: one host launch per batch-slice over the concatenated
+//!   Σ(n·d) state segments, instead of one launch per kernel per job.
+//!   Per-job results are bit-identical to solo runs (each member keeps its
+//!   own state segment, counter-based PRNG stream and best-reduce
+//!   segment), and checkpoint/preempt/re-home/journal semantics are
+//!   unchanged at slice boundaries;
 //! * **tenant accounting** — every terminal job emits a
 //!   [`perf_model::JobRecord`]; [`Service::tenant_rollups`] reduces them
 //!   to per-tenant p50/p95 latency, shed counts and device-seconds.
@@ -97,11 +107,13 @@
 //! assert!(rollup[0].p95_latency_s >= rollup[0].p50_latency_s);
 //! ```
 
+mod batch;
 mod journal;
 mod queue;
 mod request;
 mod scheduler;
 
+pub use batch::{BatchFormer, BatchPolicy, CompatKey};
 pub use journal::{ServeEvent, ServeJournal};
 pub use request::{JobId, JobStatus, OptimizeRequest, Priority, ServeError};
 pub use scheduler::{ServeConfig, Service};
@@ -245,6 +257,76 @@ mod tests {
             "preempt/resume must not perturb the trajectory"
         );
         assert_eq!(served.best_position, baseline.best_position);
+    }
+
+    #[test]
+    fn batched_jobs_share_a_lease_and_match_solo_bitwise() {
+        let run = |batching| {
+            let mut svc = Service::new(
+                DeviceGroup::v100s(1),
+                ServeConfig {
+                    batching,
+                    ..ServeConfig::default()
+                },
+            );
+            let ids: Vec<_> = (0..4)
+                .map(|i| {
+                    svc.submit(OptimizeRequest::new("t", Arc::new(Sphere), small(i)))
+                        .unwrap()
+                })
+                .collect();
+            svc.tick();
+            let occupancy = svc.occupancy().0;
+            svc.run_until_idle();
+            let results: Vec<_> = ids
+                .iter()
+                .map(|&id| svc.result(id).unwrap().clone())
+                .collect();
+            let launches = svc.merged_profiler().total_counters().kernel_launches;
+            (results, occupancy, launches)
+        };
+        let (solo, solo_occ, solo_launches) = run(None);
+        let (batched, batch_occ, batch_launches) = run(Some(BatchPolicy::default()));
+        assert_eq!(solo_occ, 4, "unbatched jobs each hold a slot");
+        assert_eq!(batch_occ, 1, "the batch holds one lease");
+        for (a, b) in solo.iter().zip(&batched) {
+            assert_eq!(
+                a.best_value, b.best_value,
+                "batching must not perturb results"
+            );
+            assert_eq!(a.best_position, b.best_position);
+        }
+        assert!(
+            batch_launches * 10 < solo_launches,
+            "one launch per batch-slice: {batch_launches} vs {solo_launches}"
+        );
+    }
+
+    #[test]
+    fn incompatible_jobs_do_not_batch() {
+        use crate::gpu::UpdateStrategy;
+        let mut svc = Service::new(
+            DeviceGroup::v100s(1),
+            ServeConfig {
+                batching: Some(BatchPolicy::default()),
+                ..ServeConfig::default()
+            },
+        );
+        svc.submit(OptimizeRequest::new("t", Arc::new(Sphere), small(1)))
+            .unwrap();
+        svc.submit(
+            OptimizeRequest::new("t", Arc::new(Sphere), small(2))
+                .strategy(UpdateStrategy::SharedMem),
+        )
+        .unwrap();
+        svc.tick();
+        assert_eq!(
+            svc.occupancy().0,
+            2,
+            "different strategies take separate leases"
+        );
+        svc.run_until_idle();
+        assert_eq!(svc.tenant_rollups()[0].completed, 2);
     }
 
     #[test]

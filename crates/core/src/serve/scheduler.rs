@@ -1,6 +1,7 @@
 //! The service itself: admission, placement, time-slicing, preemption,
 //! deadline shedding, device-loss re-homing and per-tenant accounting.
 
+use super::batch::{BatchFormer, BatchPolicy, CompatKey};
 use super::journal::{ServeEvent, ServeJournal};
 use super::queue::{AdmissionQueue, QueueEntry};
 use super::request::{JobId, JobStatus, OptimizeRequest, Priority, ServeError};
@@ -16,6 +17,7 @@ use gpu_sim::lease::{Lease, LeasePool};
 use gpu_sim::{DeviceGroup, FleetHealth, HealthPolicy, Phase};
 use perf_model::{CostPredictor, JobOutcome, JobRecord, JobShape, TenantSummary};
 use std::collections::BTreeMap;
+use std::rc::Rc;
 
 /// Scheduler knobs. The defaults favour strict backpressure: a full queue
 /// rejects rather than sheds, and only explicit deadlines drop work.
@@ -63,6 +65,17 @@ pub struct ServeConfig {
     /// larger values admit more conservatively). Only read when
     /// [`ServeConfig::predictive_admission`] is on.
     pub admission_headroom: f64,
+    /// Cross-job micro-batching policy. When set, each admission gathers
+    /// compatible small queued jobs (same [`CompatKey`]: strategy ×
+    /// dim-class; single-shard; global topology; within the policy's
+    /// element bound) under **one** device lease, and every tick advances
+    /// the batch inside a single persistent device region — one host
+    /// launch per batch-slice instead of one per kernel per job. Per-job
+    /// results stay bit-identical to solo execution; checkpoint, preempt,
+    /// re-home and journal semantics are unchanged at slice boundaries.
+    /// `None` (the default) disables batching — existing serve traces
+    /// replay byte-for-byte.
+    pub batching: Option<BatchPolicy>,
 }
 
 impl Default for ServeConfig {
@@ -78,6 +91,7 @@ impl Default for ServeConfig {
             health: HealthPolicy::default(),
             predictive_admission: false,
             admission_headroom: 1.0,
+            batching: None,
         }
     }
 }
@@ -115,7 +129,12 @@ struct Running {
     partitions: Vec<(usize, usize)>,
     sharded: bool,
     view: DeviceGroup,
-    lease: Lease,
+    /// The device lease. Micro-batch members share one lease (`Rc`): it
+    /// returns to the pool when the *last* member releases it.
+    lease: Rc<Lease>,
+    /// Micro-batch membership: jobs with the same id advance together
+    /// inside one persistent region per slice. `None` = solo.
+    batch: Option<u64>,
     state: ExecState,
     /// Latest host-side checkpoint, captured at a slice boundary. Device
     /// loss rolls the job back to this; `None` (no boundary reached yet)
@@ -153,6 +172,7 @@ pub struct Service {
     finished: BTreeMap<JobId, Finished>,
     records: Vec<JobRecord>,
     next_id: u64,
+    next_batch: u64,
     predictor: CostPredictor,
     goodput_s: f64,
     rejected_infeasible: u64,
@@ -185,6 +205,7 @@ impl Service {
             finished: BTreeMap::new(),
             records: Vec::new(),
             next_id: 0,
+            next_batch: 0,
             predictor,
             goodput_s: 0.0,
             rejected_infeasible: 0,
@@ -577,14 +598,44 @@ impl Service {
         } else {
             1
         };
-        JobShape {
+        let mut shape = JobShape {
             particles: req.cfg.n_particles as u64,
             dim: req.cfg.dim as u64,
             iterations: req.cfg.max_iter as u64,
             shards: shards as u64,
             flops_per_dim: req.objective.flops_per_dim(),
             strategy: strategy.to_string(),
+            persistent: false,
+            slice_iters: 0,
+        };
+        // A batch-eligible job runs inside persistent regions, so price it
+        // (and key its calibration) that way — admission predictions and
+        // completion observations then agree on the shape.
+        if self.batchable_cfg(&req.cfg).is_some() {
+            shape.persistent = true;
+            shape.slice_iters = self.cfg.slice_iters as u64;
         }
+        shape
+    }
+
+    /// The batching policy, if `cfg` is eligible to join a micro-batch:
+    /// batching on, single-shard, global topology (ring windows are never
+    /// fused across jobs), and small enough to fit a batch on its own.
+    fn batchable_cfg(&self, cfg: &PsoConfig) -> Option<BatchPolicy> {
+        let policy = self.cfg.batching?;
+        let fits = cfg.n_particles * cfg.dim <= policy.max_elems;
+        (!self.will_shard(cfg) && cfg.topology == Topology::Global && fits).then_some(policy)
+    }
+
+    /// [`Service::batchable_cfg`] for a queue entry: suspended multi-shard
+    /// work keeps its geometry and can never batch.
+    fn batchable_entry(&self, e: &QueueEntry<Pending>) -> Option<BatchPolicy> {
+        if let Work::Suspended(s) = &e.payload.work {
+            if s.n_shards() > 1 {
+                return None;
+            }
+        }
+        self.batchable_cfg(&e.payload.req.cfg)
     }
 
     fn predict_request(&self, req: &OptimizeRequest, strategy: UpdateStrategy) -> f64 {
@@ -706,7 +757,7 @@ impl Service {
             ..
         } = job;
         drop(state); // buffers freed — the lost device's are gone anyway
-        self.pool.release(lease);
+        self.release_shared(lease);
         let (work, iterations) = match snapshot {
             Some(s) => {
                 let it = s.iterations_run();
@@ -760,10 +811,64 @@ impl Service {
                 break;
             };
             let entry = self.queue.pop_next().expect("peeked entry");
-            self.start(entry, lease, sharded);
-            events += 1;
+            let mates = if sharded {
+                Vec::new()
+            } else {
+                self.gather_batch(&entry)
+            };
+            let lease = Rc::new(lease);
+            if mates.is_empty() {
+                self.start(entry, lease, sharded, None);
+                events += 1;
+            } else {
+                let batch = self.next_batch;
+                self.next_batch += 1;
+                events += 1 + mates.len();
+                self.start(entry, Rc::clone(&lease), false, Some(batch));
+                for m in mates {
+                    self.start(m, Rc::clone(&lease), false, Some(batch));
+                }
+            }
         }
         events
+    }
+
+    /// Gather queued jobs that can join `head`'s micro-batch, in admission
+    /// order (priority, then id — compatible jobs may overtake incompatible
+    /// ones of equal priority, the usual batching trade). Returns the extra
+    /// members; empty when batching is off or nothing fits.
+    fn gather_batch(&mut self, head: &QueueEntry<Pending>) -> Vec<QueueEntry<Pending>> {
+        let Some(policy) = self.batchable_entry(head) else {
+            return Vec::new();
+        };
+        let mut former = BatchFormer::new(policy);
+        let accepted = former.offer(
+            CompatKey::new(head.payload.req.strategy, head.payload.req.cfg.dim),
+            head.payload.req.cfg.n_particles * head.payload.req.cfg.dim,
+        );
+        debug_assert!(accepted, "an eligible head always fits an empty batch");
+        let mut order: Vec<(Priority, JobId)> =
+            self.queue.iter().map(|e| (e.priority, e.id)).collect();
+        order.sort_by_key(|&(p, id)| (std::cmp::Reverse(p), id));
+        let mut picked = Vec::new();
+        for (_, id) in order {
+            if former.jobs() == policy.max_jobs {
+                break;
+            }
+            let e = self.queue.get(id).expect("listed entry");
+            if self.batchable_entry(e).is_none() {
+                continue;
+            }
+            let key = CompatKey::new(e.payload.req.strategy, e.payload.req.cfg.dim);
+            let elems = e.payload.req.cfg.n_particles * e.payload.req.cfg.dim;
+            if former.offer(key, elems) {
+                picked.push(id);
+            }
+        }
+        picked
+            .into_iter()
+            .map(|id| self.queue.remove(id).expect("picked entry"))
+            .collect()
     }
 
     /// Whether the queue entry `id` needs a whole-group lease.
@@ -794,7 +899,7 @@ impl Service {
         let (mut entry, lease) = suspend_to_entry(job);
         entry.payload.device_seconds += self.charged() - before;
         entry.payload.recovery_s += merged_recovery(&self.group) - rec_before;
-        self.pool.release(lease);
+        self.release_shared(lease);
         self.journal.append(ServeEvent::Preempt { job: entry.id.0 });
         // Preempted work was already admitted once; it re-enters above the
         // queue bound rather than being dropped.
@@ -811,7 +916,13 @@ impl Service {
     /// checkpoint resumes over however many devices the new lease spans
     /// (shards assigned round-robin), so losing a device never strands a
     /// sharded job — the reduction is over shards, not devices.
-    fn start(&mut self, entry: QueueEntry<Pending>, lease: Lease, sharded: bool) {
+    fn start(
+        &mut self,
+        entry: QueueEntry<Pending>,
+        lease: Rc<Lease>,
+        sharded: bool,
+        batch: Option<u64>,
+    ) {
         let id = entry.id;
         let mut pend = entry.payload;
         self.journal.append(ServeEvent::Admit {
@@ -851,7 +962,7 @@ impl Service {
             Ok(st) => st,
             Err(_) => {
                 let lease_devices: Vec<usize> = lease.devices().to_vec();
-                self.pool.release(lease);
+                self.release_shared(lease);
                 pend.device_seconds += self.charged() - before;
                 pend.recovery_s += merged_recovery(&self.group) - rec_before;
                 let lost = lease_devices.iter().find(|&&d| self.device_lost(d));
@@ -892,6 +1003,7 @@ impl Service {
             sharded: use_group,
             view,
             lease,
+            batch,
             state,
             snapshot: resume_snapshot,
             slices_since_snapshot: 0,
@@ -908,12 +1020,30 @@ impl Service {
     }
 
     /// Advance every running job by one time slice, in job-id order.
+    /// Micro-batch members advance together inside one persistent region
+    /// (one host launch per batch-slice); solo jobs step as before.
     fn step_running(&mut self) -> usize {
         let slice = self.cfg.slice_iters;
         let mut outcomes: Vec<(usize, Result<bool, PsoError>)> = Vec::new();
-        for (i, job) in self.running.iter_mut().enumerate() {
+        let mut visited = vec![false; self.running.len()];
+        for i in 0..self.running.len() {
+            if visited[i] {
+                continue;
+            }
+            if let Some(b) = self.running[i].batch {
+                let members: Vec<usize> = (i..self.running.len())
+                    .filter(|&j| self.running[j].batch == Some(b))
+                    .collect();
+                for &j in &members {
+                    visited[j] = true;
+                }
+                outcomes.extend(self.step_batch(&members, slice));
+                continue;
+            }
+            visited[i] = true;
             let before = merged_total(&self.group);
             let rec_before = merged_recovery(&self.group);
+            let job = &mut self.running[i];
             let res = step_job(job, slice);
             if matches!(res, Ok(false)) && self.cfg.checkpoint_slices > 0 {
                 job.slices_since_snapshot += 1;
@@ -928,6 +1058,7 @@ impl Service {
             outcomes.push((i, res));
         }
         let stepped = outcomes.len();
+        outcomes.sort_by_key(|&(i, _)| i);
         // Finalize in reverse index order so removals don't shift.
         for (i, res) in outcomes.into_iter().rev() {
             match res {
@@ -952,6 +1083,93 @@ impl Service {
             }
         }
         stepped
+    }
+
+    /// Advance one micro-batch by a slice: a single persistent region on
+    /// the shared device spans the whole batch-slice (its open is the
+    /// batch's one host launch; the cost is split equally across members),
+    /// and members step sequentially inside it over their own state
+    /// segments and PRNG streams — bit-identical to solo execution. A
+    /// member that errors closes the region early; members not yet stepped
+    /// simply run next tick (or are swept by the next tick's re-homing if
+    /// the device died). Returns `(running-index, outcome)` per member.
+    fn step_batch(
+        &mut self,
+        members: &[usize],
+        slice: usize,
+    ) -> Vec<(usize, Result<bool, PsoError>)> {
+        let dev = self.running[members[0]]
+            .view
+            .device(0)
+            .expect("leased device")
+            .clone();
+        let threads: u64 = members
+            .iter()
+            .map(|&j| {
+                let c = &self.running[j].req.cfg;
+                (c.n_particles * c.dim) as u64
+            })
+            .sum();
+        let mut out = Vec::with_capacity(members.len());
+        let open_before = merged_total(&self.group);
+        if let Err(e) = dev.begin_persistent("batched_slice", Phase::SwarmUpdate, threads) {
+            // The region never opened: charge the attempt to the first
+            // member and surface the error there; the rest are untouched.
+            self.running[members[0]].device_seconds += merged_total(&self.group) - open_before;
+            out.push((members[0], Err(e.into())));
+            out.extend(members[1..].iter().map(|&j| (j, Ok(false))));
+            return out;
+        }
+        let open_cost = merged_total(&self.group) - open_before;
+        let mut failed = false;
+        for &j in members {
+            if failed {
+                out.push((j, Ok(false)));
+                continue;
+            }
+            let before = merged_total(&self.group);
+            let rec_before = merged_recovery(&self.group);
+            let job = &mut self.running[j];
+            let res = step_job(job, slice);
+            job.device_seconds += merged_total(&self.group) - before;
+            job.recovery_s += merged_recovery(&self.group) - rec_before;
+            failed = res.is_err();
+            out.push((j, res));
+        }
+        dev.end_persistent();
+        let share = open_cost / members.len() as f64;
+        for &j in members {
+            self.running[j].device_seconds += share;
+        }
+        // Checkpoint at the slice boundary, as the solo path does — unless
+        // the device died mid-batch (the capture transfer would fail; the
+        // next tick's sweep rolls every member back to its last capture).
+        let stranded = members.iter().any(|&j| {
+            self.running[j]
+                .lease
+                .devices()
+                .iter()
+                .any(|&d| self.device_lost(d))
+        });
+        if self.cfg.checkpoint_slices > 0 && !stranded {
+            for &(j, ref res) in &out {
+                if !matches!(res, Ok(false)) {
+                    continue;
+                }
+                let before = merged_total(&self.group);
+                let rec_before = merged_recovery(&self.group);
+                let job = &mut self.running[j];
+                job.slices_since_snapshot += 1;
+                if job.slices_since_snapshot >= self.cfg.checkpoint_slices {
+                    let snap = snapshot_job(job);
+                    job.snapshot = Some(snap);
+                    job.slices_since_snapshot = 0;
+                }
+                job.device_seconds += merged_total(&self.group) - before;
+                job.recovery_s += merged_recovery(&self.group) - rec_before;
+            }
+        }
+        out
     }
 
     fn finalize_completed(&mut self, job: Running, now: f64) {
@@ -998,7 +1216,7 @@ impl Service {
             };
             run.finish_state(state)
         };
-        self.pool.release(lease);
+        self.release_shared(lease);
         self.journal.append(ServeEvent::Complete { job: id.0 });
         self.records.push(JobRecord {
             tenant: req.tenant,
@@ -1049,7 +1267,16 @@ impl Service {
         );
         let Running { lease, state, .. } = job;
         drop(state); // device buffers freed
-        self.pool.release(lease);
+        self.release_shared(lease);
+    }
+
+    /// Return a (possibly shared) lease to the pool. Micro-batch members
+    /// hold the same `Rc`; the pool sees the release only when the last
+    /// member lets go.
+    fn release_shared(&mut self, lease: Rc<Lease>) {
+        if let Ok(l) = Rc::try_unwrap(lease) {
+            self.pool.release(l);
+        }
     }
 
     fn finalize_queued(&mut self, entry: QueueEntry<Pending>, outcome: JobOutcome, now: f64) {
@@ -1189,7 +1416,7 @@ fn snapshot_job(job: &Running) -> SuspendedJob {
 /// Evacuate a running job to host memory and requeue it. Returns the
 /// queue entry (payload carries the [`SuspendedJob`]) and the lease to
 /// release.
-fn suspend_to_entry(job: Running) -> (QueueEntry<Pending>, Lease) {
+fn suspend_to_entry(job: Running) -> (QueueEntry<Pending>, Rc<Lease>) {
     let Running {
         id,
         req,

@@ -17,6 +17,32 @@ use std::sync::Arc;
 /// Modeled time of one device-wide synchronization (`cudaDeviceSynchronize`).
 const SYNC_OVERHEAD_S: f64 = 3.0e-6;
 
+/// Modeled time of one grid-wide barrier
+/// (`cooperative_groups::grid_group::sync()`): resident threads rendezvous
+/// on-device without a host round-trip, so it is much cheaper than
+/// [`SYNC_OVERHEAD_S`]. Charged by [`Device::synchronize`] inside an open
+/// persistent region and by the cooperative grid launches in
+/// [`crate::coop`].
+pub(crate) const GRID_SYNC_OVERHEAD_S: f64 = 0.5e-6;
+
+/// Host-visible tallies of one closed persistent region, returned by
+/// [`Device::end_persistent`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PersistentStats {
+    /// Kernel passes executed device-resident inside the region (each was
+    /// recorded with zero host launches).
+    pub inner_passes: u64,
+    /// Grid-wide barriers charged inside the region.
+    pub grid_syncs: u64,
+}
+
+/// Bookkeeping of an open persistent-kernel region (see
+/// [`Device::begin_persistent`]).
+struct PersistentRegion {
+    inner_passes: u64,
+    grid_syncs: u64,
+}
+
 /// Bookkeeping for retried operations (see [`Device::mark_redundant`]).
 ///
 /// A resilient caller that re-executes work after a transient fault marks
@@ -46,6 +72,7 @@ pub(crate) struct DeviceState {
     pub profiler: Profiler,
     pub redundant: RedundantWork,
     pub stream: StreamWindow,
+    persistent: Option<PersistentRegion>,
 }
 
 impl DeviceState {
@@ -114,6 +141,7 @@ impl Device {
                     profiler: Profiler::default(),
                     redundant: RedundantWork::default(),
                     stream: StreamWindow::default(),
+                    persistent: None,
                 }),
             }),
         }
@@ -325,14 +353,31 @@ impl Device {
     /// run through other entry points.
     pub fn charge_kernel(&self, desc: &KernelDesc) {
         let work = desc.work();
-        let t = gpu_kernel_time(&self.shared.profile, &work);
+        let config = desc
+            .config
+            .unwrap_or_else(|| LaunchConfig::one_per_element(desc.threads.max(1), DEFAULT_BLOCK));
+        let mut st = self.shared.state.lock();
+        // Inside an open persistent region the pass runs device-resident:
+        // no host launch, so the per-launch overhead and the launch count
+        // move to the region record (charged at `begin_persistent`). All
+        // compute/memory counters are unchanged.
+        let in_region = st.persistent.is_some();
+        let t = if in_region {
+            let r = st.persistent.as_mut().expect("region checked open");
+            r.inner_passes += 1;
+            (gpu_kernel_time(&self.shared.profile, &work)
+                - self.shared.profile.kernel_launch_overhead_s)
+                .max(0.0)
+        } else {
+            gpu_kernel_time(&self.shared.profile, &work)
+        };
         let mut c = Counters::new();
         c.flops = work.flops;
         c.tensor_flops = work.tensor_flops;
         c.dram_read_bytes = work.dram_read_bytes;
         c.dram_write_bytes = work.dram_write_bytes;
         c.shared_bytes = work.shared_bytes;
-        c.kernel_launches = 1;
+        c.kernel_launches = u64::from(!in_region);
         // Mirror the model's occupancy logic for the record.
         let launched = if work.launched_threads == 0 {
             work.threads
@@ -348,10 +393,6 @@ impl Device {
         } else {
             0.0
         };
-        let config = desc
-            .config
-            .unwrap_or_else(|| LaunchConfig::one_per_element(desc.threads.max(1), DEFAULT_BLOCK));
-        let mut st = self.shared.state.lock();
         let phase = if st.redundant.launch_in_recovery {
             Phase::Recovery
         } else {
@@ -377,9 +418,115 @@ impl Device {
             bw_fraction,
             ordinal: st.fault.launches,
             stream,
+            launches: u64::from(!in_region),
         };
         st.profiler.record_kernel(record);
         st.timeline.charge(phase, t, c);
+    }
+
+    /// Open a persistent-kernel region: one host launch whose grid stays
+    /// resident on the device until [`Device::end_persistent`].
+    ///
+    /// While the region is open, every kernel charged through
+    /// [`Device::charge_kernel`] models a device-resident *pass* of the
+    /// persistent grid instead of a fresh launch: it costs its own
+    /// compute/memory time minus the per-launch overhead and counts zero
+    /// `kernel_launches` (the single launch is charged here, so profiler
+    /// and timeline totals stay exact). [`Device::synchronize`] becomes a
+    /// grid-wide barrier at `GRID_SYNC_OVERHEAD_S`. Launch fault gates
+    /// ([`Device::begin_launch`]) keep counting ordinals exactly as in
+    /// per-launch mode, so fault plans fire at the same positions.
+    ///
+    /// `threads` is the grid's resident thread count; a grid-wide barrier
+    /// requires full co-residency, so values above the profile's
+    /// `max_resident_threads` are rejected. Nested regions are rejected.
+    /// The region open does not consume a fault ordinal — the first inner
+    /// pass's gate stands in for the real launch.
+    pub fn begin_persistent(
+        &self,
+        name: &'static str,
+        phase: Phase,
+        threads: u64,
+    ) -> Result<(), GpuError> {
+        let max_resident = self.shared.profile.max_resident_threads();
+        let mut st = self.shared.state.lock();
+        if st.fault.lost {
+            return Err(GpuError::DeviceLost(self.shared.index));
+        }
+        if st.persistent.is_some() {
+            return Err(GpuError::InvalidLaunch(
+                "persistent regions cannot nest".into(),
+            ));
+        }
+        if threads == 0 {
+            return Err(GpuError::InvalidLaunch(
+                "persistent region needs at least one resident thread".into(),
+            ));
+        }
+        if threads > max_resident {
+            return Err(GpuError::InvalidLaunch(format!(
+                "persistent region needs {threads} co-resident threads, \
+                 device holds {max_resident}"
+            )));
+        }
+        let t = self.shared.profile.kernel_launch_overhead_s;
+        let mut c = Counters::new();
+        c.kernel_launches = 1;
+        let config = LaunchConfig::one_per_element(threads, DEFAULT_BLOCK);
+        let phase = if st.redundant.launch_in_recovery {
+            Phase::Recovery
+        } else {
+            phase
+        };
+        let (start_s, stream) = st.queue_charge(t);
+        let record = KernelRecord {
+            name,
+            device: self.shared.index,
+            phase,
+            start_s,
+            duration_s: t,
+            grid: [config.grid.x, config.grid.y, config.grid.z],
+            block: [config.block.x, config.block.y, config.block.z],
+            threads,
+            launched_threads: threads,
+            flops: 0,
+            tensor_flops: 0,
+            dram_read_bytes: 0,
+            dram_write_bytes: 0,
+            shared_bytes: 0,
+            occupancy: threads as f64 / max_resident.max(1) as f64,
+            bw_fraction: 0.0,
+            ordinal: st.fault.launches,
+            stream,
+            launches: 1,
+        };
+        st.profiler.record_kernel(record);
+        st.timeline.charge(phase, t, c);
+        st.persistent = Some(PersistentRegion {
+            inner_passes: 0,
+            grid_syncs: 0,
+        });
+        Ok(())
+    }
+
+    /// Close the open persistent region and return its tallies. Safe to
+    /// call on a lost device (the region is host-side bookkeeping) and
+    /// when no region is open (returns zeroed stats), so error-path
+    /// cleanup never needs its own error handling.
+    pub fn end_persistent(&self) -> PersistentStats {
+        let mut st = self.shared.state.lock();
+        match st.persistent.take() {
+            Some(r) => PersistentStats {
+                inner_passes: r.inner_passes,
+                grid_syncs: r.grid_syncs,
+            },
+            None => PersistentStats::default(),
+        }
+    }
+
+    /// Whether a persistent region is currently open.
+    pub fn in_persistent(&self) -> bool {
+        self.shared.state.lock().persistent.is_some()
     }
 
     /// Charge a host↔device transfer of `bytes` to the timeline and record
@@ -443,9 +590,20 @@ impl Device {
         self.shared.charge(phase, seconds, counters);
     }
 
-    /// Model a `cudaDeviceSynchronize`, charged to `phase`.
+    /// Model a `cudaDeviceSynchronize`, charged to `phase`. Inside an open
+    /// persistent region this is a grid-wide barrier instead: the resident
+    /// grid rendezvouses on-device at `GRID_SYNC_OVERHEAD_S` without a
+    /// host round-trip.
     pub fn synchronize(&self, phase: Phase) {
-        self.shared.charge(phase, SYNC_OVERHEAD_S, Counters::new());
+        let mut st = self.shared.state.lock();
+        let t = match st.persistent.as_mut() {
+            Some(r) => {
+                r.grid_syncs += 1;
+                GRID_SYNC_OVERHEAD_S
+            }
+            None => SYNC_OVERHEAD_S,
+        };
+        st.timeline.charge(phase, t, Counters::new());
     }
 
     /// Queue subsequent charges on stream lane `id`, opening a stream
@@ -543,6 +701,7 @@ impl Device {
         st.timeline = Timeline::new();
         st.profiler.clear();
         st.stream = StreamWindow::default();
+        st.persistent = None;
     }
 
     /// Reset timeline, profiler *and* drop all pooled memory (full device
@@ -553,6 +712,7 @@ impl Device {
         st.profiler.clear();
         st.pool.clear();
         st.stream = StreamWindow::default();
+        st.persistent = None;
     }
 
     /// Bytes currently allocated on the device.
@@ -857,6 +1017,105 @@ mod tests {
         let other = tl.phase_counters(Phase::Other);
         assert_eq!(other.device_allocs, 1);
         assert_eq!(other.transfers, 1);
+    }
+
+    #[test]
+    fn persistent_region_charges_one_launch_and_exact_counters() {
+        let run = |persistent: bool| {
+            let dev = Device::v100();
+            if persistent {
+                dev.begin_persistent("persistent_probe", Phase::SwarmUpdate, 256)
+                    .unwrap();
+            }
+            for _ in 0..10 {
+                dev.begin_launch().unwrap();
+                dev.charge_kernel(&KernelDesc::simple("k", Phase::SwarmUpdate, 2, 8, 4, 256));
+                dev.synchronize(Phase::SwarmUpdate);
+            }
+            if persistent {
+                let stats = dev.end_persistent();
+                assert_eq!(stats.inner_passes, 10);
+                assert_eq!(stats.grid_syncs, 10);
+            }
+            (
+                dev.counters(),
+                dev.profiler(),
+                dev.timeline().total_seconds(),
+            )
+        };
+        let (base_c, base_log, base_t) = run(false);
+        let (pers_c, pers_log, pers_t) = run(true);
+        assert_eq!(base_c.kernel_launches, 10);
+        assert_eq!(pers_c.kernel_launches, 1, "one region launch per slice");
+        // Every non-launch counter is byte-exact between the two modes.
+        let neutral = |mut c: Counters| {
+            c.kernel_launches = 0;
+            c
+        };
+        assert_eq!(neutral(base_c), neutral(pers_c));
+        // Profiler totals agree with the timeline in both modes.
+        assert_eq!(base_log.total_counters(), base_c);
+        assert_eq!(pers_log.total_counters(), pers_c);
+        // The device-resident run is strictly cheaper: per-pass launch
+        // overhead is gone and syncs are grid-scope.
+        assert!(pers_t < base_t);
+        // Inner passes record zero launches; the region record carries one.
+        assert_eq!(pers_log.kernels[0].name, "persistent_probe");
+        assert_eq!(pers_log.kernels[0].launches, 1);
+        assert!(pers_log.kernels[1..].iter().all(|k| k.launches == 0));
+    }
+
+    #[test]
+    fn persistent_region_keeps_fault_ordinals_aligned() {
+        use crate::fault::FaultPlan;
+        let dev = Device::v100();
+        dev.set_fault_plan(FaultPlan::new().with_transient_launch(3));
+        dev.begin_persistent("r", Phase::SwarmUpdate, 64).unwrap();
+        assert!(dev.begin_launch().is_ok(), "ordinal 1");
+        assert!(dev.begin_launch().is_ok(), "ordinal 2");
+        let err = dev.begin_launch().unwrap_err();
+        assert!(err.is_transient(), "region open consumed no ordinal: {err}");
+        dev.end_persistent();
+    }
+
+    #[test]
+    fn persistent_region_rejects_nesting_and_over_residency() {
+        let dev = Device::v100();
+        let max = dev.profile().max_resident_threads();
+        assert!(matches!(
+            dev.begin_persistent("r", Phase::Other, max + 1),
+            Err(GpuError::InvalidLaunch(_))
+        ));
+        assert!(matches!(
+            dev.begin_persistent("r", Phase::Other, 0),
+            Err(GpuError::InvalidLaunch(_))
+        ));
+        dev.begin_persistent("r", Phase::Other, max).unwrap();
+        assert!(dev.in_persistent());
+        assert!(matches!(
+            dev.begin_persistent("r2", Phase::Other, 1),
+            Err(GpuError::InvalidLaunch(_))
+        ));
+        dev.end_persistent();
+        assert!(!dev.in_persistent());
+        // Closing with nothing open is a harmless no-op.
+        assert_eq!(dev.end_persistent(), PersistentStats::default());
+    }
+
+    #[test]
+    fn lost_device_refuses_new_region_but_closes_cleanly() {
+        use crate::fault::FaultPlan;
+        let dev = Device::v100();
+        dev.begin_persistent("r", Phase::Other, 64).unwrap();
+        dev.set_fault_plan(FaultPlan::new().with_device_loss_at_launch(1));
+        let _ = dev.begin_launch();
+        assert!(dev.is_lost());
+        let stats = dev.end_persistent();
+        assert_eq!(stats.inner_passes, 0);
+        assert!(matches!(
+            dev.begin_persistent("r", Phase::Other, 64),
+            Err(GpuError::DeviceLost(_))
+        ));
     }
 
     #[test]

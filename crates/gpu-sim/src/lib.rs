@@ -53,8 +53,8 @@ pub mod tensor;
 pub mod tiled;
 
 pub use buffer::DeviceBuffer;
-pub use coop::BlockCtx;
-pub use device::{Device, DeviceMetrics};
+pub use coop::{BlockCtx, GridCtx};
+pub use device::{Device, DeviceMetrics, PersistentStats};
 pub use error::GpuError;
 pub use fault::{FaultPlan, FaultStats};
 pub use health::{FleetHealth, HealthPolicy, HealthState};

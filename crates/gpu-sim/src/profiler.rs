@@ -154,6 +154,7 @@ mod tests {
             bw_fraction: 0.0,
             ordinal,
             stream: 0,
+            launches: 1,
         }
     }
 

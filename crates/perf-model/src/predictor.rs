@@ -53,6 +53,10 @@ const VELOCITY_FLOPS_PER_ELEM: u64 = 10;
 const POSITION_FLOPS_PER_ELEM: u64 = 2;
 /// Flops per low-complexity velocity-update element.
 const LOWC_VELOCITY_FLOPS_PER_ELEM: u64 = 8;
+/// Kernel launches in one modeled iteration: eval, pbest compare, argmin,
+/// two weight generations, velocity and position. Persistent pricing
+/// collapses exactly these into the per-slice region launch.
+const LAUNCHES_PER_ITER: u64 = 7;
 
 /// The admission-relevant shape of one optimization job: everything the
 /// predictor reads at submit time.
@@ -72,6 +76,13 @@ pub struct JobShape {
     /// Canonical update-strategy name (`global`, `smem`, `tensor`,
     /// `forloop`, `lowcomp`).
     pub strategy: String,
+    /// True when the job runs device-resident (persistent region / batched
+    /// slice): per-kernel launch overhead is replaced by one launch per
+    /// slice. Calibrated separately from the per-launch schedule.
+    pub persistent: bool,
+    /// Iterations dispatched per slice when `persistent` (the serving
+    /// layer's `slice_iters`); 0 prices the whole run as one slice.
+    pub slice_iters: u64,
 }
 
 impl JobShape {
@@ -84,6 +95,8 @@ impl JobShape {
             shards: 1,
             flops_per_dim: 1,
             strategy: strategy.to_string(),
+            persistent: false,
+            slice_iters: 0,
         }
     }
 
@@ -97,6 +110,25 @@ impl JobShape {
     pub fn flops_per_dim(mut self, f: u64) -> JobShape {
         self.flops_per_dim = f;
         self
+    }
+
+    /// Price the job as device-resident: `slice_iters` iterations per
+    /// region launch (0 = the whole run in one region).
+    pub fn persistent(mut self, slice_iters: u64) -> JobShape {
+        self.persistent = true;
+        self.slice_iters = slice_iters;
+        self
+    }
+
+    /// The calibration key: persistent shapes calibrate separately from
+    /// per-launch ones, since the scheduler-dependent costs they absorb
+    /// (region open/close, grid syncs, batch sharing) differ.
+    pub fn calibration_key(&self) -> String {
+        if self.persistent {
+            format!("{}+persistent", self.strategy)
+        } else {
+            self.strategy.clone()
+        }
     }
 }
 
@@ -146,7 +178,8 @@ impl CostPredictor {
     pub fn base_s(&self, shape: &JobShape) -> f64 {
         let k = shape.shards.max(1);
         let d = shape.dim.max(1);
-        let mut total = 0.0;
+        let mut per_iter = 0.0;
+        let mut active_shards = 0u64;
         // Row-partition like the scheduler: leading shards take the extra.
         let base_rows = shape.particles / k;
         let extra = shape.particles % k;
@@ -155,9 +188,25 @@ impl CostPredictor {
             if rows == 0 {
                 continue;
             }
-            total += self.iteration_s(rows, d, shape.flops_per_dim, &shape.strategy);
+            per_iter += self.iteration_s(rows, d, shape.flops_per_dim, &shape.strategy);
+            active_shards += 1;
         }
-        total * shape.iterations as f64
+        let mut total = per_iter * shape.iterations as f64;
+        if shape.persistent {
+            // Device-resident execution: the per-kernel launch overheads
+            // baked into `iteration_s` collapse into one region launch per
+            // slice per shard.
+            let overhead = self.gpu.kernel_launch_overhead_s;
+            let slices = if shape.slice_iters == 0 {
+                1
+            } else {
+                shape.iterations.div_ceil(shape.slice_iters).max(1)
+            };
+            let saved = overhead * (LAUNCHES_PER_ITER * shape.iterations * active_shards) as f64;
+            let region = overhead * (slices * active_shards) as f64;
+            total = (total - saved + region).max(0.0);
+        }
+        total
     }
 
     /// Modeled seconds of one iteration over one `rows × d` shard.
@@ -278,10 +327,10 @@ impl CostPredictor {
         self.calib.get(strategy).map(|c| c.count).unwrap_or(0)
     }
 
-    /// The calibrated estimate: analytic base times the strategy's mean
-    /// observed/base ratio.
+    /// The calibrated estimate: analytic base times the shape's
+    /// calibration-key mean observed/base ratio.
     pub fn predict_s(&self, shape: &JobShape) -> f64 {
-        self.base_s(shape) * self.coefficient(&shape.strategy)
+        self.base_s(shape) * self.coefficient(&shape.calibration_key())
     }
 
     /// Feed one observed completion back into the calibration: `observed_s`
@@ -292,7 +341,7 @@ impl CostPredictor {
         if !(observed_s.is_finite() && observed_s > 0.0 && base > 0.0) {
             return;
         }
-        let c = self.calib.entry(shape.strategy.clone()).or_default();
+        let c = self.calib.entry(shape.calibration_key()).or_default();
         c.sum_ratio += observed_s / base;
         c.count += 1;
     }
@@ -371,6 +420,40 @@ mod tests {
         p.observe(&shape, -1.0);
         assert_eq!(p.observations("global"), 0);
         assert_eq!(p.coefficient("global"), 1.0);
+    }
+
+    #[test]
+    fn persistent_shapes_price_one_launch_per_slice() {
+        let p = CostPredictor::v100();
+        let solo = JobShape::new(64, 8, 80, "global");
+        let sliced = solo.clone().persistent(8); // ceil(80/8) = 10 slices
+        let whole = solo.clone().persistent(0); // one region for the run
+        let base = p.base_s(&solo);
+        let t_sliced = p.base_s(&sliced);
+        let t_whole = p.base_s(&whole);
+        assert!(t_whole < t_sliced && t_sliced < base);
+        // Savings are launch-overhead arithmetic: solo pays 7·iters
+        // launches, sliced pays ceil(iters/slice), whole pays 1. The
+        // implied per-launch overhead must agree between the two rungs.
+        let per_launch_a = (base - t_sliced) / (7.0 * 80.0 - 10.0);
+        let per_launch_b = (base - t_whole) / (7.0 * 80.0 - 1.0);
+        assert!((per_launch_a - per_launch_b).abs() < 1e-15);
+        assert!(per_launch_a > 0.0);
+    }
+
+    #[test]
+    fn persistent_calibration_is_keyed_separately() {
+        let mut p = CostPredictor::v100();
+        let shape = JobShape::new(64, 8, 80, "global").persistent(8);
+        let base = p.base_s(&shape);
+        p.observe(&shape, base * 2.0);
+        assert_eq!(p.observations("global+persistent"), 1);
+        assert_eq!(p.observations("global"), 0);
+        assert_eq!(p.coefficient("global"), 1.0);
+        assert!((p.predict_s(&shape) - base * 2.0).abs() < 1e-12);
+        // The per-launch rung is untouched by persistent observations.
+        let solo = JobShape::new(64, 8, 80, "global");
+        assert!((p.predict_s(&solo) - p.base_s(&solo)).abs() < 1e-15);
     }
 
     #[test]

@@ -62,6 +62,11 @@ pub struct KernelRecord {
     /// different streams may have overlapping `[start_s, start_s +
     /// duration_s)` intervals).
     pub stream: u32,
+    /// Host-side launches this record represents: 1 for a normal kernel,
+    /// 0 for a pass executed inside an open persistent region (the region
+    /// record itself carries the 1). [`ProfilerLog::total_counters`] sums
+    /// this field so profiler totals stay byte-exact against the timeline.
+    pub launches: u64,
 }
 
 /// One device allocation request, as recorded at charge time.
@@ -215,7 +220,7 @@ impl ProfilerLog {
             c.dram_read_bytes += k.dram_read_bytes;
             c.dram_write_bytes += k.dram_write_bytes;
             c.shared_bytes += k.shared_bytes;
-            c.kernel_launches += 1;
+            c.kernel_launches += k.launches;
         }
         for a in &self.allocs {
             match a.kind {
@@ -344,6 +349,7 @@ mod tests {
             bw_fraction: 0.1,
             ordinal: 1,
             stream: 0,
+            launches: 1,
         }
     }
 

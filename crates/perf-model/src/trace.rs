@@ -515,6 +515,7 @@ mod tests {
                 bw_fraction: 0.01,
                 ordinal: i + 1,
                 stream: 0,
+                launches: 1,
             });
         }
         log

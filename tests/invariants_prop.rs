@@ -226,6 +226,57 @@ proptest! {
         prop_assert_eq!(mangled.parse::<UpdateStrategy>().unwrap(), strategy);
     }
 
+    /// `Display` → `FromStr` round-trips every `PlanOp`, including the
+    /// parameterised `ring_lbest:k`, and parsing is case-insensitive.
+    #[test]
+    fn plan_op_display_fromstr_round_trips(
+        idx in 0usize..11,
+        k in 1usize..64,
+        caps in prop::collection::vec(any::<bool>(), 20..21),
+    ) {
+        use fastpso_suite::fastpso::PlanOp;
+        let op = match idx {
+            0 => PlanOp::Eval,
+            1 => PlanOp::PBest,
+            2 => PlanOp::Argmin,
+            3 => PlanOp::ReduceAdopt,
+            4 => PlanOp::RingLbest { k },
+            5 => PlanOp::GenWeights,
+            6 => PlanOp::Velocity,
+            7 => PlanOp::Position,
+            8 => PlanOp::FusedSwarmUpdate,
+            9 => PlanOp::DeviceSync,
+            _ => PlanOp::PersistentKernel,
+        };
+        let printed = op.to_string();
+        prop_assert_eq!(printed.parse::<PlanOp>().unwrap(), op);
+        // Flip an arbitrary subset of characters to uppercase.
+        let mangled: String = printed
+            .chars()
+            .zip(caps.iter().cycle())
+            .map(|(ch, &up)| if up { ch.to_ascii_uppercase() } else { ch })
+            .collect();
+        prop_assert_eq!(mangled.parse::<PlanOp>().unwrap(), op);
+        // A bare ring_lbest (no half-width) or a non-numeric one never parses.
+        prop_assert!("ring_lbest".parse::<PlanOp>().is_err());
+        prop_assert!("ring_lbest:x".parse::<PlanOp>().is_err());
+    }
+
+    /// `Display` → `FromStr` round-trips every positive `BatchPolicy`,
+    /// and zero bounds never parse.
+    #[test]
+    fn batch_policy_display_fromstr_round_trips(
+        jobs in 1usize..10_000,
+        elems in 1usize..10_000_000,
+    ) {
+        use fastpso_suite::fastpso::serve::BatchPolicy;
+        let p = BatchPolicy { max_jobs: jobs, max_elems: elems };
+        prop_assert_eq!(p.to_string().parse::<BatchPolicy>().unwrap(), p);
+        prop_assert!(format!("jobs=0,elems={elems}").parse::<BatchPolicy>().is_err());
+        prop_assert!(format!("jobs={jobs},elems=0").parse::<BatchPolicy>().is_err());
+        prop_assert!(format!("jobs={jobs}").parse::<BatchPolicy>().is_err());
+    }
+
     /// Strings outside the alias table never parse.
     #[test]
     fn update_strategy_rejects_unknown_names(

@@ -11,7 +11,8 @@
 
 use fastpso::resilience::ResilienceConfig;
 use fastpso::serve::{
-    JobId, JobStatus, OptimizeRequest, Priority, ServeConfig, ServeError, ServeEvent, Service,
+    BatchPolicy, JobId, JobStatus, OptimizeRequest, Priority, ServeConfig, ServeError, ServeEvent,
+    Service,
 };
 use fastpso::{CounterAsserts, PsoConfig, RunResult, UpdateStrategy};
 use fastpso_functions::builtins::{Griewank, Rastrigin, Sphere};
@@ -619,6 +620,8 @@ fn calibrated_predictor_matches_observed_costs_within_pinned_tolerances() {
             shards: 1,
             flops_per_dim: obj.flops_per_dim(),
             strategy: strategy.to_string(),
+            persistent: false,
+            slice_iters: 0,
         };
         let err = svc.predictor().relative_error(&shape, rec.device_seconds);
         let slot = max_err.entry(strategy.to_string()).or_insert(0.0);
@@ -733,6 +736,280 @@ fn predictive_admission_beats_blind_shedding_on_the_pinned_overload_trace() {
         pred_goodput > 0.0 && (blind_goodput == 0.0 || pred_goodput / blind_goodput >= 2.0),
         "expected >= 2x goodput: predictive {pred_goodput:.4}s vs blind {blind_goodput:.4}s"
     );
+}
+
+// ---- cross-job micro-batching ---------------------------------------------
+
+/// Small always-batchable job configs: one dim-class (6 → class 8) and
+/// distinct particle counts, so every job's kernel records are
+/// identifiable in a merged manifest by thread count.
+fn small_cfg(i: u64) -> PsoConfig {
+    cfg(
+        8 + 4 * (i as usize % 6),
+        6,
+        20 + 5 * (i as usize % 3),
+        6000 + i,
+    )
+}
+
+/// Replay a 6-job batched trace on 2 devices, optionally losing device 0
+/// (the device the first batch leases) at its `loss_ordinal`-th launch.
+fn batched_chaos(loss_ordinal: Option<u64>) -> (Vec<RunResult>, bool, u64, HealthState) {
+    let group = DeviceGroup::v100s(2);
+    if let Some(ord) = loss_ordinal {
+        group.set_fault_plans(vec![
+            FaultPlan::new().with_device_loss_at_launch(ord),
+            FaultPlan::new(),
+        ]);
+    }
+    let mut svc = Service::new(
+        group,
+        ServeConfig {
+            slots_per_device: 2,
+            slice_iters: 4,
+            checkpoint_slices: 1,
+            batching: Some(BatchPolicy::default()),
+            ..ServeConfig::default()
+        },
+    );
+    let ids: Vec<JobId> = (0..6)
+        .map(|i| {
+            svc.submit(OptimizeRequest::new("t", Arc::new(Sphere), small_cfg(i)))
+                .unwrap()
+        })
+        .collect();
+    svc.run_until_idle();
+    let results = ids
+        .iter()
+        .map(|&id| svc.result(id).unwrap().clone())
+        .collect();
+    (
+        results,
+        svc.group().device(0).unwrap().is_lost(),
+        svc.records().iter().map(|r| r.rehomes).sum(),
+        svc.health().state(0),
+    )
+}
+
+/// Losing the device that hosts a whole micro-batch mid-run strands every
+/// member at once; the re-homing sweep must requeue them, re-batch them on
+/// the surviving device and finish each one bit-identical to a dedicated
+/// solo run — at every loss ordinal swept.
+#[test]
+fn device_loss_mid_batch_rehomes_every_member_bit_identically() {
+    use fastpso::{GpuBackend, PsoBackend};
+    let solo: Vec<RunResult> = (0..6)
+        .map(|i| GpuBackend::new().run(&small_cfg(i), &Sphere).unwrap())
+        .collect();
+    let (clean, lost, rehomes, _) = batched_chaos(None);
+    assert!(!lost);
+    assert_eq!(rehomes, 0, "fault-free batched run must not re-home");
+    for (a, b) in clean.iter().zip(&solo) {
+        CounterAsserts::assert_bit_identical_gbest(a, b);
+    }
+    let mut fired = 0;
+    for ord in [1u64, 4, 9, 20, 45, 120] {
+        let (results, lost, rehomes, health) = batched_chaos(Some(ord));
+        for (i, (a, b)) in results.iter().zip(&solo).enumerate() {
+            assert_eq!(
+                a.best_value.to_bits(),
+                b.best_value.to_bits(),
+                "ordinal {ord}: batch member {i} drifted under device loss"
+            );
+            CounterAsserts::assert_bit_identical_gbest(a, b);
+        }
+        if lost {
+            fired += 1;
+            assert!(
+                rehomes >= 1,
+                "ordinal {ord}: the stranded batch never re-homed"
+            );
+            assert_eq!(
+                health,
+                HealthState::Quarantined,
+                "ordinal {ord}: lost device must stay quarantined"
+            );
+        }
+    }
+    assert!(fired >= 2, "the sweep never exercised a mid-batch loss");
+}
+
+/// Path of the pinned batched/persistent calibration tolerance table.
+const BATCHED_TOLERANCE_GOLDEN: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/results/predictor_tolerance_batched.golden.txt"
+);
+
+/// With batching on, batchable shapes predict and observe under the
+/// `<strategy>+persistent` calibration rung (one launch per batch-slice,
+/// not one per kernel). After replaying a per-strategy block trace of
+/// small batched jobs, the calibrated predictor agrees with every job's
+/// observed device-seconds to within the tolerances pinned in
+/// `results/predictor_tolerance_batched.golden.txt` (regenerate with
+/// `UPDATE_GOLDEN=1 cargo test --test serve`).
+#[test]
+fn batched_calibration_matches_observed_costs_within_pinned_tolerances() {
+    let mut svc = Service::new(
+        DeviceGroup::v100s(2),
+        ServeConfig {
+            slots_per_device: 2,
+            slice_iters: 10,
+            batching: Some(BatchPolicy::default()),
+            ..ServeConfig::default()
+        },
+    );
+    let mut jobs = Vec::new();
+    // One homogeneous block per strategy so every job actually batches —
+    // blocks are separated by run_until_idle to keep composition pinned.
+    for (b, &strategy) in UpdateStrategy::ALL.iter().enumerate() {
+        for i in 0..6u64 {
+            let cfg = cfg(
+                16 + 8 * (i as usize % 3),
+                5 + (i as usize % 3),
+                40 + 10 * (i as usize % 3),
+                5000 + 100 * b as u64 + i,
+            );
+            let id = svc
+                .submit(
+                    OptimizeRequest::new("calib", Arc::new(Sphere), cfg.clone()).strategy(strategy),
+                )
+                .unwrap();
+            jobs.push((id, cfg, strategy));
+        }
+        svc.run_until_idle();
+    }
+
+    let mut max_err: std::collections::BTreeMap<String, f64> = Default::default();
+    for (id, cfg, strategy) in &jobs {
+        let rec = svc
+            .records()
+            .iter()
+            .find(|r| r.job == id.0)
+            .expect("every job has a record");
+        assert_eq!(rec.outcome, perf_model::JobOutcome::Completed);
+        let shape = perf_model::JobShape {
+            particles: cfg.n_particles as u64,
+            dim: cfg.dim as u64,
+            iterations: rec.iterations as u64,
+            shards: 1,
+            flops_per_dim: Sphere.flops_per_dim(),
+            strategy: strategy.to_string(),
+            persistent: true,
+            slice_iters: 10,
+        };
+        let err = svc.predictor().relative_error(&shape, rec.device_seconds);
+        let slot = max_err
+            .entry(format!("{strategy}+persistent"))
+            .or_insert(0.0);
+        *slot = slot.max(err);
+    }
+    for strategy in UpdateStrategy::ALL {
+        assert!(
+            svc.predictor()
+                .observations(&format!("{strategy}+persistent"))
+                > 0,
+            "{strategy} never calibrated on its persistent rung"
+        );
+    }
+
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        let mut out =
+            String::from("# strategy+persistent,tolerance (max observed relative error * 1.25)\n");
+        for (key, err) in &max_err {
+            out.push_str(&format!("{key},{:.4}\n", (err * 1.25).max(0.02)));
+        }
+        std::fs::write(BATCHED_TOLERANCE_GOLDEN, out).expect("write batched tolerance golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(BATCHED_TOLERANCE_GOLDEN).expect(
+        "batched tolerance golden missing; regenerate with UPDATE_GOLDEN=1 cargo test --test serve",
+    );
+    let mut pinned: std::collections::BTreeMap<&str, f64> = Default::default();
+    for line in golden
+        .lines()
+        .filter(|l| !l.starts_with('#') && !l.is_empty())
+    {
+        let (key, tol) = line.split_once(',').expect("key,tolerance");
+        pinned.insert(key, tol.parse().expect("tolerance is a float"));
+    }
+    for (key, err) in &max_err {
+        let tol = pinned
+            .get(key.as_str())
+            .unwrap_or_else(|| panic!("{key} missing from the batched tolerance golden"));
+        assert!(
+            err <= tol,
+            "{key}: calibrated prediction error {err:.4} exceeds the pinned \
+             tolerance {tol:.4} (if the batched cost model changed intentionally: \
+             UPDATE_GOLDEN=1 cargo test --test serve)"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random batch compositions: jobs fused into one micro-batch finish
+    /// with gbest bytes identical to dedicated solo runs, and the batched
+    /// launch manifest carries exactly the same per-job kernel work
+    /// (names × thread counts) as the solo runs, minus only the
+    /// `batched_slice` region records — batching changes *when* passes
+    /// dispatch, never *what* they compute.
+    #[test]
+    fn batched_jobs_match_solo_bitwise_for_random_compositions(
+        n_jobs in 2usize..7,
+        d in 5usize..9,
+        iters_base in 3usize..8,
+        seed in 0u64..1_000,
+    ) {
+        use fastpso::{GpuBackend, PsoBackend};
+        // Distinct particle counts per job keep per-job kernel records
+        // identifiable by thread count in the merged manifest.
+        let configs: Vec<PsoConfig> = (0..n_jobs)
+            .map(|i| cfg(8 + 4 * i, d, 5 * (iters_base + i % 3), 8_000 + seed * 10 + i as u64))
+            .collect();
+        let mut expected = Vec::new();
+        let mut solo_work: Vec<(String, u64)> = Vec::new();
+        for c in &configs {
+            let b = GpuBackend::new();
+            expected.push(b.run(c, &Sphere).unwrap());
+            solo_work.extend(b.profile().kernels.iter().map(|k| (k.name.to_string(), k.threads)));
+        }
+        let mut svc = Service::new(
+            DeviceGroup::v100s(1),
+            ServeConfig {
+                slots_per_device: n_jobs,
+                slice_iters: 6,
+                checkpoint_slices: 1,
+                batching: Some(BatchPolicy::default()),
+                ..ServeConfig::default()
+            },
+        );
+        let ids: Vec<JobId> = configs
+            .iter()
+            .map(|c| {
+                svc.submit(OptimizeRequest::new("t", Arc::new(Sphere), c.clone()))
+                    .unwrap()
+            })
+            .collect();
+        svc.run_until_idle();
+        for (id, want) in ids.iter().zip(&expected) {
+            let got = svc.result(*id).unwrap();
+            prop_assert_eq!(got.best_value.to_bits(), want.best_value.to_bits());
+            let gb: Vec<u32> = got.best_position.iter().map(|v| v.to_bits()).collect();
+            let wb: Vec<u32> = want.best_position.iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(gb, wb, "batched member position drifted from solo");
+        }
+        let mut batched_work: Vec<(String, u64)> = svc
+            .merged_profiler()
+            .kernels
+            .iter()
+            .filter(|k| k.name != "batched_slice")
+            .map(|k| (k.name.to_string(), k.threads))
+            .collect();
+        solo_work.sort();
+        batched_work.sort();
+        prop_assert_eq!(batched_work, solo_work, "per-job kernel work drifted under batching");
+    }
 }
 
 proptest! {
