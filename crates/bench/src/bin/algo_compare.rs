@@ -1,0 +1,178 @@
+//! Cross-algorithm comparison at equal modeled budget: PSO vs the
+//! discrete-SSO and GFWA engines, all three running through the same
+//! plan executor, plus a random-search floor.
+//!
+//! Per function, every engine receives the same modeled device-second
+//! budget — PSO's predicted cost at the scale's quality iteration count,
+//! priced by the calibratable cost predictor on the V100 profile — and
+//! runs for however many iterations its *own* modeled per-iteration cost
+//! affords (SSO's single-launch update buys it more iterations; GFWA's
+//! spark cloud buys it fewer). Random search receives the largest total
+//! objective-evaluation count any engine used, a deliberately generous
+//! floor: an engine that cannot beat it is not earning its kernels.
+//!
+//! Usage: `cargo run --release -p fastpso-bench --bin algo_compare --
+//!         [--paper-scale|--smoke] [--out <path>]`
+//! — writes a markdown table (default `results/algo_compare.md`).
+
+use fastpso::{Algorithm, GpuBackend, PsoBackend, PsoConfig};
+use fastpso_bench::Scale;
+use fastpso_functions::builtins::{Qap, Rastrigin, Sphere};
+use fastpso_functions::Objective;
+use perf_model::{CostPredictor, JobShape};
+
+/// SplitMix64, the bench-local generator behind the random-search floor.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform draw in `[0, 1)` for (seed, index).
+fn unit(seed: u64, i: u64) -> f32 {
+    (splitmix64(seed ^ i.wrapping_mul(0xA076_1D64_78BD_642F)) >> 40) as f32 / (1u64 << 24) as f32
+}
+
+/// Best value over `evals` uniform samples of `obj`'s domain.
+fn random_search(obj: &dyn Objective, dim: usize, evals: u64, seed: u64) -> f32 {
+    let (lo, hi) = obj.domain();
+    let mut best = f32::INFINITY;
+    let mut x = vec![0.0f32; dim];
+    for e in 0..evals {
+        for (c, slot) in x.iter_mut().enumerate() {
+            *slot = lo + unit(seed, e * dim as u64 + c as u64) * (hi - lo);
+        }
+        best = best.min(obj.eval(&x));
+    }
+    best
+}
+
+/// Objective evaluations one engine iteration costs: the swarm eval plus
+/// GFWA's 8 sparks and one guiding spark per firework.
+fn evals_per_iter(algo: Algorithm, particles: u64) -> u64 {
+    match algo {
+        Algorithm::Gfwa => particles * 10,
+        _ => particles,
+    }
+}
+
+struct Row {
+    engine: String,
+    iters: usize,
+    evals: u64,
+    modeled_s: f64,
+    best: f32,
+}
+
+fn compare(
+    obj: &dyn Objective,
+    particles: usize,
+    dim: usize,
+    budget_iters: usize,
+    seed: u64,
+) -> (f64, Vec<Row>) {
+    let predictor = CostPredictor::v100();
+    let per_iter = |algo: Algorithm| {
+        predictor.base_s(
+            &JobShape::new(particles as u64, dim as u64, 1, "global").algorithm(&algo.to_string()),
+        )
+    };
+    let budget_s = per_iter(Algorithm::Pso) * budget_iters as f64;
+
+    let mut rows = Vec::new();
+    let mut max_evals = 0u64;
+    for algo in Algorithm::ALL {
+        let iters = ((budget_s / per_iter(algo)).floor() as usize).max(1);
+        let cfg = PsoConfig::builder(particles, dim)
+            .max_iter(iters)
+            .seed(seed)
+            .build()
+            .expect("valid config");
+        let backend = GpuBackend::new().algorithm(algo);
+        let r = backend.run(&cfg, obj).expect("engine run");
+        let evals = iters as u64 * evals_per_iter(algo, particles as u64);
+        max_evals = max_evals.max(evals);
+        rows.push(Row {
+            engine: backend.name().to_string(),
+            iters,
+            evals,
+            modeled_s: r.timeline.total_seconds(),
+            best: r.best_value as f32,
+        });
+    }
+    rows.push(Row {
+        engine: "random-search".to_string(),
+        iters: 0,
+        evals: max_evals,
+        modeled_s: 0.0,
+        best: random_search(obj, dim, max_evals, seed),
+    });
+    (budget_s, rows)
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let args: Vec<String> = std::env::args().collect();
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "results/algo_compare.md".to_string());
+    let seed = 42u64;
+    let particles = scale.quality_particles;
+    let iters = scale.quality_iters;
+    // QAP decodes a permutation per evaluation; keep its facility count
+    // modest so the O(d^2) objective stays cheap at every scale.
+    let qap_dim = 12usize.min(scale.dim);
+
+    let mut md = String::from(
+        "# PSO vs SSO vs GFWA at equal modeled budget\n\n\
+         Every engine gets the same modeled device-second budget — PSO's\n\
+         predicted cost at the quality iteration count, V100 profile,\n\
+         global-memory strategy — and runs for as many iterations as its\n\
+         own modeled per-iteration cost affords. Random search gets the\n\
+         largest objective-evaluation count any engine used.\n\n\
+         Regenerate: `cargo run --release -p fastpso-bench --bin\n\
+         algo_compare` (append `--smoke` for the CI-sized run,\n\
+         `--out <path>` to redirect).\n",
+    );
+    for (name, obj, dim) in [
+        ("sphere", &Sphere as &dyn Objective, scale.dim),
+        ("rastrigin", &Rastrigin as &dyn Objective, scale.dim),
+        ("qap", &Qap as &dyn Objective, qap_dim),
+    ] {
+        let (budget_s, rows) = compare(obj, particles, dim, iters, seed);
+        md.push_str(&format!(
+            "\n## {name} — dim {dim}, {particles} particles, budget {budget_s:.6} modeled s\n\n\
+             | engine | iterations | evaluations | modeled s | best value |\n\
+             |---|---:|---:|---:|---:|\n"
+        ));
+        for r in &rows {
+            let iters_cell = if r.iters == 0 {
+                "—".to_string()
+            } else {
+                r.iters.to_string()
+            };
+            let modeled_cell = if r.modeled_s == 0.0 {
+                "—".to_string()
+            } else {
+                format!("{:.6}", r.modeled_s)
+            };
+            assert!(r.best.is_finite(), "{name}/{}: non-finite best", r.engine);
+            md.push_str(&format!(
+                "| {} | {} | {} | {} | {:.4} |\n",
+                r.engine, iters_cell, r.evals, modeled_cell, r.best
+            ));
+            eprintln!(
+                "{name:<10} {:<14} iters {:>6} evals {:>9} best {:>12.4}",
+                r.engine, r.iters, r.evals, r.best
+            );
+        }
+    }
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        std::fs::create_dir_all(dir).ok();
+    }
+    std::fs::write(&out, md).expect("write table");
+    eprintln!("\n(table written to {out})");
+}

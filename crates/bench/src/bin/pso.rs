@@ -163,6 +163,8 @@ fn main() {
             "fastpso-tensor",
             "fastpso-forloop",
             "fastpso-lowcomp",
+            "fastpso-sso",
+            "fastpso-gfwa",
             "fastpso-seq",
             "fastpso-omp",
             "gpu-pso",

@@ -1,6 +1,8 @@
 //! Backend registry and the affine-extrapolation runner.
 
-use fastpso::{GpuBackend, ParBackend, PsoBackend, PsoConfig, SeqBackend, UpdateStrategy};
+use fastpso::{
+    Algorithm, GpuBackend, ParBackend, PsoBackend, PsoConfig, SeqBackend, UpdateStrategy,
+};
 use fastpso_baselines::{GpuPsoBaseline, HGpuPsoBaseline, PySwarmsLike, ScikitOptLike};
 use fastpso_functions::Objective;
 use perf_model::{GpuProfile, Phase};
@@ -20,9 +22,12 @@ pub fn paper_backends() -> Vec<Box<dyn PsoBackend>> {
 }
 
 /// Look up one backend by its Table-1 name (plus the FastPSO strategy
-/// variants used by Figure 6). The `fastpso-<strategy>` names are parsed
-/// through [`UpdateStrategy`]'s `FromStr`, so every strategy — including
-/// aliases like `fastpso-wmma` — resolves without ad-hoc string matching.
+/// variants used by Figure 6 and the non-PSO swarm engines). The
+/// `fastpso-<strategy>` names are parsed through [`UpdateStrategy`]'s
+/// `FromStr`, so every strategy — including aliases like `fastpso-wmma` —
+/// resolves without ad-hoc string matching; `fastpso-sso` and
+/// `fastpso-gfwa` select the discrete-SSO and GFWA engines on the same
+/// plan executor.
 pub fn backend_by_name(name: &str) -> Option<Box<dyn PsoBackend>> {
     Some(match name {
         "pyswarms" => Box::new(PySwarmsLike) as Box<dyn PsoBackend>,
@@ -32,6 +37,8 @@ pub fn backend_by_name(name: &str) -> Option<Box<dyn PsoBackend>> {
         "fastpso-seq" => Box::new(SeqBackend),
         "fastpso-omp" => Box::new(ParBackend),
         "fastpso" => Box::new(GpuBackend::new()),
+        "fastpso-sso" => Box::new(GpuBackend::new().algorithm(Algorithm::Sso)),
+        "fastpso-gfwa" => Box::new(GpuBackend::new().algorithm(Algorithm::Gfwa)),
         _ => {
             let strategy: UpdateStrategy = name.strip_prefix("fastpso-")?.parse().ok()?;
             Box::new(GpuBackend::new().strategy(strategy))
@@ -153,6 +160,21 @@ mod tests {
         ] {
             let b = backend_by_name(name).unwrap_or_else(|| panic!("{name} must resolve"));
             assert_eq!(b.name(), expect, "{name}");
+        }
+    }
+
+    #[test]
+    fn swarm_algorithm_engines_resolve_and_run() {
+        let cfg = PsoConfig::builder(16, 4)
+            .max_iter(10)
+            .seed(3)
+            .build()
+            .unwrap();
+        for name in ["fastpso-sso", "fastpso-gfwa"] {
+            let b = backend_by_name(name).unwrap_or_else(|| panic!("{name} must resolve"));
+            assert_eq!(b.name(), name);
+            let r = b.run(&cfg, &Sphere).expect("engine run");
+            assert!(r.best_value.is_finite());
         }
     }
 

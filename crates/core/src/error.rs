@@ -1,5 +1,6 @@
 //! Error type for PSO runs.
 
+use crate::gpu::UpdateStrategy;
 use gpu_sim::GpuError;
 use std::fmt;
 
@@ -16,6 +17,16 @@ pub enum PsoError {
     InvalidConfig(String),
     /// A device operation failed.
     Gpu(GpuError),
+    /// A permanent launch failure could not be degraded: the active update
+    /// strategy has no cheaper rung in its algorithm's ladder (see
+    /// `resilience::fallback_strategy` and the per-algorithm ladder table
+    /// in DESIGN.md). Carries the device failure that exhausted the ladder.
+    NoFallback {
+        /// The strategy the job was on when the ladder ran out.
+        strategy: UpdateStrategy,
+        /// The permanent device failure that could not be absorbed.
+        cause: GpuError,
+    },
 }
 
 impl PsoError {
@@ -41,6 +52,10 @@ impl fmt::Display for PsoError {
         match self {
             PsoError::InvalidConfig(msg) => write!(f, "invalid PSO configuration: {msg}"),
             PsoError::Gpu(e) => write!(f, "GPU error: {e}"),
+            PsoError::NoFallback { strategy, cause } => write!(
+                f,
+                "no fallback rung below update strategy '{strategy}': {cause}"
+            ),
         }
     }
 }
@@ -49,6 +64,7 @@ impl std::error::Error for PsoError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             PsoError::Gpu(e) => Some(e),
+            PsoError::NoFallback { cause, .. } => Some(cause),
             _ => None,
         }
     }
@@ -88,5 +104,22 @@ mod tests {
         let c = PsoError::InvalidConfig("x".into());
         assert!(!c.is_transient());
         assert_eq!(c.lost_device(), None);
+    }
+
+    #[test]
+    fn no_fallback_is_permanent_and_keeps_its_cause() {
+        let e = PsoError::NoFallback {
+            strategy: UpdateStrategy::LowComplexity,
+            cause: GpuError::InvalidLaunch("block too large".into()),
+        };
+        assert!(!e.is_transient(), "an exhausted ladder is not retryable");
+        assert_eq!(e.lost_device(), None);
+        let msg = e.to_string();
+        assert!(msg.contains("no fallback rung"), "{msg}");
+        assert!(msg.contains("lowcomp"), "{msg}");
+        assert!(
+            std::error::Error::source(&e).is_some(),
+            "the device failure stays reachable as the source"
+        );
     }
 }

@@ -152,6 +152,11 @@ pub struct Shard {
     pub gbest_pos: DeviceBuffer<f32>,
     /// Swarm-best error this shard tracks (device-resident scalar).
     pub gbest_err: f32,
+    /// Algorithm-specific per-row state (`rows`), allocated lazily by the
+    /// algorithms that declare it ([`crate::SwarmAlgorithm::extra_state`]).
+    /// GFWA stores its per-firework explosion amplitudes here; PSO and SSO
+    /// leave it `None`, so their allocation traffic is unchanged.
+    pub extra: Option<DeviceBuffer<f32>>,
 }
 
 impl Shard {
@@ -170,6 +175,7 @@ impl Shard {
             pbest_pos: dev.alloc(rows * d)?,
             gbest_pos: dev.alloc(d)?,
             gbest_err: f32::INFINITY,
+            extra: None,
         })
     }
 
@@ -764,6 +770,377 @@ pub fn fused_swarm_update(
     Ok(())
 }
 
+// ---------------------------------------------------------------------------
+// Discrete SSO (Yeh et al., arXiv:2110.01470)
+// ---------------------------------------------------------------------------
+
+/// SSO adoption threshold `Cg`: an element whose draw falls below it copies
+/// the swarm-best value for its column.
+pub const SSO_CG: f32 = 0.40;
+/// SSO adoption threshold `Cp` (`Cg < Cp`): a draw in `[Cg, Cp)` copies the
+/// particle's own pbest value.
+pub const SSO_CP: f32 = 0.70;
+/// SSO keep threshold `Cw` (`Cp < Cw`): a draw in `[Cp, Cw)` keeps the
+/// current value; a draw above resamples uniformly from the domain.
+pub const SSO_CW: f32 = 0.90;
+
+/// The simplified-swarm-optimization update (Yeh et al.'s parallel SSO):
+/// one draw per element selects among four sources — the swarm best, the
+/// particle best, the current value, or a fresh uniform sample from the
+/// domain (the draw's tail `(u − Cw)/(1 − Cw)` is remapped so a single
+/// Philox draw covers both the choice and the resample). No velocity
+/// arithmetic; `V` is untouched.
+///
+/// Exactly **one** fault-gated launch, and every output depends only on the
+/// pre-launch state and the counter-based stream, so the resilience layer
+/// can retry the whole op without double-applying it. Elements are
+/// addressed *globally* (like every kernel here), so sharded runs draw
+/// exactly what a single-device run draws.
+pub fn sso_update(
+    dev: &Device,
+    shard: &mut Shard,
+    cfg: &PsoConfig,
+    t: usize,
+    domain: (f32, f32),
+) -> Result<(), PsoError> {
+    let (lo, hi) = domain;
+    let d = shard.d;
+    let row0 = shard.row0;
+    let elems = shard.elems() as u64;
+    let rng = Philox::new(cfg.seed);
+    let dom = domains::sso_update(t);
+    // Reads: P (in place), the pbest element and the broadcast gbest value
+    // — 12 useful bytes per element beside the draw.
+    let cost = KernelCost::elementwise(RNG_FLOPS_PER_DRAW + 4, 12, 4);
+    let desc = desc_for(dev, "sso_update", Phase::SwarmUpdate, cost, elems);
+    let Shard {
+        pos,
+        pbest_pos,
+        gbest_pos,
+        ..
+    } = shard;
+    let pbest_pos = pbest_pos.as_slice();
+    let gbest_pos = gbest_pos.as_slice();
+    dev.launch_update(&desc, pos.as_mut_slice(), |i, p| {
+        let col = i % d;
+        let u = rng.uniform_at((row0 * d + i) as u64, dom);
+        if u < SSO_CG {
+            gbest_pos[col]
+        } else if u < SSO_CP {
+            pbest_pos[i]
+        } else if u < SSO_CW {
+            p
+        } else {
+            lo + (u - SSO_CW) / (1.0 - SSO_CW) * (hi - lo)
+        }
+    })?;
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// GFWA fireworks (Meng & Tan, arXiv:2501.03944)
+// ---------------------------------------------------------------------------
+
+/// Explosion sparks generated per firework each iteration.
+pub const GFWA_SPARKS_PER_FIREWORK: usize = 8;
+/// Initial explosion amplitude, as a fraction of the domain span.
+pub const GFWA_INIT_AMP: f32 = 0.5;
+/// Amplitude growth factor applied to a firework that improved.
+pub const GFWA_AMP_GROW: f32 = 1.2;
+/// Amplitude shrink factor applied to a stagnating firework.
+pub const GFWA_AMP_SHRINK: f32 = 0.9;
+/// Smallest amplitude, as a fraction of the domain span (keeps a collapsed
+/// firework able to move).
+pub const GFWA_AMP_MIN_FRAC: f32 = 1e-4;
+
+/// Allocate and initialise a GFWA shard's per-firework explosion
+/// amplitudes to [`GFWA_INIT_AMP`] of the domain span. Re-allocates on
+/// retry, so the op is idempotent.
+pub fn init_gfwa_amplitudes(
+    dev: &Device,
+    shard: &mut Shard,
+    domain: (f32, f32),
+) -> Result<(), PsoError> {
+    let span = domain.1 - domain.0;
+    let mut amp = dev.alloc::<f32>(shard.rows)?;
+    let desc = desc_for(
+        dev,
+        "init_gfwa_amplitudes",
+        Phase::Init,
+        KernelCost::elementwise(1, 0, 4),
+        shard.rows as u64,
+    );
+    dev.launch_map(&desc, amp.as_mut_slice(), |_| GFWA_INIT_AMP * span)?;
+    shard.extra = Some(amp);
+    Ok(())
+}
+
+/// One iteration's explosion-spark population: transient state that lives
+/// only between the `Explosion`, `GuidingSpark` and `Selection` ops of one
+/// shard (never checkpointed — a restored job regenerates it from the
+/// counter-based stream).
+pub struct Explosion {
+    /// Spark positions, `(rows · per_fw) × d` row-major.
+    pub pos: Vec<f32>,
+    /// Spark errors, `rows · per_fw`.
+    pub err: Vec<f32>,
+    /// Sparks per firework.
+    pub per_fw: usize,
+}
+
+/// One guiding spark per firework (Meng & Tan's multi-guiding-spark
+/// construction collapsed to the shard's firework rows).
+pub struct GuidingSpark {
+    /// Guiding-spark positions, `rows × d` row-major.
+    pub pos: Vec<f32>,
+    /// Guiding-spark errors, `rows`.
+    pub err: Vec<f32>,
+}
+
+/// GFWA explosion: every firework (particle row) emits
+/// [`GFWA_SPARKS_PER_FIREWORK`] sparks uniformly within its per-firework
+/// amplitude, clamped to the domain, then all sparks are evaluated. Two
+/// launches ("gfwa_sparks", "gfwa_spark_eval"), both pure reads of shard
+/// state — the op mutates nothing, so it is retryable as a whole.
+pub fn explosion(
+    dev: &Device,
+    shard: &Shard,
+    cfg: &PsoConfig,
+    t: usize,
+    domain: (f32, f32),
+    obj: &dyn Objective,
+) -> Result<Explosion, PsoError> {
+    let (lo, hi) = domain;
+    let d = shard.d;
+    let per_fw = GFWA_SPARKS_PER_FIREWORK;
+    let n_sparks = shard.rows * per_fw;
+    let rng = Philox::new(cfg.seed);
+    let dom = domains::gfwa_sparks(t);
+    let row0 = shard.row0;
+    let amp = shard
+        .extra
+        .as_ref()
+        .expect("GFWA shards carry explosion amplitudes")
+        .as_slice();
+    let pos = shard.pos.as_slice();
+
+    let mut spark_pos = vec![0.0f32; n_sparks * d];
+    let gen_cost = KernelCost::elementwise(RNG_FLOPS_PER_DRAW + 3, 8, 4);
+    let desc = desc_for(
+        dev,
+        "gfwa_sparks",
+        Phase::SwarmUpdate,
+        gen_cost,
+        (n_sparks * d) as u64,
+    );
+    dev.launch_map(&desc, &mut spark_pos, |i| {
+        let fw = i / (per_fw * d);
+        let col = i % d;
+        // Sparks of global firework `r` own the global elements
+        // `[r·S·d, (r+1)·S·d)`, so sharded runs draw exactly the numbers a
+        // single-device run draws.
+        let g = (row0 * per_fw * d + i) as u64;
+        let u = rng.uniform_at(g, dom);
+        (pos[fw * d + col] + amp[fw] * (2.0 * u - 1.0)).clamp(lo, hi)
+    })?;
+
+    let eval_cost = KernelCost::elementwise(d as u64 * obj.flops_per_dim(), d as u64 * 4, 4);
+    let desc = desc_for(
+        dev,
+        "gfwa_spark_eval",
+        Phase::SwarmUpdate,
+        eval_cost,
+        n_sparks as u64,
+    );
+    let mut err = vec![0.0f32; n_sparks];
+    dev.launch_map(&desc, &mut err, |i| {
+        obj.eval(&spark_pos[i * d..(i + 1) * d])
+    })?;
+    Ok(Explosion {
+        pos: spark_pos,
+        err,
+        per_fw,
+    })
+}
+
+/// GFWA guiding spark: per firework, the guiding vector Δ is the mean of
+/// its top-σ sparks minus the mean of its bottom-σ sparks (σ =
+/// `max(1, S/4)`, ranked by spark error with index tie-breaks for
+/// determinism); the guiding spark is the firework displaced by Δ, clamped
+/// to the domain, then evaluated. Pure reads of shard and explosion state
+/// — retryable as a whole.
+pub fn guiding_spark(
+    dev: &Device,
+    shard: &Shard,
+    domain: (f32, f32),
+    obj: &dyn Objective,
+    ex: &Explosion,
+) -> Result<GuidingSpark, PsoError> {
+    let (lo, hi) = domain;
+    let d = shard.d;
+    let per_fw = ex.per_fw;
+    let sigma = (per_fw / 4).max(1);
+    let pos = shard.pos.as_slice();
+
+    // Per-firework spark ranking, computed once (host mirror of the
+    // device-side sort the real kernel would do per block).
+    let mut order: Vec<usize> = Vec::with_capacity(shard.rows * per_fw);
+    for fw in 0..shard.rows {
+        let mut idx: Vec<usize> = (0..per_fw).collect();
+        idx.sort_by(|&a, &b| {
+            ex.err[fw * per_fw + a]
+                .total_cmp(&ex.err[fw * per_fw + b])
+                .then(a.cmp(&b))
+        });
+        order.extend_from_slice(&idx);
+    }
+
+    let mut gpos = vec![0.0f32; shard.rows * d];
+    let cost = KernelCost::elementwise(2 * sigma as u64 + 2, 2 * sigma as u64 * 4 + 4, 4);
+    let desc = desc_for(
+        dev,
+        "gfwa_guiding",
+        Phase::SwarmUpdate,
+        cost,
+        (shard.rows * d) as u64,
+    );
+    dev.launch_map(&desc, &mut gpos, |i| {
+        let (fw, col) = (i / d, i % d);
+        let ord = &order[fw * per_fw..(fw + 1) * per_fw];
+        let mut top = 0.0f32;
+        let mut bot = 0.0f32;
+        for k in 0..sigma {
+            top += ex.pos[(fw * per_fw + ord[k]) * d + col];
+            bot += ex.pos[(fw * per_fw + ord[per_fw - 1 - k]) * d + col];
+        }
+        let delta = (top - bot) / sigma as f32;
+        (pos[fw * d + col] + delta).clamp(lo, hi)
+    })?;
+
+    let eval_cost = KernelCost::elementwise(d as u64 * obj.flops_per_dim(), d as u64 * 4, 4);
+    let desc = desc_for(
+        dev,
+        "gfwa_guide_eval",
+        Phase::SwarmUpdate,
+        eval_cost,
+        shard.rows as u64,
+    );
+    let mut gerr = vec![0.0f32; shard.rows];
+    dev.launch_map(&desc, &mut gerr, |i| obj.eval(&gpos[i * d..(i + 1) * d]))?;
+    Ok(GuidingSpark {
+        pos: gpos,
+        err: gerr,
+    })
+}
+
+/// GFWA selection + amplitude adaptation: each firework adopts the best of
+/// {itself, its best spark, its guiding spark}, then grows its amplitude by
+/// [`GFWA_AMP_GROW`] if it improved and shrinks it by [`GFWA_AMP_SHRINK`]
+/// otherwise (clamped to `[GFWA_AMP_MIN_FRAC · span, span]`).
+///
+/// The winners are picked host-side from the *pre-mutation* state, then
+/// committed in **one** fault-gated launch ("gfwa_selection") whose gate
+/// fires before any element is written — so the whole op retries safely.
+/// The amplitude adaptation that follows is charged as a separate
+/// "gfwa_amplitude" kernel but applied as an ungated host-mirror write
+/// (like [`ring_lbest`]'s host compute): gating it would break retry
+/// idempotence, because a fault *between* the two launches would otherwise
+/// re-pick winners from already-mutated errors.
+pub fn gfwa_selection(
+    dev: &Device,
+    shard: &mut Shard,
+    ex: &Explosion,
+    gu: &GuidingSpark,
+    domain: (f32, f32),
+) -> Result<(), PsoError> {
+    let d = shard.d;
+    let per_fw = ex.per_fw;
+    let rows = shard.rows;
+    let span = domain.1 - domain.0;
+
+    #[derive(Clone, Copy)]
+    enum Pick {
+        Keep,
+        Spark(usize),
+        Guide,
+    }
+
+    let Shard {
+        pos, errors, extra, ..
+    } = shard;
+
+    let mut picks = vec![Pick::Keep; rows];
+    let mut new_err = vec![0.0f32; rows];
+    {
+        let errors = errors.as_slice();
+        for fw in 0..rows {
+            let mut best = errors[fw];
+            let mut pick = Pick::Keep;
+            for j in 0..per_fw {
+                let v = ex.err[fw * per_fw + j];
+                if v < best {
+                    best = v;
+                    pick = Pick::Spark(j);
+                }
+            }
+            if gu.err[fw] < best {
+                best = gu.err[fw];
+                pick = Pick::Guide;
+            }
+            picks[fw] = pick;
+            new_err[fw] = best;
+        }
+    }
+
+    // Reads the S+1 candidate errors, writes the winning error + row.
+    let cost = KernelCost::elementwise(
+        per_fw as u64 + 2,
+        (per_fw as u64 + 1) * 4,
+        (d as u64 + 1) * 4,
+    );
+    let desc = desc_for(dev, "gfwa_selection", Phase::SwarmUpdate, cost, rows as u64);
+    dev.launch_chunks2(
+        &desc,
+        errors.as_mut_slice(),
+        1,
+        pos.as_mut_slice(),
+        d,
+        |fw, e, p| {
+            match picks[fw] {
+                Pick::Keep => {}
+                Pick::Spark(j) => {
+                    let s = (fw * per_fw + j) * d;
+                    p.copy_from_slice(&ex.pos[s..s + d]);
+                }
+                Pick::Guide => p.copy_from_slice(&gu.pos[fw * d..(fw + 1) * d]),
+            }
+            e[0] = new_err[fw];
+        },
+    )?;
+
+    let amp = extra
+        .as_mut()
+        .expect("GFWA shards carry explosion amplitudes");
+    let amp_desc = desc_for(
+        dev,
+        "gfwa_amplitude",
+        Phase::SwarmUpdate,
+        KernelCost::elementwise(2, 8, 4),
+        rows as u64,
+    );
+    dev.charge_kernel(&amp_desc);
+    let (amp_lo, amp_hi) = (GFWA_AMP_MIN_FRAC * span, span);
+    for (fw, a) in amp.as_mut_slice().iter_mut().enumerate() {
+        let factor = if matches!(picks[fw], Pick::Keep) {
+            GFWA_AMP_SHRINK
+        } else {
+            GFWA_AMP_GROW
+        };
+        *a = (*a * factor).clamp(amp_lo, amp_hi);
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1007,6 +1384,181 @@ mod tests {
             .run(&cfg, &Sphere)
             .unwrap();
         assert!(r.best_value < 10.0, "best = {}", r.best_value);
+    }
+
+    #[test]
+    fn sso_update_selects_sources_by_threshold_and_is_deterministic() {
+        let dev = Device::v100();
+        let cfg = cfg();
+        let domain = Sphere.domain();
+        let run = || {
+            let mut shard = setup(&dev, &cfg);
+            eval_shard(&dev, &mut shard, &Sphere).unwrap();
+            pbest_update(&dev, &mut shard).unwrap();
+            let r = local_argmin(&dev, &shard).unwrap();
+            adopt_gbest_local(&dev, &mut shard, r.index, r.value).unwrap();
+            let before = shard.pos.as_slice().to_vec();
+            let pbest = shard.pbest_pos.as_slice().to_vec();
+            let gbest = shard.gbest_pos.as_slice().to_vec();
+            sso_update(&dev, &mut shard, &cfg, 0, domain).unwrap();
+            (before, pbest, gbest, shard.pos.as_slice().to_vec())
+        };
+        let (before, pbest, gbest, after) = run();
+        // Bit-identical across repeated runs (counter-based stream).
+        assert_eq!(after, run().3);
+        // Velocity is untouched by SSO and every element matches the
+        // threshold scheme recomputed by hand.
+        let rng = Philox::new(cfg.seed);
+        let (lo, hi) = domain;
+        let d = cfg.dim;
+        for (i, &p) in after.iter().enumerate() {
+            let u = rng.uniform_at(i as u64, domains::sso_update(0));
+            let expect = if u < SSO_CG {
+                gbest[i % d]
+            } else if u < SSO_CP {
+                pbest[i]
+            } else if u < SSO_CW {
+                before[i]
+            } else {
+                lo + (u - SSO_CW) / (1.0 - SSO_CW) * (hi - lo)
+            };
+            assert_eq!(p, expect, "element {i}");
+            assert!((lo..=hi).contains(&p));
+        }
+    }
+
+    #[test]
+    fn sso_sharded_update_matches_single_device_rows() {
+        let cfg = cfg();
+        let domain = Sphere.domain();
+        let full = {
+            let dev = Device::v100();
+            let mut shard = setup(&dev, &cfg);
+            eval_shard(&dev, &mut shard, &Sphere).unwrap();
+            pbest_update(&dev, &mut shard).unwrap();
+            let r = local_argmin(&dev, &shard).unwrap();
+            adopt_gbest_local(&dev, &mut shard, r.index, r.value).unwrap();
+            sso_update(&dev, &mut shard, &cfg, 1, domain).unwrap();
+            shard.pos.as_slice().to_vec()
+        };
+        // A shard holding rows 5..9 with the same adopted gbest must draw
+        // the same stream elements as the full swarm's rows 5..9.
+        let dev = Device::v100();
+        let mut shard = Shard::alloc(&dev, 5, 4, cfg.dim).unwrap();
+        init_shard(&dev, &mut shard, &cfg, domain).unwrap();
+        eval_shard(&dev, &mut shard, &Sphere).unwrap();
+        pbest_update(&dev, &mut shard).unwrap();
+        // Adopt the full run's gbest so the broadcast column matches.
+        let host_gbest = {
+            let dev2 = Device::v100();
+            let mut s2 = setup(&dev2, &cfg);
+            eval_shard(&dev2, &mut s2, &Sphere).unwrap();
+            pbest_update(&dev2, &mut s2).unwrap();
+            let r = local_argmin(&dev2, &s2).unwrap();
+            adopt_gbest_local(&dev2, &mut s2, r.index, r.value).unwrap();
+            (s2.gbest_pos.as_slice().to_vec(), s2.gbest_err)
+        };
+        adopt_gbest_from_host(&dev, &mut shard, &host_gbest.0, host_gbest.1).unwrap();
+        sso_update(&dev, &mut shard, &cfg, 1, domain).unwrap();
+        assert_eq!(
+            shard.pos.as_slice(),
+            &full[5 * cfg.dim..9 * cfg.dim],
+            "sharded SSO must draw global stream elements"
+        );
+    }
+
+    fn gfwa_setup(dev: &Device, cfg: &PsoConfig) -> Shard {
+        let mut shard = setup(dev, cfg);
+        init_gfwa_amplitudes(dev, &mut shard, Sphere.domain()).unwrap();
+        eval_shard(dev, &mut shard, &Sphere).unwrap();
+        pbest_update(dev, &mut shard).unwrap();
+        let r = local_argmin(dev, &shard).unwrap();
+        adopt_gbest_local(dev, &mut shard, r.index, r.value).unwrap();
+        shard
+    }
+
+    #[test]
+    fn gfwa_explosion_sparks_stay_in_domain_and_within_amplitude() {
+        let dev = Device::v100();
+        let cfg = cfg();
+        let shard = gfwa_setup(&dev, &cfg);
+        let domain = Sphere.domain();
+        let ex = explosion(&dev, &shard, &cfg, 0, domain, &Sphere).unwrap();
+        assert_eq!(ex.per_fw, GFWA_SPARKS_PER_FIREWORK);
+        assert_eq!(ex.pos.len(), cfg.n_particles * ex.per_fw * cfg.dim);
+        assert_eq!(ex.err.len(), cfg.n_particles * ex.per_fw);
+        let (lo, hi) = domain;
+        let d = cfg.dim;
+        let pos = shard.pos.as_slice();
+        let amp = shard.extra.as_ref().unwrap().as_slice();
+        for (i, &sp) in ex.pos.iter().enumerate() {
+            assert!((lo..=hi).contains(&sp));
+            let fw = i / (ex.per_fw * d);
+            let col = i % d;
+            let center = pos[fw * d + col];
+            assert!(
+                (sp - center).abs() <= amp[fw] + 1e-5 || sp == lo || sp == hi,
+                "spark strays beyond its amplitude"
+            );
+        }
+        // Spark errors are the objective at the spark positions.
+        assert_eq!(ex.err[0], Sphere.eval(&ex.pos[0..d]));
+    }
+
+    #[test]
+    fn gfwa_selection_never_worsens_and_adapts_amplitudes() {
+        let dev = Device::v100();
+        let cfg = cfg();
+        let mut shard = gfwa_setup(&dev, &cfg);
+        let domain = Sphere.domain();
+        let before_err = shard.errors.as_slice().to_vec();
+        let before_amp = shard.extra.as_ref().unwrap().as_slice().to_vec();
+        let ex = explosion(&dev, &shard, &cfg, 0, domain, &Sphere).unwrap();
+        let gu = guiding_spark(&dev, &shard, domain, &Sphere, &ex).unwrap();
+        gfwa_selection(&dev, &mut shard, &ex, &gu, domain).unwrap();
+        let after_err = shard.errors.as_slice().to_vec();
+        let after_amp = shard.extra.as_ref().unwrap().as_slice().to_vec();
+        let mut improved_any = false;
+        for fw in 0..cfg.n_particles {
+            assert!(
+                after_err[fw] <= before_err[fw],
+                "selection must be elitist per firework"
+            );
+            let improved = after_err[fw] < before_err[fw];
+            improved_any |= improved;
+            let expect = if improved {
+                before_amp[fw] * GFWA_AMP_GROW
+            } else {
+                before_amp[fw] * GFWA_AMP_SHRINK
+            };
+            let span = domain.1 - domain.0;
+            assert_eq!(after_amp[fw], expect.clamp(GFWA_AMP_MIN_FRAC * span, span));
+        }
+        assert!(improved_any, "8 sparks per firework should improve someone");
+        // The committed errors match the objective at the committed rows.
+        let d = cfg.dim;
+        for (fw, err) in after_err.iter().enumerate().take(cfg.n_particles) {
+            assert_eq!(
+                *err,
+                Sphere.eval(&shard.pos.as_slice()[fw * d..(fw + 1) * d])
+            );
+        }
+    }
+
+    #[test]
+    fn gfwa_guiding_spark_is_deterministic_and_in_domain() {
+        let dev = Device::v100();
+        let cfg = cfg();
+        let shard = gfwa_setup(&dev, &cfg);
+        let domain = Sphere.domain();
+        let ex = explosion(&dev, &shard, &cfg, 2, domain, &Sphere).unwrap();
+        let g1 = guiding_spark(&dev, &shard, domain, &Sphere, &ex).unwrap();
+        let g2 = guiding_spark(&dev, &shard, domain, &Sphere, &ex).unwrap();
+        assert_eq!(g1.pos, g2.pos);
+        assert_eq!(g1.err, g2.err);
+        assert_eq!(g1.pos.len(), cfg.n_particles * cfg.dim);
+        let (lo, hi) = domain;
+        assert!(g1.pos.iter().all(|p| (lo..=hi).contains(p)));
     }
 
     #[test]

@@ -3,6 +3,7 @@
 pub mod kernels;
 pub mod multi;
 
+use crate::algo::Algorithm;
 use crate::backend::PsoBackend;
 use crate::config::PsoConfig;
 use crate::error::PsoError;
@@ -32,6 +33,7 @@ pub use kernels::UpdateStrategy;
 pub struct GpuBackend {
     device: Device,
     strategy: UpdateStrategy,
+    algorithm: Algorithm,
     resilience: Option<ResilienceConfig>,
     alloc_mode: Option<AllocMode>,
     fuse: bool,
@@ -56,6 +58,7 @@ impl GpuBackend {
         GpuBackend {
             device,
             strategy: UpdateStrategy::GlobalMem,
+            algorithm: Algorithm::Pso,
             resilience: None,
             alloc_mode: None,
             fuse: false,
@@ -68,6 +71,19 @@ impl GpuBackend {
     pub fn strategy(mut self, s: UpdateStrategy) -> Self {
         self.strategy = s;
         self
+    }
+
+    /// Select the swarm-intelligence algorithm the plan runs (PSO by
+    /// default; see [`crate::Algorithm`] for the discrete-SSO and GFWA
+    /// fireworks engines, which execute through the same plan executor).
+    pub fn algorithm(mut self, a: Algorithm) -> Self {
+        self.algorithm = a;
+        self
+    }
+
+    /// The configured algorithm.
+    pub fn algo(&self) -> Algorithm {
+        self.algorithm
     }
 
     /// Enable the resilient execution layer: bounded retry, periodic
@@ -139,7 +155,7 @@ impl GpuBackend {
     /// built the same way [`GpuBackend::run`] builds it, with the configured
     /// rewrite passes applied.
     pub fn plan(&self, cfg: &PsoConfig) -> ExecutionPlan {
-        let mut plan = ExecutionPlan::build(cfg, 1, BestReduce::Local);
+        let mut plan = ExecutionPlan::build_for(self.algorithm, cfg, 1, BestReduce::Local);
         if self.fuse {
             plan.fuse_swarm_update(self.strategy);
         }
@@ -161,6 +177,11 @@ impl GpuBackend {
 
 impl PsoBackend for GpuBackend {
     fn name(&self) -> &'static str {
+        match self.algorithm {
+            Algorithm::Sso => return "fastpso-sso",
+            Algorithm::Gfwa => return "fastpso-gfwa",
+            Algorithm::Pso => {}
+        }
         match self.strategy {
             UpdateStrategy::GlobalMem => "fastpso",
             UpdateStrategy::SharedMem => "fastpso-smem",
@@ -358,6 +379,58 @@ mod tests {
                 .plan(&small)
                 .persistent
         );
+    }
+
+    #[test]
+    fn sso_backend_runs_deterministically_and_in_domain() {
+        let c = cfg(64, 8, 120);
+        let backend = GpuBackend::new().algorithm(Algorithm::Sso);
+        assert_eq!(backend.name(), "fastpso-sso");
+        let a = backend.run(&c, &Sphere).unwrap();
+        let b = GpuBackend::new()
+            .algorithm(Algorithm::Sso)
+            .run(&c, &Sphere)
+            .unwrap();
+        assert_eq!(a.best_value, b.best_value);
+        assert_eq!(a.best_position, b.best_position);
+        let (lo, hi) = Sphere.domain();
+        assert!(a.best_position.iter().all(|p| (lo..=hi).contains(p)));
+        assert!(a.best_value.is_finite());
+    }
+
+    #[test]
+    fn gfwa_backend_runs_deterministically_and_converges_somewhat() {
+        let c = cfg(32, 8, 60);
+        let backend = GpuBackend::new().algorithm(Algorithm::Gfwa);
+        assert_eq!(backend.name(), "fastpso-gfwa");
+        let a = backend.run(&c, &Sphere).unwrap();
+        let b = GpuBackend::new()
+            .algorithm(Algorithm::Gfwa)
+            .run(&c, &Sphere)
+            .unwrap();
+        assert_eq!(a.best_value, b.best_value);
+        assert_eq!(a.best_position, b.best_position);
+        // Elitist selection: 60 iterations of 8-spark explosions should
+        // land well inside the sphere bowl.
+        assert!(a.best_value < 5.0, "best = {}", a.best_value);
+    }
+
+    #[test]
+    fn non_pso_algorithms_survive_transient_faults_bit_identically() {
+        for algo in [Algorithm::Sso, Algorithm::Gfwa] {
+            let c = cfg(32, 6, 40);
+            let clean = GpuBackend::new().algorithm(algo).run(&c, &Sphere).unwrap();
+            let backend = GpuBackend::new()
+                .algorithm(algo)
+                .resilient(ResilienceConfig::default());
+            backend
+                .device()
+                .set_fault_plan(gpu_sim::FaultPlan::new().with_transient_launches([5, 17, 23]));
+            let faulted = backend.run(&c, &Sphere).unwrap();
+            assert_eq!(clean.best_value, faulted.best_value, "{algo}");
+            assert_eq!(clean.best_position, faulted.best_position);
+            assert!(faulted.phase_seconds(gpu_sim::Phase::Recovery) > 0.0);
+        }
     }
 
     #[test]

@@ -39,6 +39,7 @@
 
 #![deny(missing_docs)]
 
+pub mod algo;
 pub mod backend;
 pub mod config;
 pub mod cost;
@@ -57,6 +58,7 @@ pub mod stats;
 pub mod swarm;
 pub mod topology;
 
+pub use algo::{algorithm_impl, cheaper_strategy_for, Algorithm, SwarmAlgorithm};
 pub use backend::PsoBackend;
 pub use config::{AttractorSemantics, PsoConfig, PsoConfigBuilder, VelocityBound};
 pub use error::PsoError;

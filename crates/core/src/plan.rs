@@ -55,12 +55,14 @@
 //! assert_eq!(plan.nodes.len(), launches_before - 1);
 //! ```
 
+use crate::algo::{algorithm_impl, Algorithm};
 use crate::config::{BoundSchedule, PsoConfig};
 use crate::error::PsoError;
 use crate::gpu::kernels::{
-    adopt_gbest_from_host, adopt_gbest_local, eval_shard, fused_swarm_update, gen_weights,
-    init_shard, local_argmin, pbest_update, position_update, ring_lbest, velocity_update, Shard,
-    UpdateStrategy,
+    adopt_gbest_from_host, adopt_gbest_local, eval_shard, explosion, fused_swarm_update,
+    gen_weights, gfwa_selection, guiding_spark, init_gfwa_amplitudes, init_shard, local_argmin,
+    pbest_update, position_update, ring_lbest, sso_update, velocity_update, Explosion,
+    GuidingSpark, Shard, UpdateStrategy,
 };
 use crate::resilience::{
     quarantine_nonfinite, retry_degradable, retry_op, ResilienceConfig, RetryPolicy,
@@ -112,6 +114,20 @@ pub enum PlanOp {
     /// one host launch, grid-wide syncs between ops, no per-kernel launch
     /// overhead.
     PersistentKernel,
+    /// Discrete SSO update ([`crate::algo::Algorithm::Sso`]): one
+    /// per-element index-sampling launch — each element draws a uniform and
+    /// adopts the gbest value, its pbest value, keeps its current value or
+    /// resamples the domain, per the `Cg < Cp < Cw` thresholds.
+    SsoUpdate,
+    /// GFWA explosion ([`crate::algo::Algorithm::Gfwa`]): generate and
+    /// evaluate each firework's explosion sparks within its amplitude.
+    Explosion,
+    /// GFWA guiding spark: build one guiding spark per firework from the
+    /// mean of its top-σ minus bottom-σ sparks, and evaluate it.
+    GuidingSpark,
+    /// GFWA selection: each firework adopts the best of {itself, best
+    /// spark, guiding spark} and adapts its explosion amplitude.
+    Selection,
 }
 
 impl std::fmt::Display for PlanOp {
@@ -130,6 +146,10 @@ impl std::fmt::Display for PlanOp {
             PlanOp::FusedSwarmUpdate => write!(f, "fused_swarm_update"),
             PlanOp::DeviceSync => write!(f, "device_sync"),
             PlanOp::PersistentKernel => write!(f, "persistent_kernel"),
+            PlanOp::SsoUpdate => write!(f, "sso_update"),
+            PlanOp::Explosion => write!(f, "explosion"),
+            PlanOp::GuidingSpark => write!(f, "guiding_spark"),
+            PlanOp::Selection => write!(f, "selection"),
         }
     }
 }
@@ -158,6 +178,10 @@ impl std::str::FromStr for PlanOp {
             "fused_swarm_update" => Ok(PlanOp::FusedSwarmUpdate),
             "device_sync" => Ok(PlanOp::DeviceSync),
             "persistent_kernel" => Ok(PlanOp::PersistentKernel),
+            "sso_update" => Ok(PlanOp::SsoUpdate),
+            "explosion" => Ok(PlanOp::Explosion),
+            "guiding_spark" => Ok(PlanOp::GuidingSpark),
+            "selection" => Ok(PlanOp::Selection),
             _ => Err(format!("unknown plan op {s:?}")),
         }
     }
@@ -205,6 +229,10 @@ pub enum BestReduce {
 pub struct ExecutionPlan {
     /// Nodes in execution order.
     pub nodes: Vec<PlanNode>,
+    /// The swarm algorithm whose update tail the plan carries
+    /// ([`ExecutionPlan::build`] always builds PSO; use
+    /// [`ExecutionPlan::build_for`] for the others).
+    pub algorithm: Algorithm,
     /// Number of shards the plan spans.
     pub n_shards: usize,
     /// Best-reduction mode.
@@ -240,12 +268,28 @@ fn push(
 }
 
 impl ExecutionPlan {
-    /// Build the iteration graph for `n_shards` shards. Node construction
-    /// order is the legacy loops' execution order: per-shard
+    /// Build the PSO iteration graph for `n_shards` shards. Node
+    /// construction order is the legacy loops' execution order: per-shard
     /// eval→pbest→argmin, one reduce/adopt, the optional ring gather, then
-    /// per-shard gen-weights→velocity→position→sync.
+    /// per-shard gen-weights→velocity→position→sync. Equivalent to
+    /// [`ExecutionPlan::build_for`] with [`Algorithm::Pso`].
     pub fn build(cfg: &PsoConfig, n_shards: usize, reduce: BestReduce) -> ExecutionPlan {
+        Self::build_for(Algorithm::Pso, cfg, n_shards, reduce)
+    }
+
+    /// Build the iteration graph of `algorithm` for `n_shards` shards.
+    /// Every algorithm shares the same prefix — per-shard
+    /// eval→pbest→argmin, one reduce/adopt, the optional ring gather — and
+    /// contributes its own per-shard update tail through
+    /// [`crate::algo::SwarmAlgorithm::emit_update`].
+    pub fn build_for(
+        algorithm: Algorithm,
+        cfg: &PsoConfig,
+        n_shards: usize,
+        reduce: BestReduce,
+    ) -> ExecutionPlan {
         assert!(n_shards > 0, "a plan needs at least one shard");
+        let alg = algorithm_impl(algorithm);
         let mut nodes = Vec::with_capacity(4 + 7 * n_shards);
         let mut argmins = Vec::with_capacity(n_shards);
         for s in 0..n_shards {
@@ -267,27 +311,11 @@ impl ExecutionPlan {
             }
         }
         for s in 0..n_shards {
-            // GenWeights has no in-iteration deps: its RNG is counter-based
-            // on (seed, t, element), independent of every other step.
-            let g = push(&mut nodes, PlanOp::GenWeights, s, Phase::Init, vec![]);
-            let v = push(
-                &mut nodes,
-                PlanOp::Velocity,
-                s,
-                Phase::SwarmUpdate,
-                vec![barrier, g],
-            );
-            let p = push(&mut nodes, PlanOp::Position, s, Phase::SwarmUpdate, vec![v]);
-            push(
-                &mut nodes,
-                PlanOp::DeviceSync,
-                s,
-                Phase::SwarmUpdate,
-                vec![p],
-            );
+            alg.emit_update(&mut nodes, s, barrier);
         }
         ExecutionPlan {
             nodes,
+            algorithm,
             n_shards,
             reduce,
             streams_enabled: false,
@@ -298,15 +326,14 @@ impl ExecutionPlan {
 
     /// Rewrite pass: fuse each shard's `Velocity` + `Position` pair into a
     /// single [`PlanOp::FusedSwarmUpdate`] launch, re-pointing edges of
-    /// removed nodes at the fused node. Only the untiled strategies fuse —
-    /// for [`UpdateStrategy::SharedMem`] / [`UpdateStrategy::TensorCore`]
-    /// this is the identity (returns `false`), since fusing would change
-    /// their staging pipelines and shared-memory traffic.
+    /// removed nodes at the fused node. Fusion legality is the algorithm's
+    /// call ([`crate::algo::SwarmAlgorithm::fusible`]): only PSO emits the
+    /// pair, and only its untiled strategies fuse — for
+    /// [`UpdateStrategy::SharedMem`] / [`UpdateStrategy::TensorCore`], and
+    /// for every non-PSO algorithm, this is the identity (returns `false`),
+    /// since fusing would change their staging pipelines and traffic.
     pub fn fuse_swarm_update(&mut self, strategy: UpdateStrategy) -> bool {
-        if !matches!(
-            strategy,
-            UpdateStrategy::GlobalMem | UpdateStrategy::ForLoop
-        ) {
+        if !algorithm_impl(self.algorithm).fusible(strategy) {
             return false;
         }
         let n = self.nodes.len();
@@ -613,6 +640,11 @@ impl<'a> PlanRun<'a> {
         };
         let mut locals: Vec<Option<MinResult>> = vec![None; plan.n_shards];
         let mut lbest: Option<Vec<usize>> = None;
+        // GFWA's spark populations are transient per-iteration state: they
+        // live only between the Explosion, GuidingSpark and Selection ops
+        // of the same shard, and are never checkpointed.
+        let mut sparks: Vec<Option<Explosion>> = (0..plan.n_shards).map(|_| None).collect();
+        let mut guides: Vec<Option<GuidingSpark>> = (0..plan.n_shards).map(|_| None).collect();
         let mut improved = false;
 
         for (idx, node) in nodes.iter().enumerate() {
@@ -841,6 +873,63 @@ impl<'a> PlanRun<'a> {
                         }
                     }
                 }
+                PlanOp::SsoUpdate => {
+                    let dev = self.device(homes[s])?;
+                    self.enter(dev, node, &events);
+                    let shard = &mut shards[s];
+                    let domain = cfg.resolve_domain(self.obj.domain());
+                    // A single fault-gated launch that resamples every
+                    // element from the counter-based stream: idempotent, so
+                    // plain bounded retry suffices (no strategy ladder —
+                    // the kernel has one implementation).
+                    match self.resilience {
+                        Some(res) => {
+                            retry_op(dev, &res.retry, || sso_update(dev, shard, cfg, t, domain))?
+                        }
+                        None => sso_update(dev, shard, cfg, t, domain)?,
+                    }
+                }
+                PlanOp::Explosion => {
+                    let dev = self.device(homes[s])?;
+                    self.enter(dev, node, &events);
+                    let shard = &shards[s];
+                    let domain = cfg.resolve_domain(self.obj.domain());
+                    sparks[s] = Some(match self.resilience {
+                        Some(res) => retry_op(dev, &res.retry, || {
+                            explosion(dev, shard, cfg, t, domain, self.obj)
+                        })?,
+                        None => explosion(dev, shard, cfg, t, domain, self.obj)?,
+                    });
+                }
+                PlanOp::GuidingSpark => {
+                    let dev = self.device(homes[s])?;
+                    self.enter(dev, node, &events);
+                    let shard = &shards[s];
+                    let ex = sparks[s]
+                        .as_ref()
+                        .expect("explosion precedes guiding spark");
+                    let domain = cfg.resolve_domain(self.obj.domain());
+                    guides[s] = Some(match self.resilience {
+                        Some(res) => retry_op(dev, &res.retry, || {
+                            guiding_spark(dev, shard, domain, self.obj, ex)
+                        })?,
+                        None => guiding_spark(dev, shard, domain, self.obj, ex)?,
+                    });
+                }
+                PlanOp::Selection => {
+                    let dev = self.device(homes[s])?;
+                    self.enter(dev, node, &events);
+                    let shard = &mut shards[s];
+                    let ex = sparks[s].take().expect("explosion precedes selection");
+                    let gu = guides[s].take().expect("guiding spark precedes selection");
+                    let domain = cfg.resolve_domain(self.obj.domain());
+                    match self.resilience {
+                        Some(res) => retry_op(dev, &res.retry, || {
+                            gfwa_selection(dev, shard, &ex, &gu, domain)
+                        })?,
+                        None => gfwa_selection(dev, shard, &ex, &gu, domain)?,
+                    }
+                }
                 PlanOp::DeviceSync => {
                     let dev = self.device(homes[s])?;
                     dev.synchronize(Phase::SwarmUpdate);
@@ -891,6 +980,17 @@ impl<'a> PlanRun<'a> {
                     retry_op(dev, &res.retry, || init_shard(dev, &mut shard, cfg, domain))?
                 }
                 None => init_shard(dev, &mut shard, cfg, domain)?,
+            }
+            if algorithm_impl(self.plan.algorithm).extra_state() {
+                // GFWA's per-firework explosion amplitudes: allocated (and
+                // later checkpointed) only when the algorithm asks for
+                // them, so PSO/SSO allocation traffic is unchanged.
+                match self.resilience {
+                    Some(res) => retry_op(dev, &res.retry, || {
+                        init_gfwa_amplitudes(dev, &mut shard, domain)
+                    })?,
+                    None => init_gfwa_amplitudes(dev, &mut shard, domain)?,
+                }
             }
             st.shards.push(shard);
         }
@@ -1025,9 +1125,8 @@ impl<'a> PlanRun<'a> {
             return Ok(true);
         }
         let dev = self.device(ex.st.homes[0])?;
-        if let Err(e) =
-            dev.begin_persistent("persistent_pso", Phase::SwarmUpdate, self.region_threads())
-        {
+        let region = algorithm_impl(self.plan.algorithm).persistent_region();
+        if let Err(e) = dev.begin_persistent(region, Phase::SwarmUpdate, self.region_threads()) {
             return Err(e.into());
         }
         let mut out = Ok(false);
@@ -1472,6 +1571,10 @@ mod tests {
             PlanOp::FusedSwarmUpdate,
             PlanOp::DeviceSync,
             PlanOp::PersistentKernel,
+            PlanOp::SsoUpdate,
+            PlanOp::Explosion,
+            PlanOp::GuidingSpark,
+            PlanOp::Selection,
         ];
         for op in ops {
             let s = op.to_string();
@@ -1480,6 +1583,73 @@ mod tests {
         }
         assert!("warp_shuffle".parse::<PlanOp>().is_err());
         assert!("ring_lbest:x".parse::<PlanOp>().is_err());
+    }
+
+    #[test]
+    fn sso_plan_replaces_the_update_tail_with_one_kernel() {
+        let plan = ExecutionPlan::build_for(Algorithm::Sso, &cfg(), 1, BestReduce::Local);
+        assert_eq!(plan.algorithm, Algorithm::Sso);
+        assert_eq!(
+            ops(&plan),
+            vec![
+                (PlanOp::Eval, 0),
+                (PlanOp::PBest, 0),
+                (PlanOp::Argmin, 0),
+                (PlanOp::ReduceAdopt, 0),
+                (PlanOp::SsoUpdate, 0),
+                (PlanOp::DeviceSync, 0),
+            ]
+        );
+        // The update depends on the reduce barrier.
+        assert!(plan.nodes[4].deps.contains(&3));
+        // Fusion is illegal for SSO under every strategy.
+        let mut p = plan.clone();
+        for s in UpdateStrategy::ALL {
+            assert!(!p.fuse_swarm_update(s));
+        }
+        assert_eq!(ops(&p), ops(&plan));
+    }
+
+    #[test]
+    fn gfwa_plan_carries_the_three_stage_tail_and_lowers_persistent() {
+        let mut plan = ExecutionPlan::build_for(Algorithm::Gfwa, &cfg(), 1, BestReduce::Local);
+        assert_eq!(
+            ops(&plan),
+            vec![
+                (PlanOp::Eval, 0),
+                (PlanOp::PBest, 0),
+                (PlanOp::Argmin, 0),
+                (PlanOp::ReduceAdopt, 0),
+                (PlanOp::Explosion, 0),
+                (PlanOp::GuidingSpark, 0),
+                (PlanOp::Selection, 0),
+                (PlanOp::DeviceSync, 0),
+            ]
+        );
+        assert!(!plan.fuse_swarm_update(UpdateStrategy::GlobalMem));
+        // Persistent lowering is algorithm-agnostic: the generic pass
+        // collapses the tail like any other single-shard plan.
+        assert!(plan.lower_persistent());
+        assert_eq!(plan.nodes[0].op, PlanOp::PersistentKernel);
+        assert_eq!(plan.body.len(), 8);
+        assert_eq!(plan.algorithm, Algorithm::Gfwa);
+    }
+
+    #[test]
+    fn build_is_build_for_pso() {
+        let a = ExecutionPlan::build(&cfg(), 2, BestReduce::Exchange { sync_every: 1 });
+        let b = ExecutionPlan::build_for(
+            Algorithm::Pso,
+            &cfg(),
+            2,
+            BestReduce::Exchange { sync_every: 1 },
+        );
+        assert_eq!(a.algorithm, Algorithm::Pso);
+        assert_eq!(ops(&a), ops(&b));
+        for (x, y) in a.nodes.iter().zip(&b.nodes) {
+            assert_eq!(x.deps, y.deps);
+            assert_eq!(x.phase, y.phase);
+        }
     }
 
     #[test]

@@ -217,7 +217,19 @@ pub(crate) fn retry_degradable(
                         dev.charge_raw(Phase::Recovery, policy.backoff_s(0), Counters::new());
                         *strategy = lower;
                     }
-                    None => return Err(e),
+                    // The ladder ran out: surface a typed outcome naming the
+                    // exhausted rung, rather than the bare device error —
+                    // callers (and the serve layer's shed path) can tell
+                    // "could not degrade" apart from "device broke".
+                    None => {
+                        return Err(match e {
+                            PsoError::Gpu(cause) => PsoError::NoFallback {
+                                strategy: st,
+                                cause,
+                            },
+                            other => other,
+                        })
+                    }
                 }
             }
             Err(e) => return Err(e),
@@ -252,6 +264,10 @@ pub struct ShardCheckpoint {
     pub gbest_pos: Vec<f32>,
     /// Swarm-best error.
     pub gbest_err: f32,
+    /// Algorithm-specific per-row state (`rows`), present only when the
+    /// shard carries it (GFWA's explosion amplitudes). `None` for PSO and
+    /// SSO shards, so their checkpoint transfer counts are unchanged.
+    pub extra: Option<Vec<f32>>,
 }
 
 impl ShardCheckpoint {
@@ -269,6 +285,7 @@ impl ShardCheckpoint {
             pbest_pos: shard.pbest_pos.download_in(Phase::Recovery),
             gbest_pos: shard.gbest_pos.download_in(Phase::Recovery),
             gbest_err: shard.gbest_err,
+            extra: shard.extra.as_ref().map(|b| b.download_in(Phase::Recovery)),
         }
     }
 
@@ -322,6 +339,21 @@ impl ShardCheckpoint {
                 .upload_in(Phase::Recovery, &self.gbest_pos)
                 .map_err(PsoError::from)
         })?;
+        if let Some(data) = &self.extra {
+            // A freshly re-homed shard (Shard::alloc) has no extra buffer
+            // yet: allocate it before the upload so restore works on both
+            // a live shard and a replacement.
+            if shard.extra.is_none() {
+                let rows = shard.rows;
+                shard.extra = Some(retry_op(dev, policy, || {
+                    dev.alloc::<f32>(rows).map_err(PsoError::from)
+                })?);
+            }
+            let buf = shard.extra.as_mut().expect("just ensured");
+            retry_op(dev, policy, || {
+                buf.upload_in(Phase::Recovery, data).map_err(PsoError::from)
+            })?;
+        }
         shard.gbest_err = self.gbest_err;
         Ok(())
     }
@@ -548,6 +580,65 @@ mod tests {
             dev.timeline().seconds(Phase::Recovery) > 0.0,
             "checkpoint traffic must be charged to the recovery phase"
         );
+    }
+
+    #[test]
+    fn checkpoint_roundtrips_algorithm_extra_state() {
+        let dev = Device::v100();
+        let cfg = PsoConfig::builder(8, 4)
+            .max_iter(4)
+            .seed(3)
+            .build()
+            .unwrap();
+        let mut shard = Shard::alloc(&dev, 0, 8, 4).unwrap();
+        init_shard(&dev, &mut shard, &cfg, Sphere.domain()).unwrap();
+        crate::gpu::kernels::init_gfwa_amplitudes(&dev, &mut shard, Sphere.domain()).unwrap();
+        let amps = shard.extra.as_ref().unwrap().as_slice().to_vec();
+        let cp = ShardCheckpoint::capture(&shard);
+        assert_eq!(cp.extra.as_deref(), Some(&amps[..]));
+        // Restore into a fresh replacement shard that has no extra buffer
+        // yet — the re-homing path.
+        let mut fresh = Shard::alloc(&dev, 0, 8, 4).unwrap();
+        assert!(fresh.extra.is_none());
+        cp.restore_into(&dev, &mut fresh, &RetryPolicy::default())
+            .unwrap();
+        assert_eq!(fresh.extra.as_ref().unwrap().as_slice(), &amps[..]);
+        // A PSO shard's checkpoint stays extra-free.
+        let plain = Shard::alloc(&dev, 0, 8, 4).unwrap();
+        assert_eq!(ShardCheckpoint::capture(&plain).extra, None);
+    }
+
+    #[test]
+    fn exhausted_ladder_surfaces_a_typed_no_fallback() {
+        let dev = Device::v100();
+        let res = ResilienceConfig::default();
+        // LowComplexity has no cheaper rung: a permanent launch failure
+        // must come back as NoFallback naming the stuck strategy.
+        let mut strategy = UpdateStrategy::LowComplexity;
+        let err = retry_degradable(&dev, &res, &mut strategy, |_| {
+            Err(PsoError::Gpu(GpuError::InvalidLaunch("perma".into())))
+        })
+        .unwrap_err();
+        match err {
+            PsoError::NoFallback { strategy: st, .. } => {
+                assert_eq!(st, UpdateStrategy::LowComplexity)
+            }
+            other => panic!("expected NoFallback, got {other}"),
+        }
+        assert_eq!(strategy, UpdateStrategy::LowComplexity, "no rung switch");
+        // A ladder that still has rungs walks them and only reports
+        // NoFallback from the bottom.
+        let mut strategy = UpdateStrategy::GlobalMem;
+        let err = retry_degradable(&dev, &res, &mut strategy, |_| {
+            Err(PsoError::Gpu(GpuError::InvalidLaunch("perma".into())))
+        })
+        .unwrap_err();
+        match err {
+            PsoError::NoFallback { strategy: st, .. } => {
+                assert_eq!(st, UpdateStrategy::ForLoop, "fails at the bottom rung")
+            }
+            other => panic!("expected NoFallback, got {other}"),
+        }
     }
 
     #[test]

@@ -11,8 +11,9 @@
 //! concatenation of the members' `n·d` state segments.
 //!
 //! Two jobs are compatible when they agree on the *compat key*: the
-//! swarm-update strategy crossed with the dimension class (dimensions
-//! rounded up to a power of two), so fused passes share one kernel shape.
+//! swarm algorithm crossed with the swarm-update strategy and the
+//! dimension class (dimensions rounded up to a power of two), so fused
+//! passes share one kernel shape.
 //! Per-job results stay bit-identical to solo execution because every
 //! member keeps its own state segment, its own counter-based PRNG stream
 //! (addressed by the job's seed and element index, never by launch
@@ -23,6 +24,7 @@
 //! [`BatchPolicy`] bounds a batch; [`BatchFormer`] is the pure admission
 //! mechanism the scheduler drives while scanning the queue.
 
+use crate::algo::Algorithm;
 use crate::gpu::UpdateStrategy;
 use std::fmt;
 use std::str::FromStr;
@@ -79,6 +81,9 @@ impl FromStr for BatchPolicy {
 /// on it, so every fused pass shares one kernel shape.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CompatKey {
+    /// The swarm algorithm: different algorithms dispatch entirely
+    /// different per-iteration kernel schedules, so they never fuse.
+    pub algorithm: Algorithm,
     /// The swarm-update memory strategy (different strategies run
     /// different kernels).
     pub strategy: UpdateStrategy,
@@ -88,9 +93,11 @@ pub struct CompatKey {
 }
 
 impl CompatKey {
-    /// The key for a job of `dim` dimensions run with `strategy`.
-    pub fn new(strategy: UpdateStrategy, dim: usize) -> Self {
+    /// The key for a job of `dim` dimensions run by `algorithm` with
+    /// `strategy`.
+    pub fn new(algorithm: Algorithm, strategy: UpdateStrategy, dim: usize) -> Self {
         CompatKey {
+            algorithm,
             strategy,
             dim_class: dim.next_power_of_two(),
         }
@@ -155,11 +162,13 @@ mod tests {
             max_jobs: 3,
             max_elems: 100,
         };
-        let key = CompatKey::new(UpdateStrategy::GlobalMem, 6);
-        let other = CompatKey::new(UpdateStrategy::SharedMem, 6);
+        let key = CompatKey::new(Algorithm::Pso, UpdateStrategy::GlobalMem, 6);
+        let other = CompatKey::new(Algorithm::Pso, UpdateStrategy::SharedMem, 6);
+        let cross_algo = CompatKey::new(Algorithm::Sso, UpdateStrategy::GlobalMem, 6);
         let mut f = BatchFormer::new(policy);
         assert!(f.offer(key, 40));
         assert!(!f.offer(other, 10), "strategy mismatch");
+        assert!(!f.offer(cross_algo, 10), "algorithm mismatch");
         assert!(f.offer(key, 40));
         assert!(!f.offer(key, 30), "elems bound");
         assert!(f.offer(key, 20));
@@ -169,9 +178,9 @@ mod tests {
 
     #[test]
     fn dim_class_rounds_to_power_of_two() {
-        let a = CompatKey::new(UpdateStrategy::GlobalMem, 5);
-        let b = CompatKey::new(UpdateStrategy::GlobalMem, 8);
-        let c = CompatKey::new(UpdateStrategy::GlobalMem, 9);
+        let a = CompatKey::new(Algorithm::Pso, UpdateStrategy::GlobalMem, 5);
+        let b = CompatKey::new(Algorithm::Pso, UpdateStrategy::GlobalMem, 8);
+        let c = CompatKey::new(Algorithm::Pso, UpdateStrategy::GlobalMem, 9);
         assert_eq!(a, b, "5 and 8 share the 8-wide class");
         assert_ne!(b, c, "9 rounds to 16");
     }

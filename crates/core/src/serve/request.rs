@@ -1,5 +1,6 @@
 //! Request, priority, job-id and error types for the serving layer.
 
+use crate::algo::Algorithm;
 use crate::config::PsoConfig;
 use crate::gpu::UpdateStrategy;
 use crate::resilience::ResilienceConfig;
@@ -69,6 +70,9 @@ pub struct OptimizeRequest {
     /// Swarm-update memory strategy. Defaults to
     /// [`UpdateStrategy::GlobalMem`].
     pub strategy: UpdateStrategy,
+    /// Swarm algorithm the job runs under the plan executor. Defaults to
+    /// [`Algorithm::Pso`].
+    pub algorithm: Algorithm,
     /// Apply the kernel-fusion rewrite pass to the job's plan.
     pub fused: bool,
     /// Optional resilient-execution configuration (retry, checkpointing,
@@ -87,6 +91,7 @@ impl OptimizeRequest {
             priority: Priority::Normal,
             deadline_s: None,
             strategy: UpdateStrategy::GlobalMem,
+            algorithm: Algorithm::Pso,
             fused: false,
             resilience: None,
         }
@@ -107,6 +112,12 @@ impl OptimizeRequest {
     /// Select the swarm-update memory strategy.
     pub fn strategy(mut self, s: UpdateStrategy) -> Self {
         self.strategy = s;
+        self
+    }
+
+    /// Select the swarm algorithm the job's plan is built for.
+    pub fn algorithm(mut self, a: Algorithm) -> Self {
+        self.algorithm = a;
         self
     }
 

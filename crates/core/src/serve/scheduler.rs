@@ -5,12 +5,11 @@ use super::batch::{BatchFormer, BatchPolicy, CompatKey};
 use super::journal::{ServeEvent, ServeJournal};
 use super::queue::{AdmissionQueue, QueueEntry};
 use super::request::{JobId, JobStatus, OptimizeRequest, Priority, ServeError};
+use crate::algo::cheaper_strategy_for;
 use crate::config::PsoConfig;
 use crate::error::PsoError;
 use crate::gpu::UpdateStrategy;
-use crate::plan::{
-    cheaper_strategy, BestReduce, ExecState, ExecTarget, ExecutionPlan, PlanRun, SuspendedJob,
-};
+use crate::plan::{BestReduce, ExecState, ExecTarget, ExecutionPlan, PlanRun, SuspendedJob};
 use crate::result::RunResult;
 use crate::topology::Topology;
 use gpu_sim::lease::{Lease, LeasePool};
@@ -56,9 +55,10 @@ pub struct ServeConfig {
     /// Reject deadline jobs at submit time when the cost predictor says
     /// they cannot finish in the device-seconds left before their deadline
     /// ([`ServeError::Infeasible`]), after first trying to downgrade the
-    /// request to a cheaper update strategy that still fits
-    /// ([`crate::plan::cheaper_strategy`]). Off by default: the blind
-    /// scheduler accepts everything and sheds at the deadline instead.
+    /// request to a cheaper update strategy that still fits — walking the
+    /// per-algorithm ladder ([`crate::algo::cheaper_strategy_for`]). Off
+    /// by default: the blind scheduler accepts everything and sheds at the
+    /// deadline instead.
     pub predictive_admission: bool,
     /// Multiplier applied to predictions when checking feasibility and
     /// reserving capacity (`1.0` = trust the calibrated predictor exactly;
@@ -66,8 +66,8 @@ pub struct ServeConfig {
     /// [`ServeConfig::predictive_admission`] is on.
     pub admission_headroom: f64,
     /// Cross-job micro-batching policy. When set, each admission gathers
-    /// compatible small queued jobs (same [`CompatKey`]: strategy ×
-    /// dim-class; single-shard; global topology; within the policy's
+    /// compatible small queued jobs (same [`CompatKey`]: algorithm ×
+    /// strategy × dim-class; single-shard; global topology; within the policy's
     /// element bound) under **one** device lease, and every tick advances
     /// the batch inside a single persistent device region — one host
     /// launch per batch-slice instead of one per kernel per job. Per-job
@@ -489,7 +489,7 @@ impl Service {
             if predicted * h <= available {
                 return Ok((strategy, predicted));
             }
-            match cheaper_strategy(strategy) {
+            match cheaper_strategy_for(req.algorithm, strategy) {
                 Some(next) => {
                     strategy = next;
                     predicted = self.predict_request(req, strategy);
@@ -605,6 +605,7 @@ impl Service {
             shards: shards as u64,
             flops_per_dim: req.objective.flops_per_dim(),
             strategy: strategy.to_string(),
+            algo: req.algorithm.to_string(),
             persistent: false,
             slice_iters: 0,
         };
@@ -843,7 +844,11 @@ impl Service {
         };
         let mut former = BatchFormer::new(policy);
         let accepted = former.offer(
-            CompatKey::new(head.payload.req.strategy, head.payload.req.cfg.dim),
+            CompatKey::new(
+                head.payload.req.algorithm,
+                head.payload.req.strategy,
+                head.payload.req.cfg.dim,
+            ),
             head.payload.req.cfg.n_particles * head.payload.req.cfg.dim,
         );
         debug_assert!(accepted, "an eligible head always fits an empty batch");
@@ -859,7 +864,11 @@ impl Service {
             if self.batchable_entry(e).is_none() {
                 continue;
             }
-            let key = CompatKey::new(e.payload.req.strategy, e.payload.req.cfg.dim);
+            let key = CompatKey::new(
+                e.payload.req.algorithm,
+                e.payload.req.strategy,
+                e.payload.req.cfg.dim,
+            );
             let elems = e.payload.req.cfg.n_particles * e.payload.req.cfg.dim;
             if former.offer(key, elems) {
                 picked.push(id);
@@ -1335,7 +1344,7 @@ fn build_plan(req: &OptimizeRequest, n_shards: usize) -> ExecutionPlan {
     } else {
         BestReduce::Local
     };
-    let mut plan = ExecutionPlan::build(&req.cfg, n_shards, reduce);
+    let mut plan = ExecutionPlan::build_for(req.algorithm, &req.cfg, n_shards, reduce);
     if req.fused {
         plan.fuse_swarm_update(req.strategy);
     }

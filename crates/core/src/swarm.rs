@@ -22,6 +22,24 @@ pub mod domains {
     pub fn g_matrix(t: usize) -> u64 {
         3 + 2 * t as u64
     }
+
+    /// Base offset of the discrete-SSO domains. The PSO domains occupy
+    /// `{0, 1} ∪ {2 + 2t, 3 + 2t}`, so every non-PSO scheme starts at a
+    /// high offset to stay disjoint for any realistic iteration count.
+    pub const SSO_BASE: u64 = 1_000_000;
+
+    /// Element-selection draws of the SSO update at iteration `t`.
+    pub fn sso_update(t: usize) -> u64 {
+        SSO_BASE + t as u64
+    }
+
+    /// Base offset of the GFWA domains (disjoint from PSO and SSO).
+    pub const GFWA_BASE: u64 = 2_000_000;
+
+    /// Explosion-spark offset draws of iteration `t`.
+    pub fn gfwa_sparks(t: usize) -> u64 {
+        GFWA_BASE + t as u64
+    }
 }
 
 /// Complete swarm state.
@@ -235,7 +253,14 @@ mod tests {
         assert_ne!(domains::l_matrix(1), domains::g_matrix(0));
         assert_ne!(domains::INIT_POS, domains::INIT_VEL);
         let mut all: Vec<u64> = (0..100)
-            .flat_map(|t| [domains::l_matrix(t), domains::g_matrix(t)])
+            .flat_map(|t| {
+                [
+                    domains::l_matrix(t),
+                    domains::g_matrix(t),
+                    domains::sso_update(t),
+                    domains::gfwa_sparks(t),
+                ]
+            })
             .collect();
         all.push(domains::INIT_POS);
         all.push(domains::INIT_VEL);

@@ -36,7 +36,7 @@ pub mod objective;
 pub mod schema;
 
 pub use builtins::{
-    Ackley, Builtin, Easom, Griewank, Levy, Rastrigin, Rosenbrock, Schwefel, Sphere,
+    Ackley, Builtin, Easom, Griewank, Levy, Qap, Rastrigin, Rosenbrock, Schwefel, Sphere,
     StyblinskiTang, Zakharov,
 };
 pub use modifiers::{Noisy, Shifted};

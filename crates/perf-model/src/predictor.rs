@@ -53,10 +53,30 @@ const VELOCITY_FLOPS_PER_ELEM: u64 = 10;
 const POSITION_FLOPS_PER_ELEM: u64 = 2;
 /// Flops per low-complexity velocity-update element.
 const LOWC_VELOCITY_FLOPS_PER_ELEM: u64 = 8;
-/// Kernel launches in one modeled iteration: eval, pbest compare, argmin,
-/// two weight generations, velocity and position. Persistent pricing
-/// collapses exactly these into the per-slice region launch.
+/// Kernel launches in one modeled PSO iteration: eval, pbest compare,
+/// argmin, two weight generations, velocity and position. Persistent
+/// pricing collapses exactly these into the per-slice region launch.
 const LAUNCHES_PER_ITER: u64 = 7;
+/// Launches per modeled SSO iteration: eval, pbest compare, argmin and the
+/// single index-sampling update.
+const SSO_LAUNCHES_PER_ITER: u64 = 4;
+/// Launches per modeled GFWA iteration: eval, pbest compare, argmin, spark
+/// generation + spark eval, guiding construction + guide eval, selection
+/// and amplitude adaptation.
+const GFWA_LAUNCHES_PER_ITER: u64 = 9;
+/// Explosion sparks per firework the GFWA engine generates (mirrors the
+/// core crate's `GFWA_SPARKS_PER_FIREWORK`).
+const GFWA_SPARKS_PER_FIREWORK: u64 = 8;
+
+/// Launches one modeled iteration of `algo` performs (drives how much
+/// launch overhead persistent execution saves).
+fn launches_per_iter(algo: &str) -> u64 {
+    match algo {
+        "sso" => SSO_LAUNCHES_PER_ITER,
+        "gfwa" => GFWA_LAUNCHES_PER_ITER,
+        _ => LAUNCHES_PER_ITER,
+    }
+}
 
 /// The admission-relevant shape of one optimization job: everything the
 /// predictor reads at submit time.
@@ -83,6 +103,10 @@ pub struct JobShape {
     /// Iterations dispatched per slice when `persistent` (the serving
     /// layer's `slice_iters`); 0 prices the whole run as one slice.
     pub slice_iters: u64,
+    /// Canonical algorithm key (`pso`, `sso`, `gfwa`): which per-iteration
+    /// kernel schedule the base prices. `pso` — the default — preserves the
+    /// original schedule bit-for-bit.
+    pub algo: String,
 }
 
 impl JobShape {
@@ -97,7 +121,14 @@ impl JobShape {
             strategy: strategy.to_string(),
             persistent: false,
             slice_iters: 0,
+            algo: "pso".to_string(),
         }
+    }
+
+    /// Set the algorithm key (`pso`, `sso`, `gfwa`).
+    pub fn algorithm(mut self, algo: &str) -> JobShape {
+        self.algo = algo.to_string();
+        self
     }
 
     /// Set the shard count.
@@ -122,12 +153,21 @@ impl JobShape {
 
     /// The calibration key: persistent shapes calibrate separately from
     /// per-launch ones, since the scheduler-dependent costs they absorb
-    /// (region open/close, grid syncs, batch sharing) differ.
+    /// (region open/close, grid syncs, batch sharing) differ; non-PSO
+    /// algorithms calibrate under an `{algo}:`-prefixed key so their
+    /// observed ratios never contaminate the PSO coefficients (and PSO's
+    /// keys are byte-identical to what they were before algorithms
+    /// existed).
     pub fn calibration_key(&self) -> String {
-        if self.persistent {
+        let base = if self.persistent {
             format!("{}+persistent", self.strategy)
         } else {
             self.strategy.clone()
+        };
+        if self.algo == "pso" {
+            base
+        } else {
+            format!("{}:{}", self.algo, base)
         }
     }
 }
@@ -188,7 +228,11 @@ impl CostPredictor {
             if rows == 0 {
                 continue;
             }
-            per_iter += self.iteration_s(rows, d, shape.flops_per_dim, &shape.strategy);
+            per_iter += match shape.algo.as_str() {
+                "sso" => self.sso_iteration_s(rows, d, shape.flops_per_dim),
+                "gfwa" => self.gfwa_iteration_s(rows, d, shape.flops_per_dim),
+                _ => self.iteration_s(rows, d, shape.flops_per_dim, &shape.strategy),
+            };
             active_shards += 1;
         }
         let mut total = per_iter * shape.iterations as f64;
@@ -202,7 +246,8 @@ impl CostPredictor {
             } else {
                 shape.iterations.div_ceil(shape.slice_iters).max(1)
             };
-            let saved = overhead * (LAUNCHES_PER_ITER * shape.iterations * active_shards) as f64;
+            let saved = overhead
+                * (launches_per_iter(&shape.algo) * shape.iterations * active_shards) as f64;
             let region = overhead * (slices * active_shards) as f64;
             total = (total - saved + region).max(0.0);
         }
@@ -308,6 +353,128 @@ impl CostPredictor {
                     8 * elems,
                     4 * elems,
                 )
+            },
+        );
+        t
+    }
+
+    /// Modeled seconds of one discrete-SSO iteration over one `rows × d`
+    /// shard: the shared eval → pbest → argmin prefix plus the single
+    /// index-sampling update launch (one draw per element, no velocity
+    /// arithmetic, no weight matrices).
+    fn sso_iteration_s(&self, rows: u64, d: u64, flops_per_dim: u64) -> f64 {
+        let gpu = &self.gpu;
+        let elems = rows * d;
+        let mut t = self.shared_prefix_s(rows, d, flops_per_dim);
+        t += gpu_kernel_time(
+            gpu,
+            &GpuKernelWork::elementwise(
+                elems,
+                (RNG_FLOPS_PER_DRAW + 4) * elems,
+                12 * elems,
+                4 * elems,
+            ),
+        );
+        t
+    }
+
+    /// Modeled seconds of one GFWA iteration over one `rows × d` shard:
+    /// the shared prefix, spark generation + evaluation over
+    /// `rows · S` sparks, guiding-spark construction + evaluation, and the
+    /// selection/amplitude pass.
+    fn gfwa_iteration_s(&self, rows: u64, d: u64, flops_per_dim: u64) -> f64 {
+        let gpu = &self.gpu;
+        let elems = rows * d;
+        let sparks = rows * GFWA_SPARKS_PER_FIREWORK;
+        let mut t = self.shared_prefix_s(rows, d, flops_per_dim);
+        // Spark generation: one draw per spark element.
+        t += gpu_kernel_time(
+            gpu,
+            &GpuKernelWork::elementwise(
+                sparks * d,
+                (RNG_FLOPS_PER_DRAW + 3) * sparks * d,
+                8 * sparks * d,
+                4 * sparks * d,
+            ),
+        );
+        // Spark evaluation: one thread per spark.
+        t += gpu_kernel_time(
+            gpu,
+            &GpuKernelWork {
+                threads: sparks,
+                ..GpuKernelWork::elementwise(
+                    sparks,
+                    d * flops_per_dim * sparks,
+                    d * 4 * sparks,
+                    4 * sparks,
+                )
+            },
+        );
+        // Guiding-spark construction (top/bottom-σ means) + evaluation.
+        let sigma = (GFWA_SPARKS_PER_FIREWORK / 4).max(1);
+        t += gpu_kernel_time(
+            gpu,
+            &GpuKernelWork::elementwise(
+                elems,
+                (2 * sigma + 2) * elems,
+                (2 * sigma * 4 + 4) * elems,
+                4 * elems,
+            ),
+        );
+        t += gpu_kernel_time(
+            gpu,
+            &GpuKernelWork {
+                threads: rows,
+                ..GpuKernelWork::elementwise(rows, d * flops_per_dim * rows, d * 4 * rows, 4 * rows)
+            },
+        );
+        // Selection (winner commit) + amplitude adaptation.
+        t += gpu_kernel_time(
+            gpu,
+            &GpuKernelWork {
+                threads: rows,
+                ..GpuKernelWork::elementwise(
+                    rows,
+                    (GFWA_SPARKS_PER_FIREWORK + 2) * rows,
+                    (GFWA_SPARKS_PER_FIREWORK + 1) * 4 * rows,
+                    (d + 1) * 4 * rows,
+                )
+            },
+        );
+        t += gpu_kernel_time(
+            gpu,
+            &GpuKernelWork {
+                threads: rows,
+                ..GpuKernelWork::elementwise(rows, 2 * rows, 8 * rows, 4 * rows)
+            },
+        );
+        t
+    }
+
+    /// The eval → pbest → argmin launches every algorithm shares, priced
+    /// exactly as the PSO schedule prices them.
+    fn shared_prefix_s(&self, rows: u64, d: u64, flops_per_dim: u64) -> f64 {
+        let gpu = &self.gpu;
+        let mut t = 0.0;
+        t += gpu_kernel_time(
+            gpu,
+            &GpuKernelWork {
+                threads: rows,
+                ..GpuKernelWork::elementwise(rows, d * flops_per_dim * rows, d * 4 * rows, 4 * rows)
+            },
+        );
+        t += gpu_kernel_time(
+            gpu,
+            &GpuKernelWork {
+                threads: rows,
+                ..GpuKernelWork::elementwise(rows, rows, 12 * rows, 4 * rows)
+            },
+        );
+        t += gpu_kernel_time(
+            gpu,
+            &GpuKernelWork {
+                threads: rows,
+                ..GpuKernelWork::elementwise(rows, rows, 4 * rows, 4)
             },
         );
         t
@@ -462,5 +629,73 @@ mod tests {
         let shape = JobShape::new(500, 30, 200, "smem");
         p.observe(&shape, 0.123);
         assert!(p.relative_error(&shape, 0.123) < 1e-12);
+    }
+
+    #[test]
+    fn algorithms_price_their_own_kernel_schedules() {
+        let p = CostPredictor::v100();
+        let pso = JobShape::new(5000, 100, 100, "global");
+        let sso = pso.clone().algorithm("sso");
+        let gfwa = pso.clone().algorithm("gfwa");
+        // SSO replaces two weight launches + the velocity/position pair
+        // with one index-sampling launch: strictly cheaper per iteration.
+        assert!(p.base_s(&sso) < p.base_s(&pso));
+        // GFWA evaluates 8 sparks per firework on top of the shared
+        // prefix: strictly pricier than both.
+        assert!(p.base_s(&gfwa) > p.base_s(&pso));
+    }
+
+    #[test]
+    fn persistent_savings_use_per_algorithm_launch_counts() {
+        let p = CostPredictor::v100();
+        for (algo, launches) in [("pso", 7.0), ("sso", 4.0), ("gfwa", 9.0)] {
+            let solo = JobShape::new(64, 8, 80, "global").algorithm(algo);
+            let whole = solo.clone().persistent(0);
+            let saved = p.base_s(&solo) - p.base_s(&whole);
+            let per_launch = saved / (launches * 80.0 - 1.0);
+            assert!(per_launch > 0.0, "{algo}: persistent must save time");
+            // All three must imply the same per-launch overhead once
+            // divided by their own launch count.
+            let pso_solo = JobShape::new(64, 8, 80, "global");
+            let pso_saved = p.base_s(&pso_solo) - p.base_s(&pso_solo.clone().persistent(0));
+            let pso_per_launch = pso_saved / (7.0 * 80.0 - 1.0);
+            assert!(
+                (per_launch - pso_per_launch).abs() < 1e-15,
+                "{algo}: per-launch overhead must match the device constant"
+            );
+        }
+    }
+
+    #[test]
+    fn calibration_keys_are_algorithm_qualified_except_pso() {
+        let pso = JobShape::new(64, 8, 80, "global");
+        assert_eq!(pso.calibration_key(), "global");
+        assert_eq!(
+            pso.clone().persistent(4).calibration_key(),
+            "global+persistent"
+        );
+        let sso = pso.clone().algorithm("sso");
+        assert_eq!(sso.calibration_key(), "sso:global");
+        assert_eq!(
+            pso.clone()
+                .algorithm("gfwa")
+                .persistent(4)
+                .calibration_key(),
+            "gfwa:global+persistent"
+        );
+    }
+
+    #[test]
+    fn non_pso_observations_leave_pso_coefficients_untouched() {
+        let mut p = CostPredictor::v100();
+        let sso = JobShape::new(1000, 50, 100, "global").algorithm("sso");
+        let base = p.base_s(&sso);
+        p.observe(&sso, base * 3.0);
+        assert_eq!(p.observations("sso:global"), 1);
+        assert!((p.coefficient("sso:global") - 3.0).abs() < 1e-12);
+        assert_eq!(p.observations("global"), 0);
+        assert_eq!(p.coefficient("global"), 1.0);
+        let pso = JobShape::new(1000, 50, 100, "global");
+        assert!((p.predict_s(&pso) - p.base_s(&pso)).abs() < 1e-15);
     }
 }

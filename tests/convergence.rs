@@ -6,9 +6,11 @@
 
 use fastpso_suite::baselines::{GpuPsoBaseline, HGpuPsoBaseline, PySwarmsLike, ScikitOptLike};
 use fastpso_suite::fastpso::{
-    AttractorSemantics, GpuBackend, ParBackend, PsoBackend, PsoConfig, SeqBackend,
+    Algorithm, AttractorSemantics, GpuBackend, ParBackend, PsoBackend, PsoConfig, SeqBackend,
 };
-use fastpso_suite::functions::builtins::{Easom, Griewank, Levy, Rastrigin, Rosenbrock, Sphere};
+use fastpso_suite::functions::builtins::{
+    Easom, Griewank, Levy, Qap, Rastrigin, Rosenbrock, Sphere,
+};
 use fastpso_suite::functions::Objective;
 
 fn cfg(n: usize, d: usize, iters: usize) -> PsoConfig {
@@ -128,6 +130,104 @@ fn scalar_broadcast_semantics_run_but_explore_differently() {
     assert!(
         standard.best_value <= literal.best_value,
         "standard semantics should not lose to the scalar-broadcast reading on Sphere"
+    );
+}
+
+/// Best value over `evals` uniform samples of `obj`'s domain — the
+/// random-search floor the new engines must beat at equal modeled budget.
+fn random_search(obj: &dyn Objective, dim: usize, evals: u64, seed: u64) -> f32 {
+    fn splitmix64(mut z: u64) -> u64 {
+        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+    let (lo, hi) = obj.domain();
+    let mut best = f32::INFINITY;
+    let mut x = vec![0.0f32; dim];
+    for e in 0..evals {
+        for (c, slot) in x.iter_mut().enumerate() {
+            let h =
+                splitmix64(seed ^ (e * dim as u64 + c as u64).wrapping_mul(0xA076_1D64_78BD_642F));
+            *slot = lo + (h >> 40) as f32 / (1u64 << 24) as f32 * (hi - lo);
+        }
+        best = best.min(obj.eval(&x));
+    }
+    best
+}
+
+/// Iterations `algo` affords at the modeled device-second budget of a PSO
+/// run of `iters` iterations, per the V100 cost predictor — the same
+/// equal-budget accounting the `algo_compare` bench uses.
+fn budget_iters(algo: Algorithm, n: usize, d: usize, iters: usize) -> usize {
+    let p = perf_model::CostPredictor::v100();
+    let per_iter = |a: Algorithm| {
+        p.base_s(
+            &perf_model::JobShape::new(n as u64, d as u64, 1, "global").algorithm(&a.to_string()),
+        )
+    };
+    let budget = per_iter(Algorithm::Pso) * iters as f64;
+    ((budget / per_iter(algo)).floor() as usize).max(1)
+}
+
+#[test]
+fn sso_beats_random_search_on_qap_at_equal_modeled_budget() {
+    // Discrete SSO on the permutation-encoded QAP: its index-sampling
+    // update (copy gbest / copy pbest / keep / resample) is built for
+    // exactly this landscape. The modeled budget is a 64x12 PSO run of
+    // 200 iterations; SSO's cheaper schedule affords it more iterations,
+    // and random search gets the same evaluation count SSO used.
+    let (n, d, pso_iters) = (64, 12, 200);
+    let iters = budget_iters(Algorithm::Sso, n, d, pso_iters);
+    assert!(
+        iters > pso_iters,
+        "SSO must afford more iterations than PSO"
+    );
+    let c = PsoConfig::builder(n, d)
+        .max_iter(iters)
+        .seed(77)
+        .record_history(true)
+        .build()
+        .unwrap();
+    let r = GpuBackend::new()
+        .algorithm(Algorithm::Sso)
+        .run(&c, &Qap)
+        .unwrap();
+    assert_eq!(r.history_is_monotone(), Some(true));
+    let evals = (n * iters) as u64;
+    let floor = random_search(&Qap, d, evals, 77);
+    assert!(
+        (r.best_value as f32) < floor,
+        "SSO best {} must beat random search {floor} at {evals} evals",
+        r.best_value
+    );
+}
+
+#[test]
+fn gfwa_beats_random_search_on_high_dim_multimodal_at_equal_modeled_budget() {
+    // GFWA on 32-D Rastrigin: the explosion cloud plus the guiding spark
+    // must out-search a random sampler that receives every objective
+    // evaluation GFWA spent (fireworks + 8 sparks + guide per firework).
+    let (n, d, pso_iters) = (48, 32, 300);
+    let iters = budget_iters(Algorithm::Gfwa, n, d, pso_iters);
+    assert!(iters < pso_iters, "GFWA's spark cloud must price above PSO");
+    let c = PsoConfig::builder(n, d)
+        .max_iter(iters)
+        .seed(77)
+        .record_history(true)
+        .build()
+        .unwrap();
+    let r = GpuBackend::new()
+        .algorithm(Algorithm::Gfwa)
+        .run(&c, &Rastrigin)
+        .unwrap();
+    assert_eq!(r.history_is_monotone(), Some(true));
+    let evals = (n * iters * 10) as u64;
+    let floor = random_search(&Rastrigin, d, evals, 77);
+    assert!(
+        (r.best_value as f32) < floor,
+        "GFWA best {} must beat random search {floor} at {evals} evals",
+        r.best_value
     );
 }
 

@@ -230,7 +230,7 @@ proptest! {
     /// parameterised `ring_lbest:k`, and parsing is case-insensitive.
     #[test]
     fn plan_op_display_fromstr_round_trips(
-        idx in 0usize..11,
+        idx in 0usize..15,
         k in 1usize..64,
         caps in prop::collection::vec(any::<bool>(), 20..21),
     ) {
@@ -246,7 +246,11 @@ proptest! {
             7 => PlanOp::Position,
             8 => PlanOp::FusedSwarmUpdate,
             9 => PlanOp::DeviceSync,
-            _ => PlanOp::PersistentKernel,
+            10 => PlanOp::PersistentKernel,
+            11 => PlanOp::SsoUpdate,
+            12 => PlanOp::Explosion,
+            13 => PlanOp::GuidingSpark,
+            _ => PlanOp::Selection,
         };
         let printed = op.to_string();
         prop_assert_eq!(printed.parse::<PlanOp>().unwrap(), op);
@@ -260,6 +264,48 @@ proptest! {
         // A bare ring_lbest (no half-width) or a non-numeric one never parses.
         prop_assert!("ring_lbest".parse::<PlanOp>().is_err());
         prop_assert!("ring_lbest:x".parse::<PlanOp>().is_err());
+    }
+
+    /// `Display` → `FromStr` round-trips every `Algorithm` under
+    /// arbitrary casing and surrounding whitespace, and unknown keys are
+    /// rejected with a diagnostic naming the accepted set.
+    #[test]
+    fn algorithm_display_fromstr_round_trips(
+        idx in 0usize..3,
+        caps in prop::collection::vec(any::<bool>(), 4..5),
+        pad in 0usize..3,
+    ) {
+        use fastpso_suite::fastpso::Algorithm;
+        let algo = Algorithm::ALL[idx];
+        let printed = algo.to_string();
+        prop_assert_eq!(printed.parse::<Algorithm>().unwrap(), algo);
+        // Case-insensitive, whitespace-trimming parse.
+        let mangled: String = printed
+            .chars()
+            .zip(caps.iter().cycle())
+            .map(|(ch, &up)| if up { ch.to_ascii_uppercase() } else { ch })
+            .collect();
+        let padded = format!("{}{}{}", " ".repeat(pad), mangled, " ".repeat(pad));
+        prop_assert_eq!(padded.parse::<Algorithm>().unwrap(), algo);
+    }
+
+    /// Strings outside {pso, sso, gfwa} never parse as an `Algorithm`.
+    #[test]
+    fn algorithm_rejects_unknown_keys(
+        chars in prop::collection::vec(0u8..27, 1..12),
+    ) {
+        use fastpso_suite::fastpso::Algorithm;
+        let s: String = chars
+            .iter()
+            .map(|&c| match c {
+                0..=25 => (b'a' + c) as char,
+                _ => '-',
+            })
+            .collect();
+        prop_assume!(!["pso", "sso", "gfwa"].contains(&s.as_str()));
+        let err = s.parse::<Algorithm>().unwrap_err();
+        prop_assert!(err.contains("unknown algorithm"), "{err}");
+        prop_assert!(err.contains("pso, sso, gfwa"), "{err}");
     }
 
     /// `Display` → `FromStr` round-trips every positive `BatchPolicy`,

@@ -12,7 +12,9 @@
 //! * The stream pass may only re-time launches: identical results and
 //!   counters, strictly smaller modeled wall time.
 
-use fastpso_suite::fastpso::{CounterAsserts, GpuBackend, PsoBackend, PsoConfig, UpdateStrategy};
+use fastpso_suite::fastpso::{
+    Algorithm, CounterAsserts, GpuBackend, PsoBackend, PsoConfig, UpdateStrategy,
+};
 use fastpso_suite::functions::builtins::Sphere;
 use proptest::prelude::*;
 
@@ -51,16 +53,42 @@ fn strategy_section(strategy: UpdateStrategy) -> String {
     out
 }
 
+/// One non-PSO engine's section of the golden, same shape as
+/// [`strategy_section`]: the final `gbest` bit pattern and the sorted
+/// launch manifest of the SSO or GFWA plan on the same workload.
+fn algorithm_section(algo: Algorithm) -> String {
+    let b = GpuBackend::new().algorithm(algo);
+    let r = b.run(&cfg(64, 8, 6, 42), &Sphere).unwrap();
+    let mut out = format!("[{algo}]\n");
+    out.push_str(&format!(
+        "gbest_value_bits,{:016x}\n",
+        r.best_value.to_bits()
+    ));
+    let pos: Vec<String> = r
+        .best_position
+        .iter()
+        .map(|x| format!("{:08x}", x.to_bits()))
+        .collect();
+    out.push_str(&format!("gbest_pos_bits,{}\n", pos.join(":")));
+    for (name, count) in b.profile().counts_by_name() {
+        out.push_str(&format!("{algo},{name},{count}\n"));
+    }
+    out
+}
+
 /// The plan executor reproduces bit-identical `gbest` and a byte-identical
-/// launch manifest versus the recorded golden, for every strategy. This is
-/// the refactor's safety net: any silent change to trajectory or launch
-/// structure — a reordered node, a renamed kernel, an extra launch — shows
-/// up as a golden diff.
+/// launch manifest versus the recorded golden, for every strategy and for
+/// both non-PSO engines. This is the refactor's safety net: any silent
+/// change to trajectory or launch structure — a reordered node, a renamed
+/// kernel, an extra launch — shows up as a golden diff.
 #[test]
 fn executor_matches_recorded_golden_for_every_strategy() {
     let mut actual = String::new();
     for strategy in UpdateStrategy::ALL {
         actual.push_str(&strategy_section(strategy));
+    }
+    for algo in [Algorithm::Sso, Algorithm::Gfwa] {
+        actual.push_str(&algorithm_section(algo));
     }
     if std::env::var_os("UPDATE_GOLDEN").is_some() {
         std::fs::write(GOLDEN, &actual).expect("write golden");

@@ -367,6 +367,124 @@ fn device_loss_sweep_rehomes_every_job_bit_identically() {
     }
 }
 
+/// The SSO/GFWA analogue of [`chaos_trace`]: a fixed 5-job trace mixing
+/// both non-PSO engines (including one sharded GFWA job, whose per-shard
+/// amplitude state must survive evacuation) over 2 devices, optionally
+/// losing device 1 permanently at its `loss_ordinal`-th kernel launch.
+fn algo_chaos_trace(loss_ordinal: Option<u64>) -> Chaos {
+    use fastpso::Algorithm;
+    let group = DeviceGroup::v100s(2);
+    if let Some(ord) = loss_ordinal {
+        group.set_fault_plans(vec![
+            FaultPlan::new(),
+            FaultPlan::new().with_device_loss_at_launch(ord),
+        ]);
+    }
+    let mut svc = Service::new(
+        group,
+        ServeConfig {
+            slots_per_device: 2,
+            slice_iters: 4,
+            shard_threshold_particles: 64,
+            ..ServeConfig::default()
+        },
+    );
+    let objs: [Arc<dyn Objective>; 2] = [Arc::new(Sphere), Arc::new(Rastrigin)];
+    let mut ids: Vec<JobId> = Vec::new();
+    for i in 0..4u64 {
+        let algo = [Algorithm::Sso, Algorithm::Gfwa][i as usize % 2];
+        let req = OptimizeRequest::new(
+            ["acme", "globex"][i as usize % 2],
+            Arc::clone(&objs[i as usize % 2]),
+            cfg(24 + 8 * (i as usize % 2), 4, 25, 700 + i),
+        )
+        .algorithm(algo)
+        .priority([Priority::Normal, Priority::High][i as usize % 2]);
+        ids.push(svc.submit(req).unwrap());
+    }
+    // One GFWA job large enough to shard over both devices: re-homing it
+    // must reconstruct the lost shard's amplitude buffer on the new home.
+    ids.push(
+        svc.submit(
+            OptimizeRequest::new("initech", Arc::new(Sphere), cfg(64, 4, 25, 750))
+                .algorithm(Algorithm::Gfwa),
+        )
+        .unwrap(),
+    );
+    svc.run_until_idle();
+    let results = ids
+        .iter()
+        .map(|&id| svc.result(id).unwrap().clone())
+        .collect();
+    let manifest = svc
+        .merged_profiler()
+        .kernels
+        .iter()
+        .map(|k| {
+            format!(
+                "{} dev{} grid{:?} block{:?} threads{}",
+                k.name, k.device, k.grid, k.block, k.threads
+            )
+        })
+        .collect();
+    Chaos {
+        results,
+        manifest,
+        snapshot: svc.snapshot(),
+        events: svc.journal().events().to_vec(),
+        lost: svc.group().device(1).unwrap().is_lost(),
+        dev1_health: svc.health().state(1),
+        total_rehomes: svc.records().iter().map(|r| r.rehomes).sum(),
+    }
+}
+
+/// Per-ordinal device-loss sweep over the SSO/GFWA trace: whatever launch
+/// device 1 dies at, every job of both new engines completes via
+/// re-homing with a result bit-identical to the fault-free run — i.e. the
+/// checkpoints the scheduler resumes from carry the full algorithm state,
+/// including GFWA's per-firework amplitudes — and every faulted scenario
+/// replays deterministically.
+#[test]
+fn device_loss_sweep_rehomes_sso_and_gfwa_jobs_bit_identically() {
+    let clean = algo_chaos_trace(None);
+    assert_eq!(clean.results.len(), 5);
+    assert!(!clean.lost);
+    assert_eq!(clean.total_rehomes, 0);
+    let mut losses = 0;
+    for ord in [1, 9, 33, 80, 200] {
+        let a = algo_chaos_trace(Some(ord));
+        let b = algo_chaos_trace(Some(ord));
+        assert_eq!(a.manifest, b.manifest, "ordinal {ord}: manifest drifted");
+        assert_eq!(a.snapshot, b.snapshot, "ordinal {ord}: journal drifted");
+        for (i, (fa, fc)) in a.results.iter().zip(&clean.results).enumerate() {
+            CounterAsserts::assert_bit_identical_gbest(fa, fc);
+            assert_eq!(
+                fa.iterations, fc.iterations,
+                "ordinal {ord}, job {i}: iteration count diverged under loss"
+            );
+        }
+        if a.lost {
+            losses += 1;
+            assert!(
+                a.total_rehomes >= 1,
+                "ordinal {ord}: loss fired but nothing re-homed"
+            );
+            assert_eq!(
+                a.dev1_health,
+                HealthState::Quarantined,
+                "ordinal {ord}: lost device must stay quarantined"
+            );
+            assert!(
+                a.events
+                    .iter()
+                    .any(|e| matches!(e, ServeEvent::Rehome { .. })),
+                "ordinal {ord}: re-homing must be journaled"
+            );
+        }
+    }
+    assert!(losses >= 3, "sweep must actually exercise device loss");
+}
+
 /// Crash-safe journal: snapshotting a mid-flight service and replaying the
 /// snapshot against a fresh group reproduces queue depth, the running set
 /// and the job records — and re-serializes byte-for-byte. Corrupt bytes
@@ -599,14 +717,25 @@ fn calibrated_predictor_matches_observed_costs_within_pinned_tolerances() {
         let id = svc
             .submit(OptimizeRequest::new("calib", obj.clone(), cfg.clone()).strategy(strategy))
             .unwrap();
-        jobs.push((id, cfg, strategy, obj));
+        jobs.push((id, cfg, strategy, obj, fastpso::Algorithm::Pso));
+    }
+    // Eight more jobs on the non-PSO engines: their observations calibrate
+    // the algorithm-qualified rungs (`sso:global`, `gfwa:global`) without
+    // touching any PSO coefficient.
+    for i in 32..40u64 {
+        let (cfg, _, obj) = calib_job(i);
+        let algo = [fastpso::Algorithm::Sso, fastpso::Algorithm::Gfwa][i as usize % 2];
+        let id = svc
+            .submit(OptimizeRequest::new("calib", obj.clone(), cfg.clone()).algorithm(algo))
+            .unwrap();
+        jobs.push((id, cfg, UpdateStrategy::GlobalMem, obj, algo));
     }
     svc.run_until_idle();
 
-    // Worst relative error per strategy, final calibrated predictor vs
-    // each job's observed device-seconds.
+    // Worst relative error per calibration rung, final calibrated
+    // predictor vs each job's observed device-seconds.
     let mut max_err: std::collections::BTreeMap<String, f64> = Default::default();
-    for (id, cfg, strategy, obj) in &jobs {
+    for (id, cfg, strategy, obj, algo) in &jobs {
         let rec = svc
             .records()
             .iter()
@@ -620,17 +749,24 @@ fn calibrated_predictor_matches_observed_costs_within_pinned_tolerances() {
             shards: 1,
             flops_per_dim: obj.flops_per_dim(),
             strategy: strategy.to_string(),
+            algo: algo.to_string(),
             persistent: false,
             slice_iters: 0,
         };
         let err = svc.predictor().relative_error(&shape, rec.device_seconds);
-        let slot = max_err.entry(strategy.to_string()).or_insert(0.0);
+        let slot = max_err.entry(shape.calibration_key()).or_insert(0.0);
         *slot = slot.max(err);
     }
     for strategy in UpdateStrategy::ALL {
         assert!(
             svc.predictor().observations(&strategy.to_string()) > 0,
             "{strategy} never calibrated"
+        );
+    }
+    for key in ["sso:global", "gfwa:global"] {
+        assert!(
+            svc.predictor().observations(key) > 0,
+            "{key} never calibrated"
         );
     }
 
@@ -894,6 +1030,7 @@ fn batched_calibration_matches_observed_costs_within_pinned_tolerances() {
             shards: 1,
             flops_per_dim: Sphere.flops_per_dim(),
             strategy: strategy.to_string(),
+            algo: "pso".to_string(),
             persistent: true,
             slice_iters: 10,
         };
