@@ -207,6 +207,7 @@ impl PsoBackend for GpuPsoBaseline {
             evaluations: (n * cfg.max_iter) as u64,
             timeline: dev.timeline(),
             history,
+            migrations: 0,
         })
     }
 }

@@ -157,6 +157,7 @@ impl PsoBackend for HGpuPsoBaseline {
             evaluations: (n * cfg.max_iter) as u64,
             timeline: tl,
             history,
+            migrations: 0,
         })
     }
 }

@@ -150,6 +150,7 @@ impl PsoBackend for PySwarmsLike {
             evaluations: (n * cfg.max_iter) as u64,
             timeline: tl,
             history,
+            migrations: 0,
         })
     }
 }

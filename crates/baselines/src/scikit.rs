@@ -138,6 +138,7 @@ impl PsoBackend for ScikitOptLike {
             evaluations: (n * cfg.max_iter) as u64,
             timeline: tl,
             history,
+            migrations: 0,
         })
     }
 }

@@ -12,10 +12,18 @@
 //! floor: an engine that cannot beat it is not earning its kernels.
 //!
 //! Usage: `cargo run --release -p fastpso-bench --bin algo_compare --
-//!         [--paper-scale|--smoke] [--out <path>]`
+//!         [--paper-scale|--smoke] [--out <path>] [--topology <spec>]`
 //! — writes a markdown table (default `results/algo_compare.md`).
+//!
+//! `--topology` accepts the [`Topology`] grammar shared with the library's
+//! `FromStr` impl: `global` (the default), `ring_lbest:<k>` for a ring
+//! neighborhood of half-window `k`, or
+//! `islands:<m>:<ring|star|random>:<every_k>:<elites>` for an island
+//! model of `m` sub-swarms migrating `elites` rows every `every_k`
+//! iterations. Island shapes are priced with their migration launches so
+//! the equal-budget comparison stays honest.
 
-use fastpso::{Algorithm, GpuBackend, PsoBackend, PsoConfig};
+use fastpso::{Algorithm, GpuBackend, PsoBackend, PsoConfig, Topology};
 use fastpso_bench::Scale;
 use fastpso_functions::builtins::{Qap, Rastrigin, Sphere};
 use fastpso_functions::Objective;
@@ -71,12 +79,16 @@ fn compare(
     dim: usize,
     budget_iters: usize,
     seed: u64,
+    topology: Topology,
 ) -> (f64, Vec<Row>) {
     let predictor = CostPredictor::v100();
     let per_iter = |algo: Algorithm| {
-        predictor.base_s(
-            &JobShape::new(particles as u64, dim as u64, 1, "global").algorithm(&algo.to_string()),
-        )
+        let mut shape =
+            JobShape::new(particles as u64, dim as u64, 1, "global").algorithm(&algo.to_string());
+        if let Topology::Islands { islands, migration } = topology {
+            shape = shape.islands(islands as u64, migration.every_k as u64);
+        }
+        predictor.base_s(&shape)
     };
     let budget_s = per_iter(Algorithm::Pso) * budget_iters as f64;
 
@@ -87,6 +99,7 @@ fn compare(
         let cfg = PsoConfig::builder(particles, dim)
             .max_iter(iters)
             .seed(seed)
+            .topology(topology)
             .build()
             .expect("valid config");
         let backend = GpuBackend::new().algorithm(algo);
@@ -119,6 +132,12 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1).cloned())
         .unwrap_or_else(|| "results/algo_compare.md".to_string());
+    let topology: Topology = args
+        .iter()
+        .position(|a| a == "--topology")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.parse().expect("valid --topology spec"))
+        .unwrap_or(Topology::Global);
     let seed = 42u64;
     let particles = scale.quality_particles;
     let iters = scale.quality_iters;
@@ -142,9 +161,10 @@ fn main() {
         ("rastrigin", &Rastrigin as &dyn Objective, scale.dim),
         ("qap", &Qap as &dyn Objective, qap_dim),
     ] {
-        let (budget_s, rows) = compare(obj, particles, dim, iters, seed);
+        let (budget_s, rows) = compare(obj, particles, dim, iters, seed, topology);
         md.push_str(&format!(
-            "\n## {name} — dim {dim}, {particles} particles, budget {budget_s:.6} modeled s\n\n\
+            "\n## {name} — dim {dim}, {particles} particles, topology {topology}, \
+             budget {budget_s:.6} modeled s\n\n\
              | engine | iterations | evaluations | modeled s | best value |\n\
              |---|---:|---:|---:|---:|\n"
         ));

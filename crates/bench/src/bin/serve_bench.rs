@@ -37,12 +37,20 @@
 //! `results/serve_batch.csv`.
 //!
 //! Usage: `cargo run --release -p fastpso-bench --bin serve_bench
-//! [--overload | --small-jobs]`
+//! [--overload | --small-jobs] [--topology <spec>]`
+//!
+//! `--topology` applies a swarm topology to every job in the default
+//! packing trace (it does not affect the `--overload` / `--small-jobs`
+//! scenarios, whose traces are pinned by goldens). The spec uses the
+//! library's [`Topology`] `FromStr` grammar: `global` (default),
+//! `ring_lbest:<k>`, or `islands:<m>:<ring|star|random>:<every_k>:<elites>`
+//! — e.g. `--topology islands:4:ring:5:2` serves a trace of island-model
+//! jobs, exercising island-aware admission pricing and batching keys.
 
 use fastpso::serve::{
     BatchPolicy, JobStatus, OptimizeRequest, Priority, ServeConfig, ServeError, Service,
 };
-use fastpso::{GpuBackend, PsoBackend, PsoConfig};
+use fastpso::{GpuBackend, PsoBackend, PsoConfig, Topology};
 use fastpso_bench::report::{fmt_secs, fmt_speedup, Table};
 use fastpso_functions::builtins::{Griewank, Rastrigin, Sphere};
 use fastpso_functions::Objective;
@@ -52,15 +60,27 @@ use std::sync::Arc;
 const N_JOBS: u64 = 32;
 const DEVICES: usize = 4;
 
-fn job_cfg(i: u64) -> PsoConfig {
+fn job_cfg(i: u64, topology: Topology) -> PsoConfig {
     // Small, heterogeneous jobs: 32–96 particles, 4–16 dims.
     let n = 32 + 32 * (i as usize % 3);
     let d = 4 * (1 + (i as usize % 4));
     PsoConfig::builder(n, d)
         .max_iter(60 + 10 * (i as usize % 4))
         .seed(1000 + i)
+        .topology(topology)
         .build()
         .unwrap()
+}
+
+/// The `--topology` flag, parsed through the library grammar (`global`,
+/// `ring_lbest:<k>`, `islands:<m>:<kind>:<every_k>:<elites>`).
+fn cli_topology() -> Topology {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--topology")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.parse().expect("valid --topology spec"))
+        .unwrap_or(Topology::Global)
 }
 
 fn job_objective(i: u64) -> Arc<dyn Objective> {
@@ -421,10 +441,11 @@ fn main() {
         return;
     }
     // Baseline: every job back-to-back on one dedicated device.
+    let topology = cli_topology();
     let mut sequential_s = 0.0;
     for i in 0..N_JOBS {
         let res = GpuBackend::new()
-            .run(&job_cfg(i), job_objective(i).as_ref())
+            .run(&job_cfg(i, topology), job_objective(i).as_ref())
             .expect("baseline run");
         sequential_s += res.elapsed_seconds();
     }
@@ -439,7 +460,7 @@ fn main() {
         },
     );
     for i in 0..N_JOBS {
-        let mut req = OptimizeRequest::new(job_tenant(i), job_objective(i), job_cfg(i))
+        let mut req = OptimizeRequest::new(job_tenant(i), job_objective(i), job_cfg(i, topology))
             .priority(job_priority(i));
         if i % 8 == 5 {
             // A few generous deadlines; none should trip under packing.

@@ -34,6 +34,7 @@ mod tests {
                 evaluations: (cfg.n_particles * cfg.max_iter) as u64,
                 timeline: Timeline::new(),
                 history: None,
+                migrations: 0,
             })
         }
     }

@@ -245,6 +245,32 @@ impl PsoConfig {
                 "init_velocity_scale must be finite and >= 0".into(),
             ));
         }
+        if let Topology::Islands { islands, migration } = self.topology {
+            if islands < 2 {
+                return Err(PsoError::InvalidConfig(format!(
+                    "islands topology needs at least 2 islands, got {islands}"
+                )));
+            }
+            if islands > self.n_particles {
+                return Err(PsoError::InvalidConfig(format!(
+                    "{islands} islands cannot partition {} particles",
+                    self.n_particles
+                )));
+            }
+            if migration.every_k == 0 {
+                return Err(PsoError::InvalidConfig(
+                    "migration period every_k must be >= 1".into(),
+                ));
+            }
+            let smallest = self.n_particles / islands;
+            if migration.elites == 0 || migration.elites >= smallest {
+                return Err(PsoError::InvalidConfig(format!(
+                    "migration elites must satisfy 1 <= elites < smallest island size \
+                     ({smallest}), got {}",
+                    migration.elites
+                )));
+            }
+        }
         if let Some((lo, hi)) = self.domain {
             if !lo.is_finite() || !hi.is_finite() {
                 return Err(PsoError::InvalidConfig(format!(
@@ -520,6 +546,42 @@ mod tests {
                 .contains("finite")
         );
         assert!(PsoConfig::builder(5, 5).domain(-2.0, 2.0).build().is_ok());
+    }
+
+    #[test]
+    fn degenerate_island_configs_are_rejected_with_diagnostics() {
+        use crate::topology::{Migration, MigrationKind, Topology};
+        let isl = |islands, every_k, elites| Topology::Islands {
+            islands,
+            migration: Migration {
+                kind: MigrationKind::Ring,
+                every_k,
+                elites,
+            },
+        };
+        assert!(
+            rejection_message(PsoConfig::builder(16, 4).topology(isl(1, 5, 1)))
+                .contains("at least 2 islands")
+        );
+        assert!(
+            rejection_message(PsoConfig::builder(16, 4).topology(isl(17, 5, 1)))
+                .contains("cannot partition")
+        );
+        assert!(
+            rejection_message(PsoConfig::builder(16, 4).topology(isl(4, 0, 1)))
+                .contains("every_k must be >= 1")
+        );
+        assert!(
+            rejection_message(PsoConfig::builder(16, 4).topology(isl(4, 5, 0))).contains("elites")
+        );
+        assert!(
+            rejection_message(PsoConfig::builder(16, 4).topology(isl(4, 5, 4)))
+                .contains("smallest island size")
+        );
+        assert!(PsoConfig::builder(16, 4)
+            .topology(isl(4, 5, 2))
+            .build()
+            .is_ok());
     }
 
     #[test]

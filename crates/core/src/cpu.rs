@@ -11,7 +11,7 @@ use crate::error::PsoError;
 use crate::math::{position_update_elem, velocity_update_elem};
 use crate::result::RunResult;
 use crate::swarm::{domains, Swarm};
-use crate::topology::{ring_neighborhood_best, Topology};
+use crate::topology::{island_attractors, plan_migration, ring_neighborhood_best, Topology};
 use fastpso_functions::Objective;
 use fastpso_prng::Philox;
 use perf_model::{Phase, Timeline};
@@ -99,11 +99,12 @@ pub(crate) fn run_cpu(
         None
     };
     let mut lbest_idx = match cfg.topology {
-        Topology::Ring { .. } => vec![0usize; n],
+        Topology::Ring { .. } | Topology::Islands { .. } => vec![0usize; n],
         Topology::Global => Vec::new(),
     };
     let mut stagnant = 0usize;
     let mut iterations_run = 0usize;
+    let mut migrations = 0u64;
 
     for t in 0..cfg.max_iter {
         iterations_run = t + 1;
@@ -208,6 +209,49 @@ pub(crate) fn run_cpu(
             );
         }
 
+        // Island topology: periodic elite migration rewrites whole particle
+        // rows, then every particle's social attractor becomes its island's
+        // best. Same order as the GPU plan (gbest adoption → migrate →
+        // attractor gather) and the same pure `plan_migration` schedule, so
+        // seq/par/GPU trajectories stay bit-identical.
+        if let Topology::Islands { islands, migration } = cfg.topology {
+            if (t + 1).is_multiple_of(migration.every_k) {
+                let pairs = plan_migration(&swarm.pbest_err, islands, migration, t, cfg.seed);
+                // Snapshot every source row before the first write: a
+                // migration schedule may chain (A→B while B→C), and the
+                // copies must all read pre-migration state.
+                let rows: Vec<_> = pairs
+                    .iter()
+                    .map(|&(src, _)| {
+                        (
+                            swarm.pos[src * d..(src + 1) * d].to_vec(),
+                            swarm.vel[src * d..(src + 1) * d].to_vec(),
+                            swarm.pbest_pos[src * d..(src + 1) * d].to_vec(),
+                            swarm.pbest_err[src],
+                            swarm.errors[src],
+                        )
+                    })
+                    .collect();
+                for (&(_, dst), row) in pairs.iter().zip(&rows) {
+                    swarm.pos[dst * d..(dst + 1) * d].copy_from_slice(&row.0);
+                    swarm.vel[dst * d..(dst + 1) * d].copy_from_slice(&row.1);
+                    swarm.pbest_pos[dst * d..(dst + 1) * d].copy_from_slice(&row.2);
+                    swarm.pbest_err[dst] = row.3;
+                    swarm.errors[dst] = row.4;
+                }
+                migrations += pairs.len() as u64;
+                charger.charge(
+                    &mut tl,
+                    Phase::GBest,
+                    pairs.len() as u64 * d as u64,
+                    pairs.len() as u64 * d as u64 * 24,
+                    0,
+                );
+            }
+            island_attractors(&swarm.pbest_err, islands, &mut lbest_idx);
+            charger.charge(&mut tl, Phase::GBest, n as u64, n as u64 * 4, 0);
+        }
+
         // Advance the adaptive bound (Equation 5 with Kaucic's scheme),
         // then run the swarm update under the current bound.
         sched.note_iteration(gbest_improved);
@@ -234,7 +278,7 @@ pub(crate) fn run_cpu(
                     let pb_row = &pbest_pos_all[row * d..(row + 1) * d];
                     let social_row = match topology {
                         Topology::Global => &gbest_pos[..],
-                        Topology::Ring { .. } => {
+                        Topology::Ring { .. } | Topology::Islands { .. } => {
                             let b = lbest_idx[row];
                             &pbest_pos_all[b * d..(b + 1) * d]
                         }
@@ -249,7 +293,7 @@ pub(crate) fn run_cpu(
                 let (s, e) = (row * d, row * d + d);
                 let social_row = match cfg.topology {
                     Topology::Global => &swarm.gbest_pos[..],
-                    Topology::Ring { .. } => {
+                    Topology::Ring { .. } | Topology::Islands { .. } => {
                         let b = lbest_idx[row];
                         &swarm.pbest_pos[b * d..(b + 1) * d]
                     }
@@ -315,5 +359,6 @@ pub(crate) fn run_cpu(
         evaluations: (n * iterations_run) as u64,
         timeline: tl,
         history,
+        migrations,
     })
 }

@@ -11,7 +11,7 @@ use crate::cost::RNG_FLOPS_PER_DRAW;
 use crate::error::PsoError;
 use crate::math::{position_update_elem, velocity_update_elem};
 use crate::swarm::domains;
-use crate::topology::ring_neighborhood_best;
+use crate::topology::{self, ring_neighborhood_best, Migration};
 use fastpso_functions::Objective;
 use fastpso_prng::Philox;
 use gpu_sim::reduce::MinResult;
@@ -429,6 +429,105 @@ pub fn ring_lbest(dev: &Device, shard: &Shard, k: usize) -> Result<Vec<usize>, P
     Ok(out)
 }
 
+/// Island-topology support kernel: compute each particle's island-best
+/// attractor index (one thread per particle scanning its contiguous
+/// island block, like [`ring_lbest`]'s windowed scan). Ties resolve to the
+/// lowest index, the global reduction's tie rule, so island runs stay
+/// bit-identical across backends.
+pub fn island_attractors(
+    dev: &Device,
+    shard: &Shard,
+    islands: usize,
+) -> Result<Vec<usize>, PsoError> {
+    let n = shard.rows;
+    let m = islands.clamp(1, n.max(1));
+    // Each thread scans at most its island's rows (the largest island
+    // bounds the window).
+    let window = n.div_ceil(m) as u64;
+    let desc = desc_for(
+        dev,
+        "island_attractors",
+        Phase::GBest,
+        KernelCost::elementwise(window, window * 4, 8),
+        n as u64,
+    );
+    dev.charge_kernel(&desc);
+    let mut out = vec![0usize; n];
+    topology::island_attractors(shard.pbest_err.as_slice(), m, &mut out);
+    Ok(out)
+}
+
+/// Island-migration kernel: plan this iteration's elite exchange from the
+/// pre-migration `pbest` state (see [`topology::plan_migration`]) and
+/// commit it — each copied elite carries its full per-particle state
+/// (position, velocity, `pbest` row and error, current error, and the
+/// algorithm's `extra` row state, e.g. GFWA amplitudes), so every engine
+/// migrates without per-engine code. All sources are snapshotted before
+/// any write, making the whole op a pure function of the pre-migration
+/// state — replays and post-restore resumes reproduce it bit-exactly.
+///
+/// Returns the number of migrated rows (the run's `migrations` rollup).
+pub fn migrate_elites(
+    dev: &Device,
+    shard: &mut Shard,
+    islands: usize,
+    migration: Migration,
+    t: usize,
+    seed: u64,
+) -> Result<u64, PsoError> {
+    let d = shard.d;
+    let pairs = topology::plan_migration(shard.pbest_err.as_slice(), islands, migration, t, seed);
+    if pairs.is_empty() {
+        return Ok(0);
+    }
+    // One thread per copied matrix element; each reads its source element
+    // across the three row matrices and writes the destination.
+    let desc = desc_for(
+        dev,
+        "migrate_elites",
+        Phase::GBest,
+        KernelCost::elementwise(1, 12, 12),
+        (pairs.len() * d) as u64,
+    );
+    dev.charge_kernel(&desc);
+
+    struct EliteRow {
+        pos: Vec<f32>,
+        vel: Vec<f32>,
+        pbest_pos: Vec<f32>,
+        pbest_err: f32,
+        err: f32,
+        extra: Option<f32>,
+    }
+    let snapshot: Vec<(usize, EliteRow)> = pairs
+        .iter()
+        .map(|&(src, dst)| {
+            (
+                dst,
+                EliteRow {
+                    pos: shard.pos.as_slice()[src * d..(src + 1) * d].to_vec(),
+                    vel: shard.vel.as_slice()[src * d..(src + 1) * d].to_vec(),
+                    pbest_pos: shard.pbest_pos.as_slice()[src * d..(src + 1) * d].to_vec(),
+                    pbest_err: shard.pbest_err.as_slice()[src],
+                    err: shard.errors.as_slice()[src],
+                    extra: shard.extra.as_ref().map(|a| a.as_slice()[src]),
+                },
+            )
+        })
+        .collect();
+    for (dst, row) in snapshot {
+        shard.pos.as_mut_slice()[dst * d..(dst + 1) * d].copy_from_slice(&row.pos);
+        shard.vel.as_mut_slice()[dst * d..(dst + 1) * d].copy_from_slice(&row.vel);
+        shard.pbest_pos.as_mut_slice()[dst * d..(dst + 1) * d].copy_from_slice(&row.pbest_pos);
+        shard.pbest_err.as_mut_slice()[dst] = row.pbest_err;
+        shard.errors.as_mut_slice()[dst] = row.err;
+        if let (Some(buf), Some(v)) = (shard.extra.as_mut(), row.extra) {
+            buf.as_mut_slice()[dst] = v;
+        }
+    }
+    Ok(pairs.len() as u64)
+}
+
 /// ForLoop models the naive kernel: one thread per particle row looping
 /// over its d columns (strided access), instead of one thread per
 /// element. The arithmetic is the GlobalMem path verbatim, so results
@@ -796,12 +895,18 @@ pub const SSO_CW: f32 = 0.90;
 /// can retry the whole op without double-applying it. Elements are
 /// addressed *globally* (like every kernel here), so sharded runs draw
 /// exactly what a single-device run draws.
+///
+/// Under a local topology (`lbest` is `Some`), the swarm-best source reads
+/// the attractor particle's `pbest` row instead of the broadcast `gbest`
+/// — the same substitution the PSO velocity kernels make, which is how
+/// islands reach SSO without SSO-specific lowering.
 pub fn sso_update(
     dev: &Device,
     shard: &mut Shard,
     cfg: &PsoConfig,
     t: usize,
     domain: (f32, f32),
+    lbest: Option<&[usize]>,
 ) -> Result<(), PsoError> {
     let (lo, hi) = domain;
     let d = shard.d;
@@ -825,7 +930,10 @@ pub fn sso_update(
         let col = i % d;
         let u = rng.uniform_at((row0 * d + i) as u64, dom);
         if u < SSO_CG {
-            gbest_pos[col]
+            match lbest {
+                Some(lb) => pbest_pos[lb[i / d] * d + col],
+                None => gbest_pos[col],
+            }
         } else if u < SSO_CP {
             pbest_pos[i]
         } else if u < SSO_CW {
@@ -1400,7 +1508,7 @@ mod tests {
             let before = shard.pos.as_slice().to_vec();
             let pbest = shard.pbest_pos.as_slice().to_vec();
             let gbest = shard.gbest_pos.as_slice().to_vec();
-            sso_update(&dev, &mut shard, &cfg, 0, domain).unwrap();
+            sso_update(&dev, &mut shard, &cfg, 0, domain, None).unwrap();
             (before, pbest, gbest, shard.pos.as_slice().to_vec())
         };
         let (before, pbest, gbest, after) = run();
@@ -1438,7 +1546,7 @@ mod tests {
             pbest_update(&dev, &mut shard).unwrap();
             let r = local_argmin(&dev, &shard).unwrap();
             adopt_gbest_local(&dev, &mut shard, r.index, r.value).unwrap();
-            sso_update(&dev, &mut shard, &cfg, 1, domain).unwrap();
+            sso_update(&dev, &mut shard, &cfg, 1, domain, None).unwrap();
             shard.pos.as_slice().to_vec()
         };
         // A shard holding rows 5..9 with the same adopted gbest must draw
@@ -1459,7 +1567,7 @@ mod tests {
             (s2.gbest_pos.as_slice().to_vec(), s2.gbest_err)
         };
         adopt_gbest_from_host(&dev, &mut shard, &host_gbest.0, host_gbest.1).unwrap();
-        sso_update(&dev, &mut shard, &cfg, 1, domain).unwrap();
+        sso_update(&dev, &mut shard, &cfg, 1, domain, None).unwrap();
         assert_eq!(
             shard.pos.as_slice(),
             &full[5 * cfg.dim..9 * cfg.dim],

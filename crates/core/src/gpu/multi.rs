@@ -138,7 +138,7 @@ impl MultiGpuBackend {
         if cfg.topology != crate::topology::Topology::Global {
             return Err(PsoError::InvalidConfig(
                 "multi-GPU backends support the global topology only (ring windows \
-                 would span device boundaries)"
+                 and island blocks would span device boundaries)"
                     .into(),
             ));
         }

@@ -72,4 +72,4 @@ pub use result::RunResult;
 pub use seq::SeqBackend;
 pub use stats::{run_many, MultiRunSummary};
 pub use swarm::Swarm;
-pub use topology::Topology;
+pub use topology::{Migration, MigrationKind, Topology};

@@ -60,9 +60,9 @@ use crate::config::{BoundSchedule, PsoConfig};
 use crate::error::PsoError;
 use crate::gpu::kernels::{
     adopt_gbest_from_host, adopt_gbest_local, eval_shard, explosion, fused_swarm_update,
-    gen_weights, gfwa_selection, guiding_spark, init_gfwa_amplitudes, init_shard, local_argmin,
-    pbest_update, position_update, ring_lbest, sso_update, velocity_update, Explosion,
-    GuidingSpark, Shard, UpdateStrategy,
+    gen_weights, gfwa_selection, guiding_spark, init_gfwa_amplitudes, init_shard,
+    island_attractors, local_argmin, migrate_elites, pbest_update, position_update, ring_lbest,
+    sso_update, velocity_update, Explosion, GuidingSpark, Shard, UpdateStrategy,
 };
 use crate::resilience::{
     quarantine_nonfinite, retry_degradable, retry_op, ResilienceConfig, RetryPolicy,
@@ -128,6 +128,29 @@ pub enum PlanOp {
     /// GFWA selection: each firework adopts the best of {itself, best
     /// spark, guiding spark} and adapts its explosion amplitude.
     Selection,
+    /// Island migration ([`crate::topology::Topology::Islands`]): copy each
+    /// donor island's elite rows over its receiver's worst rows, per the
+    /// configured [`crate::topology::MigrationKind`]. Algorithm-agnostic —
+    /// the node moves whole particle rows (position, velocity, bests and
+    /// any extra state), so PSO, SSO and GFWA all migrate through this one
+    /// op. Fires only on iterations where the configured migration period
+    /// divides `t + 1`; on other iterations the executor skips it without
+    /// charging a launch.
+    Migrate {
+        /// Migration pattern between islands.
+        kind: crate::topology::MigrationKind,
+        /// Rows copied per donor→receiver edge.
+        elites: usize,
+    },
+    /// Island attractor gather: compute each island's best `pbest` row and
+    /// broadcast its index to every resident particle, filling the same
+    /// per-particle attractor channel [`PlanOp::RingLbest`] feeds — which
+    /// is how every engine's update tail consumes islands without
+    /// island-specific lowering.
+    EliteSelect {
+        /// Number of islands the swarm is partitioned into.
+        islands: usize,
+    },
 }
 
 impl std::fmt::Display for PlanOp {
@@ -150,6 +173,8 @@ impl std::fmt::Display for PlanOp {
             PlanOp::Explosion => write!(f, "explosion"),
             PlanOp::GuidingSpark => write!(f, "guiding_spark"),
             PlanOp::Selection => write!(f, "selection"),
+            PlanOp::Migrate { kind, elites } => write!(f, "migrate:{kind}:{elites}"),
+            PlanOp::EliteSelect { islands } => write!(f, "elite_select:{islands}"),
         }
     }
 }
@@ -157,8 +182,10 @@ impl std::fmt::Display for PlanOp {
 impl std::str::FromStr for PlanOp {
     type Err = String;
 
-    /// Parse a canonical op identifier (case-insensitive). `ring_lbest`
-    /// requires its `:k` suffix; every other op is a bare word.
+    /// Parse a canonical op identifier (case-insensitive). The
+    /// parameterised ops require their suffixes — `ring_lbest:<k>`,
+    /// `migrate:<kind>:<elites>`, `elite_select:<islands>` — and every
+    /// other op is a bare word.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let lower = s.trim().to_ascii_lowercase();
         if let Some(k) = lower.strip_prefix("ring_lbest:") {
@@ -166,6 +193,22 @@ impl std::str::FromStr for PlanOp {
                 .parse()
                 .map_err(|_| format!("bad ring_lbest half-width in {s:?}"))?;
             return Ok(PlanOp::RingLbest { k });
+        }
+        if let Some(rest) = lower.strip_prefix("migrate:") {
+            let (kind, elites) = rest
+                .split_once(':')
+                .ok_or_else(|| format!("migrate needs <kind>:<elites> in {s:?}"))?;
+            let kind = kind.parse()?;
+            let elites: usize = elites
+                .parse()
+                .map_err(|_| format!("bad migrate elite count in {s:?}"))?;
+            return Ok(PlanOp::Migrate { kind, elites });
+        }
+        if let Some(m) = lower.strip_prefix("elite_select:") {
+            let islands: usize = m
+                .parse()
+                .map_err(|_| format!("bad elite_select island count in {s:?}"))?;
+            return Ok(PlanOp::EliteSelect { islands });
         }
         match lower.as_str() {
             "eval" => Ok(PlanOp::Eval),
@@ -300,14 +343,42 @@ impl ExecutionPlan {
         let reduce_idx = push(&mut nodes, PlanOp::ReduceAdopt, 0, Phase::GBest, argmins);
         let mut barrier = reduce_idx;
         if n_shards == 1 {
-            if let Topology::Ring { k } = cfg.topology {
-                barrier = push(
-                    &mut nodes,
-                    PlanOp::RingLbest { k },
-                    0,
-                    Phase::GBest,
-                    vec![reduce_idx],
-                );
+            match cfg.topology {
+                Topology::Ring { k } => {
+                    barrier = push(
+                        &mut nodes,
+                        PlanOp::RingLbest { k },
+                        0,
+                        Phase::GBest,
+                        vec![reduce_idx],
+                    );
+                }
+                Topology::Islands { islands, migration } => {
+                    // Migration first (it rewrites pbest rows), then the
+                    // attractor gather over the post-migration state. The
+                    // gather is the new barrier, so every engine's update
+                    // tail reads island attractors instead of the gbest —
+                    // islands reach PSO, SSO and GFWA through these two
+                    // generic nodes alone.
+                    let mig = push(
+                        &mut nodes,
+                        PlanOp::Migrate {
+                            kind: migration.kind,
+                            elites: migration.elites,
+                        },
+                        0,
+                        Phase::GBest,
+                        vec![reduce_idx],
+                    );
+                    barrier = push(
+                        &mut nodes,
+                        PlanOp::EliteSelect { islands },
+                        0,
+                        Phase::GBest,
+                        vec![mig],
+                    );
+                }
+                Topology::Global => {}
             }
         }
         for s in 0..n_shards {
@@ -531,6 +602,11 @@ pub(crate) struct OptState {
     global_best_err: f32,
     global_best_pos: Vec<f32>,
     quarantined: u64,
+    /// Elite rows copied between islands so far. Checkpointed alongside the
+    /// trajectory (unlike `quarantined`, which counts events including
+    /// replays), so a restore-and-replay reports the same count as a clean
+    /// run.
+    migrations: u64,
 }
 
 /// Synchronized snapshot of the whole optimizer state at an iteration
@@ -542,6 +618,7 @@ struct PlanCheckpoint {
     stagnant: usize,
     global_best_err: f32,
     global_best_pos: Vec<f32>,
+    migrations: u64,
 }
 
 impl PlanCheckpoint {
@@ -553,6 +630,7 @@ impl PlanCheckpoint {
             stagnant,
             global_best_err: st.global_best_err,
             global_best_pos: st.global_best_pos.clone(),
+            migrations: st.migrations,
         }
     }
 
@@ -571,6 +649,7 @@ impl PlanCheckpoint {
         st.sched = self.sched;
         st.global_best_err = self.global_best_err;
         st.global_best_pos.copy_from_slice(&self.global_best_pos);
+        st.migrations = self.migrations;
         Ok(())
     }
 }
@@ -633,6 +712,7 @@ impl<'a> PlanRun<'a> {
             global_best_err,
             global_best_pos,
             quarantined,
+            migrations,
         } = st;
         let gbest_before = match plan.reduce {
             BestReduce::Local => shards[0].gbest_err,
@@ -809,6 +889,40 @@ impl<'a> PlanRun<'a> {
                         None => ring_lbest(dev, shard, k)?,
                     });
                 }
+                PlanOp::Migrate { .. } => {
+                    let Topology::Islands { islands, migration } = cfg.topology else {
+                        unreachable!("migrate nodes are only lowered for island topologies")
+                    };
+                    // Periodic: off-period iterations skip the node without
+                    // charging a launch, so the plan shape stays static
+                    // while the schedule stays configurable.
+                    if (t + 1).is_multiple_of(migration.every_k) {
+                        let dev = self.device(homes[s])?;
+                        self.enter(dev, node, &events);
+                        let shard = &mut shards[s];
+                        let seed = cfg.seed;
+                        // A pure function of the pre-migration state and
+                        // (t, seed), so checkpoint replay recomputes the
+                        // same elite moves bit-for-bit.
+                        *migrations += match self.resilience {
+                            Some(res) => retry_op(dev, &res.retry, || {
+                                migrate_elites(dev, shard, islands, migration, t, seed)
+                            })?,
+                            None => migrate_elites(dev, shard, islands, migration, t, seed)?,
+                        };
+                    }
+                }
+                PlanOp::EliteSelect { islands } => {
+                    let dev = self.device(homes[s])?;
+                    self.enter(dev, node, &events);
+                    let shard = &shards[s];
+                    lbest = Some(match self.resilience {
+                        Some(res) => {
+                            retry_op(dev, &res.retry, || island_attractors(dev, shard, islands))?
+                        }
+                        None => island_attractors(dev, shard, islands)?,
+                    });
+                }
                 PlanOp::GenWeights => {
                     let dev = self.device(homes[s])?;
                     self.enter(dev, node, &events);
@@ -878,15 +992,16 @@ impl<'a> PlanRun<'a> {
                     self.enter(dev, node, &events);
                     let shard = &mut shards[s];
                     let domain = cfg.resolve_domain(self.obj.domain());
+                    let lb = lbest.as_deref();
                     // A single fault-gated launch that resamples every
                     // element from the counter-based stream: idempotent, so
                     // plain bounded retry suffices (no strategy ladder —
                     // the kernel has one implementation).
                     match self.resilience {
-                        Some(res) => {
-                            retry_op(dev, &res.retry, || sso_update(dev, shard, cfg, t, domain))?
-                        }
-                        None => sso_update(dev, shard, cfg, t, domain)?,
+                        Some(res) => retry_op(dev, &res.retry, || {
+                            sso_update(dev, shard, cfg, t, domain, lb)
+                        })?,
+                        None => sso_update(dev, shard, cfg, t, domain, lb)?,
                     }
                 }
                 PlanOp::Explosion => {
@@ -968,6 +1083,7 @@ impl<'a> PlanRun<'a> {
             global_best_err: f32::INFINITY,
             global_best_pos: vec![0.0f32; d],
             quarantined: 0,
+            migrations: 0,
         };
         for (i, &(row0, rows)) in self.partitions.iter().enumerate() {
             let dev = self.device(st.homes[i])?;
@@ -1165,6 +1281,7 @@ impl<'a> PlanRun<'a> {
                     evaluations: (cfg.n_particles * ex.iterations_run) as u64,
                     timeline: dev.timeline(),
                     history: ex.history,
+                    migrations: ex.st.migrations,
                 }
             }
             ExecTarget::Group(g) => RunResult {
@@ -1174,6 +1291,7 @@ impl<'a> PlanRun<'a> {
                 evaluations: (cfg.n_particles * ex.iterations_run) as u64,
                 timeline: scaled_group_timeline(g),
                 history: ex.history,
+                migrations: ex.st.migrations,
             },
         }
     }
@@ -1206,6 +1324,7 @@ impl<'a> PlanRun<'a> {
             global_best_err: ex.st.global_best_err,
             global_best_pos: ex.st.global_best_pos.clone(),
             quarantined: ex.st.quarantined,
+            migrations: ex.st.migrations,
             history: ex.history.clone(),
             stagnant: ex.stagnant,
             iterations_run: ex.iterations_run,
@@ -1248,6 +1367,7 @@ impl<'a> PlanRun<'a> {
             global_best_err: s.global_best_err,
             global_best_pos: s.global_best_pos.clone(),
             quarantined: s.quarantined,
+            migrations: s.migrations,
         };
         // Re-anchor the replay checkpoint at the suspension point so a
         // later fault can never roll the job back past its resume.
@@ -1258,6 +1378,7 @@ impl<'a> PlanRun<'a> {
             stagnant: s.stagnant,
             global_best_err: s.global_best_err,
             global_best_pos: s.global_best_pos,
+            migrations: s.migrations,
         });
         Ok(ExecState {
             st,
@@ -1333,6 +1454,7 @@ pub(crate) struct SuspendedJob {
     global_best_err: f32,
     global_best_pos: Vec<f32>,
     quarantined: u64,
+    migrations: u64,
     history: Option<Vec<f32>>,
     stagnant: usize,
     iterations_run: usize,
@@ -1415,6 +1537,7 @@ fn rehome_lost_shards(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::topology::{Migration, MigrationKind};
 
     fn cfg() -> PsoConfig {
         PsoConfig::builder(32, 8).max_iter(5).build().unwrap()
@@ -1575,6 +1698,11 @@ mod tests {
             PlanOp::Explosion,
             PlanOp::GuidingSpark,
             PlanOp::Selection,
+            PlanOp::Migrate {
+                kind: MigrationKind::Star,
+                elites: 2,
+            },
+            PlanOp::EliteSelect { islands: 4 },
         ];
         for op in ops {
             let s = op.to_string();
@@ -1583,6 +1711,53 @@ mod tests {
         }
         assert!("warp_shuffle".parse::<PlanOp>().is_err());
         assert!("ring_lbest:x".parse::<PlanOp>().is_err());
+        assert!("migrate:sideways:2".parse::<PlanOp>().is_err());
+        assert!("migrate:ring".parse::<PlanOp>().is_err());
+        assert!("elite_select:x".parse::<PlanOp>().is_err());
+    }
+
+    #[test]
+    fn island_topology_lowers_migrate_and_elite_select_for_every_engine() {
+        let c = PsoConfig::builder(32, 8)
+            .topology(Topology::Islands {
+                islands: 4,
+                migration: Migration {
+                    kind: MigrationKind::Ring,
+                    every_k: 5,
+                    elites: 2,
+                },
+            })
+            .build()
+            .unwrap();
+        for algo in [Algorithm::Pso, Algorithm::Sso, Algorithm::Gfwa] {
+            let plan = ExecutionPlan::build_for(algo, &c, 1, BestReduce::Local);
+            // The island pair slots between the reduce and the engine tail,
+            // for every engine, without per-engine lowering code.
+            assert_eq!(
+                plan.nodes[4].op,
+                PlanOp::Migrate {
+                    kind: MigrationKind::Ring,
+                    elites: 2
+                },
+                "{algo}"
+            );
+            assert_eq!(plan.nodes[5].op, PlanOp::EliteSelect { islands: 4 });
+            assert_eq!(plan.nodes[4].deps, vec![3], "migrate waits on the reduce");
+            assert_eq!(plan.nodes[5].deps, vec![4], "select waits on migrate");
+            // The engine tail consumes the elite-select barrier (for PSO the
+            // barrier feeds Velocity, not the independent GenWeights node).
+            assert!(
+                plan.nodes[6..].iter().any(|n| n.deps.contains(&5)),
+                "{algo}: update tail must wait on the island barrier"
+            );
+        }
+        // Persistent lowering stays algorithm-agnostic with islands present.
+        let mut plan = ExecutionPlan::build_for(Algorithm::Pso, &c, 1, BestReduce::Local);
+        assert!(plan.lower_persistent());
+        assert!(plan
+            .body
+            .iter()
+            .any(|n| matches!(n.op, PlanOp::Migrate { .. })));
     }
 
     #[test]

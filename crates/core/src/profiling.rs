@@ -272,6 +272,7 @@ mod tests {
             evaluations: 1,
             timeline: Timeline::new(),
             history: None,
+            migrations: 0,
         };
         CounterAsserts::assert_bit_identical_gbest(&mk(1.0, 2.0), &mk(1.0, 2.0));
         let r = std::panic::catch_unwind(|| {

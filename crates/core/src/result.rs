@@ -18,6 +18,12 @@ pub struct RunResult {
     /// Per-iteration `gbest` history (present when
     /// [`crate::PsoConfig::record_history`] was set).
     pub history: Option<Vec<f32>>,
+    /// Elite rows copied between islands over the run — `0` unless the
+    /// config used [`crate::Topology::Islands`]. Deterministic for a given
+    /// config and seed, and unchanged by checkpoint replay or re-homing
+    /// (the counter rolls back with the trajectory), so operators can
+    /// compare it across reruns as a trajectory fingerprint.
+    pub migrations: u64,
 }
 
 impl RunResult {
@@ -61,6 +67,7 @@ mod tests {
             evaluations: 100,
             timeline: tl,
             history,
+            migrations: 0,
         }
     }
 

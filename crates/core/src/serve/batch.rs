@@ -26,6 +26,7 @@
 
 use crate::algo::Algorithm;
 use crate::gpu::UpdateStrategy;
+use crate::topology::Topology;
 use std::fmt;
 use std::str::FromStr;
 
@@ -90,16 +91,27 @@ pub struct CompatKey {
     /// The job's dimension rounded up to a power of two — jobs in one
     /// dim-class tile the same way.
     pub dim_class: usize,
+    /// The swarm topology, verbatim. Topologies change the per-iteration
+    /// node schedule (ring gathers, island migrate/elite-select nodes with
+    /// job-specific periods), so jobs only fuse with identically-shaped
+    /// peers — an islands job never batches with a global one.
+    pub topology: Topology,
 }
 
 impl CompatKey {
     /// The key for a job of `dim` dimensions run by `algorithm` with
-    /// `strategy`.
-    pub fn new(algorithm: Algorithm, strategy: UpdateStrategy, dim: usize) -> Self {
+    /// `strategy` under `topology`.
+    pub fn new(
+        algorithm: Algorithm,
+        strategy: UpdateStrategy,
+        dim: usize,
+        topology: Topology,
+    ) -> Self {
         CompatKey {
             algorithm,
             strategy,
             dim_class: dim.next_power_of_two(),
+            topology,
         }
     }
 }
@@ -162,13 +174,42 @@ mod tests {
             max_jobs: 3,
             max_elems: 100,
         };
-        let key = CompatKey::new(Algorithm::Pso, UpdateStrategy::GlobalMem, 6);
-        let other = CompatKey::new(Algorithm::Pso, UpdateStrategy::SharedMem, 6);
-        let cross_algo = CompatKey::new(Algorithm::Sso, UpdateStrategy::GlobalMem, 6);
+        let key = CompatKey::new(
+            Algorithm::Pso,
+            UpdateStrategy::GlobalMem,
+            6,
+            Topology::Global,
+        );
+        let other = CompatKey::new(
+            Algorithm::Pso,
+            UpdateStrategy::SharedMem,
+            6,
+            Topology::Global,
+        );
+        let cross_algo = CompatKey::new(
+            Algorithm::Sso,
+            UpdateStrategy::GlobalMem,
+            6,
+            Topology::Global,
+        );
+        let cross_topo = CompatKey::new(
+            Algorithm::Pso,
+            UpdateStrategy::GlobalMem,
+            6,
+            Topology::Islands {
+                islands: 2,
+                migration: crate::topology::Migration {
+                    kind: crate::topology::MigrationKind::Ring,
+                    every_k: 5,
+                    elites: 1,
+                },
+            },
+        );
         let mut f = BatchFormer::new(policy);
         assert!(f.offer(key, 40));
         assert!(!f.offer(other, 10), "strategy mismatch");
         assert!(!f.offer(cross_algo, 10), "algorithm mismatch");
+        assert!(!f.offer(cross_topo, 10), "topology mismatch");
         assert!(f.offer(key, 40));
         assert!(!f.offer(key, 30), "elems bound");
         assert!(f.offer(key, 20));
@@ -178,9 +219,24 @@ mod tests {
 
     #[test]
     fn dim_class_rounds_to_power_of_two() {
-        let a = CompatKey::new(Algorithm::Pso, UpdateStrategy::GlobalMem, 5);
-        let b = CompatKey::new(Algorithm::Pso, UpdateStrategy::GlobalMem, 8);
-        let c = CompatKey::new(Algorithm::Pso, UpdateStrategy::GlobalMem, 9);
+        let a = CompatKey::new(
+            Algorithm::Pso,
+            UpdateStrategy::GlobalMem,
+            5,
+            Topology::Global,
+        );
+        let b = CompatKey::new(
+            Algorithm::Pso,
+            UpdateStrategy::GlobalMem,
+            8,
+            Topology::Global,
+        );
+        let c = CompatKey::new(
+            Algorithm::Pso,
+            UpdateStrategy::GlobalMem,
+            9,
+            Topology::Global,
+        );
         assert_eq!(a, b, "5 and 8 share the 8-wide class");
         assert_ne!(b, c, "9 rounds to 16");
     }

@@ -571,7 +571,7 @@ impl Service {
             if req.cfg.topology != Topology::Global {
                 return Err(ServeError::InvalidRequest(
                     "sharded jobs support the global topology only (ring windows \
-                     would span device boundaries)"
+                     and island blocks would span device boundaries)"
                         .into(),
                 ));
             }
@@ -598,6 +598,10 @@ impl Service {
         } else {
             1
         };
+        let (islands, migrate_every) = match req.cfg.topology {
+            Topology::Islands { islands, migration } => (islands as u64, migration.every_k as u64),
+            _ => (1, 0),
+        };
         let mut shape = JobShape {
             particles: req.cfg.n_particles as u64,
             dim: req.cfg.dim as u64,
@@ -608,6 +612,8 @@ impl Service {
             algo: req.algorithm.to_string(),
             persistent: false,
             slice_iters: 0,
+            islands,
+            migrate_every,
         };
         // A batch-eligible job runs inside persistent regions, so price it
         // (and key its calibration) that way — admission predictions and
@@ -620,12 +626,16 @@ impl Service {
     }
 
     /// The batching policy, if `cfg` is eligible to join a micro-batch:
-    /// batching on, single-shard, global topology (ring windows are never
-    /// fused across jobs), and small enough to fit a batch on its own.
+    /// batching on, single-shard, a batchable topology, and small enough to
+    /// fit a batch on its own. Global and islands jobs batch (island
+    /// migrate/gather nodes act on the job's own state segment, and the
+    /// topology is part of the compat key, so islands jobs only fuse with
+    /// identically-configured peers); ring jobs never fuse across jobs.
     fn batchable_cfg(&self, cfg: &PsoConfig) -> Option<BatchPolicy> {
         let policy = self.cfg.batching?;
         let fits = cfg.n_particles * cfg.dim <= policy.max_elems;
-        (!self.will_shard(cfg) && cfg.topology == Topology::Global && fits).then_some(policy)
+        let topo_ok = matches!(cfg.topology, Topology::Global | Topology::Islands { .. });
+        (!self.will_shard(cfg) && topo_ok && fits).then_some(policy)
     }
 
     /// [`Service::batchable_cfg`] for a queue entry: suspended multi-shard
@@ -848,6 +858,7 @@ impl Service {
                 head.payload.req.algorithm,
                 head.payload.req.strategy,
                 head.payload.req.cfg.dim,
+                head.payload.req.cfg.topology,
             ),
             head.payload.req.cfg.n_particles * head.payload.req.cfg.dim,
         );
@@ -868,6 +879,7 @@ impl Service {
                 e.payload.req.algorithm,
                 e.payload.req.strategy,
                 e.payload.req.cfg.dim,
+                e.payload.req.cfg.topology,
             );
             let elems = e.payload.req.cfg.n_particles * e.payload.req.cfg.dim;
             if former.offer(key, elems) {

@@ -40,6 +40,16 @@ pub mod domains {
     pub fn gfwa_sparks(t: usize) -> u64 {
         GFWA_BASE + t as u64
     }
+
+    /// Base offset of the island-migration domains (disjoint from PSO,
+    /// SSO and GFWA).
+    pub const MIGRATE_BASE: u64 = 3_000_000;
+
+    /// Donor-selection draws of the `Random` island migration at
+    /// iteration `t` (one draw per island, addressed by island index).
+    pub fn migrate(t: usize) -> u64 {
+        MIGRATE_BASE + t as u64
+    }
 }
 
 /// Complete swarm state.
@@ -259,6 +269,7 @@ mod tests {
                     domains::g_matrix(t),
                     domains::sso_update(t),
                     domains::gfwa_sparks(t),
+                    domains::migrate(t),
                 ]
             })
             .collect();

@@ -107,6 +107,14 @@ pub struct JobShape {
     /// kernel schedule the base prices. `pso` — the default — preserves the
     /// original schedule bit-for-bit.
     pub algo: String,
+    /// Islands the swarm is partitioned into (1 — the default — prices the
+    /// plain single-swarm schedule byte-for-byte). Island shapes add one
+    /// attractor-gather launch per iteration plus a periodic migration
+    /// launch, and calibrate under an `+islands`-suffixed key.
+    pub islands: u64,
+    /// Iterations between island migrations (0 = never migrate). Read only
+    /// when `islands > 1`.
+    pub migrate_every: u64,
 }
 
 impl JobShape {
@@ -122,12 +130,22 @@ impl JobShape {
             persistent: false,
             slice_iters: 0,
             algo: "pso".to_string(),
+            islands: 1,
+            migrate_every: 0,
         }
     }
 
     /// Set the algorithm key (`pso`, `sso`, `gfwa`).
     pub fn algorithm(mut self, algo: &str) -> JobShape {
         self.algo = algo.to_string();
+        self
+    }
+
+    /// Partition the swarm into `m` islands migrating every `every_k`
+    /// iterations (`every_k = 0` never migrates).
+    pub fn islands(mut self, m: u64, every_k: u64) -> JobShape {
+        self.islands = m.max(1);
+        self.migrate_every = every_k;
         self
     }
 
@@ -159,15 +177,32 @@ impl JobShape {
     /// keys are byte-identical to what they were before algorithms
     /// existed).
     pub fn calibration_key(&self) -> String {
-        let base = if self.persistent {
+        let mut base = if self.persistent {
             format!("{}+persistent", self.strategy)
         } else {
             self.strategy.clone()
         };
+        if self.islands > 1 {
+            // Island schedules interleave gather/migrate launches with the
+            // shared prefix, so their observed ratios calibrate apart from
+            // the single-swarm rungs (whose keys stay byte-identical).
+            base.push_str("+islands");
+        }
         if self.algo == "pso" {
             base
         } else {
             format!("{}:{}", self.algo, base)
+        }
+    }
+
+    /// Migration launches the shape performs over its full iteration
+    /// budget: one every `migrate_every` iterations, none when the swarm
+    /// is a single island or never migrates.
+    fn migration_launches(&self) -> u64 {
+        if self.islands > 1 && self.migrate_every > 0 {
+            self.iterations / self.migrate_every
+        } else {
+            0
         }
     }
 }
@@ -236,6 +271,40 @@ impl CostPredictor {
             active_shards += 1;
         }
         let mut total = per_iter * shape.iterations as f64;
+        let mut island_launches = 0u64;
+        if shape.islands > 1 {
+            // Islands are single-shard (the serving layer rejects sharded
+            // local topologies): one attractor-gather launch per iteration
+            // — each particle scans its contiguous island block — plus a
+            // migration launch every `migrate_every` iterations that scans
+            // the swarm and copies one elite row per island edge (larger
+            // elite counts are absorbed by the `+islands` calibration key).
+            let gpu = &self.gpu;
+            let rows = shape.particles.max(1);
+            let window = rows.div_ceil(shape.islands);
+            let gather = gpu_kernel_time(
+                gpu,
+                &GpuKernelWork {
+                    threads: rows,
+                    ..GpuKernelWork::elementwise(rows, window * rows, window * 4 * rows, 8 * rows)
+                },
+            );
+            let migrate = gpu_kernel_time(
+                gpu,
+                &GpuKernelWork {
+                    threads: rows,
+                    ..GpuKernelWork::elementwise(
+                        rows,
+                        rows,
+                        rows * 4 + shape.islands * d * 20,
+                        shape.islands * d * 20,
+                    )
+                },
+            );
+            let migs = shape.migration_launches();
+            total += gather * shape.iterations as f64 + migrate * migs as f64;
+            island_launches = shape.iterations + migs;
+        }
         if shape.persistent {
             // Device-resident execution: the per-kernel launch overheads
             // baked into `iteration_s` collapse into one region launch per
@@ -247,7 +316,8 @@ impl CostPredictor {
                 shape.iterations.div_ceil(shape.slice_iters).max(1)
             };
             let saved = overhead
-                * (launches_per_iter(&shape.algo) * shape.iterations * active_shards) as f64;
+                * (launches_per_iter(&shape.algo) * shape.iterations * active_shards
+                    + island_launches) as f64;
             let region = overhead * (slices * active_shards) as f64;
             total = (total - saved + region).max(0.0);
         }
@@ -682,6 +752,64 @@ mod tests {
                 .persistent(4)
                 .calibration_key(),
             "gfwa:global+persistent"
+        );
+    }
+
+    #[test]
+    fn island_shapes_price_their_extra_launches_and_key_separately() {
+        let p = CostPredictor::v100();
+        let solo = JobShape::new(256, 32, 200, "global");
+        let isl = solo.clone().islands(8, 10);
+        let no_mig = solo.clone().islands(8, 0);
+        // The gather runs every iteration, migration every 10th: islands
+        // must price strictly above the single swarm, and migration above
+        // gather-only.
+        assert!(p.base_s(&no_mig) > p.base_s(&solo));
+        assert!(p.base_s(&isl) > p.base_s(&no_mig));
+        // A degenerate single-island shape is byte-identical to the plain
+        // schedule — existing predictions and keys are untouched.
+        let one = solo.clone().islands(1, 10);
+        assert_eq!(p.base_s(&one), p.base_s(&solo));
+        assert_eq!(one.calibration_key(), "global");
+        assert_eq!(isl.calibration_key(), "global+islands");
+        assert_eq!(
+            isl.clone().persistent(4).calibration_key(),
+            "global+persistent+islands"
+        );
+        assert_eq!(
+            isl.clone().algorithm("sso").calibration_key(),
+            "sso:global+islands"
+        );
+    }
+
+    #[test]
+    fn island_observations_leave_single_swarm_coefficients_untouched() {
+        let mut p = CostPredictor::v100();
+        let isl = JobShape::new(256, 32, 200, "global").islands(4, 5);
+        let base = p.base_s(&isl);
+        p.observe(&isl, base * 2.0);
+        assert_eq!(p.observations("global+islands"), 1);
+        assert!((p.coefficient("global+islands") - 2.0).abs() < 1e-12);
+        assert_eq!(p.observations("global"), 0);
+        let solo = JobShape::new(256, 32, 200, "global");
+        assert!((p.predict_s(&solo) - p.base_s(&solo)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn persistent_island_shapes_collapse_their_extra_launches_too() {
+        let p = CostPredictor::v100();
+        let isl = JobShape::new(64, 8, 80, "global").islands(4, 10);
+        let whole = isl.clone().persistent(0);
+        // 7 PSO launches + 1 gather per iteration + 8 migrations, minus
+        // the single region launch.
+        let saved = p.base_s(&isl) - p.base_s(&whole);
+        let per_launch = saved / ((7.0 + 1.0) * 80.0 + 8.0 - 1.0);
+        let pso = JobShape::new(64, 8, 80, "global");
+        let pso_per_launch =
+            (p.base_s(&pso) - p.base_s(&pso.clone().persistent(0))) / (7.0 * 80.0 - 1.0);
+        assert!(
+            (per_launch - pso_per_launch).abs() < 1e-15,
+            "island launches must collapse at the same device constant"
         );
     }
 

@@ -4,6 +4,10 @@
 //! `examples/` and the cross-crate integration tests in `tests/` can import
 //! a single package. Library users should depend on the individual crates
 //! (`fastpso`, `gpu-sim`, ...) directly.
+//!
+//! The README below is included verbatim so its code blocks run as
+//! doctests (`cargo test --doc`) and cannot drift from the API.
+#![doc = include_str!("../README.md")]
 
 pub use fastpso;
 pub use fastpso_baselines as baselines;

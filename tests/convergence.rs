@@ -6,7 +6,8 @@
 
 use fastpso_suite::baselines::{GpuPsoBaseline, HGpuPsoBaseline, PySwarmsLike, ScikitOptLike};
 use fastpso_suite::fastpso::{
-    Algorithm, AttractorSemantics, GpuBackend, ParBackend, PsoBackend, PsoConfig, SeqBackend,
+    Algorithm, AttractorSemantics, GpuBackend, Migration, MigrationKind, ParBackend, PsoBackend,
+    PsoConfig, SeqBackend, Topology,
 };
 use fastpso_suite::functions::builtins::{
     Easom, Griewank, Levy, Qap, Rastrigin, Rosenbrock, Sphere,
@@ -228,6 +229,111 @@ fn gfwa_beats_random_search_on_high_dim_multimodal_at_equal_modeled_budget() {
         (r.best_value as f32) < floor,
         "GFWA best {} must beat random search {floor} at {evals} evals",
         r.best_value
+    );
+}
+
+/// Modeled cost of `iters` iterations of topology `t` at `n`×`d` — the
+/// same V100 pricing `island_bench` uses, including the island gather and
+/// migration launches.
+fn modeled_s(n: usize, d: usize, iters: usize, t: Topology) -> f64 {
+    let mut shape = perf_model::JobShape::new(n as u64, d as u64, iters as u64, "global");
+    if let Topology::Islands { islands, migration } = t {
+        shape = shape.islands(islands as u64, migration.every_k as u64);
+    }
+    perf_model::CostPredictor::v100().base_s(&shape)
+}
+
+/// Largest iteration count whose modeled cost under topology `t` stays
+/// within the budget of a `budget_iters`-iteration global-topology run.
+fn island_iters_within_budget(n: usize, d: usize, budget_iters: usize, t: Topology) -> usize {
+    let budget = modeled_s(n, d, budget_iters, Topology::Global);
+    let mut iters = 1;
+    while modeled_s(n, d, iters + 1, t) <= budget {
+        iters += 1;
+    }
+    iters
+}
+
+/// Golden pinning the islands-vs-single-swarm quality comparison. The
+/// free-standing, scale-selectable version of this experiment is the
+/// `island_bench` binary; this is the committed CI gate.
+const ISLAND_GOLDEN: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/results/island_compare.md");
+
+#[test]
+fn islands_beat_the_single_swarm_at_equal_modeled_budget() {
+    // The island model's exploration claim, pinned: 4 islands exchanging
+    // 4 elites every 60 iterations beat one fully-connected swarm on both
+    // multimodal landscapes, after paying for their own migration and
+    // elite-select launches out of the same modeled device-second budget.
+    // The horizon is long (1500 single-swarm iterations) because the
+    // advantage appears only once the single swarm has converged as far
+    // as it ever will.
+    let (n, budget_iters) = (128, 1500);
+    let islands = Topology::Islands {
+        islands: 4,
+        migration: Migration {
+            kind: MigrationKind::Random,
+            every_k: 60,
+            elites: 4,
+        },
+    };
+    let mut md = String::from(
+        "# Islands vs single swarm at equal modeled budget (pinned)\n\n\
+         Produced by `tests/convergence.rs`\n\
+         (`islands_beat_the_single_swarm_at_equal_modeled_budget`).\n\
+         Regenerate: `UPDATE_GOLDEN=1 cargo test --test convergence islands`.\n\n\
+         | objective | dim | setup | iterations | migrations | best |\n\
+         |---|---:|---|---:|---:|---:|\n",
+    );
+    for (name, obj, d) in [
+        ("rastrigin", &Rastrigin as &dyn Objective, 32),
+        ("qap", &Qap, 12),
+    ] {
+        let run = |topology: Topology, iters: usize| {
+            let cfg = PsoConfig::builder(n, d)
+                .max_iter(iters)
+                .seed(42)
+                .topology(topology)
+                .build()
+                .unwrap();
+            GpuBackend::new().run(&cfg, obj).unwrap()
+        };
+        let single = run(Topology::Global, budget_iters);
+        let iters = island_iters_within_budget(n, d, budget_iters, islands);
+        assert!(
+            iters < budget_iters,
+            "{name}: island launches must price above the plain schedule"
+        );
+        let isl = run(islands, iters);
+        assert_eq!(single.migrations, 0);
+        assert!(isl.migrations > 0, "{name}: islands must migrate");
+        assert!(
+            isl.best_value <= single.best_value,
+            "{name}: islands {} must beat the equal-budget single swarm {}",
+            isl.best_value,
+            single.best_value
+        );
+        md.push_str(&format!(
+            "| {name} | {d} | single swarm (global) | {budget_iters} | 0 | {:.4} |\n",
+            single.best_value
+        ));
+        md.push_str(&format!(
+            "| {name} | {d} | {islands} | {iters} | {} | {:.4} |\n",
+            isl.migrations, isl.best_value
+        ));
+    }
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(ISLAND_GOLDEN, &md).expect("write island golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(ISLAND_GOLDEN).expect(
+        "island golden missing; regenerate with \
+         UPDATE_GOLDEN=1 cargo test --test convergence islands",
+    );
+    assert_eq!(
+        md, expected,
+        "island comparison drifted from the recorded golden (if intentional: \
+         UPDATE_GOLDEN=1 cargo test --test convergence islands)"
     );
 }
 

@@ -3,10 +3,21 @@
 //! backend-equivalence guarantee.
 
 use fastpso_suite::fastpso::{
-    GpuBackend, MultiGpuBackend, MultiGpuStrategy, ParBackend, PsoBackend, PsoConfig, PsoError,
-    SeqBackend, Topology, UpdateStrategy,
+    GpuBackend, Migration, MigrationKind, MultiGpuBackend, MultiGpuStrategy, ParBackend,
+    PsoBackend, PsoConfig, PsoError, SeqBackend, Topology, UpdateStrategy,
 };
 use fastpso_suite::functions::builtins::{Rastrigin, Sphere};
+
+fn islands(islands: usize, kind: MigrationKind, every_k: usize, elites: usize) -> Topology {
+    Topology::Islands {
+        islands,
+        migration: Migration {
+            kind,
+            every_k,
+            elites,
+        },
+    }
+}
 
 #[test]
 fn ring_topology_is_bit_identical_across_backends() {
@@ -70,10 +81,88 @@ fn full_ring_window_equals_global_topology() {
 }
 
 #[test]
+fn island_topology_is_bit_identical_across_backends() {
+    let cfg = PsoConfig::builder(48, 8)
+        .max_iter(60)
+        .seed(17)
+        .topology(islands(4, MigrationKind::Ring, 5, 2))
+        .build()
+        .unwrap();
+    let seq = SeqBackend.run(&cfg, &Rastrigin).unwrap();
+    let par = ParBackend.run(&cfg, &Rastrigin).unwrap();
+    let gpu = GpuBackend::new().run(&cfg, &Rastrigin).unwrap();
+    let smem = GpuBackend::new()
+        .strategy(UpdateStrategy::SharedMem)
+        .run(&cfg, &Rastrigin)
+        .unwrap();
+    assert_eq!(seq.best_value, par.best_value);
+    assert_eq!(seq.best_value, gpu.best_value);
+    assert_eq!(seq.best_value, smem.best_value);
+    assert_eq!(seq.best_position, gpu.best_position);
+    // Ring migration over 4 islands moves 4 edges × 2 elites = 8 rows per
+    // event; 60 iterations at every_k = 5 fire 12 events. The rollup is
+    // part of the determinism contract, so every backend reports it.
+    assert_eq!(seq.migrations, 96);
+    assert_eq!(par.migrations, 96);
+    assert_eq!(gpu.migrations, 96);
+}
+
+#[test]
+fn every_migration_kind_changes_the_trajectory_and_still_converges() {
+    let base = PsoConfig::builder(96, 8).max_iter(250).seed(3);
+    let single = base.clone().build().unwrap();
+    let a = SeqBackend.run(&single, &Rastrigin).unwrap();
+    assert_eq!(a.migrations, 0, "single swarm never migrates");
+    for kind in [
+        MigrationKind::Ring,
+        MigrationKind::Star,
+        MigrationKind::Random,
+    ] {
+        let cfg = base
+            .clone()
+            .topology(islands(4, kind, 10, 2))
+            .build()
+            .unwrap();
+        let r = SeqBackend.run(&cfg, &Rastrigin).unwrap();
+        assert_ne!(a.best_position, r.best_position, "{kind:?} must matter");
+        assert!(r.migrations > 0, "{kind:?} must migrate");
+        assert!(r.best_value < 40.0, "{kind:?} diverged: {}", r.best_value);
+    }
+}
+
+#[test]
+fn island_runs_are_deterministic_in_seed() {
+    let cfg = PsoConfig::builder(32, 6)
+        .max_iter(40)
+        .seed(11)
+        .topology(islands(2, MigrationKind::Random, 4, 3))
+        .build()
+        .unwrap();
+    let a = GpuBackend::new().run(&cfg, &Sphere).unwrap();
+    let b = GpuBackend::new().run(&cfg, &Sphere).unwrap();
+    assert_eq!(a.best_value, b.best_value);
+    assert_eq!(a.best_position, b.best_position);
+    assert_eq!(a.migrations, b.migrations);
+}
+
+#[test]
 fn multi_gpu_rejects_ring_topology() {
     let cfg = PsoConfig::builder(32, 4)
         .max_iter(5)
         .topology(Topology::Ring { k: 1 })
+        .build()
+        .unwrap();
+    let err = MultiGpuBackend::new(2, MultiGpuStrategy::TileMatrix)
+        .run(&cfg, &Sphere)
+        .unwrap_err();
+    assert!(matches!(err, PsoError::InvalidConfig(_)));
+}
+
+#[test]
+fn multi_gpu_rejects_island_topology() {
+    let cfg = PsoConfig::builder(32, 4)
+        .max_iter(5)
+        .topology(islands(4, MigrationKind::Star, 5, 1))
         .build()
         .unwrap();
     let err = MultiGpuBackend::new(2, MultiGpuStrategy::TileMatrix)

@@ -230,11 +230,11 @@ proptest! {
     /// parameterised `ring_lbest:k`, and parsing is case-insensitive.
     #[test]
     fn plan_op_display_fromstr_round_trips(
-        idx in 0usize..15,
+        idx in 0usize..17,
         k in 1usize..64,
         caps in prop::collection::vec(any::<bool>(), 20..21),
     ) {
-        use fastpso_suite::fastpso::PlanOp;
+        use fastpso_suite::fastpso::{MigrationKind, PlanOp};
         let op = match idx {
             0 => PlanOp::Eval,
             1 => PlanOp::PBest,
@@ -250,7 +250,12 @@ proptest! {
             11 => PlanOp::SsoUpdate,
             12 => PlanOp::Explosion,
             13 => PlanOp::GuidingSpark,
-            _ => PlanOp::Selection,
+            14 => PlanOp::Selection,
+            15 => PlanOp::Migrate {
+                kind: [MigrationKind::Ring, MigrationKind::Star, MigrationKind::Random][k % 3],
+                elites: k,
+            },
+            _ => PlanOp::EliteSelect { islands: k },
         };
         let printed = op.to_string();
         prop_assert_eq!(printed.parse::<PlanOp>().unwrap(), op);
@@ -261,9 +266,62 @@ proptest! {
             .map(|(ch, &up)| if up { ch.to_ascii_uppercase() } else { ch })
             .collect();
         prop_assert_eq!(mangled.parse::<PlanOp>().unwrap(), op);
-        // A bare ring_lbest (no half-width) or a non-numeric one never parses.
+        // A bare ring_lbest (no half-width) or a non-numeric one never parses,
+        // and neither do malformed island ops.
         prop_assert!("ring_lbest".parse::<PlanOp>().is_err());
         prop_assert!("ring_lbest:x".parse::<PlanOp>().is_err());
+        prop_assert!("migrate:ring".parse::<PlanOp>().is_err());
+        prop_assert!("migrate:sideways:2".parse::<PlanOp>().is_err());
+        prop_assert!("elite_select:x".parse::<PlanOp>().is_err());
+    }
+
+    /// `Display` → `FromStr` round-trips every `Topology` — `global`,
+    /// `ring_lbest:<k>` and the island grammar
+    /// `islands:<m>:<kind>:<every_k>:<elites>` — and malformed or
+    /// unknown-key specs are rejected with a diagnostic naming the
+    /// grammar. This is the contract the `--topology` CLI flags on
+    /// `algo_compare` and `serve_bench` rely on.
+    #[test]
+    fn topology_display_fromstr_round_trips(
+        which in 0usize..3,
+        k in 1usize..32,
+        m in 2usize..9,
+        kind_idx in 0usize..3,
+        every_k in 1usize..100,
+        elites in 1usize..6,
+    ) {
+        use fastpso_suite::fastpso::{Migration, MigrationKind, Topology};
+        let kind = [MigrationKind::Ring, MigrationKind::Star, MigrationKind::Random][kind_idx];
+        let t = match which {
+            0 => Topology::Global,
+            1 => Topology::Ring { k },
+            _ => Topology::Islands {
+                islands: m,
+                migration: Migration { kind, every_k, elites },
+            },
+        };
+        let printed = t.to_string();
+        prop_assert_eq!(printed.parse::<Topology>().unwrap(), t);
+        // The migration kind round-trips on its own too.
+        prop_assert_eq!(kind.to_string().parse::<MigrationKind>().unwrap(), kind);
+        // Unknown keys and truncated island specs never parse, and the
+        // error names the accepted grammar.
+        for bad in [
+            "archipelago",
+            "islands",
+            "islands:4",
+            "islands:4:ring",
+            "islands:4:ring:5",
+            "islands:4:sideways:5:2",
+            "islands:x:ring:5:2",
+        ] {
+            let err = bad.parse::<Topology>().unwrap_err();
+            prop_assert!(
+                err.contains("islands:<m>:<ring|star|random>:<every_k>:<elites>")
+                    || err.contains("migration kind"),
+                "{bad}: {err}"
+            );
+        }
     }
 
     /// `Display` → `FromStr` round-trips every `Algorithm` under

@@ -485,6 +485,137 @@ fn device_loss_sweep_rehomes_sso_and_gfwa_jobs_bit_identically() {
     assert!(losses >= 3, "sweep must actually exercise device loss");
 }
 
+/// The island-model analogue of [`algo_chaos_trace`]: a fixed 5-job trace
+/// of `Topology::Islands` jobs mixing all three migration kinds and two
+/// periods over 2 devices, optionally losing device 1 permanently at its
+/// `loss_ordinal`-th kernel launch. Island jobs keep their per-island
+/// PRNG domains and migration schedule inside the ordinary plan
+/// checkpoint, so evacuation and resume must be bit-identical — including
+/// the `migrations` rollup, which replays from the checkpoint's iteration
+/// rather than double-counting re-executed migration events.
+fn island_chaos_trace(loss_ordinal: Option<u64>) -> Chaos {
+    use fastpso::{Migration, MigrationKind, Topology};
+    let group = DeviceGroup::v100s(2);
+    if let Some(ord) = loss_ordinal {
+        group.set_fault_plans(vec![
+            FaultPlan::new(),
+            FaultPlan::new().with_device_loss_at_launch(ord),
+        ]);
+    }
+    let mut svc = Service::new(
+        group,
+        ServeConfig {
+            slots_per_device: 2,
+            slice_iters: 4,
+            ..ServeConfig::default()
+        },
+    );
+    let objs: [Arc<dyn Objective>; 2] = [Arc::new(Sphere), Arc::new(Rastrigin)];
+    let kinds = [
+        MigrationKind::Ring,
+        MigrationKind::Star,
+        MigrationKind::Random,
+    ];
+    let mut ids: Vec<JobId> = Vec::new();
+    for i in 0..5u64 {
+        let mut c = cfg(24 + 8 * (i as usize % 2), 4, 25, 800 + i);
+        c.topology = Topology::Islands {
+            islands: 2 + i as usize % 2,
+            migration: Migration {
+                kind: kinds[i as usize % 3],
+                every_k: 3 + i as usize % 2,
+                elites: 1 + i as usize % 2,
+            },
+        };
+        let req = OptimizeRequest::new(
+            ["acme", "globex", "initech"][i as usize % 3],
+            Arc::clone(&objs[i as usize % 2]),
+            c,
+        )
+        .priority([Priority::Normal, Priority::High][i as usize % 2]);
+        ids.push(svc.submit(req).unwrap());
+    }
+    svc.run_until_idle();
+    let results = ids
+        .iter()
+        .map(|&id| svc.result(id).unwrap().clone())
+        .collect();
+    let manifest = svc
+        .merged_profiler()
+        .kernels
+        .iter()
+        .map(|k| {
+            format!(
+                "{} dev{} grid{:?} block{:?} threads{}",
+                k.name, k.device, k.grid, k.block, k.threads
+            )
+        })
+        .collect();
+    Chaos {
+        results,
+        manifest,
+        snapshot: svc.snapshot(),
+        events: svc.journal().events().to_vec(),
+        lost: svc.group().device(1).unwrap().is_lost(),
+        dev1_health: svc.health().state(1),
+        total_rehomes: svc.records().iter().map(|r| r.rehomes).sum(),
+    }
+}
+
+/// Per-ordinal device-loss sweep over the islands trace: whatever launch
+/// device 1 dies at, every island job completes via re-homing with a
+/// result — and a `migrations` rollup — bit-identical to the fault-free
+/// run, and every faulted scenario replays deterministically. This is the
+/// re-homing guarantee for island state: the checkpoint carries enough to
+/// recompute every pending migration on the new device.
+#[test]
+fn device_loss_sweep_rehomes_island_jobs_bit_identically() {
+    let clean = island_chaos_trace(None);
+    assert_eq!(clean.results.len(), 5);
+    assert!(!clean.lost);
+    assert_eq!(clean.total_rehomes, 0);
+    for r in &clean.results {
+        assert!(r.migrations > 0, "every island job must actually migrate");
+    }
+    let mut losses = 0;
+    for ord in [1, 9, 33, 80, 200] {
+        let a = island_chaos_trace(Some(ord));
+        let b = island_chaos_trace(Some(ord));
+        assert_eq!(a.manifest, b.manifest, "ordinal {ord}: manifest drifted");
+        assert_eq!(a.snapshot, b.snapshot, "ordinal {ord}: journal drifted");
+        for (i, (fa, fc)) in a.results.iter().zip(&clean.results).enumerate() {
+            CounterAsserts::assert_bit_identical_gbest(fa, fc);
+            assert_eq!(
+                fa.iterations, fc.iterations,
+                "ordinal {ord}, job {i}: iteration count diverged under loss"
+            );
+            assert_eq!(
+                fa.migrations, fc.migrations,
+                "ordinal {ord}, job {i}: migration rollup diverged under loss"
+            );
+        }
+        if a.lost {
+            losses += 1;
+            assert!(
+                a.total_rehomes >= 1,
+                "ordinal {ord}: loss fired but nothing re-homed"
+            );
+            assert_eq!(
+                a.dev1_health,
+                HealthState::Quarantined,
+                "ordinal {ord}: lost device must stay quarantined"
+            );
+            assert!(
+                a.events
+                    .iter()
+                    .any(|e| matches!(e, ServeEvent::Rehome { .. })),
+                "ordinal {ord}: re-homing must be journaled"
+            );
+        }
+    }
+    assert!(losses >= 3, "sweep must actually exercise device loss");
+}
+
 /// Crash-safe journal: snapshotting a mid-flight service and replaying the
 /// snapshot against a fresh group reproduces queue depth, the running set
 /// and the job records — and re-serializes byte-for-byte. Corrupt bytes
@@ -752,6 +883,8 @@ fn calibrated_predictor_matches_observed_costs_within_pinned_tolerances() {
             algo: algo.to_string(),
             persistent: false,
             slice_iters: 0,
+            islands: 1,
+            migrate_every: 0,
         };
         let err = svc.predictor().relative_error(&shape, rec.device_seconds);
         let slot = max_err.entry(shape.calibration_key()).or_insert(0.0);
@@ -1033,6 +1166,8 @@ fn batched_calibration_matches_observed_costs_within_pinned_tolerances() {
             algo: "pso".to_string(),
             persistent: true,
             slice_iters: 10,
+            islands: 1,
+            migrate_every: 0,
         };
         let err = svc.predictor().relative_error(&shape, rec.device_seconds);
         let slot = max_err
